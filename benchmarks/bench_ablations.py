@@ -1,0 +1,213 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+1. RWMutex writer priority (Go) vs reader preference (pthread): the
+   Section 5.1.1 deadlock exists only under Go's rule.
+2. Race-detector shadow words: 4 (Go's ``-race``) vs unlimited history —
+   the Table 12 miss cause quantified.
+3. Figure 1's fix: unbuffered vs buffered result channel — leak rate
+   across seeds before/after.
+4. Built-in deadlock detector vs the goroutine-leak extension over the
+   whole blocking corpus (Implication 4).
+"""
+
+from repro import run
+from repro.bugs import registry
+from repro.bugs.blocking.rwmutex import DockerRWMutexWriterPriority
+from repro.detect import BuiltinDeadlockDetector, GoroutineLeakDetector, RaceDetector
+from repro.study.tables import render
+
+SEEDS = range(30)
+
+
+def test_ablation_rwmutex_priority(benchmark, report):
+    def run_both():
+        def go_semantics(rt):
+            return DockerRWMutexWriterPriority._program(rt, reentrant_rlock=True)
+
+        go_result = run(go_semantics, seed=0)
+
+        def pthread_semantics(rt):
+            mu = rt.rwmutex("containers", writer_priority=False)
+            listed = rt.shared("listed", 0)
+
+            def lister():
+                mu.rlock()
+                rt.sleep(1.0)
+                mu.rlock()  # fine under reader preference
+                mu.runlock()
+                mu.runlock()
+
+            def committer():
+                rt.sleep(0.5)
+                mu.lock()
+                mu.unlock()
+
+            rt.go(lister)
+            rt.go(committer)
+            rt.sleep(5.0)
+
+        pthread_result = run(pthread_semantics, seed=0)
+        return go_result, pthread_result
+
+    go_result, pthread_result = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    report(
+        "Ablation 1: RWMutex writer priority",
+        f"Go semantics (writer priority): status={go_result.status}, "
+        f"{len(go_result.leaked)} goroutines stuck forever.\n"
+        f"pthread semantics (reader preference): status={pthread_result.status}.\n"
+        "The paper's Section 5.1.1 claim holds: the same interleaving "
+        "deadlocks only under Go's implementation.",
+    )
+    assert go_result.status == "leak"
+    assert pthread_result.status == "ok"
+
+
+def test_ablation_shadow_words(benchmark, report):
+    kernel = registry.get("nonblocking-trad-grpc-shadow-eviction")
+
+    def sweep():
+        hits = {}
+        for words in (1, 2, 4, 8, None):
+            count = 0
+            for seed in SEEDS:
+                detector = RaceDetector(shadow_words=words)
+                kernel.run_buggy(seed=seed, observers=[detector])
+                count += detector.detected
+            hits[words] = count
+        return hits
+
+    hits = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[("unlimited" if w is None else w), f"{n}/{len(list(SEEDS))}"]
+            for w, n in hits.items()]
+    report(
+        "Ablation 2: shadow words per memory object",
+        render(["shadow words", "runs detecting the race"], rows)
+        + "\n\nGo's four shadow words forget the racy write; full history "
+          "catches it on every run (Table 12 miss cause #3).",
+    )
+    assert hits[4] == 0
+    assert hits[None] == len(list(SEEDS))
+
+
+def test_ablation_figure1_buffered_channel(benchmark, report):
+    kernel = registry.figures()["1"]
+
+    def rates():
+        buggy = sum(kernel.manifested(kernel.run_buggy(seed=s)) for s in SEEDS)
+        fixed = sum(kernel.manifested(kernel.run_fixed(seed=s)) for s in SEEDS)
+        return buggy, fixed
+
+    buggy, fixed = benchmark.pedantic(rates, rounds=1, iterations=1)
+    n = len(list(SEEDS))
+    report(
+        "Ablation 3: Figure 1's unbuffered vs buffered channel",
+        f"unbuffered (buggy): child leaks in {buggy}/{n} schedules\n"
+        f"buffered cap 1 (the committed fix): {fixed}/{n}\n"
+        "The fix removes the leak without changing the timeout behavior.",
+    )
+    assert 0 < buggy < n  # the nondeterministic select choice
+    assert fixed == 0
+
+
+def test_ablation_builtin_vs_leak_detector(benchmark, report):
+    builtin = BuiltinDeadlockDetector()
+    leakdet = GoroutineLeakDetector()
+
+    def evaluate():
+        caught_builtin = caught_leak = total = 0
+        for kernel in registry.blocking_kernels(reproduced_only=True):
+            seeds = ([0] if kernel.meta.deterministic
+                     else kernel.manifestation_seeds(range(40))[:1])
+            result = kernel.run_buggy(seed=seeds[0])
+            total += 1
+            caught_builtin += builtin.classify(result)
+            caught_leak += leakdet.classify(result)
+        return total, caught_builtin, caught_leak
+
+    total, caught_builtin, caught_leak = benchmark.pedantic(
+        evaluate, rounds=1, iterations=1
+    )
+    report(
+        "Ablation 4: built-in detector vs goroutine-leak extension",
+        f"blocking kernels: {total}\n"
+        f"built-in (all-asleep) detector: {caught_builtin} caught\n"
+        f"goroutine-leak detector (Implication 4): {caught_leak} caught\n"
+        "Watching for blocked-forever goroutines instead of global sleep "
+        "turns 2/21 recall into full recall on this corpus.",
+    )
+    assert caught_builtin == 2
+    assert caught_leak == total == 21
+
+
+def test_ablation_lock_order_vs_manifestation(benchmark, report):
+    """Ablation 5: the lock-order detector flags the AB/BA hazard on every
+    schedule; manifestation-based detection needs the unlucky timing."""
+    from repro.detect import LockOrderDetector
+
+    kernel = registry.get("blocking-mutex-kubernetes-abba")
+
+    def sweep():
+        flagged = manifested = 0
+        for seed in SEEDS:
+            detector = LockOrderDetector()
+            result = kernel.run_buggy(seed=seed, observers=[detector])
+            flagged += detector.detected
+            manifested += kernel.manifested(result)
+        clean = 0
+        for seed in SEEDS:
+            detector = LockOrderDetector()
+            kernel.run_fixed(seed=seed, observers=[detector])
+            clean += not detector.detected
+        return flagged, manifested, clean
+
+    flagged, manifested, clean = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    n = len(list(SEEDS))
+    report(
+        "Ablation 5: lock-order graph vs manifestation",
+        f"AB/BA kernel over {n} schedules:\n"
+        f"  lock-order detector flags the hazard: {flagged}/{n}\n"
+        f"  deadlock actually manifests:          {manifested}/{n}\n"
+        f"  fixed variant flagged (false pos.):   {n - clean}/{n}\n"
+        "Order-graph analysis decouples detection from the unlucky timing "
+        "(the combination Implication 4 asks for).",
+    )
+    assert flagged == n
+    assert clean == n
+
+
+def test_ablation_systematic_vs_random(benchmark, report):
+    """Ablation 6: directed schedule enumeration vs random seed sweeps on
+    a rarely-manifesting bug (Figure 9's Add/Wait race)."""
+    from repro.detect.systematic import explore_systematic
+
+    kernel = registry.get("nonblocking-wg-etcd-6371")
+
+    def compare():
+        random_runs = None
+        for i, seed in enumerate(range(400)):
+            if kernel.manifested(kernel.run_buggy(seed=seed)):
+                random_runs = i + 1
+                break
+        exploration = explore_systematic(
+            kernel.buggy, stop_on=kernel.manifested, max_runs=400
+        )
+        rate = sum(
+            kernel.manifested(kernel.run_buggy(seed=s)) for s in range(60)
+        ) / 60
+        return random_runs, exploration, rate
+
+    random_runs, exploration, rate = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    report(
+        "Ablation 6: systematic exploration vs random seeds",
+        f"kernel: {kernel.meta.kernel_id} "
+        f"(manifests on {rate:.0%} of random schedules)\n"
+        f"  random sweep found it after: {random_runs} runs\n"
+        f"  systematic explorer found it after: {exploration.runs} runs, "
+        f"schedule {exploration.counterexample}\n"
+        "Enumeration replaces luck: the counterexample schedule replays "
+        "deterministically via ScriptedChoices.",
+    )
+    assert exploration.found
+    assert exploration.runs <= 400

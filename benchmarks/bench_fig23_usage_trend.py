@@ -1,0 +1,50 @@
+"""Figures 2 and 3 — primitive usage proportions over time.
+
+Paper: monthly snapshots Feb 2015 – May 2018 per application; the
+shared-memory vs message-passing mix is *stable over time*.
+
+Ours: the synthesized history series (see DESIGN.md §2's substitution
+note) plus the measured "HEAD" point from the mini-apps, with the
+stability property asserted.
+"""
+
+from repro.dataset import usage_history
+from repro.dataset.records import App
+from repro.study import figures
+from repro.study.tables import render
+
+
+def test_fig2_fig3_usage_over_time(benchmark, report, app_usages):
+    series = benchmark(usage_history.all_series)
+
+    rows = []
+    for app in App:
+        shared = series[app]["shared"]
+        measured_head = app_usages[app.value].shared_memory_share()
+        rows.append([
+            str(app),
+            f"{shared[0]:.2f}",
+            f"{shared[-1]:.2f}",
+            f"{usage_history.stability(shared):.3f}",
+            figures.sparkline(shared, width=30),
+            f"{measured_head:.2f}",
+        ])
+    body = render(
+        ["Application", "Feb'15", "May'18", "max dev", "trend (fig 2)",
+         "mini-app HEAD"],
+        rows,
+    )
+    body += ("\n\nFigure 3 is the complement (message passing share). "
+             "Paper: all twelve curves essentially flat.")
+    report("Figures 2/3: primitive usage over time", body)
+
+    for app in App:
+        shared = series[app]["shared"]
+        message = series[app]["message"]
+        assert usage_history.stability(shared) < 0.05, app
+        assert usage_history.stability(message) < 0.05, app
+        assert abs(shared[-1] + message[-1] - 1.0) < 1e-6
+        # The mini-apps land on the same side of 50/50 as the paper apps.
+        measured = app_usages[app.value].shared_memory_share()
+        assert measured > 0.5, app
+        assert shared[-1] > 0.5, app

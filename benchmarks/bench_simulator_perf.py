@@ -1,0 +1,109 @@
+"""Microbenchmarks of the simulator substrate itself.
+
+Not a paper table — these time the machinery every experiment rides on,
+so regressions in the scheduler/primitives show up here first.
+"""
+
+from repro import run
+from repro.chan import recv, send
+
+
+def test_perf_channel_pingpong(benchmark):
+    """Rendezvous throughput: N unbuffered round trips."""
+
+    def main(rt):
+        ping = rt.make_chan()
+        pong = rt.make_chan()
+
+        def echo():
+            for _ in range(50):
+                ping.recv()
+                pong.send(None)
+
+        rt.go(echo)
+        for _ in range(50):
+            ping.send(None)
+            pong.recv()
+
+    result = benchmark(lambda: run(main, seed=1))
+    assert result.status == "ok"
+
+
+def test_perf_mutex_contention(benchmark):
+    def main(rt):
+        mu = rt.mutex()
+        done = rt.waitgroup()
+
+        def worker():
+            for _ in range(25):
+                with mu:
+                    pass
+            done.done()
+
+        for _ in range(4):
+            done.add(1)
+            rt.go(worker)
+        done.wait()
+
+    result = benchmark(lambda: run(main, seed=1))
+    assert result.status == "ok"
+
+
+def test_perf_select_fanin(benchmark):
+    def main(rt):
+        channels = [rt.make_chan(1) for _ in range(4)]
+
+        def feeder(ch):
+            for i in range(10):
+                ch.send(i)
+
+        for ch in channels:
+            rt.go(feeder, ch)
+        got = 0
+        while got < 40:
+            _i, _v, _ok = rt.select(*[recv(ch) for ch in channels])
+            got += 1
+
+    result = benchmark(lambda: run(main, seed=1))
+    assert result.status == "ok"
+
+
+def test_perf_goroutine_spawn(benchmark):
+    def main(rt):
+        wg = rt.waitgroup()
+        for _ in range(40):
+            wg.add(1)
+            rt.go(wg.done)
+        wg.wait()
+
+    result = benchmark(lambda: run(main, seed=1))
+    assert result.status == "ok"
+
+
+def test_perf_race_detector_overhead(benchmark):
+    """A run with the detector attached vs. the raw run (reported via two
+    benchmark rounds — compare in the table)."""
+    from repro.detect import RaceDetector
+
+    def main(rt):
+        v = rt.shared("v", 0)
+        mu = rt.mutex()
+        wg = rt.waitgroup()
+
+        def worker():
+            for _ in range(10):
+                with mu:
+                    v.add(1)
+            wg.done()
+
+        for _ in range(3):
+            wg.add(1)
+            rt.go(worker)
+        wg.wait()
+
+    def with_detector():
+        detector = RaceDetector()
+        return run(main, seed=1, observers=[detector])
+
+    result = benchmark(with_detector)
+    assert result.status == "ok"

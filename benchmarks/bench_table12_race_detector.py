@@ -1,0 +1,92 @@
+"""Table 12 — the data race detector on the reproduced non-blocking bugs.
+
+Paper: 20 reproduced non-blocking bugs, 100 runs each with ``-race``:
+7/13 traditional and 3/4 anonymous-function bugs detected, none of the
+others; six of the successes fire on every run, four needed ~100 runs;
+zero false positives.  Misses happen because (1) not every non-blocking
+bug is a data race, (2) detection depends on the interleaving, and
+(3) four shadow words per object forget old accesses.
+
+Ours: the vector-clock detector with 4 shadow words over the non-blocking
+corpus, 100 seeds per kernel, grouped by Table 9 category.
+"""
+
+from collections import defaultdict
+
+from repro.bugs import registry
+from repro.dataset.paper_values import TABLE12_RUNS
+from repro.dataset.records import NonBlockingSubCause
+from repro.detect import RaceDetector
+from repro.study.tables import render
+
+RUNS = TABLE12_RUNS  # 100, as in the paper
+
+
+def _evaluate():
+    per_cause = defaultdict(lambda: [0, 0])      # used, detected
+    always = occasionally = 0
+    for kernel in registry.nonblocking_kernels(reproduced_only=True):
+        sub = kernel.meta.subcause
+        per_cause[sub][0] += 1
+        detecting_runs = 0
+        for seed in range(RUNS):
+            detector = RaceDetector(shadow_words=4)
+            kernel.run_buggy(seed=seed, observers=[detector])
+            detecting_runs += detector.detected
+        if detecting_runs:
+            per_cause[sub][1] += 1
+            if detecting_runs == RUNS:
+                always += 1
+            else:
+                occasionally += 1
+    return per_cause, always, occasionally
+
+
+def test_table12_race_detector(benchmark, report):
+    per_cause, always, occasionally = benchmark.pedantic(
+        _evaluate, rounds=1, iterations=1
+    )
+
+    rows = []
+    total_used = total_detected = 0
+    for sub in NonBlockingSubCause:
+        used, detected = per_cause.get(sub, (0, 0))
+        rows.append([str(sub), used, detected])
+        total_used += used
+        total_detected += detected
+    rows.append(["Total", total_used, total_detected])
+    body = render(["Root cause", "# bugs used", f"detected within {RUNS} runs"], rows)
+    body += (f"\n\nfires on every run: {always} kernels; "
+             f"needs many runs: {occasionally} kernels."
+             f"\npaper: traditional 7/13, anonymous 3/4, others 0; "
+             f"6 always / 4 rarely; no false positives.")
+    report("Table 12: data race detector evaluation", body)
+
+    # Shape: races in the shared-memory categories are found; the
+    # non-race bug classes (select ordering, timer misuse, pure channel
+    # rule violations that panic before racing) are missed.
+    trad = per_cause[NonBlockingSubCause.TRADITIONAL]
+    anon = per_cause[NonBlockingSubCause.ANONYMOUS_FUNCTION]
+    assert trad[1] >= trad[0] - 2      # most traditional races caught...
+    assert trad[1] < trad[0]           # ...but not all (order violation,
+                                       # shadow eviction)
+    assert anon[1] == anon[0]          # capture races are plain data races
+    assert per_cause[NonBlockingSubCause.MSG_LIBRARY][1] == 0  # Fig 12: no race
+    assert total_detected < total_used  # the headline: -race is not enough
+
+
+def test_table12_no_false_positives(benchmark, report):
+    benchmark.pedantic(lambda: _run_test_table12_no_false_positives(report), rounds=1, iterations=1)
+
+
+def _run_test_table12_no_false_positives(report):
+    checked = 0
+    for kernel in registry.nonblocking_kernels(reproduced_only=True):
+        for seed in range(5):
+            detector = RaceDetector(shadow_words=4)
+            kernel.run_fixed(seed=seed, observers=[detector])
+            assert not detector.detected, (kernel.meta.kernel_id, seed)
+            checked += 1
+    report("Table 12 companion: false-positive check",
+           f"{checked} fixed-variant runs under the race detector, "
+           f"0 reports — matching the paper.")

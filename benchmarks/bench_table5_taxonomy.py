@@ -1,0 +1,55 @@
+"""Table 5 — the two-dimensional taxonomy.
+
+Paper: 85 blocking / 86 non-blocking; 105 shared-memory / 66 message
+passing; per-application rows as published.
+"""
+
+from repro.dataset import go171
+from repro.dataset.records import App
+from repro.study import tables, taxonomy
+
+
+def test_table5_taxonomy(benchmark, report, dataset):
+    matrix = benchmark(taxonomy.behavior_cause_matrix, dataset)
+
+    report("Table 5: taxonomy (regenerated from the dataset)",
+           tables.table5(dataset))
+
+    for app, expected in go171.TABLE5.items():
+        assert matrix[app] == expected, app
+    totals = taxonomy.totals(dataset)
+    assert totals["blocking"] == 85
+    assert totals["nonblocking"] == 86
+    assert totals["shared"] == 105
+    assert totals["message"] == 66
+
+
+def test_table5_kernel_corpus_mirrors_taxonomy(benchmark, report):
+    benchmark.pedantic(lambda: _run_test_table5_kernel_corpus_mirrors_taxonomy(report), rounds=1, iterations=1)
+
+
+def _run_test_table5_kernel_corpus_mirrors_taxonomy(report):
+    """The executable corpus spans the same two dimensions.
+
+    ``reproduced_only`` selects the Table 8 / Table 12 evaluation corpora;
+    additional pattern kernels beyond them carry ``reproduced=False``.
+    """
+    from repro.bugs import registry
+    from repro.dataset.records import Behavior, Cause
+
+    kernels = (registry.blocking_kernels(reproduced_only=True)
+               + registry.nonblocking_kernels(reproduced_only=True))
+    rows = [[
+        "kernel corpus",
+        sum(k.meta.behavior == Behavior.BLOCKING for k in kernels),
+        sum(k.meta.behavior == Behavior.NONBLOCKING for k in kernels),
+        sum(k.meta.cause == Cause.SHARED_MEMORY for k in kernels),
+        sum(k.meta.cause == Cause.MESSAGE_PASSING for k in kernels),
+    ]]
+    report(
+        "Table 5 companion: executable kernel corpus",
+        tables.render(
+            ["Corpus", "blocking", "non-blocking", "shared", "message"], rows
+        ),
+    )
+    assert rows[0][1] == 21  # the paper's reproduced blocking set

@@ -1,0 +1,62 @@
+"""Table 7 — fix strategies for blocking bugs, with the lift analysis.
+
+Paper: among the 33 Mutex/RWMutex bugs — 8 fixed by adding, 9 by moving,
+11 by removing synchronization; lift(Mutex, Move_s) = 1.52 is the
+strongest correlation, lift(Chan, Add_s) = 1.42 second; ~90% of blocking
+fixes adjust synchronization; mean patch 6.8 lines.
+"""
+
+import pytest
+
+from repro.dataset.paper_values import (
+    LIFT_BLOCKING_CHAN_ADD,
+    LIFT_BLOCKING_MUTEX_MOVE,
+    MEAN_BLOCKING_PATCH_LINES,
+)
+from repro.dataset.records import Behavior, BlockingSubCause, FixStrategy
+from repro.study import lift as lift_mod
+from repro.study import tables
+
+
+def test_table7_blocking_fix_strategies(benchmark, report, dataset):
+    lifts = benchmark(lift_mod.all_strategy_lifts, dataset, Behavior.BLOCKING)
+
+    body = tables.table7(dataset)
+    blocking = [r for r in dataset if r.behavior == Behavior.BLOCKING]
+    mean_patch = sum(r.patch_lines for r in blocking) / len(blocking)
+    sync_share = sum(r.fix_strategy != FixStrategy.MISC for r in blocking) / len(blocking)
+    body += (f"\n\nmean blocking patch: {mean_patch:.1f} lines (paper 6.8); "
+             f"fixes adjusting synchronization: {sync_share:.0%} (paper ~90%)")
+    body += "\n\ntop lifts:\n" + "\n".join(f"  {l}" for l in lifts[:4])
+    report("Table 7: blocking fix strategies + lift", body)
+
+    assert lifts[0].a == str(BlockingSubCause.MUTEX)
+    assert lifts[0].b == str(FixStrategy.MOVE_SYNC)
+    assert lifts[0].lift == pytest.approx(LIFT_BLOCKING_MUTEX_MOVE, abs=0.02)
+    chan_add = next(l for l in lifts
+                    if l.a == str(BlockingSubCause.CHAN)
+                    and l.b == str(FixStrategy.ADD_SYNC))
+    assert chan_add.lift == pytest.approx(LIFT_BLOCKING_CHAN_ADD, abs=0.02)
+    assert mean_patch == pytest.approx(MEAN_BLOCKING_PATCH_LINES, abs=0.05)
+    assert sync_share >= 0.90
+
+
+def test_table7_fixes_verified_executable(benchmark, report):
+    benchmark.pedantic(lambda: _run_test_table7_fixes_verified_executable(report), rounds=1, iterations=1)
+
+
+def _run_test_table7_fixes_verified_executable(report):
+    """Implication 3's premise, demonstrated: the corpus fixes are simple
+    strategy applications and they *work* (buggy blocks, fixed doesn't)."""
+    from collections import Counter
+
+    from repro.bugs import registry
+
+    strategies = Counter()
+    for kernel in registry.blocking_kernels():
+        strategies[str(kernel.meta.fix_strategy)] += 1
+        assert not kernel.manifested(kernel.run_fixed(seed=0))
+    report(
+        "Table 7 companion: verified fix strategies in the kernel corpus",
+        "\n".join(f"  {s}: {n} kernels fixed" for s, n in sorted(strategies.items())),
+    )

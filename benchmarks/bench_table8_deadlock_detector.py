@@ -1,0 +1,101 @@
+"""Table 8 — the built-in deadlock detector on the reproduced blocking bugs.
+
+Paper: of 21 reproduced blocking bugs (run once each; the blocking
+triggers deterministically), the always-on runtime detector catches only
+2 — BoltDB#392 and BoltDB#240 — because (1) it stays silent while *any*
+goroutine can run and (2) it cannot see waits on non-Go resources.  No
+false positives.
+
+Ours: the replica detector over the 21-kernel blocking corpus, grouped by
+root cause, next to the goroutine-leak detector extension (the ablation
+Implication 4 asks for).
+"""
+
+from collections import defaultdict
+
+from repro.bugs import registry
+from repro.dataset.paper_values import TABLE8_DETECTED, TABLE8_REPRODUCED
+from repro.dataset.records import App, BlockingSubCause, Cause
+from repro.detect import BuiltinDeadlockDetector, GoroutineLeakDetector
+from repro.study.tables import render
+
+#: A seed under which every blocking kernel's bug manifests (the paper
+#: triggers each blocking bug deterministically; our nondeterministic
+#: kernels just need a manifesting seed).
+def _manifesting_seed(kernel):
+    if kernel.meta.deterministic:
+        return 0
+    seeds = kernel.manifestation_seeds(range(40))
+    assert seeds, kernel.meta.kernel_id
+    return seeds[0]
+
+
+def _evaluate():
+    builtin = BuiltinDeadlockDetector()
+    leakdet = GoroutineLeakDetector()
+    per_cause = defaultdict(lambda: [0, 0, 0])  # used, builtin, leakdet
+    detected_ids = []
+    for kernel in registry.blocking_kernels(reproduced_only=True):
+        seed = _manifesting_seed(kernel)
+        result = kernel.run_buggy(seed=seed)
+        cause = kernel.meta.subcause
+        per_cause[cause][0] += 1
+        if builtin.classify(result):
+            per_cause[cause][1] += 1
+            detected_ids.append(kernel.meta.kernel_id)
+        if leakdet.classify(result):
+            per_cause[cause][2] += 1
+    return per_cause, detected_ids
+
+
+def test_table8_builtin_deadlock_detector(benchmark, report):
+    per_cause, detected_ids = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+
+    rows = []
+    total_used = total_builtin = total_leak = 0
+    for sub in BlockingSubCause:
+        used, by_builtin, by_leak = per_cause.get(sub, (0, 0, 0))
+        rows.append([str(sub), used, by_builtin, by_leak])
+        total_used += used
+        total_builtin += by_builtin
+        total_leak += by_leak
+    rows.append(["Total", total_used, total_builtin, total_leak])
+    body = render(
+        ["Root cause", "# bugs used", "built-in detected",
+         "leak-detector detected (ours)"],
+        rows,
+    )
+    body += (f"\n\ndetected by built-in: {', '.join(detected_ids)}"
+             f"\npaper: {TABLE8_DETECTED}/{TABLE8_REPRODUCED} detected "
+             f"(BoltDB#392, BoltDB#240); Mutex 1 + Chan w/ 1.")
+    report("Table 8: built-in deadlock detector evaluation", body)
+
+    assert total_used == TABLE8_REPRODUCED == 21
+    assert total_builtin == TABLE8_DETECTED == 2
+    assert per_cause[BlockingSubCause.MUTEX][1] == 1
+    assert per_cause[BlockingSubCause.CHAN_WITH_OTHER][1] == 1
+    assert per_cause[BlockingSubCause.CHAN][1] == 0
+    assert per_cause[BlockingSubCause.MSG_LIBRARY][1] == 0
+    # The Implication 4 extension catches everything the built-in misses.
+    assert total_leak == 21
+
+
+def test_table8_no_false_positives(benchmark, report):
+    benchmark.pedantic(lambda: _run_test_table8_no_false_positives(report), rounds=1, iterations=1)
+
+
+def _run_test_table8_no_false_positives(report):
+    """The paper notes the built-in detector reports no false positives;
+    neither detector may fire on the fixed variants."""
+    builtin = BuiltinDeadlockDetector()
+    leakdet = GoroutineLeakDetector()
+    checked = 0
+    for kernel in registry.blocking_kernels(reproduced_only=True):
+        for seed in range(3):
+            result = kernel.run_fixed(seed=seed)
+            assert not builtin.classify(result), kernel.meta.kernel_id
+            assert not leakdet.classify(result), kernel.meta.kernel_id
+            checked += 1
+    report("Table 8 companion: false-positive check",
+           f"{checked} fixed-variant runs, 0 false positives "
+           f"(both detectors), matching the paper.")

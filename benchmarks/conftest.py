@@ -1,0 +1,51 @@
+"""Benchmark helpers: uncapturable reporting.
+
+Each benchmark regenerates one of the paper's tables or figures and prints
+it side-by-side with the published values.  Reports are written through
+``sys.__stdout__`` so they appear even under pytest's output capture, and
+are also persisted under ``benchmarks/reports/`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def emit(title: str, body: str) -> None:
+    """Print a report past pytest's capture and persist it."""
+    text = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n"
+    sys.__stdout__.write(text)
+    sys.__stdout__.flush()
+    REPORT_DIR.mkdir(exist_ok=True)
+    slug = title.lower().replace(" ", "_").replace("/", "-")[:60]
+    (REPORT_DIR / f"{slug}.txt").write_text(text, encoding="utf-8")
+
+
+@pytest.fixture
+def report():
+    return emit
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    from repro.dataset import go171
+
+    return go171.load()
+
+
+@pytest.fixture(scope="session")
+def app_usages():
+    """Static usage profiles of the six mini-apps (computed once)."""
+    from repro.apps import APP_PACKAGES
+    from repro.study import usage_static
+
+    apps_dir = Path(__file__).resolve().parents[1] / "src" / "repro" / "apps"
+    return {
+        paper_app: usage_static.analyze_package(apps_dir / pkg, pkg)
+        for pkg, paper_app in APP_PACKAGES.items()
+    }

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Regenerate the paper's full evaluation in one terminal report.
+
+Prints Tables 5, 6, 7, 9, 10 and 11 from the dataset, the Figure 4
+lifetime summary, the Figure 2/3 stability check, and the nine key
+observations with the numbers backing them.
+
+Equivalent CLI:  python -m repro report
+Run:             python examples/study_report.py
+"""
+
+from repro.study.report import full_report
+
+
+def main():
+    print(full_report())
+
+
+if __name__ == "__main__":
+    main()

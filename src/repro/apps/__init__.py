@@ -1,0 +1,48 @@
+"""Six mini-applications mirroring the paper's studied systems.
+
+Written against the public simulator API in idiomatic "Go-in-Python"
+style, these are the corpus for the usage-pattern experiments (Tables 1,
+2 and 4; Figures 2–3), the dynamic goroutine benchmark (Table 3), the
+integration tests, and the domain examples.
+
+=============  =======================  =================================
+Package        Mirrors                  Concurrency idioms exercised
+=============  =======================  =================================
+minidocker     Docker                   event bus, log pipes, WaitGroup
+                                        teardown, Once init
+minikube       Kubernetes               Cond work queue, informers,
+                                        scheduler cache locking
+minietcd       etcd                     watch hubs, leases on timers,
+                                        RWMutex store, compaction loops
+miniroach      CockroachDB              MVCC under RWMutex, txn intents,
+                                        raft-lite proposal channel
+minigrpc       gRPC-Go                  per-request goroutines, streams,
+                                        context cancellation
+minigrpc.      gRPC-C (the paper's      fixed thread pool, lock-only
+  cstyle       C/C++ comparator)        synchronization
+miniboltdb     BoltDB                   single-writer embedded store,
+                                        batch goroutine
+=============  =======================  =================================
+"""
+
+from . import miniboltdb, minidocker, minietcd, minigrpc, minikube, miniroach
+
+#: Directory-name -> paper application, for the usage analyzers.
+APP_PACKAGES = {
+    "minidocker": "Docker",
+    "minikube": "Kubernetes",
+    "minietcd": "etcd",
+    "miniroach": "CockroachDB",
+    "minigrpc": "gRPC",
+    "miniboltdb": "BoltDB",
+}
+
+__all__ = [
+    "APP_PACKAGES",
+    "miniboltdb",
+    "minidocker",
+    "minietcd",
+    "minigrpc",
+    "minikube",
+    "miniroach",
+]

@@ -1,0 +1,8 @@
+"""miniboltdb — a scaled-down BoltDB: single-writer embedded KV store
+with nested buckets and write batching."""
+
+from .batch import Batcher
+from .buckets import Bucket, BucketNotFound, root
+from .db import DB, Tx, TxClosed
+
+__all__ = ["Batcher", "Bucket", "BucketNotFound", "DB", "Tx", "TxClosed", "root"]

@@ -1,0 +1,77 @@
+"""miniboltdb batching: coalesce writers into one transaction.
+
+``db.Batch``'s idea: concurrent small writers queue their functions on a
+channel; a batch goroutine drains the queue and commits them together,
+amortizing the exclusive writer lock.  The one channel in BoltDB's
+otherwise lock-only profile (Table 4: chan 23.40%).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ...chan.cases import recv
+from .db import DB, Tx
+
+
+class Batcher:
+    """Coalesces write closures into shared transactions."""
+
+    def __init__(self, rt, db: DB, max_batch: int = 8,
+                 flush_interval: float = 0.5):
+        self._rt = rt
+        self.db = db
+        self.max_batch = max_batch
+        self.flush_interval = flush_interval
+        self._queue = rt.make_chan(32, name="batch.queue")
+        self._stop = rt.make_chan(0, name="batch.stop")
+        self.batches = rt.atomic_int(0, name="batch.count")
+        self._started = False
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self._rt.go(self._loop, name="batcher")
+
+    def _loop(self) -> None:
+        ticker = self._rt.new_ticker(self.flush_interval)
+        pending: List = []
+        while True:
+            index, item, ok = self._rt.select(
+                recv(self._stop), recv(self._queue), recv(ticker.c)
+            )
+            if index == 0:
+                ticker.stop()
+                self._flush(pending)
+                return
+            if index == 2:
+                pending = self._flush(pending)
+                continue
+            if not ok:
+                continue
+            pending.append(item)
+            if len(pending) >= self.max_batch:
+                pending = self._flush(pending)
+
+    def _flush(self, pending: List) -> List:
+        if not pending:
+            return []
+
+        def apply_all(tx: Tx) -> None:
+            for fn, _done in pending:
+                fn(tx)
+
+        self.db.update(apply_all)
+        self.batches.add(1)
+        for _fn, done in pending:
+            done.close()
+        return []
+
+    def batch(self, fn: Callable[[Tx], None]) -> None:
+        """Queue ``fn`` and wait until the batch containing it commits."""
+        done = self._rt.make_chan(0, name="batch.done")
+        self._queue.send((fn, done))
+        done.recv_ok()
+
+    def stop(self) -> None:
+        self._stop.close()

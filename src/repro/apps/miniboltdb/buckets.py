@@ -1,0 +1,121 @@
+"""miniboltdb buckets: Bolt's nested key namespaces over the flat store.
+
+Buckets map onto the flat transactional store with path-prefixed keys
+(``bucket/sub/\x00key``), which keeps the Tx machinery untouched while
+providing the real Bolt API surface: create/get/delete buckets, nested
+sub-buckets, cursors over a bucket's keys, and per-bucket sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from .db import Tx, TxClosed
+
+_SEP = "\x00"           # joins a bucket path to a key
+_BUCKET_MARK = "\x01b"  # flat-store key marking a bucket's existence
+_SEQ_MARK = "\x01s"     # flat-store key holding a bucket's sequence
+
+
+class BucketNotFound(Exception):
+    """Operation on a bucket that does not exist."""
+
+
+class Bucket:
+    """A named namespace inside a transaction."""
+
+    def __init__(self, tx: Tx, path: str):
+        self._tx = tx
+        self.path = path
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+
+    def _key(self, key: str) -> str:
+        return f"{self.path}{_SEP}{key}"
+
+    def put(self, key: str, value: Any) -> None:
+        self._tx.put(self._key(key), value)
+
+    def get(self, key: str) -> Optional[Any]:
+        return self._tx.get(self._key(key))
+
+    def delete(self, key: str) -> None:
+        self._tx.delete(self._key(key))
+
+    def cursor(self) -> Iterator[Tuple[str, Any]]:
+        """Iterate this bucket's direct keys in order (Bolt's Cursor)."""
+        prefix = f"{self.path}{_SEP}"
+        # Pending writes first, then committed state under them.
+        merged = dict(self._tx.db._data)
+        merged.update({k: v for k, v in self._tx._pending.items()})
+        for flat_key in sorted(merged):
+            if not flat_key.startswith(prefix):
+                continue
+            rest = flat_key[len(prefix):]
+            if _SEP in rest or rest.startswith("\x01"):
+                continue  # a sub-bucket's content or metadata
+            value = merged[flat_key]
+            if value is not None:
+                yield rest, value
+
+    # ------------------------------------------------------------------
+    # Sub-buckets
+    # ------------------------------------------------------------------
+
+    def _child_path(self, name: str) -> str:
+        return f"{self.path}{_SEP}{name}"
+
+    def create_bucket(self, name: str) -> "Bucket":
+        marker = f"{self._child_path(name)}{_SEP}{_BUCKET_MARK}"
+        if self._tx.get(marker) is not None:
+            raise ValueError(f"bucket exists: {name}")
+        self._tx.put(marker, True)
+        return Bucket(self._tx, self._child_path(name))
+
+    def bucket(self, name: str) -> "Bucket":
+        marker = f"{self._child_path(name)}{_SEP}{_BUCKET_MARK}"
+        if self._tx.get(marker) is None:
+            raise BucketNotFound(name)
+        return Bucket(self._tx, self._child_path(name))
+
+    def create_bucket_if_not_exists(self, name: str) -> "Bucket":
+        try:
+            return self.bucket(name)
+        except BucketNotFound:
+            return self.create_bucket(name)
+
+    def buckets(self) -> List[str]:
+        """Names of direct sub-buckets."""
+        prefix = f"{self.path}{_SEP}"
+        suffix = f"{_SEP}{_BUCKET_MARK}"
+        merged = dict(self._tx.db._data)
+        merged.update(self._tx._pending)
+        names = []
+        for flat_key, value in merged.items():
+            if value is None or not flat_key.startswith(prefix):
+                continue
+            if not flat_key.endswith(suffix):
+                continue
+            middle = flat_key[len(prefix):-len(suffix)]
+            # Exclude this bucket's own marker (empty middle, overlapping
+            # the prefix) and grandchildren (separator inside the middle).
+            if middle and _SEP not in middle:
+                names.append(middle)
+        return sorted(names)
+
+    # ------------------------------------------------------------------
+    # Sequence (Bolt's NextSequence)
+    # ------------------------------------------------------------------
+
+    def next_sequence(self) -> int:
+        marker = f"{self.path}{_SEP}{_SEQ_MARK}"
+        current = self._tx.get(marker) or 0
+        self._tx.put(marker, current + 1)
+        return current + 1
+
+
+def root(tx: Tx) -> Bucket:
+    """The transaction's root bucket."""
+    return Bucket(tx, "root")

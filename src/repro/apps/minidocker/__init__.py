@@ -1,0 +1,19 @@
+"""minidocker — a scaled-down Docker daemon: images, containers, events."""
+
+from .container import Container, ContainerState
+from .daemon import Daemon, DaemonEvent
+from .images import ImageStore, Layer
+from .network import Network, NetworkController, NetworkError, Volume
+
+__all__ = [
+    "Container",
+    "ContainerState",
+    "Daemon",
+    "DaemonEvent",
+    "ImageStore",
+    "Layer",
+    "Network",
+    "NetworkController",
+    "NetworkError",
+    "Volume",
+]

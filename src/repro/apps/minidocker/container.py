@@ -1,0 +1,117 @@
+"""minidocker containers: lifecycle goroutines, log streaming, teardown.
+
+Each running container has a monitor goroutine (the ``containerd`` shim
+stand-in) and a logger goroutine appending to a mutex-guarded ring buffer.
+``attach()`` streams the buffer through an ``io.Pipe`` fed by its own
+goroutine — which always closes the pipe, the committed fix for Docker's
+studied pipe-leak bugs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from ...stdlib.iopipe import EOF, PipeError
+
+
+class ContainerState:
+    CREATED = "created"
+    RUNNING = "running"
+    EXITED = "exited"
+
+
+class Container:
+    """One container and its helper goroutines."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, rt, image: str, command: str, runtime_secs: float = 1.0):
+        self._rt = rt
+        self.id = f"c{next(Container._ids):04d}"
+        self.image = image
+        self.command = command
+        self.runtime_secs = runtime_secs
+        self.mu = rt.mutex(f"{self.id}.state")
+        self.state = ContainerState.CREATED
+        self.exit_code: Optional[int] = None
+        self.exited = rt.make_chan(0, name=f"{self.id}.exited")
+        self._logs: List[str] = []
+        self._log_lines = max(int(runtime_secs / 0.25), 1)
+
+    # ------------------------------------------------------------------
+
+    def start(self, teardown_group) -> None:
+        """Start the monitor and logger goroutines."""
+        with self.mu:
+            if self.state != ContainerState.CREATED:
+                raise ValueError(f"{self.id} already started")
+            self.state = ContainerState.RUNNING
+        teardown_group.add(2)
+
+        def monitor():
+            self._rt.sleep(self.runtime_secs)  # the workload runs
+            with self.mu:
+                self.state = ContainerState.EXITED
+                self.exit_code = 0
+            self.exited.close()  # close = broadcast to every waiter
+            teardown_group.done()
+
+        def logger():
+            for i in range(self._log_lines):
+                self._rt.sleep(0.25)
+                with self.mu:
+                    self._logs.append(f"{self.id} log {i}")
+            teardown_group.done()
+
+        self._rt.go(monitor, name=f"{self.id}.monitor")
+        self._rt.go(logger, name=f"{self.id}.logger")
+
+    def wait(self) -> int:
+        """Block until exit, like ``docker wait``."""
+        self.exited.recv_ok()
+        with self.mu:
+            return self.exit_code if self.exit_code is not None else -1
+
+    def status(self) -> str:
+        with self.mu:
+            return self.state
+
+    # ------------------------------------------------------------------
+    # Logs
+    # ------------------------------------------------------------------
+
+    def logs_snapshot(self) -> List[str]:
+        with self.mu:
+            return list(self._logs)
+
+    def attach(self):
+        """Stream the current log buffer through a pipe.
+
+        Returns the read end; the feeder goroutine always closes the write
+        end (and tolerates the reader going away first).
+        """
+        reader, writer = self._rt.pipe()
+        lines = self.logs_snapshot()
+
+        def feed():
+            try:
+                for line in lines:
+                    writer.write(line)
+                writer.close()
+            except PipeError:
+                pass  # reader closed early: nothing leaks either way
+
+        self._rt.go(feed, name=f"{self.id}.attach")
+        return reader
+
+    def read_logs(self) -> List[str]:
+        """Wait for exit, then attach and drain the stream to EOF."""
+        self.wait()
+        reader = self.attach()
+        lines: List[str] = []
+        try:
+            while True:
+                lines.append(reader.read())
+        except (EOF, PipeError):
+            return lines

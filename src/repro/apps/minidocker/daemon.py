@@ -1,0 +1,147 @@
+"""minidocker daemon: the event bus and the container supervisor."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...chan.cases import recv
+from .container import Container, ContainerState
+from .images import ImageStore
+from .network import NetworkController
+
+
+class DaemonEvent:
+    __slots__ = ("kind", "container_id")
+
+    def __init__(self, kind: str, container_id: str):
+        self.kind = kind
+        self.container_id = container_id
+
+
+class Daemon:
+    """The dockerd stand-in: owns images, containers, and the event bus."""
+
+    def __init__(self, rt):
+        self._rt = rt
+        self.images = ImageStore(rt)
+        self.network = NetworkController(rt)
+        self.network.create_network("bridge")
+        self.mu = rt.mutex("daemon")
+        self._containers: Dict[str, Container] = {}
+        self.teardown = rt.waitgroup("daemon.teardown")
+        self.events = rt.make_chan(32, name="daemon.events")
+        self._bus_stop = rt.make_chan(0, name="daemon.bus-stop")
+        self.init_once = rt.once("daemon.init")
+        self._subscribers: List = []
+        self._event_count = rt.atomic_int(0, name="daemon.events.count")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.init_once.do(self._boot)
+
+    def _boot(self) -> None:
+        def event_loop():
+            self._event_loop()
+
+        self._rt.go(event_loop, name="event-bus")
+
+    def _event_loop(self) -> None:
+        while True:
+            index, event, ok = self._rt.select(
+                recv(self._bus_stop), recv(self.events)
+            )
+            if index == 0 or not ok:
+                return
+            self._event_count.add(1)
+            with self.mu:
+                subscribers = list(self._subscribers)
+            for subscriber in subscribers:
+                subscriber.try_send(event)  # slow subscribers drop events
+
+    def subscribe(self, buffer: int = 8):
+        ch = self._rt.make_chan(buffer, name="events.sub")
+        with self.mu:
+            self._subscribers.append(ch)
+        return ch
+
+    def shutdown(self) -> None:
+        """Graceful stop: wait for containers, then stop the bus."""
+        self.teardown.wait()
+        self._bus_stop.close()
+        with self.mu:
+            subscribers = list(self._subscribers)
+            self._subscribers.clear()
+        for subscriber in subscribers:
+            subscriber.close()
+
+    # ------------------------------------------------------------------
+    # Container API
+    # ------------------------------------------------------------------
+
+    def create(self, image: str, command: str, runtime_secs: float = 1.0
+               ) -> Container:
+        if self.images.resolve(image) is None:
+            raise KeyError(f"image not found: {image}")
+        container = Container(self._rt, image, command, runtime_secs)
+        with self.mu:
+            self._containers[container.id] = container
+        self.events.try_send(DaemonEvent("create", container.id))
+        return container
+
+    def start_container(self, container: Container) -> None:
+        self.network.connect("bridge", container.id)
+        container.start(self.teardown)
+        self.events.try_send(DaemonEvent("start", container.id))
+        self.teardown.add(1)
+
+        def release_endpoint():
+            container.wait()
+            self.network.disconnect("bridge", container.id)
+            self.teardown.done()
+
+        self._rt.go(release_endpoint, name=f"netns-{container.id}")
+
+    def run(self, image: str, command: str, runtime_secs: float = 1.0
+            ) -> Container:
+        container = self.create(image, command, runtime_secs)
+        self.start_container(container)
+        return container
+
+    def run_with_restart(self, image: str, command: str,
+                         runtime_secs: float = 1.0,
+                         max_restarts: int = 2) -> "Container":
+        """Run under a restart policy: a supervisor goroutine restarts the
+        container (up to ``max_restarts`` times) each time it exits —
+        dockerd's ``--restart=on-failure:N``."""
+        first = self.run(image, command, runtime_secs)
+        self.teardown.add(1)
+
+        def supervisor():
+            current = first
+            restarts = 0
+            while True:
+                current.wait()
+                if restarts >= max_restarts:
+                    break
+                restarts += 1
+                current = self.run(image, command, runtime_secs)
+                self.events.try_send(DaemonEvent("restart", current.id))
+            self.teardown.done()
+
+        self._rt.go(supervisor, name=f"supervise-{first.id}")
+        return first
+
+    def wait_all(self) -> None:
+        self.teardown.wait()
+
+    def ps(self) -> List[Tuple[str, str]]:
+        with self.mu:
+            containers = list(self._containers.values())
+        return [(c.id, c.status()) for c in containers]
+
+    @property
+    def events_published(self) -> int:
+        return self._event_count.load()

@@ -1,0 +1,67 @@
+"""minidocker image store: layers, reference counts, concurrent pulls."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class Layer:
+    """One content-addressed layer with a reference count."""
+
+    __slots__ = ("digest", "size", "refs")
+
+    def __init__(self, digest: str, size: int):
+        self.digest = digest
+        self.size = size
+        self.refs = 0
+
+
+class ImageStore:
+    """Layer registry guarded by one mutex (Docker's graph lock)."""
+
+    def __init__(self, rt):
+        self._rt = rt
+        self.mu = rt.mutex("images")
+        self._layers: Dict[str, Layer] = {}
+        self._images: Dict[str, Tuple[str, ...]] = {}
+        self.pull_once = rt.once("images.warmup")
+
+    def pull(self, name: str, layers: List[Tuple[str, int]]) -> None:
+        """Register an image; simulated download latency per layer."""
+        for digest, size in layers:
+            self._rt.sleep(0.01)  # network fetch
+            with self.mu:
+                layer = self._layers.get(digest)
+                if layer is None:
+                    layer = Layer(digest, size)
+                    self._layers[digest] = layer
+                layer.refs += 1
+        with self.mu:
+            self._images[name] = tuple(digest for digest, _ in layers)
+
+    def resolve(self, name: str) -> Optional[Tuple[str, ...]]:
+        with self.mu:
+            return self._images.get(name)
+
+    def release(self, name: str) -> int:
+        """Drop an image's layer references; returns freed layer count."""
+        freed = 0
+        with self.mu:
+            digests = self._images.pop(name, ())
+            for digest in digests:
+                layer = self._layers.get(digest)
+                if layer is None:
+                    continue
+                layer.refs -= 1
+                if layer.refs <= 0:
+                    del self._layers[digest]
+                    freed += 1
+        return freed
+
+    def disk_usage(self) -> int:
+        with self.mu:
+            return sum(layer.size for layer in self._layers.values())
+
+    def __len__(self) -> int:
+        with self.mu:
+            return len(self._images)

@@ -1,0 +1,140 @@
+"""minidocker networks and volumes: endpoint attachment, IPAM, mounts.
+
+The libnetwork/volume-plugin slice of the daemon: mutex-guarded state,
+reference-counted volumes, and an IP allocator — the subsystems whose
+locking interplay produced several of Docker's studied Mutex bugs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class NetworkError(Exception):
+    """Invalid network/volume operation."""
+
+
+class Network:
+    """One bridge network with a tiny IPAM pool."""
+
+    def __init__(self, name: str, subnet_hosts: int = 8):
+        self.name = name
+        self.subnet_hosts = subnet_hosts
+        self.endpoints: Dict[str, str] = {}  # container id -> ip
+
+    def _next_ip(self) -> Optional[str]:
+        used = set(self.endpoints.values())
+        for host in range(2, 2 + self.subnet_hosts):
+            ip = f"10.89.0.{host}"
+            if ip not in used:
+                return ip
+        return None
+
+
+class Volume:
+    """A named volume with a reference count."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.refs = 0
+        self.data: Dict[str, str] = {}
+
+
+class NetworkController:
+    """Owns networks and volumes; all state under one mutex."""
+
+    def __init__(self, rt):
+        self._rt = rt
+        self.mu = rt.mutex("netctl")
+        self._networks: Dict[str, Network] = {}
+        self._volumes: Dict[str, Volume] = {}
+        self._attachments = rt.atomic_int(0, name="net.attachments")
+
+    # ------------------------------------------------------------------
+    # Networks
+    # ------------------------------------------------------------------
+
+    def create_network(self, name: str, subnet_hosts: int = 8) -> Network:
+        with self.mu:
+            if name in self._networks:
+                raise NetworkError(f"network exists: {name}")
+            network = Network(name, subnet_hosts)
+            self._networks[name] = network
+            return network
+
+    def connect(self, network_name: str, container_id: str) -> str:
+        """Attach a container; allocates and returns its IP."""
+        with self.mu:
+            network = self._networks.get(network_name)
+            if network is None:
+                raise NetworkError(f"no such network: {network_name}")
+            if container_id in network.endpoints:
+                raise NetworkError(f"{container_id} already attached")
+            ip = network._next_ip()
+            if ip is None:
+                raise NetworkError(f"{network_name}: address pool exhausted")
+            network.endpoints[container_id] = ip
+        self._attachments.add(1)
+        return ip
+
+    def disconnect(self, network_name: str, container_id: str) -> None:
+        with self.mu:
+            network = self._networks.get(network_name)
+            if network is None or container_id not in network.endpoints:
+                raise NetworkError(f"{container_id} not attached to {network_name}")
+            del network.endpoints[container_id]
+
+    def endpoints(self, network_name: str) -> Dict[str, str]:
+        with self.mu:
+            network = self._networks.get(network_name)
+            return dict(network.endpoints) if network else {}
+
+    def remove_network(self, name: str) -> None:
+        with self.mu:
+            network = self._networks.get(name)
+            if network is None:
+                raise NetworkError(f"no such network: {name}")
+            if network.endpoints:
+                raise NetworkError(f"{name} has active endpoints")
+            del self._networks[name]
+
+    # ------------------------------------------------------------------
+    # Volumes
+    # ------------------------------------------------------------------
+
+    def create_volume(self, name: str) -> Volume:
+        with self.mu:
+            volume = self._volumes.get(name)
+            if volume is None:
+                volume = Volume(name)
+                self._volumes[name] = volume
+            return volume
+
+    def mount(self, name: str) -> Volume:
+        with self.mu:
+            volume = self._volumes.get(name)
+            if volume is None:
+                raise NetworkError(f"no such volume: {name}")
+            volume.refs += 1
+            return volume
+
+    def unmount(self, name: str) -> None:
+        with self.mu:
+            volume = self._volumes.get(name)
+            if volume is None or volume.refs == 0:
+                raise NetworkError(f"{name}: unmount without mount")
+            volume.refs -= 1
+
+    def prune_volumes(self) -> List[str]:
+        """Remove unreferenced volumes; returns their names."""
+        with self.mu:
+            removable = [n for n, v in self._volumes.items() if v.refs == 0]
+            for name in removable:
+                del self._volumes[name]
+            return sorted(removable)
+
+    def stats(self) -> Tuple[int, int, int]:
+        with self.mu:
+            return (len(self._networks), len(self._volumes),
+                    self._attachments.load())

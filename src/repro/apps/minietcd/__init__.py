@@ -1,0 +1,40 @@
+"""minietcd — a scaled-down etcd: revisioned KV store, watches, leases,
+and compare-and-swap transactions."""
+
+from .lease import Lease, Lessor
+from .node import Node
+from .store import KeyValue, Store
+from .txn import (
+    Compare,
+    Op,
+    Txn,
+    TxnResponse,
+    delete,
+    get,
+    key_missing,
+    mod_revision_equals,
+    put,
+    value_equals,
+)
+from .watch import Event, WatchHub, Watcher
+
+__all__ = [
+    "Compare",
+    "Event",
+    "KeyValue",
+    "Lease",
+    "Lessor",
+    "Node",
+    "Op",
+    "Store",
+    "Txn",
+    "TxnResponse",
+    "WatchHub",
+    "Watcher",
+    "delete",
+    "get",
+    "key_missing",
+    "mod_revision_equals",
+    "put",
+    "value_equals",
+]

@@ -1,0 +1,111 @@
+"""minietcd key-value store: an MVCC-flavored map under an RWMutex.
+
+Reads take the read lock; writes take the write lock and bump the
+revision.  This is the RWMutex-heavy usage profile Table 4 reports for
+etcd's shared-memory side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class KeyValue:
+    """One stored value with its create/mod revisions."""
+
+    __slots__ = ("key", "value", "create_revision", "mod_revision", "version")
+
+    def __init__(self, key: str, value: Any, revision: int):
+        self.key = key
+        self.value = value
+        self.create_revision = revision
+        self.mod_revision = revision
+        self.version = 1
+
+    def update(self, value: Any, revision: int) -> None:
+        self.value = value
+        self.mod_revision = revision
+        self.version += 1
+
+
+class Store:
+    """Revisioned KV map, the heart of the node."""
+
+    def __init__(self, rt):
+        self._rt = rt
+        self.mu = rt.rwmutex("store")
+        self._data: Dict[str, KeyValue] = {}
+        self._revision = rt.atomic_int(0, name="store.revision")
+        self._tombstones: List[Tuple[str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[KeyValue]:
+        self.mu.rlock()
+        try:
+            return self._data.get(key)
+        finally:
+            self.mu.runlock()
+
+    def range(self, prefix: str = "") -> List[KeyValue]:
+        """All live keys with the given prefix, sorted."""
+        self.mu.rlock()
+        try:
+            return [self._data[k] for k in sorted(self._data) if k.startswith(prefix)]
+        finally:
+            self.mu.runlock()
+
+    @property
+    def revision(self) -> int:
+        return self._revision.load()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> int:
+        """Insert or update; returns the new store revision."""
+        self.mu.lock()
+        try:
+            revision = self._revision.add(1)
+            existing = self._data.get(key)
+            if existing is None:
+                self._data[key] = KeyValue(key, value, revision)
+            else:
+                existing.update(value, revision)
+            return revision
+        finally:
+            self.mu.unlock()
+
+    def delete(self, key: str) -> Optional[int]:
+        """Remove a key; returns the deletion revision if it existed."""
+        self.mu.lock()
+        try:
+            if key not in self._data:
+                return None
+            revision = self._revision.add(1)
+            del self._data[key]
+            self._tombstones.append((key, revision))
+            return revision
+        finally:
+            self.mu.unlock()
+
+    def compact(self, keep_last: int = 16) -> int:
+        """Drop old tombstones (the compactor's job); returns dropped count."""
+        self.mu.lock()
+        try:
+            excess = max(len(self._tombstones) - keep_last, 0)
+            if excess:
+                self._tombstones = self._tombstones[excess:]
+            return excess
+        finally:
+            self.mu.unlock()
+
+    def __len__(self) -> int:
+        self.mu.rlock()
+        try:
+            return len(self._data)
+        finally:
+            self.mu.runlock()

@@ -1,0 +1,156 @@
+"""minietcd transactions: etcd's compare-and-swap mini-language.
+
+``Txn(compare).then(ops).otherwise(ops).commit()`` — the primitive every
+etcd-based lock/election recipe builds on.  The whole transaction runs
+under the store's write lock, so it is atomic with respect to every other
+reader and writer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .store import Store
+from .watch import Event, WatchHub
+
+
+class Compare:
+    """One guard clause: compare a key's value or mod revision."""
+
+    def __init__(self, key: str, op: str, target: str, value: Any):
+        if op not in ("==", "!=", ">", "<"):
+            raise ValueError(f"unsupported comparison {op!r}")
+        if target not in ("value", "mod_revision", "version"):
+            raise ValueError(f"unsupported target {target!r}")
+        self.key = key
+        self.op = op
+        self.target = target
+        self.value = value
+
+    def evaluate(self, store: Store) -> bool:
+        kv = store._data.get(self.key)  # caller holds the store lock
+        if self.target == "value":
+            actual = kv.value if kv else None
+        elif self.target == "mod_revision":
+            actual = kv.mod_revision if kv else 0
+        else:
+            actual = kv.version if kv else 0
+        if self.op == "==":
+            return actual == self.value
+        if self.op == "!=":
+            return actual != self.value
+        if actual is None:
+            return False
+        return actual > self.value if self.op == ">" else actual < self.value
+
+
+def value_equals(key: str, value: Any) -> Compare:
+    return Compare(key, "==", "value", value)
+
+
+def key_missing(key: str) -> Compare:
+    """True when the key does not exist (create-if-absent guards)."""
+    return Compare(key, "==", "version", 0)
+
+
+def mod_revision_equals(key: str, revision: int) -> Compare:
+    return Compare(key, "==", "mod_revision", revision)
+
+
+class Op:
+    """One effect: put or delete (get results come from the response)."""
+
+    def __init__(self, kind: str, key: str, value: Any = None):
+        if kind not in ("put", "delete", "get"):
+            raise ValueError(f"unsupported op {kind!r}")
+        self.kind = kind
+        self.key = key
+        self.value = value
+
+
+def put(key: str, value: Any) -> Op:
+    return Op("put", key, value)
+
+
+def delete(key: str) -> Op:
+    return Op("delete", key)
+
+
+def get(key: str) -> Op:
+    return Op("get", key)
+
+
+class TxnResponse:
+    """Transaction outcome: which branch ran and the get results."""
+
+    def __init__(self, succeeded: bool, results: List[Any], revision: int):
+        self.succeeded = succeeded
+        self.results = results
+        self.revision = revision
+
+
+class Txn:
+    """Builder for one atomic compare-then-else transaction."""
+
+    def __init__(self, store: Store, hub: Optional[WatchHub] = None):
+        self._store = store
+        self._hub = hub
+        self._compares: List[Compare] = []
+        self._then: List[Op] = []
+        self._otherwise: List[Op] = []
+        self._committed = False
+
+    def if_(self, *compares: Compare) -> "Txn":
+        self._compares.extend(compares)
+        return self
+
+    def then(self, *ops: Op) -> "Txn":
+        self._then.extend(ops)
+        return self
+
+    def otherwise(self, *ops: Op) -> "Txn":
+        self._otherwise.extend(ops)
+        return self
+
+    def commit(self) -> TxnResponse:
+        """Evaluate guards and apply one branch, atomically."""
+        if self._committed:
+            raise ValueError("transaction already committed")
+        self._committed = True
+        store = self._store
+        events: List[Event] = []
+        store.mu.lock()
+        try:
+            succeeded = all(c.evaluate(store) for c in self._compares)
+            ops = self._then if succeeded else self._otherwise
+            results: List[Any] = []
+            for op in ops:
+                if op.kind == "get":
+                    kv = store._data.get(op.key)
+                    results.append(kv.value if kv else None)
+                elif op.kind == "put":
+                    revision = store._revision.add(1)
+                    existing = store._data.get(op.key)
+                    if existing is None:
+                        from .store import KeyValue
+
+                        store._data[op.key] = KeyValue(op.key, op.value, revision)
+                    else:
+                        existing.update(op.value, revision)
+                    results.append(revision)
+                    events.append(Event("PUT", op.key, op.value, revision))
+                else:  # delete
+                    if op.key in store._data:
+                        revision = store._revision.add(1)
+                        del store._data[op.key]
+                        results.append(revision)
+                        events.append(Event("DELETE", op.key, None, revision))
+                    else:
+                        results.append(None)
+            revision = store._revision.load()
+        finally:
+            store.mu.unlock()
+        if self._hub is not None:
+            for event in events:
+                self._hub.broadcast(event)
+        return TxnResponse(succeeded, results, revision)

@@ -1,0 +1,92 @@
+"""minietcd watch hub: the channel fan-out that dominates etcd's
+message-passing usage (chan is 42.99% of etcd's primitives in Table 4).
+
+Every watcher owns a buffered event channel; the hub broadcasts store
+events with a non-blocking send so one slow watcher cannot stall the
+write path (slow watchers observe a ``compacted``-style gap instead,
+as real etcd does).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Event:
+    """A store mutation delivered to watchers."""
+
+    __slots__ = ("kind", "key", "value", "revision")
+
+    def __init__(self, kind: str, key: str, value: Any, revision: int):
+        self.kind = kind            # "PUT" | "DELETE"
+        self.key = key
+        self.value = value
+        self.revision = revision
+
+    def __repr__(self) -> str:
+        return f"<Event {self.kind} {self.key}@{self.revision}>"
+
+
+class Watcher:
+    """One subscription: a prefix filter plus a delivery channel."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, rt, prefix: str, buffer: int = 8):
+        self.id = next(Watcher._ids)
+        self.prefix = prefix
+        self.events = rt.make_chan(buffer, name=f"watch-{self.id}")
+        self.dropped = rt.atomic_int(0, name=f"watch-{self.id}.dropped")
+        self._cancelled = False
+
+    def matches(self, event: Event) -> bool:
+        return event.key.startswith(self.prefix)
+
+
+class WatchHub:
+    """Registry + broadcaster for watchers."""
+
+    def __init__(self, rt):
+        self._rt = rt
+        self.mu = rt.mutex("watchhub")
+        self._watchers: Dict[int, Watcher] = {}
+
+    def watch(self, prefix: str = "", buffer: int = 8) -> Watcher:
+        watcher = Watcher(self._rt, prefix, buffer)
+        with self.mu:
+            self._watchers[watcher.id] = watcher
+        return watcher
+
+    def cancel(self, watcher: Watcher) -> None:
+        """Unregister and close the watcher's channel (ends its range loop)."""
+        with self.mu:
+            removed = self._watchers.pop(watcher.id, None)
+        if removed is not None and not watcher._cancelled:
+            watcher._cancelled = True
+            watcher.events.close()
+
+    def broadcast(self, event: Event) -> int:
+        """Deliver to every matching watcher; returns the delivery count."""
+        with self.mu:
+            targets = [w for w in self._watchers.values() if w.matches(event)]
+        delivered = 0
+        for watcher in targets:
+            if watcher.events.try_send(event):
+                delivered += 1
+            else:
+                watcher.dropped.add(1)
+        return delivered
+
+    def active(self) -> int:
+        with self.mu:
+            return len(self._watchers)
+
+    def close_all(self) -> None:
+        with self.mu:
+            watchers = list(self._watchers.values())
+            self._watchers.clear()
+        for watcher in watchers:
+            if not watcher._cancelled:
+                watcher._cancelled = True
+                watcher.events.close()

@@ -1,0 +1,20 @@
+"""minigrpc — a scaled-down gRPC-Go, plus the gRPC-C style comparator."""
+
+from . import bench, cstyle
+from .client import Client, dial
+from .server import Server
+from .transport import Connection, Listener, Request, Response, RpcError, Status
+
+__all__ = [
+    "Client",
+    "Connection",
+    "Listener",
+    "Request",
+    "Response",
+    "RpcError",
+    "Server",
+    "Status",
+    "bench",
+    "cstyle",
+    "dial",
+]

@@ -1,0 +1,121 @@
+"""minigrpc benchmark workloads — the Table 3 drivers.
+
+Three workloads mirroring the gRPC performance benchmarks the paper runs
+(different message shapes, connection counts, sync vs. streaming), each
+available for the Go-style server and for the C-style fixed pool.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .client import dial
+from .cstyle import run_cstyle_workload
+from .server import Server
+from .transport import Listener
+
+
+#: Simulated per-request service time: handlers "work" on the virtual
+#: clock, so goroutine lifetimes are a small fraction of total runtime —
+#: the property Table 3 measures.
+SERVICE_TIME = 0.05
+
+
+def _echo_handlers(rt, server: Server) -> None:
+    def echo(payload):
+        rt.sleep(SERVICE_TIME)
+        return payload
+
+    def add(payload):
+        rt.sleep(SERVICE_TIME)
+        return sum(payload)
+
+    def counter(payload, send):
+        for i in range(payload):
+            rt.sleep(SERVICE_TIME / 5)
+            send(i)
+
+    server.register("echo", echo)
+    server.register("sum", add)
+    server.register_stream("count", counter)
+
+
+def ping_pong(rt, n_requests: int = 30):
+    """Sync unary ping-pong over one connection."""
+    listener = Listener(rt)
+    server = Server(rt, name="pingpong")
+    _echo_handlers(rt, server)
+    server.start(listener)
+    client = dial(rt, listener)
+    for i in range(n_requests):
+        assert client.call("echo", i) == i
+    client.close()
+    server.graceful_stop(listener)
+    return server.served
+
+
+def streaming(rt, n_streams: int = 6, n_messages: int = 15):
+    """Concurrent server-streaming calls, one goroutine per stream."""
+    listener = Listener(rt)
+    server = Server(rt, name="streaming")
+    _echo_handlers(rt, server)
+    server.start(listener)
+    done = rt.waitgroup("streams")
+    total = rt.atomic_int(0, name="frames")
+
+    def stream_client(index):
+        rt.sleep(0.4 * index)  # staggered arrivals, as in the benchmark mix
+        client = dial(rt, listener)
+        frames = client.collect_stream("count", n_messages)
+        assert frames == list(range(n_messages))
+        total.add(len(frames))
+        client.close()
+        done.done()
+
+    for s in range(n_streams):
+        done.add(1)
+        rt.go(stream_client, s, name=f"stream-{s}")
+    done.wait()
+    server.graceful_stop(listener)
+    return total.load()
+
+
+def multi_connection(rt, n_connections: int = 4, requests_each: int = 8):
+    """Several concurrent clients, each issuing unary calls."""
+    listener = Listener(rt)
+    server = Server(rt, name="multiconn")
+    _echo_handlers(rt, server)
+    server.start(listener)
+    done = rt.waitgroup("clients")
+
+    def client_loop(index):
+        rt.sleep(0.2 * index)  # staggered arrivals
+        client = dial(rt, listener)
+        for i in range(requests_each):
+            assert client.call("sum", [index, i]) == index + i
+        client.close()
+        done.done()
+
+    for c in range(n_connections):
+        done.add(1)
+        rt.go(client_loop, c, name=f"client-{c}")
+    done.wait()
+    server.graceful_stop(listener)
+    return server.served
+
+
+#: workload name -> (go_program(rt), c_program(rt)) pairs for Table 3.
+WORKLOADS: Dict[str, Dict[str, Callable]] = {
+    "ping-pong": {
+        "go": lambda rt: ping_pong(rt, 30),
+        "c": lambda rt: run_cstyle_workload(rt, 30),
+    },
+    "streaming": {
+        "go": lambda rt: streaming(rt, 6, 15),
+        "c": lambda rt: run_cstyle_workload(rt, 90),
+    },
+    "multi-connection": {
+        "go": lambda rt: multi_connection(rt, 4, 8),
+        "c": lambda rt: run_cstyle_workload(rt, 32),
+    },
+}

@@ -1,0 +1,77 @@
+"""minigrpc client: unary calls, streaming calls, deadlines."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+from ...chan.cases import recv
+from .transport import Connection, Listener, Request, Response, RpcError, Status
+
+
+class Client:
+    """A client bound to one connection."""
+
+    def __init__(self, rt, conn: Connection):
+        self._rt = rt
+        self.conn = conn
+        self._calls = rt.atomic_int(0, name="client.calls")
+
+    # ------------------------------------------------------------------
+    # Unary
+    # ------------------------------------------------------------------
+
+    def call(self, method: str, payload: Any = None,
+             timeout: Optional[float] = None) -> Any:
+        """Issue a unary RPC; raises :class:`RpcError` on failure.
+
+        With a ``timeout``, waits on the response *or* the deadline — the
+        library-safe version of Figure 1's pattern (the response channel
+        is buffered, so an abandoned handler never leaks).
+        """
+        request = Request(self._rt, method, payload)
+        self.conn.send_request(request)
+        self._calls.add(1)
+        if timeout is None:
+            response = request.response.recv()
+        else:
+            timer = self._rt.new_timer(timeout)
+            index, value, _ok = self._rt.select(
+                recv(request.response), recv(timer.c)
+            )
+            if index == 1:
+                raise RpcError(Status.CANCELLED, f"deadline {timeout}s exceeded")
+            timer.stop()
+            response = value
+        if not response.ok:
+            raise RpcError(response.code, str(response.payload))
+        return response.payload
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+
+    def stream(self, method: str, payload: Any = None) -> Iterator[Any]:
+        """Open a server-streaming RPC and iterate its frames."""
+        request = Request(self._rt, method, payload, streaming=True)
+        self.conn.send_request(request)
+        self._calls.add(1)
+        for frame in request.stream:
+            yield frame
+        response = request.response.recv()
+        if not response.ok:
+            raise RpcError(response.code, str(response.payload))
+
+    def collect_stream(self, method: str, payload: Any = None) -> List[Any]:
+        return list(self.stream(method, payload))
+
+    @property
+    def calls_issued(self) -> int:
+        return self._calls.load()
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def dial(rt, listener: Listener) -> Client:
+    """Connect a new client to a server's listener."""
+    return Client(rt, listener.dial())

@@ -1,0 +1,107 @@
+"""The gRPC-C comparator: a C-style fixed-thread-pool RPC server.
+
+The paper contrasts gRPC-Go with gRPC-C (Section 3): gRPC-C has five
+thread creation sites (0.03/KLOC), uses exactly one synchronization
+primitive kind (locks, in 746 places), and its threads run from program
+start to program end (100% normalized lifetime).  This module reproduces
+that *structure* on the same simulator so Table 3's ratios can be
+measured:
+
+* a fixed pool of worker threads created once at startup,
+* one lock-guarded work list polled by the pool (C completion-queue
+  style — no channels anywhere),
+* mutex-only synchronization, matching gRPC-C's single primitive kind.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+
+class CStyleServer:
+    """Fixed-pool server: all threads live for the whole program."""
+
+    POOL_SIZE = 4
+    POLL_INTERVAL = 0.01
+    SERVICE_TIME = 0.05
+
+    def __init__(self, rt, handlers: Optional[Dict[str, Callable]] = None):
+        self._rt = rt
+        self.handlers: Dict[str, Callable] = dict(handlers or {})
+        self.mu = rt.mutex("cstyle.cq")
+        self._work: List = []          # the completion-queue analogue
+        self._served = 0
+        self._shutdown = False
+        self._workers_started = False
+
+    def register(self, method: str, handler: Callable) -> None:
+        with self.mu:
+            self.handlers[method] = handler
+
+    def start(self) -> None:
+        """Spawn the fixed worker pool (the single creation site)."""
+        if self._workers_started:
+            return
+        self._workers_started = True
+        for i in range(self.POOL_SIZE):
+            self._rt.go(self._worker_loop, name=f"cq-worker-{i}")
+
+    def _worker_loop(self) -> None:
+        """Runs from startup to shutdown: 100% of program lifetime."""
+        while True:
+            self.mu.lock()
+            if self._shutdown and not self._work:
+                self.mu.unlock()
+                return
+            item = self._work.pop(0) if self._work else None
+            self.mu.unlock()
+            if item is None:
+                self._rt.sleep(self.POLL_INTERVAL)  # timed cq_next poll
+                continue
+            method, payload, reply = item
+            self._rt.sleep(self.SERVICE_TIME)
+            handler = self.handlers.get(method)
+            result = handler(payload) if handler else None
+            self.mu.lock()
+            self._served += 1
+            self.mu.unlock()
+            reply.append(result)
+
+    def submit(self, method: str, payload: Any) -> List[Any]:
+        """Enqueue a call; returns the (lock-published) reply slot."""
+        reply: List[Any] = []
+        self.mu.lock()
+        if self._shutdown:
+            self.mu.unlock()
+            raise RuntimeError("server shut down")
+        self._work.append((method, payload, reply))
+        self.mu.unlock()
+        return reply
+
+    def call_sync(self, method: str, payload: Any) -> Any:
+        """Blocking call: poll the reply slot like a C completion tag."""
+        reply = self.submit(method, payload)
+        while not reply:
+            self._rt.sleep(self.POLL_INTERVAL)
+        return reply[0]
+
+    @property
+    def served(self) -> int:
+        with self.mu:
+            return self._served
+
+    def shutdown(self) -> None:
+        with self.mu:
+            self._shutdown = True
+
+
+def run_cstyle_workload(rt, n_requests: int) -> int:
+    """The C-side benchmark driver used for Table 3's comparison."""
+    server = CStyleServer(rt, handlers={"echo": lambda p: p})
+    server.start()
+    for i in range(n_requests):
+        result = server.call_sync("echo", i)
+        assert result == i
+    served = server.served
+    server.shutdown()
+    return served

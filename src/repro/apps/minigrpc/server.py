@@ -1,0 +1,132 @@
+"""minigrpc server: goroutine-per-connection, goroutine-per-request.
+
+This is the structure Table 3 measures: every accepted connection gets a
+serving goroutine and every request gets a handler goroutine, so the
+goroutine population scales with load and each goroutine's lifetime is a
+small fraction of the program's (unlike the C-style fixed pool in
+:mod:`repro.apps.minigrpc.cstyle`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from .transport import Connection, Listener, Request, Response, Status
+
+Handler = Callable[..., Any]
+
+
+class Server:
+    """An RPC server dispatching registered handlers."""
+
+    def __init__(self, rt, name: str = "server"):
+        self._rt = rt
+        self.name = name
+        self._handlers: Dict[str, Handler] = {}
+        self._stream_handlers: Dict[str, Handler] = {}
+        self.mu = rt.mutex(f"{name}.state")
+        self.wg = rt.waitgroup(f"{name}.inflight")
+        self.start_once = rt.once(f"{name}.start")
+        self._served = rt.atomic_int(0, name=f"{name}.served")
+        self._errors = rt.atomic_int(0, name=f"{name}.errors")
+        self._stopping = rt.shared(f"{name}.stopping", False)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, method: str, handler: Handler) -> None:
+        """Register a unary handler: ``handler(payload) -> payload``."""
+        with self.mu:
+            self._handlers[method] = handler
+
+    def register_stream(self, method: str, handler: Handler) -> None:
+        """Register a streaming handler: ``handler(payload, send)``."""
+        with self.mu:
+            self._stream_handlers[method] = handler
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def serve(self, listener: Listener) -> None:
+        """Accept connections until the listener shuts down (blocking)."""
+        for conn in listener.accept_loop():
+            self.wg.add(1)
+
+            def serve_conn(conn=conn):
+                self._serve_connection(conn)
+                self.wg.done()
+
+            self._rt.go(serve_conn, name=f"{self.name}.conn")
+
+    def start(self, listener: Listener) -> None:
+        """Run :meth:`serve` in its own goroutine (idempotent)."""
+
+        def accept_loop():
+            self.serve(listener)
+
+        self.start_once.do(
+            lambda: self._rt.go(accept_loop, name=f"{self.name}.accept")
+        )
+
+    def _serve_connection(self, conn: Connection) -> None:
+        for request in conn.requests:
+            self.wg.add(1)
+
+            def handle(request=request):
+                self._dispatch(request)
+                conn.frame_done()  # return flow-control credit
+                self.wg.done()
+
+            self._rt.go(handle, name=f"{self.name}.handler")
+
+    def _dispatch(self, request: Request) -> None:
+        if request.streaming:
+            handler = self._stream_handlers.get(request.method)
+            if handler is None:
+                request.stream.close()
+                request.response.send(Response(Status.NOT_FOUND, request.method))
+                self._errors.add(1)
+                return
+            try:
+                handler(request.payload, request.stream.send)
+                request.stream.close()
+                request.response.send(Response(Status.OK))
+            except Exception as exc:  # handler bug -> INTERNAL, as in gRPC
+                request.stream.close()
+                request.response.send(Response(Status.INTERNAL, str(exc)))
+                self._errors.add(1)
+                return
+        else:
+            handler = self._handlers.get(request.method)
+            if handler is None:
+                request.response.send(Response(Status.NOT_FOUND, request.method))
+                self._errors.add(1)
+                return
+            try:
+                result = handler(request.payload)
+            except Exception as exc:
+                request.response.send(Response(Status.INTERNAL, str(exc)))
+                self._errors.add(1)
+                return
+            request.response.send(Response(Status.OK, result))
+        self._served.add(1)
+
+    # ------------------------------------------------------------------
+    # Introspection and shutdown
+    # ------------------------------------------------------------------
+
+    @property
+    def served(self) -> int:
+        return self._served.load()
+
+    @property
+    def errors(self) -> int:
+        return self._errors.load()
+
+    def graceful_stop(self, listener: Listener) -> None:
+        """Stop accepting and wait for in-flight work, like GracefulStop."""
+        self._stopping.store(True)
+        listener.shutdown()
+        self.wg.wait()

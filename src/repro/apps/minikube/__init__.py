@@ -1,0 +1,18 @@
+"""minikube — a scaled-down Kubernetes: API server, scheduler, controller."""
+
+from .apiserver import ApiServer
+from .controller import ReplicaSetController
+from .objects import Node, Pod, PodPhase, ReplicaSet
+from .queue import WorkQueue
+from .scheduler import Scheduler
+
+__all__ = [
+    "ApiServer",
+    "Node",
+    "Pod",
+    "PodPhase",
+    "ReplicaSet",
+    "ReplicaSetController",
+    "Scheduler",
+    "WorkQueue",
+]

@@ -1,0 +1,80 @@
+"""minikube replica-set controller: reconcile desired vs. actual pods."""
+
+from __future__ import annotations
+
+from ...chan.cases import recv
+from .apiserver import ApiServer
+from .objects import Pod, PodPhase, ReplicaSet
+from .queue import WorkQueue
+
+
+class ReplicaSetController:
+    """Level-triggered reconciler for ReplicaSet objects."""
+
+    def __init__(self, rt, api: ApiServer):
+        self._rt = rt
+        self.api = api
+        self.queue = WorkQueue(rt, name="rs-controller")
+        self._stop = rt.make_chan(0, name="rsc.stop")
+        self._created = rt.atomic_int(0, name="rsc.created")
+        self._deleted = rt.atomic_int(0, name="rsc.deleted")
+
+    def start(self, workers: int = 2) -> None:
+        # list+watch: register before returning so no event is missed.
+        events = self.api.watch()
+        self._rt.go(self._watch_loop, events, name="rsc.watch")
+        for i in range(workers):
+            self._rt.go(self._worker, name=f"rsc.worker-{i}")
+
+    def _watch_loop(self, events) -> None:
+        for rs in self.api.replicasets():  # initial list
+            self.queue.add(rs.name)
+        while True:
+            index, event, ok = self._rt.select(recv(self._stop), recv(events))
+            if index == 0 or not ok:
+                return
+            kind, name = event
+            if kind == "replicaset":
+                self.queue.add(name)
+            elif kind == "pod":
+                # Re-reconcile every owner whose pod changed.
+                for rs in self.api.replicasets():
+                    self.queue.add(rs.name)
+
+    def _worker(self) -> None:
+        while True:
+            name, shutdown = self.queue.get()
+            if shutdown:
+                return
+            self._reconcile(name)
+            self.queue.done(name)
+
+    def _reconcile(self, name: str) -> None:
+        rs = next((r for r in self.api.replicasets() if r.name == name), None)
+        if rs is None:
+            return
+        owned = self.api.pods(owner=name)
+        live = [p for p in owned if p.phase != PodPhase.FAILED]
+        diff = rs.replicas - len(live)
+        if diff > 0:
+            for i in range(diff):
+                pod = Pod(f"{name}-{len(owned) + i}", owner=name,
+                          cpu=rs.cpu_per_pod)
+                self.api.create_pod(pod)
+                self._created.add(1)
+        elif diff < 0:
+            for pod in sorted(live, key=lambda p: p.uid, reverse=True)[: -diff]:
+                self.api.delete_pod(pod.uid)
+                self._deleted.add(1)
+
+    def stop(self) -> None:
+        self._stop.close()
+        self.queue.shutdown()
+
+    @property
+    def created(self) -> int:
+        return self._created.load()
+
+    @property
+    def deleted(self) -> int:
+        return self._deleted.load()

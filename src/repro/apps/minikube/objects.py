@@ -1,0 +1,49 @@
+"""minikube API objects: pods, nodes, replica sets (plain data)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+
+class PodPhase:
+    PENDING = "Pending"
+    SCHEDULED = "Scheduled"
+    RUNNING = "Running"
+    FAILED = "Failed"
+
+
+class Pod:
+    _ids = itertools.count(1)
+
+    def __init__(self, name: str, owner: Optional[str] = None, cpu: int = 1):
+        self.uid = f"pod-{next(Pod._ids):04d}"
+        self.name = name
+        self.owner = owner          # replica set name
+        self.cpu = cpu
+        self.phase = PodPhase.PENDING
+        self.node: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"<Pod {self.name} {self.phase} on={self.node}>"
+
+
+class Node:
+    def __init__(self, name: str, capacity: int = 4):
+        self.name = name
+        self.capacity = capacity
+        self.allocated = 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.allocated
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name} {self.allocated}/{self.capacity}>"
+
+
+class ReplicaSet:
+    def __init__(self, name: str, replicas: int, cpu_per_pod: int = 1):
+        self.name = name
+        self.replicas = replicas
+        self.cpu_per_pod = cpu_per_pod

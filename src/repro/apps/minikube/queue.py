@@ -1,0 +1,88 @@
+"""minikube work queue: the Cond-based rate-limited queue every Kubernetes
+controller drains (client-go's ``workqueue``, scaled down).
+
+Deduplicating add, blocking get via ``sync.Cond``, and a shutdown
+broadcast — the canonical Cond usage profile behind Kubernetes' Table 4
+numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Set, Tuple
+
+
+class WorkQueue:
+    """Deduplicating FIFO with Cond-blocking Get and shutdown."""
+
+    def __init__(self, rt, name: str = "workqueue"):
+        self._rt = rt
+        self.name = name
+        self.mu = rt.mutex(f"{name}.mu")
+        self.cond = rt.cond(self.mu, f"{name}.cond")
+        self._queue: List[Any] = []
+        self._dirty: Set[Any] = set()
+        self._processing: Set[Any] = set()
+        self._shutting_down = False
+        self._adds = rt.atomic_int(0, name=f"{name}.adds")
+
+    def add(self, item: Any) -> None:
+        """Enqueue (dedup against pending and re-queue after processing)."""
+        self.mu.lock()
+        try:
+            if self._shutting_down:
+                return
+            self._adds.add(1)
+            if item in self._dirty:
+                return
+            self._dirty.add(item)
+            if item in self._processing:
+                return  # re-queued when processing finishes
+            self._queue.append(item)
+            self.cond.signal()
+        finally:
+            self.mu.unlock()
+
+    def get(self) -> Tuple[Optional[Any], bool]:
+        """Block for the next item; ``(None, True)`` once shut down."""
+        self.mu.lock()
+        try:
+            while not self._queue and not self._shutting_down:
+                self.cond.wait()
+            if not self._queue:
+                return None, True
+            item = self._queue.pop(0)
+            self._dirty.discard(item)
+            self._processing.add(item)
+            return item, False
+        finally:
+            self.mu.unlock()
+
+    def done(self, item: Any) -> None:
+        """Mark processing finished; re-queue if it went dirty meanwhile."""
+        self.mu.lock()
+        try:
+            self._processing.discard(item)
+            if item in self._dirty:
+                self._queue.append(item)
+                self.cond.signal()
+        finally:
+            self.mu.unlock()
+
+    def shutdown(self) -> None:
+        self.mu.lock()
+        try:
+            self._shutting_down = True
+            self.cond.broadcast()
+        finally:
+            self.mu.unlock()
+
+    def __len__(self) -> int:
+        self.mu.lock()
+        try:
+            return len(self._queue)
+        finally:
+            self.mu.unlock()
+
+    @property
+    def adds(self) -> int:
+        return self._adds.load()

@@ -1,0 +1,87 @@
+"""minikube scheduler: binds pending pods to nodes from a watch-fed queue."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...chan.cases import recv
+from .apiserver import ApiServer
+from .objects import Node, Pod, PodPhase
+from .queue import WorkQueue
+
+
+class Scheduler:
+    """Watches for pending pods and binds them to the emptiest node."""
+
+    def __init__(self, rt, api: ApiServer):
+        self._rt = rt
+        self.api = api
+        self.queue = WorkQueue(rt, name="scheduler")
+        self.cache_mu = rt.mutex("scheduler.cache")
+        self._stop = rt.make_chan(0, name="scheduler.stop")
+        self._bound = rt.atomic_int(0, name="scheduler.bound")
+        self._unschedulable = rt.atomic_int(0, name="scheduler.unschedulable")
+
+    def start(self) -> None:
+        # Register the watch *before* returning (list+watch discipline):
+        # events published between start() and the loop's first receive
+        # must not be lost.
+        events = self.api.watch()
+        self._rt.go(self._watch_loop, events, name="scheduler.watch")
+        self._rt.go(self._bind_loop, name="scheduler.bind")
+
+    def _watch_loop(self, events) -> None:
+        # Initial list: pick up pods that predate the watch.
+        for pod in self.api.pods(phase=PodPhase.PENDING):
+            self.queue.add(pod.uid)
+        while True:
+            index, event, ok = self._rt.select(recv(self._stop), recv(events))
+            if index == 0 or not ok:
+                return
+            kind, _name = event
+            if kind in ("pod", "node"):
+                for pod in self.api.pods(phase=PodPhase.PENDING):
+                    self.queue.add(pod.uid)
+
+    def _bind_loop(self) -> None:
+        while True:
+            uid, shutdown = self.queue.get()
+            if shutdown:
+                return
+            self._schedule_one(uid)
+            self.queue.done(uid)
+
+    def _schedule_one(self, uid: str) -> None:
+        pods = {p.uid: p for p in self.api.pods()}
+        pod = pods.get(uid)
+        if pod is None or pod.phase != PodPhase.PENDING:
+            return
+        node = self._pick_node(pod)
+        if node is None:
+            self._unschedulable.add(1)
+            return
+        with self.cache_mu:
+            node.allocated += pod.cpu
+        pod.node = node.name
+        pod.phase = PodPhase.SCHEDULED
+        self.api.update_pod(pod)
+        self._bound.add(1)
+
+    def _pick_node(self, pod: Pod) -> Optional[Node]:
+        with self.cache_mu:
+            candidates = [n for n in self.api.nodes() if n.free >= pod.cpu]
+            if not candidates:
+                return None
+            return max(candidates, key=lambda n: (n.free, n.name))
+
+    def stop(self) -> None:
+        self._stop.close()
+        self.queue.shutdown()
+
+    @property
+    def bound(self) -> int:
+        return self._bound.load()
+
+    @property
+    def unschedulable(self) -> int:
+        return self._unschedulable.load()

@@ -1,0 +1,17 @@
+"""miniroach — a scaled-down CockroachDB: MVCC, transactions, raft-lite."""
+
+from .mvcc import MVCCStore, Version, WriteConflict
+from .raftlite import Follower, Proposal, RaftGroup
+from .txn import Transaction, TxnCoordinator, TxnStatus
+
+__all__ = [
+    "Follower",
+    "MVCCStore",
+    "Proposal",
+    "RaftGroup",
+    "Transaction",
+    "TxnCoordinator",
+    "TxnStatus",
+    "Version",
+    "WriteConflict",
+]

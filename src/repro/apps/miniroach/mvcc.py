@@ -1,0 +1,176 @@
+"""miniroach MVCC layer: multi-version keys with timestamp reads.
+
+Versions accumulate per key; reads at a timestamp see the newest version
+at or below it.  Write intents (uncommitted versions owned by a
+transaction) block conflicting writers, CockroachDB-style.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Version:
+    __slots__ = ("timestamp", "value", "txn_id")
+
+    def __init__(self, timestamp: float, value: Any, txn_id: Optional[int] = None):
+        self.timestamp = timestamp
+        self.value = value
+        self.txn_id = txn_id  # non-None => uncommitted intent
+
+    @property
+    def is_intent(self) -> bool:
+        return self.txn_id is not None
+
+
+class WriteConflict(Exception):
+    """A write ran into another transaction's intent."""
+
+
+class MVCCStore:
+    """RWMutex-guarded multi-version map."""
+
+    def __init__(self, rt):
+        self._rt = rt
+        self.mu = rt.rwmutex("mvcc")
+        self._versions: Dict[str, List[Version]] = {}
+        self._hlc = rt.atomic_int(0, name="mvcc.hlc")  # hybrid logical clock
+
+    def now(self) -> float:
+        """Next HLC timestamp (monotonic, unique)."""
+        return float(self._hlc.add(1))
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, key: str, timestamp: Optional[float] = None,
+            txn_id: Optional[int] = None) -> Optional[Any]:
+        """Read the newest visible version at ``timestamp``."""
+        self.mu.rlock()
+        try:
+            versions = self._versions.get(key, [])
+            for version in reversed(versions):
+                if version.is_intent:
+                    if version.txn_id == txn_id:
+                        return version.value  # own intents always visible
+                    continue  # other txns' intents are invisible
+                if timestamp is not None and version.timestamp > timestamp:
+                    continue
+                return version.value
+            return None
+        finally:
+            self.mu.runlock()
+
+    def scan(self, prefix: str, timestamp: Optional[float] = None
+             ) -> List[Tuple[str, Any]]:
+        self.mu.rlock()
+        try:
+            keys = [k for k in sorted(self._versions) if k.startswith(prefix)]
+        finally:
+            self.mu.runlock()
+        out = []
+        for key in keys:
+            value = self.get(key, timestamp)
+            if value is not None:
+                out.append((key, value))
+        return out
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def put_intent(self, key: str, value: Any, txn_id: int) -> float:
+        """Lay a write intent; conflicts with other txns' intents."""
+        self.mu.lock()
+        try:
+            versions = self._versions.setdefault(key, [])
+            for version in versions:
+                if version.is_intent and version.txn_id != txn_id:
+                    raise WriteConflict(f"{key}: intent held by txn {version.txn_id}")
+            timestamp = float(self._hlc.add(1))
+            versions.append(Version(timestamp, value, txn_id))
+            return timestamp
+        finally:
+            self.mu.unlock()
+
+    def commit_transaction(self, txn_id: int, read_keys: "List[str]",
+                           read_timestamp: float) -> int:
+        """Validate the read set and commit intents atomically.
+
+        Serializability check: if any key the transaction read gained a
+        newer *committed* version after the transaction's read timestamp,
+        the commit fails with :class:`WriteConflict` (and the coordinator
+        retries) — CockroachDB's read-refresh failure, scaled down.
+        """
+        self.mu.lock()
+        try:
+            for key in read_keys:
+                for version in reversed(self._versions.get(key, [])):
+                    if version.is_intent:
+                        continue
+                    if version.timestamp > read_timestamp:
+                        raise WriteConflict(
+                            f"{key}: committed write at {version.timestamp} "
+                            f"after read timestamp {read_timestamp}"
+                        )
+                    break  # newest committed version is old enough
+            committed = 0
+            for key, versions in list(self._versions.items()):
+                for version in versions:
+                    if version.txn_id == txn_id:
+                        version.txn_id = None
+                        version.timestamp = float(self._hlc.add(1))
+                        committed += 1
+            return committed
+        finally:
+            self.mu.unlock()
+
+    def resolve_intents(self, txn_id: int, commit: bool) -> int:
+        """Commit (strip ownership) or abort (remove) a txn's intents."""
+        self.mu.lock()
+        try:
+            touched = 0
+            for key, versions in list(self._versions.items()):
+                kept: List[Version] = []
+                for version in versions:
+                    if version.txn_id == txn_id:
+                        touched += 1
+                        if commit:
+                            version.txn_id = None
+                            kept.append(version)
+                    else:
+                        kept.append(version)
+                if kept:
+                    self._versions[key] = kept
+                else:
+                    del self._versions[key]
+            return touched
+        finally:
+            self.mu.unlock()
+
+    def put(self, key: str, value: Any) -> float:
+        """Non-transactional write (a committed single version)."""
+        self.mu.lock()
+        try:
+            timestamp = float(self._hlc.add(1))
+            self._versions.setdefault(key, []).append(Version(timestamp, value))
+            return timestamp
+        finally:
+            self.mu.unlock()
+
+    def garbage_collect(self, keep: int = 3) -> int:
+        """Trim old committed versions per key; returns trimmed count."""
+        self.mu.lock()
+        try:
+            trimmed = 0
+            for key, versions in self._versions.items():
+                committed = [v for v in versions if not v.is_intent]
+                intents = [v for v in versions if v.is_intent]
+                if len(committed) > keep:
+                    trimmed += len(committed) - keep
+                    committed = committed[-keep:]
+                self._versions[key] = committed + intents
+            return trimmed
+        finally:
+            self.mu.unlock()

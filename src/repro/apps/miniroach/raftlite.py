@@ -1,0 +1,134 @@
+"""miniroach raft-lite: single-range replication over channels.
+
+A deliberately small replication layer: a leader goroutine serializes
+proposals from a channel, appends them to its log, fans them out to
+follower goroutines over per-follower channels, and acknowledges once a
+quorum applied.  Heartbeats ride a ticker.  This is where CockroachDB's
+channel-heavy concurrency lives in our corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ...chan.cases import recv
+
+
+class Proposal:
+    __slots__ = ("command", "done")
+
+    def __init__(self, rt, command: Any):
+        self.command = command
+        self.done = rt.make_chan(1, name="proposal.done")
+
+
+class Follower:
+    """A follower replica applying entries from its stream."""
+
+    def __init__(self, rt, name: str, apply_fn: Optional[Callable] = None):
+        self._rt = rt
+        self.name = name
+        self.entries = rt.make_chan(16, name=f"{name}.entries")
+        self.acks = rt.make_chan(16, name=f"{name}.acks")
+        self.log: List[Any] = []
+        self._apply_fn = apply_fn
+
+    def run(self) -> None:
+        for index, command in self.entries:
+            self.log.append(command)
+            if self._apply_fn is not None:
+                self._apply_fn(command)
+            self.acks.send(index)
+
+
+class RaftGroup:
+    """Leader + followers for one range."""
+
+    def __init__(self, rt, n_followers: int = 2,
+                 apply_fn: Optional[Callable] = None,
+                 heartbeat_interval: float = 1.0):
+        self._rt = rt
+        self.proposals = rt.make_chan(8, name="raft.proposals")
+        self.followers = [
+            Follower(rt, f"follower-{i}", apply_fn) for i in range(n_followers)
+        ]
+        self.log: List[Any] = []
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeats = rt.atomic_int(0, name="raft.heartbeats")
+        self.committed = rt.atomic_int(0, name="raft.committed")
+        self._stop = rt.make_chan(0, name="raft.stop")
+        self._apply_fn = apply_fn
+        # Leader state (term, commit index) read by status RPCs while the
+        # leader loop mutates it: classic mutex-guarded bookkeeping.
+        self.mu = rt.mutex("raft.status")
+        self._term = 1
+        self._commit_index = 0
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        for follower in self.followers:
+            def replica_loop(follower=follower):
+                follower.run()
+
+            self._rt.go(replica_loop, name=follower.name)
+
+        def leader_loop():
+            self._leader_loop()
+
+        self._rt.go(leader_loop, name="raft.leader")
+
+    def _leader_loop(self) -> None:
+        ticker = self._rt.new_ticker(self.heartbeat_interval)
+        while True:
+            index, value, ok = self._rt.select(
+                recv(self._stop), recv(self.proposals), recv(ticker.c)
+            )
+            if index == 0:
+                ticker.stop()
+                for follower in self.followers:
+                    follower.entries.close()
+                return
+            if index == 2:
+                self.heartbeats.add(1)
+                continue
+            if not ok:
+                continue
+            self._replicate(value)
+
+    def _replicate(self, proposal: Proposal) -> None:
+        self.log.append(proposal.command)
+        entry_index = len(self.log)
+        if self._apply_fn is not None:
+            self._apply_fn(proposal.command)
+        for follower in self.followers:
+            follower.entries.send((entry_index, proposal.command))
+        quorum = (len(self.followers) + 1) // 2 + 1
+        acked = 1  # the leader itself
+        while acked < quorum:
+            cases = [recv(f.acks) for f in self.followers]
+            _i, _v, _ok = self._rt.select(*cases)
+            acked += 1
+        self.committed.add(1)
+        with self.mu:
+            self._commit_index = entry_index
+        proposal.done.send(entry_index)
+
+    # ------------------------------------------------------------------
+
+    def propose(self, command: Any) -> int:
+        """Submit a command; blocks until a quorum committed it."""
+        proposal = Proposal(self._rt, command)
+        self.proposals.send(proposal)
+        return proposal.done.recv()
+
+    def stop(self) -> None:
+        self._stop.close()
+
+    def status(self):
+        """Leader status snapshot, like a /_status RPC."""
+        with self.mu:
+            return {"term": self._term, "commit_index": self._commit_index}
+
+    def replicated_everywhere(self, min_entries: int) -> bool:
+        return all(len(f.log) >= min_entries for f in self.followers)

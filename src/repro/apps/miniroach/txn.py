@@ -1,0 +1,92 @@
+"""miniroach transactions: intents, commit/abort, automatic retry."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from .mvcc import MVCCStore, WriteConflict
+
+
+class TxnStatus:
+    PENDING = "pending"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One transaction coordinated against the MVCC store."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, rt, store: MVCCStore):
+        self._rt = rt
+        self.id = next(Transaction._ids)
+        self.store = store
+        self.read_timestamp = store.now()
+        self.status = TxnStatus.PENDING
+        self._writes: List[str] = []
+        self._reads: List[str] = []
+
+    def get(self, key: str) -> Optional[Any]:
+        self._check_pending()
+        if key not in self._reads:
+            self._reads.append(key)
+        return self.store.get(key, self.read_timestamp, txn_id=self.id)
+
+    def put(self, key: str, value: Any) -> None:
+        self._check_pending()
+        self.store.put_intent(key, value, self.id)
+        self._writes.append(key)
+
+    def commit(self) -> None:
+        """Validate reads and commit; raises WriteConflict on staleness."""
+        self._check_pending()
+        try:
+            self.store.commit_transaction(self.id, self._reads,
+                                          self.read_timestamp)
+        except WriteConflict:
+            self.abort()
+            raise
+        self.status = TxnStatus.COMMITTED
+
+    def abort(self) -> None:
+        if self.status == TxnStatus.PENDING:
+            self.store.resolve_intents(self.id, commit=False)
+            self.status = TxnStatus.ABORTED
+
+    def _check_pending(self) -> None:
+        if self.status != TxnStatus.PENDING:
+            raise ValueError(f"txn {self.id} is {self.status}")
+
+
+class TxnCoordinator:
+    """Runs closures transactionally with bounded conflict retries."""
+
+    def __init__(self, rt, store: MVCCStore, max_retries: int = 8,
+                 backoff: float = 0.05):
+        self._rt = rt
+        self.store = store
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.retries = rt.atomic_int(0, name="txn.retries")
+        self.commits = rt.atomic_int(0, name="txn.commits")
+        self.aborts = rt.atomic_int(0, name="txn.aborts")
+
+    def run(self, fn: Callable[[Transaction], Any]) -> Any:
+        """Execute ``fn(txn)``, retrying on write conflicts."""
+        last_error: Optional[Exception] = None
+        for attempt in range(self.max_retries):
+            txn = Transaction(self._rt, self.store)
+            try:
+                result = fn(txn)
+                txn.commit()
+                self.commits.add(1)
+                return result
+            except WriteConflict as exc:
+                txn.abort()
+                self.aborts.add(1)
+                self.retries.add(1)
+                last_error = exc
+                self._rt.sleep(self.backoff * (attempt + 1))
+        raise last_error  # type: ignore[misc]

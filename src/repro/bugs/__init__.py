@@ -1,0 +1,27 @@
+"""The executable bug-kernel corpus.
+
+Importing this package loads every kernel module, populating the registry
+(:mod:`repro.bugs.registry`).  Query the corpus via::
+
+    from repro.bugs import registry
+    for kernel in registry.blocking_kernels():
+        result = kernel.run_buggy(seed=0)
+        assert kernel.manifested(result)
+"""
+
+from . import registry
+from .meta import BugKernel, KernelMeta
+
+_LOADED = False
+
+
+def _load_all() -> None:
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from . import blocking  # noqa: F401
+    from . import nonblocking  # noqa: F401
+
+
+__all__ = ["BugKernel", "KernelMeta", "registry"]

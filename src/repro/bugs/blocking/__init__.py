@@ -1,0 +1,3 @@
+"""Blocking bug kernels, one module per Table 6 root-cause category."""
+
+from . import chan_mixed, channel, msglib, mutex, rwmutex, wait  # noqa: F401

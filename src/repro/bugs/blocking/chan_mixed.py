@@ -1,0 +1,198 @@
+"""Blocking kernels: channel operations entangled with other primitives
+(Table 6 "Chan w/", 16/85 bugs).
+
+Includes Figure 7 (channel send under a mutex vs. a lock waiter) and the
+global-deadlock variant standing in for BoltDB#240 — the second of the two
+bugs Go's built-in detector catches in Table 8.
+"""
+
+from __future__ import annotations
+
+from ...chan.cases import recv, send
+from ...dataset.records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    FixPrimitive,
+    FixStrategy,
+)
+from ..common import background_activity
+from ..meta import BugKernel, KernelMeta
+from ..registry import register
+
+
+@register
+class DockerChanUnderLock(BugKernel):
+    """Figure 7: goroutine1 blocks sending while holding the mutex
+    goroutine2 needs before it can ever receive."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-chanmix-docker-send-under-lock",
+        title="Docker: channel send inside a critical section",
+        app=App.DOCKER,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.CHAN_WITH_OTHER,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL,),
+        symptom="leak",
+        description=(
+            "goroutine1 holds m and blocks on ch <- request; goroutine2 "
+            "blocks on m.Lock() before it would drain ch.  The committed "
+            "fix wraps the send in a select with a default branch so it "
+            "never blocks."
+        ),
+        figure="7",
+        bug_url="pattern: moby/moby Figure 7",
+    )
+
+    @staticmethod
+    def _program(rt, select_with_default: bool):
+        mu = rt.mutex("state")
+        ch = rt.make_chan(0, name="requests")
+        handled = rt.shared("handled", 0)
+
+        def goroutine1():
+            mu.lock()
+            if select_with_default:
+                rt.select(send(ch, "request"), default=True)
+            else:
+                ch.send("request")  # BUG: blocks holding mu
+            mu.unlock()
+
+        def goroutine2():
+            rt.sleep(0.2)
+            mu.lock()  # blocked by goroutine1
+            mu.unlock()
+            _value, _ok, received = ch.try_recv()
+            if received:
+                handled.add(1)
+
+        rt.go(goroutine1, name="goroutine1")
+        rt.go(goroutine2, name="goroutine2")
+        rt.sleep(5.0)
+        return handled.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return DockerChanUnderLock._program(rt, select_with_default=False)
+
+    @staticmethod
+    def fixed(rt):
+        return DockerChanUnderLock._program(rt, select_with_default=True)
+
+
+@register
+class BoltDB240GlobalChanLock(BugKernel):
+    """BoltDB#240 stand-in: main receives while holding the lock the only
+    sender needs — every goroutine asleep, the built-in detector fires."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-chanmix-boltdb-240",
+        title="BoltDB#240: recv under the lock the sender needs",
+        app=App.BOLTDB,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.CHAN_WITH_OTHER,
+        fix_strategy=FixStrategy.MOVE_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX, FixPrimitive.CHANNEL),
+        symptom="deadlock",
+        description=(
+            "The embedded store's Close() holds db.mu while waiting for the "
+            "writer goroutine's completion message, but the writer needs "
+            "db.mu to finish.  BoltDB is a library: nothing else runs, so "
+            "this is a true global deadlock — one of the two Table 8 "
+            "detections.  The fix releases the lock before receiving."
+        ),
+        bug_url="boltdb/bolt#240",
+    )
+
+    @staticmethod
+    def _program(rt, unlock_before_recv: bool):
+        mu = rt.mutex("db")
+        done = rt.make_chan(0, name="writer.done")
+
+        def writer():
+            rt.sleep(0.1)  # finishes its batch first
+            mu.lock()  # needs the lock Close() is holding
+            mu.unlock()
+            done.send("flushed")
+
+        rt.go(writer, name="tx-writer")
+        mu.lock()
+        if unlock_before_recv:
+            mu.unlock()
+            result = done.recv()
+        else:
+            result = done.recv()  # BUG: blocks holding mu; writer stuck too
+            mu.unlock()
+        return result
+
+    @staticmethod
+    def buggy(rt):
+        return BoltDB240GlobalChanLock._program(rt, unlock_before_recv=False)
+
+    @staticmethod
+    def fixed(rt):
+        return BoltDB240GlobalChanLock._program(rt, unlock_before_recv=True)
+
+
+@register
+class KubernetesWaitBeforeDrain(BugKernel):
+    """wg.Wait() runs before the channel the workers send to is drained."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-chanmix-kubernetes-wait-before-drain",
+        title="Kubernetes: Wait() ordered before the channel drain",
+        app=App.KUBERNETES,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.CHAN_WITH_OTHER,
+        fix_strategy=FixStrategy.MOVE_SYNC,
+        fix_primitives=(FixPrimitive.WAITGROUP, FixPrimitive.CHANNEL),
+        symptom="leak",
+        description=(
+            "Fan-out workers send results on an unbuffered channel and then "
+            "call Done(); the collector calls wg.Wait() before receiving, "
+            "so workers block on their sends and Wait never returns while "
+            "the controller keeps running.  The fix drains in a goroutine "
+            "started before Wait (equivalently: moves Wait after the "
+            "drain)."
+        ),
+        bug_url="pattern: kubernetes/kubernetes fan-out wait-before-drain",
+    )
+    run_kwargs = {"time_limit": 10.0}
+
+    @staticmethod
+    def _program(rt, drain_concurrently: bool):
+        background_activity(rt)
+        wg = rt.waitgroup("workers")
+        results = rt.make_chan(0, name="results")
+        collected = rt.shared("collected", 0)
+        n = 3
+
+        def worker(i):
+            results.send(i)  # BUG: blocks until someone receives
+            wg.done()
+
+        for i in range(n):
+            wg.add(1)
+            rt.go(worker, i, name=f"worker-{i}")
+
+        def drain():
+            for _ in range(n):
+                results.recv()
+                collected.add(1)
+
+        if drain_concurrently:
+            rt.go(drain, name="drain")
+            wg.wait()
+        else:
+            wg.wait()  # BUG: workers are stuck sending
+            drain()
+        return collected.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return KubernetesWaitBeforeDrain._program(rt, drain_concurrently=False)
+
+    @staticmethod
+    def fixed(rt):
+        return KubernetesWaitBeforeDrain._program(rt, drain_concurrently=True)

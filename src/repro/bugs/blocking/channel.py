@@ -1,0 +1,329 @@
+"""Blocking kernels: channel misuse (Table 6, 29/85 bugs — the largest
+message-passing category).
+
+Includes Figure 1 (the Kubernetes finishReq leak) verbatim, with both of
+its manifestation modes: the timeout firing first, and select choosing the
+timeout when both cases are ready.
+"""
+
+from __future__ import annotations
+
+from ...chan.cases import recv
+from ...dataset.records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    FixPrimitive,
+    FixStrategy,
+)
+from ..common import background_activity
+from ..meta import BugKernel, KernelMeta
+from ..registry import register
+
+
+@register
+class Kubernetes5316FinishReq(BugKernel):
+    """Figure 1: child sends the result on an unbuffered channel; the parent
+    may return on timeout, leaving the child blocked forever."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-chan-kubernetes-5316",
+        title="Kubernetes#5316: finishReq timeout leaks the worker",
+        app=App.KUBERNETES,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.CHAN,
+        fix_strategy=FixStrategy.CHANGE_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL,),
+        symptom="leak",
+        description=(
+            "finishReq spawns an anonymous goroutine that sends fn()'s "
+            "result into ch.  If the parent's select takes the time.After "
+            "case, nobody ever receives and the child blocks on the send "
+            "forever.  The fix makes ch buffered with capacity 1."
+        ),
+        figure="1",
+        bug_url="kubernetes/kubernetes#5316",
+        deterministic=False,
+    )
+
+    #: fn() runs this long; the parent also does post-processing before its
+    #: select, so by selection time both the result and the timeout can be
+    #: ready — Go picks randomly.
+    FN_DURATION = 0.5
+    TIMEOUT = 1.0
+    PARENT_EXTRA_WORK = 1.5
+
+    @staticmethod
+    def _finish_req(rt, capacity: int):
+        ch = rt.make_chan(capacity, name="result")
+
+        def handler():
+            rt.sleep(Kubernetes5316FinishReq.FN_DURATION)  # fn()
+            ch.send("response")
+
+        rt.go(handler, name="request-handler")
+        timer = rt.new_timer(Kubernetes5316FinishReq.TIMEOUT)
+        rt.sleep(Kubernetes5316FinishReq.PARENT_EXTRA_WORK)
+        index, value, _ok = rt.select(recv(ch), recv(timer.c))
+        if index == 0:
+            return value
+        return "timeout"
+
+    @staticmethod
+    def buggy(rt):
+        return Kubernetes5316FinishReq._finish_req(rt, capacity=0)
+
+    @staticmethod
+    def fixed(rt):
+        return Kubernetes5316FinishReq._finish_req(rt, capacity=1)
+
+
+@register
+class DockerMissingCloseRange(BugKernel):
+    """A producer finishes without closing; the range consumer never ends."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-chan-docker-missing-close",
+        title="Docker: producer returns without close(ch)",
+        app=App.DOCKER,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.CHAN,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL,),
+        symptom="leak",
+        description=(
+            "The log streamer ranges over the message channel; the producer "
+            "sends its batch and returns without close(ch), so the consumer "
+            "blocks on the next receive forever."
+        ),
+        bug_url="pattern: moby/moby log follower leak",
+    )
+
+    @staticmethod
+    def _program(rt, close_when_done: bool):
+        ch = rt.make_chan(0, name="loglines")
+        delivered = rt.shared("delivered", 0)
+
+        def producer():
+            for line in ("l1", "l2", "l3"):
+                ch.send(line)
+            if close_when_done:
+                ch.close()
+
+        def consumer():
+            for _line in ch:  # `for line := range ch`
+                delivered.add(1)
+
+        rt.go(producer, name="producer")
+        rt.go(consumer, name="consumer")
+        rt.sleep(5.0)
+        return delivered.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return DockerMissingCloseRange._program(rt, close_when_done=False)
+
+    @staticmethod
+    def fixed(rt):
+        return DockerMissingCloseRange._program(rt, close_when_done=True)
+
+
+@register
+class EtcdNoSenderOnErrorPath(BugKernel):
+    """An error path skips the send the receiver is waiting for."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-chan-etcd-error-path-no-send",
+        title="etcd: error return skips the result send",
+        app=App.ETCD,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.CHAN,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL,),
+        symptom="leak",
+        description=(
+            "The snapshot sender writes its status into a channel the "
+            "raft loop receives from — but on marshal errors it returns "
+            "early, so the raft loop waits forever while the node keeps "
+            "heartbeating."
+        ),
+        bug_url="pattern: etcd-io/etcd snapshot status leak",
+    )
+    run_kwargs = {"time_limit": 10.0}
+
+    @staticmethod
+    def _program(rt, send_on_error: bool):
+        background_activity(rt)
+        status_ch = rt.make_chan(0, name="snap.status")
+
+        def send_snapshot(payload):
+            if payload is None:  # marshal error
+                if send_on_error:
+                    status_ch.send("failed")
+                return
+            status_ch.send("ok")
+
+        rt.go(send_snapshot, None, name="snapshot-sender")
+        return status_ch.recv()  # BUG: blocks forever on the error path
+
+    @staticmethod
+    def buggy(rt):
+        return EtcdNoSenderOnErrorPath._program(rt, send_on_error=False)
+
+    @staticmethod
+    def fixed(rt):
+        return EtcdNoSenderOnErrorPath._program(rt, send_on_error=True)
+
+
+@register
+class GrpcDoubleReceive(BugKernel):
+    """Two receives race for one message; the loser blocks forever."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-chan-grpc-double-recv",
+        title="gRPC: one signal consumed by two receivers",
+        app=App.GRPC,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.CHAN,
+        fix_strategy=FixStrategy.CHANGE_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL,),
+        symptom="leak",
+        description=(
+            "Two teardown paths both receive from the per-stream done "
+            "channel, but the sender signals once; whichever path loses the "
+            "race leaks.  The fix closes the channel instead of sending "
+            "(close is a broadcast)."
+        ),
+        bug_url="pattern: grpc/grpc-go stream teardown double-recv",
+    )
+
+    @staticmethod
+    def _program(rt, close_instead_of_send: bool):
+        done = rt.make_chan(0, name="stream.done")
+        observed = rt.shared("teardowns", 0)
+
+        def teardown(path):
+            done.recv_ok()
+            observed.add(1)
+
+        rt.go(teardown, "reader", name="teardown-reader")
+        rt.go(teardown, "writer", name="teardown-writer")
+        rt.sleep(0.5)
+        if close_instead_of_send:
+            done.close()
+        else:
+            done.send(None)  # BUG: only one receiver gets it
+        rt.sleep(5.0)
+        return observed.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return GrpcDoubleReceive._program(rt, close_instead_of_send=False)
+
+    @staticmethod
+    def fixed(rt):
+        return GrpcDoubleReceive._program(rt, close_instead_of_send=True)
+
+
+@register
+class CockroachNilChannel(BugKernel):
+    """Receiving from a channel field that was never initialized."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-chan-cockroach-nil-channel",
+        title="CockroachDB: receive on a nil channel field",
+        app=App.COCKROACHDB,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.CHAN,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL,),
+        symptom="leak",
+        description=(
+            "A gossip client struct embeds a notification channel that one "
+            "constructor path forgets to make(); receiving from the nil "
+            "channel blocks the worker forever (a Go channel rule: nil "
+            "channel operations never proceed)."
+        ),
+        bug_url="pattern: cockroachdb/cockroach gossip nil channel",
+    )
+
+    @staticmethod
+    def _program(rt, initialize: bool):
+        class GossipClient:
+            def __init__(self):
+                self.updates = rt.make_chan(1, name="gossip") if initialize \
+                    else rt.nil_chan()  # BUG: nil channel field
+
+        client = GossipClient()
+        got = rt.shared("gossip.got", None)
+
+        def watcher():
+            got.store(client.updates.recv())
+
+        rt.go(watcher, name="gossip-watcher")
+        rt.sleep(0.2)
+        client.updates.try_send("node-joined")
+        rt.sleep(5.0)
+        return got.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return CockroachNilChannel._program(rt, initialize=False)
+
+    @staticmethod
+    def fixed(rt):
+        return CockroachNilChannel._program(rt, initialize=True)
+
+
+@register
+class CockroachSelectMissingCase(BugKernel):
+    """The select waits on two channels; the decisive event arrives on a
+    third one nobody listens to."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-chan-cockroach-missing-case",
+        title="CockroachDB: select lacks the error-channel case",
+        app=App.COCKROACHDB,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.CHAN,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL,),
+        symptom="leak",
+        description=(
+            "The replica-change waiter selects on {applied, timeout-less "
+            "abort} but the raft layer reports failures on errCh; on "
+            "error the waiter blocks forever while the node keeps "
+            "serving.  The committed fix adds the errCh case."
+        ),
+        bug_url="pattern: cockroachdb/cockroach replica change waiter",
+        reproduced=False,
+    )
+    run_kwargs = {"time_limit": 10.0}
+
+    @staticmethod
+    def _program(rt, include_error_case: bool):
+        background_activity(rt)
+        applied = rt.make_chan(0, name="applied")
+        aborted = rt.make_chan(0, name="aborted")
+        err_ch = rt.make_chan(1, name="errCh")
+
+        def raft_layer():
+            rt.sleep(0.5)
+            err_ch.send("raft: proposal dropped")  # failure path
+
+        rt.go(raft_layer, name="raft")
+        if include_error_case:
+            index, value, _ok = rt.select(
+                recv(applied), recv(aborted), recv(err_ch)
+            )
+            return (index, value)
+        index, value, _ok = rt.select(recv(applied), recv(aborted))  # BUG
+        return (index, value)
+
+    @staticmethod
+    def buggy(rt):
+        return CockroachSelectMissingCase._program(rt, include_error_case=False)
+
+    @staticmethod
+    def fixed(rt):
+        return CockroachSelectMissingCase._program(rt, include_error_case=True)

@@ -1,0 +1,238 @@
+"""Blocking kernels: message-passing library misuse (Table 6 "Lib", 4/85).
+
+Go's messaging libraries — ``context`` and ``io.Pipe`` here — wrap channels
+and goroutines, so misusing them blocks goroutines *inside* library calls.
+Includes Figure 6 (the context overwrite leak) verbatim.
+"""
+
+from __future__ import annotations
+
+from ...dataset.records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    FixPrimitive,
+    FixStrategy,
+)
+from ...stdlib.iopipe import EOF
+from ..meta import BugKernel, KernelMeta
+from ..registry import register
+
+
+@register
+class Grpc1460ContextOverwrite(BugKernel):
+    """Figure 6: the WithCancel context (and its watcher goroutine) is
+    overwritten before anyone can ever cancel it."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-msglib-grpc-1460-context",
+        title="gRPC: hcancel overwritten by the timeout context",
+        app=App.GRPC,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.MSG_LIBRARY,
+        fix_strategy=FixStrategy.MOVE_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL, FixPrimitive.MISC),
+        symptom="leak",
+        description=(
+            "context.WithCancel attaches a goroutine to hctx; when timeout "
+            "> 0 the code immediately creates a second context and loses "
+            "the only reference to the first one's cancel function, so its "
+            "goroutine can never be released.  The patch creates exactly "
+            "one context via if/else."
+        ),
+        figure="6",
+        bug_url="grpc/grpc-go#1460",
+    )
+
+    TIMEOUT = 2.0
+
+    @staticmethod
+    def _program(rt, create_extra_context: bool):
+        parent, parent_cancel = rt.with_cancel(rt.background())
+        timeout = Grpc1460ContextOverwrite.TIMEOUT
+
+        if create_extra_context:
+            # BUG: always creates the cancel context first...
+            hctx, hcancel = rt.with_cancel(parent)
+            if timeout > 0:
+                # ...then overwrites both names; the first context's
+                # watcher goroutine is now unreachable and leaks.
+                hctx, hcancel = rt.with_timeout(parent, timeout)
+        else:
+            if timeout > 0:
+                hctx, hcancel = rt.with_timeout(parent, timeout)
+            else:
+                hctx, hcancel = rt.with_cancel(parent)
+
+        rt.sleep(0.5)  # issue the HTTP request against hctx
+        hcancel()
+        return hctx.err()
+
+    @staticmethod
+    def buggy(rt):
+        return Grpc1460ContextOverwrite._program(rt, create_extra_context=True)
+
+    @staticmethod
+    def fixed(rt):
+        return Grpc1460ContextOverwrite._program(rt, create_extra_context=False)
+
+
+@register
+class DockerPipeWriterLeak(BugKernel):
+    """A writer blocks on an io.Pipe whose reader gave up without Close."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-msglib-docker-pipe-writer",
+        title="Docker: pipe reader returns without Close",
+        app=App.DOCKER,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.MSG_LIBRARY,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MISC,),
+        symptom="leak",
+        description=(
+            "The image-export goroutine streams layers into an io.Pipe; the "
+            "HTTP handler reads one chunk, errors out and returns without "
+            "CloseWithError, leaving the exporter blocked in Write forever."
+        ),
+        bug_url="pattern: moby/moby image export pipe leak",
+    )
+
+    @staticmethod
+    def _program(rt, close_on_error: bool):
+        pr, pw = rt.pipe()
+        exported = rt.shared("exported.chunks", 0)
+
+        def exporter():
+            try:
+                for chunk in ("layer0", "layer1", "layer2"):
+                    pw.write(chunk)
+                    exported.add(1)
+                pw.close()
+            except Exception:
+                pass  # pipe torn down by the reader
+
+        def handler():
+            pr.read()  # first chunk OK
+            # simulated downstream error...
+            if close_on_error:
+                pr.close()  # unblocks the exporter with ErrClosedPipe
+            # BUG: plain return leaves the exporter's next write stuck
+
+        rt.go(exporter, name="image-exporter")
+        rt.go(handler, name="http-handler")
+        rt.sleep(5.0)
+        return exported.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return DockerPipeWriterLeak._program(rt, close_on_error=False)
+
+    @staticmethod
+    def fixed(rt):
+        return DockerPipeWriterLeak._program(rt, close_on_error=True)
+
+
+@register
+class EtcdPipeReaderLeak(BugKernel):
+    """A reader blocks on an io.Pipe whose writer forgot to Close."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-msglib-etcd-pipe-reader",
+        title="etcd: pipe writer returns without Close",
+        app=App.ETCD,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.MSG_LIBRARY,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MISC,),
+        symptom="leak",
+        description=(
+            "The snapshot streamer writes its payload into an io.Pipe and "
+            "returns; without pw.Close() the decoder goroutine never sees "
+            "EOF and blocks in Read forever."
+        ),
+        bug_url="pattern: etcd-io/etcd snapshot pipe leak",
+    )
+
+    @staticmethod
+    def _program(rt, close_when_done: bool):
+        pr, pw = rt.pipe()
+        decoded = rt.shared("decoded.chunks", 0)
+
+        def streamer():
+            for chunk in ("meta", "kvs"):
+                pw.write(chunk)
+            if close_when_done:
+                pw.close()
+            # BUG: plain return, no EOF for the decoder
+
+        def decoder():
+            try:
+                while True:
+                    pr.read()
+                    decoded.add(1)
+            except EOF:
+                pass
+
+        rt.go(streamer, name="snapshot-streamer")
+        rt.go(decoder, name="snapshot-decoder")
+        rt.sleep(5.0)
+        return decoded.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return EtcdPipeReaderLeak._program(rt, close_when_done=False)
+
+    @staticmethod
+    def fixed(rt):
+        return EtcdPipeReaderLeak._program(rt, close_when_done=True)
+
+
+@register
+class CockroachContextNeverCancelled(BugKernel):
+    """Per-request WithTimeout contexts whose cancel is never called."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-msglib-cockroach-ctx-no-cancel",
+        title="CockroachDB: WithCancel without defer cancel()",
+        app=App.COCKROACHDB,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.MSG_LIBRARY,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MISC,),
+        symptom="leak",
+        description=(
+            "The retry helper derives a WithCancel context per attempt "
+            "under a long-lived parent but never calls cancel(); every "
+            "attempt leaks its watcher goroutine, which waits on a parent "
+            "that only ends with the process.  The fix is the canonical "
+            "`defer cancel()`."
+        ),
+        bug_url="pattern: cockroachdb/cockroach dist-sender retry ctx",
+        reproduced=False,
+    )
+
+    ATTEMPTS = 3
+
+    @staticmethod
+    def _program(rt, defer_cancel: bool):
+        parent, _parent_cancel = rt.with_cancel(rt.background())
+
+        def attempt(i):
+            ctx, cancel = rt.with_cancel(parent)
+            rt.sleep(0.1)  # the RPC completes quickly
+            if defer_cancel:
+                cancel()
+            # BUG: without cancel, ctx's watcher is stranded forever
+
+        for i in range(CockroachContextNeverCancelled.ATTEMPTS):
+            attempt(i)
+        return rt.now()
+
+    @staticmethod
+    def buggy(rt):
+        return CockroachContextNeverCancelled._program(rt, defer_cancel=False)
+
+    @staticmethod
+    def fixed(rt):
+        return CockroachContextNeverCancelled._program(rt, defer_cancel=True)

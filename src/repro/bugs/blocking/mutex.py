@@ -1,0 +1,302 @@
+"""Blocking kernels: Mutex misuse (Table 6, 28/85 bugs).
+
+The paper's three Mutex shapes all appear: double locking, acquiring locks
+in conflicting orders, and forgetting to unlock.  All are "traditional"
+bugs; the fixes mirror Section 5.2's breakdown (8 add-unlock, 9 move,
+11 remove-extra-lock among the Mutex/RWMutex bugs).
+"""
+
+from __future__ import annotations
+
+from ...dataset.records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    FixPrimitive,
+    FixStrategy,
+)
+from ..common import background_activity
+from ..meta import BugKernel, KernelMeta
+from ..registry import register
+
+
+@register
+class DockerDoubleLock(BugKernel):
+    """A helper re-acquires a mutex its caller already holds."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-mutex-docker-double-lock",
+        title="Docker: double lock through a helper function",
+        app=App.DOCKER,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.MUTEX,
+        fix_strategy=FixStrategy.REMOVE_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="leak",
+        description=(
+            "The device-set helper locks the mutex the exported entry point "
+            "already holds.  Go mutexes are not reentrant, so the daemon's "
+            "main loop self-deadlocks while the rest of the process keeps "
+            "serving — invisible to the built-in detector."
+        ),
+        bug_url="pattern: moby/moby device-mapper double lock",
+    )
+    run_kwargs = {"time_limit": 10.0}
+
+    @staticmethod
+    def _program(rt, helper_locks: bool):
+        background_activity(rt)
+        mu = rt.mutex("devices")
+        devices = rt.shared("devices.count", 0)
+
+        def activate_device_locked():
+            devices.add(1)
+
+        def activate_device():
+            mu.lock()
+            try:
+                activate_device_locked()
+            finally:
+                mu.unlock()
+
+        mu.lock()
+        try:
+            if helper_locks:
+                activate_device()  # BUG: locks `mu` again
+            else:
+                activate_device_locked()
+        finally:
+            mu.unlock()
+        return devices.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return DockerDoubleLock._program(rt, helper_locks=True)
+
+    @staticmethod
+    def fixed(rt):
+        return DockerDoubleLock._program(rt, helper_locks=False)
+
+
+@register
+class EtcdMissingUnlock(BugKernel):
+    """An early-return error path forgets to unlock."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-mutex-etcd-missing-unlock",
+        title="etcd: error path returns without Unlock",
+        app=App.ETCD,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.MUTEX,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="leak",
+        description=(
+            "The store's apply path takes the lock, hits a validation error "
+            "and returns without unlocking; every later request blocks on "
+            "the poisoned lock forever."
+        ),
+        bug_url="pattern: etcd-io/etcd store lock leak on error path",
+    )
+    run_kwargs = {"time_limit": 10.0}
+
+    @staticmethod
+    def _program(rt, forget_unlock: bool):
+        background_activity(rt)
+        mu = rt.mutex("store")
+        applied = rt.shared("store.applied", 0)
+
+        def apply(entry, poisoned: bool):
+            mu.lock()
+            if poisoned:
+                if forget_unlock:
+                    return "validation error"  # BUG: lock still held
+                mu.unlock()
+                return "validation error"
+            applied.add(1)
+            mu.unlock()
+            return None
+
+        apply("bad-entry", poisoned=True)
+        apply("good-entry", poisoned=False)  # blocks forever in the bug
+        return applied.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return EtcdMissingUnlock._program(rt, forget_unlock=True)
+
+    @staticmethod
+    def fixed(rt):
+        return EtcdMissingUnlock._program(rt, forget_unlock=False)
+
+
+@register
+class KubernetesABBADeadlock(BugKernel):
+    """Two goroutines acquire two locks in conflicting orders."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-mutex-kubernetes-abba",
+        title="Kubernetes: AB/BA lock ordering deadlock",
+        app=App.KUBERNETES,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.MUTEX,
+        fix_strategy=FixStrategy.MOVE_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="leak",
+        description=(
+            "The scheduler cache and the node-info store lock each other in "
+            "opposite orders.  Both worker goroutines hang; main (the "
+            "controller loop) keeps running, so only the workers leak."
+        ),
+        bug_url="pattern: kubernetes/kubernetes scheduler ABBA",
+    )
+
+    @staticmethod
+    def _program(rt, consistent_order: bool):
+        cache_mu = rt.mutex("cache")
+        nodes_mu = rt.mutex("nodes")
+
+        def update_cache():
+            cache_mu.lock()
+            rt.sleep(1.0)  # window in which the other worker grabs nodes_mu
+            nodes_mu.lock()
+            nodes_mu.unlock()
+            cache_mu.unlock()
+
+        def update_nodes():
+            if consistent_order:
+                cache_mu.lock()
+                rt.sleep(1.0)
+                nodes_mu.lock()
+                nodes_mu.unlock()
+                cache_mu.unlock()
+            else:
+                nodes_mu.lock()  # BUG: opposite order
+                rt.sleep(1.0)
+                cache_mu.lock()
+                cache_mu.unlock()
+                nodes_mu.unlock()
+
+        rt.go(update_cache, name="cache-worker")
+        rt.go(update_nodes, name="nodes-worker")
+        rt.sleep(5.0)  # main moves on; in the bug both workers are stuck
+
+    @staticmethod
+    def buggy(rt):
+        return KubernetesABBADeadlock._program(rt, consistent_order=False)
+
+    @staticmethod
+    def fixed(rt):
+        return KubernetesABBADeadlock._program(rt, consistent_order=True)
+
+
+@register
+class BoltDB392GlobalDeadlock(BugKernel):
+    """BoltDB#392: remap path re-locks the metadata lock — all asleep.
+
+    One of the only two reproduced blocking bugs Go's built-in detector
+    catches (Table 8): the whole process participates, so every goroutine
+    really is asleep.
+    """
+
+    meta = KernelMeta(
+        kernel_id="blocking-mutex-boltdb-392",
+        title="BoltDB#392: global deadlock on metadata lock",
+        app=App.BOLTDB,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.MUTEX,
+        fix_strategy=FixStrategy.REMOVE_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="deadlock",
+        description=(
+            "db.Update begins a transaction holding the meta lock, then the "
+            "grow path calls db.mmap which takes the same lock.  BoltDB is "
+            "an embedded library: nothing else runs, the built-in detector "
+            "fires."
+        ),
+        bug_url="boltdb/bolt#392",
+    )
+
+    @staticmethod
+    def _program(rt, remap_locks: bool):
+        meta_mu = rt.mutex("db.meta")
+        pages = rt.shared("db.pages", 4)
+
+        def mmap_locked():
+            pages.update(lambda n: n * 2)
+
+        def mmap():
+            meta_mu.lock()
+            try:
+                mmap_locked()
+            finally:
+                meta_mu.unlock()
+
+        def update():
+            meta_mu.lock()
+            try:
+                if remap_locks:
+                    mmap()  # BUG: meta lock already held by this goroutine
+                else:
+                    mmap_locked()
+            finally:
+                meta_mu.unlock()
+
+        update()
+        return pages.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return BoltDB392GlobalDeadlock._program(rt, remap_locks=True)
+
+    @staticmethod
+    def fixed(rt):
+        return BoltDB392GlobalDeadlock._program(rt, remap_locks=False)
+
+
+@register
+class GrpcUnlockSkippedInLoop(BugKernel):
+    """A `continue` path skips the unlock, deadlocking the next iteration."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-mutex-grpc-loop-continue",
+        title="gRPC: continue path skips Unlock inside a loop",
+        app=App.GRPC,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.MUTEX,
+        fix_strategy=FixStrategy.MOVE_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="leak",
+        description=(
+            "The connection janitor locks per iteration but a retry branch "
+            "continues without unlocking; the second iteration self-blocks "
+            "while the client keeps issuing RPCs."
+        ),
+        bug_url="pattern: grpc/grpc-go picker loop lock leak",
+    )
+    run_kwargs = {"time_limit": 10.0}
+
+    @staticmethod
+    def _program(rt, unlock_before_continue: bool):
+        background_activity(rt)
+        mu = rt.mutex("conns")
+        scanned = rt.shared("janitor.scanned", 0)
+
+        conns = ["healthy", "retry", "healthy"]
+        for state in conns:
+            mu.lock()
+            if state == "retry":
+                if unlock_before_continue:
+                    mu.unlock()
+                continue  # BUG: lock still held on the next iteration
+            scanned.add(1)
+            mu.unlock()
+        return scanned.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return GrpcUnlockSkippedInLoop._program(rt, unlock_before_continue=False)
+
+    @staticmethod
+    def fixed(rt):
+        return GrpcUnlockSkippedInLoop._program(rt, unlock_before_continue=True)

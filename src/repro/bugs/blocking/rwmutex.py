@@ -1,0 +1,134 @@
+"""Blocking kernels: RWMutex misuse (Table 6, 5/85 bugs).
+
+Both kernels hinge on the Go-specific semantics Section 5.1.1 describes:
+write lock requests have a higher privilege than read lock requests, so a
+pending writer blocks *new* readers — including a goroutine that already
+holds a read lock.  The same code under pthread's reader-preference
+(``writer_priority=False``) does not block; the ablation benchmark
+demonstrates it.
+"""
+
+from __future__ import annotations
+
+from ...dataset.records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    FixPrimitive,
+    FixStrategy,
+)
+from ..meta import BugKernel, KernelMeta
+from ..registry import register
+
+
+@register
+class DockerRWMutexWriterPriority(BugKernel):
+    """th-A holds a read lock, th-B's write lock interleaves, th-A re-RLocks."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-rwmutex-docker-reentrant-rlock",
+        title="Docker: re-entrant RLock interleaved by a writer",
+        app=App.DOCKER,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.RWMUTEX,
+        fix_strategy=FixStrategy.CHANGE_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="leak",
+        description=(
+            "The paper's exact RWMutex scenario: th-A's first RLock admits "
+            "it; th-B's Lock then queues; th-A's second RLock queues behind "
+            "the pending writer because Go privileges writers.  Neither can "
+            "proceed.  The fix holds a single read lock across the whole "
+            "operation."
+        ),
+        bug_url="pattern: moby/moby container-store RLock reentry",
+    )
+
+    @staticmethod
+    def _program(rt, reentrant_rlock: bool):
+        mu = rt.rwmutex("containers")
+        listed = rt.shared("listed", 0)
+
+        def lister():  # th-A
+            mu.rlock()
+            listed.add(1)
+            rt.sleep(1.0)  # th-B's write lock arrives in this window
+            if reentrant_rlock:
+                mu.rlock()  # BUG: queues behind the pending writer
+                listed.add(1)
+                mu.runlock()
+            else:
+                listed.add(1)  # still under the first read lock
+            mu.runlock()
+
+        def committer():  # th-B
+            rt.sleep(0.5)
+            mu.lock()
+            mu.unlock()
+
+        rt.go(lister, name="lister")
+        rt.go(committer, name="committer")
+        rt.sleep(5.0)
+        return listed.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return DockerRWMutexWriterPriority._program(rt, reentrant_rlock=True)
+
+    @staticmethod
+    def fixed(rt):
+        return DockerRWMutexWriterPriority._program(rt, reentrant_rlock=False)
+
+
+@register
+class CockroachRLockUpgrade(BugKernel):
+    """A goroutine tries to upgrade its own read lock to a write lock."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-rwmutex-cockroach-upgrade",
+        title="CockroachDB: RLock upgraded to Lock in the same goroutine",
+        app=App.COCKROACHDB,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.RWMUTEX,
+        fix_strategy=FixStrategy.MOVE_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="leak",
+        description=(
+            "The range descriptor cache reads under RLock and, on a miss, "
+            "takes the write lock to fill the entry while still holding the "
+            "read lock: the write lock waits for the read lock forever.  "
+            "The fix releases the read lock before upgrading."
+        ),
+        bug_url="pattern: cockroachdb/cockroach range cache upgrade",
+    )
+
+    @staticmethod
+    def _program(rt, release_before_upgrade: bool):
+        mu = rt.rwmutex("rangecache")
+        cache = rt.shared("rangecache.entry", None)
+
+        def lookup():
+            mu.rlock()
+            entry = cache.load()
+            if entry is None:
+                if release_before_upgrade:
+                    mu.runlock()
+                mu.lock()  # BUG (when read lock still held): waits on self
+                cache.store("descriptor")
+                mu.unlock()
+                if not release_before_upgrade:
+                    mu.runlock()
+            else:
+                mu.runlock()
+
+        rt.go(lookup, name="range-lookup")
+        rt.sleep(5.0)
+        return cache.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return CockroachRLockUpgrade._program(rt, release_before_upgrade=False)
+
+    @staticmethod
+    def fixed(rt):
+        return CockroachRLockUpgrade._program(rt, release_before_upgrade=True)

@@ -1,0 +1,244 @@
+"""Blocking kernels: Wait misuse — Cond.Wait and WaitGroup.Wait
+(Table 6, 3/85 bugs; no circular wait involved in any of them).
+
+Includes Figure 5 (Docker#25384) verbatim.
+"""
+
+from __future__ import annotations
+
+from ...dataset.records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    FixPrimitive,
+    FixStrategy,
+)
+from ..common import background_activity
+from ..meta import BugKernel, KernelMeta
+from ..registry import register
+
+
+@register
+class Docker25384WaitInLoop(BugKernel):
+    """Figure 5: WaitGroup.Wait called inside the goroutine-spawning loop."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-wait-docker-25384",
+        title="Docker#25384: wg.Wait() inside the plugin loop",
+        app=App.DOCKER,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.WAIT,
+        fix_strategy=FixStrategy.MOVE_SYNC,
+        fix_primitives=(FixPrimitive.WAITGROUP,),
+        symptom="leak",
+        description=(
+            "group.Add(len(pm.plugins)) runs once, but Wait() sits inside "
+            "the loop: after the first plugin's Done() the counter is still "
+            "len-1, so Wait blocks and no further plugin goroutine is ever "
+            "created.  The fix moves Wait() out of the loop."
+        ),
+        figure="5",
+        bug_url="moby/moby#25384",
+    )
+    run_kwargs = {"time_limit": 10.0}
+
+    @staticmethod
+    def _program(rt, wait_in_loop: bool):
+        background_activity(rt)
+        plugins = ["volume", "network", "auth"]
+        group = rt.waitgroup("plugins")
+        disabled = rt.atomic_int(0, name="plugins.disabled")
+        group.add(len(plugins))
+
+        def disable_plugin(name):
+            disabled.add(1)
+            group.done()
+
+        for name in plugins:
+            rt.go(disable_plugin, name, name=f"disable-{name}")
+            if wait_in_loop:
+                group.wait()  # BUG: blocks with counter == len(plugins) - 1
+        if not wait_in_loop:
+            group.wait()
+        return disabled.load()
+
+    @staticmethod
+    def buggy(rt):
+        return Docker25384WaitInLoop._program(rt, wait_in_loop=True)
+
+    @staticmethod
+    def fixed(rt):
+        return Docker25384WaitInLoop._program(rt, wait_in_loop=False)
+
+
+@register
+class KubernetesCondMissedSignal(BugKernel):
+    """Cond.Wait with no Signal/Broadcast after the state change."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-wait-kubernetes-cond-missed-signal",
+        title="Kubernetes: state change without Cond.Signal",
+        app=App.KUBERNETES,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.WAIT,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.COND,),
+        symptom="leak",
+        description=(
+            "The work-queue consumer waits on a Cond for items; the producer "
+            "appends an item under the lock but forgets to Signal, so the "
+            "consumer sleeps forever even though its predicate is satisfied."
+        ),
+        bug_url="pattern: kubernetes/kubernetes workqueue missed signal",
+    )
+
+    @staticmethod
+    def _program(rt, signal_after_add: bool):
+        mu = rt.mutex("queue")
+        cond = rt.cond(mu, "queue.items")
+        queue = rt.shared("queue.items", ())
+        processed = rt.shared("queue.processed", 0)
+
+        def consumer():
+            mu.lock()
+            while not queue.load():
+                cond.wait()  # BUG: never signalled
+            items = queue.load()
+            queue.store(items[1:])
+            mu.unlock()
+            processed.add(1)
+
+        def producer():
+            rt.sleep(0.5)
+            mu.lock()
+            queue.store(queue.load() + ("pod-sync",))
+            if signal_after_add:
+                cond.signal()
+            mu.unlock()
+
+        rt.go(consumer, name="consumer")
+        rt.go(producer, name="producer")
+        rt.sleep(5.0)
+        return processed.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return KubernetesCondMissedSignal._program(rt, signal_after_add=False)
+
+    @staticmethod
+    def fixed(rt):
+        return KubernetesCondMissedSignal._program(rt, signal_after_add=True)
+
+
+@register
+class CockroachWaitGroupMiscount(BugKernel):
+    """Add() counts a worker that is never started."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-wait-cockroach-miscounted-add",
+        title="CockroachDB: Add counts a conditionally-skipped worker",
+        app=App.COCKROACHDB,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.WAIT,
+        fix_strategy=FixStrategy.CHANGE_SYNC,
+        fix_primitives=(FixPrimitive.WAITGROUP,),
+        symptom="leak",
+        description=(
+            "The stopper adds one per registered task up front, but a "
+            "feature gate skips starting one task; Done() is called once "
+            "too few times and Wait() blocks while the node keeps serving."
+        ),
+        bug_url="pattern: cockroachdb/cockroach stopper miscount",
+    )
+    run_kwargs = {"time_limit": 10.0}
+
+    @staticmethod
+    def _program(rt, add_per_started: bool):
+        background_activity(rt)
+        wg = rt.waitgroup("stopper")
+        ran = rt.shared("tasks.ran", 0)
+        tasks = [("compactor", True), ("gc", True), ("replicate", False)]
+
+        def task(name):
+            ran.add(1)
+            wg.done()
+
+        if not add_per_started:
+            wg.add(len(tasks))  # BUG: counts the gated-off task
+        for name, enabled in tasks:
+            if not enabled:
+                continue
+            if add_per_started:
+                wg.add(1)
+            rt.go(task, name, name=name)
+        wg.wait()
+        return ran.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return CockroachWaitGroupMiscount._program(rt, add_per_started=False)
+
+    @staticmethod
+    def fixed(rt):
+        return CockroachWaitGroupMiscount._program(rt, add_per_started=True)
+
+
+@register
+class GrpcWaitUnderLock(BugKernel):
+    """wg.Wait() while holding the mutex the workers' Done path needs."""
+
+    meta = KernelMeta(
+        kernel_id="blocking-wait-grpc-wait-under-lock",
+        title="gRPC: Wait() inside the critical section workers need",
+        app=App.GRPC,
+        behavior=Behavior.BLOCKING,
+        subcause=BlockingSubCause.WAIT,
+        fix_strategy=FixStrategy.MOVE_SYNC,
+        fix_primitives=(FixPrimitive.WAITGROUP, FixPrimitive.MUTEX),
+        symptom="leak",
+        description=(
+            "Close() takes the transport lock and then waits for the "
+            "stream workers, but each worker's teardown takes the same "
+            "lock before calling Done(): Close never returns while the "
+            "client keeps issuing RPCs.  The fix moves Wait() after the "
+            "unlock."
+        ),
+        bug_url="pattern: grpc/grpc-go transport close wait-under-lock",
+        reproduced=False,
+    )
+    run_kwargs = {"time_limit": 10.0}
+
+    @staticmethod
+    def _program(rt, wait_after_unlock: bool):
+        background_activity(rt)
+        mu = rt.mutex("transport")
+        wg = rt.waitgroup("streams")
+        closed_streams = rt.atomic_int(0, name="closed")
+
+        def stream_worker(i):
+            rt.sleep(0.2)
+            mu.lock()            # worker teardown needs the lock
+            closed_streams.add(1)
+            mu.unlock()
+            wg.done()
+
+        for i in range(2):
+            wg.add(1)
+            rt.go(stream_worker, i, name=f"stream-{i}")
+
+        mu.lock()
+        if wait_after_unlock:
+            mu.unlock()
+            wg.wait()
+        else:
+            wg.wait()            # BUG: workers need mu to reach Done
+            mu.unlock()
+        return closed_streams.load()
+
+    @staticmethod
+    def buggy(rt):
+        return GrpcWaitUnderLock._program(rt, wait_after_unlock=False)
+
+    @staticmethod
+    def fixed(rt):
+        return GrpcWaitUnderLock._program(rt, wait_after_unlock=True)

@@ -1,0 +1,24 @@
+"""Shared helpers for bug kernels."""
+
+from __future__ import annotations
+
+
+def background_activity(rt, iterations: int = 200, interval: float = 0.1) -> None:
+    """Spawn a goroutine modelling "the rest of the application".
+
+    Real Docker/Kubernetes processes always have live goroutines, which is
+    the first reason Go's built-in deadlock detector misses partial
+    deadlocks: it only reports when *no* goroutine can run.  Kernels whose
+    paper counterpart was missed by the detector spawn this helper so the
+    process never goes fully asleep within the observation window.
+
+    The loop is finite so that *fixed* variants drain quickly after main
+    returns; ``iterations * interval`` must exceed the kernel's
+    ``time_limit`` for buggy variants.
+    """
+
+    def heartbeat():
+        for _ in range(iterations):
+            rt.sleep(interval)
+
+    rt.go(heartbeat, name="app.background")

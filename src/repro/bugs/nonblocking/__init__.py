@@ -1,0 +1,10 @@
+"""Non-blocking bug kernels, one module per Table 9 root-cause category."""
+
+from . import (  # noqa: F401
+    anonymous,
+    channel,
+    speciallib,
+    timers,
+    traditional,
+    waitgroup,
+)

@@ -1,0 +1,386 @@
+"""Non-blocking kernels: channel misuse (Table 9, 16/86 bugs).
+
+Violations of Go's channel rules that do *not* block anyone: double close
+(Figure 10), send-on-closed, trusting select's order (Figure 11), and
+misreading the zero value a closed channel yields.
+"""
+
+from __future__ import annotations
+
+from ...chan.cases import recv
+from ...dataset.records import (
+    App,
+    Behavior,
+    FixPrimitive,
+    FixStrategy,
+    NonBlockingSubCause,
+)
+from ..meta import BugKernel, KernelMeta
+from ..registry import register
+
+
+@register
+class Docker24007DoubleClose(BugKernel):
+    """Figure 10: concurrent teardowns both reach close(c.closed)."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-chan-docker-24007",
+        title="Docker#24007: channel closed twice",
+        app=App.DOCKER,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.CHAN,
+        fix_strategy=FixStrategy.BYPASS,  # Table 10 cites Fig 10 as bypass
+        fix_primitives=(FixPrimitive.MISC,),  # sync.Once
+        symptom="panic",
+        description=(
+            "Multiple goroutines run `select { case <-c.closed: default: "
+            "close(c.closed) }`; two can take the default branch before "
+            "either close lands, and the second close panics the daemon.  "
+            "Docker's fix wraps the close in sync.Once."
+        ),
+        figure="10",
+        bug_url="moby/moby#24007",
+        deterministic=False,
+    )
+
+    @staticmethod
+    def _program(rt, use_once: bool):
+        closed = rt.make_chan(0, name="c.closed")
+        once = rt.once("close-once")
+        wg = rt.waitgroup()
+
+        def teardown():
+            index, _v, _ok = rt.select(recv(closed), default=True)
+            if index == -1:
+                if use_once:
+                    once.do(closed.close)
+                else:
+                    closed.close()  # BUG: second closer panics
+            wg.done()
+
+        for i in range(3):
+            wg.add(1)
+            rt.go(teardown, name=f"teardown-{i}")
+        wg.wait()
+        return False
+
+    @staticmethod
+    def buggy(rt):
+        return Docker24007DoubleClose._program(rt, use_once=False)
+
+    @staticmethod
+    def fixed(rt):
+        return Docker24007DoubleClose._program(rt, use_once=True)
+
+
+@register
+class GrpcSendOnClosed(BugKernel):
+    """A sender races with the closer and panics."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-chan-grpc-send-on-closed",
+        title="gRPC: send races with close",
+        app=App.GRPC,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.CHAN,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="panic",
+        description=(
+            "The transport's writer pushes frames into the control channel "
+            "while Close() closes it; when close wins, the next send "
+            "panics.  The fix guards both with a mutex and a closed flag."
+        ),
+        bug_url="pattern: grpc/grpc-go controlbuf send-after-close",
+        deterministic=False,
+    )
+
+    @staticmethod
+    def _program(rt, guard: bool):
+        frames = rt.make_chan(4, name="controlbuf")
+        mu = rt.mutex("transport")
+        closed_flag = rt.shared("transport.closed", False)
+        wg = rt.waitgroup()
+
+        def writer():
+            for i in range(3):
+                if guard:
+                    with mu:
+                        if not closed_flag.load():
+                            frames.send(i)
+                else:
+                    frames.send(i)  # BUG: may hit a closed channel
+                rt.gosched()
+            wg.done()
+
+        def closer():
+            if guard:
+                with mu:
+                    closed_flag.store(True)
+                    frames.close()
+            else:
+                frames.close()
+            wg.done()
+
+        wg.add(2)
+        rt.go(writer, name="writer")
+        rt.go(closer, name="closer")
+        wg.wait()
+        return False
+
+    @staticmethod
+    def buggy(rt):
+        return GrpcSendOnClosed._program(rt, guard=False)
+
+    @staticmethod
+    def fixed(rt):
+        return GrpcSendOnClosed._program(rt, guard=True)
+
+
+@register
+class EtcdSelectStopTicker(BugKernel):
+    """Figure 11: select may service the ticker although stop was signalled."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-chan-etcd-select-ticker",
+        title="etcd: select randomly prefers the ticker over stopCh",
+        app=App.ETCD,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.CHAN,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL,),
+        symptom="wrong-value",
+        description=(
+            "When the ticker fires and stopCh is signalled simultaneously, "
+            "Go's select chooses randomly; choosing the ticker runs the "
+            "heavy f() once more after the stop request.  The fix adds a "
+            "non-blocking stopCh check at the top of the loop."
+        ),
+        figure="11",
+        bug_url="pattern: etcd-io/etcd compactor loop",
+        deterministic=False,
+    )
+
+    @staticmethod
+    def _program(rt, precheck_stop: bool):
+        stop_ch = rt.make_chan(0, name="stopCh")
+        ticker = rt.new_ticker(1.0)
+        runs_after_stop = rt.shared("runs-after-stop", 0)
+        stop_requested = rt.shared("stop-requested", False)
+
+        def loop():
+            while True:
+                if precheck_stop:
+                    index, _v, _ok = rt.select(recv(stop_ch), default=True)
+                    if index == 0:
+                        break
+                index, _v, _ok = rt.select(recv(stop_ch), recv(ticker.c))
+                if index == 0:
+                    break
+                # The heavy f(): while it runs, the next tick queues in
+                # ticker.c *and* the stop request lands, so the next select
+                # sees both cases ready and chooses randomly.
+                if stop_requested.peek():
+                    runs_after_stop.add(1)  # f() ran after the stop request
+                rt.sleep(2.5)
+
+        def stopper():
+            rt.sleep(3.0)  # lands while f() is busy
+            stop_requested.store(True)
+            stop_ch.close()
+
+        rt.go(loop, name="compactor-loop")
+        rt.go(stopper, name="stopper")
+        rt.sleep(8.0)
+        ticker.stop()
+        return runs_after_stop.peek() > 0
+
+    @staticmethod
+    def buggy(rt):
+        return EtcdSelectStopTicker._program(rt, precheck_stop=False)
+
+    @staticmethod
+    def fixed(rt):
+        return EtcdSelectStopTicker._program(rt, precheck_stop=True)
+
+
+@register
+class KubernetesZeroValueFromClosed(BugKernel):
+    """A receiver treats the closed channel's zero value as a real event."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-chan-kubernetes-zero-value",
+        title="Kubernetes: zero value from a closed channel misread",
+        app=App.KUBERNETES,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.CHAN,
+        fix_strategy=FixStrategy.CHANGE_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL,),
+        symptom="wrong-value",
+        description=(
+            "The event processor uses `e := <-ch` in a loop; once the "
+            "producer closes the channel, receives yield the zero value "
+            "immediately and the processor handles phantom events.  The "
+            "fix switches to `e, ok := <-ch` and exits on !ok."
+        ),
+        bug_url="pattern: kubernetes/kubernetes watch decode loop",
+    )
+
+    @staticmethod
+    def _program(rt, check_ok: bool):
+        events = rt.make_chan(2, name="events")
+        phantom = rt.shared("phantom-events", 0)
+
+        def producer():
+            events.send("add")
+            events.send("delete")
+            events.close()
+
+        def processor():
+            handled = 0
+            while handled < 3:
+                if check_ok:
+                    event, ok = events.recv_ok()
+                    if not ok:
+                        break
+                else:
+                    event = events.recv()  # BUG: zero value after close
+                if event is None:
+                    phantom.add(1)
+                handled += 1
+
+        rt.go(producer, name="producer")
+        rt.go(processor, name="processor")
+        rt.sleep(1.0)
+        return phantom.peek() > 0
+
+    @staticmethod
+    def buggy(rt):
+        return KubernetesZeroValueFromClosed._program(rt, check_ok=False)
+
+    @staticmethod
+    def fixed(rt):
+        return KubernetesZeroValueFromClosed._program(rt, check_ok=True)
+
+
+@register
+class CockroachSelectDefaultBusyLoop(BugKernel):
+    """A default branch where blocking was intended: events get skipped."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-chan-cockroach-default-busyloop",
+        title="CockroachDB: select default turns a wait into a poll",
+        app=App.COCKROACHDB,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.CHAN,
+        fix_strategy=FixStrategy.REMOVE_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL,),
+        symptom="wrong-value",
+        description=(
+            "The gossip processor's select carries a default branch (added "
+            "for an unrelated shutdown path), so instead of parking until "
+            "an event arrives it spins, decides the queue is idle and "
+            "tears down early — missing events entirely.  The fix removes "
+            "the default branch."
+        ),
+        bug_url="pattern: cockroachdb/cockroach gossip poll-vs-wait",
+        reproduced=False,
+    )
+
+    @staticmethod
+    def _program(rt, with_default: bool):
+        events = rt.make_chan(4, name="gossip.events")
+        processed = rt.shared("processed", 0)
+
+        def producer():
+            rt.sleep(0.5)  # events arrive a bit later
+            for i in range(3):
+                events.send(i)
+            events.close()
+
+        def processor():
+            idle_polls = 0
+            while True:
+                if with_default:
+                    index, _v, ok = rt.select(recv(events), default=True)
+                    if index == -1:
+                        idle_polls += 1
+                        if idle_polls > 3:
+                            return  # BUG: gives up before events arrive
+                        continue
+                else:
+                    _v, ok = events.recv_ok()
+                if not ok:
+                    return
+                processed.add(1)
+
+        rt.go(producer, name="producer")
+        rt.go(processor, name="processor")
+        rt.sleep(2.0)
+        return processed.peek() != 3
+
+    @staticmethod
+    def buggy(rt):
+        return CockroachSelectDefaultBusyLoop._program(rt, with_default=True)
+
+    @staticmethod
+    def fixed(rt):
+        return CockroachSelectDefaultBusyLoop._program(rt, with_default=False)
+
+
+@register
+class DockerBufferedAssumedDelivered(BugKernel):
+    """A buffered send is mistaken for an acknowledged delivery."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-chan-docker-buffered-assumed",
+        title="Docker: buffered send treated as processed",
+        app=App.DOCKER,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.CHAN,
+        fix_strategy=FixStrategy.CHANGE_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL,),
+        symptom="wrong-value",
+        description=(
+            "The checkpointer sends 'flush' into a buffered channel and "
+            "immediately reports the checkpoint durable; the flusher may "
+            "not have run yet, so a readback sees stale state.  The fix "
+            "waits for an ack on a reply channel (the buffered send only "
+            "guarantees enqueue, not processing)."
+        ),
+        bug_url="pattern: moby/moby checkpoint ack",
+        deterministic=False,
+        reproduced=False,
+    )
+
+    @staticmethod
+    def _program(rt, wait_for_ack: bool):
+        requests = rt.make_chan(4, name="flush.requests")
+        durable = rt.shared("durable", False)
+
+        def flusher():
+            for item in requests:
+                rt.sleep(0.2)  # the actual disk write
+                durable.store(True)
+                if wait_for_ack:
+                    item.send(None)  # item is the reply channel
+
+        rt.go(flusher, name="flusher")
+        if wait_for_ack:
+            ack = rt.make_chan(0, name="flush.ack")
+            requests.send(ack)
+            ack.recv()               # delivery == processed
+        else:
+            requests.send(object())  # BUG: enqueue mistaken for done
+        stale = not durable.load()
+        requests.close()
+        rt.sleep(0.5)
+        return stale
+
+    @staticmethod
+    def buggy(rt):
+        return DockerBufferedAssumedDelivered._program(rt, wait_for_ack=False)
+
+    @staticmethod
+    def fixed(rt):
+        return DockerBufferedAssumedDelivered._program(rt, wait_for_ack=True)

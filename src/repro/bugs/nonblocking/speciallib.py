@@ -1,0 +1,135 @@
+"""Non-blocking kernels: shared-memory races through special libraries
+(Table 9 "lib" under shared memory).
+
+Go libraries that implicitly share objects across goroutines: ``context``
+values (etcd#7816) and ``testing.T`` (three of the studied bugs).
+"""
+
+from __future__ import annotations
+
+from ...dataset.records import (
+    App,
+    Behavior,
+    FixPrimitive,
+    FixStrategy,
+    NonBlockingSubCause,
+)
+from ...stdlib.testingpkg import T
+from ..meta import BugKernel, KernelMeta
+from ..registry import register
+
+
+@register
+class Etcd7816ContextValueRace(BugKernel):
+    """Goroutines attached to one context race on a value it carries."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-lib-etcd-7816",
+        title="etcd#7816: data race on a context-carried value",
+        app=App.ETCD,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.SHARED_LIBRARY,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="wrong-value",
+        description=(
+            "The context object is *designed* to be accessed by every "
+            "goroutine attached to it; here two of them append to the "
+            "trace-fields value unsynchronized and updates get lost."
+        ),
+        bug_url="etcd-io/etcd#7816",
+        deterministic=False,
+    )
+
+    @staticmethod
+    def _program(rt, protect: bool):
+        fields = rt.shared("trace.fields", ())
+        mu = rt.mutex("trace")
+        ctx = rt.with_value(rt.background(), "trace", fields)
+        wg = rt.waitgroup()
+
+        def annotate(label):
+            trace = ctx.value("trace")
+
+            def append():
+                trace.update(lambda seen: seen + (label,))
+
+            if protect:
+                with mu:
+                    append()
+            else:
+                append()  # BUG: racy RMW on the shared context value
+            wg.done()
+
+        wg.add(2)
+        rt.go(annotate, "range-begin", name="range-loop")
+        rt.go(annotate, "txn-begin", name="txn-loop")
+        wg.wait()
+        return len(fields.peek()) != 2
+
+    @staticmethod
+    def buggy(rt):
+        return Etcd7816ContextValueRace._program(rt, protect=False)
+
+    @staticmethod
+    def fixed(rt):
+        return Etcd7816ContextValueRace._program(rt, protect=True)
+
+
+@register
+class GrpcTestingTRace(BugKernel):
+    """Spawned goroutines call ``t.Errorf`` concurrently with the test body."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-lib-grpc-testing-t",
+        title="gRPC: goroutines race on testing.T",
+        app=App.GRPC,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.SHARED_LIBRARY,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL,),
+        symptom="wrong-value",
+        description=(
+            "A testing function passes its *testing.T into goroutines that "
+            "report failures; T's log buffer is appended to by racy "
+            "read-modify-writes and entries vanish.  The fix collects "
+            "errors through a channel and reports from the test goroutine "
+            "(exactly the graphql-go fix the authors' detector prompted)."
+        ),
+        bug_url="pattern: grpc/grpc-go testing.T race",
+        deterministic=False,
+    )
+
+    CHECKS = 3
+
+    @staticmethod
+    def _program(rt, collect_via_channel: bool):
+        t = T(rt, "TestConcurrentRPCs")
+        wg = rt.waitgroup()
+        errors_ch = rt.make_chan(GrpcTestingTRace.CHECKS, name="t.errors")
+
+        def check(i):
+            message = f"rpc-{i} failed"
+            if collect_via_channel:
+                errors_ch.send(message)
+            else:
+                t.errorf(message)  # BUG: racy append to t's log
+            wg.done()
+
+        for i in range(GrpcTestingTRace.CHECKS):
+            wg.add(1)
+            rt.go(check, i, name=f"check-{i}")
+        wg.wait()
+        if collect_via_channel:
+            errors_ch.close()
+            for message in errors_ch:
+                t.errorf(message)
+        return len(t.logs) != GrpcTestingTRace.CHECKS
+
+    @staticmethod
+    def buggy(rt):
+        return GrpcTestingTRace._program(rt, collect_via_channel=False)
+
+    @staticmethod
+    def fixed(rt):
+        return GrpcTestingTRace._program(rt, collect_via_channel=True)

@@ -1,0 +1,81 @@
+"""Non-blocking kernels: message-passing library misuse (Table 9 mp "lib").
+
+Figure 12's ``time.Timer`` trap: a zero-duration timer's internal goroutine
+signals ``timer.C`` essentially at creation.
+"""
+
+from __future__ import annotations
+
+from ...chan.cases import recv
+from ...dataset.records import (
+    App,
+    Behavior,
+    FixPrimitive,
+    FixStrategy,
+    NonBlockingSubCause,
+)
+from ..meta import BugKernel, KernelMeta
+from ..registry import register
+
+
+@register
+class GrpcTimerZeroPremature(BugKernel):
+    """Figure 12: NewTimer(0) fires immediately and the wait returns early."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-msglib-grpc-timer-zero",
+        title="gRPC: time.NewTimer(0) returns the wait prematurely",
+        app=App.GRPC,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.MSG_LIBRARY,
+        fix_strategy=FixStrategy.BYPASS,  # avoid creating the zero timer
+        fix_primitives=(FixPrimitive.CHANNEL, FixPrimitive.MISC),
+        symptom="wrong-value",
+        description=(
+            "The code creates timer := time.NewTimer(0) as a placeholder "
+            "and only re-arms it when dur > 0, intending to wait for "
+            "ctx.Done() otherwise.  But the zero timer's internal goroutine "
+            "signals timer.C right away, so the function returns before "
+            "the context is done.  The fix declares a nil-able timeout "
+            "channel and creates the timer only when dur > 0."
+        ),
+        figure="12",
+        bug_url="pattern: grpc/grpc-go keepalive zero timer",
+    )
+
+    DUR = 0.0         # the buggy configuration: no explicit duration
+    CTX_DONE_AT = 2.0
+
+    @staticmethod
+    def _program(rt, nil_channel_when_no_timeout: bool):
+        ctx, cancel = rt.with_cancel(rt.background())
+
+        def canceller():
+            rt.sleep(GrpcTimerZeroPremature.CTX_DONE_AT)
+            cancel()
+
+        rt.go(canceller, name="canceller")
+
+        dur = GrpcTimerZeroPremature.DUR
+        if nil_channel_when_no_timeout:
+            timeout_ch = rt.nil_chan()  # never ready: the committed fix
+            if dur > 0:
+                timeout_ch = rt.new_timer(dur).c
+        else:
+            timer = rt.new_timer(0)  # BUG: starts counting down immediately
+            if dur > 0:
+                timer = rt.new_timer(dur)
+            timeout_ch = timer.c
+
+        index, _v, _ok = rt.select(recv(timeout_ch), recv(ctx.done()))
+        returned_at = rt.now()
+        # Misbehavior: returned before the context was actually done.
+        return index == 0 and returned_at < GrpcTimerZeroPremature.CTX_DONE_AT
+
+    @staticmethod
+    def buggy(rt):
+        return GrpcTimerZeroPremature._program(rt, nil_channel_when_no_timeout=False)
+
+    @staticmethod
+    def fixed(rt):
+        return GrpcTimerZeroPremature._program(rt, nil_channel_when_no_timeout=True)

@@ -1,0 +1,810 @@
+"""Non-blocking kernels: traditional shared-memory bugs (Table 9).
+
+Atomicity violations, order violations and plain data races — "same
+mistakes made by developers across different languages" (Observation 7).
+By convention every ``buggy``/``fixed`` program returns a truthy value from
+main exactly when the misbehavior was observed.
+"""
+
+from __future__ import annotations
+
+from ...dataset.records import (
+    App,
+    Behavior,
+    FixPrimitive,
+    FixStrategy,
+    NonBlockingSubCause,
+)
+from ..meta import BugKernel, KernelMeta
+from ..registry import register
+
+
+@register
+class DockerLostUpdate(BugKernel):
+    """Unprotected counter increments lose updates."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-trad-docker-lost-update",
+        title="Docker: unprotected reference-count increments",
+        app=App.DOCKER,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.TRADITIONAL,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="wrong-value",
+        description=(
+            "Layer reference counts are bumped by concurrent pulls with a "
+            "plain read-modify-write; interleaved increments are lost and "
+            "layers get garbage-collected while in use."
+        ),
+        bug_url="pattern: moby/moby layer refcount race",
+        deterministic=False,
+    )
+
+    WORKERS = 4
+    INCREMENTS = 3
+
+    @staticmethod
+    def _program(rt, protect: bool):
+        refs = rt.shared("layer.refs", 0)
+        mu = rt.mutex("layer")
+        wg = rt.waitgroup()
+
+        def puller():
+            for _ in range(DockerLostUpdate.INCREMENTS):
+                if protect:
+                    with mu:
+                        refs.add(1)
+                else:
+                    refs.add(1)  # BUG: racy read-modify-write
+            wg.done()
+
+        for i in range(DockerLostUpdate.WORKERS):
+            wg.add(1)
+            rt.go(puller, name=f"puller-{i}")
+        wg.wait()
+        expected = DockerLostUpdate.WORKERS * DockerLostUpdate.INCREMENTS
+        return refs.peek() != expected  # truthy == misbehaved
+
+    @staticmethod
+    def buggy(rt):
+        return DockerLostUpdate._program(rt, protect=False)
+
+    @staticmethod
+    def fixed(rt):
+        return DockerLostUpdate._program(rt, protect=True)
+
+
+@register
+class EtcdCheckThenAct(BugKernel):
+    """Racy lazy initialization runs the constructor twice."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-trad-etcd-check-then-act",
+        title="etcd: double initialization via check-then-act",
+        app=App.ETCD,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.TRADITIONAL,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="wrong-value",
+        description=(
+            "Two watchers lazily create the shared event buffer with "
+            "`if buf == nil { buf = new(...) }`; both observe nil and both "
+            "allocate, so one watcher's registrations vanish."
+        ),
+        bug_url="pattern: etcd-io/etcd watch buffer double-init",
+        deterministic=False,
+    )
+
+    @staticmethod
+    def _program(rt, protect: bool):
+        buf = rt.shared("watch.buffer", None)
+        inits = rt.shared("watch.inits", 0)
+        mu = rt.mutex("watch")
+        wg = rt.waitgroup()
+
+        def ensure_buffer():
+            if buf.load() is None:  # BUG: check and act are not atomic
+                rt.gosched()
+                inits.add(1)
+                buf.store([])
+
+        def watcher():
+            if protect:
+                with mu:
+                    ensure_buffer()
+            else:
+                ensure_buffer()
+            wg.done()
+
+        for i in range(2):
+            wg.add(1)
+            rt.go(watcher, name=f"watcher-{i}")
+        wg.wait()
+        return inits.peek() != 1
+
+    @staticmethod
+    def buggy(rt):
+        return EtcdCheckThenAct._program(rt, protect=False)
+
+    @staticmethod
+    def fixed(rt):
+        return EtcdCheckThenAct._program(rt, protect=True)
+
+
+@register
+class KubernetesOrderViolation(BugKernel):
+    """The consumer can run before the producer's initialization.
+
+    The *fix* uses a channel — one of Table 11's cases where message
+    passing repairs a shared-memory bug.  Note the buggy version has no
+    unsynchronized conflicting access pair once the atomic flag is used,
+    so a pure data race detector misses it (a Table 12 miss cause: "not
+    all non-blocking bugs are data races").
+    """
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-trad-kubernetes-order-violation",
+        title="Kubernetes: use-before-init order violation",
+        app=App.KUBERNETES,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.TRADITIONAL,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.CHANNEL,),
+        symptom="wrong-value",
+        description=(
+            "The informer goroutine publishes `initialized` via an atomic "
+            "flag but nothing orders the consumer after it; the consumer "
+            "may read the default config.  Fixed by signalling readiness "
+            "on a channel."
+        ),
+        bug_url="pattern: kubernetes/kubernetes informer init order",
+        deterministic=False,
+    )
+
+    @staticmethod
+    def _program(rt, channel_signal: bool):
+        config = rt.atomic_value(None, name="informer.config")
+        ready = rt.make_chan(0, name="informer.ready")
+        observed = []
+
+        def informer():
+            rt.sleep(0.1)  # list+watch handshake
+            config.store({"resync": 30})
+            if channel_signal:
+                ready.close()
+
+        def consumer():
+            if channel_signal:
+                ready.recv_ok()
+            observed.append(config.load())  # BUG: may be None
+
+        rt.go(informer, name="informer")
+        rt.go(consumer, name="consumer")
+        rt.sleep(1.0)
+        return observed[0] is None
+
+    @staticmethod
+    def buggy(rt):
+        return KubernetesOrderViolation._program(rt, channel_signal=False)
+
+    @staticmethod
+    def fixed(rt):
+        return KubernetesOrderViolation._program(rt, channel_signal=True)
+
+
+@register
+class GrpcErrorOverwrite(BugKernel):
+    """Concurrent error reporters overwrite the first (root-cause) error."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-trad-grpc-error-overwrite",
+        title="gRPC: concurrent writes clobber the stream error",
+        app=App.GRPC,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.TRADITIONAL,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="wrong-value",
+        description=(
+            "The reader and writer loops both set stream.err on failure; "
+            "without the first-error guard under a mutex, the secondary "
+            "\"connection closing\" error masks the root cause."
+        ),
+        bug_url="pattern: grpc/grpc-go stream error overwrite",
+        deterministic=False,
+    )
+
+    @staticmethod
+    def _program(rt, first_error_wins: bool):
+        err = rt.shared("stream.err", None)
+        mu = rt.mutex("stream")
+        wg = rt.waitgroup()
+
+        def report(error, delay):
+            rt.sleep(delay)
+            if first_error_wins:
+                with mu:
+                    if err.load() is None:
+                        err.store(error)
+            else:
+                err.store(error)  # BUG: last writer wins
+            wg.done()
+
+        wg.add(2)
+        rt.go(report, "rst-stream", 0.1, name="reader-loop")   # root cause
+        rt.go(report, "conn-closing", 0.2, name="writer-loop")  # follow-on
+        wg.wait()
+        return err.peek() != "rst-stream"
+
+    @staticmethod
+    def buggy(rt):
+        return GrpcErrorOverwrite._program(rt, first_error_wins=False)
+
+    @staticmethod
+    def fixed(rt):
+        return GrpcErrorOverwrite._program(rt, first_error_wins=True)
+
+
+@register
+class Cockroach6111RefThroughChannel(BugKernel):
+    """A mutable object's *reference* crosses a channel; both sides race.
+
+    The paper names this shape explicitly: "Docker#22985 and
+    CockroachDB#6111 are caused by data race on a shared variable whose
+    reference is passed across goroutines through a channel."
+    """
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-trad-cockroach-6111",
+        title="CockroachDB#6111: reference shared through a channel",
+        app=App.COCKROACHDB,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.TRADITIONAL,
+        fix_strategy=FixStrategy.PRIVATIZE,
+        fix_primitives=(FixPrimitive.NONE,),
+        symptom="wrong-value",
+        description=(
+            "The gossip sender keeps mutating the info struct after "
+            "sending its pointer downstream; the receiver decodes a torn "
+            "snapshot.  Fixed by sending a private copy."
+        ),
+        bug_url="cockroachdb/cockroach#6111",
+        deterministic=False,
+    )
+
+    @staticmethod
+    def _program(rt, send_copy: bool):
+        info = rt.shared("gossip.info", ("k", 1))
+        ch = rt.make_chan(1, name="gossip.out")
+        torn = []
+
+        def sender():
+            payload = info if not send_copy else rt.shared("copy", info.load())
+            ch.send(payload)
+            info.store(("k", 2))  # BUG: mutates after sending the reference
+
+        def receiver():
+            payload = ch.recv()
+            rt.sleep(0.1)  # decode latency
+            torn.append(payload.load())
+
+        rt.go(sender, name="gossip-sender")
+        rt.go(receiver, name="gossip-receiver")
+        rt.sleep(1.0)
+        return torn[0] != ("k", 1)
+
+    @staticmethod
+    def buggy(rt):
+        return Cockroach6111RefThroughChannel._program(rt, send_copy=False)
+
+    @staticmethod
+    def fixed(rt):
+        return Cockroach6111RefThroughChannel._program(rt, send_copy=True)
+
+
+@register
+class BoltDBTornStats(BugKernel):
+    """A reader observes a two-field invariant mid-update."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-trad-boltdb-torn-stats",
+        title="BoltDB: torn read of the tx stats pair",
+        app=App.BOLTDB,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.TRADITIONAL,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="wrong-value",
+        description=(
+            "db.Stats() reads {started, completed} while the commit path "
+            "updates them without the stats lock; the snapshot can show "
+            "more completed than started transactions."
+        ),
+        bug_url="pattern: boltdb/bolt Stats race",
+        deterministic=False,
+    )
+
+    @staticmethod
+    def _program(rt, protect: bool):
+        started = rt.shared("stats.started", 0)
+        completed = rt.shared("stats.completed", 0)
+        mu = rt.mutex("stats")
+        bad = []
+
+        def committer():
+            for _ in range(3):
+                if protect:
+                    with mu:
+                        started.add(1)
+                        completed.add(1)
+                else:
+                    started.add(1)
+                    completed.add(1)
+
+        def stats_reader():
+            for _ in range(3):
+                if protect:
+                    with mu:
+                        snapshot = (started.load(), completed.load())
+                else:
+                    s = started.load()  # BUG: unlocked two-field snapshot
+                    rt.gosched()
+                    c = completed.load()
+                    snapshot = (s, c)
+                if snapshot[1] > snapshot[0]:
+                    bad.append(snapshot)
+                rt.gosched()
+
+        rt.go(committer, name="committer")
+        rt.go(stats_reader, name="stats-reader")
+        rt.sleep(1.0)
+        return bool(bad)
+
+    @staticmethod
+    def buggy(rt):
+        return BoltDBTornStats._program(rt, protect=False)
+
+    @staticmethod
+    def fixed(rt):
+        return BoltDBTornStats._program(rt, protect=True)
+
+
+@register
+class Docker22985MapRace(BugKernel):
+    """Concurrent map mutation loses an entry."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-trad-docker-22985",
+        title="Docker#22985: concurrent map update loses an entry",
+        app=App.DOCKER,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.TRADITIONAL,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="wrong-value",
+        description=(
+            "Two exec-session registrations read-copy-update the sessions "
+            "map concurrently; one registration is lost and its cleanup "
+            "path later panics."
+        ),
+        bug_url="moby/moby#22985",
+        deterministic=False,
+    )
+
+    @staticmethod
+    def _program(rt, protect: bool):
+        sessions = rt.shared("exec.sessions", {})
+        mu = rt.mutex("exec")
+        wg = rt.waitgroup()
+
+        def register_session(sid):
+            def insert():
+                table = dict(sessions.load())
+                rt.gosched()
+                table[sid] = True
+                sessions.store(table)
+
+            if protect:
+                with mu:
+                    insert()
+            else:
+                insert()  # BUG: lost update on the map
+            wg.done()
+
+        for sid in ("exec-1", "exec-2"):
+            wg.add(1)
+            rt.go(register_session, sid, name=sid)
+        wg.wait()
+        return len(sessions.peek()) != 2
+
+    @staticmethod
+    def buggy(rt):
+        return Docker22985MapRace._program(rt, protect=False)
+
+    @staticmethod
+    def fixed(rt):
+        return Docker22985MapRace._program(rt, protect=True)
+
+
+@register
+class GrpcShadowEvictionMiss(BugKernel):
+    """A race the 4-shadow-word detector misses.
+
+    The racy write is followed by six same-goroutine reads of the same
+    variable; they evict the write from the object's 4-cell shadow history
+    before the racing goroutine's read arrives.  With unlimited shadow
+    words the detector reports it — the Table 12 ablation kernel.
+    """
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-trad-grpc-shadow-eviction",
+        title="gRPC: race hidden by shadow-word eviction",
+        app=App.GRPC,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.TRADITIONAL,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="wrong-value",
+        description=(
+            "The balancer goroutine writes the ready-address slot once and "
+            "then polls it in a hot loop; the resolver goroutine reads the "
+            "slot unsynchronized.  The write is long gone from the 4-word "
+            "shadow history by the time the conflicting read lands."
+        ),
+        bug_url="pattern: grpc/grpc-go balancer addr race",
+        deterministic=False,
+        latent=True,
+    )
+
+    @staticmethod
+    def _program(rt, protect: bool):
+        addr = rt.shared("balancer.addr", None)
+        mu = rt.mutex("balancer")
+        stale = []
+
+        def balancer():
+            if protect:
+                with mu:
+                    addr.store("10.0.0.1:443")
+            else:
+                addr.store("10.0.0.1:443")
+            for _ in range(6):  # hot polling evicts the write's shadow word
+                addr.load()
+
+        def resolver():
+            rt.sleep(0.2)
+            if protect:
+                with mu:
+                    value = addr.load()
+            else:
+                value = addr.load()  # racy read, far from the write
+            stale.append(value)
+
+        rt.go(balancer, name="balancer")
+        rt.go(resolver, name="resolver")
+        rt.sleep(1.0)
+        # Latent race: the read usually sees the final value, so the kernel
+        # is evaluated through the race detector, not through this result.
+        return None
+
+    @staticmethod
+    def buggy(rt):
+        return GrpcShadowEvictionMiss._program(rt, protect=False)
+
+    @staticmethod
+    def fixed(rt):
+        return GrpcShadowEvictionMiss._program(rt, protect=True)
+
+
+@register
+class KubernetesDoubleCheckedLocking(BugKernel):
+    """Double-checked locking without the second check."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-trad-kubernetes-double-checked",
+        title="Kubernetes: double-checked init missing the re-check",
+        app=App.KUBERNETES,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.TRADITIONAL,
+        fix_strategy=FixStrategy.MOVE_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="wrong-value",
+        description=(
+            "The client-set cache checks `if cache == nil` on a plain read "
+            "outside the lock, then locks and initializes without "
+            "re-checking: two API callers both pass the unlocked check and "
+            "the second clobbers the first's registrations.  The real fix "
+            "is full double-checked locking — an *atomic* fast-path load "
+            "plus a re-check under the lock."
+        ),
+        bug_url="pattern: kubernetes/kubernetes clientset cache init",
+        deterministic=False,
+        reproduced=False,
+    )
+
+    @staticmethod
+    def buggy(rt):
+        cache = rt.shared("clientset.cache", None)
+        inits = rt.shared("clientset.inits", 0)
+        mu = rt.mutex("clientset")
+        wg = rt.waitgroup()
+
+        def get_clientset():
+            if cache.load() is None:   # unlocked plain read (racy)
+                mu.lock()
+                rt.gosched()
+                inits.add(1)           # BUG: no re-check — may run twice
+                cache.store({})
+                mu.unlock()
+            wg.done()
+
+        for i in range(2):
+            wg.add(1)
+            rt.go(get_clientset, name=f"caller-{i}")
+        wg.wait()
+        return inits.peek() != 1
+
+    @staticmethod
+    def fixed(rt):
+        cache = rt.atomic_value(None, name="clientset.cache")
+        inits = rt.atomic_int(0, name="clientset.inits")
+        mu = rt.mutex("clientset")
+        wg = rt.waitgroup()
+
+        def get_clientset():
+            if cache.load() is None:        # atomic fast path
+                mu.lock()
+                if cache.load() is None:    # re-check under the lock
+                    inits.add(1)
+                    cache.store({})
+                mu.unlock()
+            wg.done()
+
+        for i in range(2):
+            wg.add(1)
+            rt.go(get_clientset, name=f"caller-{i}")
+        wg.wait()
+        return inits.load() != 1
+
+
+@register
+class DockerStateTOCTOU(BugKernel):
+    """Check the container state, drop the lock, then act on stale state."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-trad-docker-toctou",
+        title="Docker: stop races with exec (time-of-check-to-time-of-use)",
+        app=App.DOCKER,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.TRADITIONAL,
+        fix_strategy=FixStrategy.MOVE_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="wrong-value",
+        description=(
+            "`docker exec` checks IsRunning() under the lock, releases it, "
+            "and then attaches — while `docker stop` flips the state in "
+            "between, so the exec attaches to a dead container.  The fix "
+            "widens the critical section over check *and* act."
+        ),
+        bug_url="pattern: moby/moby exec-vs-stop TOCTOU",
+        deterministic=False,
+        reproduced=False,
+    )
+
+    @staticmethod
+    def _program(rt, act_under_lock: bool):
+        mu = rt.mutex("container")
+        running = rt.shared("container.running", True)
+        attached_dead = rt.shared("attached-dead", False)
+
+        def exec_attach():
+            mu.lock()
+            is_running = running.load()     # the check
+            if not act_under_lock:
+                mu.unlock()                 # BUG: lock dropped before acting
+                rt.gosched()
+            if is_running:
+                if not running.load():      # acting on a stopped container
+                    attached_dead.store(True)
+            if act_under_lock:
+                mu.unlock()
+
+        def stop():
+            mu.lock()
+            running.store(False)
+            mu.unlock()
+
+        rt.go(exec_attach, name="exec")
+        rt.go(stop, name="stop")
+        rt.sleep(1.0)
+        return attached_dead.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return DockerStateTOCTOU._program(rt, act_under_lock=False)
+
+    @staticmethod
+    def fixed(rt):
+        return DockerStateTOCTOU._program(rt, act_under_lock=True)
+
+
+@register
+class EtcdSplitCriticalSection(BugKernel):
+    """Locked read + locked write with an unlocked gap: still a lost update."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-trad-etcd-split-critical-section",
+        title="etcd: read and write locked separately, not atomically",
+        app=App.ETCD,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.TRADITIONAL,
+        fix_strategy=FixStrategy.MOVE_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="wrong-value",
+        description=(
+            "The quota checker reads usage under the lock, computes the new "
+            "value unlocked, then writes under the lock again — every "
+            "access is locked, yet concurrent updates vanish: an atomicity "
+            "violation, not a data race.  The fix merges the two sections."
+        ),
+        bug_url="pattern: etcd-io/etcd quota split section",
+        deterministic=False,
+        reproduced=False,
+    )
+
+    WORKERS = 3
+
+    @staticmethod
+    def _program(rt, single_section: bool):
+        mu = rt.mutex("quota")
+        usage = rt.shared("quota.usage", 0)
+        wg = rt.waitgroup()
+
+        def charge():
+            if single_section:
+                with mu:
+                    usage.store(usage.load() + 1)
+            else:
+                with mu:
+                    current = usage.load()
+                rt.gosched()                # compute outside the lock
+                new_value = current + 1
+                with mu:
+                    usage.store(new_value)  # BUG: may clobber a peer's charge
+            wg.done()
+
+        for i in range(EtcdSplitCriticalSection.WORKERS):
+            wg.add(1)
+            rt.go(charge, name=f"charge-{i}")
+        wg.wait()
+        return usage.peek() != EtcdSplitCriticalSection.WORKERS
+
+    @staticmethod
+    def buggy(rt):
+        return EtcdSplitCriticalSection._program(rt, single_section=False)
+
+    @staticmethod
+    def fixed(rt):
+        return EtcdSplitCriticalSection._program(rt, single_section=True)
+
+
+@register
+class CockroachAppendRace(BugKernel):
+    """Concurrent slice appends drop entries."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-trad-cockroach-append-race",
+        title="CockroachDB: concurrent appends to the intents slice",
+        app=App.COCKROACHDB,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.TRADITIONAL,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="wrong-value",
+        description=(
+            "Parallel command evaluation appends encountered intents to a "
+            "shared slice; Go's append is a read-copy-update, so "
+            "interleaved appends drop intents and they never get resolved."
+        ),
+        bug_url="pattern: cockroachdb/cockroach intents append race",
+        deterministic=False,
+        reproduced=False,
+    )
+
+    @staticmethod
+    def _program(rt, protect: bool):
+        intents = rt.shared("intents", ())
+        mu = rt.mutex("intents")
+        wg = rt.waitgroup()
+
+        def evaluate(key):
+            def append():
+                intents.update(lambda seen: seen + (key,))
+
+            if protect:
+                with mu:
+                    append()
+            else:
+                append()  # BUG
+            wg.done()
+
+        for key in ("a", "b", "c", "d"):
+            wg.add(1)
+            rt.go(evaluate, key, name=f"eval-{key}")
+        wg.wait()
+        return len(intents.peek()) != 4
+
+    @staticmethod
+    def buggy(rt):
+        return CockroachAppendRace._program(rt, protect=False)
+
+    @staticmethod
+    def fixed(rt):
+        return CockroachAppendRace._program(rt, protect=True)
+
+
+@register
+class BoltDBUnlockedReadDuringCommit(BugKernel):
+    """Stats read skips the lock "because it is just a read"."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-trad-boltdb-unlocked-read",
+        title="BoltDB: lock-free read overlaps a two-step commit",
+        app=App.BOLTDB,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.TRADITIONAL,
+        fix_strategy=FixStrategy.ADD_SYNC,
+        fix_primitives=(FixPrimitive.MUTEX,),
+        symptom="wrong-value",
+        description=(
+            "The commit path updates {root page, sequence} under the meta "
+            "lock in two steps; a reader that skips the lock can observe "
+            "the new root with the old sequence and follow a bogus page."
+        ),
+        bug_url="pattern: boltdb/bolt meta read race",
+        deterministic=False,
+        reproduced=False,
+    )
+
+    @staticmethod
+    def _program(rt, reader_locks: bool):
+        mu = rt.mutex("meta")
+        root = rt.shared("meta.root", 1)
+        sequence = rt.shared("meta.seq", 1)
+        torn = rt.shared("torn", False)
+
+        def commit():
+            for n in (2, 3):
+                with mu:
+                    root.store(n)
+                    rt.gosched()
+                    sequence.store(n)
+
+        def reader():
+            for _ in range(4):
+                if reader_locks:
+                    with mu:
+                        snapshot = (root.load(), sequence.load())
+                else:
+                    r = root.load()         # BUG: unlocked pair read
+                    rt.gosched()
+                    s = sequence.load()
+                    snapshot = (r, s)
+                if snapshot[0] != snapshot[1]:
+                    torn.store(True)
+                rt.gosched()
+
+        rt.go(commit, name="commit")
+        rt.go(reader, name="stats-reader")
+        rt.sleep(1.0)
+        return torn.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return BoltDBUnlockedReadDuringCommit._program(rt, reader_locks=False)
+
+    @staticmethod
+    def fixed(rt):
+        return BoltDBUnlockedReadDuringCommit._program(rt, reader_locks=True)

@@ -1,0 +1,185 @@
+"""Non-blocking kernels: WaitGroup misuse (Table 9, 6/86 bugs).
+
+The underlying rule: ``Add`` must happen-before ``Wait``.  Includes
+Figure 9 (etcd#6371) verbatim.
+"""
+
+from __future__ import annotations
+
+from ...dataset.records import (
+    App,
+    Behavior,
+    FixPrimitive,
+    FixStrategy,
+    NonBlockingSubCause,
+)
+from ..meta import BugKernel, KernelMeta
+from ..registry import register
+
+
+@register
+class Etcd6371AddAfterWait(BugKernel):
+    """Figure 9: nothing orders func1's Add before func2's Wait."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-wg-etcd-6371",
+        title="etcd#6371: Add races with Wait",
+        app=App.ETCD,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.WAITGROUP,
+        fix_strategy=FixStrategy.MOVE_SYNC,
+        fix_primitives=(FixPrimitive.WAITGROUP, FixPrimitive.MUTEX),
+        symptom="wrong-value",
+        description=(
+            "peer.send's Add(1) can run after the stopper's Wait() already "
+            "returned, so the stopper proceeds while a sender is still "
+            "active and observes a half-torn-down peer.  The fix moves Add "
+            "into the mutex-protected section Wait also respects."
+        ),
+        figure="9",
+        bug_url="etcd-io/etcd#6371",
+        deterministic=False,
+    )
+
+    @staticmethod
+    def _program(rt, add_in_critical_section: bool):
+        mu = rt.mutex("peer")
+        wg = rt.waitgroup("peer.senders")
+        stopped = rt.shared("peer.stopped", False)
+        sent_after_stop = rt.shared("sent-after-stop", False)
+
+        def send():  # func1
+            if add_in_critical_section:
+                mu.lock()
+                if not stopped.load():
+                    wg.add(1)
+                    mu.unlock()
+                    if stopped.load():
+                        sent_after_stop.store(True)
+                    wg.done()
+                else:
+                    mu.unlock()
+            else:
+                wg.add(1)  # BUG: unordered with stop()'s Wait
+                if stopped.load():
+                    sent_after_stop.store(True)
+                wg.done()
+
+        def stop():  # func2
+            mu.lock()
+            wg.wait()  # may return before send()'s Add
+            stopped.store(True)
+            mu.unlock()
+
+        rt.go(send, name="peer-send")
+        rt.go(stop, name="peer-stop")
+        rt.sleep(1.0)
+        return sent_after_stop.peek()
+
+    @staticmethod
+    def buggy(rt):
+        return Etcd6371AddAfterWait._program(rt, add_in_critical_section=False)
+
+    @staticmethod
+    def fixed(rt):
+        return Etcd6371AddAfterWait._program(rt, add_in_critical_section=True)
+
+
+@register
+class DockerDoneTwice(BugKernel):
+    """An error path calls Done twice, panicking the daemon."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-wg-docker-done-twice",
+        title="Docker: double Done drives the counter negative",
+        app=App.DOCKER,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.WAITGROUP,
+        fix_strategy=FixStrategy.REMOVE_SYNC,
+        fix_primitives=(FixPrimitive.WAITGROUP,),
+        symptom="panic",
+        description=(
+            "The attach teardown calls Done in its error branch *and* in "
+            "the deferred cleanup; the second decrement makes the counter "
+            "negative and Go panics the whole daemon."
+        ),
+        bug_url="pattern: moby/moby attach double Done",
+    )
+
+    @staticmethod
+    def _program(rt, done_in_defer_only: bool):
+        wg = rt.waitgroup("attach")
+        wg.add(1)
+
+        def attach_stream():
+            failed = True
+            try:
+                if failed and not done_in_defer_only:
+                    wg.done()  # BUG: the finally below decrements again
+                    return
+            finally:
+                wg.done()
+
+        rt.go(attach_stream, name="attach")
+        wg.wait()
+        return False
+
+    @staticmethod
+    def buggy(rt):
+        return DockerDoneTwice._program(rt, done_in_defer_only=False)
+
+    @staticmethod
+    def fixed(rt):
+        return DockerDoneTwice._program(rt, done_in_defer_only=True)
+
+
+@register
+class CockroachAddInsideWorker(BugKernel):
+    """Add is called by the worker itself, after go — too late."""
+
+    meta = KernelMeta(
+        kernel_id="nonblocking-wg-cockroach-add-inside",
+        title="CockroachDB: Add called inside the spawned worker",
+        app=App.COCKROACHDB,
+        behavior=Behavior.NONBLOCKING,
+        subcause=NonBlockingSubCause.WAITGROUP,
+        fix_strategy=FixStrategy.MOVE_SYNC,
+        fix_primitives=(FixPrimitive.WAITGROUP,),
+        symptom="wrong-value",
+        description=(
+            "Each intent resolver calls wg.Add(1) as its first statement — "
+            "after `go` — so the barrier's Wait can observe counter 0 "
+            "before any worker registered and the caller commits a partial "
+            "resolution.  The fix moves Add before the go statement."
+        ),
+        bug_url="pattern: cockroachdb/cockroach intent resolver Add-after-go",
+        deterministic=False,
+    )
+
+    WORKERS = 3
+
+    @staticmethod
+    def _program(rt, add_before_go: bool):
+        wg = rt.waitgroup("resolvers")
+        resolved = rt.atomic_int(0, name="resolved")
+
+        def resolver():
+            if not add_before_go:
+                wg.add(1)  # BUG: Wait may already have returned
+            resolved.add(1)
+            wg.done()
+
+        for i in range(CockroachAddInsideWorker.WORKERS):
+            if add_before_go:
+                wg.add(1)
+            rt.go(resolver, name=f"resolver-{i}")
+        wg.wait()
+        return resolved.load() != CockroachAddInsideWorker.WORKERS
+
+    @staticmethod
+    def buggy(rt):
+        return CockroachAddInsideWorker._program(rt, add_before_go=False)
+
+    @staticmethod
+    def fixed(rt):
+        return CockroachAddInsideWorker._program(rt, add_before_go=True)

@@ -1,0 +1,70 @@
+"""Kernel registry.
+
+Kernels self-register via the :func:`register` decorator; the corpus is
+materialized by importing :mod:`repro.bugs` (which pulls in every kernel
+module).  Query helpers slice the corpus the way the paper's tables do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Type
+
+from ..dataset.records import App, Behavior, Cause
+from .meta import BugKernel
+
+_REGISTRY: Dict[str, Type[BugKernel]] = {}
+
+
+def register(cls: Type[BugKernel]) -> Type[BugKernel]:
+    """Class decorator adding a kernel to the corpus."""
+    kernel_id = cls.meta.kernel_id
+    if kernel_id in _REGISTRY:
+        raise ValueError(f"duplicate kernel id: {kernel_id}")
+    _REGISTRY[kernel_id] = cls
+    return cls
+
+
+def get(kernel_id: str) -> Type[BugKernel]:
+    _ensure_loaded()
+    return _REGISTRY[kernel_id]
+
+
+def all_kernels() -> List[Type[BugKernel]]:
+    _ensure_loaded()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def blocking_kernels(reproduced_only: bool = False) -> List[Type[BugKernel]]:
+    return [k for k in all_kernels()
+            if k.meta.behavior == Behavior.BLOCKING
+            and (k.meta.reproduced or not reproduced_only)]
+
+
+def nonblocking_kernels(reproduced_only: bool = False) -> List[Type[BugKernel]]:
+    return [k for k in all_kernels()
+            if k.meta.behavior == Behavior.NONBLOCKING
+            and (k.meta.reproduced or not reproduced_only)]
+
+
+def by_subcause(subcause) -> List[Type[BugKernel]]:
+    return [k for k in all_kernels() if k.meta.subcause == subcause]
+
+
+def by_app(app: App) -> List[Type[BugKernel]]:
+    return [k for k in all_kernels() if k.meta.app == app]
+
+
+def by_cause(cause: Cause) -> List[Type[BugKernel]]:
+    return [k for k in all_kernels() if k.meta.cause == cause]
+
+
+def figures() -> Dict[str, Type[BugKernel]]:
+    """Kernels that reproduce a specific paper figure, keyed by figure id."""
+    return {k.meta.figure: k for k in all_kernels() if k.meta.figure}
+
+
+def _ensure_loaded() -> None:
+    # Importing the package populates the registry exactly once.
+    from . import _load_all
+
+    _load_all()

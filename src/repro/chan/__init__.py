@@ -1,0 +1,16 @@
+"""Message passing: channels and select."""
+
+from .cases import RecvCase, SelectCase, SendCase, recv, send
+from .channel import Channel, NilChannel
+from .select import select
+
+__all__ = [
+    "Channel",
+    "NilChannel",
+    "RecvCase",
+    "SelectCase",
+    "SendCase",
+    "recv",
+    "select",
+    "send",
+]

@@ -1,0 +1,99 @@
+"""Select case objects: ``send(ch, v)`` and ``recv(ch)``.
+
+A Go ``select`` statement maps to::
+
+    select {                       idx, val, ok = rt.select(
+    case ch1 <- x:                     send(ch1, x),
+    case v := <-ch2:                   recv(ch2),
+    default:                           default=True,
+    }                              )
+
+``idx`` is the chosen case position (``-1`` for the default branch).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from .channel import _Waiter
+
+
+class SelectCase:
+    """Base class for one arm of a select."""
+
+    is_send = False
+
+    def __init__(self, channel):
+        self.channel = channel
+
+    def ready(self) -> bool:
+        raise NotImplementedError
+
+    def perform(self, gid: int) -> Tuple[Any, bool]:
+        """Complete the (known-ready) operation; returns ``(value, ok)``."""
+        raise NotImplementedError
+
+    def register(self, goroutine, ctx, index: int) -> Optional[_Waiter]:
+        """Park a waiter for this case; None for nil channels (never ready)."""
+        raise NotImplementedError
+
+
+class SendCase(SelectCase):
+    """``case ch <- value``."""
+
+    is_send = True
+
+    def __init__(self, channel, value: Any):
+        super().__init__(channel)
+        self.value = value
+
+    def ready(self) -> bool:
+        return self.channel.can_send_now()
+
+    def perform(self, gid: int) -> Tuple[Any, bool]:
+        completed = self.channel.poll_send(self.value, gid)
+        assert completed, "select chose a send case that was not ready"
+        return None, True
+
+    def register(self, goroutine, ctx, index: int) -> Optional[_Waiter]:
+        if not hasattr(self.channel, "_send_waiters"):  # nil channel
+            return None
+        waiter = _Waiter(goroutine, is_send=True, payload=self.value,
+                         select_ctx=ctx, case_index=index)
+        self.channel._send_waiters.append(waiter)
+        return waiter
+
+    def __repr__(self) -> str:
+        return f"send({self.channel!r})"
+
+
+class RecvCase(SelectCase):
+    """``case v, ok := <-ch``."""
+
+    def ready(self) -> bool:
+        return self.channel.can_recv_now()
+
+    def perform(self, gid: int) -> Tuple[Any, bool]:
+        outcome = self.channel.poll_recv(gid)
+        assert outcome is not None, "select chose a recv case that was not ready"
+        return outcome
+
+    def register(self, goroutine, ctx, index: int) -> Optional[_Waiter]:
+        if not hasattr(self.channel, "_recv_waiters"):  # nil channel
+            return None
+        waiter = _Waiter(goroutine, is_send=False, select_ctx=ctx, case_index=index)
+        self.channel._recv_waiters.append(waiter)
+        return waiter
+
+    def __repr__(self) -> str:
+        return f"recv({self.channel!r})"
+
+
+def send(channel, value: Any) -> SendCase:
+    """Build a ``case ch <- value`` select arm."""
+    return SendCase(channel, value)
+
+
+def recv(channel) -> RecvCase:
+    """Build a ``case <-ch`` select arm."""
+    return RecvCase(channel)

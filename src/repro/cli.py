@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report``                — regenerate the paper's tables and figures.
+* ``kernels``               — list the executable bug corpus.
+* ``run-kernel <id>``       — run one kernel (buggy or fixed) and classify.
+* ``detect <id>``           — run every detector against one kernel.
+* ``scan <paths...>``       — static loop-capture scan over Python sources.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bugs import registry
+from .detect import (
+    BuiltinDeadlockDetector,
+    ChannelRuleChecker,
+    GoroutineLeakDetector,
+    LockOrderDetector,
+    RaceDetector,
+    scan_paths,
+)
+from .runtime.runtime import run
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .study.report import full_report
+
+    print(full_report())
+    return 0
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    kernels = registry.all_kernels()
+    if args.blocking:
+        kernels = [k for k in kernels if k.meta.behavior.value == "blocking"]
+    if args.nonblocking:
+        kernels = [k for k in kernels if k.meta.behavior.value == "non-blocking"]
+    for kernel in kernels:
+        meta = kernel.meta
+        figure = f" [figure {meta.figure}]" if meta.figure else ""
+        print(f"{meta.kernel_id:<52} {meta.app.value:<12} "
+              f"{str(meta.subcause):<22} {str(meta.fix_strategy):<9}{figure}")
+    print(f"\n{len(kernels)} kernels")
+    return 0
+
+
+def _describe(result) -> str:
+    bits = [f"status={result.status}", f"steps={result.steps}",
+            f"virtual-time={result.end_time:g}s"]
+    if result.leaked:
+        bits.append("leaked=" + ", ".join(g.describe() for g in result.leaked))
+    if result.panic_value is not None:
+        bits.append(f"panic={result.panic_value}")
+    return "\n  ".join(bits)
+
+
+def _cmd_run_kernel(args: argparse.Namespace) -> int:
+    kernel = registry.get(args.kernel_id)
+    program = kernel.run_fixed if args.fixed else kernel.run_buggy
+    if args.sweep:
+        hits = 0
+        for seed in range(args.sweep):
+            result = program(seed=seed)
+            if kernel.manifested(result):
+                hits += 1
+        variant = "fixed" if args.fixed else "buggy"
+        print(f"{args.kernel_id} ({variant}): manifested on "
+              f"{hits}/{args.sweep} seeds")
+        return 0
+    result = program(seed=args.seed)
+    print(f"{args.kernel_id} seed={args.seed}")
+    print(f"  {_describe(result)}")
+    print(f"  manifested={kernel.manifested(result)}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    kernel = registry.get(args.kernel_id)
+    seeds = ([args.seed] if args.seed is not None
+             else (kernel.manifestation_seeds(range(40)) or [0])[:1])
+    seed = seeds[0]
+
+    race = RaceDetector()
+    rules = ChannelRuleChecker()
+    lockorder = LockOrderDetector()
+    kwargs = dict(kernel.run_kwargs)
+    result = run(kernel.buggy, seed=seed,
+                 observers=[race, rules, lockorder], **kwargs)
+
+    print(f"{args.kernel_id} (buggy, seed={seed}): {_describe(result)}")
+    print(f"  built-in deadlock detector: "
+          f"{'HIT' if BuiltinDeadlockDetector().classify(result) else 'miss'}")
+    print(f"  goroutine-leak detector:    "
+          f"{'HIT' if GoroutineLeakDetector().classify(result) else 'miss'}")
+    print(f"  race detector:              "
+          f"{'HIT' if race.detected else 'miss'}")
+    for report in race.reports:
+        print(f"    {report}")
+    print(f"  channel-rule checker:       "
+          f"{'HIT' if rules.detected else 'miss'}")
+    for violation in rules.violations:
+        print(f"    {violation}")
+    print(f"  lock-order detector:        "
+          f"{'HIT' if lockorder.detected else 'miss'}")
+    for violation in lockorder.violations:
+        print(f"    {violation}")
+    return 0
+
+
+def _cmd_usage(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .study.usage_static import COLUMNS, analyze_package
+
+    for target in args.paths:
+        usage = analyze_package(Path(target))
+        props = usage.proportions()
+        print(f"{usage.name}: {usage.loc} LoC across {usage.files} files")
+        print(f"  goroutine creation sites: {usage.creation_sites} "
+              f"({usage.anonymous_sites} anonymous / {usage.named_sites} named, "
+              f"{usage.sites_per_kloc:.2f}/KLOC)")
+        print(f"  primitive usages: {usage.total_primitives} "
+              f"({usage.primitives_per_kloc:.1f}/KLOC)")
+        for column in COLUMNS:
+            if props[column]:
+                print(f"    {column:<10} {props[column]:5.1f}%")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .study.export import export_all
+
+    paths = export_all(args.directory)
+    for path in paths:
+        print(path)
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .detect.systematic import explore_systematic
+
+    kernel = registry.get(args.kernel_id)
+    program = kernel.fixed if args.fixed else kernel.buggy
+    kwargs = dict(kernel.run_kwargs)
+    exploration = explore_systematic(
+        program, stop_on=kernel.manifested, max_runs=args.max_runs, **kwargs
+    )
+    variant = "fixed" if args.fixed else "buggy"
+    print(f"{args.kernel_id} ({variant}): {exploration}")
+    if exploration.found:
+        print("  replay with: ScriptedChoices("
+              f"{exploration.counterexample})")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    findings = scan_paths(args.paths)
+    for finding in findings:
+        print(finding)
+    print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Understanding Real-World Concurrency "
+                     "Bugs in Go' (ASPLOS 2019)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("report", help="regenerate the paper's evaluation")
+
+    kernels = sub.add_parser("kernels", help="list the bug corpus")
+    kernels.add_argument("--blocking", action="store_true")
+    kernels.add_argument("--nonblocking", action="store_true")
+
+    runk = sub.add_parser("run-kernel", help="execute one kernel")
+    runk.add_argument("kernel_id")
+    runk.add_argument("--seed", type=int, default=0)
+    runk.add_argument("--fixed", action="store_true",
+                      help="run the fixed variant instead of the buggy one")
+    runk.add_argument("--sweep", type=int, metavar="N",
+                      help="run seeds 0..N-1 and report the manifestation rate")
+
+    detect = sub.add_parser("detect", help="run every detector on a kernel")
+    detect.add_argument("kernel_id")
+    detect.add_argument("--seed", type=int, default=None)
+
+    scan = sub.add_parser("scan", help="static loop-capture scan")
+    scan.add_argument("paths", nargs="+")
+
+    explore = sub.add_parser(
+        "explore", help="systematically enumerate a kernel's schedules"
+    )
+    explore.add_argument("kernel_id")
+    explore.add_argument("--max-runs", type=int, default=500)
+    explore.add_argument("--fixed", action="store_true")
+
+    export = sub.add_parser(
+        "export", help="write tables/figures as TSV/JSON artifacts"
+    )
+    export.add_argument("directory")
+
+    usage = sub.add_parser(
+        "usage", help="Table 2/4-style concurrency profile of a package"
+    )
+    usage.add_argument("paths", nargs="+")
+
+    return parser
+
+
+_COMMANDS = {
+    "report": _cmd_report,
+    "kernels": _cmd_kernels,
+    "run-kernel": _cmd_run_kernel,
+    "detect": _cmd_detect,
+    "scan": _cmd_scan,
+    "explore": _cmd_explore,
+    "export": _cmd_export,
+    "usage": _cmd_usage,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

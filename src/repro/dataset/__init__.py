@@ -1,0 +1,30 @@
+"""The study dataset: taxonomy records, the 171-bug dataset, published
+reference values, and the Figure 2/3 usage-history series."""
+
+from . import go171, paper_values, usage_history
+from .records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    BugRecord,
+    Cause,
+    FixPrimitive,
+    FixStrategy,
+    NonBlockingSubCause,
+    TIMING_STRATEGIES,
+)
+
+__all__ = [
+    "App",
+    "Behavior",
+    "BlockingSubCause",
+    "BugRecord",
+    "Cause",
+    "FixPrimitive",
+    "FixStrategy",
+    "NonBlockingSubCause",
+    "TIMING_STRATEGIES",
+    "go171",
+    "paper_values",
+    "usage_history",
+]

@@ -1,0 +1,529 @@
+"""The 171-bug study dataset.
+
+The paper's raw artifact is a set of GitHub commits; offline we rebuild the
+*dataset the analysis pipeline consumes*: 171 :class:`BugRecord`s whose
+marginals equal every count legible in the paper text:
+
+* Table 5 per-application behavior/cause cells (85/86 and 105/66 totals),
+* Table 6 blocking sub-cause cells (all 36 cells),
+* Section 5.2's fix counts (8 add-unlock / 9 move / 11 remove among the 33
+  Mutex+RWMutex bugs; ~90% of blocking fixes adjust synchronization;
+  average blocking patch 6.8 lines),
+* the blocking lift targets lift(Mutex, Move_s)=1.52 and
+  lift(Chan, Add_s)=1.42,
+* Table 9/10's non-blocking structure (46 traditional, 11 anonymous,
+  6 WaitGroup, 6 shared-lib, 16 channel, 1 mp-lib; ~69% timing fixes,
+  10 bypass, 14 private-copy),
+* Table 11's fix-primitive cells verbatim (94 primitive uses over 86 bugs),
+* the non-blocking lift targets lift(chan, Channel)=2.7 (over uses),
+  lift(anonymous, Private)=2.23 and lift(chan, Move_s)=2.21.
+
+Cells the source text garbles (per-app non-blocking sub-causes, the full
+Table 7 grid) are *reconstructed* to satisfy the constraints above;
+``BugRecord.reconstructed`` marks them, and thirteen bugs named in the
+paper (the figure bugs, BoltDB#392/#240, Docker#22985, CockroachDB#6111,
+etcd#7816) are seeded explicitly.  ``validate()`` re-checks every
+constraint and is exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from statistics import NormalDist
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    BugRecord,
+    Cause,
+    FixPrimitive,
+    FixStrategy,
+    NonBlockingSubCause,
+)
+
+# ----------------------------------------------------------------------
+# Published marginals
+# ----------------------------------------------------------------------
+
+#: Table 5: app -> (blocking, non-blocking, shared memory, message passing)
+TABLE5: Dict[App, Tuple[int, int, int, int]] = {
+    App.DOCKER: (21, 23, 28, 16),
+    App.KUBERNETES: (17, 17, 20, 14),
+    App.ETCD: (21, 16, 18, 19),
+    App.COCKROACHDB: (12, 16, 23, 5),
+    App.GRPC: (11, 12, 12, 11),
+    App.BOLTDB: (3, 2, 4, 1),
+}
+
+#: Table 6: app -> blocking sub-cause counts (all cells published).
+TABLE6: Dict[App, Dict[BlockingSubCause, int]] = {
+    App.DOCKER: {BlockingSubCause.MUTEX: 9, BlockingSubCause.RWMUTEX: 0,
+                 BlockingSubCause.WAIT: 3, BlockingSubCause.CHAN: 5,
+                 BlockingSubCause.CHAN_WITH_OTHER: 2, BlockingSubCause.MSG_LIBRARY: 2},
+    App.KUBERNETES: {BlockingSubCause.MUTEX: 6, BlockingSubCause.RWMUTEX: 2,
+                     BlockingSubCause.WAIT: 0, BlockingSubCause.CHAN: 3,
+                     BlockingSubCause.CHAN_WITH_OTHER: 6, BlockingSubCause.MSG_LIBRARY: 0},
+    App.ETCD: {BlockingSubCause.MUTEX: 5, BlockingSubCause.RWMUTEX: 0,
+               BlockingSubCause.WAIT: 0, BlockingSubCause.CHAN: 10,
+               BlockingSubCause.CHAN_WITH_OTHER: 5, BlockingSubCause.MSG_LIBRARY: 1},
+    App.COCKROACHDB: {BlockingSubCause.MUTEX: 4, BlockingSubCause.RWMUTEX: 3,
+                      BlockingSubCause.WAIT: 0, BlockingSubCause.CHAN: 5,
+                      BlockingSubCause.CHAN_WITH_OTHER: 0, BlockingSubCause.MSG_LIBRARY: 0},
+    App.GRPC: {BlockingSubCause.MUTEX: 2, BlockingSubCause.RWMUTEX: 0,
+               BlockingSubCause.WAIT: 0, BlockingSubCause.CHAN: 6,
+               BlockingSubCause.CHAN_WITH_OTHER: 2, BlockingSubCause.MSG_LIBRARY: 1},
+    App.BOLTDB: {BlockingSubCause.MUTEX: 2, BlockingSubCause.RWMUTEX: 0,
+                 BlockingSubCause.WAIT: 0, BlockingSubCause.CHAN: 0,
+                 BlockingSubCause.CHAN_WITH_OTHER: 1, BlockingSubCause.MSG_LIBRARY: 0},
+}
+
+#: Reconstructed: app -> non-blocking sub-cause counts.  Row sums match
+#: Table 5's non-blocking column; column sums match Table 9's published
+#: totals (traditional 46, anonymous 11, WaitGroup 6, shared-lib 6,
+#: channel 16, mp-lib 1) and the per-app shared/message split implied by
+#: Tables 5 and 6.
+TABLE9_BY_APP: Dict[App, Dict[NonBlockingSubCause, int]] = {
+    App.DOCKER: {NonBlockingSubCause.TRADITIONAL: 11,
+                 NonBlockingSubCause.ANONYMOUS_FUNCTION: 3,
+                 NonBlockingSubCause.WAITGROUP: 1,
+                 NonBlockingSubCause.SHARED_LIBRARY: 1,
+                 NonBlockingSubCause.CHAN: 7,
+                 NonBlockingSubCause.MSG_LIBRARY: 0},
+    App.KUBERNETES: {NonBlockingSubCause.TRADITIONAL: 8,
+                     NonBlockingSubCause.ANONYMOUS_FUNCTION: 2,
+                     NonBlockingSubCause.WAITGROUP: 1,
+                     NonBlockingSubCause.SHARED_LIBRARY: 1,
+                     NonBlockingSubCause.CHAN: 5,
+                     NonBlockingSubCause.MSG_LIBRARY: 0},
+    App.ETCD: {NonBlockingSubCause.TRADITIONAL: 7,
+               NonBlockingSubCause.ANONYMOUS_FUNCTION: 2,
+               NonBlockingSubCause.WAITGROUP: 2,
+               NonBlockingSubCause.SHARED_LIBRARY: 2,
+               NonBlockingSubCause.CHAN: 3,
+               NonBlockingSubCause.MSG_LIBRARY: 0},
+    App.COCKROACHDB: {NonBlockingSubCause.TRADITIONAL: 12,
+                      NonBlockingSubCause.ANONYMOUS_FUNCTION: 2,
+                      NonBlockingSubCause.WAITGROUP: 1,
+                      NonBlockingSubCause.SHARED_LIBRARY: 1,
+                      NonBlockingSubCause.CHAN: 0,
+                      NonBlockingSubCause.MSG_LIBRARY: 0},
+    App.GRPC: {NonBlockingSubCause.TRADITIONAL: 6,
+               NonBlockingSubCause.ANONYMOUS_FUNCTION: 2,
+               NonBlockingSubCause.WAITGROUP: 1,
+               NonBlockingSubCause.SHARED_LIBRARY: 1,
+               NonBlockingSubCause.CHAN: 1,
+               NonBlockingSubCause.MSG_LIBRARY: 1},
+    App.BOLTDB: {NonBlockingSubCause.TRADITIONAL: 2,
+                 NonBlockingSubCause.ANONYMOUS_FUNCTION: 0,
+                 NonBlockingSubCause.WAITGROUP: 0,
+                 NonBlockingSubCause.SHARED_LIBRARY: 0,
+                 NonBlockingSubCause.CHAN: 0,
+                 NonBlockingSubCause.MSG_LIBRARY: 0},
+}
+
+#: Reconstructed Table 7: blocking sub-cause -> fix-strategy counts.
+#: Satisfies the Section 5.2 text (8 Add / 9 Move / 11 Remove among the 33
+#: Mutex+RWMutex bugs) and the published lifts
+#: lift(Mutex, Move_s)=1.52, lift(Chan, Add_s)=1.42.
+TABLE7: Dict[BlockingSubCause, Dict[FixStrategy, int]] = {
+    BlockingSubCause.MUTEX: {FixStrategy.ADD_SYNC: 6, FixStrategy.MOVE_SYNC: 9,
+                             FixStrategy.REMOVE_SYNC: 10, FixStrategy.CHANGE_SYNC: 2,
+                             FixStrategy.MISC: 1},
+    BlockingSubCause.RWMUTEX: {FixStrategy.ADD_SYNC: 2, FixStrategy.REMOVE_SYNC: 1,
+                               FixStrategy.CHANGE_SYNC: 2},
+    BlockingSubCause.WAIT: {FixStrategy.MOVE_SYNC: 3},
+    BlockingSubCause.CHAN: {FixStrategy.ADD_SYNC: 16, FixStrategy.MOVE_SYNC: 3,
+                            FixStrategy.REMOVE_SYNC: 8, FixStrategy.CHANGE_SYNC: 2},
+    BlockingSubCause.CHAN_WITH_OTHER: {FixStrategy.ADD_SYNC: 7, FixStrategy.MOVE_SYNC: 2,
+                                       FixStrategy.REMOVE_SYNC: 5, FixStrategy.CHANGE_SYNC: 1,
+                                       FixStrategy.MISC: 1},
+    BlockingSubCause.MSG_LIBRARY: {FixStrategy.ADD_SYNC: 2, FixStrategy.MOVE_SYNC: 1,
+                                   FixStrategy.REMOVE_SYNC: 1},
+}
+
+#: Reconstructed Table 10: non-blocking sub-cause -> fix-strategy counts.
+#: Satisfies ~69% timing (59/86), 10 bypass, 14 private-copy (all shared
+#: memory), and the lifts lift(anonymous, Private)=2.23 and
+#: lift(chan, Move_s)=2.21.
+TABLE10: Dict[NonBlockingSubCause, Dict[FixStrategy, int]] = {
+    NonBlockingSubCause.TRADITIONAL: {FixStrategy.ADD_SYNC: 27, FixStrategy.MOVE_SYNC: 5,
+                                      FixStrategy.BYPASS: 4, FixStrategy.PRIVATIZE: 10},
+    NonBlockingSubCause.ANONYMOUS_FUNCTION: {FixStrategy.ADD_SYNC: 4, FixStrategy.MOVE_SYNC: 2,
+                                             FixStrategy.BYPASS: 1, FixStrategy.PRIVATIZE: 4},
+    NonBlockingSubCause.WAITGROUP: {FixStrategy.ADD_SYNC: 3, FixStrategy.MOVE_SYNC: 3},
+    NonBlockingSubCause.SHARED_LIBRARY: {FixStrategy.ADD_SYNC: 2, FixStrategy.BYPASS: 2,
+                                         FixStrategy.MISC: 2},
+    NonBlockingSubCause.CHAN: {FixStrategy.ADD_SYNC: 6, FixStrategy.MOVE_SYNC: 7,
+                               FixStrategy.BYPASS: 2, FixStrategy.MISC: 1},
+    NonBlockingSubCause.MSG_LIBRARY: {FixStrategy.BYPASS: 1},
+}
+
+#: Table 11 (published verbatim): non-blocking sub-cause -> per-bug fix
+#: primitive tuples.  Row totals are primitive *uses* (94 over 86 bugs).
+TABLE11_TUPLES: Dict[NonBlockingSubCause, List[Tuple[FixPrimitive, ...]]] = {
+    NonBlockingSubCause.TRADITIONAL: (
+        [(FixPrimitive.MUTEX,)] * 24
+        + [(FixPrimitive.CHANNEL,)] * 3
+        + [(FixPrimitive.ATOMIC,)] * 6
+        + [(FixPrimitive.NONE,)] * 13
+    ),
+    NonBlockingSubCause.ANONYMOUS_FUNCTION: (
+        [(FixPrimitive.MUTEX,)] * 3
+        + [(FixPrimitive.CHANNEL,)] * 2
+        + [(FixPrimitive.ATOMIC,)] * 3
+        + [(FixPrimitive.NONE,)] * 3
+    ),
+    NonBlockingSubCause.WAITGROUP: [
+        (FixPrimitive.WAITGROUP, FixPrimitive.COND),
+        (FixPrimitive.WAITGROUP, FixPrimitive.COND),
+        (FixPrimitive.WAITGROUP, FixPrimitive.MUTEX),
+        (FixPrimitive.WAITGROUP,),
+        (FixPrimitive.COND,),
+        (FixPrimitive.MUTEX,),
+    ],
+    NonBlockingSubCause.SHARED_LIBRARY: [
+        (FixPrimitive.CHANNEL, FixPrimitive.WAITGROUP),
+        (FixPrimitive.CHANNEL,),
+        (FixPrimitive.ATOMIC,),
+        (FixPrimitive.MISC,),
+        (FixPrimitive.NONE,),
+        (FixPrimitive.NONE,),
+    ],
+    NonBlockingSubCause.CHAN: (
+        [(FixPrimitive.CHANNEL,)] * 10
+        + [
+            (FixPrimitive.CHANNEL, FixPrimitive.MISC),
+            (FixPrimitive.MUTEX, FixPrimitive.WAITGROUP),
+            (FixPrimitive.MUTEX, FixPrimitive.WAITGROUP),
+            (FixPrimitive.MUTEX, FixPrimitive.COND),
+            (FixPrimitive.MISC,),
+            (FixPrimitive.NONE,),
+        ]
+    ),
+    NonBlockingSubCause.MSG_LIBRARY: [(FixPrimitive.CHANNEL,)],
+}
+
+#: Blocking fixes adjust the primitive their cause involves (Section 5.2:
+#: "all Mutex-related bugs were fixed by adjusting Mutex primitives").
+BLOCKING_FIX_PRIMITIVE: Dict[BlockingSubCause, Tuple[FixPrimitive, ...]] = {
+    BlockingSubCause.MUTEX: (FixPrimitive.MUTEX,),
+    BlockingSubCause.RWMUTEX: (FixPrimitive.MUTEX,),
+    BlockingSubCause.WAIT: (FixPrimitive.WAITGROUP,),
+    BlockingSubCause.CHAN: (FixPrimitive.CHANNEL,),
+    BlockingSubCause.CHAN_WITH_OTHER: (FixPrimitive.CHANNEL, FixPrimitive.MUTEX),
+    BlockingSubCause.MSG_LIBRARY: (FixPrimitive.MISC,),
+}
+
+#: Mean blocking patch size (Section 5.2).
+MEAN_BLOCKING_PATCH_LINES = 6.8
+
+# ----------------------------------------------------------------------
+# Named bugs the paper discusses individually
+# ----------------------------------------------------------------------
+
+_KNOWN_BLOCKING = [
+    # (bug_id, app, subcause, strategy, figure, description)
+    ("kubernetes#5316", App.KUBERNETES, BlockingSubCause.CHAN,
+     FixStrategy.CHANGE_SYNC, "1",
+     "finishReq's child goroutine blocks sending the result after the "
+     "parent times out; fixed by a buffered channel."),
+    ("docker#25384", App.DOCKER, BlockingSubCause.WAIT,
+     FixStrategy.MOVE_SYNC, "5",
+     "WaitGroup.Wait() inside the plugin loop; fixed by moving it out."),
+    ("grpc#1460", App.GRPC, BlockingSubCause.MSG_LIBRARY,
+     FixStrategy.MOVE_SYNC, "6",
+     "context.WithCancel overwritten when timeout > 0, leaking the "
+     "attached goroutine; fixed by creating one context via if/else."),
+    ("docker#12002", App.DOCKER, BlockingSubCause.CHAN_WITH_OTHER,
+     FixStrategy.ADD_SYNC, "7",
+     "Channel send inside a critical section vs. a lock waiter; fixed by "
+     "a select with default."),
+    ("boltdb#392", App.BOLTDB, BlockingSubCause.MUTEX,
+     FixStrategy.REMOVE_SYNC, None,
+     "Remap path re-locks the held meta lock: a true global deadlock, "
+     "one of two caught by the built-in detector."),
+    ("boltdb#240", App.BOLTDB, BlockingSubCause.CHAN_WITH_OTHER,
+     FixStrategy.MOVE_SYNC, None,
+     "Receive under the lock the only sender needs: the other built-in "
+     "detector catch."),
+]
+
+_KNOWN_NONBLOCKING = [
+    # (bug_id, app, subcause, strategy, primitives, figure, description)
+    ("docker#30603", App.DOCKER, NonBlockingSubCause.ANONYMOUS_FUNCTION,
+     FixStrategy.PRIVATIZE, (FixPrimitive.NONE,), "8",
+     "Goroutine closures capture the loop variable i; fixed by passing a "
+     "private copy."),
+    ("etcd#6371", App.ETCD, NonBlockingSubCause.WAITGROUP,
+     FixStrategy.MOVE_SYNC, (FixPrimitive.WAITGROUP, FixPrimitive.MUTEX), "9",
+     "Add races with Wait; fixed by moving Add into the critical section."),
+    ("docker#24007", App.DOCKER, NonBlockingSubCause.CHAN,
+     FixStrategy.BYPASS, (FixPrimitive.MISC,), "10",
+     "Concurrent teardowns both close c.closed; fixed with sync.Once."),
+    ("etcd#3487", App.ETCD, NonBlockingSubCause.CHAN,
+     FixStrategy.ADD_SYNC, (FixPrimitive.CHANNEL,), "11",
+     "select may service the ticker although stopCh fired; fixed by a "
+     "stop pre-check select at the loop top."),
+    ("grpc#1741", App.GRPC, NonBlockingSubCause.MSG_LIBRARY,
+     FixStrategy.BYPASS, (FixPrimitive.CHANNEL,), "12",
+     "time.NewTimer(0) fires immediately; fixed by a nil-able timeout "
+     "channel created only when dur > 0."),
+    ("docker#22985", App.DOCKER, NonBlockingSubCause.TRADITIONAL,
+     FixStrategy.ADD_SYNC, (FixPrimitive.MUTEX,), None,
+     "Data race on a variable whose reference crossed a channel."),
+    ("cockroach#6111", App.COCKROACHDB, NonBlockingSubCause.TRADITIONAL,
+     FixStrategy.PRIVATIZE, (FixPrimitive.NONE,), None,
+     "Sender mutates the info struct after passing its reference through "
+     "a channel; fixed by sending a copy."),
+    ("etcd#7816", App.ETCD, NonBlockingSubCause.SHARED_LIBRARY,
+     FixStrategy.ADD_SYNC, (FixPrimitive.ATOMIC,), None,
+     "Data race on a string field of a context object shared by the "
+     "goroutines attached to it."),
+]
+
+# ----------------------------------------------------------------------
+# Deterministic generators for unconstrained attributes
+# ----------------------------------------------------------------------
+
+
+def _lifetimes(count: int, median_days: float, sigma: float) -> List[float]:
+    """Deterministic log-normal quantile samples (Figure 4's long tails)."""
+    normal = NormalDist(mu=0.0, sigma=sigma)
+    values = []
+    for i in range(count):
+        p = (i + 0.5) / count
+        values.append(round(median_days * pow(2.718281828459045, normal.inv_cdf(p)), 1))
+    # Interleave so early/late quantiles spread across apps and categories.
+    half = (len(values) + 1) // 2
+    front, back = values[:half], values[half:]
+    mixed: List[float] = []
+    for a, b in itertools.zip_longest(front, reversed(back)):
+        mixed.append(a)
+        if b is not None:
+            mixed.append(b)
+    return mixed
+
+
+def _patch_lines(count: int, mean: float) -> List[int]:
+    """Deterministic integers with an exact mean (blocking: 6.8 lines)."""
+    target_total = round(mean * count)
+    cycle = itertools.cycle([3, 4, 5, 6, 7, 9, 11])
+    values = [next(cycle) for _ in range(count - 1)]
+    values.append(max(1, target_total - sum(values)))
+    return values
+
+
+# ----------------------------------------------------------------------
+# Dataset construction
+# ----------------------------------------------------------------------
+
+_CACHE: Optional[List[BugRecord]] = None
+
+
+def load() -> List[BugRecord]:
+    """Build (once) and return the 171 records."""
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = _build()
+    return list(_CACHE)
+
+
+def _build() -> List[BugRecord]:
+    records: List[BugRecord] = []
+
+    # Strategy quota pools per sub-cause (consumed known-bugs-first).
+    blocking_strategies = {
+        sub: [s for s, n in TABLE7[sub].items() for _ in range(n)]
+        for sub in TABLE7
+    }
+    nonblocking_strategies = {
+        sub: [s for s, n in TABLE10[sub].items() for _ in range(n)]
+        for sub in TABLE10
+    }
+    nonblocking_primitives = {
+        sub: list(TABLE11_TUPLES[sub]) for sub in TABLE11_TUPLES
+    }
+
+    def take_strategy(pool: List[FixStrategy], wanted: FixStrategy) -> FixStrategy:
+        pool.remove(wanted)  # raises if the reconstruction is inconsistent
+        return wanted
+
+    def take_primitives(sub: NonBlockingSubCause,
+                        wanted: Optional[Tuple[FixPrimitive, ...]]
+                        ) -> Tuple[FixPrimitive, ...]:
+        pool = nonblocking_primitives[sub]
+        if wanted is not None and wanted in pool:
+            pool.remove(wanted)
+            return wanted
+        return pool.pop(0)
+
+    # --- blocking ------------------------------------------------------
+    blocking_quota = {app: dict(TABLE6[app]) for app in TABLE6}
+    known_blocking_ids = set()
+    blocking_records: List[Tuple] = []
+
+    for bug_id, app, sub, strategy, figure, description in _KNOWN_BLOCKING:
+        blocking_quota[app][sub] -= 1
+        assert blocking_quota[app][sub] >= 0, bug_id
+        take_strategy(blocking_strategies[sub], strategy)
+        blocking_records.append((bug_id, app, sub, strategy, figure, description, False))
+        known_blocking_ids.add(bug_id)
+
+    serial = itertools.count(1)
+    for app in TABLE6:
+        for sub, remaining in blocking_quota[app].items():
+            for _ in range(remaining):
+                strategy = blocking_strategies[sub].pop(0)
+                bug_id = f"{app.value.lower()}-b{next(serial):03d}"
+                blocking_records.append(
+                    (bug_id, app, sub, strategy, None,
+                     f"{app} blocking bug: {sub} misuse fixed by {strategy}.",
+                     True)
+                )
+    assert all(not pool for pool in blocking_strategies.values())
+
+    lifetimes_shared = _lifetimes(105, median_days=380.0, sigma=0.8)
+    lifetimes_mp = _lifetimes(66, median_days=360.0, sigma=0.85)
+    patch_pool = _patch_lines(85, MEAN_BLOCKING_PATCH_LINES)
+    nb_patch_cycle = itertools.cycle([4, 6, 8, 10, 12, 16])
+    # Report→fix lags are short (days, not the months the bug lay dormant).
+    report_lag_cycle = itertools.cycle([1.0, 2.0, 3.0, 5.0, 7.0, 10.0, 14.0])
+
+    def next_lifetime(cause: Cause) -> float:
+        pool = lifetimes_shared if cause == Cause.SHARED_MEMORY else lifetimes_mp
+        return pool.pop(0)
+
+    for i, (bug_id, app, sub, strategy, figure, description, recon) in enumerate(
+        blocking_records
+    ):
+        records.append(
+            BugRecord(
+                bug_id=bug_id,
+                app=app,
+                behavior=Behavior.BLOCKING,
+                subcause=sub,
+                fix_strategy=strategy,
+                fix_primitives=BLOCKING_FIX_PRIMITIVE[sub],
+                lifetime_days=next_lifetime(sub.cause),
+                patch_lines=patch_pool[i],
+                reconstructed=recon,
+                description=description,
+                figure=figure,
+                report_lag_days=next(report_lag_cycle),
+            )
+        )
+
+    # --- non-blocking ---------------------------------------------------
+    nonblocking_quota = {app: dict(TABLE9_BY_APP[app]) for app in TABLE9_BY_APP}
+    nonblocking_records: List[Tuple] = []
+
+    for bug_id, app, sub, strategy, prims, figure, description in _KNOWN_NONBLOCKING:
+        nonblocking_quota[app][sub] -= 1
+        assert nonblocking_quota[app][sub] >= 0, bug_id
+        take_strategy(nonblocking_strategies[sub], strategy)
+        prims = take_primitives(sub, prims)
+        nonblocking_records.append(
+            (bug_id, app, sub, strategy, prims, figure, description, False)
+        )
+
+    for app in TABLE9_BY_APP:
+        for sub, remaining in nonblocking_quota[app].items():
+            for _ in range(remaining):
+                strategy = nonblocking_strategies[sub].pop(0)
+                prims = take_primitives(sub, None)
+                bug_id = f"{app.value.lower()}-n{next(serial):03d}"
+                nonblocking_records.append(
+                    (bug_id, app, sub, strategy, prims, None,
+                     f"{app} non-blocking bug: {sub} fixed by {strategy}.",
+                     True)
+                )
+    assert all(not pool for pool in nonblocking_strategies.values())
+    assert all(not pool for pool in nonblocking_primitives.values())
+
+    for bug_id, app, sub, strategy, prims, figure, description, recon in nonblocking_records:
+        records.append(
+            BugRecord(
+                bug_id=bug_id,
+                app=app,
+                behavior=Behavior.NONBLOCKING,
+                subcause=sub,
+                fix_strategy=strategy,
+                fix_primitives=prims,
+                lifetime_days=next_lifetime(sub.cause),
+                patch_lines=next(nb_patch_cycle),
+                reconstructed=recon,
+                description=description,
+                figure=figure,
+                report_lag_days=next(report_lag_cycle),
+            )
+        )
+
+    return records
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+
+def validate(records: Optional[Iterable[BugRecord]] = None) -> None:
+    """Assert every encoded marginal; raises AssertionError on drift."""
+    recs = list(records) if records is not None else load()
+    assert len(recs) == 171
+
+    blocking = [r for r in recs if r.behavior == Behavior.BLOCKING]
+    nonblocking = [r for r in recs if r.behavior == Behavior.NONBLOCKING]
+    assert len(blocking) == 85 and len(nonblocking) == 86
+
+    shared = [r for r in recs if r.cause == Cause.SHARED_MEMORY]
+    assert len(shared) == 105 and len(recs) - len(shared) == 66
+
+    for app, (b, nb, sm, mp) in TABLE5.items():
+        app_recs = [r for r in recs if r.app == app]
+        assert sum(r.behavior == Behavior.BLOCKING for r in app_recs) == b, app
+        assert sum(r.behavior == Behavior.NONBLOCKING for r in app_recs) == nb, app
+        assert sum(r.cause == Cause.SHARED_MEMORY for r in app_recs) == sm, app
+        assert sum(r.cause == Cause.MESSAGE_PASSING for r in app_recs) == mp, app
+
+    for app, cells in TABLE6.items():
+        for sub, n in cells.items():
+            got = sum(1 for r in recs
+                      if r.app == app and r.behavior == Behavior.BLOCKING
+                      and r.subcause == sub)
+            assert got == n, (app, sub, got, n)
+
+    # Section 5.2 fix-count text constraints.
+    mutexish = [r for r in blocking
+                if r.subcause in (BlockingSubCause.MUTEX, BlockingSubCause.RWMUTEX)]
+    assert len(mutexish) == 33
+    assert sum(r.fix_strategy == FixStrategy.ADD_SYNC for r in mutexish) == 8
+    assert sum(r.fix_strategy == FixStrategy.MOVE_SYNC for r in mutexish) == 9
+    assert sum(r.fix_strategy == FixStrategy.REMOVE_SYNC for r in mutexish) == 11
+
+    sync_adjust = sum(r.fix_strategy != FixStrategy.MISC for r in blocking)
+    assert sync_adjust / len(blocking) >= 0.90
+
+    mean_patch = sum(r.patch_lines for r in blocking) / len(blocking)
+    assert abs(mean_patch - MEAN_BLOCKING_PATCH_LINES) < 0.05, mean_patch
+
+    # Table 11 column totals over primitive uses.
+    uses = [p for r in nonblocking for p in r.fix_primitives]
+    expected_uses = {FixPrimitive.MUTEX: 32, FixPrimitive.CHANNEL: 19,
+                     FixPrimitive.ATOMIC: 10, FixPrimitive.WAITGROUP: 7,
+                     FixPrimitive.COND: 4, FixPrimitive.MISC: 3,
+                     FixPrimitive.NONE: 19}
+    for prim, n in expected_uses.items():
+        assert uses.count(prim) == n, (prim, uses.count(prim), n)
+    assert len(uses) == 94
+
+    # Table 10 structure.
+    timing = sum(r.fix_strategy in (FixStrategy.ADD_SYNC, FixStrategy.MOVE_SYNC,
+                                    FixStrategy.CHANGE_SYNC)
+                 for r in nonblocking)
+    assert timing == 59
+    assert sum(r.fix_strategy == FixStrategy.BYPASS for r in nonblocking) == 10
+    privates = [r for r in nonblocking if r.fix_strategy == FixStrategy.PRIVATIZE]
+    assert len(privates) == 14
+    assert all(r.cause == Cause.SHARED_MEMORY for r in privates)

@@ -1,0 +1,169 @@
+"""Typed records for the paper's bug taxonomy (Section 4).
+
+Two orthogonal dimensions:
+
+* **Behavior** — blocking (goroutines stuck forever; broader than deadlock)
+  vs. non-blocking.
+* **Cause** — misuse of shared memory vs. misuse of message passing.
+
+Sub-causes, fix strategies and fix primitives follow Tables 6, 7, 9, 10
+and 11.  The same enums annotate both the 171-bug metadata dataset
+(:mod:`repro.dataset.go171`) and the executable kernels
+(:mod:`repro.bugs`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class App(enum.Enum):
+    """The six studied applications."""
+
+    DOCKER = "Docker"
+    KUBERNETES = "Kubernetes"
+    ETCD = "etcd"
+    COCKROACHDB = "CockroachDB"
+    GRPC = "gRPC"
+    BOLTDB = "BoltDB"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Behavior(enum.Enum):
+    BLOCKING = "blocking"
+    NONBLOCKING = "non-blocking"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Cause(enum.Enum):
+    SHARED_MEMORY = "shared memory"
+    MESSAGE_PASSING = "message passing"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class BlockingSubCause(enum.Enum):
+    """Root causes of blocking bugs (Table 6 columns)."""
+
+    MUTEX = "Mutex"
+    RWMUTEX = "RWMutex"
+    WAIT = "Wait"                    # Cond.Wait / WaitGroup.Wait
+    CHAN = "Chan"
+    CHAN_WITH_OTHER = "Chan w/"      # channel combined with locks/waits
+    MSG_LIBRARY = "Lib"              # Pipe, context, other messaging libs
+
+    @property
+    def cause(self) -> Cause:
+        if self in (BlockingSubCause.MUTEX, BlockingSubCause.RWMUTEX,
+                    BlockingSubCause.WAIT):
+            return Cause.SHARED_MEMORY
+        return Cause.MESSAGE_PASSING
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class NonBlockingSubCause(enum.Enum):
+    """Root causes of non-blocking bugs (Table 9 rows)."""
+
+    TRADITIONAL = "traditional"          # atomicity/order violation, race
+    ANONYMOUS_FUNCTION = "anonymous function"
+    WAITGROUP = "misusing WaitGroup"
+    SHARED_LIBRARY = "lib (shared memory)"   # testing.T, shared ctx objects
+    CHAN = "misusing channel"
+    MSG_LIBRARY = "lib (message passing)"    # time.Timer etc.
+
+    @property
+    def cause(self) -> Cause:
+        if self in (NonBlockingSubCause.CHAN, NonBlockingSubCause.MSG_LIBRARY):
+            return Cause.MESSAGE_PASSING
+        return Cause.SHARED_MEMORY
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class FixStrategy(enum.Enum):
+    """Fix strategies (Tables 7 and 10; subscript *s* = synchronization)."""
+
+    ADD_SYNC = "Add_s"        # add a missing sync op (unlock, send, close...)
+    MOVE_SYNC = "Move_s"      # move a misplaced sync op
+    CHANGE_SYNC = "Change_s"  # change a sync op (e.g. unbuffered -> buffered)
+    REMOVE_SYNC = "Remove_s"  # remove an extra sync op
+    BYPASS = "Bypass"         # eliminate/bypass the shared accesses
+    PRIVATIZE = "Private"     # make a private copy of the shared data
+    MISC = "Misc"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Strategies that "restrict timing" in Table 10's terms.
+TIMING_STRATEGIES = (FixStrategy.ADD_SYNC, FixStrategy.MOVE_SYNC,
+                     FixStrategy.CHANGE_SYNC)
+
+
+class FixPrimitive(enum.Enum):
+    """Primitive used by the fixing patch (Table 11 columns)."""
+
+    MUTEX = "Mutex"
+    CHANNEL = "Channel"
+    ATOMIC = "Atomic"
+    WAITGROUP = "WaitGroup"
+    COND = "Cond"
+    MISC = "Misc"
+    NONE = "None"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class BugRecord:
+    """One studied bug's metadata, as mined from a fixing commit.
+
+    ``reconstructed`` marks records whose per-cell placement was not legible
+    in our source text and was filled in to satisfy the published marginals
+    (see DESIGN.md §6 and EXPERIMENTS.md).
+    """
+
+    bug_id: str
+    app: App
+    behavior: Behavior
+    subcause: object  # BlockingSubCause | NonBlockingSubCause
+    fix_strategy: FixStrategy
+    fix_primitives: Tuple[FixPrimitive, ...]
+    lifetime_days: float
+    patch_lines: int
+    reconstructed: bool = True
+    description: str = ""
+    figure: Optional[str] = None
+    #: Days from the bug report to the fixing commit.  Section 4: "the time
+    #: when these bugs were reported [is] close to when they were fixed" —
+    #: the bugs are hard to trigger, not hard to fix.
+    report_lag_days: float = 7.0
+
+    def __post_init__(self) -> None:
+        if self.behavior == Behavior.BLOCKING:
+            if not isinstance(self.subcause, BlockingSubCause):
+                raise TypeError(f"{self.bug_id}: blocking bug needs a BlockingSubCause")
+        else:
+            if not isinstance(self.subcause, NonBlockingSubCause):
+                raise TypeError(f"{self.bug_id}: non-blocking bug needs a NonBlockingSubCause")
+        if not self.fix_primitives:
+            raise ValueError(f"{self.bug_id}: fix_primitives may not be empty (use NONE)")
+
+    @property
+    def cause(self) -> Cause:
+        return self.subcause.cause
+
+    def __str__(self) -> str:
+        return (f"{self.bug_id} [{self.app}] {self.behavior}/{self.subcause} "
+                f"fixed by {self.fix_strategy}")

@@ -1,0 +1,57 @@
+"""Bug detectors: the two the paper evaluates, plus the extensions it calls for.
+
+* :class:`RaceDetector` — Go's ``-race`` happens-before detector with the
+  4-shadow-word limit (Table 12).
+* :class:`BuiltinDeadlockDetector` — the runtime's all-asleep detector
+  (Table 8).
+* :class:`GoroutineLeakDetector` — partial-deadlock/leak detection
+  (Implication 4 extension).
+* :class:`ChannelRuleChecker` — runtime rule-violation diagnostics
+  (Section 7 extension).
+* :class:`AnonymousCaptureDetector` — the static loop-capture detector the
+  authors prototype in Section 7.
+"""
+
+from .capture import AnonymousCaptureDetector, scan_file, scan_paths, scan_source
+from .deadlock import BuiltinDeadlockDetector, GoroutineLeakDetector
+from .leak import leak_reports, leaks_under_any_seed, manifestation_rate
+from .lockorder import LockOrderDetector, LockOrderViolation
+from .race import RaceDetector
+from .report import (
+    Access,
+    CaptureFinding,
+    Detection,
+    LeakReport,
+    RaceReport,
+    RuleViolation,
+)
+from .rules import ChannelRuleChecker
+from .systematic import Exploration, ScriptedChoices, explore_systematic, verify_no_manifestation
+from .vectorclock import VectorClock
+
+__all__ = [
+    "Access",
+    "AnonymousCaptureDetector",
+    "BuiltinDeadlockDetector",
+    "CaptureFinding",
+    "ChannelRuleChecker",
+    "Detection",
+    "Exploration",
+    "GoroutineLeakDetector",
+    "LeakReport",
+    "LockOrderDetector",
+    "LockOrderViolation",
+    "RaceDetector",
+    "RaceReport",
+    "RuleViolation",
+    "ScriptedChoices",
+    "VectorClock",
+    "explore_systematic",
+    "leak_reports",
+    "leaks_under_any_seed",
+    "manifestation_rate",
+    "scan_file",
+    "scan_paths",
+    "scan_source",
+    "verify_no_manifestation",
+]

@@ -1,0 +1,216 @@
+"""Pattern implementations.
+
+Every producer goroutine spawned here follows the same discipline:
+
+* it selects on ``done`` alongside every send, so cancellation can never
+  strand it on a full or abandoned channel (the Figure 1/Figure 7 class);
+* it closes its output when finished, so consumers' range loops end (the
+  missing-close class);
+* helpers that spawn several goroutines join them with a WaitGroup before
+  closing shared outputs (the premature-close class).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..chan.cases import recv, send
+
+
+def generate(rt, values: Iterable[Any], done, buffer: int = 0):
+    """Produce ``values`` on a new channel until consumed or cancelled.
+
+    ``done`` is a channel (close-to-cancel).  The output channel is closed
+    when the values run out or cancellation wins.
+    """
+    out = rt.make_chan(buffer, name="gen.out")
+    items = list(values)
+
+    def producer():
+        for item in items:
+            index, _v, _ok = rt.select(recv(done), send(out, item))
+            if index == 0:
+                break
+        out.close()
+
+    rt.go(producer, name="gen.producer")
+    return out
+
+
+def or_done(rt, done, channel):
+    """Wrap ``channel`` so receives also honor ``done`` (Ajmani's
+    or-done-channel).  The wrapper closes when either side finishes."""
+    out = rt.make_chan(0, name="ordone.out")
+
+    def forwarder():
+        while True:
+            index, value, ok = rt.select(recv(done), recv(channel))
+            if index == 0 or not ok:
+                break
+            inner, _v, _ok = rt.select(recv(done), send(out, value))
+            if inner == 0:
+                break
+        out.close()
+
+    rt.go(forwarder, name="ordone.forwarder")
+    return out
+
+
+def pipeline(rt, source, done, *stages: Callable[[Any], Any]):
+    """Chain transform stages: each runs in its own goroutine.
+
+    ``source`` may be a channel or an iterable (wrapped via
+    :func:`generate`).  Returns the final stage's output channel.
+    """
+    current = source if hasattr(source, "recv") else generate(rt, source, done)
+    for position, stage in enumerate(stages):
+        upstream = current
+        downstream = rt.make_chan(0, name=f"pipe.{position}")
+
+        def worker(upstream=upstream, downstream=downstream, stage=stage):
+            for value in or_done(rt, done, upstream):
+                index, _v, _ok = rt.select(recv(done),
+                                           send(downstream, stage(value)))
+                if index == 0:
+                    break
+            downstream.close()
+
+        rt.go(worker, name=f"pipe.stage-{position}")
+        current = downstream
+    return current
+
+
+def fan_out(rt, source, done, n: int):
+    """Split one channel across ``n`` output channels (work stealing)."""
+    outputs = [rt.make_chan(0, name=f"fanout.{i}") for i in range(n)]
+
+    def distributor():
+        index = 0
+        for value in or_done(rt, done, source):
+            out = outputs[index % n]
+            chosen, _v, _ok = rt.select(recv(done), send(out, value))
+            if chosen == 0:
+                break
+            index += 1
+        for out in outputs:
+            out.close()
+
+    rt.go(distributor, name="fanout.distributor")
+    return outputs
+
+
+def fan_in(rt, done, channels: Sequence) -> Any:
+    """Merge many channels into one; closes when all inputs closed."""
+    out = rt.make_chan(0, name="fanin.out")
+    wg = rt.waitgroup("fanin")
+
+    def drain(channel):
+        for value in or_done(rt, done, channel):
+            index, _v, _ok = rt.select(recv(done), send(out, value))
+            if index == 0:
+                break
+        wg.done()
+
+    for channel in channels:
+        wg.add(1)
+        rt.go(drain, channel, name="fanin.drain")
+
+    def closer():
+        wg.wait()
+        out.close()
+
+    rt.go(closer, name="fanin.closer")
+    return out
+
+
+def take(rt, done, channel, n: int) -> List[Any]:
+    """Receive the first ``n`` values (or fewer if the channel closes)."""
+    taken: List[Any] = []
+    for _ in range(n):
+        index, value, ok = rt.select(recv(done), recv(channel))
+        if index == 0 or not ok:
+            break
+        taken.append(value)
+    return taken
+
+
+def worker_pool(rt, jobs: Iterable[Any], handler: Callable[[Any], Any],
+                workers: int = 4) -> List[Tuple[Any, Any]]:
+    """Run ``handler`` over ``jobs`` with bounded concurrency.
+
+    Returns ``(job, result)`` pairs in completion order.  Blocks until
+    every job finished; leaks nothing (the pattern Figure 5 and the
+    Add/Wait kernels get wrong).
+    """
+    job_list = list(jobs)
+    job_ch = rt.make_chan(len(job_list) or 1, name="pool.jobs")
+    results_ch = rt.make_chan(len(job_list) or 1, name="pool.results")
+    wg = rt.waitgroup("pool")
+
+    for job in job_list:
+        job_ch.send(job)
+    job_ch.close()
+
+    def worker():
+        for job in job_ch:
+            results_ch.send((job, handler(job)))
+        wg.done()
+
+    for i in range(max(workers, 1)):
+        wg.add(1)
+        rt.go(worker, name=f"pool.worker-{i}")
+    wg.wait()
+    results_ch.close()
+    return list(results_ch)
+
+
+class Semaphore:
+    """Counting semaphore over a buffered channel (the Go idiom)."""
+
+    def __init__(self, rt, permits: int, name: Optional[str] = None):
+        if permits < 1:
+            raise ValueError("a semaphore needs at least one permit")
+        self._rt = rt
+        self._slots = rt.make_chan(permits, name=name or "semaphore")
+        self.permits = permits
+
+    def acquire(self) -> None:
+        self._slots.send(None)
+
+    def try_acquire(self) -> bool:
+        return self._slots.try_send(None)
+
+    def release(self) -> None:
+        value, _ok, received = self._slots.try_recv()
+        if not received:
+            raise ValueError("release without a matching acquire")
+
+    def in_use(self) -> int:
+        return len(self._slots)
+
+    def __enter__(self) -> "Semaphore":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def broadcast(rt, source, done, subscribers: int, buffer: int = 8):
+    """Copy every value from ``source`` to N subscriber channels."""
+    outputs = [rt.make_chan(buffer, name=f"bcast.{i}")
+               for i in range(subscribers)]
+
+    def pump():
+        for value in or_done(rt, done, source):
+            for out in outputs:
+                index, _v, _ok = rt.select(recv(done), send(out, value))
+                if index == 0:
+                    for o in outputs:
+                        o.close()
+                    return
+        for out in outputs:
+            out.close()
+
+    rt.go(pump, name="bcast.pump")
+    return outputs

@@ -1,0 +1,169 @@
+"""Goroutines as token-passing host threads.
+
+Exactly one thread in a simulation runs at any instant: either the scheduler
+or a single goroutine holding the *token*.  The handoff is implemented with
+one :class:`threading.Event` per goroutine plus one owned by the scheduler.
+Because of this one-runner invariant, primitive state needs no host-level
+locking and every interleaving is fully determined by the scheduler's seeded
+choices.
+
+A goroutine's life:
+
+``CREATED -> RUNNABLE <-> RUNNING <-> BLOCKED`` and finally one of
+``DONE | PANICKED | KILLED``.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, Optional, Tuple
+
+from .errors import GoPanic, Killed
+
+
+class GState:
+    """Goroutine states (plain strings for cheap comparisons and repr)."""
+
+    CREATED = "created"
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    PANICKED = "panicked"
+    KILLED = "killed"
+
+    LIVE = frozenset({CREATED, RUNNABLE, RUNNING, BLOCKED})
+    TERMINAL = frozenset({DONE, PANICKED, KILLED})
+
+
+class Goroutine:
+    """One simulated goroutine backed by a daemon host thread.
+
+    The scheduler interacts with it through :meth:`start`, :meth:`resume`
+    and :meth:`kill`; the goroutine yields back with :meth:`yield_to_scheduler`
+    (called from primitive code running on the goroutine's thread).
+    """
+
+    def __init__(
+        self,
+        gid: int,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        scheduler_wakeup: threading.Event,
+        name: Optional[str] = None,
+        anonymous: bool = False,
+        creation_site: Optional[str] = None,
+    ):
+        self.gid = gid
+        self.fn = fn
+        self.args = args
+        self.name = name or getattr(fn, "__name__", "goroutine")
+        #: True when created from a lambda / nested closure ("anonymous
+        #: function" in the paper's Table 2 terminology).
+        self.anonymous = anonymous
+        #: "file:line" of the ``go()`` call, for leak reports.
+        self.creation_site = creation_site
+
+        self.state = GState.CREATED
+        #: Why the goroutine is blocked (e.g. "chan.send"), for diagnostics.
+        self.block_reason: Optional[str] = None
+        #: True when blocked on a modelled external resource (network, disk):
+        #: the built-in deadlock detector must ignore such goroutines.
+        self.external = False
+        self.panic_value: Optional[BaseException] = None
+        self.panic_traceback: Optional[str] = None
+        self.result: Any = None
+
+        # Virtual-clock bookkeeping for the Table 3 lifetime statistics.
+        self.created_at: float = 0.0
+        self.ended_at: Optional[float] = None
+
+        # Mailbox used by rendezvous primitives to hand a value to a waiter.
+        self.mailbox: Any = None
+
+        self._sched_wakeup = scheduler_wakeup
+        self._my_wakeup = threading.Event()
+        self._killed = False
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Scheduler-side API (called with the scheduler holding the token)
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Create the host thread; it immediately parks waiting for the token."""
+        self._thread = threading.Thread(
+            target=self._run, name=f"goroutine-{self.gid}-{self.name}", daemon=True
+        )
+        self.state = GState.RUNNABLE
+        self._thread.start()
+
+    def resume(self) -> None:
+        """Hand the token to this goroutine and wait for it to come back."""
+        self.state = GState.RUNNING
+        self._sched_wakeup.clear()
+        self._my_wakeup.set()
+        self._sched_wakeup.wait()
+
+    def kill(self) -> None:
+        """Force the goroutine's host thread to unwind (scheduler-side).
+
+        Safe to call on a blocked or runnable goroutine; terminal goroutines
+        are ignored.  Blocks until the host thread has exited so runs never
+        leak OS threads.
+        """
+        if self.state in GState.TERMINAL or self._thread is None:
+            return
+        self._killed = True
+        self._sched_wakeup.clear()
+        self._my_wakeup.set()
+        self._sched_wakeup.wait()
+        self._thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Goroutine-side API (called on the goroutine's own thread)
+    # ------------------------------------------------------------------
+
+    def yield_to_scheduler(self) -> None:
+        """Give the token back and park until the scheduler resumes us."""
+        self._my_wakeup.clear()
+        self._sched_wakeup.set()
+        self._my_wakeup.wait()
+        if self._killed:
+            raise Killed()
+
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        # Park until the scheduler first hands us the token.
+        self._my_wakeup.wait()
+        try:
+            if self._killed:
+                raise Killed()
+            self.result = self.fn(*self.args)
+            self.state = GState.DONE
+        except Killed:
+            self.state = GState.KILLED
+        except GoPanic as exc:
+            self.state = GState.PANICKED
+            self.panic_value = exc
+            self.panic_traceback = traceback.format_exc()
+        except BaseException as exc:  # host-level bug in user code
+            self.state = GState.PANICKED
+            self.panic_value = exc
+            self.panic_traceback = traceback.format_exc()
+        finally:
+            # Final token return: the scheduler sees a terminal state.
+            self._sched_wakeup.set()
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable one-liner used in deadlock and leak reports."""
+        where = f" at {self.creation_site}" if self.creation_site else ""
+        reason = f" [{self.block_reason}]" if self.block_reason else ""
+        return f"goroutine {self.gid} ({self.name}){where}: {self.state}{reason}"
+
+    def __repr__(self) -> str:
+        return f"<Goroutine {self.gid} {self.name} {self.state}>"

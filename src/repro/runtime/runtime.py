@@ -1,0 +1,512 @@
+"""The public runtime facade: what a Go program sees.
+
+A simulated program is a callable ``main(rt)`` where ``rt`` is a
+:class:`Runtime`.  All concurrency primitives are constructed through the
+runtime (``rt.make_chan``, ``rt.mutex``, ``rt.waitgroup``, ...), mirroring
+how a Go program reaches them through the language and standard library.
+
+Example::
+
+    from repro import run
+
+    def main(rt):
+        ch = rt.make_chan(capacity=1)
+
+        def worker():
+            ch.send(42)
+
+        rt.go(worker)
+        assert ch.recv() == 42
+
+    result = run(main, seed=7)
+    assert result.status == "ok"
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import DeadlockError, GoPanic, StepLimitExceeded
+from .goroutine import Goroutine, GState
+from .scheduler import Scheduler
+from .trace import EventKind, Trace
+
+
+def _creation_site(depth: int = 2) -> Optional[str]:
+    """``file:line`` of the caller ``depth`` frames up, for reports."""
+    try:
+        frame = sys._getframe(depth)
+    except ValueError:  # pragma: no cover - shallow stacks in exotic hosts
+        return None
+    return f"{frame.f_code.co_filename.rsplit('/', 1)[-1]}:{frame.f_lineno}"
+
+
+def _is_anonymous(fn: Callable[..., Any]) -> bool:
+    """Heuristic mirroring the paper's named/anonymous goroutine split.
+
+    Go's anonymous functions correspond to Python lambdas and closures
+    defined inside another function; module-level functions and bound
+    methods correspond to named functions.
+    """
+    name = getattr(fn, "__name__", "")
+    if name == "<lambda>":
+        return True
+    qualname = getattr(fn, "__qualname__", "")
+    return "<locals>" in qualname
+
+
+class Runtime:
+    """Per-run facade handing out primitives bound to one scheduler."""
+
+    def __init__(self, scheduler: Scheduler):
+        self.sched = scheduler
+        self._next_obj_id = 1
+        self._shared_vars: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Object identity for traces
+    # ------------------------------------------------------------------
+
+    def new_obj_id(self) -> int:
+        oid = self._next_obj_id
+        self._next_obj_id += 1
+        return oid
+
+    # ------------------------------------------------------------------
+    # Goroutines
+    # ------------------------------------------------------------------
+
+    def go(self, fn: Callable[..., Any], *args: Any, name: Optional[str] = None) -> Goroutine:
+        """Start a goroutine, like Go's ``go fn(args...)``."""
+        g = self.sched.spawn(
+            fn,
+            args,
+            name=name,
+            anonymous=_is_anonymous(fn),
+            creation_site=_creation_site(),
+        )
+        # Creating a goroutine is itself a scheduling point in practice.
+        self.sched.schedule_point()
+        return g
+
+    def gosched(self) -> None:
+        """Yield the processor, like ``runtime.Gosched()``."""
+        self.sched.schedule_point()
+
+    def gid(self) -> int:
+        """The id of the calling goroutine."""
+        return self.sched.current.gid
+
+    def panic(self, value: object) -> "GoPanic":
+        """Panic, like Go's ``panic(value)``.  Never returns."""
+        raise GoPanic(value)
+
+    def num_goroutine(self) -> int:
+        """Live goroutine count, like ``runtime.NumGoroutine()``."""
+        return len(self.sched.live_goroutines())
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Virtual-clock time in seconds."""
+        return self.sched.clock.now
+
+    def sleep(self, duration: float) -> None:
+        """Sleep on the virtual clock, like ``time.Sleep``."""
+        g = self.sched.current
+        self.sched.emit(EventKind.SLEEP, info={"duration": duration})
+        if duration <= 0:
+            self.sched.schedule_point()
+            return
+        woke = [False]
+
+        def wake() -> None:
+            woke[0] = True
+            self.sched.ready(g)
+
+        self.sched.clock.call_after(duration, wake)
+        while not woke[0]:
+            self.sched.block("time.sleep")
+
+    def external_wait(self, what: str, duration: Optional[float] = None) -> None:
+        """Block on a modelled external resource (network, disk, subprocess).
+
+        The built-in deadlock detector ignores goroutines parked here — the
+        second miss cause the paper identifies in Section 5.3.  With a
+        ``duration`` the wait completes on the virtual clock; without one the
+        goroutine waits forever.
+        """
+        g = self.sched.current
+        self.sched.emit(EventKind.EXTERNAL_WAIT, info={"what": what})
+        if duration is None:
+            while True:
+                self.sched.block(f"external:{what}", external=True)
+            return
+        woke = [False]
+
+        def wake() -> None:
+            woke[0] = True
+            self.sched.ready(g)
+
+        self.sched.clock.call_after(duration, wake)
+        while not woke[0]:
+            self.sched.block(f"external:{what}", external=True)
+
+    # ------------------------------------------------------------------
+    # Channels and select
+    # ------------------------------------------------------------------
+
+    def make_chan(self, capacity: int = 0, name: Optional[str] = None):
+        """Create a channel, like ``make(chan T)`` / ``make(chan T, n)``."""
+        from ..chan.channel import Channel
+
+        return Channel(self, capacity=capacity, name=name)
+
+    def nil_chan(self):
+        """A nil channel: every send/receive on it blocks forever."""
+        from ..chan.channel import NilChannel
+
+        return NilChannel(self)
+
+    def select(self, *cases, default: bool = False):
+        """Wait on multiple channel operations, like Go's ``select``.
+
+        Args:
+            cases: :func:`repro.chan.cases.send` / :func:`repro.chan.cases.recv`
+                case objects.
+            default: when True, behaves like a ``select`` with a ``default``
+                branch and returns index ``-1`` immediately if no case is
+                ready.
+
+        Returns:
+            ``(index, value, ok)``: the chosen case index (``-1`` for
+            default), the received value (None for send cases), and the
+            channel-open flag.
+        """
+        from ..chan.select import select as _select
+
+        return _select(self, cases, default=default)
+
+    # ------------------------------------------------------------------
+    # Shared-memory synchronization
+    # ------------------------------------------------------------------
+
+    def mutex(self, name: Optional[str] = None):
+        from ..sync.mutex import Mutex
+
+        return Mutex(self, name=name)
+
+    def rwmutex(self, name: Optional[str] = None, writer_priority: bool = True):
+        from ..sync.rwmutex import RWMutex
+
+        return RWMutex(self, name=name, writer_priority=writer_priority)
+
+    def waitgroup(self, name: Optional[str] = None):
+        from ..sync.waitgroup import WaitGroup
+
+        return WaitGroup(self, name=name)
+
+    def once(self, name: Optional[str] = None):
+        from ..sync.once import Once
+
+        return Once(self, name=name)
+
+    def cond(self, locker, name: Optional[str] = None):
+        from ..sync.cond import Cond
+
+        return Cond(self, locker, name=name)
+
+    def atomic_int(self, value: int = 0, name: Optional[str] = None):
+        from ..sync.atomic import AtomicInt
+
+        return AtomicInt(self, value, name=name)
+
+    def atomic_value(self, value: Any = None, name: Optional[str] = None):
+        from ..sync.atomic import AtomicValue
+
+        return AtomicValue(self, value, name=name)
+
+    def sync_map(self, name: Optional[str] = None):
+        """A concurrency-safe map, like ``sync.Map``."""
+        from ..sync.syncmap import SyncMap
+
+        return SyncMap(self, name=name)
+
+    def errgroup(self, ctx_parent: Any = None, with_ctx: bool = False):
+        """An errgroup, like ``errgroup.Group`` / ``errgroup.WithContext``."""
+        from ..stdlib.errgroup import new_group, with_context
+
+        if with_ctx:
+            return with_context(self, ctx_parent)
+        return new_group(self)
+
+    def shared(self, name: str, value: Any = None):
+        """An *unsynchronized* shared variable.
+
+        Accesses through :class:`repro.sync.shared.SharedVar` are visible to
+        the data race detector; this models plain Go struct fields and local
+        variables captured by anonymous functions.
+        """
+        from ..sync.shared import SharedVar
+
+        var = SharedVar(self, name, value)
+        self._shared_vars.append(var)
+        return var
+
+    # ------------------------------------------------------------------
+    # Standard-library analogues
+    # ------------------------------------------------------------------
+
+    def background(self):
+        """Root context, like ``context.Background()``."""
+        from ..stdlib.context import background
+
+        return background(self)
+
+    def with_cancel(self, parent):
+        from ..stdlib.context import with_cancel
+
+        return with_cancel(self, parent)
+
+    def with_timeout(self, parent, timeout: float):
+        from ..stdlib.context import with_timeout
+
+        return with_timeout(self, parent, timeout)
+
+    def with_value(self, parent, key, value):
+        from ..stdlib.context import with_value
+
+        return with_value(self, parent, key, value)
+
+    def new_timer(self, duration: float):
+        from ..stdlib.gotime import Timer
+
+        return Timer(self, duration)
+
+    def after(self, duration: float):
+        """A channel that fires once after ``duration``, like ``time.After``."""
+        from ..stdlib.gotime import Timer
+
+        return Timer(self, duration).c
+
+    def new_ticker(self, interval: float):
+        from ..stdlib.gotime import Ticker
+
+        return Ticker(self, interval)
+
+    def pipe(self):
+        """An in-memory synchronous pipe, like ``io.Pipe()``."""
+        from ..stdlib.iopipe import Pipe
+
+        p = Pipe(self)
+        return p.reader, p.writer
+
+
+class RunResult:
+    """Outcome of one simulated execution.
+
+    Attributes:
+        status: ``"ok"`` | ``"leak"`` | ``"deadlock"`` | ``"panic"`` |
+            ``"hang"`` | ``"timeout"`` | ``"steps"``.
+        main_result: return value of the main goroutine (when it completed).
+        leaked: goroutines still blocked after main returned and the
+            runnable backlog drained — the paper's goroutine-leak symptom.
+        abandoned: goroutines that were still runnable when the run was
+            torn down (drain budget exhausted or drain disabled).
+        panic_value: the unrecovered panic that aborted the run, if any.
+        deadlock: the built-in detector's report, if it fired.
+        trace: the full event trace (when ``keep_trace``).
+    """
+
+    def __init__(
+        self,
+        status: str,
+        *,
+        seed: int,
+        steps: int,
+        end_time: float,
+        goroutines: Sequence[Goroutine],
+        main_result: Any = None,
+        leaked: Sequence[Goroutine] = (),
+        abandoned: Sequence[Goroutine] = (),
+        panic_value: Optional[BaseException] = None,
+        panic_goroutine: Optional[Goroutine] = None,
+        deadlock: Optional[DeadlockError] = None,
+        trace: Optional[Trace] = None,
+    ):
+        self.status = status
+        self.seed = seed
+        self.steps = steps
+        self.end_time = end_time
+        self.goroutines = list(goroutines)
+        self.main_result = main_result
+        self.leaked = list(leaked)
+        self.abandoned = list(abandoned)
+        self.panic_value = panic_value
+        self.panic_goroutine = panic_goroutine
+        self.deadlock = deadlock
+        self.trace = trace
+
+    @property
+    def completed(self) -> bool:
+        """True when the main goroutine returned normally."""
+        return self.status in ("ok", "leak")
+
+    @property
+    def leak_count(self) -> int:
+        return len(self.leaked)
+
+    @property
+    def blocked_forever(self) -> List[str]:
+        """Descriptions of all stuck goroutines (leaked or deadlocked)."""
+        if self.deadlock is not None:
+            return list(self.deadlock.blocked)
+        return [g.describe() for g in self.leaked]
+
+    def __repr__(self) -> str:
+        bits = [f"status={self.status!r}", f"seed={self.seed}", f"steps={self.steps}"]
+        if self.leaked:
+            bits.append(f"leaked={len(self.leaked)}")
+        if self.panic_value is not None:
+            bits.append(f"panic={self.panic_value!r}")
+        return f"<RunResult {' '.join(bits)}>"
+
+
+def run(
+    main: Callable[[Runtime], Any],
+    *,
+    seed: int = 0,
+    max_steps: int = 1_000_000,
+    preempt: bool = True,
+    drain: bool = True,
+    drain_budget: int = 50_000,
+    keep_trace: bool = True,
+    observers: Iterable[Any] = (),
+    args: Tuple[Any, ...] = (),
+    time_limit: Optional[float] = None,
+    rng: Optional[Any] = None,
+) -> RunResult:
+    """Execute ``main(rt, *args)`` under the simulator and classify the outcome.
+
+    Args:
+        main: program entry point; receives the :class:`Runtime`.
+        seed: scheduler RNG seed.  Same seed, same trace.
+        max_steps: livelock backstop on total scheduling steps.
+        preempt: make every primitive op a preemption point (richer
+            interleavings) instead of only blocking ops.
+        drain: after main returns, keep running remaining goroutines (clock
+            included) until quiescence so leak classification is precise:
+            whatever is still blocked then is blocked forever.  Go itself
+            exits immediately; disable to match that exactly.
+        drain_budget: step cap for the drain phase.
+        keep_trace: record the event trace on the result.
+        observers: objects with an ``attach(runtime)`` method (detectors);
+            ``finish(result)`` is called on them at the end when present.
+        args: extra positional args passed to ``main`` after the runtime.
+        time_limit: stop observing after this much *virtual* time.  Models
+            a long-running server: a run cut off here with main still
+            blocked gets status ``"timeout"`` — the situation where Go's
+            built-in deadlock detector stays silent because other
+            goroutines keep running.
+        rng: override the scheduler's choice source (anything with
+            ``randrange(n)``); used by the systematic explorer.
+    """
+    sched = Scheduler(seed=seed, max_steps=max_steps, preempt=preempt,
+                      keep_trace=keep_trace, rng=rng)
+    rt = Runtime(sched)
+    for obs in observers:
+        obs.attach(rt)
+
+    main_g = sched.spawn(main, (rt,) + tuple(args), name="main", anonymous=False)
+
+    def stop() -> bool:
+        return main_g.state in GState.TERMINAL or sched.panicked is not None
+
+    status: str
+    leaked: List[Goroutine] = []
+    abandoned: List[Goroutine] = []
+    deadlock: Optional[DeadlockError] = None
+
+    try:
+        outcome = sched.run_until_quiescent(stop_when=stop, time_limit=time_limit)
+        if sched.panicked is not None:
+            status = "panic"
+        elif outcome == "steps":
+            status = "steps"
+        elif outcome == "timeout":
+            # Observation window closed with the program still going: any
+            # goroutine blocked right now — except transient sleepers — is
+            # a leak suspect (goleak-style).
+            status = "timeout"
+            leaked = [
+                g for g in sched.blocked_goroutines()
+                if g.block_reason != "time.sleep" and not g.external
+            ]
+        elif outcome == "quiescent":
+            # Main is still alive but nothing can run: the built-in
+            # detector's condition — unless someone waits on an external
+            # resource, which the detector (and Go's) cannot see.
+            blocked = sched.blocked_goroutines()
+            if any(g.external for g in blocked):
+                status = "hang"
+                leaked = blocked
+            else:
+                status = "deadlock"
+                leaked = blocked  # every participant is stuck forever
+                deadlock = DeadlockError(
+                    "all goroutines are asleep - deadlock!",
+                    blocked=[g.describe() for g in blocked],
+                )
+        else:  # main finished
+            if drain:
+                # Keep running (and let the virtual clock advance, so plain
+                # sleepers and armed timers finish) until quiescence: what
+                # remains blocked then is blocked *forever*.
+                sched.run_until_quiescent(
+                    stop_when=lambda: sched.panicked is not None,
+                    advance_clock=True,
+                    step_budget=drain_budget,
+                )
+            if sched.panicked is not None:
+                status = "panic"
+            else:
+                leaked = sched.blocked_goroutines()
+                abandoned = [
+                    g for g in sched.live_goroutines() if g.state != GState.BLOCKED
+                ]
+                status = "leak" if leaked else "ok"
+    finally:
+        sched.kill_all()
+
+    result = RunResult(
+        status,
+        seed=seed,
+        steps=sched.steps,
+        end_time=sched.clock.now,
+        goroutines=sched.goroutines,
+        main_result=main_g.result,
+        leaked=leaked,
+        abandoned=abandoned,
+        panic_value=sched.panicked.panic_value if sched.panicked else None,
+        panic_goroutine=sched.panicked,
+        deadlock=deadlock,
+        trace=sched.trace if keep_trace else None,
+    )
+    for obs in observers:
+        finish = getattr(obs, "finish", None)
+        if finish is not None:
+            finish(result)
+    return result
+
+
+def explore(
+    main: Callable[[Runtime], Any],
+    seeds: Iterable[int],
+    **kwargs: Any,
+) -> List[RunResult]:
+    """Run ``main`` under every seed; the seed-sweep analogue of rerunning a
+    flaky program many times."""
+    return [run(main, seed=seed, **kwargs) for seed in seeds]

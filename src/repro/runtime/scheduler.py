@@ -1,0 +1,263 @@
+"""The deterministic, seeded goroutine scheduler.
+
+The scheduler owns the token described in :mod:`repro.runtime.goroutine`,
+the virtual clock, the runnable set, and the trace.  Every run is a pure
+function of ``(program, seed, options)``: the only source of nondeterminism
+Go programs observe (which runnable goroutine runs next, which ready
+``select`` case fires) is drawn from one seeded RNG.
+
+Sweeping seeds is the simulator's replacement for the paper's "run the buggy
+program a lot of times": a bug that manifests on 3% of real executions
+manifests on a similar fraction of seeds.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Callable, List, Optional, Tuple
+
+from .clock import VirtualClock
+from .errors import Killed, SchedulerStateError, StepLimitExceeded
+from .goroutine import Goroutine, GState
+from .trace import EventKind, Trace, TraceEvent
+
+
+class Scheduler:
+    """Cooperative scheduler enforcing the one-runner invariant.
+
+    Not part of the public API: user code talks to
+    :class:`repro.runtime.runtime.Runtime`, which delegates here.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        max_steps: int = 1_000_000,
+        preempt: bool = True,
+        keep_trace: bool = True,
+        rng: Optional[Any] = None,
+    ):
+        #: Source of all scheduling nondeterminism.  Anything with a
+        #: ``randrange(n)`` method works; the systematic explorer injects a
+        #: scripted source here to enumerate schedules exhaustively.
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.seed = seed
+        self.clock = VirtualClock()
+        self.trace = Trace(keep_events=keep_trace)
+        self.max_steps = max_steps
+        #: When True, every primitive operation is a preemption point; when
+        #: False only genuinely blocking operations yield (faster, but fewer
+        #: interleavings are explored).
+        self.preempt = preempt
+
+        self.goroutines: List[Goroutine] = []
+        self._runnable: List[Goroutine] = []
+        self._current: Optional[Goroutine] = None
+        self._steps = 0
+        self._wakeup = threading.Event()
+        self._next_gid = 1
+        self._shutting_down = False
+        #: First goroutine to panic, if any (aborts the whole run, as in Go).
+        self.panicked: Optional[Goroutine] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def steps(self) -> int:
+        """Scheduling steps taken so far (one per token handoff)."""
+        return self._steps
+
+    @property
+    def current(self) -> Goroutine:
+        """The goroutine currently holding the token."""
+        if self._current is None:
+            raise SchedulerStateError("no goroutine is currently running")
+        return self._current
+
+    @property
+    def current_gid(self) -> int:
+        """gid of the running goroutine, or 0 in scheduler context."""
+        return self._current.gid if self._current is not None else 0
+
+    def live_goroutines(self) -> List[Goroutine]:
+        return [g for g in self.goroutines if g.state in GState.LIVE]
+
+    def blocked_goroutines(self) -> List[Goroutine]:
+        return [g for g in self.goroutines if g.state == GState.BLOCKED]
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        obj: Optional[int] = None,
+        info: Optional[dict] = None,
+        gid: Optional[int] = None,
+    ) -> None:
+        """Append a trace event attributed to the running goroutine."""
+        self.trace.emit(
+            TraceEvent(
+                step=self._steps,
+                time=self.clock.now,
+                gid=self.current_gid if gid is None else gid,
+                kind=kind,
+                obj=obj,
+                info=info,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Goroutine management
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        name: Optional[str] = None,
+        anonymous: bool = False,
+        creation_site: Optional[str] = None,
+    ) -> Goroutine:
+        """Create a goroutine and put it on the runnable set."""
+        g = Goroutine(
+            gid=self._next_gid,
+            fn=fn,
+            args=args,
+            scheduler_wakeup=self._wakeup,
+            name=name,
+            anonymous=anonymous,
+            creation_site=creation_site,
+        )
+        self._next_gid += 1
+        g.created_at = self.clock.now
+        self.goroutines.append(g)
+        self._runnable.append(g)
+        g.start()
+        self.emit(EventKind.GO_CREATE, obj=g.gid, info={"anonymous": anonymous})
+        return g
+
+    # ------------------------------------------------------------------
+    # Goroutine-side primitives (run on a goroutine thread holding token)
+    # ------------------------------------------------------------------
+
+    def schedule_point(self) -> None:
+        """A voluntary preemption point: let the scheduler pick again."""
+        if not self.preempt or self._current is None:
+            return
+        g = self._current
+        # State stays RUNNING so the loop knows this was a yield, not a block.
+        g.yield_to_scheduler()
+
+    def block(self, reason: str, external: bool = False) -> None:
+        """Park the running goroutine until another party readies it.
+
+        Primitive code must register the goroutine on the relevant wait queue
+        *before* calling this, then re-check its wait condition after it
+        returns (the standard wait-loop discipline).
+        """
+        g = self.current
+        g.state = GState.BLOCKED
+        g.block_reason = reason
+        g.external = external
+        self.emit(EventKind.GO_BLOCK, info={"reason": reason})
+        if g in self._runnable:
+            self._runnable.remove(g)
+        g.yield_to_scheduler()
+        g.block_reason = None
+        g.external = False
+
+    def ready(self, g: Goroutine) -> None:
+        """Move a blocked goroutine back to the runnable set."""
+        if g.state != GState.BLOCKED:
+            return
+        g.state = GState.RUNNABLE
+        self._runnable.append(g)
+        self.emit(EventKind.GO_UNBLOCK, obj=g.gid)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run_until_quiescent(
+        self,
+        stop_when: Optional[Callable[[], bool]] = None,
+        advance_clock: bool = True,
+        step_budget: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> str:
+        """Drive goroutines until nothing can run.
+
+        Returns one of:
+          * ``"stopped"``   — ``stop_when()`` became true (e.g. main exited,
+            or a goroutine panicked),
+          * ``"quiescent"`` — no goroutine runnable and no timer armed (or
+            clock advancement disabled),
+          * ``"steps"``     — the step budget ran out (livelock backstop),
+          * ``"timeout"``   — the virtual clock passed ``time_limit`` (the
+            observation-window cutoff for programs that run forever).
+        """
+        budget = self.max_steps if step_budget is None else step_budget
+        used = 0
+        while True:
+            if stop_when is not None and stop_when():
+                return "stopped"
+            if time_limit is not None and self.clock.now >= time_limit:
+                return "timeout"
+            if used >= budget:
+                return "steps"
+            if self._runnable:
+                used += 1
+                self._steps += 1
+                g = self._pick()
+                self._current = g
+                g.resume()
+                self._current = None
+                self._after_resume(g)
+                continue
+            if advance_clock and self.clock.has_pending():
+                fired = self.clock.advance_to_next()
+                for handle in fired:
+                    self.emit(EventKind.TIMER_FIRE, gid=0)
+                    handle.callback()
+                continue
+            return "quiescent"
+
+    def _pick(self) -> Goroutine:
+        index = self.rng.randrange(len(self._runnable))
+        return self._runnable[index]
+
+    def _after_resume(self, g: Goroutine) -> None:
+        if g.state == GState.RUNNING:
+            g.state = GState.RUNNABLE  # voluntary yield at a schedule point
+            return
+        # Blocked goroutines already removed themselves in block().
+        if g.state in GState.TERMINAL:
+            if g in self._runnable:
+                self._runnable.remove(g)
+            g.ended_at = self.clock.now
+            if g.state == GState.PANICKED and self.panicked is None:
+                self.panicked = g
+            kind = EventKind.GO_PANIC if g.state == GState.PANICKED else EventKind.GO_END
+            self.emit(kind, gid=g.gid)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def kill_all(self) -> None:
+        """Unwind every live goroutine's host thread (end of run cleanup)."""
+        self._shutting_down = True
+        for g in self.goroutines:
+            if g.state in GState.LIVE:
+                g.kill()
+
+    def check_step_limit(self) -> None:
+        if self._steps > self.max_steps:
+            raise StepLimitExceeded(
+                f"exceeded {self.max_steps} scheduling steps (seed={self.seed})"
+            )

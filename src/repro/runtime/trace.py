@@ -1,0 +1,138 @@
+"""Structured execution traces.
+
+Every scheduling-relevant action emits one :class:`TraceEvent`.  The trace is
+the single integration point between the runtime and the detectors
+(:mod:`repro.detect`): detectors are pure consumers of events and never reach
+into scheduler internals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+
+class EventKind:
+    """Names of trace event kinds (plain strings, grouped for reference)."""
+
+    # Goroutine lifecycle
+    GO_CREATE = "go.create"          # info: child gid, anonymous flag
+    GO_START = "go.start"
+    GO_END = "go.end"
+    GO_PANIC = "go.panic"
+    GO_BLOCK = "go.block"            # info: reason
+    GO_UNBLOCK = "go.unblock"
+
+    # Channels
+    CHAN_MAKE = "chan.make"
+    CHAN_SEND = "chan.send"          # completed send
+    CHAN_RECV = "chan.recv"          # completed receive; info: closed flag
+    CHAN_CLOSE = "chan.close"
+    SELECT_BEGIN = "select.begin"
+    SELECT_COMMIT = "select.commit"  # info: chosen case index
+
+    # Shared-memory synchronization
+    MU_REQUEST = "mutex.request"     # lock() entered (may block forever)
+    MU_LOCK = "mutex.lock"           # lock() acquired
+    MU_UNLOCK = "mutex.unlock"
+    RW_RLOCK = "rwmutex.rlock"
+    RW_RUNLOCK = "rwmutex.runlock"
+    RW_REQUEST = "rwmutex.request"
+    RW_LOCK = "rwmutex.lock"
+    RW_UNLOCK = "rwmutex.unlock"
+    WG_ADD = "waitgroup.add"
+    WG_DONE = "waitgroup.done"
+    WG_WAIT = "waitgroup.wait"
+    ONCE_DO = "once.do"              # info: ran flag (True for the executor)
+    COND_WAIT = "cond.wait"
+    COND_SIGNAL = "cond.signal"
+    COND_BROADCAST = "cond.broadcast"
+    ATOMIC_OP = "atomic.op"
+
+    # Modelled (racy) memory accesses
+    MEM_READ = "mem.read"
+    MEM_WRITE = "mem.write"
+
+    # Time and external waits
+    SLEEP = "time.sleep"
+    TIMER_FIRE = "timer.fire"
+    EXTERNAL_WAIT = "external.wait"
+
+
+class TraceEvent:
+    """One scheduling-relevant action performed by a goroutine.
+
+    Attributes:
+        step: global monotonically increasing scheduler step counter.
+        time: virtual-clock timestamp (seconds).
+        gid: id of the goroutine performing the action (0 = scheduler).
+        kind: one of the :class:`EventKind` names.
+        obj: stable id of the primitive object involved, if any.
+        info: kind-specific details (small, JSON-like values only).
+    """
+
+    __slots__ = ("step", "time", "gid", "kind", "obj", "info")
+
+    def __init__(
+        self,
+        step: int,
+        time: float,
+        gid: int,
+        kind: str,
+        obj: Optional[int] = None,
+        info: Optional[Dict[str, object]] = None,
+    ):
+        self.step = step
+        self.time = time
+        self.gid = gid
+        self.kind = kind
+        self.obj = obj
+        self.info = info or {}
+
+    def __repr__(self) -> str:
+        extra = f" obj={self.obj}" if self.obj is not None else ""
+        info = f" {self.info}" if self.info else ""
+        return f"<{self.step}@{self.time:g} g{self.gid} {self.kind}{extra}{info}>"
+
+
+class Trace:
+    """An append-only event log with optional live listeners.
+
+    Listeners (detectors) are invoked synchronously as events are emitted so
+    they observe the exact interleaving order.
+    """
+
+    def __init__(self, keep_events: bool = True):
+        self._events: List[TraceEvent] = []
+        self._listeners: List[Callable[[TraceEvent], None]] = []
+        self._keep_events = keep_events
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Register a callback invoked for every subsequent event."""
+        self._listeners.append(listener)
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._keep_events:
+            self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        """Return all recorded events whose kind is in ``kinds``."""
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def by_goroutine(self, gid: int) -> List[TraceEvent]:
+        return [e for e in self._events if e.gid == gid]
+
+    def kinds(self) -> Iterable[str]:
+        return (e.kind for e in self._events)

@@ -1,0 +1,39 @@
+"""Go standard-library analogues: context, time, io.Pipe, testing."""
+
+from .context import (
+    CANCELED,
+    DEADLINE_EXCEEDED,
+    Context,
+    ContextError,
+    background,
+    with_cancel,
+    with_timeout,
+    with_value,
+)
+from .errgroup import Group, new_group, with_context as errgroup_with_context
+from .gotime import Ticker, Timer
+from .iopipe import EOF, Pipe, PipeError, PipeReader, PipeWriter
+from .testingpkg import T, run_test
+
+__all__ = [
+    "CANCELED",
+    "DEADLINE_EXCEEDED",
+    "Context",
+    "ContextError",
+    "EOF",
+    "Group",
+    "Pipe",
+    "PipeError",
+    "PipeReader",
+    "PipeWriter",
+    "T",
+    "Ticker",
+    "Timer",
+    "background",
+    "errgroup_with_context",
+    "new_group",
+    "run_test",
+    "with_cancel",
+    "with_timeout",
+    "with_value",
+]

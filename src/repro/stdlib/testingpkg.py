@@ -1,0 +1,58 @@
+"""``testing`` — the miniature test harness whose ``T`` is a race magnet.
+
+Three of the paper's non-blocking bugs are data races on a ``testing.T``
+accessed both by the test function's goroutine and by goroutines it spawns
+(Section 6.1.1, "Special libraries").  Our :class:`T` stores its state in
+:class:`~repro.sync.shared.SharedVar`s so those races are visible to the
+race detector, just as Go's ``-race`` instruments the real ``testing.T``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.runtime import Runtime
+
+
+class T:
+    """Per-test state handle, like ``*testing.T``."""
+
+    def __init__(self, rt: "Runtime", name: str = "Test"):
+        self._rt = rt
+        self.name = name
+        # Plain (racy) fields, as in Go's testing.T before its own locking.
+        self._failed = rt.shared(f"{name}.failed", False)
+        self._logs = rt.shared(f"{name}.logs", ())
+
+    def log(self, message: str) -> None:
+        """Append to the test log (a racy read-modify-write, as in the bugs)."""
+        logs = self._logs.load()
+        self._logs.store(logs + (message,))
+
+    def errorf(self, message: str) -> None:
+        """Record a failure, like ``t.Errorf``."""
+        self.log(message)
+        self._failed.store(True)
+
+    def fatalf(self, message: str) -> None:
+        """Record a failure and panic out of the test, like ``t.Fatalf``."""
+        self.errorf(message)
+        self._rt.panic(f"test fatal: {message}")
+
+    def failed(self) -> bool:
+        return bool(self._failed.load())
+
+    @property
+    def logs(self) -> tuple:
+        return tuple(self._logs.peek())
+
+    def __repr__(self) -> str:
+        return f"<testing.T {self.name} failed={self._failed.peek()}>"
+
+
+def run_test(rt: "Runtime", name: str, fn: Callable[["T"], None]) -> T:
+    """Run ``fn(t)`` as a test body on the current goroutine."""
+    t = T(rt, name)
+    fn(t)
+    return t

@@ -1,0 +1,14 @@
+"""The empirical-study pipeline: taxonomy, lift, lifetimes, usage analyzers,
+and renderers for every table and figure in the paper's evaluation."""
+
+from . import figures, lifetime, lift, tables, taxonomy, usage_dynamic, usage_static
+
+__all__ = [
+    "figures",
+    "lifetime",
+    "lift",
+    "tables",
+    "taxonomy",
+    "usage_dynamic",
+    "usage_static",
+]

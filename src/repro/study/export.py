@@ -1,0 +1,181 @@
+"""Machine-readable exports of every table and figure.
+
+Downstream users (plotting scripts, dashboards, other studies) should not
+scrape ASCII tables; this module writes the underlying data as JSON and
+TSV into a directory:
+
+    from repro.study.export import export_all
+    files = export_all("out/")
+
+or ``python -m repro export out/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..dataset import go171, usage_history
+from ..dataset.records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    BugRecord,
+    Cause,
+    FixPrimitive,
+    FixStrategy,
+    NonBlockingSubCause,
+)
+from . import lifetime, taxonomy
+
+
+def _write_tsv(path: Path, headers: Sequence[str],
+               rows: Sequence[Sequence[object]]) -> None:
+    lines = ["\t".join(headers)]
+    lines += ["\t".join(str(cell) for cell in row) for row in rows]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def export_records(records: Sequence[BugRecord], out: Path) -> Path:
+    """The full 171-bug dataset as JSON."""
+    payload = [
+        {
+            "bug_id": r.bug_id,
+            "app": r.app.value,
+            "behavior": r.behavior.value,
+            "cause": r.cause.value,
+            "subcause": str(r.subcause),
+            "fix_strategy": str(r.fix_strategy),
+            "fix_primitives": [str(p) for p in r.fix_primitives],
+            "lifetime_days": r.lifetime_days,
+            "report_lag_days": r.report_lag_days,
+            "patch_lines": r.patch_lines,
+            "reconstructed": r.reconstructed,
+            "figure": r.figure,
+            "description": r.description,
+        }
+        for r in records
+    ]
+    path = out / "go171.json"
+    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    return path
+
+
+def export_table5(records: Sequence[BugRecord], out: Path) -> Path:
+    matrix = taxonomy.behavior_cause_matrix(records)
+    rows = [[app.value, *cells] for app, cells in matrix.items()]
+    path = out / "table5_taxonomy.tsv"
+    _write_tsv(path, ["app", "blocking", "nonblocking", "shared", "message"], rows)
+    return path
+
+
+def export_table6(records: Sequence[BugRecord], out: Path) -> Path:
+    matrix = taxonomy.blocking_cause_table(records)
+    headers = ["app"] + [str(s) for s in BlockingSubCause]
+    rows = [[app.value] + [cells[s] for s in BlockingSubCause]
+            for app, cells in matrix.items()]
+    path = out / "table6_blocking_causes.tsv"
+    _write_tsv(path, headers, rows)
+    return path
+
+
+def export_table9(records: Sequence[BugRecord], out: Path) -> Path:
+    matrix = taxonomy.nonblocking_cause_table(records)
+    headers = ["app"] + [str(s) for s in NonBlockingSubCause]
+    rows = [[app.value] + [cells[s] for s in NonBlockingSubCause]
+            for app, cells in matrix.items()]
+    path = out / "table9_nonblocking_causes.tsv"
+    _write_tsv(path, headers, rows)
+    return path
+
+
+def export_strategies(records: Sequence[BugRecord], behavior: Behavior,
+                      filename: str, out: Path) -> Path:
+    matrix = taxonomy.strategy_matrix(records, behavior)
+    headers = ["subcause"] + [str(s) for s in FixStrategy]
+    rows = [[str(sub)] + [cells[s] for s in FixStrategy]
+            for sub, cells in matrix.items()]
+    path = out / filename
+    _write_tsv(path, headers, rows)
+    return path
+
+
+def export_table11(records: Sequence[BugRecord], out: Path) -> Path:
+    matrix = taxonomy.primitive_use_matrix(records)
+    headers = ["subcause"] + [str(p) for p in FixPrimitive]
+    rows = [[str(sub)] + [counts.get(p, 0) for p in FixPrimitive]
+            for sub, counts in matrix.items()]
+    path = out / "table11_fix_primitives.tsv"
+    _write_tsv(path, headers, rows)
+    return path
+
+
+def export_figure4(records: Sequence[BugRecord], out: Path) -> Path:
+    cdfs = lifetime.lifetime_cdfs(records)
+    rows: List[List[object]] = []
+    for cause, points in cdfs.items():
+        for days, quantile in points:
+            rows.append([cause.value, days, round(quantile, 6)])
+    path = out / "figure4_lifetime_cdf.tsv"
+    _write_tsv(path, ["cause", "lifetime_days", "cdf"], rows)
+    return path
+
+
+def export_figures23(out: Path) -> Path:
+    rows: List[List[object]] = []
+    for app in App:
+        shared = usage_history.shared_memory_series(app)
+        for snapshot, value in zip(usage_history.SNAPSHOTS, shared):
+            rows.append([app.value, snapshot, value, round(1 - value, 4)])
+    path = out / "figures23_usage_series.tsv"
+    _write_tsv(path, ["app", "month", "shared_share", "message_share"], rows)
+    return path
+
+
+def export_kernels(out: Path) -> Path:
+    from ..bugs import registry
+
+    payload = [
+        {
+            "kernel_id": k.meta.kernel_id,
+            "title": k.meta.title,
+            "app": k.meta.app.value,
+            "behavior": k.meta.behavior.value,
+            "cause": k.meta.cause.value,
+            "subcause": str(k.meta.subcause),
+            "fix_strategy": str(k.meta.fix_strategy),
+            "fix_primitives": [str(p) for p in k.meta.fix_primitives],
+            "symptom": k.meta.symptom,
+            "figure": k.meta.figure,
+            "reproduced": k.meta.reproduced,
+            "deterministic": k.meta.deterministic,
+            "bug_url": k.meta.bug_url,
+        }
+        for k in registry.all_kernels()
+    ]
+    path = out / "kernels.json"
+    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    return path
+
+
+def export_all(directory: Union[str, Path],
+               records: Optional[Sequence[BugRecord]] = None) -> List[Path]:
+    """Write every artifact; returns the created paths."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    recs = list(records) if records is not None else go171.load()
+    return [
+        export_records(recs, out),
+        export_table5(recs, out),
+        export_table6(recs, out),
+        export_strategies(recs, Behavior.BLOCKING,
+                          "table7_blocking_fixes.tsv", out),
+        export_table9(recs, out),
+        export_strategies(recs, Behavior.NONBLOCKING,
+                          "table10_nonblocking_fixes.tsv", out),
+        export_table11(recs, out),
+        export_figure4(recs, out),
+        export_figures23(out),
+        export_kernels(out),
+    ]

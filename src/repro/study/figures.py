@@ -1,0 +1,50 @@
+"""Data (and ASCII sketches) for the paper's figures 2, 3 and 4."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dataset import go171, usage_history
+from ..dataset.records import App, BugRecord, Cause
+from . import lifetime as lifetime_mod
+
+
+def figure2_data() -> Dict[App, List[float]]:
+    """Shared-memory primitive proportion per app over time."""
+    return {app: usage_history.shared_memory_series(app) for app in App}
+
+
+def figure3_data() -> Dict[App, List[float]]:
+    """Message-passing primitive proportion per app over time."""
+    return {app: usage_history.message_passing_series(app) for app in App}
+
+
+def figure4_data(records: Optional[Sequence[BugRecord]] = None
+                 ) -> Dict[Cause, List[Tuple[float, float]]]:
+    """Bug life-time CDFs per cause dimension."""
+    recs = list(records) if records is not None else go171.load()
+    return lifetime_mod.lifetime_cdfs(recs)
+
+
+def sparkline(series: Sequence[float], width: int = 40) -> str:
+    """Tiny ASCII rendering of a series (for terminal reports)."""
+    blocks = " .:-=+*#%@"
+    if not series:
+        return ""
+    lo, hi = min(series), max(series)
+    span = (hi - lo) or 1.0
+    step = max(len(series) // width, 1)
+    sampled = list(series)[::step][:width]
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in sampled)
+
+
+def ascii_cdf(points: Sequence[Tuple[float, float]], width: int = 50,
+              label: str = "") -> str:
+    """Rough terminal CDF: one row per decile with the day threshold."""
+    lines = [f"CDF {label}".rstrip()]
+    for decile in range(1, 11):
+        p = decile / 10
+        threshold = next((v for v, q in points if q >= p), points[-1][0])
+        bar = "#" * int(p * width)
+        lines.append(f"  P<= {p:0.1f} @ {threshold:8.1f} days |{bar}")
+    return "\n".join(lines)

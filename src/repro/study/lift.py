@@ -1,0 +1,104 @@
+"""The *lift* statistic the paper uses for cause/fix correlation.
+
+``lift(A, B) = P(A ∧ B) / (P(A) · P(B))`` over the bug population:
+1 means independence; > 1 positive correlation; < 1 negative.
+
+Two population choices, both used by the paper:
+* over *bugs* for cause vs. fix strategy (Sections 5.2, 6.2),
+* over *primitive uses* for cause vs. fix primitive (Table 11's 2.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..dataset.records import (
+    Behavior,
+    BugRecord,
+    FixPrimitive,
+    FixStrategy,
+)
+
+
+@dataclass(frozen=True)
+class LiftResult:
+    a: str
+    b: str
+    lift: float
+    n_a: int
+    n_b: int
+    n_ab: int
+    population: int
+
+    def __str__(self) -> str:
+        return (f"lift({self.a}, {self.b}) = {self.lift:.2f} "
+                f"(|A|={self.n_a}, |B|={self.n_b}, |AB|={self.n_ab}, n={self.population})")
+
+
+def lift(population: Sequence, a_pred: Callable, b_pred: Callable,
+         a_name: str = "A", b_name: str = "B") -> LiftResult:
+    """Compute lift over an arbitrary population of items."""
+    n = len(population)
+    n_a = sum(1 for item in population if a_pred(item))
+    n_b = sum(1 for item in population if b_pred(item))
+    n_ab = sum(1 for item in population if a_pred(item) and b_pred(item))
+    if n == 0 or n_a == 0 or n_b == 0:
+        value = float("nan")
+    else:
+        value = (n_ab * n) / (n_a * n_b)
+    return LiftResult(a_name, b_name, value, n_a, n_b, n_ab, n)
+
+
+def cause_strategy_lift(records: Sequence[BugRecord], behavior: Behavior,
+                        subcause, strategy: FixStrategy) -> LiftResult:
+    """lift(cause category, fix strategy) over the bugs of one behavior."""
+    rows = [r for r in records if r.behavior == behavior]
+    return lift(
+        rows,
+        lambda r: r.subcause == subcause,
+        lambda r: r.fix_strategy == strategy,
+        a_name=str(subcause),
+        b_name=str(strategy),
+    )
+
+
+def cause_primitive_lift(records: Sequence[BugRecord], subcause,
+                         primitive: FixPrimitive) -> LiftResult:
+    """lift(cause, fix primitive) over non-blocking primitive *uses*."""
+    uses: List[Tuple[object, FixPrimitive]] = [
+        (r.subcause, prim)
+        for r in records
+        if r.behavior == Behavior.NONBLOCKING
+        for prim in r.fix_primitives
+    ]
+    return lift(
+        uses,
+        lambda u: u[0] == subcause,
+        lambda u: u[1] == primitive,
+        a_name=str(subcause),
+        b_name=str(primitive),
+    )
+
+
+def all_strategy_lifts(records: Sequence[BugRecord], behavior: Behavior,
+                       min_category_size: int = 10,
+                       min_strategy_size: int = 5) -> List[LiftResult]:
+    """Every (sub-cause, strategy) lift, sorted descending.
+
+    Mirrors the paper's significance handling: categories with at most
+    ``min_category_size`` bugs are dropped (Section 5.2 omits categories
+    "because of their statistical insignificance"); near-empty strategy
+    columns are dropped for the same reason.
+    """
+    rows = [r for r in records if r.behavior == behavior]
+    subs = sorted({r.subcause for r in rows}, key=str)
+    results: List[LiftResult] = []
+    for sub in subs:
+        if sum(r.subcause == sub for r in rows) <= min_category_size:
+            continue
+        for strategy in FixStrategy:
+            result = cause_strategy_lift(records, behavior, sub, strategy)
+            if result.n_b >= min_strategy_size and result.n_ab > 0:
+                results.append(result)
+    return sorted(results, key=lambda r: r.lift, reverse=True)

@@ -1,0 +1,90 @@
+"""One-call study report: the paper's evaluation as a terminal document."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..dataset import go171, usage_history
+from ..dataset.records import (
+    App,
+    Behavior,
+    BugRecord,
+    Cause,
+    FixStrategy,
+    TIMING_STRATEGIES,
+)
+from . import figures, lifetime, tables
+
+
+def dataset_header(records: Sequence[BugRecord]) -> str:
+    seeded = sum(not r.reconstructed for r in records)
+    return (f"dataset: {len(records)} bugs ({seeded} seeded from named "
+            f"paper bugs, the rest reconstructed to the published marginals)")
+
+
+def tables_section(records: Sequence[BugRecord]) -> str:
+    parts = [
+        tables.table5(records),
+        tables.table6(records),
+        tables.table7(records),
+        tables.table9(records),
+        tables.table10(records),
+        tables.table11(records),
+    ]
+    return "\n\n".join(parts)
+
+
+def figure4_section(records: Sequence[BugRecord]) -> str:
+    lines = ["Figure 4: bug life time"]
+    summary = lifetime.summary(records)
+    for cause in Cause:
+        stats = summary[cause]
+        lines.append(f"   {cause}: median {stats['median_days']:.0f} days, "
+                     f"{stats['share_over_one_year']:.0%} live over a year")
+    return "\n".join(lines)
+
+
+def figures23_section() -> str:
+    lines = ["Figures 2/3: usage stability (max deviation from mean share)"]
+    for app in App:
+        series = usage_history.shared_memory_series(app)
+        lines.append(f"   {str(app):<12} {figures.sparkline(series, 32)}  "
+                     f"dev={usage_history.stability(series):.3f}")
+    return "\n".join(lines)
+
+
+def headline_findings(records: Sequence[BugRecord]) -> str:
+    blocking = [r for r in records if r.behavior == Behavior.BLOCKING]
+    nonblocking = [r for r in records if r.behavior == Behavior.NONBLOCKING]
+    mp_blocking = sum(r.cause == Cause.MESSAGE_PASSING for r in blocking)
+    sm_nonblocking = sum(r.cause == Cause.SHARED_MEMORY for r in nonblocking)
+    timing = sum(r.fix_strategy in TIMING_STRATEGIES for r in nonblocking)
+    sync_adjust = sum(r.fix_strategy != FixStrategy.MISC for r in blocking)
+    mean_patch = sum(r.patch_lines for r in blocking) / len(blocking)
+    return "\n".join([
+        "headline findings, regenerated:",
+        f"   Observation 3: {mp_blocking}/{len(blocking)} "
+        f"({mp_blocking / len(blocking):.0%}) of blocking bugs are "
+        f"message passing (paper ~58%)",
+        f"   Observation 8: {sm_nonblocking}/{len(nonblocking)} "
+        f"({sm_nonblocking / len(nonblocking):.0%}) of non-blocking bugs "
+        f"are shared memory (paper ~80%)",
+        f"   Section 5.2: {sync_adjust / len(blocking):.0%} of blocking "
+        f"fixes adjust synchronization; mean patch {mean_patch:.1f} lines",
+        f"   Table 10: {timing / len(nonblocking):.0%} of non-blocking "
+        f"fixes restrict timing (paper ~69%)",
+    ])
+
+
+def full_report(records: Optional[Sequence[BugRecord]] = None) -> str:
+    """The whole evaluation as one string."""
+    recs = list(records) if records is not None else go171.load()
+    go171.validate(recs)
+    sections = [
+        dataset_header(recs),
+        tables_section(recs),
+        figure4_section(recs),
+        figures23_section(),
+        headline_findings(recs),
+    ]
+    return "\n\n".join(sections)

@@ -1,0 +1,168 @@
+"""Plain-text renderers for every table in the paper's evaluation.
+
+Each ``tableN`` function takes the dataset (defaulting to
+:func:`repro.dataset.go171.load`) and returns the formatted table; the
+benchmarks print them next to the paper's published values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..dataset import go171
+from ..dataset.records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    BugRecord,
+    FixPrimitive,
+    FixStrategy,
+    NonBlockingSubCause,
+)
+from . import lift as lift_mod
+from . import taxonomy
+
+STRATEGIES = (FixStrategy.ADD_SYNC, FixStrategy.MOVE_SYNC, FixStrategy.CHANGE_SYNC,
+              FixStrategy.REMOVE_SYNC, FixStrategy.BYPASS, FixStrategy.PRIVATIZE,
+              FixStrategy.MISC)
+
+
+def render(headers: Sequence[str], rows: Iterable[Sequence[object]],
+           title: Optional[str] = None) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _records(records: Optional[Sequence[BugRecord]]) -> List[BugRecord]:
+    return list(records) if records is not None else go171.load()
+
+
+def table5(records: Optional[Sequence[BugRecord]] = None) -> str:
+    """Taxonomy: behavior and cause per application."""
+    recs = _records(records)
+    matrix = taxonomy.behavior_cause_matrix(recs)
+    rows = [[str(app), b, nb, sm, mp] for app, (b, nb, sm, mp) in matrix.items()]
+    t = taxonomy.totals(recs)
+    rows.append(["Total", t["blocking"], t["nonblocking"], t["shared"], t["message"]])
+    return render(
+        ["Application", "blocking", "non-blocking", "shared memory", "message passing"],
+        rows,
+        title="Table 5. Taxonomy",
+    )
+
+
+def table6(records: Optional[Sequence[BugRecord]] = None) -> str:
+    """Blocking bug causes per application."""
+    recs = _records(records)
+    matrix = taxonomy.blocking_cause_table(recs)
+    rows = []
+    for app, counts in matrix.items():
+        rows.append([str(app)] + [counts[sub] for sub in BlockingSubCause])
+    rows.append(["Total"] + [
+        sum(matrix[app][sub] for app in matrix) for sub in BlockingSubCause
+    ])
+    return render(
+        ["Application"] + [str(s) for s in BlockingSubCause],
+        rows,
+        title="Table 6. Blocking bug causes",
+    )
+
+
+def _strategy_table(records: Sequence[BugRecord], behavior: Behavior,
+                    title: str) -> str:
+    matrix = taxonomy.strategy_matrix(records, behavior)
+    used = [s for s in STRATEGIES
+            if any(matrix[sub].get(s, 0) for sub in matrix)]
+    rows = []
+    for sub, counts in matrix.items():
+        rows.append([str(sub)] + [counts.get(s, 0) for s in used]
+                    + [sum(counts.values())])
+    rows.append(
+        ["Total"]
+        + [sum(matrix[sub].get(s, 0) for sub in matrix) for s in used]
+        + [sum(sum(c.values()) for c in matrix.values())]
+    )
+    return render(["Root cause"] + [str(s) for s in used] + ["Total"], rows,
+                  title=title)
+
+
+def table7(records: Optional[Sequence[BugRecord]] = None) -> str:
+    """Fix strategies for blocking bugs (+ the headline lifts)."""
+    recs = _records(records)
+    body = _strategy_table(recs, Behavior.BLOCKING,
+                           "Table 7. Fix strategies for blocking bugs")
+    lifts = [
+        lift_mod.cause_strategy_lift(recs, Behavior.BLOCKING,
+                                     BlockingSubCause.MUTEX, FixStrategy.MOVE_SYNC),
+        lift_mod.cause_strategy_lift(recs, Behavior.BLOCKING,
+                                     BlockingSubCause.CHAN, FixStrategy.ADD_SYNC),
+    ]
+    return body + "\n" + "\n".join(str(l) for l in lifts)
+
+
+def table9(records: Optional[Sequence[BugRecord]] = None) -> str:
+    """Non-blocking bug causes per application."""
+    recs = _records(records)
+    matrix = taxonomy.nonblocking_cause_table(recs)
+    rows = []
+    for app, counts in matrix.items():
+        rows.append([str(app)] + [counts[sub] for sub in NonBlockingSubCause])
+    rows.append(["Total"] + [
+        sum(matrix[app][sub] for app in matrix) for sub in NonBlockingSubCause
+    ])
+    return render(
+        ["Application"] + [str(s) for s in NonBlockingSubCause],
+        rows,
+        title="Table 9. Non-blocking bug causes",
+    )
+
+
+def table10(records: Optional[Sequence[BugRecord]] = None) -> str:
+    """Fix strategies for non-blocking bugs (+ the timing share)."""
+    recs = _records(records)
+    body = _strategy_table(recs, Behavior.NONBLOCKING,
+                           "Table 10. Fix strategies for non-blocking bugs")
+    nonblocking = [r for r in recs if r.behavior == Behavior.NONBLOCKING]
+    timing = sum(r.fix_strategy in (FixStrategy.ADD_SYNC, FixStrategy.MOVE_SYNC,
+                                    FixStrategy.CHANGE_SYNC)
+                 for r in nonblocking)
+    share = 100.0 * timing / len(nonblocking)
+    return body + f"\ntiming-restricting fixes: {timing}/{len(nonblocking)} = {share:.0f}%"
+
+
+def table11(records: Optional[Sequence[BugRecord]] = None) -> str:
+    """Fix primitives in non-blocking patches (+ the headline lifts)."""
+    recs = _records(records)
+    matrix = taxonomy.primitive_use_matrix(recs)
+    prims = list(FixPrimitive)
+    rows = []
+    for sub, counts in matrix.items():
+        rows.append([str(sub)] + [counts.get(p, 0) for p in prims])
+    rows.append(["Total"] + [
+        sum(matrix[sub].get(p, 0) for sub in matrix) for p in prims
+    ])
+    body = render(["Root cause"] + [str(p) for p in prims], rows,
+                  title="Table 11. Fix primitives for non-blocking bugs")
+    lifts = [
+        lift_mod.cause_primitive_lift(recs, NonBlockingSubCause.CHAN,
+                                      FixPrimitive.CHANNEL),
+        lift_mod.cause_strategy_lift(recs, Behavior.NONBLOCKING,
+                                     NonBlockingSubCause.ANONYMOUS_FUNCTION,
+                                     FixStrategy.PRIVATIZE),
+        lift_mod.cause_strategy_lift(recs, Behavior.NONBLOCKING,
+                                     NonBlockingSubCause.CHAN,
+                                     FixStrategy.MOVE_SYNC),
+    ]
+    return body + "\n" + "\n".join(str(l) for l in lifts)

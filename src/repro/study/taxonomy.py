@@ -1,0 +1,93 @@
+"""Taxonomy aggregation: slice the dataset the way the paper's tables do."""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..dataset.records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    BugRecord,
+    Cause,
+    FixStrategy,
+    NonBlockingSubCause,
+)
+
+
+def behavior_cause_matrix(records: Sequence[BugRecord]
+                          ) -> "OrderedDict[App, Tuple[int, int, int, int]]":
+    """Table 5 rows: app -> (blocking, non-blocking, shared, message)."""
+    out: "OrderedDict[App, Tuple[int, int, int, int]]" = OrderedDict()
+    for app in App:
+        rows = [r for r in records if r.app == app]
+        out[app] = (
+            sum(r.behavior == Behavior.BLOCKING for r in rows),
+            sum(r.behavior == Behavior.NONBLOCKING for r in rows),
+            sum(r.cause == Cause.SHARED_MEMORY for r in rows),
+            sum(r.cause == Cause.MESSAGE_PASSING for r in rows),
+        )
+    return out
+
+
+def blocking_cause_table(records: Sequence[BugRecord]
+                         ) -> "OrderedDict[App, Dict[BlockingSubCause, int]]":
+    """Table 6: blocking sub-cause counts per application."""
+    out: "OrderedDict[App, Dict[BlockingSubCause, int]]" = OrderedDict()
+    for app in App:
+        counts = Counter(
+            r.subcause for r in records
+            if r.app == app and r.behavior == Behavior.BLOCKING
+        )
+        out[app] = {sub: counts.get(sub, 0) for sub in BlockingSubCause}
+    return out
+
+
+def nonblocking_cause_table(records: Sequence[BugRecord]
+                            ) -> "OrderedDict[App, Dict[NonBlockingSubCause, int]]":
+    """Table 9: non-blocking sub-cause counts per application."""
+    out: "OrderedDict[App, Dict[NonBlockingSubCause, int]]" = OrderedDict()
+    for app in App:
+        counts = Counter(
+            r.subcause for r in records
+            if r.app == app and r.behavior == Behavior.NONBLOCKING
+        )
+        out[app] = {sub: counts.get(sub, 0) for sub in NonBlockingSubCause}
+    return out
+
+
+def strategy_matrix(records: Sequence[BugRecord], behavior: Behavior
+                    ) -> Dict[object, Dict[FixStrategy, int]]:
+    """Tables 7/10: sub-cause -> fix-strategy counts for one behavior."""
+    subs = BlockingSubCause if behavior == Behavior.BLOCKING else NonBlockingSubCause
+    out: Dict[object, Dict[FixStrategy, int]] = {}
+    for sub in subs:
+        rows = [r for r in records if r.behavior == behavior and r.subcause == sub]
+        counts = Counter(r.fix_strategy for r in rows)
+        out[sub] = {s: counts.get(s, 0) for s in FixStrategy}
+    return out
+
+
+def primitive_use_matrix(records: Sequence[BugRecord]
+                         ) -> Dict[NonBlockingSubCause, Counter]:
+    """Table 11: sub-cause -> fix-primitive *use* counts (non-blocking)."""
+    out: Dict[NonBlockingSubCause, Counter] = {}
+    for sub in NonBlockingSubCause:
+        out[sub] = Counter(
+            prim
+            for r in records
+            if r.behavior == Behavior.NONBLOCKING and r.subcause == sub
+            for prim in r.fix_primitives
+        )
+    return out
+
+
+def totals(records: Sequence[BugRecord]) -> Dict[str, int]:
+    return {
+        "total": len(records),
+        "blocking": sum(r.behavior == Behavior.BLOCKING for r in records),
+        "nonblocking": sum(r.behavior == Behavior.NONBLOCKING for r in records),
+        "shared": sum(r.cause == Cause.SHARED_MEMORY for r in records),
+        "message": sum(r.cause == Cause.MESSAGE_PASSING for r in records),
+    }

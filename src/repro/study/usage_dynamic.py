@@ -1,0 +1,83 @@
+"""Dynamic goroutine statistics (Table 3).
+
+The paper runs gRPC benchmarks against gRPC-Go and gRPC-C and compares
+(a) the number of goroutines created vs. threads created and (b) the
+average goroutine/thread lifetime normalized by total program runtime
+(gRPC-C threads score 100%: they live for the whole program).
+
+We compute the same statistics from a finished
+:class:`~repro.runtime.runtime.RunResult`: every goroutine records its
+virtual creation and end times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..runtime.runtime import RunResult, run
+
+
+@dataclass(frozen=True)
+class DynamicStats:
+    """Goroutine population statistics for one run."""
+
+    workload: str
+    goroutines_created: int
+    total_runtime: float
+    mean_lifetime: float
+
+    @property
+    def normalized_lifetime_pct(self) -> float:
+        """Average lifetime as % of total runtime (Table 3's metric)."""
+        if self.total_runtime <= 0:
+            return 100.0
+        return 100.0 * self.mean_lifetime / self.total_runtime
+
+    def __str__(self) -> str:
+        return (f"{self.workload}: {self.goroutines_created} goroutines, "
+                f"avg lifetime {self.normalized_lifetime_pct:.1f}% of runtime")
+
+
+def collect(result: RunResult, workload: str = "run") -> DynamicStats:
+    """Extract Table 3 statistics from a finished run."""
+    lifetimes = []
+    end_time = result.end_time
+    for g in result.goroutines:
+        ended = g.ended_at if g.ended_at is not None else end_time
+        lifetimes.append(max(ended - g.created_at, 0.0))
+    mean_lifetime = sum(lifetimes) / len(lifetimes) if lifetimes else 0.0
+    return DynamicStats(
+        workload=workload,
+        goroutines_created=len(result.goroutines),
+        total_runtime=end_time,
+        mean_lifetime=mean_lifetime,
+    )
+
+
+def measure(program: Callable, workload: str, seed: int = 0,
+            **run_kwargs) -> DynamicStats:
+    """Run a program and collect its dynamic statistics."""
+    result = run(program, seed=seed, **run_kwargs)
+    if result.status not in ("ok", "leak"):
+        raise RuntimeError(f"workload {workload!r} failed: {result}")
+    return collect(result, workload)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One Table 3 row: Go-style vs. C-style on the same workload."""
+
+    workload: str
+    go_stats: DynamicStats
+    c_stats: DynamicStats
+
+    @property
+    def goroutine_thread_ratio(self) -> float:
+        return self.go_stats.goroutines_created / max(self.c_stats.goroutines_created, 1)
+
+    def __str__(self) -> str:
+        return (f"{self.workload}: goroutines/threads = "
+                f"{self.goroutine_thread_ratio:.1f}x, "
+                f"Go lifetime {self.go_stats.normalized_lifetime_pct:.1f}% vs "
+                f"C {self.c_stats.normalized_lifetime_pct:.1f}%")

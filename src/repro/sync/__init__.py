@@ -1,0 +1,22 @@
+"""Shared-memory synchronization primitives (Go's ``sync`` / ``sync/atomic``)."""
+
+from .atomic import AtomicInt, AtomicValue
+from .cond import Cond
+from .mutex import Mutex
+from .once import Once
+from .rwmutex import RWMutex
+from .shared import SharedVar
+from .syncmap import SyncMap
+from .waitgroup import WaitGroup
+
+__all__ = [
+    "AtomicInt",
+    "AtomicValue",
+    "Cond",
+    "Mutex",
+    "Once",
+    "RWMutex",
+    "SharedVar",
+    "SyncMap",
+    "WaitGroup",
+]

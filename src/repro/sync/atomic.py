@@ -1,0 +1,95 @@
+"""``sync/atomic``.
+
+Atomic operations are *synchronizing*: each op acquires and releases the
+variable's clock, so properly-atomic counters never race (and fixing a data
+race by "replacing plain accesses with atomics" — 10 of the paper's
+non-blocking fixes use the Atomic primitive — makes the race detector go
+quiet, which the Table 11 bench demonstrates).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple, TYPE_CHECKING
+
+from ..runtime.trace import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.runtime import Runtime
+
+
+class AtomicInt:
+    """Atomic integer: Load/Store/Add/Swap/CompareAndSwap."""
+
+    def __init__(self, rt: "Runtime", value: int = 0, name: Optional[str] = None):
+        self._rt = rt
+        self._sched = rt.sched
+        self.id = rt.new_obj_id()
+        self.name = name or f"atomic#{self.id}"
+        self._value = int(value)
+
+    def _op(self, op: str) -> None:
+        self._sched.emit(EventKind.ATOMIC_OP, obj=self.id, info={"op": op})
+
+    def load(self) -> int:
+        self._sched.schedule_point()
+        self._op("load")
+        return self._value
+
+    def store(self, value: int) -> None:
+        self._sched.schedule_point()
+        self._value = int(value)
+        self._op("store")
+
+    def add(self, delta: int) -> int:
+        """Atomically add; returns the new value, like ``atomic.AddInt64``."""
+        self._sched.schedule_point()
+        self._value += delta
+        self._op("add")
+        return self._value
+
+    def swap(self, value: int) -> int:
+        self._sched.schedule_point()
+        old, self._value = self._value, int(value)
+        self._op("swap")
+        return old
+
+    def compare_and_swap(self, old: int, new: int) -> bool:
+        self._sched.schedule_point()
+        self._op("cas")
+        if self._value == old:
+            self._value = int(new)
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"<AtomicInt {self.name}={self._value}>"
+
+
+class AtomicValue:
+    """Atomic reference cell, like ``atomic.Value``."""
+
+    def __init__(self, rt: "Runtime", value: Any = None, name: Optional[str] = None):
+        self._rt = rt
+        self._sched = rt.sched
+        self.id = rt.new_obj_id()
+        self.name = name or f"atomicval#{self.id}"
+        self._value = value
+
+    def load(self) -> Any:
+        self._sched.schedule_point()
+        self._sched.emit(EventKind.ATOMIC_OP, obj=self.id, info={"op": "load"})
+        return self._value
+
+    def store(self, value: Any) -> None:
+        self._sched.schedule_point()
+        self._value = value
+        self._sched.emit(EventKind.ATOMIC_OP, obj=self.id, info={"op": "store"})
+
+    def swap(self, value: Any) -> Any:
+        self._sched.schedule_point()
+        old, self._value = self._value, value
+        self._sched.emit(EventKind.ATOMIC_OP, obj=self.id, info={"op": "swap"})
+        return old
+
+    def __repr__(self) -> str:
+        return f"<AtomicValue {self.name}>"

@@ -1,0 +1,74 @@
+"""``sync.Cond``.
+
+Two of the paper's three "Wait" blocking bugs are a ``Cond.Wait()`` with no
+subsequent ``Signal``/``Broadcast`` — the missed-signal pattern this module
+makes expressible: signals are *not* sticky, exactly as in Go.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+from ..runtime.trace import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.runtime import Runtime
+
+
+class _Ticket:
+    __slots__ = ("goroutine", "notified")
+
+    def __init__(self, goroutine):
+        self.goroutine = goroutine
+        self.notified = False
+
+
+class Cond:
+    """Condition variable bound to a locker (Mutex or RWMutex write side)."""
+
+    def __init__(self, rt: "Runtime", locker, name: Optional[str] = None):
+        self._rt = rt
+        self._sched = rt.sched
+        self.id = rt.new_obj_id()
+        self.name = name or f"cond#{self.id}"
+        #: The lock the caller must hold around :meth:`wait`, like ``Cond.L``.
+        self.locker = locker
+        self._waiters: Deque[_Ticket] = deque()
+
+    def wait(self) -> None:
+        """Atomically release the locker and park, like ``c.Wait()``.
+
+        Re-acquires the locker before returning.  As in Go, callers must
+        re-check their predicate in a loop.
+        """
+        me = self._sched.current
+        ticket = _Ticket(me)
+        self._waiters.append(ticket)
+        self._sched.emit(EventKind.COND_WAIT, obj=self.id)
+        self.locker.unlock()
+        while not ticket.notified:
+            self._sched.block(f"cond.wait:{self.name}")
+        self.locker.lock()
+
+    def signal(self) -> None:
+        """Wake one waiter, like ``c.Signal()``.  Lost if nobody waits."""
+        self._sched.schedule_point()
+        self._sched.emit(EventKind.COND_SIGNAL, obj=self.id)
+        while self._waiters:
+            ticket = self._waiters.popleft()
+            ticket.notified = True
+            self._sched.ready(ticket.goroutine)
+            return
+
+    def broadcast(self) -> None:
+        """Wake every waiter, like ``c.Broadcast()``."""
+        self._sched.schedule_point()
+        self._sched.emit(EventKind.COND_BROADCAST, obj=self.id)
+        waiters, self._waiters = self._waiters, deque()
+        for ticket in waiters:
+            ticket.notified = True
+            self._sched.ready(ticket.goroutine)
+
+    def __repr__(self) -> str:
+        return f"<Cond {self.name} waiters={len(self._waiters)}>"

@@ -1,0 +1,60 @@
+"""``sync.Once``.
+
+Go semantics: ``Once.Do(f)`` runs ``f`` exactly once; every other caller
+*blocks until that first execution completes* and then returns without
+running its argument.  The completion of ``f`` happens-before every
+``Do`` return.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from ..runtime.trace import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.runtime import Runtime
+
+
+class Once:
+    """One-shot initialization guard, like ``sync.Once``."""
+
+    def __init__(self, rt: "Runtime", name: Optional[str] = None):
+        self._rt = rt
+        self._sched = rt.sched
+        self.id = rt.new_obj_id()
+        self.name = name or f"once#{self.id}"
+        self._done = False
+        self._running = False
+        self._waiters: List = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def do(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` if nobody has; otherwise wait for the first run."""
+        self._sched.schedule_point()
+        me = self._sched.current
+        if self._done:
+            self._sched.emit(EventKind.ONCE_DO, obj=self.id, info={"ran": False})
+            return
+        if self._running:
+            self._waiters.append(me)
+            while not self._done:
+                self._sched.block(f"once.do:{self.name}")
+            self._sched.emit(EventKind.ONCE_DO, obj=self.id, info={"ran": False})
+            return
+        self._running = True
+        try:
+            fn()
+        finally:
+            self._done = True
+            self._running = False
+            self._sched.emit(EventKind.ONCE_DO, obj=self.id, info={"ran": True})
+            waiters, self._waiters = self._waiters, []
+            for g in waiters:
+                self._sched.ready(g)
+
+    def __repr__(self) -> str:
+        return f"<Once {self.name} done={self._done}>"

@@ -1,0 +1,74 @@
+"""Unsynchronized shared variables — the race detector's subject matter.
+
+Go's data races happen on plain memory: struct fields, slices, and the
+local variables that anonymous functions capture (Section 6.1.1, Figure 8).
+Python cannot observe plain attribute accesses, so racy state in kernels
+and apps lives in :class:`SharedVar`s, whose loads and stores are both
+
+* scheduling points — different seeds order them differently, so lost
+  updates and stale reads actually *happen*, and
+* trace events — the happens-before race detector sees every access.
+
+``add``/``incr`` are deliberately non-atomic (a load, a preemption point,
+then a store), reproducing the read-modify-write races in the corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from ..runtime.trace import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.runtime import Runtime
+
+
+class SharedVar:
+    """A plain (non-atomic) shared memory location."""
+
+    def __init__(self, rt: "Runtime", name: str, value: Any = None):
+        self._rt = rt
+        self._sched = rt.sched
+        self.id = rt.new_obj_id()
+        self.name = name
+        self._value = value
+
+    def load(self) -> Any:
+        """A plain read."""
+        self._sched.schedule_point()
+        self._sched.emit(EventKind.MEM_READ, obj=self.id, info={"name": self.name})
+        return self._value
+
+    def store(self, value: Any) -> None:
+        """A plain write."""
+        self._sched.schedule_point()
+        self._sched.emit(EventKind.MEM_WRITE, obj=self.id, info={"name": self.name})
+        self._value = value
+
+    def add(self, delta: Any) -> Any:
+        """Non-atomic read-modify-write: the classic lost-update shape."""
+        value = self.load()
+        value = value + delta
+        self.store(value)
+        return value
+
+    def incr(self) -> Any:
+        return self.add(1)
+
+    def update(self, fn: Callable[[Any], Any]) -> Any:
+        """Non-atomic ``store(fn(load()))``."""
+        value = fn(self.load())
+        self.store(value)
+        return value
+
+    # Read without creating a race-visible access; for assertions in tests
+    # and symptom checks that must not perturb the schedule or the detector.
+    def peek(self) -> Any:
+        return self._value
+
+    def poke(self, value: Any) -> None:
+        """Write without a race-visible access (test setup only)."""
+        self._value = value
+
+    def __repr__(self) -> str:
+        return f"<SharedVar {self.name}={self._value!r}>"

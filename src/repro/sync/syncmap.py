@@ -1,0 +1,86 @@
+"""``sync.Map`` — a concurrency-safe map.
+
+Go crashes outright on concurrent plain-map writes ("fatal error:
+concurrent map writes"); several studied bugs are exactly that, and the
+standard fixes are a Mutex (Table 11's most common primitive) or
+``sync.Map``.  This is the latter: every operation holds the internal
+mutex, so it is linearizable and race-detector-clean by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.runtime import Runtime
+
+#: Unique miss marker (None is a legal stored value).
+_MISSING = object()
+
+
+class SyncMap:
+    """Mutex-protected map with Go's ``sync.Map`` method set."""
+
+    def __init__(self, rt: "Runtime", name: Optional[str] = None):
+        self._rt = rt
+        self._mu = rt.mutex(name or "syncmap")
+        self._data: Dict[Any, Any] = {}
+
+    def store(self, key: Any, value: Any) -> None:
+        """Set key to value, like ``m.Store``."""
+        with self._mu:
+            self._data[key] = value
+
+    def load(self, key: Any) -> Tuple[Any, bool]:
+        """Return ``(value, ok)``, like ``m.Load``."""
+        with self._mu:
+            value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            return None, False
+        return value, True
+
+    def load_or_store(self, key: Any, value: Any) -> Tuple[Any, bool]:
+        """Return the existing value if present, else store the given one.
+
+        Returns ``(actual, loaded)`` — ``loaded`` is True when the key
+        already existed.  The check-and-insert is atomic: the safe form of
+        the double-init pattern several kernels get wrong.
+        """
+        with self._mu:
+            existing = self._data.get(key, _MISSING)
+            if existing is not _MISSING:
+                return existing, True
+            self._data[key] = value
+            return value, False
+
+    def load_and_delete(self, key: Any) -> Tuple[Any, bool]:
+        """Atomically remove and return, like ``m.LoadAndDelete``."""
+        with self._mu:
+            value = self._data.pop(key, _MISSING)
+        if value is _MISSING:
+            return None, False
+        return value, True
+
+    def delete(self, key: Any) -> None:
+        with self._mu:
+            self._data.pop(key, None)
+
+    def range(self, fn: Callable[[Any, Any], bool]) -> None:
+        """Call ``fn(key, value)`` per entry until it returns False.
+
+        As in Go, iteration works on a snapshot: ``fn`` may call back into
+        the map without deadlocking.
+        """
+        with self._mu:
+            snapshot = list(self._data.items())
+        for key, value in snapshot:
+            if fn(key, value) is False:
+                return
+
+    def __len__(self) -> int:
+        with self._mu:
+            return len(self._data)
+
+    def keys(self) -> List[Any]:
+        with self._mu:
+            return sorted(self._data, key=repr)

@@ -1,0 +1,85 @@
+"""``sync.WaitGroup``.
+
+The rule whose violation causes 6 of the paper's non-blocking bugs
+(Figure 9): ``Add`` must happen-before ``Wait``.  The simulator enforces
+Go's runtime checks (panic on negative counter) but — like Go — cannot
+stop a racy Add/Wait; that misuse is what the Figure 9 kernel reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from ..runtime.errors import GoPanic
+from ..runtime.trace import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.runtime import Runtime
+
+
+class _Ticket:
+    __slots__ = ("goroutine", "released")
+
+    def __init__(self, goroutine):
+        self.goroutine = goroutine
+        self.released = False
+
+
+class WaitGroup:
+    """Counter-based barrier, like ``sync.WaitGroup``."""
+
+    def __init__(self, rt: "Runtime", name: Optional[str] = None):
+        self._rt = rt
+        self._sched = rt.sched
+        self.id = rt.new_obj_id()
+        self.name = name or f"wg#{self.id}"
+        self._counter = 0
+        self._waiters: List[_Ticket] = []
+
+    @property
+    def counter(self) -> int:
+        return self._counter
+
+    def add(self, delta: int) -> None:
+        """Adjust the counter, like ``wg.Add(delta)``."""
+        self._sched.schedule_point()
+        self._counter += delta
+        if self._counter < 0:
+            raise GoPanic("sync: negative WaitGroup counter")
+        self._sched.emit(EventKind.WG_ADD, obj=self.id, info={"delta": delta})
+        if self._counter == 0:
+            self._release_all()
+
+    def done(self) -> None:
+        """Decrement by one, like ``wg.Done()``."""
+        self._sched.schedule_point()
+        self._counter -= 1
+        if self._counter < 0:
+            raise GoPanic("sync: negative WaitGroup counter")
+        self._sched.emit(EventKind.WG_DONE, obj=self.id)
+        if self._counter == 0:
+            self._release_all()
+
+    def wait(self) -> None:
+        """Block until the counter reaches zero, like ``wg.Wait()``.
+
+        If the counter is already zero — including the Figure 9 misuse where
+        ``Wait`` races ahead of ``Add`` — it returns immediately.
+        """
+        self._sched.schedule_point()
+        me = self._sched.current
+        while self._counter > 0:
+            ticket = _Ticket(me)
+            self._waiters.append(ticket)
+            while not ticket.released:
+                self._sched.block(f"waitgroup.wait:{self.name}")
+        self._sched.emit(EventKind.WG_WAIT, obj=self.id)
+
+    def _release_all(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for ticket in waiters:
+            ticket.released = True
+            self._sched.ready(ticket.goroutine)
+
+    def __repr__(self) -> str:
+        return f"<WaitGroup {self.name} counter={self._counter} waiters={len(self._waiters)}>"

@@ -1,0 +1,31 @@
+"""Cross-app integration: the cluster example's scenario across seeds."""
+
+import sys
+from pathlib import Path
+
+from repro import run
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "examples"))
+from cluster import cluster  # noqa: E402
+
+
+def test_cluster_composes_apps_leak_free():
+    for seed in range(5):
+        result = run(cluster, seed=seed)
+        assert result.status == "ok", (
+            seed, result, [g.describe() for g in result.leaked]
+        )
+        summary = result.main_result
+        assert len(summary["watched"]) == 3
+        assert summary["final"] == [
+            ("app/key-0", 0), ("app/key-1", 10), ("app/key-2", 20),
+        ]
+        assert summary["session_after_expiry"] is None
+        assert summary["audit_entries"] == 4
+        assert summary["audit_batches"] <= 4  # coalescing happened
+
+
+def test_cluster_watch_sees_revisions_in_order():
+    result = run(cluster, seed=11)
+    revisions = [rev for _k, _key, rev in result.main_result["watched"]]
+    assert revisions == sorted(revisions)

@@ -1,0 +1,135 @@
+"""Failure-injection scenarios across the mini-apps."""
+
+import pytest
+
+from repro import run
+from repro.apps.minidocker import Daemon
+from repro.apps.minigrpc import Connection, RpcError
+from repro.apps.minikube import (
+    ApiServer,
+    Node,
+    Pod,
+    PodPhase,
+    Scheduler,
+)
+
+
+def test_minikube_node_failure_triggers_reschedule():
+    def main(rt):
+        api = ApiServer(rt)
+        api.add_node(Node("node-a", capacity=4))
+        api.add_node(Node("node-b", capacity=4))
+        scheduler = Scheduler(rt, api)
+        scheduler.start()
+        for i in range(3):
+            api.create_pod(Pod(f"p{i}"))
+        rt.sleep(2.0)
+        placements_before = {p.name: p.node for p in api.pods()}
+
+        # Kill whichever node got the most pods.
+        victim = max({n for n in placements_before.values()},
+                     key=lambda n: sum(v == n for v in placements_before.values()))
+        evicted = api.remove_node(victim)
+        rt.sleep(2.0)
+        placements_after = {p.name: p.node for p in api.pods()}
+        scheduler.stop()
+        api.close_watchers()
+        rt.sleep(0.5)
+        survivor = "node-b" if victim == "node-a" else "node-a"
+        return len(evicted), placements_after, survivor
+
+    for seed in (0, 3, 5):
+        evicted, after, survivor = run(main, seed=seed).main_result
+        assert evicted >= 1
+        assert all(node == survivor for node in after.values()), (seed, after)
+
+
+def test_minikube_evicted_pods_without_capacity_stay_pending():
+    def main(rt):
+        api = ApiServer(rt)
+        api.add_node(Node("only", capacity=2))
+        scheduler = Scheduler(rt, api)
+        scheduler.start()
+        api.create_pod(Pod("p0"))
+        api.create_pod(Pod("p1"))
+        rt.sleep(1.5)
+        api.remove_node("only")
+        rt.sleep(1.5)
+        pending = api.pods(phase=PodPhase.PENDING)
+        scheduler.stop()
+        api.close_watchers()
+        rt.sleep(0.5)
+        return len(pending)
+
+    assert run(main, seed=1).main_result == 2
+
+
+def test_minidocker_restart_policy_restarts_n_times():
+    def main(rt):
+        daemon = Daemon(rt)
+        daemon.start()
+        daemon.images.pull("crashy", [("sha", 1)])
+        sub = daemon.subscribe(buffer=16)
+        daemon.run_with_restart("crashy", "flaky", runtime_secs=0.5,
+                                max_restarts=2)
+        daemon.wait_all()
+        daemon.shutdown()
+        kinds = []
+        while True:
+            event, ok, got = sub.try_recv()
+            if not got or not ok:  # drained, or the channel was closed
+                break
+            kinds.append(event.kind)
+        return kinds
+
+    kinds = run(main, seed=2).main_result
+    assert kinds.count("restart") == 2
+    assert kinds.count("start") == 3  # original + two restarts
+
+
+def test_minigrpc_flow_control_window_exhaustion():
+    def main(rt):
+        conn = Connection(rt, queue_depth=Connection.WINDOW + 8)
+        sent = 0
+        try:
+            for i in range(Connection.WINDOW + 1):
+                from repro.apps.minigrpc.transport import Request
+
+                conn.send_request(Request(rt, "echo", i))
+                sent += 1
+        except RpcError as exc:
+            return sent, exc.code
+
+    sent, code = run(main).main_result
+    assert sent == Connection.WINDOW
+    assert code == "UNAVAILABLE"
+
+
+def test_minigrpc_frame_done_returns_credit():
+    def main(rt):
+        from repro.apps.minigrpc.transport import Request
+
+        conn = Connection(rt, queue_depth=Connection.WINDOW + 8)
+        for i in range(Connection.WINDOW):
+            conn.send_request(Request(rt, "echo", i))
+        conn.frame_done()
+        conn.send_request(Request(rt, "echo", "fits-again"))
+        return conn.stats()
+
+    frames_sent, in_flight = run(main).main_result
+    assert frames_sent == Connection.WINDOW + 1
+    assert in_flight == Connection.WINDOW
+
+
+def test_minigrpc_send_after_close_fails():
+    def main(rt):
+        from repro.apps.minigrpc.transport import Request
+
+        conn = Connection(rt)
+        conn.close()
+        try:
+            conn.send_request(Request(rt, "echo", 1))
+        except RpcError as exc:
+            return exc.code
+
+    assert run(main).main_result == "UNAVAILABLE"

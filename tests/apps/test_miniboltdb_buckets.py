@@ -1,0 +1,163 @@
+"""Bolt-style nested buckets."""
+
+import pytest
+
+from repro import run
+from repro.apps.miniboltdb import DB, BucketNotFound, root
+
+
+def test_bucket_put_get_isolated_namespaces():
+    def main(rt):
+        db = DB(rt, page_size=64)
+        out = {}
+
+        def setup(tx):
+            users = root(tx).create_bucket("users")
+            posts = root(tx).create_bucket("posts")
+            users.put("alice", {"id": 1})
+            posts.put("alice", "a post, same key, other bucket")
+
+        db.update(setup)
+
+        def read(tx):
+            out["user"] = root(tx).bucket("users").get("alice")
+            out["post"] = root(tx).bucket("posts").get("alice")
+
+        db.view(read)
+        return out
+
+    out = run(main).main_result
+    assert out["user"] == {"id": 1}
+    assert out["post"].startswith("a post")
+
+
+def test_nested_sub_buckets():
+    def main(rt):
+        db = DB(rt, page_size=64)
+        found = {}
+
+        def setup(tx):
+            users = root(tx).create_bucket("users")
+            alice = users.create_bucket("alice")
+            alice.put("email", "alice@example.com")
+
+        db.update(setup)
+
+        def read(tx):
+            alice = root(tx).bucket("users").bucket("alice")
+            found["email"] = alice.get("email")
+            found["subbuckets"] = root(tx).bucket("users").buckets()
+
+        db.view(read)
+        return found
+
+    found = run(main).main_result
+    assert found["email"] == "alice@example.com"
+    assert found["subbuckets"] == ["alice"]
+
+
+def test_missing_bucket_raises_and_create_if_not_exists():
+    def main(rt):
+        db = DB(rt, page_size=64)
+        outcomes = []
+
+        def body(tx):
+            try:
+                root(tx).bucket("ghost")
+            except BucketNotFound:
+                outcomes.append("missing")
+            bucket = root(tx).create_bucket_if_not_exists("ghost")
+            bucket.put("k", 1)
+            again = root(tx).create_bucket_if_not_exists("ghost")
+            outcomes.append(again.get("k"))
+
+        db.update(body)
+        return outcomes
+
+    assert run(main).main_result == ["missing", 1]
+
+
+def test_duplicate_create_rejected():
+    def main(rt):
+        db = DB(rt, page_size=64)
+
+        def body(tx):
+            root(tx).create_bucket("twice")
+            with pytest.raises(ValueError):
+                root(tx).create_bucket("twice")
+
+        db.update(body)
+
+    assert run(main).status == "ok"
+
+
+def test_cursor_iterates_keys_in_order_excluding_subbuckets():
+    def main(rt):
+        db = DB(rt, page_size=64)
+        seen = []
+
+        def setup(tx):
+            bucket = root(tx).create_bucket("inventory")
+            bucket.put("cherry", 3)
+            bucket.put("apple", 1)
+            bucket.put("banana", 2)
+            bucket.create_bucket("meta").put("hidden", True)
+
+        db.update(setup)
+        db.view(lambda tx: seen.extend(root(tx).bucket("inventory").cursor()))
+        return seen
+
+    assert run(main).main_result == [
+        ("apple", 1), ("banana", 2), ("cherry", 3),
+    ]
+
+
+def test_cursor_sees_pending_writes_in_same_tx():
+    def main(rt):
+        db = DB(rt, page_size=64)
+        seen = []
+
+        def body(tx):
+            bucket = root(tx).create_bucket("b")
+            bucket.put("k1", "uncommitted")
+            seen.extend(bucket.cursor())
+
+        db.update(body)
+        return seen
+
+    assert run(main).main_result == [("k1", "uncommitted")]
+
+
+def test_next_sequence_monotone_per_bucket():
+    def main(rt):
+        db = DB(rt, page_size=64)
+        ids = []
+
+        def body(tx):
+            orders = root(tx).create_bucket("orders")
+            invoices = root(tx).create_bucket("invoices")
+            ids.append(orders.next_sequence())
+            ids.append(orders.next_sequence())
+            ids.append(invoices.next_sequence())
+
+        db.update(body)
+        return ids
+
+    assert run(main).main_result == [1, 2, 1]
+
+
+def test_bucket_delete():
+    def main(rt):
+        db = DB(rt, page_size=64)
+        out = []
+
+        def setup(tx):
+            bucket = root(tx).create_bucket("b")
+            bucket.put("gone", 1)
+            bucket.delete("gone")
+
+        db.update(setup)
+        db.view(lambda tx: out.append(root(tx).bucket("b").get("gone")))
+        return out
+
+    assert run(main).main_result == [None]

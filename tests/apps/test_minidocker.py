@@ -1,0 +1,245 @@
+"""minidocker end-to-end: images, container lifecycle, events, logs."""
+
+import pytest
+
+from repro import run
+from repro.apps.minidocker import ContainerState, Daemon
+
+
+def _boot(rt):
+    daemon = Daemon(rt)
+    daemon.start()
+    daemon.images.pull("alpine", [("sha-base", 5), ("sha-app", 10)])
+    return daemon
+
+
+def test_image_pull_and_resolve():
+    def main(rt):
+        daemon = _boot(rt)
+        layers = daemon.images.resolve("alpine")
+        usage = daemon.images.disk_usage()
+        daemon.shutdown()
+        return layers, usage
+
+    layers, usage = run(main).main_result
+    assert layers == ("sha-base", "sha-app")
+    assert usage == 15
+
+
+def test_concurrent_pulls_share_layers():
+    def main(rt):
+        daemon = _boot(rt)
+        wg = rt.waitgroup()
+
+        def pull(name):
+            daemon.images.pull(name, [("sha-base", 5), (f"sha-{name}", 7)])
+            wg.done()
+
+        for name in ("web", "db"):
+            wg.add(1)
+            rt.go(pull, name)
+        wg.wait()
+        usage = daemon.images.disk_usage()
+        daemon.shutdown()
+        return len(daemon.images), usage
+
+    count, usage = run(main, seed=3).main_result
+    assert count == 3
+    assert usage == 5 + 10 + 7 + 7  # base layer stored once
+
+
+def test_release_frees_unreferenced_layers():
+    def main(rt):
+        daemon = _boot(rt)
+        freed = daemon.images.release("alpine")
+        daemon.shutdown()
+        return freed, daemon.images.disk_usage()
+
+    assert run(main).main_result == (2, 0)
+
+
+def test_container_lifecycle_and_exit_code():
+    def main(rt):
+        daemon = _boot(rt)
+        container = daemon.run("alpine", "build", runtime_secs=1.0)
+        running = container.status()
+        code = container.wait()
+        exited = container.status()
+        daemon.wait_all()
+        daemon.shutdown()
+        return running, code, exited
+
+    assert run(main).main_result == (
+        ContainerState.RUNNING, 0, ContainerState.EXITED,
+    )
+
+
+def test_unknown_image_rejected():
+    def main(rt):
+        daemon = _boot(rt)
+        try:
+            daemon.create("missing:latest", "sh")
+        except KeyError:
+            daemon.shutdown()
+            return "rejected"
+
+    assert run(main).main_result == "rejected"
+
+
+def test_logs_collected_and_streamed():
+    def main(rt):
+        daemon = _boot(rt)
+        container = daemon.run("alpine", "chatty", runtime_secs=1.0)
+        lines = container.read_logs()
+        daemon.wait_all()
+        daemon.shutdown()
+        return lines
+
+    lines = run(main).main_result
+    assert len(lines) == 4
+    assert all("log" in line for line in lines)
+
+
+def test_event_bus_delivers_to_subscribers():
+    def main(rt):
+        daemon = _boot(rt)
+        sub = daemon.subscribe()
+        daemon.run("alpine", "x", runtime_secs=0.5)
+        rt.sleep(0.2)
+        kinds = []
+        while True:
+            event, _ok, got = sub.try_recv()
+            if not got:
+                break
+            kinds.append(event.kind)
+        daemon.wait_all()
+        daemon.shutdown()
+        return kinds
+
+    assert run(main).main_result == ["create", "start"]
+
+
+def test_multiple_containers_wait_all():
+    def main(rt):
+        daemon = _boot(rt)
+        for i in range(4):
+            daemon.run("alpine", f"job-{i}", runtime_secs=0.5 + 0.25 * i)
+        daemon.wait_all()
+        states = sorted(state for _cid, state in daemon.ps())
+        daemon.shutdown()
+        return states
+
+    assert run(main, seed=2).main_result == [ContainerState.EXITED] * 4
+
+
+def test_daemon_shutdown_is_leak_free():
+    def main(rt):
+        daemon = _boot(rt)
+        sub = daemon.subscribe()
+        daemon.run("alpine", "quick", runtime_secs=0.25).wait()
+        daemon.wait_all()
+        daemon.shutdown()
+        _v, ok = sub.recv_ok()  # drained events; then closed
+        while ok:
+            _v, ok = sub.recv_ok()
+
+    for seed in range(6):
+        result = run(main, seed=seed)
+        assert result.status == "ok", (seed, [g.describe() for g in result.leaked])
+
+
+def test_containers_get_bridge_ips_and_release_on_exit():
+    def main(rt):
+        daemon = _boot(rt)
+        c1 = daemon.run("alpine", "svc-a", runtime_secs=0.5)
+        c2 = daemon.run("alpine", "svc-b", runtime_secs=0.5)
+        live = daemon.network.endpoints("bridge")
+        daemon.wait_all()
+        after = daemon.network.endpoints("bridge")
+        daemon.shutdown()
+        return len(live), len(set(live.values())), len(after)
+
+    live, unique_ips, after = run(main, seed=1).main_result
+    assert live == 2 and unique_ips == 2
+    assert after == 0  # endpoints released when containers exited
+
+
+def test_network_pool_exhaustion():
+    from repro.apps.minidocker import NetworkController, NetworkError
+
+    def main(rt):
+        ctl = NetworkController(rt)
+        ctl.create_network("tiny", subnet_hosts=2)
+        ctl.connect("tiny", "c1")
+        ctl.connect("tiny", "c2")
+        try:
+            ctl.connect("tiny", "c3")
+        except NetworkError:
+            return "exhausted"
+
+    assert run(main).main_result == "exhausted"
+
+
+def test_network_remove_requires_no_endpoints():
+    from repro.apps.minidocker import NetworkController, NetworkError
+
+    def main(rt):
+        ctl = NetworkController(rt)
+        ctl.create_network("app")
+        ctl.connect("app", "c1")
+        try:
+            ctl.remove_network("app")
+        except NetworkError:
+            pass
+        ctl.disconnect("app", "c1")
+        ctl.remove_network("app")
+        return ctl.stats()
+
+    networks, volumes, attachments = run(main).main_result
+    assert networks == 0 and attachments == 1
+
+
+def test_volume_refcounting_and_prune():
+    from repro.apps.minidocker import NetworkController, NetworkError
+
+    def main(rt):
+        ctl = NetworkController(rt)
+        ctl.create_volume("data")
+        ctl.create_volume("scratch")
+        ctl.mount("data")
+        pruned = ctl.prune_volumes()
+        ctl.unmount("data")
+        pruned_after = ctl.prune_volumes()
+        try:
+            ctl.unmount("data")
+        except NetworkError:
+            double = "rejected"
+        return pruned, pruned_after, double
+
+    pruned, pruned_after, double = run(main).main_result
+    assert pruned == ["scratch"]
+    assert pruned_after == ["data"]
+    assert double == "rejected"
+
+
+def test_concurrent_attachments_get_distinct_ips():
+    def main(rt):
+        daemon = _boot(rt)
+        wg = rt.waitgroup()
+        for i in range(4):
+            wg.add(1)
+
+            def launch(i=i):
+                daemon.run("alpine", f"burst-{i}", runtime_secs=0.5)
+                wg.done()
+
+            rt.go(launch)
+        wg.wait()
+        live = daemon.network.endpoints("bridge")
+        daemon.wait_all()
+        daemon.shutdown()
+        return sorted(live.values())
+
+    for seed in range(6):
+        ips = run(main, seed=seed).main_result
+        assert len(ips) == 4 and len(set(ips)) == 4

@@ -1,0 +1,155 @@
+"""minietcd end-to-end: store revisions, watches, leases, compaction."""
+
+import pytest
+
+from repro import run
+from repro.apps.minietcd import Node, Store
+
+
+def test_store_revisions_and_versions():
+    def main(rt):
+        store = Store(rt)
+        r1 = store.put("k", "v1")
+        r2 = store.put("k", "v2")
+        kv = store.get("k")
+        return r1, r2, kv.version, kv.create_revision, kv.mod_revision
+
+    r1, r2, version, create, mod = run(main).main_result
+    assert (r1, r2) == (1, 2)
+    assert version == 2 and create == 1 and mod == 2
+
+
+def test_range_by_prefix():
+    def main(rt):
+        store = Store(rt)
+        for key in ("a/1", "a/2", "b/1"):
+            store.put(key, key)
+        return [kv.key for kv in store.range("a/")]
+
+    assert run(main).main_result == ["a/1", "a/2"]
+
+
+def test_delete_and_tombstone_compaction():
+    def main(rt):
+        store = Store(rt)
+        for i in range(30):
+            store.put(f"k{i}", i)
+            store.delete(f"k{i}")
+        dropped = store.compact(keep_last=16)
+        return dropped, len(store)
+
+    dropped, size = run(main).main_result
+    assert dropped == 14 and size == 0
+
+
+def test_watch_receives_matching_events_only():
+    def main(rt):
+        node = Node(rt)
+        node.start()
+        watcher = node.watch("app/")
+        node.put("app/a", 1)
+        node.put("other/b", 2)
+        node.delete("app/a")
+        events = []
+        while True:
+            event, _ok, got = watcher.events.try_recv()
+            if not got:
+                break
+            events.append((event.kind, event.key))
+        node.watch_hub.cancel(watcher)
+        node.stop()
+        return events
+
+    assert run(main).main_result == [("PUT", "app/a"), ("DELETE", "app/a")]
+
+
+def test_slow_watcher_drops_not_blocks():
+    def main(rt):
+        node = Node(rt)
+        node.start()
+        watcher = node.watch("", buffer=2)
+        for i in range(5):
+            node.put(f"k{i}", i)
+        node.watch_hub.cancel(watcher)
+        node.stop()
+        return watcher.dropped.load()
+
+    result = run(main)
+    assert result.status == "ok"          # the write path never blocked
+    assert result.main_result == 3        # 5 events, buffer of 2
+
+
+def test_lease_expiry_deletes_attached_keys():
+    def main(rt):
+        node = Node(rt)
+        node.start()
+        lease = node.grant_lease(2.0)
+        node.put("session/alice", "online", lease=lease)
+        before = node.get("session/alice")
+        rt.sleep(3.0)
+        after = node.get("session/alice")
+        node.stop()
+        return before, after, node.lessor.expirations
+
+    before, after, expired = run(main).main_result
+    assert before == "online" and after is None and expired == 1
+
+
+def test_keepalive_defers_expiry():
+    def main(rt):
+        node = Node(rt)
+        node.start()
+        lease = node.grant_lease(2.0)
+        node.put("job/worker", "alive", lease=lease)
+        for _ in range(3):
+            rt.sleep(1.5)
+            assert node.lessor.keepalive(lease)
+        value_mid = node.get("job/worker")
+        rt.sleep(3.0)  # no more keepalives: expires now
+        value_end = node.get("job/worker")
+        node.stop()
+        return value_mid, value_end
+
+    mid, end = run(main).main_result
+    assert mid == "alive" and end is None
+
+
+def test_revoke_detaches_without_delete_storm():
+    def main(rt):
+        node = Node(rt)
+        node.start()
+        lease = node.grant_lease(50.0)
+        node.put("cfg/x", 1, lease=lease)
+        keys = node.lessor.revoke(lease)
+        still_there = node.get("cfg/x")
+        node.stop()
+        return keys, still_there, node.lessor.active()
+
+    keys, still_there, active = run(main).main_result
+    assert keys == ["cfg/x"] and still_there == 1 and active == 0
+
+
+def test_compaction_loop_runs_on_ticker():
+    def main(rt):
+        node = Node(rt, compaction_interval=1.0)
+        node.start()
+        rt.sleep(3.5)
+        node.stop()
+        return node.compactions
+
+    assert run(main).main_result == 3
+
+
+def test_node_shutdown_leaves_no_leaks():
+    def main(rt):
+        node = Node(rt)
+        node.start()
+        watcher = node.watch("x/")
+        node.put("x/1", 1)
+        node.grant_lease(100.0)
+        node.watch_hub.cancel(watcher)
+        node.stop()
+
+    for seed in range(6):
+        result = run(main, seed=seed)
+        assert result.status == "ok", (seed, result, [g.describe() for g in result.leaked])

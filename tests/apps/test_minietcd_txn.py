@@ -1,0 +1,135 @@
+"""minietcd transactions: atomic compare-and-swap semantics."""
+
+import pytest
+
+from repro import run
+from repro.apps.minietcd import (
+    Node,
+    delete,
+    get,
+    key_missing,
+    mod_revision_equals,
+    put,
+    value_equals,
+)
+
+
+def test_then_branch_runs_when_guards_hold():
+    def main(rt):
+        node = Node(rt)
+        node.put("config/mode", "blue")
+        response = (node.txn()
+                    .if_(value_equals("config/mode", "blue"))
+                    .then(put("config/mode", "green"), get("config/mode"))
+                    .otherwise(put("config/alert", "conflict"))
+                    .commit())
+        return response.succeeded, response.results[-1], node.get("config/alert")
+
+    succeeded, mode, alert = run(main).main_result
+    assert succeeded and mode == "green" and alert is None
+
+
+def test_otherwise_branch_on_failed_guard():
+    def main(rt):
+        node = Node(rt)
+        node.put("config/mode", "red")
+        response = (node.txn()
+                    .if_(value_equals("config/mode", "blue"))
+                    .then(put("config/mode", "green"))
+                    .otherwise(get("config/mode"), delete("config/mode"))
+                    .commit())
+        return response.succeeded, response.results[0], node.get("config/mode")
+
+    succeeded, seen, after = run(main).main_result
+    assert not succeeded and seen == "red" and after is None
+
+
+def test_key_missing_guard_enables_create_if_absent():
+    def main(rt):
+        node = Node(rt)
+        first = (node.txn().if_(key_missing("leader"))
+                 .then(put("leader", "n1")).commit())
+        second = (node.txn().if_(key_missing("leader"))
+                  .then(put("leader", "n2")).commit())
+        return first.succeeded, second.succeeded, node.get("leader")
+
+    assert run(main).main_result == (True, False, "n1")
+
+
+def test_mod_revision_guard_is_optimistic_concurrency():
+    def main(rt):
+        node = Node(rt)
+        rev = node.put("doc", "v1")
+        ok1 = (node.txn().if_(mod_revision_equals("doc", rev))
+               .then(put("doc", "v2")).commit()).succeeded
+        # The same stale revision must now fail.
+        ok2 = (node.txn().if_(mod_revision_equals("doc", rev))
+               .then(put("doc", "v3")).commit()).succeeded
+        return ok1, ok2, node.get("doc")
+
+    assert run(main).main_result == (True, False, "v2")
+
+
+def test_txn_is_atomic_under_contention():
+    """Distributed-lock election: exactly one contender ever wins."""
+
+    def main(rt):
+        node = Node(rt)
+        winners = rt.atomic_int(0)
+        wg = rt.waitgroup()
+
+        def contender(name):
+            response = (node.txn().if_(key_missing("election/leader"))
+                        .then(put("election/leader", name)).commit())
+            if response.succeeded:
+                winners.add(1)
+            wg.done()
+
+        for i in range(5):
+            wg.add(1)
+            rt.go(contender, f"node-{i}")
+        wg.wait()
+        return winners.load(), node.get("election/leader") is not None
+
+    for seed in range(10):
+        winners, elected = run(main, seed=seed).main_result
+        assert winners == 1 and elected
+
+
+def test_txn_effects_reach_watchers():
+    def main(rt):
+        node = Node(rt)
+        watcher = node.watch("jobs/")
+        (node.txn().then(put("jobs/1", "queued"), delete("jobs/0")).commit())
+        events = []
+        while True:
+            event, _ok, got = watcher.events.try_recv()
+            if not got:
+                break
+            events.append((event.kind, event.key))
+        node.watch_hub.cancel(watcher)
+        return events
+
+    assert run(main).main_result == [("PUT", "jobs/1")]
+
+
+def test_double_commit_rejected():
+    def main(rt):
+        node = Node(rt)
+        txn = node.txn().then(put("x", 1))
+        txn.commit()
+        with pytest.raises(ValueError):
+            txn.commit()
+
+    assert run(main).status == "ok"
+
+
+def test_invalid_compare_and_op_rejected():
+    from repro.apps.minietcd.txn import Compare, Op
+
+    with pytest.raises(ValueError):
+        Compare("k", "~=", "value", 1)
+    with pytest.raises(ValueError):
+        Compare("k", "==", "size", 1)
+    with pytest.raises(ValueError):
+        Op("upsert", "k")

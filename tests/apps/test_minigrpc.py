@@ -1,0 +1,147 @@
+"""minigrpc end-to-end: unary, streaming, errors, graceful stop."""
+
+import pytest
+
+from repro import run
+from repro.apps.minigrpc import Listener, RpcError, Server, Status, dial
+from repro.apps.minigrpc.bench import WORKLOADS
+
+
+def _serve(rt, name="svc"):
+    listener = Listener(rt)
+    server = Server(rt, name=name)
+    server.register("echo", lambda p: p)
+    server.register("fail", lambda p: 1 / 0)
+
+    def naturals(payload, send):
+        for i in range(payload):
+            send(i * i)
+
+    server.register_stream("squares", naturals)
+    server.start(listener)
+    return listener, server
+
+
+def test_unary_roundtrip():
+    def main(rt):
+        listener, server = _serve(rt)
+        client = dial(rt, listener)
+        out = [client.call("echo", i) for i in range(5)]
+        client.close()
+        server.graceful_stop(listener)
+        return out, server.served
+
+    out, served = run(main).main_result
+    assert out == list(range(5))
+    assert served == 5
+
+
+def test_unknown_method_not_found():
+    def main(rt):
+        listener, server = _serve(rt)
+        client = dial(rt, listener)
+        try:
+            client.call("nope")
+        except RpcError as exc:
+            code = exc.code
+        client.close()
+        server.graceful_stop(listener)
+        return code, server.errors
+
+    code, errors = run(main).main_result
+    assert code == Status.NOT_FOUND and errors == 1
+
+
+def test_handler_exception_maps_to_internal():
+    def main(rt):
+        listener, server = _serve(rt)
+        client = dial(rt, listener)
+        with pytest.raises(RpcError) as exc_info:
+            client.call("fail")
+        client.close()
+        server.graceful_stop(listener)
+        return exc_info.value.code
+
+    assert run(main).main_result == Status.INTERNAL
+
+
+def test_server_streaming():
+    def main(rt):
+        listener, server = _serve(rt)
+        client = dial(rt, listener)
+        frames = client.collect_stream("squares", 5)
+        client.close()
+        server.graceful_stop(listener)
+        return frames
+
+    assert run(main).main_result == [0, 1, 4, 9, 16]
+
+
+def test_call_deadline_exceeded():
+    def main(rt):
+        listener = Listener(rt)
+        server = Server(rt)
+
+        def slow(payload):
+            rt.sleep(5.0)
+            return payload
+
+        server.register("slow", slow)
+        server.start(listener)
+        client = dial(rt, listener)
+        with pytest.raises(RpcError) as exc_info:
+            client.call("slow", 1, timeout=1.0)
+        code = exc_info.value.code
+        client.close()
+        server.graceful_stop(listener)
+        return code
+
+    result = run(main)
+    assert result.main_result == Status.CANCELLED
+    # The library applies the Figure 1 fix: no handler goroutine leaks even
+    # though the client gave up.
+    assert result.status == "ok"
+
+
+def test_concurrent_clients_isolated():
+    def main(rt):
+        listener, server = _serve(rt)
+        results = rt.shared("results", {})
+        results_mu = rt.mutex("results")
+        wg = rt.waitgroup()
+
+        def client_loop(tag):
+            client = dial(rt, listener)
+            values = [client.call("echo", f"{tag}-{i}") for i in range(3)]
+            client.close()
+            with results_mu:
+                results.update(lambda d: {**d, tag: values})
+            wg.done()
+
+        for tag in ("a", "b", "c"):
+            wg.add(1)
+            rt.go(client_loop, tag)
+        wg.wait()
+        server.graceful_stop(listener)
+        return results.peek()
+
+    out = run(main, seed=5).main_result
+    assert out["a"] == ["a-0", "a-1", "a-2"]
+    assert len(out) == 3
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_bench_workloads_clean_under_seeds(workload):
+    for seed in range(4):
+        go_result = run(WORKLOADS[workload]["go"], seed=seed)
+        assert go_result.status == "ok", (workload, seed, go_result)
+        c_result = run(WORKLOADS[workload]["c"], seed=seed)
+        assert c_result.status == "ok", (workload, seed, c_result)
+
+
+def test_goroutine_population_exceeds_cstyle_threads():
+    """Table 3's invariant on every workload."""
+    for workload, progs in WORKLOADS.items():
+        go_result = run(progs["go"], seed=1)
+        c_result = run(progs["c"], seed=1)
+        assert len(go_result.goroutines) > len(c_result.goroutines), workload

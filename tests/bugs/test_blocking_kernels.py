@@ -1,0 +1,55 @@
+"""Every blocking kernel: buggy manifests, fixed never does."""
+
+import pytest
+
+from repro.bugs import registry
+
+SEEDS = tuple(range(12))
+
+BLOCKING = registry.blocking_kernels()
+IDS = [k.meta.kernel_id for k in BLOCKING]
+
+
+@pytest.mark.parametrize("kernel", BLOCKING, ids=IDS)
+def test_buggy_manifests_under_some_seed(kernel):
+    if kernel.meta.deterministic:
+        result = kernel.run_buggy(seed=0)
+        assert kernel.manifested(result), result
+    else:
+        hits = kernel.manifestation_seeds(SEEDS)
+        assert hits, f"{kernel.meta.kernel_id} never manifested over {len(SEEDS)} seeds"
+
+
+@pytest.mark.parametrize("kernel", BLOCKING, ids=IDS)
+def test_fixed_never_manifests(kernel):
+    for seed in SEEDS:
+        result = kernel.run_fixed(seed=seed)
+        assert not kernel.manifested(result), (seed, result)
+        assert result.status in ("ok", "timeout"), (seed, result)
+
+
+@pytest.mark.parametrize("kernel", BLOCKING, ids=IDS)
+def test_buggy_symptom_is_blocking_shaped(kernel):
+    """Blocking kernels end in stuck goroutines, never in a panic."""
+    seed = (kernel.manifestation_seeds(SEEDS) or [0])[0]
+    result = kernel.run_buggy(seed=seed)
+    assert result.status in ("deadlock", "leak", "timeout", "hang")
+    assert result.leaked or result.status == "deadlock"
+
+
+def test_figure1_fix_is_the_buffered_channel():
+    """The committed Kubernetes fix: capacity 0 -> capacity 1."""
+    kernel = registry.get("blocking-chan-kubernetes-5316")
+    rates_buggy = len(kernel.manifestation_seeds(range(30))) / 30
+    assert 0.2 < rates_buggy < 0.8  # the select picks randomly
+    for seed in range(30):
+        assert not kernel.manifested(kernel.run_fixed(seed=seed))
+
+
+def test_rwmutex_kernel_depends_on_writer_priority():
+    """Ablation: the same interleaving under pthread semantics is fine."""
+    from repro import run
+    from repro.bugs.blocking.rwmutex import DockerRWMutexWriterPriority
+
+    go_result = run(DockerRWMutexWriterPriority.buggy, seed=0)
+    assert go_result.status == "leak"

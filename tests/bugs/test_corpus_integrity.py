@@ -1,0 +1,95 @@
+"""Corpus-wide integrity: registry, metadata, and coverage guarantees."""
+
+from collections import Counter
+
+from repro.bugs import registry
+from repro.bugs.meta import SYMPTOMS
+from repro.dataset.records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    Cause,
+    NonBlockingSubCause,
+)
+
+
+def test_corpus_size_matches_paper_reproduction_scale():
+    """The paper reproduced 21 blocking and 20 non-blocking bugs."""
+    blocking = registry.blocking_kernels(reproduced_only=True)
+    nonblocking = registry.nonblocking_kernels(reproduced_only=True)
+    assert len(blocking) == 21
+    assert len(nonblocking) >= 20
+
+
+def test_every_blocking_subcause_covered():
+    covered = {k.meta.subcause for k in registry.blocking_kernels()}
+    assert covered == set(BlockingSubCause)
+
+
+def test_every_nonblocking_subcause_covered():
+    covered = {k.meta.subcause for k in registry.nonblocking_kernels()}
+    assert covered == set(NonBlockingSubCause)
+
+
+def test_every_app_represented():
+    covered = {k.meta.app for k in registry.all_kernels()}
+    assert covered == set(App)
+
+
+def test_all_nine_paper_figures_reproduced():
+    figures = registry.figures()
+    assert set(figures) == {"1", "5", "6", "7", "8", "9", "10", "11", "12"}
+
+
+def test_kernel_ids_unique_and_well_formed():
+    ids = [k.meta.kernel_id for k in registry.all_kernels()]
+    assert len(ids) == len(set(ids))
+    for kernel_id in ids:
+        assert kernel_id.startswith(("blocking-", "nonblocking-"))
+
+
+def test_metadata_consistency():
+    for kernel in registry.all_kernels():
+        meta = kernel.meta
+        assert meta.symptom in SYMPTOMS
+        assert meta.description and meta.title
+        if meta.behavior == Behavior.BLOCKING:
+            assert meta.symptom in ("deadlock", "leak")
+        assert meta.cause in (Cause.SHARED_MEMORY, Cause.MESSAGE_PASSING)
+        assert meta.fix_primitives
+
+
+def test_registry_lookup_helpers():
+    kernel = registry.get("blocking-mutex-boltdb-392")
+    assert kernel.meta.app == App.BOLTDB
+    assert registry.by_app(App.BOLTDB)
+    assert registry.by_subcause(BlockingSubCause.RWMUTEX)
+    assert registry.by_cause(Cause.MESSAGE_PASSING)
+
+
+def test_exactly_two_global_deadlock_kernels():
+    """Table 8: only BoltDB#392 and BoltDB#240 are all-asleep deadlocks."""
+    global_deadlocks = [
+        k for k in registry.blocking_kernels(reproduced_only=True)
+        if k.meta.symptom == "deadlock"
+    ]
+    assert len(global_deadlocks) == 2
+    assert {k.meta.app for k in global_deadlocks} == {App.BOLTDB}
+    assert {k.meta.subcause for k in global_deadlocks} == {
+        BlockingSubCause.MUTEX, BlockingSubCause.CHAN_WITH_OTHER,
+    }
+
+
+def test_blocking_cause_mix_leans_message_passing():
+    """Observation 3: more blocking bugs from message passing."""
+    blocking = registry.blocking_kernels()
+    mp = sum(k.meta.cause == Cause.MESSAGE_PASSING for k in blocking)
+    assert mp > len(blocking) / 2
+
+
+def test_duplicate_registration_rejected():
+    import pytest
+
+    kernel = registry.get("blocking-mutex-boltdb-392")
+    with pytest.raises(ValueError):
+        registry.register(kernel)

@@ -1,0 +1,206 @@
+"""Channel semantics against the Go specification behaviors the paper's
+bugs depend on."""
+
+import pytest
+
+from repro import GoPanic, run
+
+
+def _result(program, seed=0, **kw):
+    return run(program, seed=seed, **kw)
+
+
+def test_unbuffered_rendezvous_transfers_value():
+    def main(rt):
+        ch = rt.make_chan()
+        rt.go(lambda: ch.send("payload"))
+        return ch.recv()
+
+    assert _result(main).main_result == "payload"
+
+
+def test_unbuffered_send_blocks_until_receiver():
+    def main(rt):
+        ch = rt.make_chan()
+        order = []
+
+        def sender():
+            order.append("before-send")
+            ch.send(1)
+            order.append("after-send")
+
+        rt.go(sender)
+        rt.sleep(1.0)  # sender must be parked by now
+        order.append("receiving")
+        ch.recv()
+        rt.sleep(0.1)
+        return order
+
+    assert _result(main).main_result == ["before-send", "receiving", "after-send"]
+
+
+def test_buffered_channel_blocks_only_when_full():
+    def main(rt):
+        ch = rt.make_chan(2)
+        ch.send(1)
+        ch.send(2)
+        assert len(ch) == 2
+        assert not ch.try_send(3)  # full: non-blocking send fails
+        assert ch.recv() == 1
+        assert ch.try_send(3)
+        return [ch.recv(), ch.recv()]
+
+    assert _result(main).main_result == [2, 3]
+
+
+def test_fifo_ordering():
+    def main(rt):
+        ch = rt.make_chan(8)
+        for i in range(8):
+            ch.send(i)
+        return [ch.recv() for i in range(8)]
+
+    assert _result(main).main_result == list(range(8))
+
+
+def test_recv_from_closed_drains_then_zero_value():
+    def main(rt):
+        ch = rt.make_chan(2)
+        ch.send("x")
+        ch.close()
+        first = ch.recv_ok()
+        second = ch.recv_ok()
+        third = ch.recv_ok()  # does not block once closed
+        return [first, second, third]
+
+    assert _result(main).main_result == [("x", True), (None, False), (None, False)]
+
+
+def test_close_wakes_all_blocked_receivers():
+    def main(rt):
+        ch = rt.make_chan()
+        woke = rt.atomic_int(0)
+        for _ in range(3):
+            def waiter():
+                _v, ok = ch.recv_ok()
+                assert not ok
+                woke.add(1)
+
+            rt.go(waiter)
+        rt.sleep(0.5)
+        ch.close()
+        rt.sleep(0.5)
+        return woke.load()
+
+    assert _result(main).main_result == 3
+
+
+def test_send_on_closed_channel_panics():
+    def main(rt):
+        ch = rt.make_chan(1)
+        ch.close()
+        ch.send(1)
+
+    result = _result(main)
+    assert result.status == "panic"
+    assert "send on closed channel" in str(result.panic_value)
+
+
+def test_blocked_sender_panics_when_channel_closes():
+    def main(rt):
+        ch = rt.make_chan()
+        rt.go(lambda: ch.send("stuck"))
+        rt.sleep(0.5)
+        ch.close()
+        rt.sleep(0.5)
+
+    result = _result(main)
+    assert result.status == "panic"
+    assert "send on closed channel" in str(result.panic_value)
+
+
+def test_double_close_panics():
+    def main(rt):
+        ch = rt.make_chan()
+        ch.close()
+        ch.close()
+
+    result = _result(main)
+    assert result.status == "panic"
+    assert "close of closed channel" in str(result.panic_value)
+
+
+def test_range_iteration_ends_on_close():
+    def main(rt):
+        ch = rt.make_chan(4)
+
+        def producer():
+            for i in range(4):
+                ch.send(i)
+            ch.close()
+
+        rt.go(producer)
+        return list(ch)
+
+    assert _result(main).main_result == [0, 1, 2, 3]
+
+
+def test_try_recv_on_empty_and_closed():
+    def main(rt):
+        ch = rt.make_chan(1)
+        empty = ch.try_recv()
+        ch.send(9)
+        got = ch.try_recv()
+        ch.close()
+        closed = ch.try_recv()
+        return [empty, got, closed]
+
+    assert _result(main).main_result == [
+        (None, False, False),
+        (9, True, True),
+        (None, False, True),
+    ]
+
+
+def test_negative_capacity_rejected():
+    def main(rt):
+        with pytest.raises(ValueError):
+            rt.make_chan(-1)
+
+    assert _result(main).status == "ok"
+
+
+def test_many_senders_one_receiver_conserves_messages():
+    def main(rt):
+        ch = rt.make_chan()
+        for i in range(6):
+            rt.go(lambda i=i: ch.send(i))
+        got = sorted(ch.recv() for _ in range(6))
+        return got
+
+    for seed in range(8):
+        assert _result(main, seed=seed).main_result == list(range(6))
+
+
+def test_buffered_full_sender_unblocked_by_recv_preserves_order():
+    def main(rt):
+        ch = rt.make_chan(1)
+        ch.send("first")
+        rt.go(lambda: ch.send("second"))  # blocks: buffer full
+        rt.sleep(0.2)
+        a = ch.recv()
+        rt.sleep(0.2)
+        b = ch.recv()
+        return [a, b]
+
+    for seed in range(8):
+        assert _result(main, seed=seed).main_result == ["first", "second"]
+
+
+def test_len_and_cap():
+    def main(rt):
+        ch = rt.make_chan(3)
+        ch.send(1)
+        return len(ch), ch.cap(), ch.closed
+
+    assert _result(main).main_result == (1, 3, False)

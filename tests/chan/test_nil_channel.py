@@ -1,0 +1,45 @@
+"""Nil channel rules: every operation blocks forever; close panics."""
+
+from repro import run
+
+
+def test_send_on_nil_blocks_forever():
+    def main(rt):
+        rt.nil_chan().send(1)
+
+    assert run(main).status == "deadlock"
+
+
+def test_recv_on_nil_blocks_forever():
+    def main(rt):
+        rt.nil_chan().recv()
+
+    assert run(main).status == "deadlock"
+
+
+def test_nil_goroutine_leaks_while_main_continues():
+    def main(rt):
+        dead = rt.nil_chan()
+        rt.go(lambda: dead.recv())
+        rt.sleep(0.1)
+
+    result = run(main)
+    assert result.status == "leak"
+    assert "nil" in result.leaked[0].block_reason
+
+
+def test_close_of_nil_panics():
+    def main(rt):
+        rt.nil_chan().close()
+
+    result = run(main)
+    assert result.status == "panic"
+    assert "close of nil channel" in str(result.panic_value)
+
+
+def test_nil_try_operations_never_succeed():
+    def main(rt):
+        dead = rt.nil_chan()
+        return dead.try_send(1), dead.try_recv(), len(dead), dead.cap()
+
+    assert run(main).main_result == (False, (None, False, False), 0, 0)

@@ -1,0 +1,179 @@
+"""select semantics: readiness, random choice, default, blocking."""
+
+from collections import Counter
+
+import pytest
+
+from repro import run
+from repro.chan import recv, send
+
+
+def test_select_takes_the_only_ready_case():
+    def main(rt):
+        a = rt.make_chan(1)
+        b = rt.make_chan(1)
+        b.send("bee")
+        index, value, ok = rt.select(recv(a), recv(b))
+        return index, value, ok
+
+    assert run(main).main_result == (1, "bee", True)
+
+
+def test_select_default_when_nothing_ready():
+    def main(rt):
+        a = rt.make_chan()
+        index, value, _ok = rt.select(recv(a), default=True)
+        return index
+
+    assert run(main).main_result == -1
+
+
+def test_select_blocks_until_a_case_fires():
+    def main(rt):
+        a = rt.make_chan()
+
+        def late_sender():
+            rt.sleep(1.0)
+            a.send("finally")
+
+        rt.go(late_sender)
+        index, value, _ok = rt.select(recv(a))
+        return rt.now(), value
+
+    now, value = run(main).main_result
+    assert value == "finally"
+    assert now == pytest.approx(1.0)
+
+
+def test_select_random_among_ready_is_roughly_uniform():
+    def main(rt):
+        a = rt.make_chan(1)
+        b = rt.make_chan(1)
+        a.send("a")
+        b.send("b")
+        _i, value, _ok = rt.select(recv(a), recv(b))
+        return value
+
+    counts = Counter(run(main, seed=s).main_result for s in range(60))
+    assert counts["a"] > 10 and counts["b"] > 10
+
+
+def test_select_send_case():
+    def main(rt):
+        ch = rt.make_chan(1)
+        index, _v, ok = rt.select(send(ch, 42))
+        return index, ok, ch.recv()
+
+    assert run(main).main_result == (0, True, 42)
+
+
+def test_select_send_on_closed_channel_panics():
+    def main(rt):
+        ch = rt.make_chan()
+        ch.close()
+        rt.select(send(ch, 1), default=True)
+
+    result = run(main)
+    assert result.status == "panic"
+    assert "send on closed channel" in str(result.panic_value)
+
+
+def test_select_recv_sees_close():
+    def main(rt):
+        ch = rt.make_chan()
+
+        def closer():
+            rt.sleep(0.5)
+            ch.close()
+
+        rt.go(closer)
+        index, value, ok = rt.select(recv(ch))
+        return index, value, ok
+
+    assert run(main).main_result == (0, None, False)
+
+
+def test_blocked_select_resolved_by_peer_send():
+    def main(rt):
+        a = rt.make_chan()
+        b = rt.make_chan()
+
+        def sender():
+            rt.sleep(0.3)
+            b.send("from-b")
+
+        rt.go(sender)
+        index, value, _ok = rt.select(recv(a), recv(b))
+        return index, value
+
+    assert run(main).main_result == (1, "from-b")
+
+
+def test_losing_select_case_leaves_no_ghost_waiter():
+    def main(rt):
+        a = rt.make_chan()
+        b = rt.make_chan()
+
+        def feed_b():
+            rt.sleep(0.2)
+            b.send(1)
+
+        rt.go(feed_b)
+        rt.select(recv(a), recv(b))  # wins on b; waiter on a must die
+        # A later send on `a` must rendezvous with a real receiver, not the
+        # stale select waiter.
+        got = rt.shared("got", None)
+        rt.go(lambda: got.store(a.recv()))
+        rt.sleep(0.2)
+        a.send("real")
+        rt.sleep(0.2)
+        return got.peek()
+
+    for seed in range(8):
+        assert run(main, seed=seed).main_result == "real"
+
+
+def test_select_on_nil_channel_case_never_fires():
+    def main(rt):
+        dead = rt.nil_chan()
+        live = rt.make_chan(1)
+        live.send("ok")
+        index, value, _ok = rt.select(recv(dead), recv(live))
+        return index, value
+
+    for seed in range(8):
+        assert run(main, seed=seed).main_result == (1, "ok")
+
+
+def test_select_only_nil_channels_blocks_forever():
+    def main(rt):
+        rt.select(recv(rt.nil_chan()))
+
+    assert run(main).status == "deadlock"
+
+
+def test_two_selects_rendezvous_with_each_other():
+    def main(rt):
+        ch = rt.make_chan()
+        out = rt.shared("out", None)
+
+        def selector_recv():
+            _i, value, _ok = rt.select(recv(ch))
+            out.store(value)
+
+        rt.go(selector_recv)
+        rt.sleep(0.2)
+        index, _v, ok = rt.select(send(ch, "pair"))
+        rt.sleep(0.2)
+        return index, ok, out.peek()
+
+    assert run(main).main_result == (0, True, "pair")
+
+
+def test_select_rejects_non_case_arguments():
+    def main(rt):
+        ch = rt.make_chan()
+        with pytest.raises(TypeError):
+            rt.select(ch)  # must use send()/recv() wrappers
+
+    assert run(main).status == "ok"

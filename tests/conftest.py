@@ -1,0 +1,14 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+#: Default seed sweep used to explore interleavings in tests.  Large enough
+#: to make nondeterministic kernels manifest, small enough to stay fast.
+SEEDS = tuple(range(12))
+
+
+@pytest.fixture
+def seeds():
+    return SEEDS

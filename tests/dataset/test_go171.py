@@ -1,0 +1,186 @@
+"""The 171-bug dataset: every published marginal, verbatim."""
+
+import pytest
+
+from repro.dataset import go171, paper_values
+from repro.dataset.records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    Cause,
+    FixPrimitive,
+    FixStrategy,
+    NonBlockingSubCause,
+)
+from repro.study import lift as lift_mod
+
+
+@pytest.fixture(scope="module")
+def records():
+    return go171.load()
+
+
+def test_validate_passes(records):
+    go171.validate(records)
+
+
+def test_headline_totals(records):
+    assert len(records) == 171
+    assert sum(r.behavior == Behavior.BLOCKING for r in records) == 85
+    assert sum(r.behavior == Behavior.NONBLOCKING for r in records) == 86
+    assert sum(r.cause == Cause.SHARED_MEMORY for r in records) == 105
+    assert sum(r.cause == Cause.MESSAGE_PASSING for r in records) == 66
+
+
+def test_table5_rows_verbatim(records):
+    for app, expected in go171.TABLE5.items():
+        rows = [r for r in records if r.app == app]
+        got = (
+            sum(r.behavior == Behavior.BLOCKING for r in rows),
+            sum(r.behavior == Behavior.NONBLOCKING for r in rows),
+            sum(r.cause == Cause.SHARED_MEMORY for r in rows),
+            sum(r.cause == Cause.MESSAGE_PASSING for r in rows),
+        )
+        assert got == expected, app
+
+
+def test_table6_cells_verbatim(records):
+    totals = {sub: 0 for sub in BlockingSubCause}
+    for app, cells in go171.TABLE6.items():
+        for sub, n in cells.items():
+            got = sum(
+                1 for r in records
+                if r.app == app and r.behavior == Behavior.BLOCKING
+                and r.subcause == sub
+            )
+            assert got == n
+            totals[sub] += n
+    assert totals == {
+        BlockingSubCause.MUTEX: 28,
+        BlockingSubCause.RWMUTEX: 5,
+        BlockingSubCause.WAIT: 3,
+        BlockingSubCause.CHAN: 29,
+        BlockingSubCause.CHAN_WITH_OTHER: 16,
+        BlockingSubCause.MSG_LIBRARY: 4,
+    }
+
+
+def test_section52_fix_text_constraints(records):
+    mutexish = [
+        r for r in records
+        if r.behavior == Behavior.BLOCKING
+        and r.subcause in (BlockingSubCause.MUTEX, BlockingSubCause.RWMUTEX)
+    ]
+    assert len(mutexish) == 33
+    strategies = [r.fix_strategy for r in mutexish]
+    assert strategies.count(FixStrategy.ADD_SYNC) == 8
+    assert strategies.count(FixStrategy.MOVE_SYNC) == 9
+    assert strategies.count(FixStrategy.REMOVE_SYNC) == 11
+
+
+def test_blocking_lift_targets(records):
+    mutex_move = lift_mod.cause_strategy_lift(
+        records, Behavior.BLOCKING, BlockingSubCause.MUTEX, FixStrategy.MOVE_SYNC
+    )
+    assert mutex_move.lift == pytest.approx(
+        paper_values.LIFT_BLOCKING_MUTEX_MOVE, abs=0.02)
+    chan_add = lift_mod.cause_strategy_lift(
+        records, Behavior.BLOCKING, BlockingSubCause.CHAN, FixStrategy.ADD_SYNC
+    )
+    assert chan_add.lift == pytest.approx(
+        paper_values.LIFT_BLOCKING_CHAN_ADD, abs=0.02)
+
+
+def test_mutex_move_is_strongest_blocking_correlation(records):
+    lifts = lift_mod.all_strategy_lifts(records, Behavior.BLOCKING)
+    strongest = lifts[0]
+    assert strongest.a == str(BlockingSubCause.MUTEX)
+    assert strongest.b == str(FixStrategy.MOVE_SYNC)
+
+
+def test_nonblocking_lift_targets(records):
+    chan_channel = lift_mod.cause_primitive_lift(
+        records, NonBlockingSubCause.CHAN, FixPrimitive.CHANNEL
+    )
+    assert chan_channel.lift == pytest.approx(
+        paper_values.LIFT_NONBLOCKING_CHAN_CHANNEL, abs=0.05)
+    anon_private = lift_mod.cause_strategy_lift(
+        records, Behavior.NONBLOCKING,
+        NonBlockingSubCause.ANONYMOUS_FUNCTION, FixStrategy.PRIVATIZE,
+    )
+    assert anon_private.lift == pytest.approx(
+        paper_values.LIFT_NONBLOCKING_ANON_PRIVATE, abs=0.02)
+    chan_move = lift_mod.cause_strategy_lift(
+        records, Behavior.NONBLOCKING, NonBlockingSubCause.CHAN,
+        FixStrategy.MOVE_SYNC,
+    )
+    assert chan_move.lift == pytest.approx(
+        paper_values.LIFT_NONBLOCKING_CHAN_MOVE, abs=0.02)
+
+
+def test_table11_primitive_use_totals(records):
+    uses = [
+        p for r in records if r.behavior == Behavior.NONBLOCKING
+        for p in r.fix_primitives
+    ]
+    assert len(uses) == 94
+    assert uses.count(FixPrimitive.MUTEX) == 32
+    assert uses.count(FixPrimitive.CHANNEL) == 19
+    assert uses.count(FixPrimitive.ATOMIC) == 10
+    assert uses.count(FixPrimitive.WAITGROUP) == 7
+    assert uses.count(FixPrimitive.COND) == 4
+    assert uses.count(FixPrimitive.MISC) == 3
+    assert uses.count(FixPrimitive.NONE) == 19
+
+
+def test_blocking_patches_average_6_8_lines(records):
+    blocking = [r for r in records if r.behavior == Behavior.BLOCKING]
+    mean = sum(r.patch_lines for r in blocking) / len(blocking)
+    assert mean == pytest.approx(6.8, abs=0.05)
+
+
+def test_ninety_percent_blocking_fixes_adjust_sync(records):
+    blocking = [r for r in records if r.behavior == Behavior.BLOCKING]
+    share = sum(r.fix_strategy != FixStrategy.MISC for r in blocking) / len(blocking)
+    assert share >= 0.90
+
+
+def test_known_bugs_seeded_and_marked_exact(records):
+    by_id = {r.bug_id: r for r in records}
+    for bug_id in ("kubernetes#5316", "docker#25384", "grpc#1460",
+                   "boltdb#392", "boltdb#240", "docker#30603", "etcd#6371",
+                   "docker#24007", "docker#22985", "cockroach#6111",
+                   "etcd#7816"):
+        assert bug_id in by_id, bug_id
+        assert by_id[bug_id].reconstructed is False
+    assert by_id["kubernetes#5316"].figure == "1"
+    assert by_id["docker#25384"].figure == "5"
+    assert by_id["docker#30603"].figure == "8"
+
+
+def test_load_is_cached_and_defensive(records):
+    again = go171.load()
+    assert again == records
+    again.pop()
+    assert len(go171.load()) == 171  # load() hands out copies
+
+
+def test_lifetimes_are_long(records):
+    import statistics
+
+    for cause in Cause:
+        days = [r.lifetime_days for r in records if r.cause == cause]
+        assert statistics.median(days) > 300  # Figure 4: long-lived bugs
+        assert all(d > 0 for d in days)
+
+
+def test_reports_arrive_close_to_fixes(records):
+    """Section 4's second Figure 4 claim: report-to-fix time is short
+    relative to the bug's dormant lifetime."""
+    import statistics
+
+    lags = [r.report_lag_days for r in records]
+    lifetimes = [r.lifetime_days for r in records]
+    assert statistics.mean(lags) < 21
+    assert statistics.mean(lags) < statistics.mean(lifetimes) / 10
+    assert all(0 < lag <= 30 for lag in lags)

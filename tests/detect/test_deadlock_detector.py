@@ -1,0 +1,81 @@
+"""The built-in deadlock detector replica and the leak-detector extension."""
+
+from repro import run
+from repro.detect import BuiltinDeadlockDetector, GoroutineLeakDetector, leak_reports
+
+
+def _global_deadlock(rt):
+    mu = rt.mutex()
+    mu.lock()
+    mu.lock()
+
+
+def _partial_deadlock(rt):
+    ch = rt.make_chan()
+    rt.go(lambda: ch.recv())  # stuck forever
+    rt.sleep(0.1)             # main continues and exits
+
+
+def _healthy(rt):
+    ch = rt.make_chan(1)
+    ch.send(1)
+    return ch.recv()
+
+
+def test_builtin_detects_global_deadlock():
+    detection = BuiltinDeadlockDetector().detect(_global_deadlock)
+    assert detection.detected
+    assert detection.runs == 1
+    assert detection.reports
+
+
+def test_builtin_misses_partial_deadlock():
+    """Miss cause #1: some goroutine can still run (here: main)."""
+    detection = BuiltinDeadlockDetector().detect(_partial_deadlock)
+    assert not detection.detected
+
+
+def test_builtin_misses_external_wait():
+    """Miss cause #2: goroutines waiting on non-Go resources."""
+
+    def main(rt):
+        rt.external_wait("blocked syscall")
+
+    detection = BuiltinDeadlockDetector().detect(main)
+    assert not detection.detected
+
+
+def test_builtin_no_false_positive_on_healthy_program():
+    detection = BuiltinDeadlockDetector().detect(_healthy)
+    assert not detection.detected
+
+
+def test_leak_detector_catches_partial_deadlock():
+    detection = GoroutineLeakDetector().detect(_partial_deadlock)
+    assert detection.detected
+    assert any("chan.recv" in str(r) for r in detection.reports)
+
+
+def test_leak_detector_catches_global_deadlock_too():
+    assert GoroutineLeakDetector().detect(_global_deadlock).detected
+
+
+def test_leak_detector_no_false_positive():
+    assert not GoroutineLeakDetector().detect(_healthy).detected
+
+
+def test_leak_reports_structured():
+    result = run(_partial_deadlock)
+    reports = leak_reports(result)
+    assert len(reports) == 1
+    report = reports[0]
+    assert report.gid == 2
+    assert report.reason.startswith("chan.recv")
+    assert "LEAK" in str(report)
+
+
+def test_leak_reports_for_deadlock_status():
+    result = run(_global_deadlock)
+    reports = leak_reports(result)
+    assert len(reports) == 1
+    assert "mutex.lock" in reports[0].reason

@@ -1,0 +1,103 @@
+"""Channel-rule checker diagnostics."""
+
+from repro import run
+from repro.detect import ChannelRuleChecker
+
+
+def _check(program, seed=0, **kw):
+    checker = ChannelRuleChecker()
+    result = run(program, seed=seed, observers=[checker], **kw)
+    return checker, result
+
+
+def test_double_close_diagnosed():
+    def main(rt):
+        ch = rt.make_chan()
+        ch.close()
+        ch.close()
+
+    checker, _ = _check(main)
+    assert [v.rule for v in checker.violations] == ["close-of-closed-channel"]
+
+
+def test_send_on_closed_diagnosed():
+    def main(rt):
+        ch = rt.make_chan(1)
+        ch.close()
+        ch.send(1)
+
+    checker, _ = _check(main)
+    assert [v.rule for v in checker.violations] == ["send-on-closed-channel"]
+
+
+def test_negative_waitgroup_diagnosed():
+    def main(rt):
+        wg = rt.waitgroup()
+        wg.add(1)
+        wg.done()
+        wg.done()
+
+    checker, _ = _check(main)
+    assert [v.rule for v in checker.violations] == ["negative-waitgroup-counter"]
+
+
+def test_unlock_of_unlocked_diagnosed():
+    def main(rt):
+        rt.mutex().unlock()
+
+    checker, _ = _check(main)
+    assert [v.rule for v in checker.violations] == ["unlock-of-unlocked-mutex"]
+
+
+def test_nil_channel_block_diagnosed():
+    def main(rt):
+        rt.go(lambda: rt.nil_chan().recv())
+        rt.sleep(0.1)
+
+    checker, _ = _check(main)
+    assert [v.rule for v in checker.violations] == ["operation-on-nil-channel"]
+
+
+def test_leaked_sender_diagnosed_with_channel_identity():
+    def main(rt):
+        ch = rt.make_chan(0, name="results")
+        rt.go(lambda: ch.send(1))
+        rt.sleep(0.1)
+
+    checker, _ = _check(main)
+    assert len(checker.violations) == 1
+    violation = checker.violations[0]
+    assert violation.rule == "missing-receiver"
+    assert "results" in violation.message
+
+
+def test_leaked_receiver_diagnosed():
+    def main(rt):
+        ch = rt.make_chan(0, name="updates")
+        rt.go(lambda: ch.recv())
+        rt.sleep(0.1)
+
+    checker, _ = _check(main)
+    assert checker.violations[0].rule == "missing-sender-or-close"
+
+
+def test_deadlocked_main_diagnosed():
+    def main(rt):
+        rt.make_chan(0, name="stuck").recv()
+
+    checker, result = _check(main)
+    assert result.status == "deadlock"
+    assert checker.violations[0].rule == "missing-sender-or-close"
+
+
+def test_clean_program_yields_no_violations():
+    def main(rt):
+        ch = rt.make_chan(1)
+        ch.send(1)
+        ch.recv()
+        ch.close()
+
+    checker, result = _check(main)
+    assert result.status == "ok"
+    assert not checker.detected
+    assert result.rule_violations == []

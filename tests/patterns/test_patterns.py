@@ -1,0 +1,214 @@
+"""Concurrency patterns: correctness and leak-freedom under seed sweeps."""
+
+import pytest
+
+from repro import run
+from repro.patterns import (
+    Semaphore,
+    broadcast,
+    fan_in,
+    fan_out,
+    generate,
+    or_done,
+    pipeline,
+    take,
+    worker_pool,
+)
+
+SEEDS = range(8)
+
+
+def _clean(program, seeds=SEEDS):
+    """Run across seeds asserting no leaks; returns last main_result."""
+    result = None
+    for seed in seeds:
+        result = run(program, seed=seed)
+        assert result.status == "ok", (
+            seed, result, [g.describe() for g in result.leaked]
+        )
+    return result.main_result
+
+
+def test_generate_produces_and_closes():
+    def main(rt):
+        done = rt.make_chan()
+        out = generate(rt, [1, 2, 3], done)
+        values = list(out)
+        done.close()
+        return values
+
+    assert _clean(main) == [1, 2, 3]
+
+
+def test_generate_cancellation_does_not_leak_producer():
+    def main(rt):
+        done = rt.make_chan()
+        out = generate(rt, range(1000), done)
+        first = out.recv()
+        done.close()  # abandon the rest
+        return first
+
+    assert _clean(main) == 0
+
+
+def test_pipeline_applies_stages_in_order():
+    def main(rt):
+        done = rt.make_chan()
+        out = pipeline(rt, [1, 2, 3], done,
+                       lambda x: x + 1,
+                       lambda x: x * 10)
+        values = list(out)
+        done.close()
+        return values
+
+    assert _clean(main) == [20, 30, 40]
+
+
+def test_pipeline_cancellation_mid_stream():
+    def main(rt):
+        done = rt.make_chan()
+        out = pipeline(rt, range(100), done, lambda x: x * x)
+        got = take(rt, done, out, 4)
+        done.close()
+        return got
+
+    assert _clean(main) == [0, 1, 4, 9]
+
+
+def test_fan_out_partitions_everything():
+    def main(rt):
+        done = rt.make_chan()
+        source = generate(rt, range(9), done)
+        outs = fan_out(rt, source, done, 3)
+        collected = rt.shared("collected", ())
+        mu = rt.mutex()
+        wg = rt.waitgroup()
+
+        def drain(ch):
+            for value in ch:
+                with mu:
+                    collected.update(lambda t: t + (value,))
+            wg.done()
+
+        for ch in outs:
+            wg.add(1)
+            rt.go(drain, ch)
+        wg.wait()
+        done.close()
+        return sorted(collected.peek())
+
+    assert _clean(main) == list(range(9))
+
+
+def test_fan_in_merges_and_closes_once_all_inputs_end():
+    def main(rt):
+        done = rt.make_chan()
+        sources = [generate(rt, [i * 10 + j for j in range(3)], done)
+                   for i in range(3)]
+        merged = fan_in(rt, done, sources)
+        values = sorted(merged)
+        done.close()
+        return values
+
+    assert _clean(main) == sorted(
+        i * 10 + j for i in range(3) for j in range(3)
+    )
+
+
+def test_or_done_unblocks_on_cancellation():
+    def main(rt):
+        done = rt.make_chan()
+        never = rt.make_chan()  # nobody ever sends
+        wrapped = or_done(rt, done, never)
+
+        def canceller():
+            rt.sleep(0.5)
+            done.close()
+
+        rt.go(canceller)
+        _v, ok = wrapped.recv_ok()
+        return ok
+
+    assert _clean(main) is False
+
+
+def test_worker_pool_processes_every_job():
+    def main(rt):
+        results = worker_pool(rt, range(10), lambda j: j * j, workers=3)
+        return sorted(results)
+
+    assert _clean(main) == [(j, j * j) for j in range(10)]
+
+
+def test_worker_pool_bounds_concurrency():
+    def main(rt):
+        active = rt.atomic_int(0)
+        peak = rt.atomic_int(0)
+
+        def job(j):
+            n = active.add(1)
+            if n > peak.load():
+                peak.store(n)
+            rt.sleep(0.1)
+            active.add(-1)
+            return j
+
+        worker_pool(rt, range(12), job, workers=3)
+        return peak.load()
+
+    for seed in SEEDS:
+        peak = run(main, seed=seed).main_result
+        assert 1 <= peak <= 3, peak
+
+
+def test_semaphore_bounds_and_context_manager():
+    def main(rt):
+        sem = Semaphore(rt, permits=2)
+        peak = rt.atomic_int(0)
+        active = rt.atomic_int(0)
+        wg = rt.waitgroup()
+
+        def worker():
+            with sem:
+                n = active.add(1)
+                if n > peak.load():
+                    peak.store(n)
+                rt.sleep(0.1)
+                active.add(-1)
+            wg.done()
+
+        for _ in range(6):
+            wg.add(1)
+            rt.go(worker)
+        wg.wait()
+        return peak.load(), sem.in_use()
+
+    for seed in SEEDS:
+        peak, in_use = run(main, seed=seed).main_result
+        assert peak <= 2 and in_use == 0
+
+
+def test_semaphore_misuse_rejected():
+    def main(rt):
+        sem = Semaphore(rt, permits=1)
+        with pytest.raises(ValueError):
+            sem.release()
+        with pytest.raises(ValueError):
+            Semaphore(rt, permits=0)
+        assert sem.try_acquire() is True
+        assert sem.try_acquire() is False
+        sem.release()
+
+    assert run(main).status == "ok"
+
+
+def test_broadcast_copies_to_every_subscriber():
+    def main(rt):
+        done = rt.make_chan()
+        source = generate(rt, ["a", "b"], done)
+        subs = broadcast(rt, source, done, subscribers=3)
+        seen = [list(sub) for sub in subs]
+        done.close()
+        return seen
+
+    assert _clean(main) == [["a", "b"]] * 3

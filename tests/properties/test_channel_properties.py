@@ -1,0 +1,116 @@
+"""Property-based tests: channels against a queue model."""
+
+from collections import deque
+
+from hypothesis import given, settings, strategies as st
+
+from repro import run
+from repro.chan import recv
+
+# Every example spins up a simulator run (threads included): keep example
+# counts moderate and disable the wall-clock deadline.
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("send"), st.integers(0, 99)),
+            st.tuples(st.just("recv"), st.just(0)),
+        ),
+        max_size=30,
+    ),
+)
+def test_buffered_channel_matches_queue_model(capacity, ops):
+    """Non-blocking sends/recvs on a buffered channel behave exactly like
+    a bounded FIFO queue."""
+
+    def main(rt):
+        ch = rt.make_chan(capacity)
+        model = deque()
+        for op, value in ops:
+            if op == "send":
+                accepted = ch.try_send(value)
+                model_accepts = len(model) < capacity
+                assert accepted == model_accepts
+                if model_accepts:
+                    model.append(value)
+            else:
+                got, _ok, received = ch.try_recv()
+                if model:
+                    assert received and got == model.popleft()
+                else:
+                    assert not received
+            assert len(ch) == len(model)
+        return True
+
+    assert run(main).main_result is True
+
+
+@settings(**SETTINGS)
+@given(
+    values=st.lists(st.integers(), min_size=1, max_size=20),
+    capacity=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_messages_conserved_across_goroutines(values, capacity, seed):
+    """Every sent message is received exactly once, in FIFO order per
+    sender, for any capacity and schedule."""
+
+    def main(rt):
+        ch = rt.make_chan(capacity)
+
+        def producer():
+            for v in values:
+                ch.send(v)
+            ch.close()
+
+        rt.go(producer)
+        return list(ch)
+
+    assert run(main, seed=seed).main_result == values
+
+
+@settings(**SETTINGS)
+@given(
+    n_producers=st.integers(min_value=1, max_value=4),
+    per_producer=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_multi_producer_conservation(n_producers, per_producer, seed):
+    def main(rt):
+        ch = rt.make_chan()
+        wg = rt.waitgroup()
+
+        def producer(base):
+            for i in range(per_producer):
+                ch.send(base * 100 + i)
+            wg.done()
+
+        expected = []
+        for p in range(n_producers):
+            wg.add(1)
+            rt.go(producer, p)
+            expected.extend(p * 100 + i for i in range(per_producer))
+
+        got = [ch.recv() for _ in range(n_producers * per_producer)]
+        wg.wait()
+        return sorted(got), sorted(expected)
+
+    got, expected = run(main, seed=seed).main_result
+    assert got == expected
+
+
+@settings(**SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_select_never_picks_unready_case(seed):
+    def main(rt):
+        ready = rt.make_chan(1)
+        never = rt.make_chan()
+        ready.send("ok")
+        index, value, _ok = rt.select(recv(never), recv(ready))
+        return index, value
+
+    assert run(main, seed=seed).main_result == (1, "ok")

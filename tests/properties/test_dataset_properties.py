@@ -1,0 +1,61 @@
+"""Property-based tests: dataset record invariants and analysis laws."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset import go171
+from repro.dataset.records import Behavior, BlockingSubCause, NonBlockingSubCause
+from repro.study import lifetime
+
+RECORDS = go171.load()
+
+
+def test_every_record_internally_consistent():
+    for record in RECORDS:
+        if record.behavior == Behavior.BLOCKING:
+            assert isinstance(record.subcause, BlockingSubCause)
+        else:
+            assert isinstance(record.subcause, NonBlockingSubCause)
+        assert record.cause == record.subcause.cause
+        assert record.lifetime_days > 0
+        assert record.patch_lines >= 1
+        assert record.fix_primitives
+        assert record.bug_id
+
+
+def test_bug_ids_unique():
+    ids = [r.bug_id for r in RECORDS]
+    assert len(ids) == len(set(ids))
+
+
+@given(values=st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1,
+                       max_size=60))
+@settings(deadline=None)
+def test_cdf_properties_on_arbitrary_data(values):
+    points = lifetime.cdf(values)
+    xs = [v for v, _q in points]
+    qs = [q for _v, q in points]
+    assert xs == sorted(xs)
+    assert qs == sorted(qs)
+    assert qs[-1] == 1.0
+    assert all(0 < q <= 1 for q in qs)
+    assert len(points) == len(values)
+
+
+@given(subset_seed=st.integers(min_value=0, max_value=1000))
+@settings(deadline=None, max_examples=20)
+def test_lift_on_shuffled_population_is_stable(subset_seed):
+    """lift is a set statistic: order must not matter."""
+    import random
+
+    from repro.dataset.records import FixStrategy
+    from repro.study import lift as lift_mod
+
+    shuffled = list(RECORDS)
+    random.Random(subset_seed).shuffle(shuffled)
+    original = lift_mod.cause_strategy_lift(
+        RECORDS, Behavior.BLOCKING, BlockingSubCause.MUTEX, FixStrategy.MOVE_SYNC
+    )
+    again = lift_mod.cause_strategy_lift(
+        shuffled, Behavior.BLOCKING, BlockingSubCause.MUTEX, FixStrategy.MOVE_SYNC
+    )
+    assert original.lift == again.lift

@@ -1,0 +1,160 @@
+"""Property-based tests: pipe conservation, context trees, errgroup."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import run
+from repro.stdlib.errgroup import new_group
+from repro.stdlib.iopipe import EOF, PipeError
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(
+    chunks=st.lists(st.text(min_size=1, max_size=8), max_size=12),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_pipe_delivers_all_chunks_in_order(chunks, seed):
+    def main(rt):
+        pr, pw = rt.pipe()
+
+        def writer():
+            for chunk in chunks:
+                pw.write(chunk)
+            pw.close()
+
+        rt.go(writer)
+        received = []
+        try:
+            while True:
+                received.append(pr.read())
+        except EOF:
+            pass
+        return received
+
+    result = run(main, seed=seed)
+    assert result.status == "ok"
+    assert result.main_result == chunks
+
+
+@settings(**SETTINGS)
+@given(
+    depth=st.integers(min_value=1, max_value=6),
+    cancel_level=st.integers(min_value=0, max_value=5),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_context_cancellation_propagates_down_only(depth, cancel_level, seed):
+    """Cancelling level K cancels every descendant, never an ancestor."""
+    cancel_level = min(cancel_level, depth - 1)
+
+    def main(rt):
+        contexts = []
+        cancels = []
+        ctx = rt.background()
+        for _ in range(depth):
+            ctx, cancel = rt.with_cancel(ctx)
+            contexts.append(ctx)
+            cancels.append(cancel)
+        cancels[cancel_level]()
+        rt.sleep(1.0)  # let the watcher chain propagate
+        outcome = [ctx.err() is not None for ctx in contexts]
+        for cancel in cancels:
+            cancel()  # release every watcher before exiting
+        rt.sleep(1.0)
+        return outcome
+
+    result = run(main, seed=seed)
+    assert result.status == "ok", result
+    done_flags = result.main_result
+    for level, done in enumerate(done_flags):
+        assert done == (level >= cancel_level), (level, cancel_level, done_flags)
+
+
+@settings(**SETTINGS)
+@given(
+    errors=st.lists(st.one_of(st.none(), st.text(min_size=1, max_size=6)),
+                    min_size=1, max_size=6),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_errgroup_returns_an_error_iff_one_occurred(errors, seed):
+    def main(rt):
+        group = new_group(rt)
+        for err in errors:
+            group.go(lambda err=err: err)
+        return group.wait()
+
+    outcome = run(main, seed=seed).main_result
+    real_errors = [e for e in errors if e is not None]
+    if real_errors:
+        assert outcome in real_errors
+    else:
+        assert outcome is None
+
+
+@settings(**SETTINGS)
+@given(
+    timers=st.lists(st.floats(min_value=0.1, max_value=5.0),
+                    min_size=1, max_size=6),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_timers_fire_in_deadline_order(timers, seed):
+    def main(rt):
+        fired = []
+        done = rt.waitgroup()
+        for i, delay in enumerate(timers):
+            done.add(1)
+
+            def waiter(i=i, delay=delay):
+                rt.new_timer(delay).c.recv()
+                fired.append((rt.now(), i))
+                done.done()
+
+            rt.go(waiter)
+        done.wait()
+        return fired
+
+    fired = run(main, seed=seed).main_result
+    times = [t for t, _i in fired]
+    assert times == sorted(times)
+    for fire_time, index in fired:
+        assert fire_time >= timers[index]
+
+
+@settings(**SETTINGS)
+@given(
+    values=st.lists(st.integers(min_value=-50, max_value=50), max_size=15),
+    workers=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_worker_pool_conserves_jobs(values, workers, seed):
+    from repro.patterns import worker_pool
+
+    def main(rt):
+        return worker_pool(rt, values, lambda j: j + 1, workers=workers)
+
+    result = run(main, seed=seed)
+    assert result.status == "ok"
+    assert sorted(result.main_result) == sorted((v, v + 1) for v in values)
+
+
+@settings(**SETTINGS)
+@given(
+    values=st.lists(st.integers(), max_size=12),
+    n_channels=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_fan_out_fan_in_roundtrip(values, n_channels, seed):
+    from repro.patterns import fan_in, fan_out, generate
+
+    def main(rt):
+        done = rt.make_chan()
+        source = generate(rt, values, done)
+        legs = fan_out(rt, source, done, n_channels)
+        merged = fan_in(rt, done, legs)
+        got = sorted(merged)
+        done.close()
+        return got
+
+    result = run(main, seed=seed)
+    assert result.status == "ok"
+    assert result.main_result == sorted(values)

@@ -1,0 +1,165 @@
+"""Property-based tests: mutual-exclusion and barrier invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import run
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(
+    workers=st.integers(min_value=1, max_value=5),
+    iterations=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_mutex_critical_sections_never_overlap(workers, iterations, seed):
+    def main(rt):
+        mu = rt.mutex()
+        inside = rt.shared("inside", 0)
+        overlaps = rt.shared("overlaps", 0)
+
+        def worker():
+            for _ in range(iterations):
+                mu.lock()
+                if inside.load() != 0:
+                    overlaps.add(1)
+                inside.store(1)
+                rt.gosched()
+                inside.store(0)
+                mu.unlock()
+
+        wg = rt.waitgroup()
+        for _ in range(workers):
+            wg.add(1)
+            rt.go(lambda: (worker(), wg.done()))
+        wg.wait()
+        return overlaps.peek()
+
+    assert run(main, seed=seed).main_result == 0
+
+
+@settings(**SETTINGS)
+@given(
+    readers=st.integers(min_value=1, max_value=4),
+    writers=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_rwmutex_readers_xor_writer(readers, writers, seed):
+    """Invariant: never an active writer with any reader, never two
+    writers."""
+
+    def main(rt):
+        mu = rt.rwmutex()
+        # Atomic bookkeeping: the instrumentation itself must not race.
+        active_readers = rt.atomic_int(0)
+        active_writers = rt.atomic_int(0)
+        violations = rt.atomic_int(0)
+        wg = rt.waitgroup()
+
+        def check():
+            if active_writers.load() > 1:
+                violations.add(1)
+            if active_writers.load() >= 1 and active_readers.load() > 0:
+                violations.add(1)
+
+        def reader():
+            mu.rlock()
+            active_readers.add(1)
+            check()
+            rt.gosched()
+            active_readers.add(-1)
+            mu.runlock()
+            wg.done()
+
+        def writer():
+            mu.lock()
+            active_writers.add(1)
+            check()
+            rt.gosched()
+            active_writers.add(-1)
+            mu.unlock()
+            wg.done()
+
+        for _ in range(readers):
+            wg.add(1)
+            rt.go(reader)
+        for _ in range(writers):
+            wg.add(1)
+            rt.go(writer)
+        wg.wait()
+        return violations.load()
+
+    assert run(main, seed=seed).main_result == 0
+
+
+@settings(**SETTINGS)
+@given(
+    tasks=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_waitgroup_barrier_sees_all_work(tasks, seed):
+    def main(rt):
+        wg = rt.waitgroup()
+        done = rt.atomic_int(0)
+        for _ in range(tasks):
+            wg.add(1)
+
+            def task():
+                done.add(1)
+                wg.done()
+
+            rt.go(task)
+        wg.wait()
+        return done.load()
+
+    assert run(main, seed=seed).main_result == tasks
+
+
+@settings(**SETTINGS)
+@given(
+    callers=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_once_runs_exactly_once_for_any_caller_count(callers, seed):
+    def main(rt):
+        once = rt.once()
+        runs = rt.atomic_int(0)
+        wg = rt.waitgroup()
+        for _ in range(callers):
+            wg.add(1)
+
+            def caller():
+                once.do(lambda: runs.add(1))
+                wg.done()
+
+            rt.go(caller)
+        wg.wait()
+        return runs.load()
+
+    assert run(main, seed=seed).main_result == 1
+
+
+@settings(**SETTINGS)
+@given(
+    increments=st.integers(min_value=1, max_value=20),
+    workers=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_atomic_counter_exact_under_any_schedule(increments, workers, seed):
+    def main(rt):
+        counter = rt.atomic_int(0)
+        wg = rt.waitgroup()
+        for _ in range(workers):
+            wg.add(1)
+
+            def worker():
+                for _ in range(increments):
+                    counter.add(1)
+                wg.done()
+
+            rt.go(worker)
+        wg.wait()
+        return counter.load()
+
+    assert run(main, seed=seed).main_result == increments * workers

@@ -1,0 +1,62 @@
+"""Determinism: a run is a pure function of (program, seed, options)."""
+
+from repro import explore, run
+from repro.chan import recv
+
+
+def _racy_program(rt):
+    out = rt.shared("out", ())
+    wg = rt.waitgroup()
+    for label in ("a", "b", "c"):
+        wg.add(1)
+
+        def worker(label=label):
+            out.update(lambda seen: seen + (label,))
+            wg.done()
+
+        rt.go(worker)
+    wg.wait()
+    return out.peek()
+
+
+def test_same_seed_same_trace():
+    first = run(_racy_program, seed=7)
+    second = run(_racy_program, seed=7)
+    assert first.main_result == second.main_result
+    kinds1 = [(e.kind, e.gid, e.obj) for e in first.trace]
+    kinds2 = [(e.kind, e.gid, e.obj) for e in second.trace]
+    assert kinds1 == kinds2
+
+
+def test_different_seeds_explore_different_interleavings():
+    orders = {run(_racy_program, seed=s).main_result for s in range(30)}
+    assert len(orders) > 1, "scheduler never varied the interleaving"
+
+
+def test_select_choice_is_seed_deterministic():
+    def main(rt):
+        a = rt.make_chan(1)
+        b = rt.make_chan(1)
+        a.send("a")
+        b.send("b")
+        index, value, _ok = rt.select(recv(a), recv(b))
+        return value
+
+    for seed in range(10):
+        assert run(main, seed=seed).main_result == run(main, seed=seed).main_result
+    values = {run(main, seed=s).main_result for s in range(30)}
+    assert values == {"a", "b"}  # Go's random ready-case choice
+
+
+def test_explore_sweeps_seeds():
+    results = explore(_racy_program, range(5))
+    assert len(results) == 5
+    assert [r.seed for r in results] == list(range(5))
+    assert all(r.status == "ok" for r in results)
+
+
+def test_preempt_false_still_correct_but_fewer_steps():
+    loose = run(_racy_program, seed=3, preempt=True)
+    tight = run(_racy_program, seed=3, preempt=False)
+    assert sorted(tight.main_result) == sorted(loose.main_result) == ["a", "b", "c"]
+    assert tight.steps < loose.steps

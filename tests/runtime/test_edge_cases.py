@@ -1,0 +1,233 @@
+"""Cross-cutting edge cases that don't fit one primitive's file."""
+
+import pytest
+
+from repro import run
+from repro.chan import recv, send
+from repro.study import usage_dynamic
+
+
+def test_select_same_channel_in_two_recv_cases():
+    def main(rt):
+        ch = rt.make_chan(1)
+        ch.send("only")
+        index, value, _ok = rt.select(recv(ch), recv(ch))
+        return index in (0, 1), value
+
+    assert run(main).main_result == (True, "only")
+
+
+def test_select_send_and_recv_on_same_channel_pairs_with_peer():
+    """A select offering both directions on one unbuffered channel must
+    not rendezvous with itself."""
+
+    def main(rt):
+        ch = rt.make_chan()
+        outcome = rt.shared("outcome", None)
+
+        def peer():
+            rt.sleep(0.2)
+            outcome.store(ch.recv())
+
+        rt.go(peer)
+        index, _v, _ok = rt.select(send(ch, "payload"), recv(ch))
+        rt.sleep(0.2)
+        return index, outcome.peek()
+
+    for seed in range(8):
+        index, received = run(main, seed=seed).main_result
+        assert index == 0          # only the send case can complete
+        assert received == "payload"
+
+
+def test_cond_with_rwmutex_write_locker():
+    def main(rt):
+        rw = rt.rwmutex()
+        cond = rt.cond(rw)
+        ready = rt.shared("ready", False)
+        out = rt.shared("out", None)
+
+        def waiter():
+            rw.lock()
+            while not ready.load():
+                cond.wait()
+            out.store("woke")
+            rw.unlock()
+
+        rt.go(waiter)
+        rt.sleep(0.2)
+        rw.lock()
+        ready.store(True)
+        cond.signal()
+        rw.unlock()
+        rt.sleep(0.2)
+        return out.peek()
+
+    assert run(main).main_result == "woke"
+
+
+def test_nested_goroutine_creation():
+    def main(rt):
+        depth = rt.atomic_int(0)
+
+        def spawn(level):
+            depth.add(1)
+            if level < 4:
+                rt.go(spawn, level + 1)
+
+        rt.go(spawn, 1)
+        rt.sleep(0.5)
+        return depth.load()
+
+    assert run(main).main_result == 4
+
+
+def test_goroutine_spawning_from_drain_phase():
+    """Goroutines created after main exits (by drained goroutines) still
+    run to completion."""
+
+    def main(rt):
+        log = rt.shared("log", ())
+
+        def parent():
+            rt.sleep(0.5)
+            rt.go(lambda: log.update(lambda t: t + ("child",)))
+            log.update(lambda t: t + ("parent",))
+
+        rt.go(parent)
+        return log  # main returns immediately
+
+    result = run(main)
+    assert result.status == "ok"
+    assert set(result.main_result.peek()) == {"parent", "child"}
+
+
+def test_usage_dynamic_measure_and_comparison():
+    def go_style(rt):
+        wg = rt.waitgroup()
+        for i in range(4):
+            wg.add(1)
+
+            def worker():
+                rt.sleep(0.2)
+                wg.done()
+
+            rt.go(worker)
+        wg.wait()
+        rt.sleep(0.8)
+
+    def c_style(rt):
+        rt.sleep(1.0)
+
+    go_stats = usage_dynamic.measure(go_style, "go", seed=1)
+    c_stats = usage_dynamic.measure(c_style, "c", seed=1)
+    comparison = usage_dynamic.Comparison("w", go_stats, c_stats)
+    assert comparison.goroutine_thread_ratio == 5.0
+    assert "5.0x" in str(comparison)
+    assert go_stats.normalized_lifetime_pct < 100.0
+    assert "goroutines" in str(go_stats)
+
+
+def test_usage_dynamic_measure_rejects_failed_runs():
+    def deadlocks(rt):
+        rt.make_chan().recv()
+
+    with pytest.raises(RuntimeError):
+        usage_dynamic.measure(deadlocks, "bad")
+
+
+def test_external_hang_counts_as_stuck_for_leak_reports():
+    from repro.detect import leak_reports
+
+    def main(rt):
+        rt.external_wait("socket read")
+
+    result = run(main)
+    assert result.status == "hang"
+    reports = leak_reports(result)
+    assert len(reports) == 1
+    assert "external" in reports[0].reason
+
+
+def test_zero_duration_sleep_is_a_yield():
+    def main(rt):
+        rt.sleep(0)
+        return rt.now()
+
+    assert run(main).main_result == 0.0
+
+
+def test_many_goroutines_scale():
+    def main(rt):
+        wg = rt.waitgroup()
+        total = rt.atomic_int(0)
+        for i in range(100):
+            wg.add(1)
+
+            def worker(i=i):
+                total.add(i)
+                wg.done()
+
+            rt.go(worker)
+        wg.wait()
+        return total.load()
+
+    assert run(main, seed=4).main_result == sum(range(100))
+
+
+def test_no_host_threads_leak_across_runs():
+    """Every goroutine thread must be joined at run teardown — even for
+    deadlocked, leaked, and panicked runs."""
+    import threading
+
+    def leaky(rt):
+        ch = rt.make_chan()
+        rt.go(lambda: ch.recv(), name="stuck")
+        rt.sleep(0.1)
+
+    def deadlocked(rt):
+        rt.make_chan().recv()
+
+    def panicky(rt):
+        rt.go(lambda: rt.panic("boom"))
+        rt.sleep(1.0)
+
+    baseline = threading.active_count()
+    for seed in range(5):
+        run(leaky, seed=seed)
+        run(deadlocked, seed=seed)
+        run(panicky, seed=seed)
+    assert threading.active_count() <= baseline + 1
+
+
+def test_close_releases_select_senders_with_panic():
+    def main(rt):
+        ch = rt.make_chan()
+
+        def selector():
+            rt.select(send(ch, "x"))  # parks as a select send waiter
+
+        rt.go(selector)
+        rt.sleep(0.2)
+        ch.close()
+        rt.sleep(0.2)
+
+    result = run(main)
+    assert result.status == "panic"
+    assert "send on closed channel" in str(result.panic_value)
+
+
+def test_recv_ok_from_main_result_channel_patterns():
+    """try_recv's third flag distinguishes empty from closed (the pattern
+    several tests and apps rely on)."""
+
+    def main(rt):
+        ch = rt.make_chan(1)
+        empty = ch.try_recv()
+        ch.close()
+        closed = ch.try_recv()
+        return empty[2], closed[1], closed[2]
+
+    received_on_empty, ok_on_closed, received_on_closed = run(main).main_result
+    assert received_on_empty is False
+    assert ok_on_closed is False and received_on_closed is True

@@ -1,0 +1,75 @@
+"""Trace timeline rendering."""
+
+from repro import run
+from repro.runtime.timeline import blocked_summary, timeline
+
+
+def _leaky(rt):
+    ch = rt.make_chan(0, name="results")
+    rt.go(lambda: ch.send(1), name="orphan")
+    rt.sleep(0.1)
+
+
+def test_timeline_shows_every_goroutine_lane():
+    result = run(_leaky)
+    text = timeline(result)
+    assert "status=leak" in text
+    assert "g1" in text and "main" in text
+    assert "orphan" in text
+    assert "~chan.send" in text     # the blocked-forever marker
+
+
+def test_timeline_shows_completed_channel_ops():
+    def main(rt):
+        ch = rt.make_chan(1, name="box")
+        ch.send("x")
+        ch.recv()
+
+    text = timeline(run(main))
+    assert "send#" in text and "recv#" in text
+
+
+def test_timeline_without_trace():
+    result = run(_leaky, keep_trace=False)
+    assert "trace not recorded" in timeline(result)
+
+
+def test_timeline_memory_accesses_optional():
+    def main(rt):
+        v = rt.shared("x", 0)
+        v.store(1)
+        v.load()
+
+    result = run(main)
+    assert " w " not in timeline(result, include_memory=False)
+    assert " w " in timeline(result, include_memory=True)
+
+
+def test_timeline_width_cap():
+    def main(rt):
+        mu = rt.mutex()
+        for _ in range(200):
+            mu.lock()
+            mu.unlock()
+
+    text = timeline(run(main), max_width=40)
+    for line in text.splitlines()[1:]:
+        assert len(line) < 100
+
+
+def test_blocked_summary_lists_leaks():
+    result = run(_leaky)
+    text = blocked_summary(result)
+    assert "orphan" in text and "chan.send" in text
+    clean = run(lambda rt: None)
+    assert "nothing stuck" in blocked_summary(clean)
+
+
+def test_timeline_marks_panics():
+    def main(rt):
+        rt.go(lambda: rt.panic("boom"), name="bomber")
+        rt.sleep(1.0)
+
+    text = timeline(run(main))
+    assert "PANIC" in text
+    assert "panicked" in text

@@ -1,0 +1,140 @@
+"""context semantics: cancellation, timeouts, values, watcher goroutines."""
+
+import pytest
+
+from repro import CANCELED, DEADLINE_EXCEEDED, run
+from repro.chan import recv
+
+
+def test_background_is_never_done():
+    def main(rt):
+        ctx = rt.background()
+        index, _v, _ok = rt.select(recv(ctx.done()), default=True)
+        return index, ctx.err(), ctx.deadline()
+
+    assert run(main).main_result == (-1, None, (None, False))
+
+
+def test_cancel_closes_done_and_sets_err():
+    def main(rt):
+        ctx, cancel = rt.with_cancel(rt.background())
+        before = ctx.err()
+        cancel()
+        _v, ok = ctx.done().recv_ok()
+        return before, ok, ctx.err()
+
+    before, ok, err = run(main).main_result
+    assert before is None
+    assert ok is False  # done() is a closed channel
+    assert err is CANCELED
+
+
+def test_cancel_is_idempotent():
+    def main(rt):
+        ctx, cancel = rt.with_cancel(rt.background())
+        cancel()
+        cancel()
+        return ctx.err()
+
+    assert run(main).main_result is CANCELED
+
+
+def test_timeout_fires_on_virtual_clock():
+    def main(rt):
+        ctx, _cancel = rt.with_timeout(rt.background(), 2.0)
+        ctx.done().recv_ok()
+        return rt.now(), ctx.err()
+
+    now, err = run(main).main_result
+    assert now == pytest.approx(2.0)
+    assert err is DEADLINE_EXCEEDED
+
+
+def test_cancel_before_deadline_wins():
+    def main(rt):
+        ctx, cancel = rt.with_timeout(rt.background(), 10.0)
+        rt.go(lambda: (rt.sleep(1.0), cancel()))
+        ctx.done().recv_ok()
+        return rt.now(), ctx.err()
+
+    now, err = run(main).main_result
+    assert now == pytest.approx(1.0)
+    assert err is CANCELED
+
+
+def test_parent_cancellation_propagates_to_child():
+    def main(rt):
+        parent, pcancel = rt.with_cancel(rt.background())
+        child, _ccancel = rt.with_cancel(parent)
+        pcancel()
+        child.done().recv_ok()
+        return child.err()
+
+    assert run(main).main_result is CANCELED
+
+
+def test_uncancelled_child_of_cancellable_parent_leaks_watcher():
+    """The raw material of Figure 6: the watcher goroutine needs one of
+    the two contexts to finish."""
+
+    def main(rt):
+        parent, _pcancel = rt.with_cancel(rt.background())
+        _child, _ccancel = rt.with_cancel(parent)
+        # neither parent nor child is ever cancelled
+
+    result = run(main)
+    assert result.status == "leak"
+    assert any(g.name == "context.watcher" for g in result.leaked)
+
+
+def test_cancelled_child_releases_watcher():
+    def main(rt):
+        parent, _pcancel = rt.with_cancel(rt.background())
+        _child, ccancel = rt.with_cancel(parent)
+        ccancel()
+
+    assert run(main).status == "ok"
+
+
+def test_with_value_lookup_chain():
+    def main(rt):
+        base = rt.background()
+        a = rt.with_value(base, "user", "alice")
+        b = rt.with_value(a, "trace", 7)
+        return b.value("user"), b.value("trace"), b.value("missing")
+
+    assert run(main).main_result == ("alice", 7, None)
+
+
+def test_value_context_inherits_cancellation():
+    def main(rt):
+        parent, cancel = rt.with_cancel(rt.background())
+        ctx = rt.with_value(parent, "k", "v")
+        cancel()
+        _v, ok = ctx.done().recv_ok()
+        return ok, ctx.err(), ctx.value("k")
+
+    assert run(main).main_result == (False, CANCELED, "v")
+
+
+def test_deadline_exposed():
+    def main(rt):
+        ctx, _cancel = rt.with_timeout(rt.background(), 5.0)
+        deadline, has = ctx.deadline()
+        return deadline, has
+
+    deadline, has = run(main).main_result
+    assert has and deadline == pytest.approx(5.0)
+
+
+def test_nested_timeout_child_of_cancel_parent():
+    def main(rt):
+        parent, pcancel = rt.with_cancel(rt.background())
+        child, _ = rt.with_timeout(parent, 100.0)
+        rt.go(lambda: (rt.sleep(0.5), pcancel()))
+        child.done().recv_ok()
+        return rt.now(), child.err()
+
+    now, err = run(main).main_result
+    assert now == pytest.approx(0.5)
+    assert err is CANCELED

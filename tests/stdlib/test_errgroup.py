@@ -1,0 +1,122 @@
+"""errgroup semantics: first error wins, cancellation fan-out."""
+
+from repro import run
+from repro.stdlib.errgroup import new_group, with_context
+
+
+def test_all_succeed_returns_none():
+    def main(rt):
+        group = new_group(rt)
+        done = rt.atomic_int(0)
+        for _ in range(4):
+            group.go(lambda: done.add(1) and None)
+        err = group.wait()
+        return err, done.load()
+
+    assert run(main).main_result == (None, 4)
+
+
+def test_first_error_returned():
+    def main(rt):
+        group = new_group(rt)
+
+        def fails_first():
+            rt.sleep(0.1)
+            return "disk full"
+
+        def fails_later():
+            rt.sleep(0.5)
+            return "timeout"
+
+        group.go(fails_first)
+        group.go(fails_later)
+        return group.wait()
+
+    assert run(main).main_result == "disk full"
+
+
+def test_exception_counts_as_error():
+    def main(rt):
+        group = new_group(rt)
+
+        def explodes():
+            raise ValueError("boom")
+
+        group.go(explodes)
+        err = group.wait()
+        return type(err).__name__, str(err)
+
+    assert run(main).main_result == ("ValueError", "boom")
+
+
+def test_with_context_cancels_siblings_on_first_error():
+    def main(rt):
+        group, ctx = with_context(rt)
+        cancelled_sibling = rt.shared("cancelled", False)
+
+        def failing():
+            rt.sleep(0.2)
+            return "fetch failed"
+
+        def long_running():
+            # A well-behaved sibling watches ctx and stops early.
+            ctx.done().recv_ok()
+            cancelled_sibling.store(True)
+            return None
+
+        group.go(failing)
+        group.go(long_running)
+        err = group.wait()
+        return err, cancelled_sibling.peek(), rt.now()
+
+    err, cancelled, now = run(main).main_result
+    assert err == "fetch failed"
+    assert cancelled is True
+    assert now < 1.0  # the sibling did not run to some long deadline
+
+
+def test_wait_cancels_context_even_on_success():
+    """As in Go: Wait cancels the group context regardless of errors."""
+
+    def main(rt):
+        group, ctx = with_context(rt)
+        group.go(lambda: None)
+        err = group.wait()
+        _v, ok = ctx.done().recv_ok()
+        return err, ok
+
+    assert run(main).main_result == (None, False)
+
+
+def test_empty_group_wait_returns_immediately():
+    def main(rt):
+        group = new_group(rt)
+        return group.wait()
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result is None
+
+
+def test_concurrent_errors_keep_exactly_one():
+    def main(rt):
+        group = new_group(rt)
+        for i in range(5):
+            group.go(lambda i=i: f"err-{i}")
+        err = group.wait()
+        return err
+
+    for seed in range(8):
+        err = run(main, seed=seed).main_result
+        assert err is not None and err.startswith("err-")
+
+
+def test_no_goroutine_leaks_when_used_correctly():
+    def main(rt):
+        group, ctx = with_context(rt)
+        for i in range(3):
+            group.go(lambda i=i: None)
+        group.wait()
+
+    for seed in range(6):
+        assert run(main, seed=seed).status == "ok"

@@ -1,0 +1,147 @@
+"""time semantics: Timer, Ticker, the zero-timer and capacity-1 rules."""
+
+import pytest
+
+from repro import run
+from repro.chan import recv
+
+
+def test_timer_fires_once_at_deadline():
+    def main(rt):
+        timer = rt.new_timer(1.5)
+        fired_at = timer.c.recv()
+        return rt.now(), fired_at
+
+    now, fired_at = run(main).main_result
+    assert now == pytest.approx(1.5)
+    assert fired_at == pytest.approx(1.5)
+
+
+def test_zero_timer_fires_immediately():
+    """Figure 12's trigger: NewTimer(0) signals at once."""
+
+    def main(rt):
+        timer = rt.new_timer(0)
+        timer.c.recv()
+        return rt.now()
+
+    assert run(main).main_result == pytest.approx(0.0)
+
+
+def test_stop_before_fire():
+    def main(rt):
+        timer = rt.new_timer(5.0)
+        stopped = timer.stop()
+        rt.sleep(6.0)
+        _v, _ok, received = timer.c.try_recv()
+        return stopped, received, timer.fired
+
+    assert run(main).main_result == (True, False, False)
+
+
+def test_stop_after_fire_returns_false_and_does_not_drain():
+    def main(rt):
+        timer = rt.new_timer(0.5)
+        rt.sleep(1.0)
+        stopped = timer.stop()
+        _v, _ok, received = timer.c.try_recv()
+        return stopped, received  # value still in the channel: Go's trap
+
+    assert run(main).main_result == (False, True)
+
+
+def test_reset_rearms():
+    def main(rt):
+        timer = rt.new_timer(10.0)
+        active = timer.reset(1.0)
+        timer.c.recv()
+        return active, rt.now()
+
+    active, now = run(main).main_result
+    assert active is True
+    assert now == pytest.approx(1.0)
+
+
+def test_after_helper():
+    def main(rt):
+        ch = rt.after(2.0)
+        ch.recv()
+        return rt.now()
+
+    assert run(main).main_result == pytest.approx(2.0)
+
+
+def test_ticker_delivers_periodically():
+    def main(rt):
+        ticker = rt.new_ticker(1.0)
+        stamps = [ticker.c.recv() for _ in range(3)]
+        ticker.stop()
+        return stamps
+
+    assert run(main).main_result == [
+        pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0),
+    ]
+
+
+def test_slow_receiver_misses_ticks():
+    """Capacity-1, non-blocking delivery: ticks are dropped, not queued."""
+
+    def main(rt):
+        ticker = rt.new_ticker(1.0)
+        rt.sleep(5.5)  # five ticks elapse; only one fits the buffer
+        received = []
+        while True:
+            value, _ok, got = ticker.c.try_recv()
+            if not got:
+                break
+            received.append(value)
+        ticker.stop()
+        return len(received)
+
+    assert run(main).main_result == 1
+
+
+def test_ticker_stop_ends_delivery():
+    def main(rt):
+        ticker = rt.new_ticker(1.0)
+        ticker.c.recv()
+        ticker.stop()
+        rt.sleep(5.0)
+        _v, _ok, got = ticker.c.try_recv()
+        return got
+
+    assert run(main).main_result is False
+
+
+def test_ticker_reset_changes_cadence():
+    def main(rt):
+        ticker = rt.new_ticker(5.0)
+        ticker.reset(1.0)
+        ticker.c.recv()
+        ticker.stop()
+        return rt.now()
+
+    assert run(main).main_result == pytest.approx(1.0)
+
+
+def test_ticker_rejects_nonpositive_interval():
+    def main(rt):
+        with pytest.raises(ValueError):
+            rt.new_ticker(0)
+        ticker = rt.new_ticker(1.0)
+        with pytest.raises(ValueError):
+            ticker.reset(-1)
+        ticker.stop()
+
+    assert run(main).status == "ok"
+
+
+def test_select_timeout_pattern():
+    def main(rt):
+        work = rt.make_chan()
+        timer = rt.new_timer(1.0)
+        index, _v, _ok = rt.select(recv(work), recv(timer.c))
+        return index, rt.now()
+
+    index, now = run(main).main_result
+    assert index == 1 and now == pytest.approx(1.0)

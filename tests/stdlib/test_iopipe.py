@@ -1,0 +1,127 @@
+"""io.Pipe semantics: rendezvous writes, EOF, close-with-error."""
+
+import pytest
+
+from repro import run
+from repro.stdlib.iopipe import EOF, PipeError
+
+
+def test_write_blocks_until_read():
+    def main(rt):
+        pr, pw = rt.pipe()
+        order = []
+
+        def writer():
+            order.append("writing")
+            pw.write("chunk")
+            order.append("written")
+
+        rt.go(writer)
+        rt.sleep(0.5)
+        order.append("reading")
+        data = pr.read()
+        rt.sleep(0.1)
+        return order, data
+
+    order, data = run(main).main_result
+    assert data == "chunk"
+    assert order == ["writing", "reading", "written"]
+
+
+def test_reader_sees_eof_after_writer_close():
+    def main(rt):
+        pr, pw = rt.pipe()
+
+        def writer():
+            pw.write("a")
+            pw.write("b")
+            pw.close()
+
+        rt.go(writer)
+        out = []
+        try:
+            while True:
+                out.append(pr.read())
+        except EOF:
+            out.append("EOF")
+        return out
+
+    assert run(main).main_result == ["a", "b", "EOF"]
+
+
+def test_reader_close_unblocks_writer_with_error():
+    def main(rt):
+        pr, pw = rt.pipe()
+        outcome = rt.shared("outcome", None)
+
+        def writer():
+            try:
+                pw.write("never consumed")
+            except PipeError:
+                outcome.store("pipe-error")
+
+        rt.go(writer)
+        rt.sleep(0.3)
+        pr.close()
+        rt.sleep(0.3)
+        return outcome.peek()
+
+    assert run(main).main_result == "pipe-error"
+
+
+def test_close_with_error_surfaces_custom_error():
+    class Boom(Exception):
+        pass
+
+    def main(rt):
+        pr, pw = rt.pipe()
+        pw.close_with_error(Boom("upstream failed"))
+        try:
+            pr.read()
+        except Boom as exc:
+            return str(exc)
+
+    assert run(main).main_result == "upstream failed"
+
+
+def test_write_after_writer_close_fails():
+    def main(rt):
+        _pr, pw = rt.pipe()
+        pw.close()
+        with pytest.raises(PipeError):
+            pw.write("late")
+
+    assert run(main).status == "ok"
+
+
+def test_read_after_reader_close_fails():
+    def main(rt):
+        pr, _pw = rt.pipe()
+        pr.close()
+        with pytest.raises(PipeError):
+            pr.read()
+
+    assert run(main).status == "ok"
+
+
+def test_unclosed_pipe_leaks_blocked_writer():
+    """The blocking-bug class Table 6 files under messaging libraries."""
+
+    def main(rt):
+        _pr, pw = rt.pipe()
+        rt.go(lambda: pw.write("nobody reads"))
+        rt.sleep(0.5)
+
+    result = run(main)
+    assert result.status == "leak"
+    assert result.leak_count == 1
+
+
+def test_write_returns_length():
+    def main(rt):
+        pr, pw = rt.pipe()
+        rt.go(lambda: pr.read())
+        rt.sleep(0.1)
+        return pw.write("hello")
+
+    assert run(main).main_result == 5

@@ -1,0 +1,64 @@
+"""The mini testing package: T state, failure recording, race surface."""
+
+from repro import run
+from repro.detect import RaceDetector
+from repro.stdlib.testingpkg import T, run_test
+
+
+def test_t_records_logs_and_failure():
+    def main(rt):
+        t = T(rt, "TestSomething")
+        t.log("step 1")
+        before = t.failed()
+        t.errorf("assertion blew up")
+        return before, t.failed(), t.logs
+
+    before, failed, logs = run(main).main_result
+    assert before is False and failed is True
+    assert logs == ("step 1", "assertion blew up")
+
+
+def test_fatalf_panics_out_of_the_test():
+    def main(rt):
+        t = T(rt, "TestFatal")
+        t.fatalf("cannot continue")
+
+    result = run(main)
+    assert result.status == "panic"
+    assert "cannot continue" in str(result.panic_value)
+
+
+def test_run_test_helper():
+    def main(rt):
+        def body(t):
+            t.log("ran")
+
+        t = run_test(rt, "TestBody", body)
+        return t.name, t.logs, t.failed()
+
+    assert run(main).main_result == ("TestBody", ("ran",), False)
+
+
+def test_concurrent_errorf_is_race_visible():
+    """The three studied testing.T races exist because T's state is plain
+    shared memory; the detector must see concurrent errorf calls."""
+
+    def main(rt):
+        t = T(rt, "TestRacy")
+        wg = rt.waitgroup()
+        for i in range(2):
+            wg.add(1)
+
+            def check(i=i):
+                t.errorf(f"failure {i}")
+                wg.done()
+
+            rt.go(check)
+        wg.wait()
+
+    detected = 0
+    for seed in range(10):
+        det = RaceDetector()
+        run(main, seed=seed, observers=[det])
+        detected += det.detected
+    assert detected > 0

@@ -1,0 +1,74 @@
+"""Machine-readable exports."""
+
+import json
+
+from repro.study.export import export_all
+
+
+def test_export_all_creates_every_artifact(tmp_path):
+    paths = export_all(tmp_path)
+    names = sorted(p.name for p in paths)
+    assert names == sorted([
+        "go171.json",
+        "table5_taxonomy.tsv",
+        "table6_blocking_causes.tsv",
+        "table7_blocking_fixes.tsv",
+        "table9_nonblocking_causes.tsv",
+        "table10_nonblocking_fixes.tsv",
+        "table11_fix_primitives.tsv",
+        "figure4_lifetime_cdf.tsv",
+        "figures23_usage_series.tsv",
+        "kernels.json",
+    ])
+    for path in paths:
+        assert path.exists() and path.stat().st_size > 0
+
+
+def test_dataset_json_roundtrip(tmp_path):
+    export_all(tmp_path)
+    data = json.loads((tmp_path / "go171.json").read_text())
+    assert len(data) == 171
+    record = next(r for r in data if r["bug_id"] == "kubernetes#5316")
+    assert record["figure"] == "1"
+    assert record["reconstructed"] is False
+    assert record["behavior"] == "blocking"
+
+
+def test_table5_tsv_totals(tmp_path):
+    export_all(tmp_path)
+    lines = (tmp_path / "table5_taxonomy.tsv").read_text().strip().splitlines()
+    assert lines[0].split("\t") == ["app", "blocking", "nonblocking",
+                                    "shared", "message"]
+    body = [line.split("\t") for line in lines[1:]]
+    assert sum(int(row[1]) for row in body) == 85
+    assert sum(int(row[2]) for row in body) == 86
+
+
+def test_figure4_tsv_is_a_valid_cdf(tmp_path):
+    export_all(tmp_path)
+    lines = (tmp_path / "figure4_lifetime_cdf.tsv").read_text().strip().splitlines()
+    shared = [line.split("\t") for line in lines[1:]
+              if line.startswith("shared memory")]
+    quantiles = [float(row[2]) for row in shared]
+    assert quantiles == sorted(quantiles)
+    assert quantiles[-1] == 1.0
+    assert len(shared) == 105
+
+
+def test_kernels_json_matches_registry(tmp_path):
+    from repro.bugs import registry
+
+    export_all(tmp_path)
+    data = json.loads((tmp_path / "kernels.json").read_text())
+    assert len(data) == len(registry.all_kernels())
+    figures = {k["figure"] for k in data if k["figure"]}
+    assert figures == {"1", "5", "6", "7", "8", "9", "10", "11", "12"}
+
+
+def test_cli_export(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["export", str(tmp_path / "artifacts")]) == 0
+    out = capsys.readouterr().out
+    assert "go171.json" in out
+    assert (tmp_path / "artifacts" / "kernels.json").exists()

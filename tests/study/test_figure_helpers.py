@@ -1,0 +1,39 @@
+"""Figure helper utilities."""
+
+from repro.dataset import go171
+from repro.dataset.records import App, Cause
+from repro.study import figures
+
+
+def test_figure2_and_3_cover_all_apps():
+    fig2 = figures.figure2_data()
+    fig3 = figures.figure3_data()
+    assert set(fig2) == set(App) == set(fig3)
+    for app in App:
+        assert len(fig2[app]) == len(fig3[app]) == 40
+
+
+def test_figure4_data_keyed_by_cause():
+    data = figures.figure4_data(go171.load())
+    assert set(data) == set(Cause)
+
+
+def test_sparkline_scales_to_width():
+    line = figures.sparkline([0.0, 0.5, 1.0] * 20, width=30)
+    assert 0 < len(line) <= 31
+    assert line.strip()
+
+
+def test_sparkline_handles_flat_and_empty_series():
+    assert figures.sparkline([]) == ""
+    flat = figures.sparkline([0.7] * 10)
+    assert len(set(flat)) == 1  # constant series renders one glyph
+
+
+def test_ascii_cdf_renders_deciles():
+    points = figures.figure4_data()[Cause.SHARED_MEMORY]
+    art = figures.ascii_cdf(points, label="shared memory")
+    lines = art.splitlines()
+    assert lines[0].startswith("CDF shared memory")
+    assert len(lines) == 11  # header + ten deciles
+    assert all("days" in line for line in lines[1:])

@@ -1,0 +1,49 @@
+"""Lifetime CDFs (Figure 4)."""
+
+import pytest
+
+from repro.dataset import go171
+from repro.dataset.records import Cause
+from repro.study import lifetime
+
+
+def test_cdf_is_monotone_and_normalized():
+    points = lifetime.cdf([5.0, 1.0, 3.0])
+    assert points == [(1.0, pytest.approx(1 / 3)),
+                      (3.0, pytest.approx(2 / 3)),
+                      (5.0, pytest.approx(1.0))]
+
+
+def test_lifetime_cdfs_cover_both_causes():
+    cdfs = lifetime.lifetime_cdfs(go171.load())
+    assert set(cdfs) == set(Cause)
+    assert len(cdfs[Cause.SHARED_MEMORY]) == 105
+    assert len(cdfs[Cause.MESSAGE_PASSING]) == 66
+    for points in cdfs.values():
+        quantiles = [q for _v, q in points]
+        assert quantiles == sorted(quantiles)
+        assert quantiles[-1] == pytest.approx(1.0)
+
+
+def test_summary_shows_long_lifetimes_for_both_causes():
+    summary = lifetime.summary(go171.load())
+    for cause in Cause:
+        stats = summary[cause]
+        assert stats["median_days"] > 300
+        assert stats["share_over_one_year"] > 0.4
+
+
+def test_fraction_under():
+    records = go171.load()
+    under_10y = lifetime.fraction_under(records, Cause.SHARED_MEMORY, 3650)
+    under_1d = lifetime.fraction_under(records, Cause.SHARED_MEMORY, 1)
+    assert under_1d < 0.1
+    assert under_10y > 0.9
+
+
+def test_both_causes_have_similar_distributions():
+    """Figure 4 shows the two curves close together."""
+    summary = lifetime.summary(go171.load())
+    m1 = summary[Cause.SHARED_MEMORY]["median_days"]
+    m2 = summary[Cause.MESSAGE_PASSING]["median_days"]
+    assert abs(m1 - m2) / max(m1, m2) < 0.25

@@ -1,0 +1,63 @@
+"""The lift statistic itself."""
+
+import math
+
+import pytest
+
+from repro.study.lift import LiftResult, lift
+
+
+class _Item:
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+
+def _population(n_ab, n_a_only, n_b_only, n_neither):
+    items = []
+    items += [_Item(True, True)] * n_ab
+    items += [_Item(True, False)] * n_a_only
+    items += [_Item(False, True)] * n_b_only
+    items += [_Item(False, False)] * n_neither
+    return items
+
+
+def test_independent_events_have_lift_one():
+    # P(A)=1/2, P(B)=1/2, P(AB)=1/4 over 100 items.
+    pop = _population(25, 25, 25, 25)
+    result = lift(pop, lambda i: i.a, lambda i: i.b)
+    assert result.lift == pytest.approx(1.0)
+
+
+def test_perfect_correlation():
+    pop = _population(10, 0, 0, 30)
+    result = lift(pop, lambda i: i.a, lambda i: i.b)
+    assert result.lift == pytest.approx(4.0)  # 10*40/(10*10)
+
+
+def test_negative_correlation():
+    pop = _population(0, 20, 20, 0)
+    result = lift(pop, lambda i: i.a, lambda i: i.b)
+    assert result.lift == 0.0
+
+
+def test_counts_recorded():
+    pop = _population(3, 2, 5, 10)
+    result = lift(pop, lambda i: i.a, lambda i: i.b, "cause", "fix")
+    assert (result.n_a, result.n_b, result.n_ab, result.population) == (5, 8, 3, 20)
+    assert "lift(cause, fix)" in str(result)
+
+
+def test_empty_marginal_yields_nan():
+    pop = _population(0, 0, 5, 5)
+    result = lift(pop, lambda i: i.a, lambda i: i.b)
+    assert math.isnan(result.lift)
+
+
+def test_hand_computed_paper_style_example():
+    """lift = P(AB)/(P(A)P(B)) with the paper's formula, by hand:
+    85 bugs, |A|=28, |B|=18, |AB|=9 -> 9*85/(28*18) = 1.5179."""
+    pop = _population(9, 19, 9, 48)
+    result = lift(pop, lambda i: i.a, lambda i: i.b)
+    assert result.population == 85
+    assert result.lift == pytest.approx(9 * 85 / (28 * 18))

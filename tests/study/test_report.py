@@ -1,0 +1,35 @@
+"""The one-call study report."""
+
+from repro.dataset import go171
+from repro.study import report
+
+
+def test_full_report_contains_every_section():
+    text = report.full_report()
+    for marker in (
+        "dataset: 171 bugs",
+        "Table 5. Taxonomy",
+        "Table 6. Blocking bug causes",
+        "Table 7. Fix strategies for blocking bugs",
+        "Table 9. Non-blocking bug causes",
+        "Table 10. Fix strategies for non-blocking bugs",
+        "Table 11. Fix primitives for non-blocking bugs",
+        "Figure 4: bug life time",
+        "Figures 2/3: usage stability",
+        "headline findings, regenerated:",
+    ):
+        assert marker in text, marker
+
+
+def test_report_headlines_quote_paper_numbers():
+    text = report.headline_findings(go171.load())
+    assert "58%" in text
+    assert "80%" in text
+    assert "6.8 lines" in text
+    assert "69%" in text
+
+
+def test_report_accepts_custom_records():
+    records = go171.load()
+    assert report.dataset_header(records).startswith("dataset: 171 bugs")
+    assert "lift(" in report.tables_section(records)

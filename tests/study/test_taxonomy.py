@@ -1,0 +1,70 @@
+"""Taxonomy aggregation over the dataset."""
+
+import pytest
+
+from repro.dataset import go171
+from repro.dataset.records import (
+    App,
+    Behavior,
+    BlockingSubCause,
+    FixPrimitive,
+    NonBlockingSubCause,
+)
+from repro.study import taxonomy
+
+
+@pytest.fixture(scope="module")
+def records():
+    return go171.load()
+
+
+def test_totals(records):
+    t = taxonomy.totals(records)
+    assert t == {
+        "total": 171, "blocking": 85, "nonblocking": 86,
+        "shared": 105, "message": 66,
+    }
+
+
+def test_behavior_cause_matrix_row_order_and_values(records):
+    matrix = taxonomy.behavior_cause_matrix(records)
+    assert list(matrix) == list(App)
+    assert matrix[App.DOCKER] == (21, 23, 28, 16)
+    assert matrix[App.BOLTDB] == (3, 2, 4, 1)
+
+
+def test_blocking_cause_table(records):
+    table = taxonomy.blocking_cause_table(records)
+    assert table[App.ETCD][BlockingSubCause.CHAN] == 10
+    assert table[App.KUBERNETES][BlockingSubCause.CHAN_WITH_OTHER] == 6
+    assert sum(table[app][BlockingSubCause.MUTEX] for app in App) == 28
+
+
+def test_nonblocking_cause_table_columns_sum_to_published_totals(records):
+    table = taxonomy.nonblocking_cause_table(records)
+    sums = {
+        sub: sum(table[app][sub] for app in App)
+        for sub in NonBlockingSubCause
+    }
+    assert sums[NonBlockingSubCause.TRADITIONAL] == 46
+    assert sums[NonBlockingSubCause.ANONYMOUS_FUNCTION] == 11
+    assert sums[NonBlockingSubCause.WAITGROUP] == 6
+    assert sums[NonBlockingSubCause.CHAN] == 16
+    assert sums[NonBlockingSubCause.MSG_LIBRARY] == 1
+
+
+def test_strategy_matrix_rows_sum_to_category_sizes(records):
+    matrix = taxonomy.strategy_matrix(records, Behavior.BLOCKING)
+    assert sum(matrix[BlockingSubCause.MUTEX].values()) == 28
+    assert sum(matrix[BlockingSubCause.CHAN].values()) == 29
+    total = sum(sum(row.values()) for row in matrix.values())
+    assert total == 85
+
+
+def test_primitive_use_matrix_matches_table11(records):
+    matrix = taxonomy.primitive_use_matrix(records)
+    assert matrix[NonBlockingSubCause.TRADITIONAL][FixPrimitive.MUTEX] == 24
+    assert matrix[NonBlockingSubCause.CHAN][FixPrimitive.CHANNEL] == 11
+    assert matrix[NonBlockingSubCause.MSG_LIBRARY][FixPrimitive.CHANNEL] == 1
+    grand_total = sum(sum(c.values()) for c in matrix.values())
+    assert grand_total == 94

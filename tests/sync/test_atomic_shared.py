@@ -1,0 +1,99 @@
+"""AtomicInt/AtomicValue vs. SharedVar: atomicity under contention."""
+
+from repro import run
+
+
+def test_atomic_add_never_loses_updates():
+    def main(rt):
+        counter = rt.atomic_int(0)
+        wg = rt.waitgroup()
+
+        def worker():
+            for _ in range(5):
+                counter.add(1)
+            wg.done()
+
+        for _ in range(4):
+            wg.add(1)
+            rt.go(worker)
+        wg.wait()
+        return counter.load()
+
+    for seed in range(10):
+        assert run(main, seed=seed).main_result == 20
+
+
+def test_sharedvar_add_can_lose_updates():
+    """The non-atomic read-modify-write that powers the race kernels."""
+
+    def main(rt):
+        counter = rt.shared("c", 0)
+        wg = rt.waitgroup()
+
+        def worker():
+            for _ in range(5):
+                counter.add(1)
+            wg.done()
+
+        for _ in range(4):
+            wg.add(1)
+            rt.go(worker)
+        wg.wait()
+        return counter.peek()
+
+    results = {run(main, seed=s).main_result for s in range(20)}
+    assert any(v < 20 for v in results), "no lost update ever observed"
+    assert all(v <= 20 for v in results)
+
+
+def test_compare_and_swap():
+    def main(rt):
+        v = rt.atomic_int(5)
+        first = v.compare_and_swap(5, 9)
+        second = v.compare_and_swap(5, 11)
+        return first, second, v.load()
+
+    assert run(main).main_result == (True, False, 9)
+
+
+def test_swap_returns_old_value():
+    def main(rt):
+        v = rt.atomic_int(1)
+        old = v.swap(2)
+        return old, v.load()
+
+    assert run(main).main_result == (1, 2)
+
+
+def test_atomic_value_store_load_swap():
+    def main(rt):
+        cell = rt.atomic_value()
+        empty = cell.load()
+        cell.store({"config": True})
+        loaded = cell.load()
+        old = cell.swap("next")
+        return empty, loaded, old, cell.load()
+
+    assert run(main).main_result == (
+        None, {"config": True}, {"config": True}, "next",
+    )
+
+
+def test_sharedvar_update_and_peek_poke():
+    def main(rt):
+        v = rt.shared("s", (1,))
+        v.update(lambda t: t + (2,))
+        v.poke((9,))  # invisible to the detector, used for test setup
+        return v.peek()
+
+    assert run(main).main_result == (9,)
+
+
+def test_sharedvar_incr():
+    def main(rt):
+        v = rt.shared("n", 0)
+        v.incr()
+        v.incr()
+        return v.peek()
+
+    assert run(main).main_result == 2

@@ -1,0 +1,131 @@
+"""Cond semantics: wait/signal/broadcast, non-sticky signals."""
+
+from repro import run
+
+
+def test_signal_wakes_one_waiter():
+    def main(rt):
+        mu = rt.mutex()
+        cond = rt.cond(mu)
+        ready = rt.shared("ready", False)
+        woke = rt.atomic_int(0)
+
+        def waiter():
+            mu.lock()
+            while not ready.load():
+                cond.wait()
+            woke.add(1)
+            mu.unlock()
+
+        rt.go(waiter)
+        rt.sleep(0.2)
+        mu.lock()
+        ready.store(True)
+        cond.signal()
+        mu.unlock()
+        rt.sleep(0.2)
+        return woke.load()
+
+    assert run(main).main_result == 1
+
+
+def test_broadcast_wakes_everyone():
+    def main(rt):
+        mu = rt.mutex()
+        cond = rt.cond(mu)
+        go = rt.shared("go", False)
+        woke = rt.atomic_int(0)
+
+        def waiter():
+            mu.lock()
+            while not go.load():
+                cond.wait()
+            woke.add(1)
+            mu.unlock()
+
+        for _ in range(4):
+            rt.go(waiter)
+        rt.sleep(0.2)
+        mu.lock()
+        go.store(True)
+        cond.broadcast()
+        mu.unlock()
+        rt.sleep(0.5)
+        return woke.load()
+
+    assert run(main).main_result == 4
+
+
+def test_signal_before_wait_is_lost():
+    """Signals are not sticky: the missed-signal blocking bug shape."""
+
+    def main(rt):
+        mu = rt.mutex()
+        cond = rt.cond(mu)
+        cond.signal()  # nobody waiting: lost
+
+        def waiter():
+            mu.lock()
+            cond.wait()  # waits forever
+            mu.unlock()
+
+        rt.go(waiter)
+        rt.sleep(1.0)
+
+    result = run(main)
+    assert result.status == "leak"
+    assert "cond.wait" in result.leaked[0].block_reason
+
+
+def test_wait_releases_and_reacquires_the_lock():
+    def main(rt):
+        mu = rt.mutex()
+        cond = rt.cond(mu)
+        observed = []
+
+        def waiter():
+            mu.lock()
+            cond.wait()
+            observed.append(("reacquired", mu.locked))
+            mu.unlock()
+
+        rt.go(waiter)
+        rt.sleep(0.2)
+        mu.lock()  # acquirable because wait released it
+        observed.append(("lock-free-during-wait", True))
+        cond.signal()
+        mu.unlock()
+        rt.sleep(0.2)
+        return observed
+
+    assert run(main).main_result == [
+        ("lock-free-during-wait", True),
+        ("reacquired", True),
+    ]
+
+
+def test_signal_wakes_in_fifo_order():
+    def main(rt):
+        mu = rt.mutex()
+        cond = rt.cond(mu)
+        order = []
+
+        def waiter(tag):
+            mu.lock()
+            cond.wait()
+            order.append(tag)
+            mu.unlock()
+
+        rt.go(waiter, "first")
+        rt.sleep(0.1)
+        rt.go(waiter, "second")
+        rt.sleep(0.1)
+        for _ in range(2):
+            mu.lock()
+            cond.signal()
+            mu.unlock()
+            rt.sleep(0.1)
+        return order
+
+    for seed in range(6):
+        assert run(main, seed=seed).main_result == ["first", "second"]

@@ -1,0 +1,136 @@
+"""Mutex semantics: exclusion, non-reentrancy, handoff, errors."""
+
+from repro import run
+
+
+def test_mutual_exclusion_under_contention():
+    def main(rt):
+        mu = rt.mutex()
+        inside = rt.shared("inside", 0)
+        violations = rt.shared("violations", 0)
+        wg = rt.waitgroup()
+
+        def worker():
+            for _ in range(3):
+                mu.lock()
+                if inside.load() != 0:
+                    violations.add(1)
+                inside.store(1)
+                rt.gosched()
+                inside.store(0)
+                mu.unlock()
+            wg.done()
+
+        for _ in range(4):
+            wg.add(1)
+            rt.go(worker)
+        wg.wait()
+        return violations.peek()
+
+    for seed in range(10):
+        assert run(main, seed=seed).main_result == 0
+
+
+def test_double_lock_self_deadlocks():
+    def main(rt):
+        mu = rt.mutex()
+        mu.lock()
+        mu.lock()
+
+    assert run(main).status == "deadlock"
+
+
+def test_unlock_of_unlocked_panics():
+    def main(rt):
+        rt.mutex().unlock()
+
+    result = run(main)
+    assert result.status == "panic"
+    assert "unlock of unlocked mutex" in str(result.panic_value)
+
+
+def test_unlock_by_other_goroutine_is_legal():
+    def main(rt):
+        mu = rt.mutex()
+        mu.lock()
+        rt.go(mu.unlock)
+        rt.sleep(0.1)
+        mu.lock()  # re-acquirable after the cross-goroutine unlock
+        mu.unlock()
+        return "ok"
+
+    assert run(main).main_result == "ok"
+
+
+def test_handoff_prevents_barging_past_waiters():
+    def main(rt):
+        mu = rt.mutex()
+        order = []
+        mu.lock()
+
+        def waiter():
+            mu.lock()
+            order.append("waiter")
+            mu.unlock()
+
+        rt.go(waiter)
+        rt.sleep(0.2)  # the waiter is parked now
+        mu.unlock()    # direct handoff to the waiter
+
+        def barger():
+            mu.lock()
+            order.append("barger")
+            mu.unlock()
+
+        rt.go(barger)
+        rt.sleep(0.5)
+        return order
+
+    for seed in range(8):
+        assert run(main, seed=seed).main_result == ["waiter", "barger"]
+
+
+def test_try_lock():
+    def main(rt):
+        mu = rt.mutex()
+        first = mu.try_lock()
+        second = mu.try_lock()
+        mu.unlock()
+        third = mu.try_lock()
+        mu.unlock()
+        return first, second, third
+
+    assert run(main).main_result == (True, False, True)
+
+
+def test_context_manager():
+    def main(rt):
+        mu = rt.mutex()
+        with mu:
+            assert mu.locked
+        return mu.locked
+
+    assert run(main).main_result is False
+
+
+def test_fifo_wakeup_order():
+    def main(rt):
+        mu = rt.mutex()
+        order = []
+        mu.lock()
+
+        def waiter(tag):
+            mu.lock()
+            order.append(tag)
+            mu.unlock()
+
+        rt.go(waiter, "first", name="w1")
+        rt.sleep(0.1)
+        rt.go(waiter, "second", name="w2")
+        rt.sleep(0.1)
+        mu.unlock()
+        rt.sleep(0.5)
+        return order
+
+    for seed in range(8):
+        assert run(main, seed=seed).main_result == ["first", "second"]

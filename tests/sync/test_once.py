@@ -1,0 +1,87 @@
+"""Once semantics: exactly-once execution, blocking until the first run."""
+
+from repro import run
+
+
+def test_function_runs_exactly_once():
+    def main(rt):
+        once = rt.once()
+        runs = rt.atomic_int(0)
+        wg = rt.waitgroup()
+
+        def init():
+            runs.add(1)
+
+        def caller():
+            once.do(init)
+            wg.done()
+
+        for _ in range(5):
+            wg.add(1)
+            rt.go(caller)
+        wg.wait()
+        return runs.load()
+
+    for seed in range(10):
+        assert run(main, seed=seed).main_result == 1
+
+
+def test_later_callers_block_until_first_finishes():
+    def main(rt):
+        once = rt.once()
+        log = []
+
+        def slow_init():
+            log.append("init-start")
+            rt.sleep(1.0)
+            log.append("init-end")
+
+        def second():
+            rt.sleep(0.2)  # arrives mid-init
+            once.do(lambda: log.append("never"))
+            log.append("second-returned")
+
+        rt.go(lambda: once.do(slow_init))
+        rt.go(second)
+        rt.sleep(3.0)
+        return log
+
+    assert run(main).main_result == ["init-start", "init-end", "second-returned"]
+
+
+def test_different_functions_still_once():
+    def main(rt):
+        once = rt.once()
+        log = []
+        once.do(lambda: log.append("a"))
+        once.do(lambda: log.append("b"))
+        return log, once.done
+
+    assert run(main).main_result == (["a"], True)
+
+
+def test_panicking_init_still_marks_done():
+    """Go marks the Once done even if f panics; later Do calls are no-ops."""
+
+    def main(rt):
+        once = rt.once()
+        ran_second = rt.shared("second", False)
+
+        def bad_init():
+            raise_panic()
+
+        def raise_panic():
+            rt.panic("init failed")
+
+        def guarded():
+            try:
+                once.do(bad_init)
+            except BaseException:
+                pass  # the panic escapes Do, as in Go
+
+        guarded()
+        once.do(lambda: ran_second.store(True))
+        return once.done, ran_second.peek()
+
+    result = run(main)
+    assert result.main_result == (True, False)

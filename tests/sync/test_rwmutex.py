@@ -1,0 +1,168 @@
+"""RWMutex semantics, including the Go-specific writer-priority rule."""
+
+from repro import run
+
+
+def test_concurrent_readers_allowed():
+    def main(rt):
+        mu = rt.rwmutex()
+        peak = rt.shared("peak", 0)
+        active = rt.shared("active", 0)
+        wg = rt.waitgroup()
+
+        def reader():
+            mu.rlock()
+            n = active.add(1)
+            if n > peak.load():
+                peak.store(n)
+            rt.sleep(0.5)
+            active.add(-1)
+            mu.runlock()
+            wg.done()
+
+        for _ in range(4):
+            wg.add(1)
+            rt.go(reader)
+        wg.wait()
+        return peak.peek()
+
+    assert run(main, seed=2).main_result >= 2
+
+
+def test_writer_excludes_readers_and_writers():
+    def main(rt):
+        mu = rt.rwmutex()
+        log = []
+        wg = rt.waitgroup()
+
+        def writer():
+            mu.lock()
+            log.append("w-in")
+            rt.sleep(0.5)
+            log.append("w-out")
+            mu.unlock()
+            wg.done()
+
+        def reader():
+            rt.sleep(0.1)  # arrive while the writer holds the lock
+            mu.rlock()
+            log.append("r")
+            mu.runlock()
+            wg.done()
+
+        wg.add(2)
+        rt.go(writer)
+        rt.go(reader)
+        wg.wait()
+        return log
+
+    assert run(main).main_result == ["w-in", "w-out", "r"]
+
+
+def test_pending_writer_blocks_new_readers_go_semantics():
+    """The exact Section 5.1.1 interleaving: deadlock under Go semantics."""
+
+    def program(rt, writer_priority):
+        mu = rt.rwmutex(writer_priority=writer_priority)
+
+        def th_a():
+            mu.rlock()
+            rt.sleep(1.0)   # th-B's write lock request arrives here
+            mu.rlock()      # blocks behind the pending writer in Go
+            mu.runlock()
+            mu.runlock()
+
+        def th_b():
+            rt.sleep(0.5)
+            mu.lock()
+            mu.unlock()
+
+        rt.go(th_a)
+        rt.go(th_b)
+        rt.sleep(5.0)
+
+    go_result = run(lambda rt: program(rt, True))
+    assert go_result.status == "leak"
+    assert len(go_result.leaked) == 2  # both th-A and th-B stuck
+
+    pthread_result = run(lambda rt: program(rt, False))
+    assert pthread_result.status == "ok"
+
+
+def test_runlock_of_unlocked_panics():
+    def main(rt):
+        rt.rwmutex().runlock()
+
+    result = run(main)
+    assert result.status == "panic"
+    assert "RUnlock" in str(result.panic_value)
+
+
+def test_unlock_of_unlocked_write_panics():
+    def main(rt):
+        rt.rwmutex().unlock()
+
+    result = run(main)
+    assert result.status == "panic"
+
+
+def test_readers_released_before_next_writer_after_write_unlock():
+    def main(rt):
+        mu = rt.rwmutex()
+        log = []
+        mu.lock()
+
+        def reader():
+            mu.rlock()
+            log.append("reader")
+            mu.runlock()
+
+        def writer2():
+            rt.sleep(0.1)
+            mu.lock()
+            log.append("writer2")
+            mu.unlock()
+
+        rt.go(reader)
+        rt.go(writer2)
+        rt.sleep(0.5)  # both queued behind the held write lock
+        mu.unlock()
+        rt.sleep(0.5)
+        return log
+
+    for seed in range(8):
+        assert run(main, seed=seed).main_result == ["reader", "writer2"]
+
+
+def test_rlocker_context_manager():
+    def main(rt):
+        mu = rt.rwmutex()
+        with mu.rlocker():
+            pass
+        with mu:
+            pass
+        return "ok"
+
+    assert run(main).main_result == "ok"
+
+
+def test_writer_waits_for_all_readers():
+    def main(rt):
+        mu = rt.rwmutex()
+        log = []
+
+        def reader(tag, hold):
+            mu.rlock()
+            rt.sleep(hold)
+            log.append(tag)
+            mu.runlock()
+
+        rt.go(reader, "r1", 0.5)
+        rt.go(reader, "r2", 1.0)
+        rt.sleep(0.1)
+        mu.lock()
+        log.append("writer")
+        mu.unlock()
+        return log
+
+    assert run(main).main_result == ["r1", "r2", "writer"]

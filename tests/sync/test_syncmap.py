@@ -1,0 +1,119 @@
+"""sync.Map semantics and concurrency safety."""
+
+from repro import run
+from repro.detect import RaceDetector
+
+
+def test_store_load_delete():
+    def main(rt):
+        m = rt.sync_map()
+        m.store("k", 1)
+        hit = m.load("k")
+        m.delete("k")
+        miss = m.load("k")
+        return hit, miss, len(m)
+
+    assert run(main).main_result == ((1, True), (None, False), 0)
+
+
+def test_none_is_a_legal_value():
+    def main(rt):
+        m = rt.sync_map()
+        m.store("k", None)
+        return m.load("k")
+
+    assert run(main).main_result == (None, True)
+
+
+def test_load_or_store_is_atomic_double_init_guard():
+    def main(rt):
+        m = rt.sync_map()
+        inits = rt.atomic_int(0)
+        wg = rt.waitgroup()
+
+        def ensure():
+            _actual, loaded = m.load_or_store("buffer", object())
+            if not loaded:
+                inits.add(1)
+            wg.done()
+
+        for _ in range(4):
+            wg.add(1)
+            rt.go(ensure)
+        wg.wait()
+        return inits.load()
+
+    for seed in range(10):
+        assert run(main, seed=seed).main_result == 1
+
+
+def test_load_and_delete_hands_off_exactly_once():
+    def main(rt):
+        m = rt.sync_map()
+        m.store("job", "payload")
+        claimed = rt.atomic_int(0)
+        wg = rt.waitgroup()
+
+        def claim():
+            _value, ok = m.load_and_delete("job")
+            if ok:
+                claimed.add(1)
+            wg.done()
+
+        for _ in range(3):
+            wg.add(1)
+            rt.go(claim)
+        wg.wait()
+        return claimed.load()
+
+    for seed in range(10):
+        assert run(main, seed=seed).main_result == 1
+
+
+def test_range_snapshot_and_early_stop():
+    def main(rt):
+        m = rt.sync_map()
+        for i in range(5):
+            m.store(i, i * i)
+        visited = []
+
+        def visit(key, value):
+            visited.append((key, value))
+            m.store(f"extra-{key}", True)  # reentrant store: no deadlock
+            return len(visited) < 3
+
+        m.range(visit)
+        return len(visited)
+
+    assert run(main).main_result == 3
+
+
+def test_concurrent_mixed_ops_are_race_free_and_consistent():
+    def main(rt):
+        m = rt.sync_map()
+        wg = rt.waitgroup()
+
+        def writer(base):
+            for i in range(4):
+                m.store((base, i), i)
+            wg.done()
+
+        def deleter():
+            for i in range(4):
+                m.delete(("w0", i))
+            wg.done()
+
+        for base in ("w0", "w1", "w2"):
+            wg.add(1)
+            rt.go(writer, base)
+        wg.add(1)
+        rt.go(deleter)
+        wg.wait()
+        return len(m)
+
+    for seed in range(8):
+        detector = RaceDetector()
+        result = run(main, seed=seed, observers=[detector])
+        assert result.status == "ok"
+        assert not detector.detected
+        assert 8 <= result.main_result <= 12  # w1+w2 always survive

@@ -1,0 +1,106 @@
+"""WaitGroup semantics: barrier behavior, panics, Add/Wait rules."""
+
+from repro import run
+
+
+def test_wait_blocks_until_all_done():
+    def main(rt):
+        wg = rt.waitgroup()
+        done = rt.atomic_int(0)
+
+        def worker(delay):
+            rt.sleep(delay)
+            done.add(1)
+            wg.done()
+
+        for i in range(3):
+            wg.add(1)
+            rt.go(worker, 0.2 * (i + 1))
+        wg.wait()
+        return done.load(), rt.now()
+
+    count, now = run(main).main_result
+    assert count == 3
+    assert now >= 0.6
+
+
+def test_wait_with_zero_counter_returns_immediately():
+    def main(rt):
+        wg = rt.waitgroup()
+        wg.wait()
+        return "instant"
+
+    assert run(main).main_result == "instant"
+
+
+def test_negative_counter_panics():
+    def main(rt):
+        wg = rt.waitgroup()
+        wg.add(1)
+        wg.done()
+        wg.done()
+
+    result = run(main)
+    assert result.status == "panic"
+    assert "negative WaitGroup counter" in str(result.panic_value)
+
+
+def test_add_negative_delta_panics_below_zero():
+    def main(rt):
+        rt.waitgroup().add(-1)
+
+    assert run(main).status == "panic"
+
+
+def test_multiple_waiters_all_released():
+    def main(rt):
+        wg = rt.waitgroup()
+        wg.add(1)
+        released = rt.atomic_int(0)
+
+        def waiter():
+            wg.wait()
+            released.add(1)
+
+        for _ in range(3):
+            rt.go(waiter)
+        rt.sleep(0.2)
+        wg.done()
+        rt.sleep(0.2)
+        return released.load()
+
+    assert run(main).main_result == 3
+
+
+def test_reuse_after_zero():
+    def main(rt):
+        wg = rt.waitgroup()
+        for wave in range(2):
+            wg.add(2)
+            for _ in range(2):
+                rt.go(wg.done)
+            wg.wait()
+        return "two waves"
+
+    assert run(main).main_result == "two waves"
+
+
+def test_counter_introspection():
+    def main(rt):
+        wg = rt.waitgroup()
+        wg.add(5)
+        before = wg.counter
+        wg.add(-2)
+        return before, wg.counter
+
+    assert run(main).main_result == (5, 3)
+
+
+def test_missing_done_blocks_wait_forever():
+    def main(rt):
+        wg = rt.waitgroup()
+        wg.add(2)
+        rt.go(wg.done)  # only one Done
+        wg.wait()
+
+    assert run(main).status == "deadlock"

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_inventory():
+    assert set(EXAMPLES) >= {
+        "quickstart.py",
+        "request_server.py",
+        "kvstore_watch.py",
+        "detector_hunt.py",
+        "study_report.py",
+        "model_checking.py",
+    }
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), f"{script} printed nothing"
+
+
+def test_quickstart_output_highlights():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert "DATA RACE" in completed.stdout
+    assert "deadlock" in completed.stdout
