@@ -21,6 +21,7 @@ See README.md for the full tour and DESIGN.md for the architecture.
 """
 
 from .chan import Channel, NilChannel, recv, send
+from .inject import Fault, FaultInjector, FaultPlan
 from .runtime import (
     DeadlockError,
     EventKind,
@@ -59,6 +60,9 @@ __all__ = [
     "DeadlockError",
     "EOF",
     "EventKind",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
     "GoPanic",
     "Goroutine",
     "Mutex",

@@ -118,6 +118,37 @@ class DB:
         finally:
             tx.rollback()
 
+    def update_with_retry(self, fn, attempts: int = 6,
+                          lock_timeout: float = 0.25) -> bool:
+        """A chaos-tolerant ``update``: poll for the writer lock with seeded
+        backoff instead of parking unboundedly on it.
+
+        A writer that blocks forever on ``writer_mu`` (because the previous
+        holder was killed mid-transaction by a fault) would deadlock the
+        whole app; bounded polling degrades that to a ``False`` return the
+        caller can retry at its own level.  Returns True once committed.
+        """
+        from ...patterns.resilience import Backoff
+
+        policy = Backoff(self._rt, base=lock_timeout / 4.0,
+                         max_delay=lock_timeout, name="db.update-retry")
+        for attempt in range(attempts):
+            if self._closed:
+                raise TxClosed("database closed")
+            if self.writer_mu.try_lock():
+                self._tx_count.add(1)
+                tx = Tx(self, True)
+                try:
+                    fn(tx)
+                except BaseException:
+                    tx.rollback()
+                    raise
+                tx.commit()
+                return True
+            if attempt < attempts - 1:
+                policy.sleep()
+        return False
+
     # ------------------------------------------------------------------
     # Internals called by Tx
     # ------------------------------------------------------------------

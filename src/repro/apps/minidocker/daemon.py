@@ -5,6 +5,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ...chan.cases import recv
+from ...patterns.resilience import Backoff
+from ...runtime.errors import GoPanic
 from .container import Container, ContainerState
 from .images import ImageStore
 from .network import NetworkController
@@ -59,7 +61,14 @@ class Daemon:
             with self.mu:
                 subscribers = list(self._subscribers)
             for subscriber in subscribers:
-                subscriber.try_send(event)  # slow subscribers drop events
+                try:
+                    subscriber.try_send(event)  # slow subscribers drop events
+                except GoPanic:
+                    # Subscriber channel closed underneath the bus (fault
+                    # injection / dead consumer): unsubscribe, keep pumping.
+                    with self.mu:
+                        if subscriber in self._subscribers:
+                            self._subscribers.remove(subscriber)
 
     def subscribe(self, buffer: int = 8):
         ch = self._rt.make_chan(buffer, name="events.sub")
@@ -70,12 +79,23 @@ class Daemon:
     def shutdown(self) -> None:
         """Graceful stop: wait for containers, then stop the bus."""
         self.teardown.wait()
-        self._bus_stop.close()
+        if not self._bus_stop.closed:
+            self._bus_stop.close()
         with self.mu:
             subscribers = list(self._subscribers)
             self._subscribers.clear()
         for subscriber in subscribers:
-            subscriber.close()
+            if not subscriber.closed:
+                subscriber.close()
+
+    def _publish(self, event: DaemonEvent) -> None:
+        """Fire-and-forget event publication; a bus torn down by a fault
+        loses events (as a crashed dockerd would) instead of crashing the
+        container path."""
+        try:
+            self.events.try_send(event)
+        except GoPanic:
+            pass
 
     # ------------------------------------------------------------------
     # Container API
@@ -88,13 +108,13 @@ class Daemon:
         container = Container(self._rt, image, command, runtime_secs)
         with self.mu:
             self._containers[container.id] = container
-        self.events.try_send(DaemonEvent("create", container.id))
+        self._publish(DaemonEvent("create", container.id))
         return container
 
     def start_container(self, container: Container) -> None:
         self.network.connect("bridge", container.id)
         container.start(self.teardown)
-        self.events.try_send(DaemonEvent("start", container.id))
+        self._publish(DaemonEvent("start", container.id))
         self.teardown.add(1)
 
         def release_endpoint():
@@ -118,6 +138,10 @@ class Daemon:
         dockerd's ``--restart=on-failure:N``."""
         first = self.run(image, command, runtime_secs)
         self.teardown.add(1)
+        # Crash-loop protection: seeded exponential backoff between restarts,
+        # as dockerd applies to on-failure policies.
+        policy = Backoff(self._rt, base=0.05, max_delay=1.0,
+                         name=f"restart.{first.id}")
 
         def supervisor():
             current = first
@@ -127,8 +151,9 @@ class Daemon:
                 if restarts >= max_restarts:
                     break
                 restarts += 1
+                policy.sleep()
                 current = self.run(image, command, runtime_secs)
-                self.events.try_send(DaemonEvent("restart", current.id))
+                self._publish(DaemonEvent("restart", current.id))
             self.teardown.done()
 
         self._rt.go(supervisor, name=f"supervise-{first.id}")

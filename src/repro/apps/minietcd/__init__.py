@@ -16,7 +16,7 @@ from .txn import (
     put,
     value_equals,
 )
-from .watch import Event, WatchHub, Watcher
+from .watch import Event, ReliableWatch, WatchHub, Watcher
 
 __all__ = [
     "Compare",
@@ -26,6 +26,7 @@ __all__ = [
     "Lessor",
     "Node",
     "Op",
+    "ReliableWatch",
     "Store",
     "Txn",
     "TxnResponse",

@@ -7,7 +7,7 @@ from typing import Any, List, Optional
 from ...chan.cases import recv
 from .lease import Lease, Lessor
 from .store import KeyValue, Store
-from .watch import Event, WatchHub, Watcher
+from .watch import Event, ReliableWatch, WatchHub, Watcher
 
 
 class Node:
@@ -87,6 +87,10 @@ class Node:
 
     def watch(self, prefix: str = "", buffer: int = 8) -> Watcher:
         return self.watch_hub.watch(prefix, buffer)
+
+    def reliable_watch(self, prefix: str = "", buffer: int = 8) -> "ReliableWatch":
+        """A watch that re-subscribes and resyncs if its subscription dies."""
+        return ReliableWatch(self._rt, self, prefix, buffer)
 
     def grant_lease(self, ttl: float) -> Lease:
         return self.lessor.grant(ttl)

@@ -12,6 +12,9 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, List, Optional, Tuple
 
+from ...chan.cases import recv, send
+from ...runtime.errors import GoPanic
+
 
 class Event:
     """A store mutation delivered to watchers."""
@@ -64,18 +67,29 @@ class WatchHub:
             removed = self._watchers.pop(watcher.id, None)
         if removed is not None and not watcher._cancelled:
             watcher._cancelled = True
-            watcher.events.close()
+            if not watcher.events.closed:  # may already be closed by a fault
+                watcher.events.close()
 
     def broadcast(self, event: Event) -> int:
-        """Deliver to every matching watcher; returns the delivery count."""
+        """Deliver to every matching watcher; returns the delivery count.
+
+        A watcher whose channel was closed underneath us (fault injection,
+        a crashed consumer) is dropped from the registry instead of letting
+        the send-on-closed panic take down the write path.
+        """
         with self.mu:
             targets = [w for w in self._watchers.values() if w.matches(event)]
         delivered = 0
         for watcher in targets:
-            if watcher.events.try_send(event):
-                delivered += 1
-            else:
-                watcher.dropped.add(1)
+            try:
+                if watcher.events.try_send(event):
+                    delivered += 1
+                else:
+                    watcher.dropped.add(1)
+            except GoPanic:
+                watcher._cancelled = True
+                with self.mu:
+                    self._watchers.pop(watcher.id, None)
         return delivered
 
     def active(self) -> int:
@@ -89,4 +103,101 @@ class WatchHub:
         for watcher in watchers:
             if not watcher._cancelled:
                 watcher._cancelled = True
-                watcher.events.close()
+                if not watcher.events.closed:
+                    watcher.events.close()
+
+
+class ReliableWatch:
+    """A watch that survives its upstream subscription dying.
+
+    Graceful degradation for the chaos suite: when the underlying watcher's
+    channel is closed underneath it (connection drop, fault injection), the
+    pump re-subscribes and **resyncs** — it re-lists the store under the
+    prefix and replays every key whose ``mod_revision`` is newer than the
+    last revision the consumer saw, so no PUT is lost across the gap.
+    (Deletes that happened entirely inside a gap are not replayed, matching
+    an etcd client re-list.)
+
+    Consumers read :attr:`events`, which stays open across re-subscriptions,
+    and call :meth:`cancel` when done.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, rt, node, prefix: str = "", buffer: int = 8):
+        self._rt = rt
+        self._node = node
+        self.prefix = prefix
+        self.buffer = buffer
+        self.id = next(ReliableWatch._ids)
+        self.events = rt.make_chan(buffer, name=f"rwatch-{self.id}")
+        self._stop = rt.make_chan(0, name=f"rwatch-{self.id}.stop")
+        self.resyncs = rt.atomic_int(0, name=f"rwatch-{self.id}.resyncs")
+        self.last_revision = 0
+        # Subscribe synchronously so no event published between construction
+        # and the pump's first run can be missed.
+        self._watcher = self._subscribe()
+        rt.go(self._pump, name=f"rwatch-{self.id}.pump")
+
+    def _subscribe(self) -> Watcher:
+        return self._node.watch_hub.watch(self.prefix, self.buffer)
+
+    def _resync(self) -> List[Event]:
+        """Replay store state newer than the last delivered revision."""
+        return [
+            Event("PUT", kv.key, kv.value, kv.mod_revision)
+            for kv in self._node.store.range(self.prefix)
+            if kv.mod_revision > self.last_revision
+        ]
+
+    def _deliver(self, event: Event) -> bool:
+        """Forward one event; returns False when the consumer cancelled."""
+        index, _v, _ok = self._rt.select(recv(self._stop), send(self.events, event))
+        if index == 0:
+            return False
+        self.last_revision = max(self.last_revision, event.revision)
+        return True
+
+    def _pump(self) -> None:
+        watcher = self._watcher
+        drops_handled = 0
+        try:
+            while True:
+                index, value, ok = self._rt.select(
+                    recv(self._stop), recv(watcher.events)
+                )
+                if index == 0:
+                    return
+                if not ok:
+                    # Upstream died: re-subscribe first (so nothing published
+                    # during the resync is missed), then replay the gap.
+                    self.resyncs.add(1)
+                    watcher = self._subscribe()
+                    drops_handled = 0
+                    for event in self._resync():
+                        if not self._deliver(event):
+                            return
+                    continue
+                if not isinstance(value, Event):
+                    continue  # junk injected into the pipe: ignore
+                if not self._deliver(value):
+                    return
+                if watcher.dropped.load() > drops_handled:
+                    # The hub dropped events while our buffer was full:
+                    # replay the gap from the store, like an etcd client
+                    # recovering from a "compacted" watch error.
+                    drops_handled = watcher.dropped.load()
+                    self.resyncs.add(1)
+                    for event in self._resync():
+                        if not self._deliver(event):
+                            return
+        except GoPanic:
+            return  # our own output channel was closed underneath us
+        finally:
+            self._node.watch_hub.cancel(watcher)
+            if not self.events.closed:
+                self.events.close()
+
+    def cancel(self) -> None:
+        if not self._stop.closed:
+            self._stop.close()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
+from ...runtime.errors import GoPanic
 from .transport import Connection, Listener, Request, Response, Status
 
 Handler = Callable[..., Any]
@@ -81,36 +82,50 @@ class Server:
 
             self._rt.go(handle, name=f"{self.name}.handler")
 
+    def _respond(self, request: Request, response: Response) -> None:
+        """Deliver a response; a closed response channel (client vanished,
+        fault injection) is a dropped reply, not a crash."""
+        try:
+            request.response.send(response)
+        except GoPanic:
+            self._errors.add(1)
+
+    @staticmethod
+    def _close_stream(request: Request) -> None:
+        """Idempotent end-of-stream (the injector may close streams first)."""
+        if request.stream is not None and not request.stream.closed:
+            request.stream.close()
+
     def _dispatch(self, request: Request) -> None:
         if request.streaming:
             handler = self._stream_handlers.get(request.method)
             if handler is None:
-                request.stream.close()
-                request.response.send(Response(Status.NOT_FOUND, request.method))
+                self._close_stream(request)
+                self._respond(request, Response(Status.NOT_FOUND, request.method))
                 self._errors.add(1)
                 return
             try:
                 handler(request.payload, request.stream.send)
-                request.stream.close()
-                request.response.send(Response(Status.OK))
+                self._close_stream(request)
+                self._respond(request, Response(Status.OK))
             except Exception as exc:  # handler bug -> INTERNAL, as in gRPC
-                request.stream.close()
-                request.response.send(Response(Status.INTERNAL, str(exc)))
+                self._close_stream(request)
+                self._respond(request, Response(Status.INTERNAL, str(exc)))
                 self._errors.add(1)
                 return
         else:
             handler = self._handlers.get(request.method)
             if handler is None:
-                request.response.send(Response(Status.NOT_FOUND, request.method))
+                self._respond(request, Response(Status.NOT_FOUND, request.method))
                 self._errors.add(1)
                 return
             try:
                 result = handler(request.payload)
             except Exception as exc:
-                request.response.send(Response(Status.INTERNAL, str(exc)))
+                self._respond(request, Response(Status.INTERNAL, str(exc)))
                 self._errors.add(1)
                 return
-            request.response.send(Response(Status.OK, result))
+            self._respond(request, Response(Status.OK, result))
         self._served.add(1)
 
     # ------------------------------------------------------------------

@@ -10,6 +10,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Optional
 
+from ...runtime.errors import GoPanic
+
 
 class Status:
     """RPC status codes (a tiny subset of gRPC's)."""
@@ -91,7 +93,22 @@ class Connection:
         self._frames_sent += 1
         self._in_flight += 1
         self.mu.unlock()
-        self.requests.send(request)
+        try:
+            self.requests.send(request)
+        except GoPanic:
+            # The connection dropped between the window check and the send
+            # (fault injection, server-side close): surface a retryable
+            # status instead of crashing the caller.
+            with self.mu:
+                self._closed = True
+                if self._in_flight > 0:
+                    self._in_flight -= 1
+            raise RpcError(Status.UNAVAILABLE, "connection closed") from None
+
+    @property
+    def closed(self) -> bool:
+        """True once either side (or a fault) tore the connection down."""
+        return self._closed or self.requests.closed
 
     def frame_done(self) -> None:
         """Return window credit once a request's response was produced."""
@@ -109,7 +126,8 @@ class Connection:
             if self._closed:
                 return
             self._closed = True
-        self.requests.close()
+        if not self.requests.closed:  # a fault may have closed it already
+            self.requests.close()
 
 
 class Listener:
@@ -123,7 +141,10 @@ class Listener:
     def dial(self) -> Connection:
         """Client side: create a connection and hand it to the server."""
         conn = Connection(self._rt)
-        self.incoming.send(conn)
+        try:
+            self.incoming.send(conn)
+        except GoPanic:
+            raise RpcError(Status.UNAVAILABLE, "listener closed") from None
         return conn
 
     def accept_loop(self):
@@ -133,4 +154,5 @@ class Listener:
     def shutdown(self) -> None:
         if not self._closed:
             self._closed = True
-            self.incoming.close()
+            if not self.incoming.closed:
+                self.incoming.close()

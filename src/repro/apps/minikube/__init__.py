@@ -2,12 +2,15 @@
 
 from .apiserver import ApiServer
 from .controller import ReplicaSetController
+from .lease import LeaderElector, LeaseLock
 from .objects import Node, Pod, PodPhase, ReplicaSet
 from .queue import WorkQueue
 from .scheduler import Scheduler
 
 __all__ = [
     "ApiServer",
+    "LeaderElector",
+    "LeaseLock",
     "Node",
     "Pod",
     "PodPhase",

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ...runtime.errors import GoPanic
 from .objects import Node, Pod, PodPhase, ReplicaSet
 
 
@@ -44,7 +45,17 @@ class ApiServer:
         finally:
             self.mu.runlock()
         for ch in watchers:
-            ch.try_send((kind, name))
+            try:
+                ch.try_send((kind, name))
+            except GoPanic:
+                # Watch channel closed underneath us (fault injection /
+                # crashed watcher): drop the subscription, keep notifying.
+                self.mu.lock()
+                try:
+                    if ch in self._watchers:
+                        self._watchers.remove(ch)
+                finally:
+                    self.mu.unlock()
 
     def close_watchers(self) -> None:
         self.mu.lock()
@@ -54,7 +65,8 @@ class ApiServer:
         finally:
             self.mu.unlock()
         for ch in watchers:
-            ch.close()
+            if not ch.closed:
+                ch.close()
 
     # ------------------------------------------------------------------
     # Objects

@@ -1,0 +1,138 @@
+"""minikube leader election: lease locks with re-acquisition.
+
+Kubernetes controllers coordinate through a lease object in the API server;
+a controller that loses its lease (clock skew, a stalled renew loop — both
+of which the chaos suite injects) must notice, step down, and campaign
+again.  This module provides that loop as graceful degradation: under a
+``clock_jump`` fault the current leader's lease expires early, renewal
+fails, and the elector re-acquires instead of either crashing or — worse —
+continuing to act as a leader it no longer is.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...chan.cases import recv
+
+
+class LeaseLock:
+    """A TTL lease on the virtual clock; mutual exclusion with expiry."""
+
+    def __init__(self, rt, name: str = "leader", ttl: float = 1.0):
+        self._rt = rt
+        self.name = name
+        self.ttl = ttl
+        self.mu = rt.mutex(f"lease.{name}")
+        self.holder: Optional[str] = None
+        self._expires_at = 0.0
+        self.transitions = 0  # distinct acquisitions (handovers included)
+
+    def try_acquire(self, identity: str) -> bool:
+        """Take the lease if free, expired, or already ours."""
+        with self.mu:
+            now = self._rt.now()
+            if self.holder is None or now >= self._expires_at \
+                    or self.holder == identity:
+                if self.holder != identity:
+                    self.transitions += 1
+                self.holder = identity
+                self._expires_at = now + self.ttl
+                return True
+            return False
+
+    def renew(self, identity: str) -> bool:
+        """Extend our lease; fails if it expired (we must re-campaign)."""
+        with self.mu:
+            if self.holder != identity or self._rt.now() >= self._expires_at:
+                return False
+            self._expires_at = self._rt.now() + self.ttl
+            return True
+
+    def release(self, identity: str) -> None:
+        with self.mu:
+            if self.holder == identity:
+                self.holder = None
+                self._expires_at = 0.0
+
+    def current_holder(self) -> Optional[str]:
+        """The live (unexpired) holder, if any."""
+        with self.mu:
+            if self.holder is not None and self._rt.now() < self._expires_at:
+                return self.holder
+            return None
+
+
+class LeaderElector:
+    """Campaign for a :class:`LeaseLock`, renew it, re-acquire after loss."""
+
+    def __init__(self, rt, lock: LeaseLock, identity: str,
+                 renew_interval: Optional[float] = None,
+                 retry_interval: Optional[float] = None,
+                 on_started: Optional[Callable[[], None]] = None,
+                 on_stopped: Optional[Callable[[], None]] = None):
+        self._rt = rt
+        self.lock = lock
+        self.identity = identity
+        self.renew_interval = renew_interval if renew_interval is not None \
+            else lock.ttl / 3.0
+        self.retry_interval = retry_interval if retry_interval is not None \
+            else lock.ttl / 2.0
+        self.on_started = on_started
+        self.on_stopped = on_stopped
+        self.leading = False
+        self.acquisitions = rt.atomic_int(0, name=f"elector-{identity}.acquired")
+        self.losses = rt.atomic_int(0, name=f"elector-{identity}.lost")
+        self._stop = rt.make_chan(0, name=f"elector-{identity}.stop")
+        self._started = False
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self._rt.go(self._loop, name=f"elector-{self.identity}")
+
+    def stop(self) -> None:
+        if self._started and not self._stop.closed:
+            self._stop.close()
+
+    # ------------------------------------------------------------------
+
+    def _sleep_or_stop(self, duration: float) -> bool:
+        """Wait ``duration``; True when the elector was stopped meanwhile."""
+        timer = self._rt.new_timer(duration)
+        index, _v, _ok = self._rt.select(recv(self._stop), recv(timer.c))
+        if index == 0:
+            timer.stop()
+            return True
+        return False
+
+    def _step_down(self) -> None:
+        if self.leading:
+            self.leading = False
+            if self.on_stopped is not None:
+                self.on_stopped()
+
+    def _loop(self) -> None:
+        try:
+            while True:
+                if not self.lock.try_acquire(self.identity):
+                    if self._sleep_or_stop(self.retry_interval):
+                        return
+                    continue
+                # We are the leader: renew until stopped or the lease slips.
+                self.leading = True
+                self.acquisitions.add(1)
+                if self.on_started is not None:
+                    self.on_started()
+                while True:
+                    if self._sleep_or_stop(self.renew_interval):
+                        self.lock.release(self.identity)
+                        return
+                    if not self.lock.renew(self.identity):
+                        # Lost the lease (expired under clock skew or a
+                        # delayed renew): degrade and campaign again.
+                        self.losses.add(1)
+                        break
+                self._step_down()
+        finally:
+            self._step_down()

@@ -5,6 +5,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, List, Optional
 
+from ...patterns.resilience import Backoff
 from .mvcc import MVCCStore, WriteConflict
 
 
@@ -63,9 +64,12 @@ class Transaction:
 class TxnCoordinator:
     """Runs closures transactionally with bounded conflict retries."""
 
+    _ids = itertools.count(1)
+
     def __init__(self, rt, store: MVCCStore, max_retries: int = 8,
                  backoff: float = 0.05):
         self._rt = rt
+        self.id = next(TxnCoordinator._ids)
         self.store = store
         self.max_retries = max_retries
         self.backoff = backoff
@@ -73,8 +77,15 @@ class TxnCoordinator:
         self.commits = rt.atomic_int(0, name="txn.commits")
         self.aborts = rt.atomic_int(0, name="txn.aborts")
 
-    def run(self, fn: Callable[[Transaction], Any]) -> Any:
-        """Execute ``fn(txn)``, retrying on write conflicts."""
+    def run(self, fn: Callable[[Transaction], Any], ctx=None) -> Any:
+        """Execute ``fn(txn)``, retrying on write conflicts.
+
+        Retries back off exponentially with seeded jitter so colliding
+        coordinators don't re-collide in lockstep (CockroachDB's txn retry
+        loop does the same).  A cancelled ``ctx`` stops the retry loop.
+        """
+        policy = Backoff(self._rt, base=self.backoff,
+                         name=f"txn.retry.{self.id}")
         last_error: Optional[Exception] = None
         for attempt in range(self.max_retries):
             txn = Transaction(self._rt, self.store)
@@ -88,5 +99,7 @@ class TxnCoordinator:
                 self.aborts.add(1)
                 self.retries.add(1)
                 last_error = exc
-                self._rt.sleep(self.backoff * (attempt + 1))
+                if ctx is not None and ctx.err() is not None:
+                    break
+                policy.sleep()
         raise last_error  # type: ignore[misc]

@@ -7,11 +7,14 @@ Commands:
 * ``run-kernel <id>``       — run one kernel (buggy or fixed) and classify.
 * ``detect <id>``           — run every detector against one kernel.
 * ``scan <paths...>``       — static loop-capture scan over Python sources.
+* ``chaos``                 — fault-injection sweeps and the resilience
+  scorecard (``repro chaos --apps``, ``repro chaos --kernel <id>``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -62,17 +65,33 @@ def _describe(result) -> str:
 def _cmd_run_kernel(args: argparse.Namespace) -> int:
     kernel = registry.get(args.kernel_id)
     program = kernel.run_fixed if args.fixed else kernel.run_buggy
+    variant = "fixed" if args.fixed else "buggy"
     if args.sweep:
-        hits = 0
+        hits = []
         for seed in range(args.sweep):
             result = program(seed=seed)
             if kernel.manifested(result):
-                hits += 1
-        variant = "fixed" if args.fixed else "buggy"
+                hits.append(seed)
+        if args.json:
+            print(json.dumps({
+                "kernel": args.kernel_id,
+                "variant": variant,
+                "sweep": args.sweep,
+                "manifested_seeds": hits,
+                "manifestation_rate": len(hits) / args.sweep,
+            }, indent=2))
+            return 0
         print(f"{args.kernel_id} ({variant}): manifested on "
-              f"{hits}/{args.sweep} seeds")
+              f"{len(hits)}/{args.sweep} seeds")
         return 0
     result = program(seed=args.seed)
+    if args.json:
+        payload = result.to_dict()
+        payload["kernel"] = args.kernel_id
+        payload["variant"] = variant
+        payload["manifested"] = kernel.manifested(result)
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"{args.kernel_id} seed={args.seed}")
     print(f"  {_describe(result)}")
     print(f"  manifested={kernel.manifested(result)}")
@@ -151,11 +170,74 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         program, stop_on=kernel.manifested, max_runs=args.max_runs, **kwargs
     )
     variant = "fixed" if args.fixed else "buggy"
+    if args.json:
+        print(json.dumps({
+            "kernel": args.kernel_id,
+            "variant": variant,
+            "runs": exploration.runs,
+            "exhausted": exploration.exhausted,
+            "found": exploration.found,
+            "counterexample": exploration.counterexample,
+            "counterexample_status": (
+                exploration.counterexample_result.status
+                if exploration.counterexample_result is not None else None),
+            "statuses": dict(exploration.statuses),
+        }, indent=2))
+        return 0
     print(f"{args.kernel_id} ({variant}): {exploration}")
     if exploration.found:
         print("  replay with: ScriptedChoices("
               f"{exploration.counterexample})")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .inject import ChaosHarness, app_targets, kernel_targets, plans
+    from .inject.plan import FaultPlan
+
+    if args.list_plans:
+        for name in sorted(plans.REGISTRY):
+            plan = plans.get(name)
+            print(f"{name:<16} {plan.note or ''}")
+        return 0
+
+    suite = None
+    if args.plan or args.plan_file:
+        suite = []
+        for name in args.plan or []:
+            try:
+                suite.append(plans.get(name))
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+        for path in args.plan_file or []:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    suite.append(FaultPlan.from_json(handle.read()))
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot load plan file {path}: {exc}",
+                      file=sys.stderr)
+                return 2
+
+    targets = []
+    if args.apps:
+        targets.extend(app_targets())
+    if args.kernel:
+        variant = "fixed" if args.fixed else "buggy"
+        targets.extend(kernel_targets(args.kernel, variant=variant))
+    if not targets:
+        print("error: nothing to run; pass --apps and/or --kernel ID",
+              file=sys.stderr)
+        return 2
+
+    harness = ChaosHarness(seeds=range(args.seeds))
+    cells = harness.sweep(targets, plans=suite,
+                          include_baseline=not args.no_baseline)
+    if args.json:
+        print(json.dumps(harness.to_dict(cells), indent=2))
+    else:
+        print(harness.scorecard(cells))
+    return 0 if all(cell.clean for cell in cells) else 1
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
@@ -187,6 +269,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run the fixed variant instead of the buggy one")
     runk.add_argument("--sweep", type=int, metavar="N",
                       help="run seeds 0..N-1 and report the manifestation rate")
+    runk.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON instead of text")
 
     detect = sub.add_parser("detect", help="run every detector on a kernel")
     detect.add_argument("kernel_id")
@@ -201,6 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("kernel_id")
     explore.add_argument("--max-runs", type=int, default=500)
     explore.add_argument("--fixed", action="store_true")
+    explore.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of text")
 
     export = sub.add_parser(
         "export", help="write tables/figures as TSV/JSON artifacts"
@@ -211,6 +297,29 @@ def build_parser() -> argparse.ArgumentParser:
         "usage", help="Table 2/4-style concurrency profile of a package"
     )
     usage.add_argument("paths", nargs="+")
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection sweep with a resilience scorecard"
+    )
+    chaos.add_argument("--apps", action="store_true",
+                       help="sweep the six hardened mini-app workloads")
+    chaos.add_argument("--kernel", action="append", metavar="ID",
+                       help="also sweep this bug kernel (repeatable)")
+    chaos.add_argument("--fixed", action="store_true",
+                       help="use the fixed variant of --kernel targets")
+    chaos.add_argument("--seeds", type=int, default=10, metavar="N",
+                       help="seeds 0..N-1 per cell (default: 10)")
+    chaos.add_argument("--plan", action="append", metavar="NAME",
+                       help="named plan from the registry (repeatable; "
+                            "default: the perturbation suite)")
+    chaos.add_argument("--plan-file", action="append", metavar="PATH",
+                       help="load a serialized FaultPlan from a JSON file")
+    chaos.add_argument("--no-baseline", action="store_true",
+                       help="skip the no-faults baseline column")
+    chaos.add_argument("--list-plans", action="store_true",
+                       help="list registered plan names and exit")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
 
     return parser
 
@@ -224,6 +333,7 @@ _COMMANDS = {
     "explore": _cmd_explore,
     "export": _cmd_export,
     "usage": _cmd_usage,
+    "chaos": _cmd_chaos,
 }
 
 

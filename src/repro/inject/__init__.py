@@ -1,0 +1,38 @@
+"""repro.inject — deterministic, seeded fault injection (chaos testing).
+
+Build a :class:`FaultPlan` (or pick one from :mod:`repro.inject.plans`),
+pass it to ``repro.run(program, seed=s, inject=plan)``, and the injector
+perturbs the run at scheduling points: goroutine kills/delays, spurious
+wakeups, panic injection, context-cancellation storms, clock jumps, channel
+closes and buffer fills.  Everything is replayable from ``(seed, plan)``.
+
+:class:`ChaosHarness` sweeps plans × seeds over mini-app workloads and bug
+kernels and renders a resilience scorecard (also: ``repro chaos`` CLI).
+"""
+
+from .harness import (
+    ChaosCell,
+    ChaosHarness,
+    ChaosTarget,
+    app_targets,
+    kernel_targets,
+    manifestation_rate,
+)
+from .injector import FaultInjector, FaultRecord
+from .plan import ACTIONS, Fault, FaultPlan
+from . import plans
+
+__all__ = [
+    "ACTIONS",
+    "ChaosCell",
+    "ChaosHarness",
+    "ChaosTarget",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "app_targets",
+    "kernel_targets",
+    "manifestation_rate",
+    "plans",
+]

@@ -1,0 +1,208 @@
+"""ChaosHarness: sweep fault plans × seeds over programs and score resilience.
+
+The harness generalizes the study's "run it many times" methodology to
+chaos: a **target** (a mini-app workload or a bug kernel) is run under every
+(plan, seed) cell of a grid, each run fully deterministic, and the results
+aggregate into a scorecard.  A target is *clean* under a plan when every
+seed passes its own success predicate; kernels instead report their
+manifestation rate, which is how ``bench_chaos_resilience`` shows that
+perturbation amplifies buggy kernels while leaving fixed ones clean.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..runtime.runtime import RunResult, run
+from ..study.tables import render
+from .plan import FaultPlan
+from .plans import default_suite
+
+#: A target runner: (seed, plan-or-None) -> RunResult.
+Runner = Callable[[int, Optional[FaultPlan]], RunResult]
+#: A success predicate over one run.
+Predicate = Callable[[RunResult], bool]
+
+
+def _default_ok(result: RunResult) -> bool:
+    """An app workload passes when the run is clean *and* the workload's own
+    invariant (returned from main) held."""
+    return result.status == "ok" and bool(result.main_result)
+
+
+@dataclass(frozen=True)
+class ChaosTarget:
+    """One program under chaos: how to run it, and what "healthy" means."""
+
+    name: str
+    runner: Runner
+    ok: Predicate
+    kind: str = "app"  # "app" | "kernel-buggy" | "kernel-fixed"
+
+    @classmethod
+    def from_program(cls, name: str, program: Callable[..., Any],
+                     ok: Optional[Predicate] = None,
+                     **run_kwargs: Any) -> "ChaosTarget":
+        """Wrap a plain ``main(rt)`` program (mini-app workload)."""
+
+        def runner(seed: int, plan: Optional[FaultPlan]) -> RunResult:
+            return run(program, seed=seed, inject=plan, **run_kwargs)
+
+        return cls(name=name, runner=runner, ok=ok or _default_ok)
+
+    @classmethod
+    def from_kernel(cls, kernel, variant: str = "buggy") -> "ChaosTarget":
+        """Wrap a bug kernel; "healthy" means the symptom did not manifest."""
+        run_variant = kernel.run_buggy if variant == "buggy" else kernel.run_fixed
+
+        def runner(seed: int, plan: Optional[FaultPlan]) -> RunResult:
+            return run_variant(seed=seed, inject=plan)
+
+        return cls(
+            name=f"{kernel.meta.kernel_id}[{variant}]",
+            runner=runner,
+            ok=lambda result: not kernel.manifested(result),
+            kind=f"kernel-{variant}",
+        )
+
+
+@dataclass
+class ChaosCell:
+    """Aggregated outcome of one target under one plan across a seed sweep."""
+
+    target: str
+    plan: str                      # "baseline" when no faults were injected
+    runs: int = 0
+    failures: List[int] = field(default_factory=list)  # failing seeds
+    statuses: Counter = field(default_factory=Counter)
+    faults_fired: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    @property
+    def failure_rate(self) -> float:
+        return len(self.failures) / self.runs if self.runs else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "plan": self.plan,
+            "runs": self.runs,
+            "failures": list(self.failures),
+            "failure_rate": self.failure_rate,
+            "statuses": dict(self.statuses),
+            "faults_fired": self.faults_fired,
+            "clean": self.clean,
+        }
+
+
+class ChaosHarness:
+    """Run targets × plans × seeds; collect cells; render the scorecard."""
+
+    def __init__(self, seeds: Sequence[int] = tuple(range(10))):
+        self.seeds = tuple(seeds)
+        self.cells: List[ChaosCell] = []
+
+    # ------------------------------------------------------------------
+
+    def run_cell(self, target: ChaosTarget,
+                 plan: Optional[FaultPlan]) -> ChaosCell:
+        cell = ChaosCell(target=target.name,
+                         plan=plan.name if plan is not None else "baseline")
+        for seed in self.seeds:
+            result = target.runner(seed, plan)
+            cell.runs += 1
+            cell.statuses[result.status] += 1
+            cell.faults_fired += len(result.injected)
+            if not target.ok(result):
+                cell.failures.append(seed)
+        self.cells.append(cell)
+        return cell
+
+    def sweep(self, targets: Sequence[ChaosTarget],
+              plans: Optional[Sequence[FaultPlan]] = None,
+              include_baseline: bool = True) -> List[ChaosCell]:
+        """The full grid.  ``plans=None`` uses the default perturbation suite."""
+        suite = list(default_suite()) if plans is None else list(plans)
+        out: List[ChaosCell] = []
+        for target in targets:
+            if include_baseline:
+                out.append(self.run_cell(target, None))
+            for plan in suite:
+                out.append(self.run_cell(target, plan))
+        return out
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def scorecard(self, cells: Optional[Sequence[ChaosCell]] = None,
+                  title: str = "Chaos resilience scorecard") -> str:
+        rows = []
+        for cell in (self.cells if cells is None else cells):
+            status_text = " ".join(
+                f"{status}:{count}" for status, count in sorted(cell.statuses.items())
+            )
+            rows.append([
+                cell.target,
+                cell.plan,
+                cell.runs,
+                cell.faults_fired,
+                status_text,
+                f"{len(cell.failures)}/{cell.runs}",
+                "CLEAN" if cell.clean else "FAILED",
+            ])
+        return render(
+            ["Target", "Plan", "Runs", "Faults", "Statuses", "Failures", "Verdict"],
+            rows,
+            title=title,
+        )
+
+    def to_dict(self, cells: Optional[Sequence[ChaosCell]] = None) -> Dict[str, Any]:
+        chosen = list(self.cells if cells is None else cells)
+        return {
+            "seeds": list(self.seeds),
+            "cells": [cell.to_dict() for cell in chosen],
+            "clean": all(cell.clean for cell in chosen),
+        }
+
+
+# ----------------------------------------------------------------------
+# Standard target sets
+# ----------------------------------------------------------------------
+
+
+def app_targets() -> List[ChaosTarget]:
+    """The six hardened mini-app workloads (see :mod:`repro.inject.scenarios`)."""
+    from . import scenarios
+
+    return [
+        ChaosTarget.from_program(name, program, **kwargs)
+        for name, program, kwargs in scenarios.all_scenarios()
+    ]
+
+
+def kernel_targets(kernel_ids: Optional[Sequence[str]] = None,
+                   variant: str = "buggy") -> List[ChaosTarget]:
+    """Bug kernels as chaos targets (both corpora by default)."""
+    from ..bugs.registry import all_kernels, get
+
+    kernels = (all_kernels() if kernel_ids is None
+               else [get(kid) for kid in kernel_ids])
+    return [ChaosTarget.from_kernel(k, variant=variant) for k in kernels]
+
+
+def manifestation_rate(kernel, seeds: Sequence[int],
+                       plan: Optional[FaultPlan] = None,
+                       variant: str = "buggy") -> float:
+    """Fraction of seeds under which the kernel's symptom appears."""
+    run_variant = kernel.run_buggy if variant == "buggy" else kernel.run_fixed
+    hits = sum(
+        1 for seed in seeds
+        if kernel.manifested(run_variant(seed=seed, inject=plan))
+    )
+    return hits / len(seeds) if seeds else 0.0

@@ -1,0 +1,286 @@
+"""The fault injector: executes a :class:`FaultPlan` at scheduling points.
+
+The injector is pulsed by the scheduler once per loop iteration — i.e. at
+exactly the points where scheduling decisions already happen — and never
+from goroutine context.  All of its randomness (probability gates, victim
+choice) comes from one RNG seeded from ``(run seed, plan fingerprint)``, so
+a chaos run is a pure function of ``(program, seed, plan)`` and any failure
+it uncovers replays exactly.
+
+Fault semantics (see :data:`repro.inject.plan.ACTIONS`):
+
+* ``kill``/``panic`` model goroutines dying mid-flight — the situation the
+  paper's blocking bugs are least prepared for (peers block forever on a
+  channel nobody will ever service).
+* ``delay``/``wakeup`` perturb timing the way loaded schedulers do, making
+  rare interleavings (timeout-fires-first, slow-consumer) common.
+* ``cancel_ctx`` is a context-cancellation storm: every in-flight request
+  may be cancelled at any moment, as under deployment-scale load shedding.
+* ``clock_jump`` skews virtual time forward, expiring leases/timeouts early.
+* ``chan_close``/``chan_fill`` model infrastructure failure: connections
+  dropping and buffers backing up.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from ..runtime.errors import GoPanic
+from ..runtime.goroutine import GState
+from ..runtime.trace import EventKind
+from .plan import Fault, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.runtime import Runtime
+    from ..runtime.scheduler import Scheduler
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault that actually fired, for reproducers and scorecards."""
+
+    step: int
+    time: float
+    action: str
+    plan: str
+    fault_index: int
+    victim: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "step": self.step,
+            "time": self.time,
+            "action": self.action,
+            "plan": self.plan,
+            "fault_index": self.fault_index,
+            "victim": self.victim,
+            "detail": dict(self.detail),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Fault {self.action} -> {self.victim} "
+                f"@step {self.step} t={self.time:g}>")
+
+
+def _derive_rng(seed: int, plan: FaultPlan) -> random.Random:
+    """One RNG per (seed, plan): independent of the scheduler's RNG so the
+    base schedule for a seed is unchanged by merely *attaching* a plan whose
+    faults never fire."""
+    return random.Random(plan.fingerprint() * 1_000_003 + seed)
+
+
+class FaultInjector:
+    """Executes one plan against one run.  Single-use: attach, run, read log."""
+
+    #: Default parameters when a fault omits ``value``.
+    DEFAULT_DELAY = 0.05
+    DEFAULT_JUMP = 0.25
+
+    def __init__(self, plan: FaultPlan, seed: int = 0):
+        self.plan = plan
+        self.seed = seed
+        self.rng = _derive_rng(seed, plan)
+        self.log: List[FaultRecord] = []
+        self._rt: Optional["Runtime"] = None
+        # Per-fault trigger bookkeeping.
+        self._remaining = [fault.times for fault in plan.faults]  # None = inf
+        self._last_epoch = [-1] * len(plan.faults)
+
+    # ------------------------------------------------------------------
+    # Observer protocol (same shape as the detectors)
+    # ------------------------------------------------------------------
+
+    def attach(self, rt: "Runtime") -> None:
+        self._rt = rt
+        rt.sched.injector = self
+        # Arm sentinel timers so the clock can reach `after_time` triggers
+        # even when no program timer is pending.
+        for fault in self.plan.faults:
+            if fault.after_time is not None:
+                rt.sched.clock.call_at(fault.after_time, lambda: None)
+
+    # ------------------------------------------------------------------
+    # Scheduler-side pulse
+    # ------------------------------------------------------------------
+
+    def pulse(self, sched: "Scheduler") -> bool:
+        """Fire every due fault.  Returns True when anything fired."""
+        acted = False
+        for index, fault in enumerate(self.plan.faults):
+            if not self._due(index, fault, sched):
+                continue
+            if fault.probability < 1.0 and self.rng.random() >= fault.probability:
+                # The occurrence happened but the coin said no.
+                self._consume(index, fault)
+                continue
+            if self._fire(index, fault, sched):
+                self._consume(index, fault)
+                acted = True
+        return acted
+
+    # ------------------------------------------------------------------
+    # Trigger logic
+    # ------------------------------------------------------------------
+
+    def _due(self, index: int, fault: Fault, sched: "Scheduler") -> bool:
+        remaining = self._remaining[index]
+        if remaining is not None and remaining <= 0:
+            return False
+        if fault.every is not None:
+            epoch = sched.steps // fault.every
+            if epoch <= self._last_epoch[index]:
+                return False
+            self._last_epoch[index] = epoch
+            return True
+        if fault.at_step is not None and sched.steps < fault.at_step:
+            return False
+        if fault.after_time is not None and sched.clock.now < fault.after_time:
+            return False
+        return True
+
+    def _consume(self, index: int, fault: Fault) -> None:
+        if self._remaining[index] is not None:
+            self._remaining[index] -= 1
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+
+    def _fire(self, index: int, fault: Fault, sched: "Scheduler") -> bool:
+        action = fault.action
+        if action in ("kill", "delay", "wakeup", "panic"):
+            return self._fire_goroutine_fault(index, fault, sched)
+        if action == "cancel_ctx":
+            return self._fire_cancel_storm(index, fault, sched)
+        if action == "clock_jump":
+            return self._fire_clock_jump(index, fault, sched)
+        if action in ("chan_close", "chan_fill"):
+            return self._fire_channel_fault(index, fault, sched)
+        raise AssertionError(f"unhandled action {action}")  # pragma: no cover
+
+    def _matches_goroutine(self, fault: Fault, g) -> bool:
+        if fault.target is None:
+            # Never pick main implicitly: killing/panicking main just ends
+            # the run and hides what the chaos was meant to exercise.
+            return g.name != "main"
+        return fnmatchcase(g.name or "", fault.target)
+
+    def _fire_goroutine_fault(self, index: int, fault: Fault,
+                              sched: "Scheduler") -> bool:
+        states = {
+            "kill": (GState.RUNNABLE, GState.BLOCKED),
+            "panic": (GState.RUNNABLE, GState.BLOCKED),
+            "delay": (GState.RUNNABLE,),
+            "wakeup": (GState.BLOCKED,),
+        }[fault.action]
+        candidates = [g for g in sched.goroutines
+                      if g.state in states and self._matches_goroutine(fault, g)]
+        if fault.action == "delay":
+            candidates = [g for g in candidates if g in sched._runnable]
+        if not candidates:
+            return False
+        victims = (candidates if len(candidates) <= fault.count
+                   else self.rng.sample(candidates, fault.count))
+        fired = False
+        for g in victims:
+            if fault.action == "kill":
+                done = sched.inject_kill(g)
+            elif fault.action == "delay":
+                done = sched.inject_delay(
+                    g, fault.value if fault.value is not None else self.DEFAULT_DELAY)
+            elif fault.action == "wakeup":
+                done = sched.inject_wakeup(g)
+            else:
+                message = fault.value if fault.value is not None else "chaos: injected panic"
+                done = sched.inject_panic(g, GoPanic(message))
+            if done:
+                self._record(index, fault, sched, victim=f"g{g.gid}:{g.name}")
+                fired = True
+        return fired
+
+    def _fire_cancel_storm(self, index: int, fault: Fault,
+                           sched: "Scheduler") -> bool:
+        rt = self._rt
+        if rt is None:
+            return False
+        live = [ctx for ctx in rt._cancel_contexts if ctx.err() is None]
+        if not live:
+            return False
+        victims = (live if len(live) <= fault.count
+                   else self.rng.sample(live, fault.count))
+        for ctx in victims:
+            ctx.cancel()
+            self._record(index, fault, sched, victim=repr(ctx))
+        return True
+
+    def _fire_clock_jump(self, index: int, fault: Fault,
+                         sched: "Scheduler") -> bool:
+        delta = fault.value if fault.value is not None else self.DEFAULT_JUMP
+        fired = sched.clock.advance(delta)
+        self._record(index, fault, sched, victim=f"clock+{delta:g}s",
+                     detail={"timers_fired": len(fired)})
+        sched.fire_timers(fired)
+        return True
+
+    def _fire_channel_fault(self, index: int, fault: Fault,
+                            sched: "Scheduler") -> bool:
+        rt = self._rt
+        if rt is None:
+            return False
+
+        def matches(ch) -> bool:
+            return fault.target is None or fnmatchcase(ch.name or "", fault.target)
+
+        if fault.action == "chan_close":
+            candidates = [ch for ch in rt._channels
+                          if not ch.closed and matches(ch)]
+        else:
+            candidates = [ch for ch in rt._channels
+                          if not ch.closed and ch.capacity > 0
+                          and len(ch) < ch.capacity and matches(ch)]
+        if not candidates:
+            return False
+        victims = (candidates if len(candidates) <= fault.count
+                   else self.rng.sample(candidates, fault.count))
+        for ch in victims:
+            if fault.action == "chan_close":
+                ch.close()
+                self._record(index, fault, sched, victim=f"chan:{ch.name}")
+            else:
+                stuffed = 0
+                while len(ch._buf) < ch.capacity:
+                    ch._buf.append((ch._next_seq(), fault.value))
+                    stuffed += 1
+                self._record(index, fault, sched, victim=f"chan:{ch.name}",
+                             detail={"stuffed": stuffed})
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _record(self, index: int, fault: Fault, sched: "Scheduler",
+                victim: str, detail: Optional[Dict[str, Any]] = None) -> None:
+        record = FaultRecord(
+            step=sched.steps,
+            time=sched.clock.now,
+            action=fault.action,
+            plan=self.plan.name,
+            fault_index=index,
+            victim=victim,
+            detail=detail or {},
+        )
+        self.log.append(record)
+        sched.emit(EventKind.INJECT, gid=0,
+                   info={"action": fault.action, "victim": victim,
+                         "plan": self.plan.name, "fault": index})
+
+    @property
+    def fired(self) -> int:
+        return len(self.log)
+
+    def __repr__(self) -> str:
+        return (f"<FaultInjector plan={self.plan.name!r} seed={self.seed} "
+                f"fired={len(self.log)}>")

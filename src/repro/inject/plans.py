@@ -1,0 +1,178 @@
+"""A standard library of fault plans.
+
+Factories return fresh :class:`FaultPlan` values; compose them with ``+``.
+The registry at the bottom backs the ``repro chaos --plan`` CLI flag and
+``--list-plans``.
+
+Two tiers:
+
+* **Perturbation plans** (`wakeup_storm`, `delay_storm`, `clock_skew`,
+  `perturb`) only add interleavings that the runtime already permits —
+  spurious wakeups, scheduling delays, clock drift.  A *correct* program
+  must stay correct under them; a buggy one manifests more often.  These
+  make up :func:`default_suite`, the scorecard's baseline bar.
+* **Destructive plans** (`kill_goroutine`, `panic_goroutine`,
+  `close_channels`, `fill_channels`, `cancel_storm`) break invariants on
+  purpose — partner goroutines die, connections drop, buffers back up.
+  Only programs *hardened* for that specific failure (retry, reconnect,
+  re-acquire) survive them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .plan import Fault, FaultPlan
+
+# ----------------------------------------------------------------------
+# Perturbation plans: safe for correct programs
+# ----------------------------------------------------------------------
+
+
+def wakeup_storm(every: int = 7, probability: float = 0.5) -> FaultPlan:
+    """Spuriously wake one blocked goroutine every few steps.
+
+    Programs following the wait-loop discipline re-check their condition and
+    re-block; programs that treat "woke up" as "condition holds" misbehave.
+    """
+    return FaultPlan(
+        name="wakeup-storm",
+        faults=(Fault("wakeup", every=every, probability=probability, times=None),),
+        note="spurious wakeups for blocked goroutines",
+    )
+
+
+def delay_storm(every: int = 11, duration: float = 0.05,
+                probability: float = 0.5, target: Optional[str] = None) -> FaultPlan:
+    """Randomly park runnable goroutines, as on an overloaded scheduler.
+
+    Widens timing windows: the classic way to make a 1-in-1000 race common.
+    """
+    return FaultPlan(
+        name="delay-storm",
+        faults=(Fault("delay", target=target, every=every, value=duration,
+                      probability=probability, times=None),),
+        note="random scheduling delays",
+    )
+
+
+def clock_skew(every: int = 13, delta: float = 0.02,
+               probability: float = 0.5) -> FaultPlan:
+    """Nudge the virtual clock forward at random points.
+
+    Timeouts, tickers and leases fire earlier relative to work than the
+    program expects — the load pattern behind many timeout-vs-result races.
+    """
+    return FaultPlan(
+        name="clock-skew",
+        faults=(Fault("clock_jump", every=every, value=delta,
+                      probability=probability, times=None),),
+        note="random forward clock drift",
+    )
+
+
+def perturb() -> FaultPlan:
+    """The generic perturbation mix used by ``bench_chaos_resilience``."""
+    return (wakeup_storm() + delay_storm() + clock_skew()).with_name("perturb")
+
+
+# ----------------------------------------------------------------------
+# Destructive plans: require hardening to survive
+# ----------------------------------------------------------------------
+
+
+def kill_goroutine(target: str, at_step: int = 50, times: int = 1) -> FaultPlan:
+    """Kill goroutines matching ``target`` once the run reaches ``at_step``."""
+    return FaultPlan(
+        name=f"kill[{target}]",
+        faults=(Fault("kill", target=target, at_step=at_step, times=times),),
+        note="goroutine death mid-flight",
+    )
+
+
+def panic_goroutine(target: str, at_step: int = 50,
+                    message: str = "chaos: injected panic") -> FaultPlan:
+    """Inject a panic into a goroutine matching ``target``."""
+    return FaultPlan(
+        name=f"panic[{target}]",
+        faults=(Fault("panic", target=target, at_step=at_step, value=message),),
+        note="injected panic",
+    )
+
+
+def cancel_storm(every: int = 23, count: int = 2,
+                 probability: float = 0.5) -> FaultPlan:
+    """Cancel live contexts at random: load-shedding / client-gone chaos."""
+    return FaultPlan(
+        name="cancel-storm",
+        faults=(Fault("cancel_ctx", every=every, count=count,
+                      probability=probability, times=None),),
+        note="context-cancellation storm",
+    )
+
+
+def close_channels(target: str, at_step: int = 50, times: int = 1,
+                   count: int = 1) -> FaultPlan:
+    """Close open channels matching ``target``: dropped connections/streams."""
+    return FaultPlan(
+        name=f"close[{target}]",
+        faults=(Fault("chan_close", target=target, at_step=at_step,
+                      times=times, count=count),),
+        note="channel close injection",
+    )
+
+
+def fill_channels(target: str, at_step: int = 50, value: Any = None,
+                  times: int = 1, count: int = 1) -> FaultPlan:
+    """Stuff buffered channels matching ``target`` to capacity.
+
+    Models the full-buffer condition behind the paper's buffered-channel
+    blocking bugs: the next send blocks where the developer assumed it
+    couldn't.
+    """
+    return FaultPlan(
+        name=f"fill[{target}]",
+        faults=(Fault("chan_fill", target=target, at_step=at_step, value=value,
+                      times=times, count=count),),
+        note="buffered-channel fill injection",
+    )
+
+
+def clock_jump(delta: float, after_time: float = 0.0) -> FaultPlan:
+    """One large forward jump: lease/deadline expiry chaos."""
+    return FaultPlan(
+        name=f"jump[{delta:g}s]",
+        faults=(Fault("clock_jump", after_time=after_time, value=delta),),
+        note="single large clock jump",
+    )
+
+
+# ----------------------------------------------------------------------
+# Suites and the registry
+# ----------------------------------------------------------------------
+
+
+def default_suite() -> List[FaultPlan]:
+    """The scorecard's default bar: every hardened app must stay clean under
+    each of these plans across the seed sweep."""
+    return [wakeup_storm(), delay_storm(), clock_skew(), perturb()]
+
+
+#: name -> zero-argument factory, for the CLI.
+REGISTRY: Dict[str, Callable[[], FaultPlan]] = {
+    "wakeup-storm": wakeup_storm,
+    "delay-storm": delay_storm,
+    "clock-skew": clock_skew,
+    "perturb": perturb,
+    "cancel-storm": cancel_storm,
+}
+
+
+def get(name: str) -> FaultPlan:
+    """Look up a registered plan by name (CLI ``--plan``)."""
+    try:
+        return REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown plan {name!r}; available: {', '.join(sorted(REGISTRY))}"
+        ) from None

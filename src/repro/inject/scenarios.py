@@ -1,0 +1,223 @@
+"""Chaos scenarios: one self-checking workload per mini-app.
+
+Each scenario is a ``main(rt)`` program that exercises its app's hardened
+paths (retry with seeded backoff, reliable watches, lease re-acquisition,
+redialing clients, restart supervision) and returns a truthy value exactly
+when the workload's end-to-end invariant held.  The scorecard criterion is
+therefore strict: a clean cell means the run terminated without leaks or
+panics *and* the application-level result was correct under the injected
+faults.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+
+def minietcd_scenario(rt) -> bool:
+    """Writer + reliable watch: every PUT is observed, even across watch
+    teardown (the watch re-subscribes and resyncs by revision)."""
+    from ..apps.minietcd import Node
+
+    node = Node(rt)
+    node.start()
+    watch = node.reliable_watch("job/")
+    keys = [f"job/{i}" for i in range(8)]
+
+    def writer():
+        for value, key in enumerate(keys):
+            node.put(key, value)
+            rt.sleep(0.05)
+
+    rt.go(writer, name="etcd-writer")
+
+    seen = set()
+    deadline = rt.now() + 30.0
+    while len(seen) < len(keys) and rt.now() < deadline:
+        event, ok, got = watch.events.try_recv()
+        if got and not ok:
+            break  # output channel closed: the watch gave up entirely
+        if got:
+            seen.add(event.key)
+        else:
+            rt.sleep(0.05)
+    watch.cancel()
+    node.stop()
+    rt.sleep(0.2)
+    stored = all(node.get(key) is not None for key in keys)
+    return seen == set(keys) and stored
+
+
+def minikube_scenario(rt) -> bool:
+    """Scheduling under leader election: pods all land on nodes and the
+    lease changes hands cleanly (never two live leaders)."""
+    from ..apps.minikube import (
+        ApiServer, LeaderElector, LeaseLock, Node, Pod, PodPhase, Scheduler,
+    )
+
+    api = ApiServer(rt)
+    api.add_node(Node("node-a", capacity=4))
+    api.add_node(Node("node-b", capacity=4))
+    scheduler = Scheduler(rt, api)
+    scheduler.start()
+
+    lock = LeaseLock(rt, ttl=0.5)
+    electors = [LeaderElector(rt, lock, f"ctrl-{i}") for i in range(2)]
+    for elector in electors:
+        elector.start()
+
+    for i in range(4):
+        api.create_pod(Pod(f"p{i}"))
+    healthy = True
+    for _ in range(30):
+        rt.sleep(0.1)
+        if sum(1 for e in electors if e.leading) > 1 \
+                and lock.current_holder() is not None:
+            healthy = False  # two electors both believe they lead
+    scheduled = all(p.phase != PodPhase.PENDING for p in api.pods())
+    elected = sum(e.acquisitions.load() for e in electors) >= 1
+
+    for elector in electors:
+        elector.stop()
+    scheduler.stop()
+    api.close_watchers()
+    rt.sleep(0.5)
+    return healthy and scheduled and elected
+
+
+def minigrpc_scenario(rt) -> bool:
+    """Unary + streaming RPCs through the retrying, redialing client."""
+    from ..apps.minigrpc import Listener, Server, dial
+
+    listener = Listener(rt)
+    server = Server(rt)
+    server.register("echo", lambda payload: payload)
+
+    def counter(n, send):
+        for i in range(n):
+            send(i)
+
+    server.register_stream("range", counter)
+    server.start(listener)
+
+    client = dial(rt, listener)
+    healthy = True
+    for i in range(6):
+        if client.call_with_retry("echo", i, timeout=2.0) != i:
+            healthy = False
+    if client.collect_stream_with_retry("range", 4) != [0, 1, 2, 3]:
+        healthy = False
+    client.close()
+    server.graceful_stop(listener)
+    return healthy
+
+
+def minidocker_scenario(rt) -> bool:
+    """Containers under a restart policy; the event bus stays coherent."""
+    from ..apps.minidocker import Daemon
+
+    daemon = Daemon(rt)
+    daemon.start()
+    daemon.images.pull("app", [("sha-1", 1)])
+    sub = daemon.subscribe(buffer=32)
+    daemon.run_with_restart("app", "serve", runtime_secs=0.3, max_restarts=2)
+    daemon.run("app", "job", runtime_secs=0.2)
+    daemon.wait_all()
+    daemon.shutdown()
+
+    kinds: List[str] = []
+    while True:
+        event, ok, got = sub.try_recv()
+        if not got or not ok:
+            break
+        kinds.append(event.kind)
+    # 4 starts (2 fresh + 2 restarts) and both restart notifications.
+    return kinds.count("start") >= 3 and kinds.count("restart") == 2
+
+
+def miniroach_scenario(rt) -> bool:
+    """Concurrent transfers with conflict retries: money is conserved and
+    every transfer eventually commits."""
+    from ..apps.miniroach import MVCCStore, TxnCoordinator, WriteConflict
+
+    store = MVCCStore(rt)
+    coordinator = TxnCoordinator(rt, store, max_retries=16)
+
+    def seed(txn):
+        txn.put("acct/a", 100)
+        txn.put("acct/b", 100)
+
+    coordinator.run(seed)
+
+    wg = rt.waitgroup("transfers")
+    failures = rt.atomic_int(0, name="transfer-failures")
+
+    def transfer(index: int):
+        worker = TxnCoordinator(rt, store, max_retries=16)
+
+        def body(txn):
+            a = txn.get("acct/a")
+            b = txn.get("acct/b")
+            txn.put("acct/a", a - 5)
+            txn.put("acct/b", b + 5)
+
+        try:
+            worker.run(body)
+        except WriteConflict:
+            failures.add(1)
+        wg.done()
+
+    for i in range(4):
+        wg.add(1)
+        rt.go(transfer, i, name=f"transfer-{i}")
+    wg.wait()
+
+    def audit(txn):
+        return txn.get("acct/a") + txn.get("acct/b")
+
+    return coordinator.run(audit) == 200 and failures.load() == 0
+
+
+def miniboltdb_scenario(rt) -> bool:
+    """Concurrent writers through the lock-polling update path."""
+    from ..apps.miniboltdb import DB
+
+    db = DB(rt)
+    wg = rt.waitgroup("writers")
+    committed = rt.atomic_int(0, name="bolt-commits")
+
+    def writer(index: int):
+        def body(tx):
+            tx.put(f"k{index}", index)
+            tx.put("count", (tx.get("count") or 0) + 1)
+
+        for _ in range(3):
+            if db.update_with_retry(body):
+                committed.add(1)
+                break
+        wg.done()
+
+    for i in range(5):
+        wg.add(1)
+        rt.go(writer, i, name=f"bolt-writer-{i}")
+    wg.wait()
+
+    final: Dict[str, Any] = {}
+
+    def read(tx):
+        final["count"] = tx.get("count")
+
+    db.view(read)
+    return committed.load() == 5 and final["count"] == 5
+
+
+def all_scenarios() -> List[Tuple[str, Callable[..., Any], Dict[str, Any]]]:
+    """(name, program, extra run kwargs) for the six hardened apps."""
+    return [
+        ("minietcd", minietcd_scenario, {}),
+        ("minikube", minikube_scenario, {}),
+        ("minigrpc", minigrpc_scenario, {}),
+        ("minidocker", minidocker_scenario, {}),
+        ("miniroach", miniroach_scenario, {}),
+        ("miniboltdb", miniboltdb_scenario, {}),
+    ]

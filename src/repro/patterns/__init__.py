@@ -18,6 +18,9 @@ seed sweeps).
 ``worker_pool``    bounded-concurrency job execution with results
 ``semaphore``      counting semaphore over a buffered channel
 ``broadcast``      one value stream copied to many subscribers
+``Backoff``        seeded exponential backoff with jitter
+``retry``          call-until-success with backoff between attempts
+``CircuitBreaker`` fail fast after repeated failures, probe on cooldown
 =================  ====================================================
 """
 
@@ -32,8 +35,13 @@ from .core import (
     take,
     worker_pool,
 )
+from .resilience import Backoff, CircuitBreaker, CircuitOpen, retry
 
 __all__ = [
+    "Backoff",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "retry",
     "Semaphore",
     "broadcast",
     "fan_in",

@@ -17,9 +17,18 @@ from __future__ import annotations
 
 import threading
 import traceback
+import warnings
 from typing import Any, Callable, Optional, Tuple
 
 from .errors import GoPanic, Killed
+
+#: How long :meth:`Goroutine.kill` waits for a host thread to unwind before
+#: declaring it stuck.  A thread can outlive this when user code swallows
+#: ``Killed`` (a ``BaseException``) or parks on a host-level primitive the
+#: scheduler cannot interrupt; such threads are recorded on the goroutine
+#: (``stuck_host_thread``) and surfaced on the :class:`RunResult` instead of
+#: being dropped silently.
+HOST_JOIN_TIMEOUT = 5.0
 
 
 class GState:
@@ -74,6 +83,11 @@ class Goroutine:
         self.panic_value: Optional[BaseException] = None
         self.panic_traceback: Optional[str] = None
         self.result: Any = None
+        #: Exception injected by the fault injector; raised at the
+        #: goroutine's next scheduling point (see ``yield_to_scheduler``).
+        self.pending_error: Optional[BaseException] = None
+        #: True when the host thread survived :meth:`kill`'s join timeout.
+        self.stuck_host_thread = False
 
         # Virtual-clock bookkeeping for the Table 3 lifetime statistics.
         self.created_at: float = 0.0
@@ -106,20 +120,34 @@ class Goroutine:
         self._my_wakeup.set()
         self._sched_wakeup.wait()
 
-    def kill(self) -> None:
+    def kill(self, join_timeout: Optional[float] = None) -> None:
         """Force the goroutine's host thread to unwind (scheduler-side).
 
         Safe to call on a blocked or runnable goroutine; terminal goroutines
-        are ignored.  Blocks until the host thread has exited so runs never
-        leak OS threads.
+        are ignored.  Blocks until the host thread has exited — bounded by
+        ``join_timeout`` (default :data:`HOST_JOIN_TIMEOUT`).  A thread that
+        outlives the bound is recorded as stuck (``stuck_host_thread``) and a
+        ``RuntimeWarning`` is emitted; callers surface it on the RunResult.
         """
         if self.state in GState.TERMINAL or self._thread is None:
             return
+        timeout = HOST_JOIN_TIMEOUT if join_timeout is None else join_timeout
         self._killed = True
         self._sched_wakeup.clear()
         self._my_wakeup.set()
-        self._sched_wakeup.wait()
-        self._thread.join(timeout=5.0)
+        handed_back = self._sched_wakeup.wait(timeout=timeout)
+        if handed_back:
+            self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            self.stuck_host_thread = True
+            warnings.warn(
+                f"goroutine {self.gid} ({self.name}): host thread did not "
+                f"unwind within {timeout:g}s after kill; the thread is stuck "
+                "and will be abandoned (user code may be swallowing the "
+                "Killed signal or blocking outside the simulator)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------------------
     # Goroutine-side API (called on the goroutine's own thread)
@@ -132,6 +160,10 @@ class Goroutine:
         self._my_wakeup.wait()
         if self._killed:
             raise Killed()
+        if self.pending_error is not None:
+            error = self.pending_error
+            self.pending_error = None
+            raise error
 
     # ------------------------------------------------------------------
 

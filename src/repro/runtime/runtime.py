@@ -63,6 +63,12 @@ class Runtime:
         self.sched = scheduler
         self._next_obj_id = 1
         self._shared_vars: List[Any] = []
+        #: Every channel created through :meth:`make_chan`, in creation
+        #: order; the fault injector targets channels by name through this.
+        self._channels: List[Any] = []
+        #: Every cancellable context created in this run (WithCancel /
+        #: WithTimeout), for context-cancellation storms.
+        self._cancel_contexts: List[Any] = []
 
     # ------------------------------------------------------------------
     # Object identity for traces
@@ -163,7 +169,9 @@ class Runtime:
         """Create a channel, like ``make(chan T)`` / ``make(chan T, n)``."""
         from ..chan.channel import Channel
 
-        return Channel(self, capacity=capacity, name=name)
+        channel = Channel(self, capacity=capacity, name=name)
+        self._channels.append(channel)
+        return channel
 
     def nil_chan(self):
         """A nil channel: every send/receive on it blocks forever."""
@@ -319,6 +327,10 @@ class RunResult:
         panic_value: the unrecovered panic that aborted the run, if any.
         deadlock: the built-in detector's report, if it fired.
         trace: the full event trace (when ``keep_trace``).
+        stuck_host_threads: goroutines whose host threads survived the kill
+            join timeout at teardown (previously dropped silently).
+        injected: records of faults the injector fired during this run
+            (empty when no fault plan was attached).
     """
 
     def __init__(
@@ -336,6 +348,8 @@ class RunResult:
         panic_goroutine: Optional[Goroutine] = None,
         deadlock: Optional[DeadlockError] = None,
         trace: Optional[Trace] = None,
+        stuck_host_threads: Sequence[Goroutine] = (),
+        injected: Sequence[Any] = (),
     ):
         self.status = status
         self.seed = seed
@@ -349,6 +363,8 @@ class RunResult:
         self.panic_goroutine = panic_goroutine
         self.deadlock = deadlock
         self.trace = trace
+        self.stuck_host_threads = list(stuck_host_threads)
+        self.injected = list(injected)
 
     @property
     def completed(self) -> bool:
@@ -365,6 +381,27 @@ class RunResult:
         if self.deadlock is not None:
             return list(self.deadlock.blocked)
         return [g.describe() for g in self.leaked]
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable summary, for ``--json`` CLI output and CI."""
+        main_result = self.main_result
+        if not isinstance(main_result, (type(None), bool, int, float, str)):
+            main_result = repr(main_result)
+        return {
+            "status": self.status,
+            "seed": self.seed,
+            "steps": self.steps,
+            "virtual_time": self.end_time,
+            "main_result": main_result,
+            "goroutines": len(self.goroutines),
+            "leaked": [g.describe() for g in self.leaked],
+            "abandoned": [g.describe() for g in self.abandoned],
+            "panic": None if self.panic_value is None else str(self.panic_value),
+            "deadlock": list(self.deadlock.blocked) if self.deadlock else None,
+            "stuck_host_threads": [g.describe() for g in self.stuck_host_threads],
+            "faults_injected": [record.to_dict() if hasattr(record, "to_dict")
+                                else record for record in self.injected],
+        }
 
     def __repr__(self) -> str:
         bits = [f"status={self.status!r}", f"seed={self.seed}", f"steps={self.steps}"]
@@ -388,6 +425,7 @@ def run(
     args: Tuple[Any, ...] = (),
     time_limit: Optional[float] = None,
     rng: Optional[Any] = None,
+    inject: Optional[Any] = None,
 ) -> RunResult:
     """Execute ``main(rt, *args)`` under the simulator and classify the outcome.
 
@@ -413,10 +451,21 @@ def run(
             goroutines keep running.
         rng: override the scheduler's choice source (anything with
             ``randrange(n)``); used by the systematic explorer.
+        inject: a :class:`repro.inject.FaultPlan` (or a prebuilt
+            :class:`repro.inject.FaultInjector`) of deterministic faults to
+            perturb this run with.  Same ``(seed, plan)``, same trace.
     """
     sched = Scheduler(seed=seed, max_steps=max_steps, preempt=preempt,
                       keep_trace=keep_trace, rng=rng)
     rt = Runtime(sched)
+    injector = None
+    if inject is not None:
+        from ..inject.injector import FaultInjector
+        from ..inject.plan import FaultPlan
+
+        injector = (FaultInjector(inject, seed=seed)
+                    if isinstance(inject, FaultPlan) else inject)
+        injector.attach(rt)
     for obs in observers:
         obs.attach(rt)
 
@@ -494,6 +543,8 @@ def run(
         panic_goroutine=sched.panicked,
         deadlock=deadlock,
         trace=sched.trace if keep_trace else None,
+        stuck_host_threads=[g for g in sched.goroutines if g.stuck_host_thread],
+        injected=injector.log if injector is not None else (),
     )
     for obs in observers:
         finish = getattr(obs, "finish", None)

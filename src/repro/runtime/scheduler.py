@@ -60,6 +60,12 @@ class Scheduler:
         self._shutting_down = False
         #: First goroutine to panic, if any (aborts the whole run, as in Go).
         self.panicked: Optional[Goroutine] = None
+        #: Optional fault injector (:mod:`repro.inject`): pulsed once per
+        #: scheduler-loop iteration, in scheduler context, so every injected
+        #: fault lands at an existing scheduling point.
+        self.injector: Optional[Any] = None
+        #: Join bound handed to :meth:`Goroutine.kill` during teardown.
+        self.host_join_timeout: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -210,6 +216,11 @@ class Scheduler:
                 return "timeout"
             if used >= budget:
                 return "steps"
+            if self.injector is not None and self.injector.pulse(self):
+                # A fault fired (goroutines woken/killed, clock jumped,
+                # channels mutated): re-evaluate the stop conditions before
+                # taking the next step.
+                continue
             if self._runnable:
                 used += 1
                 self._steps += 1
@@ -220,12 +231,16 @@ class Scheduler:
                 self._after_resume(g)
                 continue
             if advance_clock and self.clock.has_pending():
-                fired = self.clock.advance_to_next()
-                for handle in fired:
-                    self.emit(EventKind.TIMER_FIRE, gid=0)
-                    handle.callback()
+                self.fire_timers(self.clock.advance_to_next())
                 continue
             return "quiescent"
+
+    def fire_timers(self, fired) -> None:
+        """Run fired timer callbacks in scheduler context (one trace event
+        each), shared by the main loop and the fault injector's clock jumps."""
+        for handle in fired:
+            self.emit(EventKind.TIMER_FIRE, gid=0)
+            handle.callback()
 
     def _pick(self) -> Goroutine:
         index = self.rng.randrange(len(self._runnable))
@@ -246,6 +261,59 @@ class Scheduler:
             self.emit(kind, gid=g.gid)
 
     # ------------------------------------------------------------------
+    # Fault-injection entry points (scheduler context; used by repro.inject)
+    # ------------------------------------------------------------------
+
+    def inject_wakeup(self, g: Goroutine) -> bool:
+        """Spuriously ready a blocked goroutine.
+
+        Safe under the wait-loop discipline: every primitive re-checks its
+        wait condition after :meth:`block` returns, so a spurious wakeup can
+        only add interleavings, never corrupt state.
+        """
+        if g.state != GState.BLOCKED:
+            return False
+        self.ready(g)
+        return True
+
+    def inject_delay(self, g: Goroutine, duration: float) -> bool:
+        """Park a runnable goroutine for ``duration`` virtual seconds."""
+        if g.state != GState.RUNNABLE or g not in self._runnable:
+            return False
+        self._runnable.remove(g)
+        g.state = GState.BLOCKED
+        g.block_reason = "inject.delay"
+
+        def wake() -> None:
+            g.block_reason = None
+            self.ready(g)
+
+        self.clock.call_after(max(duration, 0.0), wake)
+        return True
+
+    def inject_kill(self, g: Goroutine) -> bool:
+        """Mark a goroutine dead: it unwinds (state ``KILLED``) at its next
+        resume, modelling a goroutine that dies while peers still block on
+        it.  Anything it left on wait queues stays there, as in real crashes.
+        """
+        if g.state not in (GState.RUNNABLE, GState.BLOCKED):
+            return False
+        g._killed = True
+        if g.state == GState.BLOCKED:
+            g.block_reason = None
+            self.ready(g)
+        return True
+
+    def inject_panic(self, g: Goroutine, error: BaseException) -> bool:
+        """Raise ``error`` inside the goroutine at its next scheduling point."""
+        if g.state not in (GState.RUNNABLE, GState.BLOCKED):
+            return False
+        g.pending_error = error
+        if g.state == GState.BLOCKED:
+            self.ready(g)
+        return True
+
+    # ------------------------------------------------------------------
     # Shutdown
     # ------------------------------------------------------------------
 
@@ -254,7 +322,7 @@ class Scheduler:
         self._shutting_down = True
         for g in self.goroutines:
             if g.state in GState.LIVE:
-                g.kill()
+                g.kill(join_timeout=self.host_join_timeout)
 
     def check_step_limit(self) -> None:
         if self._steps > self.max_steps:

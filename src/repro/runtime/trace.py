@@ -57,6 +57,9 @@ class EventKind:
     TIMER_FIRE = "timer.fire"
     EXTERNAL_WAIT = "external.wait"
 
+    # Fault injection (repro.inject)
+    INJECT = "inject.fault"          # info: action, plan, victim details
+
 
 class TraceEvent:
     """One scheduling-relevant action performed by a goroutine.

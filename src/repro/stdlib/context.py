@@ -67,6 +67,8 @@ class _CancelContext(Context):
         self._parent = parent
         self._done = rt.make_chan(0, name="ctx.done")
         self._err: Optional[ContextError] = None
+        # Visible to the fault injector's cancellation storms.
+        rt._cancel_contexts.append(self)
 
     def done(self):
         return self._done

@@ -1,0 +1,267 @@
+"""Injector semantics: each fault action observable from inside a program."""
+
+import pytest
+
+from repro import run
+from repro.inject import Fault, FaultPlan
+from repro.inject import plans
+from repro.runtime.errors import GoPanic
+from repro.runtime.trace import EventKind
+
+
+def _plan(*faults, name="test"):
+    return FaultPlan(name=name, faults=tuple(faults))
+
+
+# ----------------------------------------------------------------------
+# Goroutine faults
+# ----------------------------------------------------------------------
+
+
+def test_kill_leaves_peers_blocked_forever():
+    """Killing the sender of an unbuffered channel models the paper's
+    'partner goroutine died' blocking bugs: the receiver leaks."""
+
+    def main(rt):
+        ch = rt.make_chan(0, name="handoff")
+
+        def sender():
+            rt.sleep(10.0)  # parked long enough for the kill to land
+            ch.send(1)
+
+        rt.go(sender, name="sender")
+        return ch.recv()
+
+    baseline = run(main, seed=0)
+    assert baseline.status == "ok" and baseline.main_result == 1
+
+    result = run(main, seed=0, inject=plans.kill_goroutine("sender", at_step=3))
+    assert result.status == "deadlock"
+    assert [r.action for r in result.injected] == ["kill"]
+    assert "sender" in result.injected[0].victim
+
+
+def test_panic_injection_raises_gopanic_in_victim():
+    def main(rt):
+        caught = rt.atomic_int(0, name="caught")
+
+        def worker():
+            try:
+                rt.sleep(5.0)
+            except GoPanic:
+                caught.add(1)
+
+        rt.go(worker, name="worker")
+        rt.sleep(1.0)
+        return caught.load()
+
+    result = run(main, seed=0,
+                 inject=plans.panic_goroutine("worker", at_step=3))
+    assert result.status == "ok"
+    assert result.main_result == 1
+    assert [r.action for r in result.injected] == ["panic"]
+
+
+def test_wakeup_is_harmless_under_wait_loop_discipline():
+    """Spurious wakeups may only add interleavings: a mutex-guarded counter
+    still ends up exact."""
+
+    def main(rt):
+        mu = rt.mutex("mu")
+        wg = rt.waitgroup("wg")
+        box = {"n": 0}
+
+        def worker():
+            for _ in range(5):
+                with mu:
+                    box["n"] += 1
+                rt.gosched()
+            wg.done()
+
+        for i in range(4):
+            wg.add(1)
+            rt.go(worker, name=f"worker-{i}")
+        wg.wait()
+        return box["n"]
+
+    result = run(main, seed=1,
+                 inject=plans.wakeup_storm(every=3, probability=1.0))
+    assert result.status == "ok"
+    assert result.main_result == 20
+    assert any(r.action == "wakeup" for r in result.injected)
+
+
+def test_delay_parks_runnable_goroutine_but_preserves_results():
+    def main(rt):
+        ch = rt.make_chan(4, name="out")
+
+        def producer():
+            for i in range(4):
+                ch.send(i)
+
+        rt.go(producer, name="producer")
+        return [ch.recv() for _ in range(4)]
+
+    result = run(main, seed=0,
+                 inject=_plan(Fault("delay", target="producer", every=2,
+                                    value=0.01, times=3)))
+    assert result.status == "ok"
+    assert result.main_result == [0, 1, 2, 3]
+    assert sum(1 for r in result.injected if r.action == "delay") >= 1
+
+
+# ----------------------------------------------------------------------
+# Environment faults
+# ----------------------------------------------------------------------
+
+
+def test_chan_close_panics_unhardened_sender():
+    def main(rt):
+        ch = rt.make_chan(2, name="pipe")
+
+        def sender():
+            for i in range(50):
+                ch.send(i)
+
+        rt.go(sender, name="sender")
+        for _ in range(50):
+            ch.recv()
+
+    result = run(main, seed=0,
+                 inject=plans.close_channels("pipe", at_step=10))
+    assert result.status == "panic"
+    assert "closed" in str(result.panic_value)
+    assert [r.action for r in result.injected] == ["chan_close"]
+
+
+def test_chan_fill_makes_assumed_nonblocking_send_block():
+    """The paper's buffered-channel misuse: capacity sized to the number of
+    sends, so sends 'cannot block' — until chaos stuffs the buffer."""
+
+    def main(rt):
+        ch = rt.make_chan(2, name="results")
+
+        def worker():
+            rt.sleep(0.2)  # the fill lands while we are parked here
+            ch.send("late")  # blocks forever once the buffer was stuffed
+
+        rt.go(worker, name="worker")
+        rt.sleep(1.0)
+        return True
+
+    result = run(main, seed=0,
+                 inject=plans.fill_channels("results", at_step=2, value="junk"))
+    assert result.status == "leak"
+    assert any("chan.send" in g.describe() for g in result.leaked)
+    record = result.injected[0]
+    assert record.action == "chan_fill" and record.detail["stuffed"] >= 1
+
+
+def test_cancel_storm_cancels_live_contexts():
+    def main(rt):
+        ctx, _cancel = rt.with_cancel(rt.background())
+
+        def waiter():
+            ctx.done().recv()
+
+        rt.go(waiter, name="waiter")
+        rt.sleep(5.0)
+        return ctx.err() is not None
+
+    result = run(main, seed=0,
+                 inject=_plan(Fault("cancel_ctx", after_time=1.0)))
+    assert result.status == "ok"
+    assert result.main_result is True
+    assert [r.action for r in result.injected] == ["cancel_ctx"]
+
+
+def test_clock_jump_expires_timeout_early():
+    def main(rt):
+        timer = rt.new_timer(60.0)
+        timer.c.recv()
+        return rt.now()
+
+    result = run(main, seed=0, inject=plans.clock_jump(100.0, after_time=0.0))
+    assert result.status == "ok"
+    assert result.main_result >= 60.0
+    jump = [r for r in result.injected if r.action == "clock_jump"]
+    assert jump and jump[0].detail["timers_fired"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Trigger bookkeeping
+# ----------------------------------------------------------------------
+
+
+def test_times_budget_caps_firings():
+    def main(rt):
+        def spin():
+            for _ in range(100):
+                rt.gosched()
+
+        rt.go(spin, name="spin")
+        for _ in range(100):
+            rt.gosched()
+
+    plan = _plan(Fault("wakeup", every=5, times=2))
+    result = run(main, seed=0, inject=plans.delay_storm(
+        every=3, probability=1.0, target="spin") + plan)
+    delays = [r for r in result.injected if r.action == "delay"]
+    wakeups = [r for r in result.injected if r.action == "wakeup"]
+    assert len(wakeups) <= 2
+    assert len(delays) >= 5  # times=None storms keep firing
+
+
+def test_no_victim_does_not_consume_the_budget():
+    """An at_step fault whose victim appears later still fires."""
+
+    def main(rt):
+        rt.sleep(0.5)  # plenty of steps before the worker exists
+
+        def worker():
+            rt.sleep(10.0)
+
+        rt.go(worker, name="late-worker")
+        rt.sleep(0.1)
+        return True
+
+    result = run(main, seed=0,
+                 inject=plans.kill_goroutine("late-worker", at_step=1))
+    assert [r.action for r in result.injected] == ["kill"]
+    assert "late-worker" in result.injected[0].victim
+
+
+def test_inject_events_appear_in_trace():
+    def main(rt):
+        rt.sleep(2.0)
+
+    result = run(main, seed=0, inject=plans.clock_jump(0.5, after_time=0.1))
+    kinds = [e.kind for e in result.trace]
+    assert EventKind.INJECT in kinds
+
+
+def test_attach_only_plan_that_never_fires_keeps_base_schedule():
+    """Merely attaching a plan whose faults never trigger must not change
+    the schedule: the injector RNG is separate from the scheduler RNG."""
+
+    def main(rt):
+        out = []
+        wg = rt.waitgroup("wg")
+
+        def worker(i):
+            out.append(i)
+            wg.done()
+
+        for i in range(5):
+            wg.add(1)
+            rt.go(worker, i, name=f"w{i}")
+        wg.wait()
+        return tuple(out)
+
+    inert = _plan(Fault("kill", target="no-such-goroutine", at_step=10**6))
+    for seed in range(6):
+        bare = run(main, seed=seed)
+        chaotic = run(main, seed=seed, inject=inert)
+        assert chaotic.main_result == bare.main_result
+        assert chaotic.steps == bare.steps
+        assert not chaotic.injected

@@ -1,0 +1,91 @@
+"""FaultPlan / Fault: validation, composition, serialization, fingerprints."""
+
+import pytest
+
+from repro.inject import ACTIONS, Fault, FaultPlan
+from repro.inject import plans
+
+
+def test_every_action_is_constructible():
+    for action in ACTIONS:
+        fault = Fault(action, at_step=1)
+        assert fault.action == action
+
+
+def test_unknown_action_rejected():
+    with pytest.raises(ValueError, match="unknown fault action"):
+        Fault("fork-bomb", at_step=1)
+
+
+def test_trigger_required():
+    with pytest.raises(ValueError, match="needs a trigger"):
+        Fault("kill")
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(probability=1.5),
+    dict(probability=-0.1),
+    dict(every=0),
+    dict(times=0),
+    dict(count=0),
+])
+def test_invalid_parameters_rejected(kwargs):
+    base = dict(action="wakeup", at_step=1)
+    base.update(kwargs)
+    if "every" in kwargs:
+        base.pop("at_step")
+        with pytest.raises(ValueError):
+            Fault(**base)
+    else:
+        with pytest.raises(ValueError):
+            Fault(**base)
+
+
+def test_fault_round_trips_through_dict():
+    fault = Fault("chan_fill", target="jobs-*", at_step=10, value=99, count=3)
+    assert Fault.from_dict(fault.to_dict()) == fault
+
+
+def test_plan_addition_concatenates():
+    combined = plans.wakeup_storm() + plans.delay_storm()
+    assert combined.name == "wakeup-storm+delay-storm"
+    assert len(combined) == 2
+    assert combined.faults[0].action == "wakeup"
+    assert combined.faults[1].action == "delay"
+
+
+def test_combine_and_with_name():
+    suite = FaultPlan.combine(
+        [plans.wakeup_storm(), plans.clock_skew()], name="mix"
+    )
+    assert suite.name == "mix"
+    assert len(suite) == 2
+    assert FaultPlan.combine([]).name == "empty"
+
+
+def test_plan_json_round_trip():
+    plan = plans.perturb()
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone == plan
+    assert clone.fingerprint() == plan.fingerprint()
+
+
+def test_fingerprint_is_content_sensitive():
+    a = plans.wakeup_storm()
+    b = plans.wakeup_storm(probability=0.25)
+    c = plans.wakeup_storm().with_name("renamed")
+    assert a.fingerprint() == plans.wakeup_storm().fingerprint()
+    assert a.fingerprint() != b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()
+
+
+def test_registry_covers_named_plans():
+    for name in sorted(plans.REGISTRY):
+        plan = plans.get(name)
+        assert plan.name == name
+        assert len(plan) >= 1
+
+
+def test_registry_unknown_name_lists_available():
+    with pytest.raises(KeyError, match="wakeup-storm"):
+        plans.get("no-such-plan")

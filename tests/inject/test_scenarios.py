@@ -1,0 +1,134 @@
+"""The hardened mini-app workloads: clean under perturbation, and the
+app-specific recovery machinery (resync, redial, lease re-acquire) actually
+engages under targeted destructive plans."""
+
+import pytest
+
+from repro import run
+from repro.inject import plans
+from repro.inject.scenarios import all_scenarios
+
+SEEDS = (0, 1)
+
+
+@pytest.mark.parametrize("name,program,kwargs",
+                         all_scenarios(),
+                         ids=[n for n, _, _ in all_scenarios()])
+def test_scenario_clean_at_baseline(name, program, kwargs):
+    for seed in SEEDS:
+        result = run(program, seed=seed, **kwargs)
+        assert result.status == "ok", (name, seed, result)
+        assert result.main_result is True, (name, seed)
+
+
+@pytest.mark.parametrize("name,program,kwargs",
+                         all_scenarios(),
+                         ids=[n for n, _, _ in all_scenarios()])
+def test_scenario_clean_under_perturbation(name, program, kwargs):
+    plan = plans.perturb()
+    for seed in SEEDS:
+        result = run(program, seed=seed, inject=plan, **kwargs)
+        assert result.status == "ok", (name, seed, result)
+        assert result.main_result is True, (name, seed)
+
+
+# ----------------------------------------------------------------------
+# Targeted destructive chaos: the hardening must visibly engage
+# ----------------------------------------------------------------------
+
+
+def test_minietcd_reliable_watch_resyncs_after_connection_drop():
+    """Closing the upstream watch channel mid-stream forces a re-subscribe
+    plus revision-based resync — and the workload still sees every PUT."""
+    from repro.apps.minietcd import Node
+
+    def main(rt):
+        node = Node(rt)
+        node.start()
+        watch = node.reliable_watch("job/")
+        keys = [f"job/{i}" for i in range(8)]
+
+        def writer():
+            for value, key in enumerate(keys):
+                node.put(key, value)
+                rt.sleep(0.05)
+
+        rt.go(writer, name="etcd-writer")
+        seen = set()
+        deadline = rt.now() + 30.0
+        while len(seen) < len(keys) and rt.now() < deadline:
+            event, ok, got = watch.events.try_recv()
+            if got and ok:
+                seen.add(event.key)
+            elif not got:
+                rt.sleep(0.05)
+        resyncs = watch.resyncs.load()
+        watch.cancel()
+        node.stop()
+        rt.sleep(0.2)
+        return (seen == set(keys), resyncs)
+
+    plan = plans.close_channels("watch-*", at_step=80, times=2)
+    result = run(main, seed=0, inject=plan)
+    assert result.status == "ok"
+    complete, resyncs = result.main_result
+    assert complete, "a PUT was lost across the watch teardown"
+    assert resyncs >= 1, "the destructive plan never engaged the resync path"
+    assert any(r.action == "chan_close" for r in result.injected)
+
+
+def test_minigrpc_client_redials_after_connection_drop():
+    """Closing the client connection's request pipe makes in-flight calls
+    fail UNAVAILABLE; call_with_retry must redial and finish the workload."""
+    from repro.apps.minigrpc import Listener, Server, dial
+
+    def main(rt):
+        listener = Listener(rt)
+        server = Server(rt)
+        server.register("echo", lambda payload: payload)
+        server.start(listener)
+        client = dial(rt, listener)
+
+        replies = []
+        for i in range(6):
+            replies.append(client.call_with_retry("echo", i, timeout=2.0))
+            rt.sleep(0.05)
+        redials = client._redials.load()
+        client.close()
+        server.graceful_stop(listener)
+        return (replies, redials)
+
+    plan = plans.close_channels("conn-*", at_step=60, times=1)
+    result = run(main, seed=0, inject=plan)
+    assert result.status == "ok", result
+    replies, redials = result.main_result
+    assert replies == list(range(6))
+    assert redials >= 1, "the chaos never forced a redial"
+
+
+def test_minikube_elector_reacquires_after_clock_jump():
+    """A clock jump past the lease TTL expires the current lease; some
+    elector must notice, step down, and re-acquire leadership."""
+    from repro.apps.minikube import LeaderElector, LeaseLock
+
+    def main(rt):
+        lock = LeaseLock(rt, ttl=0.5)
+        electors = [LeaderElector(rt, lock, f"ctrl-{i}") for i in range(2)]
+        for elector in electors:
+            elector.start()
+        rt.sleep(6.0)
+        healthy = sum(1 for e in electors if e.leading) <= 1
+        acquisitions = sum(e.acquisitions.load() for e in electors)
+        losses = sum(e.losses.load() for e in electors)
+        for elector in electors:
+            elector.stop()
+        rt.sleep(1.0)
+        return (healthy, acquisitions, losses)
+
+    plan = plans.clock_jump(2.0, after_time=1.0)
+    result = run(main, seed=0, inject=plan)
+    assert result.status == "ok", result
+    healthy, acquisitions, losses = result.main_result
+    assert healthy
+    assert losses >= 1, "the clock jump never expired the lease"
+    assert acquisitions >= 2, "leadership was never re-acquired after expiry"

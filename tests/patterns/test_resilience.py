@@ -1,0 +1,206 @@
+"""Resilience primitives: seeded backoff, retry, circuit breaker."""
+
+import pytest
+
+from repro import run
+from repro.patterns import Backoff, CircuitBreaker, CircuitOpen, retry
+from repro.runtime.errors import GoPanic
+
+
+# ----------------------------------------------------------------------
+# Backoff
+# ----------------------------------------------------------------------
+
+
+def test_backoff_grows_exponentially_and_caps():
+    def main(rt):
+        policy = Backoff(rt, base=0.1, factor=2.0, max_delay=0.4, jitter=0.0)
+        return [policy.next_delay() for _ in range(5)]
+
+    delays = run(main).main_result
+    assert delays == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+
+def test_backoff_jitter_is_deterministic_per_seed_and_name():
+    def main(rt):
+        a = Backoff(rt, name="alpha")
+        b = Backoff(rt, name="alpha")
+        c = Backoff(rt, name="beta")
+        return ([a.next_delay() for _ in range(3)],
+                [b.next_delay() for _ in range(3)],
+                [c.next_delay() for _ in range(3)])
+
+    first_a, first_b, first_c = run(main, seed=5).main_result
+    second_a, _, _ = run(main, seed=5).main_result
+    other_seed_a, _, _ = run(main, seed=6).main_result
+
+    assert first_a == first_b          # same (seed, name): same jitter
+    assert first_a == second_a         # reproducible across runs
+    assert first_a != first_c          # different name: independent stream
+    assert first_a != other_seed_a     # different seed: different stream
+
+
+def test_backoff_jitter_stays_in_band():
+    def main(rt):
+        policy = Backoff(rt, base=1.0, factor=1.0, max_delay=1.0, jitter=0.5)
+        return [policy.next_delay() for _ in range(20)]
+
+    for delay in run(main).main_result:
+        assert 1.0 <= delay <= 1.5
+
+
+def test_backoff_reset_restarts_the_schedule():
+    def main(rt):
+        policy = Backoff(rt, base=0.1, jitter=0.0)
+        first = policy.next_delay()
+        policy.next_delay()
+        policy.reset()
+        return first == policy.next_delay()
+
+    assert run(main).main_result is True
+
+
+def test_backoff_sleep_advances_the_virtual_clock():
+    def main(rt):
+        policy = Backoff(rt, base=0.5, jitter=0.0)
+        policy.sleep()
+        return rt.now()
+
+    assert run(main).main_result == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# retry
+# ----------------------------------------------------------------------
+
+
+def test_retry_succeeds_after_transient_failures():
+    def main(rt):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise GoPanic("transient")
+            return "recovered"
+
+        value = retry(rt, flaky, attempts=5)
+        return (value, calls["n"], rt.now())
+
+    value, calls, elapsed = run(main).main_result
+    assert value == "recovered"
+    assert calls == 3
+    assert elapsed > 0  # backoff sleeps actually happened
+
+
+def test_retry_exhaustion_reraises_last_error():
+    def main(rt):
+        def always_fails():
+            raise GoPanic("still broken")
+
+        try:
+            retry(rt, always_fails, attempts=3)
+        except GoPanic as exc:
+            return str(exc)
+
+    assert "still broken" in str(run(main).main_result)
+
+
+def test_retry_does_not_catch_unlisted_exceptions():
+    def main(rt):
+        def typo():
+            raise KeyError("not a simulator error")
+
+        try:
+            retry(rt, typo, attempts=5)
+        except KeyError:
+            return "propagated"
+
+    assert run(main).main_result == "propagated"
+
+
+def test_retry_stops_early_on_cancelled_context():
+    def main(rt):
+        ctx, cancel = rt.with_cancel(rt.background())
+        calls = {"n": 0}
+
+        def failing():
+            calls["n"] += 1
+            cancel()
+            raise GoPanic("nope")
+
+        try:
+            retry(rt, failing, attempts=10, ctx=ctx)
+        except GoPanic:
+            pass
+        return calls["n"]
+
+    assert run(main).main_result == 1  # cancelled after the first failure
+
+
+def test_retry_validates_attempts():
+    def main(rt):
+        with pytest.raises(ValueError):
+            retry(rt, lambda: None, attempts=0)
+        return True
+
+    assert run(main).main_result is True
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+
+
+def test_breaker_trips_after_threshold_and_recovers():
+    def main(rt):
+        breaker = CircuitBreaker(rt, threshold=2, cooldown=1.0)
+        states = []
+
+        def bad():
+            raise GoPanic("down")
+
+        for _ in range(2):
+            with pytest.raises(GoPanic):
+                breaker.call(bad)
+        states.append(breaker.state)            # open after 2 failures
+
+        with pytest.raises(CircuitOpen):
+            breaker.call(lambda: "unreachable")  # fails fast while open
+
+        rt.sleep(1.5)
+        states.append(breaker.state)            # half-open after cooldown
+        states.append(breaker.call(lambda: "ok"))
+        states.append(breaker.state)            # success closes it
+        return (states, breaker.trips)
+
+    states, trips = run(main).main_result
+    assert states == ["open", "half-open", "ok", "closed"]
+    assert trips == 1
+
+
+def test_breaker_half_open_failure_reopens():
+    def main(rt):
+        breaker = CircuitBreaker(rt, threshold=1, cooldown=0.5)
+
+        def bad():
+            raise GoPanic("down")
+
+        with pytest.raises(GoPanic):
+            breaker.call(bad)
+        rt.sleep(0.6)
+        assert breaker.state == "half-open"
+        with pytest.raises(GoPanic):
+            breaker.call(bad)                   # the probe fails
+        return breaker.state
+
+    assert run(main).main_result == "open"
+
+
+def test_breaker_validates_threshold():
+    def main(rt):
+        with pytest.raises(ValueError):
+            CircuitBreaker(rt, threshold=0)
+        return True
+
+    assert run(main).main_result is True

@@ -1,0 +1,136 @@
+"""Budget exhaustion: step limits, time limits, drain budgets, hangs.
+
+These are the runner's backstops — each maps one kind of runaway program to
+a distinct RunResult classification instead of wedging the harness.
+"""
+
+import pytest
+
+from repro import run
+from repro.runtime.errors import StepLimitExceeded
+
+
+def _livelock(rt):
+    """Two goroutines yielding forever: never blocked, never done."""
+
+    def spin():
+        while True:
+            rt.gosched()
+
+    rt.go(spin, name="spin-a")
+    rt.go(spin, name="spin-b")
+    spin()
+
+
+def test_max_steps_classifies_livelock_as_steps():
+    result = run(_livelock, max_steps=500)
+    assert result.status == "steps"
+    assert result.steps >= 500
+    assert result.panic_value is None
+
+
+def test_max_steps_not_charged_for_quiet_runs():
+    def main(rt):
+        rt.sleep(1.0)
+        return 42
+
+    result = run(main, max_steps=500)
+    assert result.status == "ok"
+    assert result.main_result == 42
+    assert result.steps < 500
+
+
+def test_time_limit_cuts_off_a_server_loop():
+    """A forever-server crosses the observation window: status 'timeout',
+    and whatever is blocked right then is reported (sleepers excluded)."""
+
+    def main(rt):
+        ch = rt.make_chan(0, name="requests")
+
+        def handler():
+            while True:
+                ch.recv()
+
+        rt.go(handler, name="handler")
+        while True:
+            rt.sleep(10.0)
+
+    result = run(main, time_limit=120.0)
+    assert result.status == "timeout"
+    assert result.end_time >= 120.0
+    leaked_names = [g.name for g in result.leaked]
+    assert "handler" in leaked_names        # blocked on recv forever
+    assert "main" not in leaked_names       # plain sleeper: not a suspect
+
+
+def test_external_wait_classifies_as_hang_not_deadlock():
+    """Blocking on a modelled external resource is the built-in detector's
+    blind spot: the run is stuck, but it is not a detectable deadlock."""
+
+    def main(rt):
+        rt.external_wait("network: etcd peer")
+
+    result = run(main)
+    assert result.status == "hang"
+    assert result.deadlock is None
+    assert any(g.external for g in result.leaked)
+
+
+def test_pure_deadlock_still_classified_as_deadlock():
+    def main(rt):
+        rt.make_chan(0, name="never").recv()
+
+    result = run(main)
+    assert result.status == "deadlock"
+    assert result.deadlock is not None
+
+
+def test_drain_budget_bounds_post_main_work():
+    """An immortal background spinner cannot wedge the drain phase: the
+    budget expires and the goroutine is reported as abandoned."""
+
+    def main(rt):
+        def spin():
+            while True:
+                rt.gosched()
+
+        rt.go(spin, name="immortal")
+        return "done"
+
+    result = run(main, drain_budget=200)
+    assert result.status == "ok"
+    assert result.main_result == "done"
+    assert "immortal" in [g.name for g in result.abandoned]
+
+
+def test_drain_disabled_reports_blocked_goroutines_at_exit():
+    def main(rt):
+        ch = rt.make_chan(0, name="never")
+
+        def waiter():
+            ch.recv()
+
+        rt.go(waiter, name="waiter")
+        rt.sleep(0.1)
+
+    drained = run(main, drain=True)
+    not_drained = run(main, drain=False)
+    assert drained.status == "leak"
+    assert not_drained.status == "leak"
+    assert "waiter" in [g.name for g in not_drained.leaked]
+
+
+def test_step_limit_exceeded_raises_from_check():
+    from repro.runtime.scheduler import Scheduler
+
+    sched = Scheduler(seed=0, max_steps=10)
+    sched._steps = 11
+    with pytest.raises(StepLimitExceeded, match="seed=0"):
+        sched.check_step_limit()
+
+
+def test_budget_statuses_survive_to_dict():
+    result = run(_livelock, max_steps=300)
+    data = result.to_dict()
+    assert data["status"] == "steps"
+    assert data["steps"] >= 300

@@ -1,0 +1,57 @@
+"""Host-thread leak handling: a goroutine that swallows ``Killed`` must be
+surfaced on the RunResult (and warned about), not silently leaked as a
+live OS thread."""
+
+import warnings
+
+import pytest
+
+from repro import run
+from repro.runtime import goroutine as goroutine_mod
+
+
+def _stubborn_program(rt):
+    """The worker swallows every exception — including the Killed signal the
+    scheduler uses to unwind host threads at the end of the run."""
+    ch = rt.make_chan(0, name="never")
+
+    def stubborn():
+        while True:
+            try:
+                ch.recv()
+            except BaseException:
+                continue  # swallows Killed: the host thread can't unwind
+
+    rt.go(stubborn, name="stubborn")
+    rt.sleep(0.1)
+    return "done"
+
+
+def test_swallowed_kill_is_recorded_and_warned(monkeypatch):
+    monkeypatch.setattr(goroutine_mod, "HOST_JOIN_TIMEOUT", 0.2)
+    with pytest.warns(RuntimeWarning, match="did not unwind"):
+        result = run(_stubborn_program, drain=False)
+    assert result.main_result == "done"
+    assert len(result.stuck_host_threads) == 1
+    stuck = result.stuck_host_threads[0]
+    assert stuck.name == "stubborn"
+    assert stuck.stuck_host_thread is True
+    assert any("stubborn" in entry
+               for entry in result.to_dict()["stuck_host_threads"])
+
+
+def test_well_behaved_programs_leave_no_stuck_threads():
+    def main(rt):
+        ch = rt.make_chan(0, name="never")
+
+        def waiter():
+            ch.recv()  # killed at end-of-run teardown; unwinds promptly
+
+        rt.go(waiter, name="waiter")
+        rt.sleep(0.05)
+        return True
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        result = run(main)
+    assert result.stuck_host_threads == []

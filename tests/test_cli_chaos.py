@@ -1,0 +1,92 @@
+"""CLI: --json output and the chaos subcommand."""
+
+import json
+
+from repro.cli import main
+from repro.inject import plans
+
+
+def test_run_kernel_json_single(capsys):
+    assert main(["run-kernel", "blocking-mutex-boltdb-392", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["kernel"] == "blocking-mutex-boltdb-392"
+    assert data["variant"] == "buggy"
+    assert data["status"] == "deadlock"
+    assert data["manifested"] is True
+
+
+def test_run_kernel_json_sweep(capsys):
+    assert main(["run-kernel", "blocking-chan-docker-missing-close",
+                 "--sweep", "4", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["sweep"] == 4
+    assert data["manifested_seeds"] == [0, 1, 2, 3]
+    assert data["manifestation_rate"] == 1.0
+
+
+def test_explore_json(capsys):
+    assert main(["explore", "nonblocking-trad-docker-lost-update",
+                 "--max-runs", "200", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["found"] is True
+    assert data["runs"] >= 1
+    assert isinstance(data["counterexample"], list)
+    assert data["statuses"]
+
+
+def test_chaos_list_plans(capsys):
+    assert main(["chaos", "--list-plans"]) == 0
+    out = capsys.readouterr().out
+    for name in plans.REGISTRY:
+        assert name in out
+
+
+def test_chaos_requires_a_target(capsys):
+    assert main(["chaos"]) == 2
+    assert "nothing to run" in capsys.readouterr().err
+
+
+def test_chaos_unknown_plan_errors(capsys):
+    assert main(["chaos", "--kernel", "blocking-mutex-boltdb-392",
+                 "--plan", "meteor-strike"]) == 2
+    assert "unknown plan" in capsys.readouterr().err
+
+
+def test_chaos_kernel_sweep_scorecard(capsys):
+    code = main(["chaos", "--kernel", "blocking-chan-docker-missing-close",
+                 "--seeds", "3", "--plan", "wakeup-storm"])
+    out = capsys.readouterr().out
+    assert code == 1  # the buggy kernel manifests: not clean
+    assert "Chaos resilience scorecard" in out
+    assert "baseline" in out and "wakeup-storm" in out
+    assert "FAILED" in out
+
+
+def test_chaos_fixed_kernel_is_clean(capsys):
+    code = main(["chaos", "--kernel", "blocking-chan-docker-missing-close",
+                 "--fixed", "--seeds", "3", "--plan", "wakeup-storm"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "CLEAN" in out and "FAILED" not in out
+
+
+def test_chaos_json_output(capsys):
+    code = main(["chaos", "--kernel", "blocking-mutex-boltdb-392", "--fixed",
+                 "--seeds", "2", "--plan", "clock-skew", "--no-baseline",
+                 "--json"])
+    data = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert data["seeds"] == [0, 1]
+    assert data["clean"] is True
+    assert [cell["plan"] for cell in data["cells"]] == ["clock-skew"]
+
+
+def test_chaos_plan_file_round_trip(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(plans.clock_skew().to_json())
+    code = main(["chaos", "--kernel", "blocking-mutex-boltdb-392", "--fixed",
+                 "--seeds", "2", "--plan-file", str(plan_path),
+                 "--no-baseline", "--json"])
+    data = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert [cell["plan"] for cell in data["cells"]] == ["clock-skew"]
