@@ -22,6 +22,7 @@ See README.md for the full tour and DESIGN.md for the architecture.
 
 from .chan import Channel, NilChannel, recv, send
 from .inject import Fault, FaultInjector, FaultPlan
+from .observe import Observer, chrome_trace, chrome_trace_json, measure_overhead
 from .runtime import (
     DeadlockError,
     EventKind,
@@ -67,6 +68,7 @@ __all__ = [
     "Goroutine",
     "Mutex",
     "NilChannel",
+    "Observer",
     "Once",
     "PipeError",
     "RWMutex",
@@ -78,7 +80,10 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "WaitGroup",
+    "chrome_trace",
+    "chrome_trace_json",
     "explore",
+    "measure_overhead",
     "recv",
     "run",
     "send",

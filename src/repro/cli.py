@@ -9,6 +9,14 @@ Commands:
 * ``scan <paths...>``       — static loop-capture scan over Python sources.
 * ``chaos``                 — fault-injection sweeps and the resilience
   scorecard (``repro chaos --apps``, ``repro chaos --kernel <id>``).
+* ``profile <target>``      — pprof-style goroutine/block/mutex profiles
+  and metrics for one observed run (``--flame`` for the flamegraph).
+* ``trace-export <target>`` — Chrome ``trace_event`` JSON for one run
+  (load in ``about:tracing`` / Perfetto).
+* ``timeline <target>``     — the per-goroutine ASCII lane diagram.
+
+Targets for the three observability commands are kernel ids (optionally
+``--fixed``) or mini-app scenario names (``app:minietcd`` or bare).
 """
 
 from __future__ import annotations
@@ -43,6 +51,21 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
         kernels = [k for k in kernels if k.meta.behavior.value == "blocking"]
     if args.nonblocking:
         kernels = [k for k in kernels if k.meta.behavior.value == "non-blocking"]
+    if args.json:
+        print(json.dumps([{
+            "kernel_id": k.meta.kernel_id,
+            "title": k.meta.title,
+            "app": k.meta.app.value,
+            "behavior": k.meta.behavior.value,
+            "subcause": str(k.meta.subcause),
+            "fix_strategy": str(k.meta.fix_strategy),
+            "symptom": k.meta.symptom,
+            "figure": k.meta.figure,
+            "bug_url": k.meta.bug_url,
+            "deterministic": k.meta.deterministic,
+            "latent": k.meta.latent,
+        } for k in kernels], indent=2))
+        return 0
     for kernel in kernels:
         meta = kernel.meta
         figure = f" [figure {meta.figure}]" if meta.figure else ""
@@ -110,6 +133,33 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     kwargs = dict(kernel.run_kwargs)
     result = run(kernel.buggy, seed=seed,
                  observers=[race, rules, lockorder], **kwargs)
+
+    if args.json:
+        print(json.dumps({
+            "kernel": args.kernel_id,
+            "variant": "buggy",
+            "seed": seed,
+            "result": result.to_dict(),
+            "detectors": {
+                "builtin_deadlock": bool(
+                    BuiltinDeadlockDetector().classify(result)),
+                "goroutine_leak": bool(
+                    GoroutineLeakDetector().classify(result)),
+                "race": {
+                    "hit": bool(race.detected),
+                    "reports": [str(r) for r in race.reports],
+                },
+                "channel_rules": {
+                    "hit": bool(rules.detected),
+                    "violations": [str(v) for v in rules.violations],
+                },
+                "lock_order": {
+                    "hit": bool(lockorder.detected),
+                    "violations": [str(v) for v in lockorder.violations],
+                },
+            },
+        }, indent=2))
+        return 0
 
     print(f"{args.kernel_id} (buggy, seed={seed}): {_describe(result)}")
     print(f"  built-in deadlock detector: "
@@ -230,7 +280,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
-    harness = ChaosHarness(seeds=range(args.seeds))
+    harness = ChaosHarness(seeds=range(args.seeds), observe=args.observe)
     cells = harness.sweep(targets, plans=suite,
                           include_baseline=not args.no_baseline)
     if args.json:
@@ -238,6 +288,101 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print(harness.scorecard(cells))
     return 0 if all(cell.clean for cell in cells) else 1
+
+
+def _resolve_target(target: str, fixed: bool = False):
+    """Resolve a CLI target to ``(name, program, run_kwargs)``.
+
+    Accepts a kernel id (``--fixed`` selects the fixed variant) or a
+    mini-app chaos scenario, written ``app:minietcd`` or bare.  Raises
+    SystemExit-friendly ValueError with the candidates on a miss.
+    """
+    from .inject import scenarios
+
+    apps = {name: (program, kwargs)
+            for name, program, kwargs in scenarios.all_scenarios()}
+    app_name = target[4:] if target.startswith("app:") else target
+    if app_name in apps:
+        program, kwargs = apps[app_name]
+        return app_name, program, dict(kwargs)
+    try:
+        kernel = registry.get(target)
+    except KeyError:
+        known = ", ".join(sorted(apps))
+        raise ValueError(
+            f"unknown target {target!r}: expected a kernel id "
+            f"(see `repro kernels`) or one of the app scenarios: {known}")
+    program = kernel.fixed if fixed else kernel.buggy
+    variant = "fixed" if fixed else "buggy"
+    return f"{target}[{variant}]", program, dict(kernel.run_kwargs)
+
+
+def _observed_run(args: argparse.Namespace):
+    from .observe import Observer
+
+    name, program, kwargs = _resolve_target(args.target, fixed=args.fixed)
+    observer = Observer(capture_sites=not getattr(args, "no_sites", False))
+    result = run(program, seed=args.seed, observe=observer, **kwargs)
+    return name, result, observer
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    try:
+        name, result, observer = _observed_run(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = observer.to_dict()
+        payload["target"] = name
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    print(f"target: {name}")
+    print(observer.render(top=args.top))
+    if args.flame:
+        print()
+        print(observer.flamegraph())
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from .observe import chrome_trace_json
+
+    try:
+        name, result, observer = _observed_run(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    document = chrome_trace_json(result, observer,
+                                 include_memory=args.memory,
+                                 indent=args.indent)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document)
+            handle.write("\n")
+        print(f"{args.output}: {name} seed={args.seed} "
+              f"status={result.status} ({len(document)} bytes)")
+    else:
+        print(document)
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from .runtime.timeline import blocked_summary, timeline
+
+    try:
+        name, program, kwargs = _resolve_target(args.target, fixed=args.fixed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run(program, seed=args.seed, **kwargs)
+    print(f"target: {name} seed={args.seed}")
+    print(timeline(result, max_width=args.width,
+                   include_memory=args.memory))
+    if result.leaked:
+        print("stuck goroutines:")
+        print(blocked_summary(result))
+    return 0
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
@@ -261,6 +406,8 @@ def build_parser() -> argparse.ArgumentParser:
     kernels = sub.add_parser("kernels", help="list the bug corpus")
     kernels.add_argument("--blocking", action="store_true")
     kernels.add_argument("--nonblocking", action="store_true")
+    kernels.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of text")
 
     runk = sub.add_parser("run-kernel", help="execute one kernel")
     runk.add_argument("kernel_id")
@@ -275,6 +422,8 @@ def build_parser() -> argparse.ArgumentParser:
     detect = sub.add_parser("detect", help="run every detector on a kernel")
     detect.add_argument("kernel_id")
     detect.add_argument("--seed", type=int, default=None)
+    detect.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
 
     scan = sub.add_parser("scan", help="static loop-capture scan")
     scan.add_argument("paths", nargs="+")
@@ -320,6 +469,52 @@ def build_parser() -> argparse.ArgumentParser:
                        help="list registered plan names and exit")
     chaos.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
+    chaos.add_argument("--observe", action="store_true",
+                       help="attach an observer to every run and add "
+                            "per-cell metrics columns to the scorecard")
+
+    def add_target_args(p, seed_help="scheduler seed (default: 0)"):
+        p.add_argument("target",
+                       help="kernel id (see `repro kernels`) or app "
+                            "scenario name (e.g. app:minietcd)")
+        p.add_argument("--seed", type=int, default=0, help=seed_help)
+        p.add_argument("--fixed", action="store_true",
+                       help="use the fixed variant of a kernel target")
+
+    profile = sub.add_parser(
+        "profile",
+        help="goroutine/block/mutex profiles + metrics for one observed run",
+    )
+    add_target_args(profile)
+    profile.add_argument("--top", type=int, default=10, metavar="N",
+                         help="rows per profile table (default: 10)")
+    profile.add_argument("--flame", action="store_true",
+                         help="also render the blocked-time text flamegraph")
+    profile.add_argument("--no-sites", action="store_true",
+                         help="skip call-site capture (faster, coarser)")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the stable JSON dump instead of text")
+
+    trace_export = sub.add_parser(
+        "trace-export",
+        help="export one run as Chrome trace_event JSON (about:tracing)",
+    )
+    add_target_args(trace_export)
+    trace_export.add_argument("-o", "--output", metavar="FILE",
+                              help="write to FILE instead of stdout")
+    trace_export.add_argument("--indent", type=int, default=None,
+                              help="pretty-print with this indent")
+    trace_export.add_argument("--memory", action="store_true",
+                              help="include MEM_READ/MEM_WRITE instants")
+
+    tl = sub.add_parser(
+        "timeline", help="per-goroutine ASCII lane diagram of one run"
+    )
+    add_target_args(tl)
+    tl.add_argument("--width", type=int, default=100,
+                    help="max lane width in characters (default: 100)")
+    tl.add_argument("--memory", action="store_true",
+                    help="include modelled memory accesses in the lanes")
 
     return parser
 
@@ -334,6 +529,9 @@ _COMMANDS = {
     "export": _cmd_export,
     "usage": _cmd_usage,
     "chaos": _cmd_chaos,
+    "profile": _cmd_profile,
+    "trace-export": _cmd_trace_export,
+    "timeline": _cmd_timeline,
 }
 
 

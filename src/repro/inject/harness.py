@@ -11,6 +11,7 @@ perturbation amplifies buggy kernels while leaving fixed ones clean.
 
 from __future__ import annotations
 
+import inspect
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -20,7 +21,9 @@ from ..study.tables import render
 from .plan import FaultPlan
 from .plans import default_suite
 
-#: A target runner: (seed, plan-or-None) -> RunResult.
+#: A target runner: (seed, plan-or-None) -> RunResult.  Runners may take a
+#: third ``observe`` argument; the harness passes it when metrics were
+#: requested (``ChaosHarness(observe=True)``) and the runner supports it.
 Runner = Callable[[int, Optional[FaultPlan]], RunResult]
 #: A success predicate over one run.
 Predicate = Callable[[RunResult], bool]
@@ -47,8 +50,10 @@ class ChaosTarget:
                      **run_kwargs: Any) -> "ChaosTarget":
         """Wrap a plain ``main(rt)`` program (mini-app workload)."""
 
-        def runner(seed: int, plan: Optional[FaultPlan]) -> RunResult:
-            return run(program, seed=seed, inject=plan, **run_kwargs)
+        def runner(seed: int, plan: Optional[FaultPlan],
+                   observe: Any = None) -> RunResult:
+            return run(program, seed=seed, inject=plan, observe=observe,
+                       **run_kwargs)
 
         return cls(name=name, runner=runner, ok=ok or _default_ok)
 
@@ -57,8 +62,9 @@ class ChaosTarget:
         """Wrap a bug kernel; "healthy" means the symptom did not manifest."""
         run_variant = kernel.run_buggy if variant == "buggy" else kernel.run_fixed
 
-        def runner(seed: int, plan: Optional[FaultPlan]) -> RunResult:
-            return run_variant(seed=seed, inject=plan)
+        def runner(seed: int, plan: Optional[FaultPlan],
+                   observe: Any = None) -> RunResult:
+            return run_variant(seed=seed, inject=plan, observe=observe)
 
         return cls(
             name=f"{kernel.meta.kernel_id}[{variant}]",
@@ -78,6 +84,11 @@ class ChaosCell:
     failures: List[int] = field(default_factory=list)  # failing seeds
     statuses: Counter = field(default_factory=Counter)
     faults_fired: int = 0
+    steps: int = 0                 # scheduler steps summed over the sweep
+    #: Observed aggregates (populated when the harness runs with
+    #: ``observe=True``): context switches, peak runnable depth, blocked
+    #: events and steps spent blocked, summed/maxed across seeds.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -96,32 +107,73 @@ class ChaosCell:
             "failure_rate": self.failure_rate,
             "statuses": dict(self.statuses),
             "faults_fired": self.faults_fired,
+            "steps": self.steps,
+            "metrics": dict(self.metrics),
             "clean": self.clean,
         }
 
 
 class ChaosHarness:
-    """Run targets × plans × seeds; collect cells; render the scorecard."""
+    """Run targets × plans × seeds; collect cells; render the scorecard.
 
-    def __init__(self, seeds: Sequence[int] = tuple(range(10))):
+    With ``observe=True`` every run carries a :class:`repro.observe.Observer`
+    and each cell aggregates its metrics (context switches, peak runnable
+    depth, blocked steps) — the per-cell view of *how* a plan stressed a
+    target, not only whether it survived.
+    """
+
+    def __init__(self, seeds: Sequence[int] = tuple(range(10)),
+                 observe: bool = False):
         self.seeds = tuple(seeds)
+        self.observe = observe
         self.cells: List[ChaosCell] = []
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _runner_takes_observe(runner: Runner) -> bool:
+        try:
+            return len(inspect.signature(runner).parameters) >= 3
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            return False
 
     def run_cell(self, target: ChaosTarget,
                  plan: Optional[FaultPlan]) -> ChaosCell:
         cell = ChaosCell(target=target.name,
                          plan=plan.name if plan is not None else "baseline")
+        observing = self.observe and self._runner_takes_observe(target.runner)
         for seed in self.seeds:
-            result = target.runner(seed, plan)
+            if observing:
+                result = target.runner(seed, plan, True)
+            else:
+                result = target.runner(seed, plan)
             cell.runs += 1
             cell.statuses[result.status] += 1
             cell.faults_fired += len(result.injected)
+            cell.steps += result.steps
+            observation = getattr(result, "observation", None)
+            if observation is not None:
+                self._fold_metrics(cell, observation)
             if not target.ok(result):
                 cell.failures.append(seed)
         self.cells.append(cell)
         return cell
+
+    @staticmethod
+    def _fold_metrics(cell: ChaosCell, observation: Any) -> None:
+        metrics = cell.metrics
+        registry = observation.metrics
+        switches = (registry.counter("sched.switches").value
+                    if "sched.switches" in registry else 0)
+        blocks = (registry.counter("go.blocks").value
+                  if "go.blocks" in registry else 0)
+        depth = (registry.histogram("sched.runnable_depth").max or 0
+                 if "sched.runnable_depth" in registry else 0)
+        metrics["switches"] = metrics.get("switches", 0) + switches
+        metrics["blocked_events"] = metrics.get("blocked_events", 0) + blocks
+        metrics["blocked_steps"] = (metrics.get("blocked_steps", 0)
+                                    + observation.block_profile.total_steps)
+        metrics["peak_runnable"] = max(metrics.get("peak_runnable", 0), depth)
 
     def sweep(self, targets: Sequence[ChaosTarget],
               plans: Optional[Sequence[FaultPlan]] = None,
@@ -142,12 +194,14 @@ class ChaosHarness:
 
     def scorecard(self, cells: Optional[Sequence[ChaosCell]] = None,
                   title: str = "Chaos resilience scorecard") -> str:
+        chosen = list(self.cells if cells is None else cells)
+        with_metrics = any(cell.metrics for cell in chosen)
         rows = []
-        for cell in (self.cells if cells is None else cells):
+        for cell in chosen:
             status_text = " ".join(
                 f"{status}:{count}" for status, count in sorted(cell.statuses.items())
             )
-            rows.append([
+            row = [
                 cell.target,
                 cell.plan,
                 cell.runs,
@@ -155,12 +209,20 @@ class ChaosHarness:
                 status_text,
                 f"{len(cell.failures)}/{cell.runs}",
                 "CLEAN" if cell.clean else "FAILED",
-            ])
-        return render(
-            ["Target", "Plan", "Runs", "Faults", "Statuses", "Failures", "Verdict"],
-            rows,
-            title=title,
-        )
+            ]
+            if with_metrics:
+                row.extend([
+                    cell.steps,
+                    int(cell.metrics.get("switches", 0)),
+                    int(cell.metrics.get("blocked_steps", 0)),
+                    int(cell.metrics.get("peak_runnable", 0)),
+                ])
+            rows.append(row)
+        headers = ["Target", "Plan", "Runs", "Faults", "Statuses",
+                   "Failures", "Verdict"]
+        if with_metrics:
+            headers.extend(["Steps", "CtxSw", "BlkSteps", "PeakRun"])
+        return render(headers, rows, title=title)
 
     def to_dict(self, cells: Optional[Sequence[ChaosCell]] = None) -> Dict[str, Any]:
         chosen = list(self.cells if cells is None else cells)

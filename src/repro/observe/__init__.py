@@ -1,0 +1,52 @@
+"""repro.observe — pprof/expvar-style observability for deterministic runs.
+
+The subsystem that turns the simulator from a substrate into a study
+instrument: a metrics registry, goroutine/block/mutex profiles with text
+flamegraphs, Chrome ``trace_event`` export, and a self-overhead
+accountant.  Everything except the (clearly segregated) wall-clock
+overhead numbers is a pure function of ``(program, seed, options)``.
+
+Quickstart::
+
+    from repro import run
+
+    result = run(main, seed=7, observe=True)
+    obs = result.observation
+    print(obs.render())            # goroutine/block/mutex profiles + metrics
+    print(obs.flamegraph())        # where the program waited, as a flame
+    obs.to_json()                  # stable machine-readable dump
+
+    from repro.observe import chrome_trace_json
+    chrome_trace_json(result)      # load in about:tracing / Perfetto
+"""
+
+from .export import chrome_trace, chrome_trace_json, metrics_json
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+from .observer import Observer
+from .overhead import OverheadReport, measure_overhead, schedule_fingerprint
+from .profiles import GoroutineProfile, Profile, ProfileEntry, flamegraph
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "GoroutineProfile",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "OverheadReport",
+    "Profile",
+    "ProfileEntry",
+    "TimeSeries",
+    "chrome_trace",
+    "chrome_trace_json",
+    "flamegraph",
+    "measure_overhead",
+    "metrics_json",
+    "schedule_fingerprint",
+]

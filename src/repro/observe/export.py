@@ -1,0 +1,173 @@
+"""Trace and metrics exporters.
+
+:func:`chrome_trace` converts a finished run's trace into the Chrome
+``trace_event`` JSON format (the JSON-array flavour with a ``traceEvents``
+top-level key), loadable in ``about:tracing`` and Perfetto:
+
+* one *thread* per goroutine (named via metadata events),
+* a duration (``B``/``E``) slice for every block span,
+* instant events for channel/select/timer/inject actions,
+* flow arrows (``s``/``f``) linking every channel send to its receive,
+* optional counter events for the runnable-queue depth (from an Observer).
+
+Timestamps: the virtual clock only advances when timers fire, so a pure
+virtual-time axis would collapse thousands of scheduling steps into one
+instant.  Exported ``ts`` is ``virtual_seconds * 1e6 + step`` — microsecond
+virtual time with the step counter breaking ties — which is monotone and
+keeps both sleeps and contention visible.  The raw pair is preserved in
+each event's ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..runtime.trace import EventKind, TraceEvent
+
+#: Kinds exported as instant events (name shown at a single tick).
+_INSTANT = {
+    EventKind.CHAN_SEND: "send",
+    EventKind.CHAN_RECV: "recv",
+    EventKind.CHAN_CLOSE: "close",
+    EventKind.CHAN_MAKE: "make",
+    EventKind.SELECT_COMMIT: "select",
+    EventKind.TIMER_FIRE: "timer",
+    EventKind.INJECT: "inject",
+    EventKind.GO_CREATE: "go",
+    EventKind.WG_ADD: "wg.add",
+    EventKind.WG_DONE: "wg.done",
+    EventKind.ONCE_DO: "once",
+    EventKind.COND_SIGNAL: "cond.signal",
+    EventKind.COND_BROADCAST: "cond.broadcast",
+}
+
+_PID = 1
+
+
+def _ts(e: TraceEvent) -> float:
+    return e.time * 1e6 + e.step
+
+
+def _base(e: TraceEvent, ph: str, name: str, cat: str) -> Dict[str, Any]:
+    return {"name": name, "cat": cat, "ph": ph, "pid": _PID, "tid": e.gid,
+            "ts": _ts(e), "args": {"step": e.step, "virtual_time": e.time}}
+
+
+def chrome_trace(result: Any, observation: Any = None,
+                 include_memory: bool = False) -> Dict[str, Any]:
+    """Build the ``trace_event`` document for one finished run.
+
+    Args:
+        result: a :class:`repro.runtime.runtime.RunResult` with a trace
+            (``keep_trace=True``, the default).
+        observation: optional :class:`repro.observe.Observer` from the same
+            run; contributes runnable-depth counter events.
+        include_memory: also export MEM_READ/MEM_WRITE instants (noisy).
+    """
+    if result.trace is None:
+        raise ValueError("run was executed with keep_trace=False; "
+                         "re-run with keep_trace=True to export a trace")
+
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": f"repro simulator (seed={result.seed}, "
+                         f"status={result.status})"},
+    }]
+    for g in result.goroutines:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": _PID, "tid": g.gid,
+            "args": {"name": f"g{g.gid} {g.name}"},
+        })
+        events.append({
+            "name": "thread_sort_index", "ph": "M", "pid": _PID,
+            "tid": g.gid, "args": {"sort_index": g.gid},
+        })
+
+    open_blocks: Dict[int, TraceEvent] = {}
+    end_ts = result.end_time * 1e6 + result.steps
+
+    for e in result.trace:
+        kind = e.kind
+        if kind == EventKind.GO_BLOCK:
+            reason = str(e.info.get("reason", "?"))
+            begin = _base(e, "B", f"blocked: {reason}", "block")
+            site = e.info.get("site")
+            if site:
+                begin["args"]["site"] = site
+            events.append(begin)
+            open_blocks[e.gid] = e
+        elif kind == EventKind.GO_UNBLOCK:
+            gid = int(e.obj)  # type: ignore[arg-type]
+            blocked = open_blocks.pop(gid, None)
+            if blocked is not None:
+                end = _base(e, "E", "", "block")
+                end["tid"] = gid
+                events.append(end)
+        elif kind in (EventKind.CHAN_SEND, EventKind.CHAN_RECV):
+            label = _INSTANT[kind]
+            inst = _base(e, "i", f"{label} chan#{e.obj}", "chan")
+            inst["s"] = "t"
+            inst["args"].update(
+                {k: v for k, v in e.info.items() if k != "stack"})
+            events.append(inst)
+            # Flow arrows pair each message's send with its receive.
+            seq = e.info.get("seq")
+            if seq is not None:
+                flow = _base(e, "s" if kind == EventKind.CHAN_SEND else "f",
+                             f"chan#{e.obj} msg", "chan.flow")
+                flow["id"] = f"chan{e.obj}-{seq}"
+                if kind == EventKind.CHAN_RECV:
+                    flow["bp"] = "e"
+                events.append(flow)
+        elif kind in (EventKind.MEM_READ, EventKind.MEM_WRITE):
+            if include_memory:
+                inst = _base(e, "i", kind, "mem")
+                inst["s"] = "t"
+                events.append(inst)
+        elif kind in _INSTANT:
+            inst = _base(e, "i", f"{_INSTANT[kind]}"
+                         + (f" #{e.obj}" if e.obj is not None else ""),
+                         kind.split(".", 1)[0])
+            inst["s"] = "t"
+            inst["args"].update(
+                {k: v for k, v in e.info.items() if k != "stack"})
+            events.append(inst)
+
+    # Close every span still open when the run ended (leaked goroutines).
+    for gid, blocked in sorted(open_blocks.items()):
+        events.append({"name": "", "cat": "block", "ph": "E", "pid": _PID,
+                       "tid": gid, "ts": end_ts,
+                       "args": {"still_blocked": True}})
+
+    if observation is not None:
+        series = observation.metrics.timeseries("sched.runnable_depth.series")
+        for step, depth in series.samples:
+            events.append({"name": "runnable goroutines", "ph": "C",
+                           "pid": _PID, "tid": 0, "ts": float(step),
+                           "args": {"runnable": depth}})
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.observe",
+            "seed": result.seed,
+            "status": result.status,
+            "steps": result.steps,
+            "virtual_time": result.end_time,
+        },
+    }
+
+
+def chrome_trace_json(result: Any, observation: Any = None,
+                      include_memory: bool = False,
+                      indent: Optional[int] = None) -> str:
+    """The :func:`chrome_trace` document serialized deterministically."""
+    return json.dumps(chrome_trace(result, observation, include_memory),
+                      sort_keys=True, indent=indent)
+
+
+def metrics_json(observation: Any, indent: Optional[int] = None) -> str:
+    """Stable JSON dump of an Observer's full derived state."""
+    return observation.to_json(indent=indent)

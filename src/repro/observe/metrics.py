@@ -1,0 +1,239 @@
+"""An expvar-style metrics registry over the deterministic runtime.
+
+Four instrument kinds, all driven exclusively by trace events and the
+virtual clock so that a metrics dump is a pure function of ``(program,
+seed, options)``:
+
+* :class:`Counter` — monotonically increasing event count.
+* :class:`Gauge` — last-write-wins level with min/max tracking.
+* :class:`Histogram` — bucketed distribution (virtual-clock wait times,
+  queue depths); buckets are fixed at construction so dumps are stable.
+* :class:`TimeSeries` — change-compressed ``(step, value)`` samples, for
+  "over time" views (runnable-queue depth, channel occupancy).
+
+Everything renders to a deterministic dict: keys sorted, floats left
+exactly as the simulation produced them, no wall-clock anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (last bucket is +Inf, implicit).
+#: Powers of two cover both step counts and small queue depths well.
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536,
+)
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A level that can go up and down; remembers its extremes."""
+
+    __slots__ = ("name", "help", "value", "max", "min", "_touched")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+        self.max: Number = 0
+        self.min: Number = 0
+        self._touched = False
+
+    def set(self, value: Number) -> None:
+        if not self._touched:
+            self.max = self.min = value
+            self._touched = True
+        self.value = value
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+
+    def add(self, delta: Number) -> None:
+        self.set(self.value + delta)
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value,
+                "max": self.max, "min": self.min}
+
+
+class Histogram:
+    """A fixed-bucket distribution of observed values.
+
+    ``bounds`` are inclusive upper edges; one overflow bucket catches the
+    rest.  Count, sum, min and max ride along so means and tails can be
+    reported without the raw samples.
+    """
+
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str, bounds: Optional[Sequence[Number]] = None,
+                 help: str = ""):
+        self.name = name
+        self.help = help
+        self.bounds: Tuple[Number, ...] = tuple(bounds if bounds is not None
+                                                else DEFAULT_BOUNDS)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"{name}: histogram bounds must be ascending")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum: float = 0.0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        buckets = {f"le={bound:g}": count
+                   for bound, count in zip(self.bounds, self.bucket_counts)
+                   if count}
+        if self.bucket_counts[-1]:
+            buckets["le=+Inf"] = self.bucket_counts[-1]
+        return {"type": "histogram", "count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max, "buckets": buckets}
+
+
+class TimeSeries:
+    """Change-compressed samples of one value over scheduler steps.
+
+    A sample is recorded only when the value changes, and the series is
+    capped: once ``max_samples`` is hit, further changes only update the
+    drop counter (the aggregate view lives in a companion histogram).
+    """
+
+    __slots__ = ("name", "help", "max_samples", "samples", "dropped", "_last")
+
+    def __init__(self, name: str, max_samples: int = 4096, help: str = ""):
+        self.name = name
+        self.help = help
+        self.max_samples = max_samples
+        self.samples: List[Tuple[Number, Number]] = []
+        self.dropped = 0
+        self._last: Optional[Number] = None
+
+    def sample(self, step: Number, value: Number) -> None:
+        if value == self._last:
+            return
+        self._last = value
+        if len(self.samples) >= self.max_samples:
+            self.dropped += 1
+            return
+        self.samples.append((step, value))
+
+    def to_dict(self) -> dict:
+        return {"type": "timeseries",
+                "samples": [list(s) for s in self.samples],
+                "dropped": self.dropped}
+
+
+Metric = Union[Counter, Gauge, Histogram, TimeSeries]
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors and a stable dump."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, factory) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._get(name, lambda: Counter(name, help))
+        if not isinstance(metric, Counter):
+            raise TypeError(f"{name} is a {type(metric).__name__}, not Counter")
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._get(name, lambda: Gauge(name, help))
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"{name} is a {type(metric).__name__}, not Gauge")
+        return metric
+
+    def histogram(self, name: str, bounds: Optional[Sequence[Number]] = None,
+                  help: str = "") -> Histogram:
+        metric = self._get(name, lambda: Histogram(name, bounds, help))
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"{name} is a {type(metric).__name__}, not Histogram")
+        return metric
+
+    def timeseries(self, name: str, max_samples: int = 4096,
+                   help: str = "") -> TimeSeries:
+        metric = self._get(name, lambda: TimeSeries(name, max_samples, help))
+        if not isinstance(metric, TimeSeries):
+            raise TypeError(f"{name} is a {type(metric).__name__}, not TimeSeries")
+        return metric
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def to_dict(self) -> Dict[str, dict]:
+        return {name: self._metrics[name].to_dict()
+                for name in sorted(self._metrics)}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def render(self) -> str:
+        """A flat, aligned text dump (counters and gauges; histogram means)."""
+        lines = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                lines.append(f"{name:<44} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"{name:<44} {metric.value} (max {metric.max})")
+            elif isinstance(metric, Histogram):
+                lines.append(f"{name:<44} n={metric.count} mean={metric.mean:g} "
+                             f"max={metric.max if metric.max is not None else '-'}")
+            else:
+                lines.append(f"{name:<44} {len(metric.samples)} samples")
+        return "\n".join(lines)

@@ -29,7 +29,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from .errors import DeadlockError, GoPanic, StepLimitExceeded
 from .goroutine import Goroutine, GState
-from .scheduler import Scheduler
+from .scheduler import Scheduler, short_site
 from .trace import EventKind, Trace
 
 
@@ -331,6 +331,9 @@ class RunResult:
             join timeout at teardown (previously dropped silently).
         injected: records of faults the injector fired during this run
             (empty when no fault plan was attached).
+        observation: the :class:`repro.observe.Observer` that watched this
+            run (``run(..., observe=...)``), carrying the metrics registry,
+            profiles, and exporters; None when the run was unobserved.
     """
 
     def __init__(
@@ -350,6 +353,7 @@ class RunResult:
         trace: Optional[Trace] = None,
         stuck_host_threads: Sequence[Goroutine] = (),
         injected: Sequence[Any] = (),
+        observation: Optional[Any] = None,
     ):
         self.status = status
         self.seed = seed
@@ -365,6 +369,7 @@ class RunResult:
         self.trace = trace
         self.stuck_host_threads = list(stuck_host_threads)
         self.injected = list(injected)
+        self.observation = observation
 
     @property
     def completed(self) -> bool:
@@ -426,6 +431,7 @@ def run(
     time_limit: Optional[float] = None,
     rng: Optional[Any] = None,
     inject: Optional[Any] = None,
+    observe: Any = None,
 ) -> RunResult:
     """Execute ``main(rt, *args)`` under the simulator and classify the outcome.
 
@@ -454,6 +460,11 @@ def run(
         inject: a :class:`repro.inject.FaultPlan` (or a prebuilt
             :class:`repro.inject.FaultInjector`) of deterministic faults to
             perturb this run with.  Same ``(seed, plan)``, same trace.
+        observe: opt-in observability (:mod:`repro.observe`).  ``True``
+            attaches a default :class:`repro.observe.Observer`; pass a
+            configured Observer to control site capture and sampling.  The
+            observer is a pure trace consumer — attaching it never changes
+            the schedule — and lands on ``result.observation``.
     """
     sched = Scheduler(seed=seed, max_steps=max_steps, preempt=preempt,
                       keep_trace=keep_trace, rng=rng)
@@ -466,10 +477,20 @@ def run(
         injector = (FaultInjector(inject, seed=seed)
                     if isinstance(inject, FaultPlan) else inject)
         injector.attach(rt)
+    observation = None
+    if observe:
+        from ..observe.observer import Observer
+
+        observation = Observer() if observe is True else observe
+        observation.attach(rt)
     for obs in observers:
         obs.attach(rt)
 
-    main_g = sched.spawn(main, (rt,) + tuple(args), name="main", anonymous=False)
+    code = getattr(main, "__code__", None)
+    main_site = (short_site(code.co_filename, code.co_firstlineno)
+                 if code is not None else None)
+    main_g = sched.spawn(main, (rt,) + tuple(args), name="main",
+                         anonymous=False, creation_site=main_site)
 
     def stop() -> bool:
         return main_g.state in GState.TERMINAL or sched.panicked is not None
@@ -545,7 +566,10 @@ def run(
         trace=sched.trace if keep_trace else None,
         stuck_host_threads=[g for g in sched.goroutines if g.stuck_host_thread],
         injected=injector.log if injector is not None else (),
+        observation=observation,
     )
+    if observation is not None:
+        observation.finish(result)
     for obs in observers:
         finish = getattr(obs, "finish", None)
         if finish is not None:

@@ -13,7 +13,9 @@ manifests on a similar fraction of seeds.
 
 from __future__ import annotations
 
+import os
 import random
+import sys
 import threading
 from typing import Any, Callable, List, Optional, Tuple
 
@@ -21,6 +23,64 @@ from .clock import VirtualClock
 from .errors import Killed, SchedulerStateError, StepLimitExceeded
 from .goroutine import Goroutine, GState
 from .trace import EventKind, Trace, TraceEvent
+
+#: Package directories whose frames are simulator plumbing, not user code.
+#: Bug kernels (``repro.bugs``), mini-apps (``repro.apps``) and the chaos
+#: scenarios (``repro.inject.scenarios``) are *user* code for profiling
+#: purposes; the injector itself only runs in scheduler context and never
+#: appears above a block, so ``inject`` needs no entry here.
+_INTERNAL_PACKAGES = ("runtime", "chan", "sync", "stdlib")
+_internal_dirs: Optional[Tuple[str, ...]] = None
+
+
+def _internal_frame_dirs() -> Tuple[str, ...]:
+    global _internal_dirs
+    if _internal_dirs is None:
+        base = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        _internal_dirs = tuple(
+            os.path.join(base, pkg) + os.sep for pkg in _INTERNAL_PACKAGES
+        )
+    return _internal_dirs
+
+
+_site_cache: dict = {}
+
+
+def short_site(filename: str, lineno: int) -> str:
+    """``dir/file.py:line`` — stable across checkouts (no absolute prefix)."""
+    key = (filename, lineno)
+    site = _site_cache.get(key)
+    if site is None:
+        parts = filename.replace(os.sep, "/").rsplit("/", 2)
+        site = f"{'/'.join(parts[-2:])}:{lineno}"
+        _site_cache[key] = site
+    return site
+
+
+def user_stack(limit: int = 8) -> Tuple[str, ...]:
+    """User-code call sites above the current frame, innermost first.
+
+    Frames inside the simulator's own packages (scheduler, primitives,
+    stdlib analogues, fault injection) are skipped so profiles attribute
+    waits to the program under study, not to the plumbing.  The walk stops
+    at the goroutine trampoline (``Goroutine._run``), never leaking host
+    ``threading`` frames into a profile.
+    """
+    internal = _internal_frame_dirs()
+    frames: List[str] = []
+    try:
+        frame = sys._getframe(1)
+    except ValueError:  # pragma: no cover - exotic hosts
+        return ()
+    while frame is not None and len(frames) < limit:
+        code = frame.f_code
+        filename = code.co_filename
+        if code.co_name == "_run" and filename.endswith("goroutine.py"):
+            break
+        if not filename.startswith(internal):
+            frames.append(short_site(filename, frame.f_lineno))
+        frame = frame.f_back
+    return tuple(frames)
 
 
 class Scheduler:
@@ -66,6 +126,13 @@ class Scheduler:
         self.injector: Optional[Any] = None
         #: Join bound handed to :meth:`Goroutine.kill` during teardown.
         self.host_join_timeout: Optional[float] = None
+        #: Observability hooks (:mod:`repro.observe`).  When ``capture_sites``
+        #: is on, every GO_BLOCK event carries the user call-site stack; the
+        #: ``on_step`` callback sees ``(step, runnable_depth, gid)`` for each
+        #: scheduling decision.  Both are inert by default: one flag test and
+        #: one None check per step when nothing is attached.
+        self.capture_sites = False
+        self.on_step: Optional[Callable[[int, int, int], None]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -144,7 +211,9 @@ class Scheduler:
         self.goroutines.append(g)
         self._runnable.append(g)
         g.start()
-        self.emit(EventKind.GO_CREATE, obj=g.gid, info={"anonymous": anonymous})
+        self.emit(EventKind.GO_CREATE, obj=g.gid,
+                  info={"anonymous": anonymous, "name": g.name,
+                        "site": creation_site})
         return g
 
     # ------------------------------------------------------------------
@@ -170,7 +239,13 @@ class Scheduler:
         g.state = GState.BLOCKED
         g.block_reason = reason
         g.external = external
-        self.emit(EventKind.GO_BLOCK, info={"reason": reason})
+        info: dict = {"reason": reason}
+        if self.capture_sites:
+            stack = user_stack()
+            if stack:
+                info["site"] = stack[0]
+                info["stack"] = stack
+        self.emit(EventKind.GO_BLOCK, info=info)
         if g in self._runnable:
             self._runnable.remove(g)
         g.yield_to_scheduler()
@@ -225,6 +300,8 @@ class Scheduler:
                 used += 1
                 self._steps += 1
                 g = self._pick()
+                if self.on_step is not None:
+                    self.on_step(self._steps, len(self._runnable), g.gid)
                 self._current = g
                 g.resume()
                 self._current = None

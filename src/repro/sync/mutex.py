@@ -47,8 +47,11 @@ class Mutex:
         self._sched.schedule_point()
         me = self._sched.current
         # The *request* is observable even if the acquisition never
-        # completes — what lock-order analysis needs.
-        self._sched.emit(EventKind.MU_REQUEST, obj=self.id)
+        # completes — what lock-order analysis needs.  The contention
+        # profiler reads the name and queue depth off the same event.
+        self._sched.emit(EventKind.MU_REQUEST, obj=self.id,
+                         info={"name": self.name,
+                               "waiters": len(self._waiters)})
         if not self._locked:
             self._locked = True
             self._owner = me.gid

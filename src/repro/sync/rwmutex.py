@@ -93,7 +93,9 @@ class RWMutex:
         """Acquire the write lock, like ``mu.Lock()``."""
         self._sched.schedule_point()
         me = self._sched.current
-        self._sched.emit(EventKind.RW_REQUEST, obj=self.id)
+        self._sched.emit(EventKind.RW_REQUEST, obj=self.id,
+                         info={"name": self.name,
+                               "waiters": len(self._pending_writers)})
         if not self._writer and self._readers == 0:
             self._writer = True
             self._sched.emit(EventKind.RW_LOCK, obj=self.id)

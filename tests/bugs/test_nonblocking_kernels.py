@@ -14,7 +14,19 @@ IDS = [k.meta.kernel_id for k in NONBLOCKING]
 @pytest.mark.parametrize("kernel", NONBLOCKING, ids=IDS)
 def test_buggy_manifests_under_some_seed(kernel):
     if kernel.meta.latent:
-        pytest.skip("latent race kernel: evaluated through the detector")
+        # Latent races never corrupt an observable output on their own; they
+        # "manifest" when an unlimited-history race detector flags the
+        # unsynchronized pair, under every seed.
+        hits = 0
+        for seed in SEEDS:
+            detector = RaceDetector(shadow_words=None)
+            kernel.run_buggy(seed=seed, observers=[detector])
+            hits += detector.detected
+        assert hits == len(SEEDS), (
+            f"{kernel.meta.kernel_id}: latent race should be detected "
+            f"on every seed, got {hits}/{len(SEEDS)}"
+        )
+        return
     if kernel.meta.deterministic:
         assert kernel.manifested(kernel.run_buggy(seed=0))
     else:

@@ -1,0 +1,125 @@
+"""CLI surface of the observe subsystem: profile, trace-export, timeline,
+and the machine-readable --json variants of kernels/detect/chaos."""
+
+import json
+
+from repro.cli import main
+
+LEAKY = "blocking-chan-kubernetes-5316"
+
+
+def test_profile_kernel_names_blocking_site(capsys):
+    assert main(["profile", LEAKY, "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert f"target: {LEAKY}[buggy]" in out
+    assert "block profile" in out
+    assert "STILL BLOCKED" in out
+    assert "chan.send / " in out          # the leak's primitive + site
+    assert "goroutine profile" in out
+    assert "metrics:" in out
+
+
+def test_profile_fixed_variant_has_no_leak(capsys):
+    assert main(["profile", LEAKY, "--fixed", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "STILL BLOCKED" not in out
+
+
+def test_profile_flame_flag_appends_flamegraph(capsys):
+    assert main(["profile", LEAKY, "--flame"]) == 0
+    out = capsys.readouterr().out
+    assert "flamegraph" in out
+    assert "total weight:" in out
+
+
+def test_profile_app_target(capsys):
+    assert main(["profile", "app:miniboltdb", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "target: miniboltdb" in out
+
+
+def test_profile_json_dump(capsys):
+    assert main(["profile", LEAKY, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["target"] == f"{LEAKY}[buggy]"
+    assert "metrics" in data and "profiles" in data
+    blocked = [e for e in data["profiles"]["block"]["entries"]
+               if e["still_blocked"]]
+    assert blocked and blocked[0]["key"][0] == "chan.send"
+
+
+def test_profile_unknown_target_errors(capsys):
+    assert main(["profile", "no-such-thing"]) == 2
+    assert "unknown target" in capsys.readouterr().err
+
+
+def test_trace_export_writes_valid_chrome_trace(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    assert main(["trace-export", LEAKY, "-o", str(out_path)]) == 0
+    summary = capsys.readouterr().out
+    assert str(out_path) in summary
+    doc = json.loads(out_path.read_text())
+    assert doc["traceEvents"]
+    assert doc["otherData"]["source"] == "repro.observe"
+
+
+def test_trace_export_stdout(capsys):
+    assert main(["trace-export", LEAKY]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert {"traceEvents", "displayTimeUnit", "otherData"} == set(doc)
+
+
+def test_timeline_renders_lanes_and_stuck_summary(capsys):
+    assert main(["timeline", LEAKY, "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert f"target: {LEAKY}[buggy] seed=0" in out
+    assert "g1" in out
+    assert "stuck goroutines:" in out
+
+
+def test_timeline_fixed_variant_has_no_stuck_section(capsys):
+    assert main(["timeline", LEAKY, "--fixed"]) == 0
+    out = capsys.readouterr().out
+    assert "stuck goroutines:" not in out
+
+
+def test_kernels_json(capsys):
+    assert main(["kernels", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert isinstance(data, list) and len(data) > 20
+    by_id = {k["kernel_id"]: k for k in data}
+    assert LEAKY in by_id
+    assert by_id[LEAKY]["behavior"] == "blocking"
+    assert {"title", "app", "subcause", "fix_strategy"} <= set(by_id[LEAKY])
+
+
+def test_detect_json(capsys):
+    assert main(["detect", "nonblocking-trad-docker-lost-update",
+                 "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["kernel"] == "nonblocking-trad-docker-lost-update"
+    assert data["detectors"]["race"]["hit"] is True
+    assert data["detectors"]["race"]["reports"]
+    assert "builtin_deadlock" in data["detectors"]
+    assert data["result"]["status"]
+
+
+def test_chaos_observe_adds_metric_columns(capsys):
+    code = main(["chaos", "--kernel", "blocking-mutex-boltdb-392", "--fixed",
+                 "--seeds", "2", "--plan", "clock-skew", "--observe"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for column in ("Steps", "CtxSw", "BlkSteps", "PeakRun"):
+        assert column in out
+
+
+def test_chaos_observe_json_carries_metrics(capsys):
+    code = main(["chaos", "--kernel", "blocking-mutex-boltdb-392", "--fixed",
+                 "--seeds", "2", "--plan", "clock-skew", "--no-baseline",
+                 "--observe", "--json"])
+    data = json.loads(capsys.readouterr().out)
+    assert code == 0
+    cell = data["cells"][0]
+    assert cell["steps"] > 0
+    assert {"switches", "blocked_events", "blocked_steps",
+            "peak_runnable"} <= set(cell["metrics"])

@@ -1,0 +1,99 @@
+"""The subsystem's two load-bearing guarantees, asserted bit-for-bit:
+
+1. **Determinism** — every dump (metrics JSON, profile dump, Chrome trace)
+   is a pure function of ``(program, seed)``.
+2. **Inertness** — attaching an observer does not change the schedule:
+   the observed run's ``(step, gid, kind, obj)`` sequence is identical to
+   the unobserved run's.
+"""
+
+import pytest
+
+from repro import Observer, chrome_trace_json, measure_overhead, run
+from repro.bugs import registry
+from repro.observe import schedule_fingerprint
+
+SEEDS = (0, 1, 7)
+
+
+def busy(rt):
+    mu = rt.mutex()
+    ch = rt.make_chan(2, name="work")
+    wg = rt.waitgroup()
+
+    def worker(wid):
+        for i in range(4):
+            with mu:
+                pass
+            ch.send((wid, i))
+        wg.done()
+
+    def drain():
+        for _ in range(8):
+            ch.recv()
+        wg.done()
+
+    for wid in range(2):
+        wg.add(1)
+        rt.go(worker, wid, name=f"worker-{wid}")
+    wg.add(1)
+    rt.go(drain, name="drain")
+    wg.wait()
+    rt.sleep(0.1)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_same_seed_gives_byte_identical_dumps(seed):
+    first = run(busy, seed=seed, observe=True)
+    second = run(busy, seed=seed, observe=True)
+    assert first.observation.to_json() == second.observation.to_json()
+    assert (first.observation.metrics.to_json()
+            == second.observation.metrics.to_json())
+    assert first.observation.render() == second.observation.render()
+    assert first.observation.flamegraph() == second.observation.flamegraph()
+    assert (chrome_trace_json(first, first.observation)
+            == chrome_trace_json(second, second.observation))
+
+
+def test_different_seeds_usually_give_different_schedules():
+    fingerprints = {schedule_fingerprint(run(busy, seed=s)) for s in range(6)}
+    assert len(fingerprints) > 1, "busy() should be schedule-sensitive"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_observer_is_schedule_inert(seed):
+    bare = run(busy, seed=seed)
+    observed = run(busy, seed=seed, observe=True)
+    assert schedule_fingerprint(bare) == schedule_fingerprint(observed)
+
+
+def test_observer_is_inert_on_kernels():
+    kernel = registry.get("blocking-chan-kubernetes-5316")
+    for seed in SEEDS:
+        bare = kernel.run_buggy(seed=seed)
+        observed = kernel.run_buggy(seed=seed, observe=True)
+        assert schedule_fingerprint(bare) == schedule_fingerprint(observed)
+        assert kernel.manifested(bare) == kernel.manifested(observed)
+
+
+def test_observer_composes_with_detectors_inertly():
+    from repro.detect import RaceDetector
+
+    bare = run(busy, seed=1, observers=[RaceDetector()])
+    both = run(busy, seed=1, observers=[RaceDetector()], observe=True)
+    assert schedule_fingerprint(bare) == schedule_fingerprint(both)
+
+
+def test_measure_overhead_reports_identical_schedule():
+    report = measure_overhead(busy, seed=0, repeats=2)
+    assert report.identical_schedule
+    assert report.steps > 0
+    assert report.base_seconds > 0
+    assert "identical" in report.render()
+    assert report.to_dict()["ratio"] == pytest.approx(report.ratio)
+
+
+def test_fingerprint_requires_kept_trace():
+    result = run(busy, seed=0, keep_trace=False)
+    with pytest.raises(ValueError):
+        schedule_fingerprint(result)

@@ -1,0 +1,132 @@
+"""Chrome trace_event export validity."""
+
+import json
+
+import pytest
+
+from repro import chrome_trace, chrome_trace_json, run
+from repro.observe.export import metrics_json
+
+REQUIRED_EVENT_KEYS = {"name", "ph", "pid", "tid"}
+
+
+def pingpong(rt):
+    ping = rt.make_chan(name="ping")
+    pong = rt.make_chan(name="pong")
+
+    def echo():
+        for _ in range(3):
+            ping.recv()
+            pong.send(None)
+
+    rt.go(echo, name="echo")
+    for _ in range(3):
+        ping.send(None)
+        pong.recv()
+
+
+def sleeper(rt):
+    rt.go(lambda: rt.sleep(0.5), name="napper")
+    rt.sleep(1.0)
+
+
+def test_chrome_trace_is_valid_trace_event_json():
+    result = run(pingpong, seed=0, observe=True)
+    doc = json.loads(chrome_trace_json(result, result.observation))
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert doc["otherData"]["seed"] == 0
+    for event in doc["traceEvents"]:
+        assert REQUIRED_EVENT_KEYS <= set(event), event
+        assert event["ph"] in {"B", "E", "M", "i", "s", "f", "C"}, event
+        if event["ph"] != "M":
+            assert isinstance(event["ts"], (int, float))
+
+
+def test_block_spans_are_balanced_per_thread():
+    result = run(pingpong, seed=0)
+    doc = chrome_trace(result)
+    depth = {}
+    for event in doc["traceEvents"]:
+        if event.get("cat") != "block":
+            continue
+        tid = event["tid"]
+        if event["ph"] == "B":
+            depth[tid] = depth.get(tid, 0) + 1
+        elif event["ph"] == "E":
+            depth[tid] = depth.get(tid, 0) - 1
+        assert depth[tid] in (0, 1), (tid, depth)
+    assert all(d == 0 for d in depth.values()), depth
+
+
+def test_leaked_goroutine_span_closed_at_run_end():
+    def leak(rt):
+        ch = rt.make_chan()
+        rt.go(lambda: ch.send(1), name="stuck")
+
+    result = run(leak, seed=0)
+    doc = chrome_trace(result)
+    closers = [e for e in doc["traceEvents"]
+               if e["ph"] == "E" and e["args"].get("still_blocked")]
+    assert len(closers) == 1
+
+
+def test_flow_arrows_pair_sends_with_recvs():
+    result = run(pingpong, seed=0)
+    doc = chrome_trace(result)
+    starts = [e["id"] for e in doc["traceEvents"] if e["ph"] == "s"]
+    finishes = [e["id"] for e in doc["traceEvents"] if e["ph"] == "f"]
+    assert starts and sorted(starts) == sorted(finishes)
+    assert len(set(starts)) == len(starts)  # ids are unique per message
+
+
+def test_thread_metadata_names_every_goroutine():
+    result = run(pingpong, seed=0)
+    doc = chrome_trace(result)
+    named = {e["tid"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert {g.gid for g in result.goroutines} <= named
+
+
+def test_timestamps_combine_virtual_time_and_steps():
+    result = run(sleeper, seed=0)
+    doc = chrome_trace(result)
+    sleep_events = [e for e in doc["traceEvents"]
+                    if e["ph"] == "B" and "time.sleep" in e["name"]]
+    assert sleep_events
+    for event in sleep_events:
+        expected = (event["args"]["virtual_time"] * 1e6
+                    + event["args"]["step"])
+        assert event["ts"] == expected
+
+
+def test_observer_contributes_counter_track():
+    result = run(pingpong, seed=0, observe=True)
+    doc = chrome_trace(result, result.observation)
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert counters
+    assert all("runnable" in e["args"] for e in counters)
+
+
+def test_export_requires_kept_trace():
+    result = run(pingpong, seed=0, keep_trace=False)
+    with pytest.raises(ValueError):
+        chrome_trace(result)
+
+
+def test_memory_events_are_opt_in():
+    def racy(rt):
+        v = rt.shared("v", 0)
+        v.add(1)
+
+    result = run(racy, seed=0)
+    lean = chrome_trace(result)
+    rich = chrome_trace(result, include_memory=True)
+    assert not [e for e in lean["traceEvents"] if e.get("cat") == "mem"]
+    assert [e for e in rich["traceEvents"] if e.get("cat") == "mem"]
+
+
+def test_metrics_json_round_trips(tmp_path):
+    result = run(pingpong, seed=0, observe=True)
+    dumped = json.loads(metrics_json(result.observation))
+    assert dumped["run"]["status"] == "ok"
+    assert "sched.steps" in dumped["metrics"]

@@ -1,0 +1,135 @@
+"""End-to-end Observer behavior over real runs."""
+
+import pytest
+
+from repro import Observer, run
+from repro.bugs import registry
+
+
+def contended(rt):
+    mu = rt.mutex()
+    wg = rt.waitgroup()
+
+    def worker():
+        for _ in range(5):
+            with mu:
+                pass
+        wg.done()
+
+    for _ in range(3):
+        wg.add(1)
+        rt.go(worker, name="worker")
+    wg.wait()
+
+
+def pipeline(rt):
+    ch = rt.make_chan(2, name="jobs")
+
+    def produce():
+        for i in range(6):
+            ch.send(i)
+        ch.close()
+
+    rt.go(produce, name="producer")
+    total = 0
+    while True:
+        v, ok = ch.recv_ok()
+        if not ok:
+            break
+        total += v
+    return total
+
+
+def test_observe_true_attaches_default_observer():
+    result = run(contended, seed=0)
+    assert result.observation is None
+    observed = run(contended, seed=0, observe=True)
+    assert isinstance(observed.observation, Observer)
+    assert observed.observation.result is observed
+
+
+def test_counters_match_trace_reality():
+    result = run(pipeline, seed=1, observe=True)
+    m = result.observation.metrics
+    assert m.counter("chan.sends").value == 6
+    assert m.counter("chan.recvs").value >= 6
+    assert m.counter("chan.closes").value == 1
+    assert m.counter("go.spawned").value == 2  # main + producer
+    assert m.counter("sched.steps").value == result.steps
+
+
+def test_channel_occupancy_tracked_for_buffered_channel():
+    result = run(pipeline, seed=1, observe=True)
+    m = result.observation.metrics
+    names = [n for n in m.names() if n.startswith("chan.occupancy[jobs#")]
+    assert names, m.names()
+    hist = m[names[0]]
+    assert hist.max <= 2  # never exceeds capacity
+    assert hist.min >= 0
+
+
+def test_mutex_profile_names_the_contended_lock():
+    result = run(contended, seed=3, observe=True)
+    prof = result.observation.mutex_profile
+    assert prof.entries, "3 workers over one mutex must contend"
+    lock, site = next(iter(prof.entries))
+    assert "test_observer.py" in site
+    assert prof.total_steps > 0
+
+
+def test_goroutine_profile_counts_everyone():
+    result = run(contended, seed=0, observe=True)
+    gp = result.observation.goroutine_profile
+    assert gp.total() == 4  # main + 3 workers
+    states = {state for (state, _, _) in gp.groups}
+    assert states == {"done"}
+
+
+def test_block_profile_flags_leaked_goroutine_site():
+    """The acceptance criterion: profiling a leaking kernel names the
+    blocking call-site, still-blocked at exit."""
+    kernel = registry.get("blocking-chan-kubernetes-5316")
+    result = kernel.run_buggy(seed=0, observe=True)
+    assert kernel.manifested(result)
+    obs = result.observation
+    leaked = [e for e in obs.block_profile.top() if e.still_blocked]
+    assert leaked, "leaked goroutine must appear as a still-open span"
+    primitive, site = leaked[0].key
+    assert primitive == "chan.send"
+    assert ":" in site and site != "?"
+    assert "STILL BLOCKED" in obs.block_profile.render()
+
+
+def test_flamegraph_contains_user_frames():
+    result = run(contended, seed=3, observe=True)
+    flame = result.observation.flamegraph()
+    assert "mutex.lock" in flame
+    assert "test_observer.py" in flame
+
+
+def test_render_and_dict_cover_all_sections():
+    result = run(contended, seed=0, observe=True)
+    obs = result.observation
+    text = obs.render()
+    for section in ("run:", "goroutine profile", "block profile",
+                    "mutex profile", "metrics:"):
+        assert section in text
+    dump = obs.to_dict()
+    assert set(dump) == {"run", "metrics", "profiles", "flame"}
+    assert set(dump["profiles"]) == {"goroutine", "block", "mutex"}
+    assert dump["run"]["steps"] == result.steps
+
+
+def test_observer_is_single_run():
+    obs = Observer()
+    run(contended, seed=0, observe=obs)
+    with pytest.raises(Exception):
+        run(contended, seed=0, observe=obs)
+
+
+def test_capture_sites_off_still_profiles():
+    obs = Observer(capture_sites=False)
+    result = run(contended, seed=3, observe=obs)
+    assert result.observation.block_profile.entries
+    sites = {site for (_, site) in result.observation.block_profile.entries}
+    assert sites == {"?"}

@@ -1,0 +1,67 @@
+"""Unit tests for profile aggregation and the text flamegraph."""
+
+from repro.observe.profiles import GoroutineProfile, Profile, flamegraph
+
+
+def test_profile_aggregates_by_key():
+    p = Profile("block", ("primitive", "site"))
+    p.add(("chan.send", "a.py:1"), steps=10, seconds=0.1)
+    p.add(("chan.send", "a.py:1"), steps=5)
+    p.add(("mutex.lock", "b.py:2"), steps=40, still_blocked=1)
+    assert len(p.entries) == 2
+    assert p.total_steps == 55
+    top = p.top()
+    assert top[0].key == ("mutex.lock", "b.py:2")
+    assert top[1].count == 2 and top[1].steps == 15
+
+
+def test_profile_top_is_deterministic_on_ties():
+    p = Profile("x", ("k",))
+    p.add(("b",), steps=5)
+    p.add(("a",), steps=5)
+    assert [e.key for e in p.top()] == [("a",), ("b",)]
+
+
+def test_profile_render_flags_still_blocked():
+    p = Profile("block", ("primitive", "site"))
+    p.add(("chan.send", "leak.py:9"), steps=100, still_blocked=1)
+    text = p.render()
+    assert "leak.py:9" in text
+    assert "STILL BLOCKED" in text
+
+
+def test_empty_profile_renders():
+    p = Profile("mutex", ("lock", "site"))
+    assert "(no samples)" in p.render()
+    assert p.to_dict()["entries"] == []
+
+
+def test_goroutine_profile_groups_and_ranks_blocked_first():
+    gp = GoroutineProfile()
+    gp.add(1, "done", "main", "m.py:1")
+    gp.add(2, "blocked:chan.send", "worker", "w.py:5")
+    gp.add(3, "blocked:chan.send", "worker", "w.py:5")
+    assert gp.total() == 3
+    text = gp.render()
+    lines = text.splitlines()
+    assert "3 goroutines in 2 groups" in lines[0]
+    assert "blocked:chan.send" in lines[1]  # blocked group ranks first
+    assert "2 ×" in lines[1].replace("  ", " ")
+
+
+def test_flamegraph_merges_prefixes_deterministically():
+    stacks = [
+        (("main", "produce", "chan.send"), 30),
+        (("main", "consume", "chan.recv"), 10),
+        (("main", "produce", "chan.send"), 5),
+    ]
+    text = flamegraph(stacks, width=10)
+    assert "total weight: 45" in text
+    # produce (35) must render before consume (10) under main.
+    assert text.index("produce") < text.index("consume")
+    # Same input, same output.
+    assert flamegraph(stacks, width=10) == text
+
+
+def test_flamegraph_empty():
+    assert "(no blocked stacks recorded)" in flamegraph([])
