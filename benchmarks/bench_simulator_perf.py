@@ -1,10 +1,14 @@
 """Microbenchmarks of the simulator substrate itself.
 
 Not a paper table — these time the machinery every experiment rides on,
-so regressions in the scheduler/primitives show up here first.
+so regressions in the scheduler/primitives show up here first.  The same
+workloads back ``repro bench`` (:mod:`repro.bench`), whose JSON output is
+the committed ``BENCH_simulator.json`` baseline; CI's perf-smoke job runs
+both without gating the build.
 """
 
 from repro import run
+from repro.bench import WORKLOADS
 from repro.chan import recv, send
 
 
@@ -80,6 +84,31 @@ def test_perf_goroutine_spawn(benchmark):
     assert result.status == "ok"
 
 
+def test_perf_fastpath_pingpong(benchmark):
+    """The sweep configuration: no observer, no kept trace.  This is the
+    number the scheduler fast path (direct handoff, batched RNG, gated
+    trace allocation) is accountable for."""
+    program = WORKLOADS["pingpong"]
+    result = benchmark(lambda: run(program, seed=1, keep_trace=False))
+    assert result.status == "ok"
+
+
+def test_perf_fastpath_mutex(benchmark):
+    program = WORKLOADS["mutex"]
+    result = benchmark(lambda: run(program, seed=1, keep_trace=False))
+    assert result.status == "ok"
+
+
+def test_perf_sweep_serial(benchmark):
+    """16-seed serial sweep through the parallel engine's summary path —
+    the jobs=1 denominator of the scaling numbers in BENCH_simulator.json."""
+    from repro.parallel import sweep_seeds
+
+    program = WORKLOADS["pingpong"]
+    summaries = benchmark(lambda: sweep_seeds(program, range(16), jobs=1))
+    assert all(s.status == "ok" for s in summaries)
+
+
 def test_perf_race_detector_overhead(benchmark):
     """A run with the detector attached vs. the raw run (reported via two
     benchmark rounds — compare in the table)."""
@@ -107,3 +136,13 @@ def test_perf_race_detector_overhead(benchmark):
 
     result = benchmark(with_detector)
     assert result.status == "ok"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    # `python benchmarks/bench_simulator_perf.py --out BENCH_simulator.json`
+    # produces the same JSON document as `repro bench`.
+    import sys
+
+    from repro.bench import main
+
+    sys.exit(main())

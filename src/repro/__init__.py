@@ -23,6 +23,7 @@ See README.md for the full tour and DESIGN.md for the architecture.
 from .chan import Channel, NilChannel, recv, send
 from .inject import Fault, FaultInjector, FaultPlan
 from .observe import Observer, chrome_trace, chrome_trace_json, measure_overhead
+from .parallel import RunSummary, sweep_seeds
 from .runtime import (
     DeadlockError,
     EventKind,
@@ -73,6 +74,7 @@ __all__ = [
     "PipeError",
     "RWMutex",
     "RunResult",
+    "RunSummary",
     "Runtime",
     "SharedVar",
     "SimulatorError",
@@ -87,5 +89,6 @@ __all__ = [
     "recv",
     "run",
     "send",
+    "sweep_seeds",
     "__version__",
 ]

@@ -1,0 +1,256 @@
+"""Built-in performance benchmarks: ``repro bench`` / ``python -m repro.bench``.
+
+Times the two things the whole system's throughput hangs on:
+
+* **single-run fast path** — one simulation with no observer and no kept
+  trace, the configuration sweeps actually run in; reported per workload
+  as ms/run and scheduler steps/s;
+* **sweep scaling** — a 64-seed sweep at ``jobs=1`` vs ``jobs=N``
+  (:mod:`repro.parallel`), with the byte-identical-results check that the
+  equivalence tests also enforce.
+
+Output is a stable JSON document (``BENCH_simulator.json`` at the repo
+root holds the committed baseline; CI's non-gating perf-smoke job uploads
+a fresh one per run so trends are visible without failing builds).
+Numbers are hardware-dependent — compare runs from the same machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .runtime.runtime import run
+
+#: Bump when the document layout changes.
+SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# Workloads (shared with benchmarks/bench_simulator_perf.py)
+# ----------------------------------------------------------------------
+
+
+def pingpong(rt) -> None:
+    """Unbuffered rendezvous: 50 round trips between two goroutines."""
+    ping = rt.make_chan()
+    pong = rt.make_chan()
+
+    def echo():
+        for _ in range(50):
+            ping.recv()
+            pong.send(None)
+
+    rt.go(echo)
+    for _ in range(50):
+        ping.send(None)
+        pong.recv()
+
+
+def mutex_contention(rt) -> None:
+    """Four workers taking one mutex 25 times each."""
+    mu = rt.mutex()
+    done = rt.waitgroup()
+
+    def worker():
+        for _ in range(25):
+            with mu:
+                pass
+        done.done()
+
+    for _ in range(4):
+        done.add(1)
+        rt.go(worker)
+    done.wait()
+
+
+def select_fanin(rt) -> None:
+    """Four feeders fanning into one select loop."""
+    from .chan import recv as recv_case
+
+    channels = [rt.make_chan(1) for _ in range(4)]
+
+    def feeder(ch):
+        for i in range(10):
+            ch.send(i)
+
+    for ch in channels:
+        rt.go(feeder, ch)
+    got = 0
+    while got < 40:
+        rt.select(*[recv_case(ch) for ch in channels])
+        got += 1
+
+
+def spawn_heavy(rt) -> None:
+    """Forty short-lived goroutines against one waitgroup."""
+    wg = rt.waitgroup()
+    for _ in range(40):
+        wg.add(1)
+        rt.go(wg.done)
+    wg.wait()
+
+
+WORKLOADS: Dict[str, Callable[[Any], None]] = {
+    "pingpong": pingpong,
+    "mutex": mutex_contention,
+    "select_fanin": select_fanin,
+    "spawn": spawn_heavy,
+}
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+
+
+def bench_single(
+    program: Callable[[Any], None],
+    keep_trace: bool = False,
+    rounds: int = 30,
+    repeats: int = 3,
+    seed: int = 1,
+) -> Dict[str, float]:
+    """Best-of-``repeats`` timing of ``rounds`` serial runs of ``program``."""
+    # Warm-up: imports, code objects, site caches.
+    for _ in range(3):
+        run(program, seed=seed, keep_trace=keep_trace)
+    best = float("inf")
+    steps = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        total_steps = 0
+        for _ in range(rounds):
+            total_steps += run(program, seed=seed, keep_trace=keep_trace).steps
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+            steps = total_steps
+    per_run = best / rounds
+    return {
+        "ms_per_run": round(per_run * 1e3, 4),
+        "steps_per_run": steps // rounds,
+        "steps_per_s": round(steps / best, 1),
+    }
+
+
+def bench_sweep(
+    program: Callable[[Any], None],
+    n_seeds: int = 64,
+    jobs: int = 0,
+    keep_trace: bool = True,
+) -> Dict[str, Any]:
+    """Serial vs parallel sweep of ``n_seeds`` seeds, plus the equality check.
+
+    ``keep_trace=True`` so every summary carries a schedule digest and
+    "identical" means the full interleavings matched, not just statuses.
+    """
+    from .parallel import effective_jobs, sweep_seeds
+
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    seeds = list(range(n_seeds))
+
+    t0 = time.perf_counter()
+    serial = sweep_seeds(program, seeds, jobs=1, keep_trace=keep_trace)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = sweep_seeds(program, seeds, jobs=jobs, keep_trace=keep_trace)
+    parallel_s = time.perf_counter() - t0
+
+    return {
+        "seeds": n_seeds,
+        "jobs": jobs,
+        "effective_jobs": effective_jobs(jobs, n_seeds),
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "identical": serial == parallel,
+    }
+
+
+def run_benchmarks(jobs: int = 0, repeats: int = 3,
+                   sweep_seeds_n: int = 64) -> Dict[str, Any]:
+    """The full document: per-workload single-run timings + sweep scaling."""
+    single: Dict[str, Any] = {}
+    for name, program in WORKLOADS.items():
+        single[name] = {
+            "fast": bench_single(program, keep_trace=False, repeats=repeats),
+            "traced": bench_single(program, keep_trace=True, repeats=repeats),
+        }
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "cpus": os.cpu_count(),
+        "single": single,
+        "sweep": bench_sweep(pingpong, n_seeds=sweep_seeds_n, jobs=jobs),
+    }
+
+
+def render(document: Dict[str, Any]) -> str:
+    """Human-readable table of a benchmark document."""
+    lines: List[str] = []
+    lines.append(f"simulator benchmarks (python {document['python']}, "
+                 f"{document['cpus']} cpu(s))")
+    lines.append("")
+    lines.append(f"{'workload':<14} {'fast ms/run':>12} {'fast steps/s':>14} "
+                 f"{'traced ms/run':>14} {'traced steps/s':>15}")
+    for name, row in document["single"].items():
+        fast, traced = row["fast"], row["traced"]
+        lines.append(f"{name:<14} {fast['ms_per_run']:>12.3f} "
+                     f"{fast['steps_per_s']:>14,.0f} "
+                     f"{traced['ms_per_run']:>14.3f} "
+                     f"{traced['steps_per_s']:>15,.0f}")
+    sweep = document["sweep"]
+    lines.append("")
+    lines.append(
+        f"sweep: {sweep['seeds']} seeds, jobs=1 {sweep['serial_s']:.2f}s vs "
+        f"jobs={sweep['jobs']} {sweep['parallel_s']:.2f}s "
+        f"(speedup {sweep['speedup']}x, effective workers "
+        f"{sweep['effective_jobs']}, identical={sweep['identical']})")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="simulator performance benchmarks (single-run fast path "
+                    "+ parallel sweep scaling)")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="workers for the sweep benchmark "
+                             "(default: all cpus)")
+    parser.add_argument("--repeats", type=int, default=3, metavar="N",
+                        help="timing repeats per workload; best is kept "
+                             "(default: 3)")
+    parser.add_argument("--sweep-seeds", type=int, default=64, metavar="N",
+                        help="seeds in the sweep benchmark (default: 64)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the JSON document instead of the table")
+    parser.add_argument("--out", metavar="FILE",
+                        help="also write the JSON document to FILE")
+    args = parser.parse_args(argv)
+
+    document = run_benchmarks(jobs=args.jobs, repeats=args.repeats,
+                              sweep_seeds_n=args.sweep_seeds)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(render(document))
+        if args.out:
+            print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -109,6 +109,19 @@ class BugKernel:
         return run(cls.fixed, seed=seed, **merged)
 
     @classmethod
-    def manifestation_seeds(cls, seeds, **kwargs: Any):
-        """Seeds (from ``seeds``) under which the buggy program misbehaves."""
+    def manifestation_seeds(cls, seeds, jobs: int = 1, **kwargs: Any):
+        """Seeds (from ``seeds``) under which the buggy program misbehaves.
+
+        ``jobs > 1`` sweeps across worker processes (:mod:`repro.parallel`);
+        ``manifested`` is evaluated worker-side, and the returned seed list
+        is identical to the serial one.
+        """
+        if jobs > 1:
+            from ..parallel import sweep_seeds
+
+            merged = dict(cls.run_kwargs)
+            merged.update(kwargs)
+            summaries = sweep_seeds(cls.buggy, seeds, jobs=jobs,
+                                    predicate=cls.manifested, **merged)
+            return [s.seed for s in summaries if s.manifested]
         return [s for s in seeds if cls.manifested(cls.run_buggy(seed=s, **kwargs))]

@@ -7,6 +7,8 @@ Commands:
 * ``run-kernel <id>``       — run one kernel (buggy or fixed) and classify.
 * ``detect <id>``           — run every detector against one kernel.
 * ``scan <paths...>``       — static loop-capture scan over Python sources.
+* ``bench``                 — simulator performance benchmarks: single-run
+  fast path and parallel sweep scaling (``--out BENCH_simulator.json``).
 * ``chaos``                 — fault-injection sweeps and the resilience
   scorecard (``repro chaos --apps``, ``repro chaos --kernel <id>``).
 * ``profile <target>``      — pprof-style goroutine/block/mutex profiles
@@ -90,11 +92,18 @@ def _cmd_run_kernel(args: argparse.Namespace) -> int:
     program = kernel.run_fixed if args.fixed else kernel.run_buggy
     variant = "fixed" if args.fixed else "buggy"
     if args.sweep:
-        hits = []
-        for seed in range(args.sweep):
-            result = program(seed=seed)
-            if kernel.manifested(result):
-                hits.append(seed)
+        if args.jobs > 1:
+            from .parallel import sweep_seeds
+
+            variant_fn = kernel.fixed if args.fixed else kernel.buggy
+            summaries = sweep_seeds(variant_fn, range(args.sweep),
+                                    jobs=args.jobs,
+                                    predicate=kernel.manifested,
+                                    **dict(kernel.run_kwargs))
+            hits = [s.seed for s in summaries if s.manifested]
+        else:
+            hits = [seed for seed in range(args.sweep)
+                    if kernel.manifested(program(seed=seed))]
         if args.json:
             print(json.dumps({
                 "kernel": args.kernel_id,
@@ -124,7 +133,8 @@ def _cmd_run_kernel(args: argparse.Namespace) -> int:
 def _cmd_detect(args: argparse.Namespace) -> int:
     kernel = registry.get(args.kernel_id)
     seeds = ([args.seed] if args.seed is not None
-             else (kernel.manifestation_seeds(range(40)) or [0])[:1])
+             else (kernel.manifestation_seeds(range(40), jobs=args.jobs)
+                   or [0])[:1])
     seed = seeds[0]
 
     race = RaceDetector()
@@ -217,7 +227,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     program = kernel.fixed if args.fixed else kernel.buggy
     kwargs = dict(kernel.run_kwargs)
     exploration = explore_systematic(
-        program, stop_on=kernel.manifested, max_runs=args.max_runs, **kwargs
+        program, stop_on=kernel.manifested, max_runs=args.max_runs,
+        jobs=args.jobs, **kwargs
     )
     variant = "fixed" if args.fixed else "buggy"
     if args.json:
@@ -280,7 +291,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
-    harness = ChaosHarness(seeds=range(args.seeds), observe=args.observe)
+    harness = ChaosHarness(seeds=range(args.seeds), observe=args.observe,
+                           jobs=args.jobs)
     cells = harness.sweep(targets, plans=suite,
                           include_baseline=not args.no_baseline)
     if args.json:
@@ -385,6 +397,21 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import main as bench_main
+
+    forwarded = []
+    if args.jobs:
+        forwarded += ["--jobs", str(args.jobs)]
+    forwarded += ["--repeats", str(args.repeats),
+                  "--sweep-seeds", str(args.sweep_seeds)]
+    if args.json:
+        forwarded.append("--json")
+    if args.out:
+        forwarded += ["--out", args.out]
+    return bench_main(forwarded)
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     findings = scan_paths(args.paths)
     for finding in findings:
@@ -403,6 +430,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("report", help="regenerate the paper's evaluation")
 
+    def add_jobs_arg(p):
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for seed sweeps (default: 1 "
+                            "for CI reproducibility; any value yields "
+                            "identical results)")
+
     kernels = sub.add_parser("kernels", help="list the bug corpus")
     kernels.add_argument("--blocking", action="store_true")
     kernels.add_argument("--nonblocking", action="store_true")
@@ -418,15 +451,33 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run seeds 0..N-1 and report the manifestation rate")
     runk.add_argument("--json", action="store_true",
                       help="emit machine-readable JSON instead of text")
+    add_jobs_arg(runk)
 
     detect = sub.add_parser("detect", help="run every detector on a kernel")
     detect.add_argument("kernel_id")
     detect.add_argument("--seed", type=int, default=None)
     detect.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of text")
+    add_jobs_arg(detect)
 
     scan = sub.add_parser("scan", help="static loop-capture scan")
     scan.add_argument("paths", nargs="+")
+
+    bench = sub.add_parser(
+        "bench", help="simulator performance benchmarks (fast path + sweep "
+                      "scaling; see BENCH_simulator.json for the baseline)"
+    )
+    bench.add_argument("--jobs", type=int, default=0, metavar="N",
+                       help="workers for the sweep benchmark "
+                            "(default: all cpus)")
+    bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                       help="timing repeats per workload (default: 3)")
+    bench.add_argument("--sweep-seeds", type=int, default=64, metavar="N",
+                       help="seeds in the sweep benchmark (default: 64)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the JSON document instead of the table")
+    bench.add_argument("--out", metavar="FILE",
+                       help="also write the JSON document to FILE")
 
     explore = sub.add_parser(
         "explore", help="systematically enumerate a kernel's schedules"
@@ -436,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--fixed", action="store_true")
     explore.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of text")
+    add_jobs_arg(explore)
 
     export = sub.add_parser(
         "export", help="write tables/figures as TSV/JSON artifacts"
@@ -472,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--observe", action="store_true",
                        help="attach an observer to every run and add "
                             "per-cell metrics columns to the scorecard")
+    add_jobs_arg(chaos)
 
     def add_target_args(p, seed_help="scheduler seed (default: 0)"):
         p.add_argument("target",
@@ -525,6 +578,7 @@ _COMMANDS = {
     "run-kernel": _cmd_run_kernel,
     "detect": _cmd_detect,
     "scan": _cmd_scan,
+    "bench": _cmd_bench,
     "explore": _cmd_explore,
     "export": _cmd_export,
     "usage": _cmd_usage,

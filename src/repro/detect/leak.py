@@ -38,22 +38,49 @@ def manifestation_rate(
     program: Callable,
     seeds: Iterable[int],
     manifests: Callable[[RunResult], bool],
+    jobs: int = 1,
     **run_kwargs: Any,
 ) -> float:
-    """Fraction of seeds under which ``manifests(result)`` is true."""
+    """Fraction of seeds under which ``manifests(result)`` is true.
+
+    ``jobs > 1`` fans the sweep across worker processes
+    (:mod:`repro.parallel`); the predicate runs worker-side against each
+    full result, and the rate is identical to a serial sweep.
+    """
     seed_list = list(seeds)
     if not seed_list:
         raise ValueError("manifestation_rate needs at least one seed")
-    hits = sum(1 for seed in seed_list
-               if manifests(run(program, seed=seed, **run_kwargs)))
+    if jobs > 1:
+        from ..parallel import sweep_seeds
+
+        summaries = sweep_seeds(program, seed_list, jobs=jobs,
+                                predicate=manifests, **run_kwargs)
+        hits = sum(1 for s in summaries if s.manifested)
+    else:
+        hits = sum(1 for seed in seed_list
+                   if manifests(run(program, seed=seed, **run_kwargs)))
     return hits / len(seed_list)
 
 
+def _stuck(result: Any) -> bool:
+    return result.status in ("deadlock", "hang") or bool(result.leaked)
+
+
 def leaks_under_any_seed(program: Callable, seeds: Iterable[int],
-                         **run_kwargs: Any) -> bool:
-    """True when some seed makes the program leak or deadlock."""
+                         jobs: int = 1, **run_kwargs: Any) -> bool:
+    """True when some seed makes the program leak or deadlock.
+
+    Serial sweeps stop at the first hit; with ``jobs > 1`` every seed runs
+    (speculatively, in parallel) and the verdicts are OR-ed — same answer,
+    different wall-clock trade-off.
+    """
+    if jobs > 1:
+        from ..parallel import sweep_seeds
+
+        summaries = sweep_seeds(program, seeds, jobs=jobs,
+                                predicate=_stuck, **run_kwargs)
+        return any(s.manifested for s in summaries)
     for seed in seeds:
-        result = run(program, seed=seed, **run_kwargs)
-        if result.status in ("deadlock", "hang") or result.leaked:
+        if _stuck(run(program, seed=seed, **run_kwargs)):
             return True
     return False

@@ -23,6 +23,7 @@ for larger ones the explorer is a directed bug-finder that needs no luck.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..runtime.runtime import RunResult, run
@@ -69,11 +70,33 @@ class Exploration:
         return f"{self.runs} runs, {verdict} (statuses: {self.statuses})"
 
 
+def _explore_unit(
+    program: Callable,
+    prefix: List[int],
+    stop_on: Optional[Callable[[RunResult], bool]],
+    run_kwargs: dict,
+) -> Tuple[List[Tuple[int, int]], Any, bool]:
+    """One scheduled run of one prefix; picklable outcome for sweep workers.
+
+    Returns ``(choice log, result-or-summary, stop hit)``.  The full
+    :class:`RunResult` cannot cross a process boundary, so workers reduce
+    it to a :class:`repro.parallel.RunSummary`; ``stop_on`` is evaluated
+    here, where the rich result still exists.
+    """
+    from ..parallel import summarize_result
+
+    choices = ScriptedChoices(prefix)
+    result = run(program, rng=choices, **run_kwargs)
+    hit = stop_on is not None and bool(stop_on(result))
+    return choices.log, summarize_result(result), hit
+
+
 def explore_systematic(
     program: Callable,
     stop_on: Optional[Callable[[RunResult], bool]] = None,
     max_runs: int = 1000,
     max_branch_depth: int = 400,
+    jobs: int = 1,
     **run_kwargs: Any,
 ) -> Exploration:
     """Depth-first enumeration of the program's schedule tree.
@@ -87,12 +110,63 @@ def explore_systematic(
         max_runs: total run budget.
         max_branch_depth: only branch on the first N decision points of
             each run (bounds the tree; later choices stay at the default).
+        jobs: worker processes (:mod:`repro.parallel`).  With ``jobs > 1``
+            up to ``jobs`` frontier prefixes run concurrently per round and
+            their branches merge in submission order.  Schedule *coverage*
+            is unchanged — each prefix's children depend only on its own
+            run — so exploration to exhaustion visits exactly the same
+            tree; only the visiting order (and, with ``stop_on``, which
+            counterexample is found first) can differ.  The parallel
+            counterexample result is a :class:`repro.parallel.RunSummary`
+            rather than a full :class:`RunResult`.
         run_kwargs: forwarded to :func:`repro.run` (e.g. ``time_limit``).
     """
     stack: List[List[int]] = [[]]
     seen_prefixes = 0
     statuses: dict = {}
     runs = 0
+
+    def branch(prefix: List[int], log: List[Tuple[int, int]]) -> None:
+        # Branch: every untried alternative after the replayed prefix.
+        nonlocal seen_prefixes
+        limit = min(len(log), max_branch_depth)
+        for position in range(len(prefix), limit):
+            n, taken = log[position]
+            if n <= 1:
+                continue
+            base = [choice for _n, choice in log[:position]]
+            for alternative in range(n - 1, -1, -1):
+                if alternative != taken:
+                    stack.append(base + [alternative])
+                    seen_prefixes += 1
+
+    if jobs > 1:
+        from ..parallel import map_units
+
+        while stack and runs < max_runs:
+            width = min(jobs, len(stack), max_runs - runs)
+            prefixes = [stack.pop() for _ in range(width)]
+            outcomes = map_units(
+                [partial(_explore_unit, program, prefix, stop_on, run_kwargs)
+                 for prefix in prefixes],
+                jobs=jobs,
+            )
+            for prefix, (log, summary, hit) in zip(prefixes, outcomes):
+                runs += 1
+                statuses[summary.status] = statuses.get(summary.status, 0) + 1
+                if hit:
+                    # First hit in submission order wins; the rest of this
+                    # speculative batch is discarded uncounted.
+                    return Exploration(
+                        runs=runs,
+                        exhausted=False,
+                        counterexample=[taken for _n, taken in
+                                        log[: len(prefix)]] or list(prefix),
+                        counterexample_result=summary,
+                        statuses=statuses,
+                    )
+                branch(prefix, log)
+        return Exploration(runs=runs, exhausted=not stack, statuses=statuses)
 
     while stack and runs < max_runs:
         prefix = stack.pop()
@@ -111,18 +185,7 @@ def explore_systematic(
                 statuses=statuses,
             )
 
-        # Branch: every untried alternative after the replayed prefix.
-        log = choices.log
-        limit = min(len(log), max_branch_depth)
-        for position in range(len(prefix), limit):
-            n, taken = log[position]
-            if n <= 1:
-                continue
-            base = [choice for _n, choice in log[:position]]
-            for alternative in range(n - 1, -1, -1):
-                if alternative != taken:
-                    stack.append(base + [alternative])
-                    seen_prefixes += 1
+        branch(prefix, choices.log)
 
     return Exploration(
         runs=runs,

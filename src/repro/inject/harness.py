@@ -14,8 +14,10 @@ from __future__ import annotations
 import inspect
 from collections import Counter
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..parallel import map_units
 from ..runtime.runtime import RunResult, run
 from ..study.tables import render
 from .plan import FaultPlan
@@ -113,6 +115,44 @@ class ChaosCell:
         }
 
 
+def _observation_metrics(observation: Any) -> Dict[str, float]:
+    """Per-seed metric snapshot (picklable), computed where the observer is."""
+    registry = observation.metrics
+    return {
+        "switches": (registry.counter("sched.switches").value
+                     if "sched.switches" in registry else 0),
+        "blocked_events": (registry.counter("go.blocks").value
+                           if "go.blocks" in registry else 0),
+        "blocked_steps": observation.block_profile.total_steps,
+        "peak_runnable": (registry.histogram("sched.runnable_depth").max or 0
+                          if "sched.runnable_depth" in registry else 0),
+    }
+
+
+def _run_cell_seed(target: "ChaosTarget", plan: Optional[FaultPlan],
+                   observing: bool, seed: int) -> Dict[str, Any]:
+    """One (seed, plan) unit of a chaos cell, reduced to a picklable record.
+
+    Everything a cell folds — status, the target's own pass/fail verdict,
+    fault and step counts, observation metrics — is computed here, in
+    whichever process ran the simulation, so parallel sweeps ship back flat
+    data instead of live results.
+    """
+    if observing:
+        result = target.runner(seed, plan, True)
+    else:
+        result = target.runner(seed, plan)
+    observation = getattr(result, "observation", None)
+    return {
+        "status": result.status,
+        "ok": bool(target.ok(result)),
+        "faults": len(result.injected),
+        "steps": result.steps,
+        "metrics": (None if observation is None
+                    else _observation_metrics(observation)),
+    }
+
+
 class ChaosHarness:
     """Run targets × plans × seeds; collect cells; render the scorecard.
 
@@ -120,12 +160,18 @@ class ChaosHarness:
     and each cell aggregates its metrics (context switches, peak runnable
     depth, blocked steps) — the per-cell view of *how* a plan stressed a
     target, not only whether it survived.
+
+    ``jobs > 1`` fans each cell's seed sweep across worker processes
+    (:mod:`repro.parallel`).  Serial and parallel sweeps fold the same
+    per-seed records in the same seed order, so the resulting cells (and
+    ``to_dict()`` output) are byte-identical.
     """
 
     def __init__(self, seeds: Sequence[int] = tuple(range(10)),
-                 observe: bool = False):
+                 observe: bool = False, jobs: int = 1):
         self.seeds = tuple(seeds)
         self.observe = observe
+        self.jobs = jobs
         self.cells: List[ChaosCell] = []
 
     # ------------------------------------------------------------------
@@ -142,38 +188,34 @@ class ChaosHarness:
         cell = ChaosCell(target=target.name,
                          plan=plan.name if plan is not None else "baseline")
         observing = self.observe and self._runner_takes_observe(target.runner)
-        for seed in self.seeds:
-            if observing:
-                result = target.runner(seed, plan, True)
-            else:
-                result = target.runner(seed, plan)
+        records = map_units(
+            [partial(_run_cell_seed, target, plan, observing, seed)
+             for seed in self.seeds],
+            jobs=self.jobs,
+        )
+        for seed, record in zip(self.seeds, records):
             cell.runs += 1
-            cell.statuses[result.status] += 1
-            cell.faults_fired += len(result.injected)
-            cell.steps += result.steps
-            observation = getattr(result, "observation", None)
-            if observation is not None:
-                self._fold_metrics(cell, observation)
-            if not target.ok(result):
+            cell.statuses[record["status"]] += 1
+            cell.faults_fired += record["faults"]
+            cell.steps += record["steps"]
+            if record["metrics"] is not None:
+                self._fold_metrics(cell, record["metrics"])
+            if not record["ok"]:
                 cell.failures.append(seed)
         self.cells.append(cell)
         return cell
 
     @staticmethod
-    def _fold_metrics(cell: ChaosCell, observation: Any) -> None:
+    def _fold_metrics(cell: ChaosCell, seed_metrics: Dict[str, float]) -> None:
         metrics = cell.metrics
-        registry = observation.metrics
-        switches = (registry.counter("sched.switches").value
-                    if "sched.switches" in registry else 0)
-        blocks = (registry.counter("go.blocks").value
-                  if "go.blocks" in registry else 0)
-        depth = (registry.histogram("sched.runnable_depth").max or 0
-                 if "sched.runnable_depth" in registry else 0)
-        metrics["switches"] = metrics.get("switches", 0) + switches
-        metrics["blocked_events"] = metrics.get("blocked_events", 0) + blocks
+        metrics["switches"] = (metrics.get("switches", 0)
+                               + seed_metrics["switches"])
+        metrics["blocked_events"] = (metrics.get("blocked_events", 0)
+                                     + seed_metrics["blocked_events"])
         metrics["blocked_steps"] = (metrics.get("blocked_steps", 0)
-                                    + observation.block_profile.total_steps)
-        metrics["peak_runnable"] = max(metrics.get("peak_runnable", 0), depth)
+                                    + seed_metrics["blocked_steps"])
+        metrics["peak_runnable"] = max(metrics.get("peak_runnable", 0),
+                                       seed_metrics["peak_runnable"])
 
     def sweep(self, targets: Sequence[ChaosTarget],
               plans: Optional[Sequence[FaultPlan]] = None,
@@ -258,13 +300,22 @@ def kernel_targets(kernel_ids: Optional[Sequence[str]] = None,
     return [ChaosTarget.from_kernel(k, variant=variant) for k in kernels]
 
 
+def _manifested_under(kernel, run_variant, plan, seed: int) -> bool:
+    return bool(kernel.manifested(run_variant(seed=seed, inject=plan)))
+
+
 def manifestation_rate(kernel, seeds: Sequence[int],
                        plan: Optional[FaultPlan] = None,
-                       variant: str = "buggy") -> float:
-    """Fraction of seeds under which the kernel's symptom appears."""
+                       variant: str = "buggy", jobs: int = 1) -> float:
+    """Fraction of seeds under which the kernel's symptom appears.
+
+    ``jobs > 1`` runs the seeds across worker processes; the rate is
+    identical to the serial sweep's.
+    """
     run_variant = kernel.run_buggy if variant == "buggy" else kernel.run_fixed
-    hits = sum(
-        1 for seed in seeds
-        if kernel.manifested(run_variant(seed=seed, inject=plan))
+    verdicts = map_units(
+        [partial(_manifested_under, kernel, run_variant, plan, seed)
+         for seed in seeds],
+        jobs=jobs,
     )
-    return hits / len(seeds) if seeds else 0.0
+    return sum(verdicts) / len(seeds) if seeds else 0.0

@@ -1,0 +1,73 @@
+"""The process-pool sweep engine: fan work units across cores, merge in order.
+
+Seed sweeps are embarrassingly parallel — every ``(seed, plan)`` unit is an
+independent deterministic simulation — but a unit of work is a *closure*
+(program + options), and closures do not pickle.  The engine sidesteps
+pickling entirely with the fork start method: the unit list is published in
+a module-level slot in the parent, children inherit it through the fork,
+and only the unit *index* travels through the pool.  Results (picklable
+:class:`repro.parallel.summary.RunSummary` objects) come back via
+``Pool.map``, which preserves submission order, so the merged list is
+deterministic and identical to a serial sweep's.
+
+Degrades to serial execution automatically when:
+
+* ``jobs <= 1`` or there is at most one unit,
+* the platform has no ``fork`` start method (e.g. Windows), or
+* we are already *inside* a sweep worker (the inherited slot is non-None):
+  nested sweeps run serially instead of forking recursively.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["map_units", "effective_jobs"]
+
+#: Unit list published for forked workers.  Non-None only while a pool is
+#: alive in this process — which is also the "am I a worker?" signal that
+#: makes nested sweeps degrade to serial.
+_ACTIVE_UNITS: Optional[Sequence[Callable[[], Any]]] = None
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic hosts
+        return False
+
+
+def effective_jobs(jobs: int, n_units: int) -> int:
+    """How many worker processes :func:`map_units` would actually use."""
+    if jobs <= 1 or n_units <= 1 or not _fork_available():
+        return 1
+    if _ACTIVE_UNITS is not None:  # nested inside a worker
+        return 1
+    return min(jobs, n_units)
+
+
+def _execute_unit(index: int) -> Any:
+    # Runs in a forked child: _ACTIVE_UNITS was inherited from the parent.
+    return _ACTIVE_UNITS[index]()
+
+
+def map_units(units: Sequence[Callable[[], Any]], jobs: int = 1) -> List[Any]:
+    """Run every zero-arg unit; return their results in submission order.
+
+    With ``jobs > 1`` units execute across a fork pool; each unit's return
+    value must be picklable.  Exceptions raised by a unit propagate to the
+    caller either way.  Order of the result list never depends on worker
+    timing.
+    """
+    global _ACTIVE_UNITS
+    workers = effective_jobs(jobs, len(units))
+    if workers <= 1:
+        return [unit() for unit in units]
+    ctx = multiprocessing.get_context("fork")
+    _ACTIVE_UNITS = units
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(_execute_unit, range(len(units)))
+    finally:
+        _ACTIVE_UNITS = None

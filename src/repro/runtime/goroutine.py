@@ -1,11 +1,29 @@
-"""Goroutines as token-passing host threads.
+"""Goroutines as token-passing hosts (threads by default, greenlets optionally).
 
-Exactly one thread in a simulation runs at any instant: either the scheduler
-or a single goroutine holding the *token*.  The handoff is implemented with
-one :class:`threading.Event` per goroutine plus one owned by the scheduler.
-Because of this one-runner invariant, primitive state needs no host-level
-locking and every interleaving is fully determined by the scheduler's seeded
-choices.
+Exactly one host in a simulation runs at any instant: either the scheduler
+or a single goroutine holding the *token*.  Because of this one-runner
+invariant, primitive state needs no host-level locking and every
+interleaving is fully determined by the scheduler's seeded choices.
+
+Two interchangeable backends implement the handoff:
+
+* ``"thread"`` (default): one daemon host thread per goroutine.  The token
+  moves through raw ``threading.Lock`` binary semaphores — one per goroutine
+  plus one owned by the scheduler's main loop.  Handoffs are *direct*: a
+  yielding goroutine runs the scheduler's per-step logic inline on its own
+  host (see :meth:`Scheduler._handback`) and wakes the next goroutine's
+  thread itself, so a step costs one OS context switch instead of the two a
+  bounce through the scheduler thread would pay — and zero when the RNG
+  picks the same goroutine again.  The main thread only wakes for timers,
+  termination, and quiescence.
+* ``"greenlet"``: every goroutine is a greenlet on the scheduler's own
+  thread; the handoff is a userspace stack switch with no locks and no OS
+  context switch at all.  Available only when the optional :mod:`greenlet`
+  package is importable; the scheduler falls back to threads otherwise.
+
+Both backends produce bit-identical schedules — the token protocol is the
+same, only the vehicle differs — which the cross-backend fingerprint tests
+assert.
 
 A goroutine's life:
 
@@ -27,8 +45,18 @@ from .errors import GoPanic, Killed
 #: ``Killed`` (a ``BaseException``) or parks on a host-level primitive the
 #: scheduler cannot interrupt; such threads are recorded on the goroutine
 #: (``stuck_host_thread``) and surfaced on the :class:`RunResult` instead of
-#: being dropped silently.
+#: being dropped silently.  Override per run with
+#: ``run(..., host_join_timeout=...)``; sweep workers shrink it so one
+#: pathological seed cannot stall a whole sweep (see :mod:`repro.parallel`).
 HOST_JOIN_TIMEOUT = 5.0
+
+try:  # optional single-thread backend
+    import greenlet as _greenlet
+except ImportError:  # pragma: no cover - greenlet not installed in CI image
+    _greenlet = None
+
+#: True when the optional greenlet backend can actually be used.
+HAS_GREENLET = _greenlet is not None
 
 
 class GState:
@@ -51,15 +79,33 @@ class Goroutine:
 
     The scheduler interacts with it through :meth:`start`, :meth:`resume`
     and :meth:`kill`; the goroutine yields back with :meth:`yield_to_scheduler`
-    (called from primitive code running on the goroutine's thread).
+    (called from primitive code running on the goroutine's host).
+
+    Token protocol (thread backend): the main loop's handoff lock and the
+    goroutine's private lock are both created *held*.  ``resume`` releases
+    the goroutine's lock (waking it) and blocks acquiring the main-loop
+    lock; a yielding goroutine runs the scheduler's continuation
+    (``Scheduler._handback``) inline on its own host, which either wakes
+    the next goroutine's private lock directly, tells this host to keep
+    running (self-pick), or releases the main-loop lock when the scheduler
+    thread must act.  Strict alternation under the one-runner invariant
+    means each lock is released exactly once per acquire.
     """
+
+    __slots__ = (
+        "gid", "fn", "args", "name", "anonymous", "creation_site",
+        "state", "block_reason", "external", "panic_value",
+        "panic_traceback", "result", "pending_error", "stuck_host_thread",
+        "created_at", "ended_at", "mailbox",
+        "_sched", "_my_lock", "_killed", "_thread",
+    )
 
     def __init__(
         self,
         gid: int,
         fn: Callable[..., Any],
         args: Tuple[Any, ...],
-        scheduler_wakeup: threading.Event,
+        scheduler: Any,
         name: Optional[str] = None,
         anonymous: bool = False,
         creation_site: Optional[str] = None,
@@ -96,8 +142,11 @@ class Goroutine:
         # Mailbox used by rendezvous primitives to hand a value to a waiter.
         self.mailbox: Any = None
 
-        self._sched_wakeup = scheduler_wakeup
-        self._my_wakeup = threading.Event()
+        #: The owning scheduler: yields run its continuation inline
+        #: (``_handback``), and ``kill`` pairs with its main-loop handoff lock.
+        self._sched = scheduler
+        self._my_lock = threading.Lock()
+        self._my_lock.acquire()  # created held: the host parks on it
         self._killed = False
         self._thread: Optional[threading.Thread] = None
 
@@ -114,11 +163,11 @@ class Goroutine:
         self._thread.start()
 
     def resume(self) -> None:
-        """Hand the token to this goroutine and wait for it to come back."""
+        """Hand the token to this goroutine; park the main loop until some
+        goroutine's inline continuation decides the scheduler must act."""
         self.state = GState.RUNNING
-        self._sched_wakeup.clear()
-        self._my_wakeup.set()
-        self._sched_wakeup.wait()
+        self._my_lock.release()
+        self._sched._handoff.acquire()
 
     def kill(self, join_timeout: Optional[float] = None) -> None:
         """Force the goroutine's host thread to unwind (scheduler-side).
@@ -132,32 +181,49 @@ class Goroutine:
         if self.state in GState.TERMINAL or self._thread is None:
             return
         timeout = HOST_JOIN_TIMEOUT if join_timeout is None else join_timeout
+        handoff = self._sched._handoff
         self._killed = True
-        self._sched_wakeup.clear()
-        self._my_wakeup.set()
-        handed_back = self._sched_wakeup.wait(timeout=timeout)
+        # Drain a stale token return left by a previously stuck thread that
+        # unwound late (the lock analogue of the old ``Event.clear()``).
+        while handoff.acquire(blocking=False):
+            pass
+        self._my_lock.release()
+        handed_back = handoff.acquire(timeout=max(timeout, 0.0))
         if handed_back:
             self._thread.join(timeout=timeout)
         if self._thread.is_alive():
-            self.stuck_host_thread = True
-            warnings.warn(
-                f"goroutine {self.gid} ({self.name}): host thread did not "
-                f"unwind within {timeout:g}s after kill; the thread is stuck "
-                "and will be abandoned (user code may be swallowing the "
-                "Killed signal or blocking outside the simulator)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            self._mark_stuck(timeout)
+            if not handed_back:
+                # Keep the scheduler-holds-the-handoff invariant for the
+                # next kill even though this thread never handed it back.
+                handoff.acquire(blocking=False)
+
+    def _mark_stuck(self, timeout: float) -> None:
+        self.stuck_host_thread = True
+        warnings.warn(
+            f"goroutine {self.gid} ({self.name}): host thread did not "
+            f"unwind within {timeout:g}s after kill; the thread is stuck "
+            "and will be abandoned (user code may be swallowing the "
+            "Killed signal or blocking outside the simulator)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # ------------------------------------------------------------------
-    # Goroutine-side API (called on the goroutine's own thread)
+    # Goroutine-side API (called on the goroutine's own host)
     # ------------------------------------------------------------------
 
     def yield_to_scheduler(self) -> None:
-        """Give the token back and park until the scheduler resumes us."""
-        self._my_wakeup.clear()
-        self._sched_wakeup.set()
-        self._my_wakeup.wait()
+        """Give the token back and park until we are resumed.
+
+        The scheduler's continuation runs right here, on this host: it
+        either hands the token straight to the next goroutine (one OS
+        switch), wakes the main loop (timers/termination), or — when the
+        RNG picked *us* again — tells us to keep running without parking
+        at all (zero switches).
+        """
+        if self._sched._handback(self, terminal=False) != "self":
+            self._my_lock.acquire()
         if self._killed:
             raise Killed()
         if self.pending_error is not None:
@@ -167,9 +233,8 @@ class Goroutine:
 
     # ------------------------------------------------------------------
 
-    def _run(self) -> None:
-        # Park until the scheduler first hands us the token.
-        self._my_wakeup.wait()
+    def _execute(self) -> None:
+        """Run the user function and classify how it ended (backend-shared)."""
         try:
             if self._killed:
                 raise Killed()
@@ -185,9 +250,17 @@ class Goroutine:
             self.state = GState.PANICKED
             self.panic_value = exc
             self.panic_traceback = traceback.format_exc()
+
+    def _run(self) -> None:
+        # Park until the scheduler first hands us the token.
+        self._my_lock.acquire()
+        try:
+            self._execute()
         finally:
-            # Final token return: the scheduler sees a terminal state.
-            self._sched_wakeup.set()
+            # Final token return: run the continuation once more so the
+            # terminal state is recorded and the token moves on (to the
+            # next goroutine directly, or back to the main loop).
+            self._sched._handback(self, terminal=True)
 
     # ------------------------------------------------------------------
 
@@ -199,3 +272,77 @@ class Goroutine:
 
     def __repr__(self) -> str:
         return f"<Goroutine {self.gid} {self.name} {self.state}>"
+
+
+class GreenletGoroutine(Goroutine):
+    """A goroutine hosted on a greenlet instead of an OS thread.
+
+    All goroutines (and the scheduler) share one OS thread; ``resume`` /
+    ``yield_to_scheduler`` become userspace stack switches, eliminating the
+    two lock operations and the kernel context switch per scheduling step.
+    Requires the optional :mod:`greenlet` package (``HAS_GREENLET``).
+    """
+
+    __slots__ = ("_glet", "_hub")
+
+    def __init__(self, *args: Any, hub: Any = None, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        #: The scheduler's own greenlet: the parent every goroutine greenlet
+        #: returns to when it finishes or yields.
+        self._hub = hub
+        self._glet: Any = None
+
+    # -- scheduler side -------------------------------------------------
+
+    def start(self) -> None:
+        if _greenlet is None:  # pragma: no cover - guarded by the scheduler
+            raise RuntimeError("greenlet backend requested but the greenlet "
+                               "package is not installed")
+        # parent=hub: when the goroutine finishes, control returns to the
+        # scheduler's greenlet no matter which goroutine spawned it.
+        self._glet = _greenlet.greenlet(self._execute, parent=self._hub)
+        self.state = GState.RUNNABLE
+
+    def resume(self) -> None:
+        self.state = GState.RUNNING
+        self._glet.switch()
+
+    def kill(self, join_timeout: Optional[float] = None) -> None:
+        """Unwind the goroutine's greenlet by raising ``Killed`` inside it.
+
+        ``join_timeout`` is accepted for interface parity but unused: a
+        greenlet unwinds synchronously inside ``throw`` — unless user code
+        swallows the signal and yields again, which is recorded as a stuck
+        host exactly like a thread that outlives its join.
+        """
+        if self.state in GState.TERMINAL or self._glet is None:
+            return
+        self._killed = True
+        # Two attempts: the first throw unwinds well-behaved code; a second
+        # covers a handler that swallowed Killed once.  After that the
+        # goroutine is stuck by the same definition the thread backend uses.
+        for _ in range(2):
+            if self._glet.dead:
+                break
+            self._glet.throw(Killed)
+            if self._glet.dead or self.state in GState.TERMINAL:
+                break
+        else:
+            timeout = HOST_JOIN_TIMEOUT if join_timeout is None else join_timeout
+            self._mark_stuck(timeout)
+            return
+        if self.state not in GState.TERMINAL:
+            # Killed before its first resume: the body never ran, so
+            # ``_execute`` never classified the exit.
+            self.state = GState.KILLED
+
+    # -- goroutine side -------------------------------------------------
+
+    def yield_to_scheduler(self) -> None:
+        self._hub.switch()
+        if self._killed:
+            raise Killed()
+        if self.pending_error is not None:
+            error = self.pending_error
+            self.pending_error = None
+            raise error

@@ -432,6 +432,8 @@ def run(
     rng: Optional[Any] = None,
     inject: Optional[Any] = None,
     observe: Any = None,
+    backend: str = "thread",
+    host_join_timeout: Optional[float] = None,
 ) -> RunResult:
     """Execute ``main(rt, *args)`` under the simulator and classify the outcome.
 
@@ -465,9 +467,20 @@ def run(
             configured Observer to control site capture and sampling.  The
             observer is a pure trace consumer — attaching it never changes
             the schedule — and lands on ``result.observation``.
+        backend: goroutine host backend — ``"thread"`` (default) or
+            ``"greenlet"`` (single-thread userspace switching; needs the
+            optional greenlet package, falls back to threads with a warning
+            when missing).  Both produce bit-identical schedules.
+        host_join_timeout: seconds :meth:`Goroutine.kill` waits per host
+            thread at teardown before declaring it stuck (default
+            :data:`repro.runtime.goroutine.HOST_JOIN_TIMEOUT`).  Sweep
+            engines shrink this so one pathological seed cannot stall a
+            whole sweep.
     """
     sched = Scheduler(seed=seed, max_steps=max_steps, preempt=preempt,
-                      keep_trace=keep_trace, rng=rng)
+                      keep_trace=keep_trace, rng=rng, backend=backend)
+    if host_join_timeout is not None:
+        sched.host_join_timeout = host_join_timeout
     rt = Runtime(sched)
     injector = None
     if inject is not None:
@@ -580,8 +593,27 @@ def run(
 def explore(
     main: Callable[[Runtime], Any],
     seeds: Iterable[int],
+    *,
+    jobs: int = 1,
+    summaries: bool = False,
     **kwargs: Any,
-) -> List[RunResult]:
+) -> List[Any]:
     """Run ``main`` under every seed; the seed-sweep analogue of rerunning a
-    flaky program many times."""
-    return [run(main, seed=seed, **kwargs) for seed in seeds]
+    flaky program many times.
+
+    Args:
+        jobs: worker processes for the sweep (:mod:`repro.parallel`).  The
+            default of 1 runs in-process and returns full
+            :class:`RunResult` objects, exactly as before.  With ``jobs > 1``
+            (or ``summaries=True``) every run is reduced to a picklable
+            :class:`repro.parallel.RunSummary`; the list is merged in seed
+            order and is byte-identical to what ``jobs=1, summaries=True``
+            produces.
+        summaries: force the summary representation even in-process —
+            useful to compare serial and parallel sweeps bit-for-bit.
+    """
+    if jobs <= 1 and not summaries:
+        return [run(main, seed=seed, **kwargs) for seed in seeds]
+    from ..parallel import sweep_seeds
+
+    return sweep_seeds(main, seeds, jobs=jobs, **kwargs)

@@ -8,7 +8,15 @@ Go programs observe (which runnable goroutine runs next, which ready
 
 Sweeping seeds is the simulator's replacement for the paper's "run the buggy
 program a lot of times": a bug that manifests on 3% of real executions
-manifests on a similar fraction of seeds.
+manifests on a similar fraction of seeds.  Because sweep throughput is the
+system's effective speed, the per-step path here is deliberately lean:
+
+* scheduling randomness comes from :class:`repro.runtime.fastrand.BatchedRandom`
+  (bit-identical to ``random.Random``, a fraction of the call overhead);
+* trace events are only *allocated* when someone will see them — a kept
+  trace or a subscribed listener (``Trace.active``); a ``keep_trace=False``
+  run with no detectors pays one attribute check per would-be event;
+* ``user_stack()`` walks only happen under ``capture_sites`` (profiling).
 """
 
 from __future__ import annotations
@@ -21,7 +29,8 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from .clock import VirtualClock
 from .errors import Killed, SchedulerStateError, StepLimitExceeded
-from .goroutine import Goroutine, GState
+from .fastrand import BatchedRandom
+from .goroutine import HAS_GREENLET, Goroutine, GreenletGoroutine, GState
 from .trace import EventKind, Trace, TraceEvent
 
 #: Package directories whose frames are simulator plumbing, not user code.
@@ -31,6 +40,11 @@ from .trace import EventKind, Trace, TraceEvent
 #: appears above a block, so ``inject`` needs no entry here.
 _INTERNAL_PACKAGES = ("runtime", "chan", "sync", "stdlib")
 _internal_dirs: Optional[Tuple[str, ...]] = None
+
+#: Goroutine host backends.  ``"thread"`` is always available; ``"greenlet"``
+#: needs the optional greenlet package and silently falls back to threads
+#: (with a one-time warning) when it is missing.
+BACKENDS = ("thread", "greenlet")
 
 
 def _internal_frame_dirs() -> Tuple[str, ...]:
@@ -43,6 +57,13 @@ def _internal_frame_dirs() -> Tuple[str, ...]:
     return _internal_dirs
 
 
+#: Interned ``file:line`` strings.  Bounded: a long-lived process sweeping
+#: many programs touches an unbounded set of ``(filename, lineno)`` pairs,
+#: and the cache used to grow forever.  On overflow the oldest entries are
+#: evicted FIFO (dict preserves insertion order), which keeps the hot
+#: working set — sites recur heavily within one program — while capping
+#: memory.
+_SITE_CACHE_MAX = 4096
 _site_cache: dict = {}
 
 
@@ -53,6 +74,9 @@ def short_site(filename: str, lineno: int) -> str:
     if site is None:
         parts = filename.replace(os.sep, "/").rsplit("/", 2)
         site = f"{'/'.join(parts[-2:])}:{lineno}"
+        if len(_site_cache) >= _SITE_CACHE_MAX:
+            for stale in list(_site_cache)[: _SITE_CACHE_MAX // 8]:
+                del _site_cache[stale]
         _site_cache[key] = site
     return site
 
@@ -63,7 +87,7 @@ def user_stack(limit: int = 8) -> Tuple[str, ...]:
     Frames inside the simulator's own packages (scheduler, primitives,
     stdlib analogues, fault injection) are skipped so profiles attribute
     waits to the program under study, not to the plumbing.  The walk stops
-    at the goroutine trampoline (``Goroutine._run``), never leaking host
+    at the goroutine trampoline (``Goroutine._execute``), never leaking host
     ``threading`` frames into a profile.
     """
     internal = _internal_frame_dirs()
@@ -75,12 +99,36 @@ def user_stack(limit: int = 8) -> Tuple[str, ...]:
     while frame is not None and len(frames) < limit:
         code = frame.f_code
         filename = code.co_filename
-        if code.co_name == "_run" and filename.endswith("goroutine.py"):
+        if code.co_name in ("_run", "_execute") and filename.endswith("goroutine.py"):
             break
         if not filename.startswith(internal):
             frames.append(short_site(filename, frame.f_lineno))
         frame = frame.f_back
     return tuple(frames)
+
+
+_warned_no_greenlet = False
+
+
+def _resolve_backend(backend: str) -> str:
+    global _warned_no_greenlet
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown goroutine backend {backend!r}; expected one of {BACKENDS}")
+    if backend == "greenlet" and not HAS_GREENLET:
+        if not _warned_no_greenlet:
+            import warnings
+
+            warnings.warn(
+                "greenlet backend requested but the greenlet package is not "
+                "installed; falling back to the thread backend (schedules "
+                "are identical, context switches are slower)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            _warned_no_greenlet = True
+        return "thread"
+    return backend
 
 
 class Scheduler:
@@ -97,11 +145,15 @@ class Scheduler:
         preempt: bool = True,
         keep_trace: bool = True,
         rng: Optional[Any] = None,
+        backend: str = "thread",
     ):
         #: Source of all scheduling nondeterminism.  Anything with a
         #: ``randrange(n)`` method works; the systematic explorer injects a
-        #: scripted source here to enumerate schedules exhaustively.
-        self.rng = rng if rng is not None else random.Random(seed)
+        #: scripted source here to enumerate schedules exhaustively.  The
+        #: default is a batched Mersenne-Twister front-end that draws the
+        #: exact sequence ``random.Random(seed)`` would.
+        self.rng = rng if rng is not None else BatchedRandom(seed)
+        self._randrange = self.rng.randrange  # hot-path bound method
         self.seed = seed
         self.clock = VirtualClock()
         self.trace = Trace(keep_events=keep_trace)
@@ -110,14 +162,41 @@ class Scheduler:
         #: False only genuinely blocking operations yield (faster, but fewer
         #: interleavings are explored).
         self.preempt = preempt
+        #: Which goroutine host carries the token: "thread" (default) or
+        #: "greenlet" (single-thread userspace switching, optional).
+        self.backend = _resolve_backend(backend)
+        self._hub: Any = None
+        if self.backend == "greenlet":
+            import greenlet
+
+            # The scheduler loop runs on whatever greenlet constructs the
+            # Scheduler (the main greenlet of the calling thread); every
+            # goroutine greenlet yields back to it.
+            self._hub = greenlet.getcurrent()
 
         self.goroutines: List[Goroutine] = []
         self._runnable: List[Goroutine] = []
         self._current: Optional[Goroutine] = None
         self._steps = 0
-        self._wakeup = threading.Event()
+        #: Scheduler-owned half of the token handoff (thread backend):
+        #: created held; goroutines release it when handing the token back.
+        self._handoff = threading.Lock()
+        self._handoff.acquire()
         self._next_gid = 1
         self._shutting_down = False
+        # Per-call loop state, shared with the inline continuations that
+        # goroutine hosts run in ``_handback`` (all token-serialized).
+        self._stop_when: Optional[Callable[[], bool]] = None
+        self._time_limit: Optional[float] = None
+        self._budget = 0
+        self._budget_used = 0
+        #: Why the main loop was woken: one of the ``run_until_quiescent``
+        #: outcome strings, ``"idle"`` (no runnable goroutine — the main
+        #: thread must fire timers or declare quiescence), or ``"error"``
+        #: (scheduler-context code raised on a goroutine host; see
+        #: ``_loop_error``).
+        self._main_verdict: Optional[str] = None
+        self._loop_error: Optional[BaseException] = None
         #: First goroutine to panic, if any (aborts the whole run, as in Go).
         self.panicked: Optional[Goroutine] = None
         #: Optional fault injector (:mod:`repro.inject`): pulsed once per
@@ -172,8 +251,15 @@ class Scheduler:
         info: Optional[dict] = None,
         gid: Optional[int] = None,
     ) -> None:
-        """Append a trace event attributed to the running goroutine."""
-        self.trace.emit(
+        """Append a trace event attributed to the running goroutine.
+
+        Fast path: when nobody consumes events (``keep_trace=False`` and no
+        subscribed detector/observer) the event object is never allocated.
+        """
+        trace = self.trace
+        if not trace.active:
+            return
+        trace.emit(
             TraceEvent(
                 step=self._steps,
                 time=self.clock.now,
@@ -197,27 +283,40 @@ class Scheduler:
         creation_site: Optional[str] = None,
     ) -> Goroutine:
         """Create a goroutine and put it on the runnable set."""
-        g = Goroutine(
-            gid=self._next_gid,
-            fn=fn,
-            args=args,
-            scheduler_wakeup=self._wakeup,
-            name=name,
-            anonymous=anonymous,
-            creation_site=creation_site,
-        )
+        if self.backend == "greenlet":
+            g: Goroutine = GreenletGoroutine(
+                gid=self._next_gid,
+                fn=fn,
+                args=args,
+                scheduler=self,
+                name=name,
+                anonymous=anonymous,
+                creation_site=creation_site,
+                hub=self._hub,
+            )
+        else:
+            g = Goroutine(
+                gid=self._next_gid,
+                fn=fn,
+                args=args,
+                scheduler=self,
+                name=name,
+                anonymous=anonymous,
+                creation_site=creation_site,
+            )
         self._next_gid += 1
         g.created_at = self.clock.now
         self.goroutines.append(g)
         self._runnable.append(g)
         g.start()
-        self.emit(EventKind.GO_CREATE, obj=g.gid,
-                  info={"anonymous": anonymous, "name": g.name,
-                        "site": creation_site})
+        if self.trace.active:
+            self.emit(EventKind.GO_CREATE, obj=g.gid,
+                      info={"anonymous": anonymous, "name": g.name,
+                            "site": creation_site})
         return g
 
     # ------------------------------------------------------------------
-    # Goroutine-side primitives (run on a goroutine thread holding token)
+    # Goroutine-side primitives (run on a goroutine host holding the token)
     # ------------------------------------------------------------------
 
     def schedule_point(self) -> None:
@@ -239,13 +338,14 @@ class Scheduler:
         g.state = GState.BLOCKED
         g.block_reason = reason
         g.external = external
-        info: dict = {"reason": reason}
-        if self.capture_sites:
-            stack = user_stack()
-            if stack:
-                info["site"] = stack[0]
-                info["stack"] = stack
-        self.emit(EventKind.GO_BLOCK, info=info)
+        if self.trace.active:
+            info: dict = {"reason": reason}
+            if self.capture_sites:
+                stack = user_stack()
+                if stack:
+                    info["site"] = stack[0]
+                    info["stack"] = stack
+            self.emit(EventKind.GO_BLOCK, info=info)
         if g in self._runnable:
             self._runnable.remove(g)
         g.yield_to_scheduler()
@@ -281,36 +381,49 @@ class Scheduler:
           * ``"steps"``     — the step budget ran out (livelock backstop),
           * ``"timeout"``   — the virtual clock passed ``time_limit`` (the
             observation-window cutoff for programs that run forever).
+
+        Thread backend: after the first ``resume`` the token moves between
+        goroutine hosts *directly* — each yield runs :meth:`_handback` on the
+        yielding host, which performs this loop's per-step logic inline and
+        wakes the next host itself.  The main thread parks here and only
+        wakes when a continuation leaves a verdict (timers to fire, loop
+        done).  Greenlet backend: every yield switches back into this loop,
+        which then does the bookkeeping itself (switches are userspace-cheap,
+        and the whole simulation shares one OS thread anyway).
         """
-        budget = self.max_steps if step_budget is None else step_budget
-        used = 0
-        while True:
-            if stop_when is not None and stop_when():
-                return "stopped"
-            if time_limit is not None and self.clock.now >= time_limit:
-                return "timeout"
-            if used >= budget:
-                return "steps"
-            if self.injector is not None and self.injector.pulse(self):
-                # A fault fired (goroutines woken/killed, clock jumped,
-                # channels mutated): re-evaluate the stop conditions before
-                # taking the next step.
-                continue
-            if self._runnable:
-                used += 1
-                self._steps += 1
-                g = self._pick()
-                if self.on_step is not None:
-                    self.on_step(self._steps, len(self._runnable), g.gid)
-                self._current = g
-                g.resume()
-                self._current = None
-                self._after_resume(g)
-                continue
-            if advance_clock and self.clock.has_pending():
-                self.fire_timers(self.clock.advance_to_next())
-                continue
-            return "quiescent"
+        self._stop_when = stop_when
+        self._time_limit = time_limit
+        self._budget = self.max_steps if step_budget is None else step_budget
+        self._budget_used = 0
+        self._main_verdict = None
+        direct = self.backend != "greenlet"
+        try:
+            while True:
+                g = self._advance()
+                if g is not None:
+                    self._current = g
+                    g.resume()
+                    if not direct:
+                        # Greenlet: the yield switched straight back here.
+                        self._current = None
+                        self._after_resume(g)
+                        continue
+                    # Thread: some host's continuation woke us with a verdict.
+                verdict = self._main_verdict
+                self._main_verdict = None
+                if verdict == "idle":
+                    if advance_clock and self.clock.has_pending():
+                        self.fire_timers(self.clock.advance_to_next())
+                        continue
+                    return "quiescent"
+                if verdict == "error":
+                    error = self._loop_error
+                    self._loop_error = None
+                    assert error is not None
+                    raise error
+                return verdict
+        finally:
+            self._stop_when = None
 
     def fire_timers(self, fired) -> None:
         """Run fired timer callbacks in scheduler context (one trace event
@@ -319,9 +432,80 @@ class Scheduler:
             self.emit(EventKind.TIMER_FIRE, gid=0)
             handle.callback()
 
-    def _pick(self) -> Goroutine:
-        index = self.rng.randrange(len(self._runnable))
-        return self._runnable[index]
+    def _advance(self) -> Optional[Goroutine]:
+        """One scheduler-loop decision, in scheduler context on whichever
+        host holds the token.  Returns the goroutine to run next, or ``None``
+        after stashing the reason in ``_main_verdict``."""
+        while True:
+            if self._stop_when is not None and self._stop_when():
+                self._main_verdict = "stopped"
+                return None
+            if self._time_limit is not None and self.clock.now >= self._time_limit:
+                self._main_verdict = "timeout"
+                return None
+            if self._budget_used >= self._budget:
+                self._main_verdict = "steps"
+                return None
+            if self.injector is not None and self.injector.pulse(self):
+                # A fault fired (goroutines woken/killed, clock jumped,
+                # channels mutated): re-evaluate the stop conditions before
+                # taking the next step.
+                continue
+            runnable = self._runnable
+            if runnable:
+                self._budget_used += 1
+                self._steps += 1
+                g = runnable[self._randrange(len(runnable))]
+                if self.on_step is not None:
+                    self.on_step(self._steps, len(runnable), g.gid)
+                return g
+            # No runnable goroutine: only the main thread may fire timers
+            # or declare the run quiescent.
+            self._main_verdict = "idle"
+            return None
+
+    def _handback(self, g: Goroutine, terminal: bool) -> Optional[str]:
+        """Thread-backend continuation, run on ``g``'s own host right after
+        it yields (or its body ends).  Records the yield, makes the next
+        scheduling decision inline, and moves the token with at most one OS
+        context switch:
+
+          * next pick is another goroutine — wake its private lock directly;
+          * next pick is ``g`` itself — return ``"self"`` so the caller keeps
+            running without parking (no switch at all);
+          * the main loop must act (timers, termination, a scheduler-context
+            exception) — stash a verdict and release the main handoff lock.
+        """
+        if self._shutting_down:
+            # Teardown: hand the token straight back to ``kill``'s timed
+            # acquire; no bookkeeping (matches the historical semantics where
+            # teardown-killed goroutines emit no GO_END event).
+            try:
+                self._handoff.release()
+            except RuntimeError:  # pragma: no cover - late stuck-thread race
+                pass
+            return None
+        self._current = None
+        try:
+            self._after_resume(g)
+            nxt = self._advance()
+        except BaseException as exc:
+            # Scheduler-context code (stop_when, injector, on_step, a
+            # scripted RNG) raised on this host: relay it to the main loop,
+            # which re-raises it out of run_until_quiescent as before.
+            self._loop_error = exc
+            self._main_verdict = "error"
+            self._handoff.release()
+            return None
+        if nxt is None:
+            self._handoff.release()  # verdict already stashed by _advance
+            return None
+        self._current = nxt
+        nxt.state = GState.RUNNING
+        if nxt is g and not terminal:
+            return "self"
+        nxt._my_lock.release()
+        return None
 
     def _after_resume(self, g: Goroutine) -> None:
         if g.state == GState.RUNNING:
@@ -395,7 +579,7 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def kill_all(self) -> None:
-        """Unwind every live goroutine's host thread (end of run cleanup)."""
+        """Unwind every live goroutine's host (end of run cleanup)."""
         self._shutting_down = True
         for g in self.goroutines:
             if g.state in GState.LIVE:

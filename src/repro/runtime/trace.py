@@ -61,6 +61,12 @@ class EventKind:
     INJECT = "inject.fault"          # info: action, plan, victim details
 
 
+#: Shared empty-info mapping: most events carry no details, and allocating a
+#: fresh dict per event was measurable in sweeps.  Treat as immutable —
+#: consumers only ever read ``event.info``.
+_NO_INFO: Dict[str, object] = {}
+
+
 class TraceEvent:
     """One scheduling-relevant action performed by a goroutine.
 
@@ -89,7 +95,7 @@ class TraceEvent:
         self.gid = gid
         self.kind = kind
         self.obj = obj
-        self.info = info or {}
+        self.info = _NO_INFO if not info else info
 
     def __repr__(self) -> str:
         extra = f" obj={self.obj}" if self.obj is not None else ""
@@ -108,10 +114,16 @@ class Trace:
         self._events: List[TraceEvent] = []
         self._listeners: List[Callable[[TraceEvent], None]] = []
         self._keep_events = keep_events
+        #: True when emitting an event has any consumer (the kept log or a
+        #: listener).  The scheduler checks this before *allocating* events,
+        #: so an unobserved ``keep_trace=False`` run skips the whole
+        #: trace layer at the cost of one attribute read per event site.
+        self.active = keep_events
 
     def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
         """Register a callback invoked for every subsequent event."""
         self._listeners.append(listener)
+        self.active = True
 
     def emit(self, event: TraceEvent) -> None:
         if self._keep_events:

@@ -1,0 +1,51 @@
+"""The fork-pool engine itself: worker accounting, ordering, degradation."""
+
+from functools import partial
+
+import pytest
+
+from repro.parallel import effective_jobs, map_units
+from repro.parallel import engine as engine_mod
+
+
+def test_effective_jobs_accounting():
+    assert effective_jobs(1, 100) == 1
+    assert effective_jobs(0, 100) == 1
+    assert effective_jobs(4, 0) == 1
+    assert effective_jobs(4, 1) == 1
+    if engine_mod._fork_available():
+        assert effective_jobs(4, 100) == 4
+        assert effective_jobs(8, 3) == 3
+
+
+def test_nested_sweeps_degrade_to_serial(monkeypatch):
+    # A non-None unit slot is the "I am a forked worker" signal: a sweep
+    # started from inside one must run in-process, never fork recursively.
+    monkeypatch.setattr(engine_mod, "_ACTIVE_UNITS", [lambda: None])
+    assert effective_jobs(8, 100) == 1
+    assert map_units([lambda: 1, lambda: 2], jobs=8) == [1, 2]
+
+
+def _square(i):
+    return i * i
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_map_units_preserves_submission_order(jobs):
+    units = [partial(_square, i) for i in range(20)]
+    assert map_units(units, jobs=jobs) == [i * i for i in range(20)]
+
+
+def _boom():
+    raise ValueError("unit failure")
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_unit_exceptions_propagate(jobs):
+    with pytest.raises(ValueError, match="unit failure"):
+        map_units([_boom, _boom], jobs=jobs)
+
+
+def test_unit_slot_reset_after_pool():
+    map_units([partial(_square, i) for i in range(4)], jobs=2)
+    assert engine_mod._ACTIVE_UNITS is None

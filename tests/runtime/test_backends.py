@@ -1,0 +1,62 @@
+"""Goroutine host backends: resolution, greenlet fallback, cross-backend
+schedule equivalence.
+
+The backend only changes *how* goroutines are hosted (OS threads vs
+userspace greenlets); every scheduling decision comes from the same seeded
+RNG either way, so both backends must produce bit-identical schedule
+fingerprints.
+"""
+
+import warnings
+
+import pytest
+
+from repro import run
+from repro.parallel import schedule_digest
+from repro.runtime import scheduler as scheduler_mod
+from repro.runtime.goroutine import HAS_GREENLET
+
+
+def _program(rt):
+    ch = rt.make_chan(1)
+
+    def worker(i):
+        ch.send(i)
+
+    for i in range(3):
+        rt.go(worker, i)
+    return tuple(ch.recv() for _ in range(3))
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown goroutine backend"):
+        run(_program, backend="fiber")
+
+
+@pytest.mark.skipif(HAS_GREENLET,
+                    reason="greenlet installed; fallback path unreachable")
+def test_missing_greenlet_falls_back_to_threads_with_warning(monkeypatch):
+    monkeypatch.setattr(scheduler_mod, "_warned_no_greenlet", False)
+    with pytest.warns(RuntimeWarning,
+                      match="falling back to the thread backend"):
+        fallback = run(_program, seed=5, backend="greenlet")
+    thread = run(_program, seed=5, backend="thread")
+    assert fallback.status == thread.status
+    assert fallback.main_result == thread.main_result
+    assert schedule_digest(fallback) == schedule_digest(thread)
+    # The warning fires once per process, not once per run.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        run(_program, seed=5, backend="greenlet")
+
+
+@pytest.mark.skipif(not HAS_GREENLET,
+                    reason="needs the optional greenlet package")
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_backends_produce_identical_schedules(seed):
+    thread = run(_program, seed=seed, backend="thread")
+    green = run(_program, seed=seed, backend="greenlet")
+    assert thread.status == green.status
+    assert thread.steps == green.steps
+    assert thread.main_result == green.main_result
+    assert schedule_digest(thread) == schedule_digest(green)

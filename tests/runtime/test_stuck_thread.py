@@ -40,6 +40,23 @@ def test_swallowed_kill_is_recorded_and_warned(monkeypatch):
                for entry in result.to_dict()["stuck_host_threads"])
 
 
+def test_host_join_timeout_run_option():
+    """``run(..., host_join_timeout=...)`` bounds teardown waiting per run
+    without touching the module-level default — the knob sweep workers use
+    so one pathological seed cannot stall a whole sweep."""
+    import time
+
+    start = time.monotonic()
+    with pytest.warns(RuntimeWarning, match="did not unwind"):
+        result = run(_stubborn_program, drain=False, host_join_timeout=0.1)
+    elapsed = time.monotonic() - start
+    assert result.main_result == "done"
+    assert len(result.stuck_host_threads) == 1
+    # Far under the interactive default: the per-run option was honored.
+    assert elapsed < 3.0
+    assert goroutine_mod.HOST_JOIN_TIMEOUT == 5.0
+
+
 def test_well_behaved_programs_leave_no_stuck_threads():
     def main(rt):
         ch = rt.make_chan(0, name="never")
