@@ -49,6 +49,47 @@ def test_chaos_app_scorecard(benchmark, report):
     assert sum(cell.faults_fired for cell in cells) > 100
 
 
+def test_chaos_network_partition(benchmark, report):
+    """One network-partition cell per multi-node cluster app.
+
+    Each cluster runs with its secondary cut off the fabric mid-run and
+    healed later: minietcd's replication queue stalls and drains after
+    the heal; minigrpc's failover client reroutes to the surviving
+    server.  Both stay clean across the seed sweep — the repro.net
+    equivalent of claim 1.
+    """
+    from repro.inject import net_app_targets
+
+    targets = {target.name: target for target in net_app_targets()}
+    partition_for = {
+        "minietcd-cluster": plans.partition(target="n3", at_step=150,
+                                            heal_after=400),
+        "minigrpc-cluster": plans.partition(target="srv1", at_step=150,
+                                            heal_after=400),
+    }
+    assert set(targets) == set(partition_for)
+    harness = ChaosHarness(seeds=SEEDS)
+
+    def measure():
+        cells = []
+        for name, target in targets.items():
+            cells.append(harness.run_cell(target, None))
+            cells.append(harness.run_cell(target, partition_for[name]))
+        return cells
+
+    cells = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("Network partition scorecard",
+           harness.scorecard(cells, title="Network partition scorecard"))
+
+    assert len(cells) == 2 * len(targets)
+    dirty = [cell for cell in cells if not cell.clean]
+    assert not dirty, [(c.target, c.plan, c.failures) for c in dirty]
+    # The partitions genuinely fired (at least once per seed).
+    for cell in cells:
+        if cell.plan != "baseline":
+            assert cell.faults_fired >= len(list(SEEDS))
+
+
 def test_chaos_kernel_amplification(benchmark, report):
     perturb = plans.perturb()
 

@@ -1,29 +1,33 @@
 #!/usr/bin/env python
-"""Composing the substrates: an RPC-fronted, lease-backed config service.
+"""A config service as a real multi-node deployment on the simulated network.
 
-A minigrpc server exposes a minietcd node over three RPCs (get/put/watch
--snapshot); clients hold sessions under leases; a miniboltdb store keeps
-an audit log through its batcher.  One errgroup supervises the whole
-thing, and the run must come back leak-free — which is the point: the
-paper's bug classes are exactly what goes wrong when these pieces are
-wired together carelessly.
+Earlier revisions of this example composed the mini-apps inside one
+process.  Now the serving plane runs on :mod:`repro.net`: the config
+server is a named fabric node fronting a minietcd store and a miniboltdb
+audit log, and every client is its own node dialing over links with
+latency.  The wiring is the same paper-shaped composition — RPC facade,
+leases, watch stream, batched audit writes under one errgroup — but the
+messages now cross a deterministic network that can be partitioned,
+delayed or made lossy by a fault plan.
 
 Run:  python examples/cluster.py
 """
 
 from repro import run
 from repro.apps.miniboltdb import DB, Batcher
-from repro.apps.minietcd import Node
-from repro.apps.minigrpc import Listener, Server, dial
+from repro.apps.minietcd import Node as KvNode
+from repro.net import Node, RpcServer, connect_with_retry
 from repro.stdlib.errgroup import with_context
 
 
 def cluster(rt):
+    net = rt.network(name="confignet", default_latency=0.003)
+
     # ------------------------------------------------------------------
-    # Storage plane: the etcd-like node and the bolt-like audit log.
+    # Storage plane (on the server machine): etcd-like node + audit log.
     # ------------------------------------------------------------------
-    node = Node(rt, compaction_interval=10.0)
-    node.start()
+    kv = KvNode(rt, compaction_interval=10.0)
+    kv.start()
     audit_db = DB(rt)
     audit = Batcher(rt, audit_db, max_batch=4, flush_interval=1.0)
     audit.start()
@@ -34,66 +38,74 @@ def cluster(rt):
         audit.batch(lambda tx, seq=seq: tx.put(f"audit/{seq:04d}", (kind, key)))
 
     # ------------------------------------------------------------------
-    # Serving plane: the gRPC-like facade.
+    # Serving plane: one fabric node, gRPC-style server over the wire.
     # ------------------------------------------------------------------
-    listener = Listener(rt)
-    server = Server(rt, name="configd")
+    server_node = Node(net, "configd")
+    server = RpcServer(server_node, name="configd")
 
     def rpc_put(payload):
         key, value = payload
-        node.put(key, value)
+        kv.put(key, value)
         audit_event("put", key)
-        return node.store.revision
+        return kv.store.revision
 
-    def rpc_get(payload):
-        return node.get(payload)
+    def rpc_get(key):
+        return kv.get(key)
 
-    def rpc_session(payload):
-        lease = node.grant_lease(3.0)
-        node.put(f"sessions/{payload}", "active", lease=lease)
-        audit_event("session", payload)
+    def rpc_session(owner):
+        lease = kv.grant_lease(3.0)
+        kv.put(f"sessions/{owner}", "active", lease=lease)
+        audit_event("session", owner)
         return lease.id
+
+    def rpc_watch(prefix, send):
+        watcher = kv.watch(prefix, buffer=16)
+        try:
+            for _ in range(3):  # stream the next three events
+                event = watcher.events.recv()
+                send((event.kind, event.key, event.revision))
+        finally:
+            kv.watch_hub.cancel(watcher)
 
     server.register("put", rpc_put)
     server.register("get", rpc_get)
     server.register("session", rpc_session)
-
-    def rpc_watch_stream(prefix, send):
-        watcher = node.watch(prefix, buffer=16)
-        for _ in range(3):  # stream the next three events
-            event = watcher.events.recv()
-            send((event.kind, event.key, event.revision))
-        node.watch_hub.cancel(watcher)
-
-    server.register_stream("watch", rpc_watch_stream)
-    server.start(listener)
+    server.register_streaming("watch", rpc_watch)
+    server.serve(server_node.listen("rpc"))
+    addr = server_node.addr("rpc")
 
     # ------------------------------------------------------------------
-    # Workload: clients under one errgroup.
+    # Workload: one fabric node per client, under one errgroup.
     # ------------------------------------------------------------------
     group, _ctx = with_context(rt)
     observed = rt.shared("observed", ())
     observed_mu = rt.mutex("observed")
 
     def watcher_client():
-        client = dial(rt, listener)
+        node = Node(net, "watcher")
+        client = connect_with_retry(node, addr, name="watcher")
         for frame in client.stream("watch", "app/"):
             with observed_mu:
                 observed.update(lambda t: t + (frame,))
         client.close()
+        node.stop()
 
     def writer_client():
-        client = dial(rt, listener)
+        node = Node(net, "writer")
+        client = connect_with_retry(node, addr, name="writer")
         rt.sleep(0.3)  # let the watcher register first
         for i in range(3):
-            client.call("put", (f"app/key-{i}", i * 10))
+            client.call("put", (f"app/key-{i}", i * 10), timeout=2.0)
             rt.sleep(0.2)
         client.close()
+        node.stop()
 
     def session_client():
-        client = dial(rt, listener)
-        client.call("session", "alice")
+        node = Node(net, "alice")
+        client = connect_with_retry(node, addr, name="alice")
+        client.call("session", "alice", timeout=2.0)
         client.close()
+        node.stop()
         # alice never renews: the lease expires and the key vanishes
 
     group.go(watcher_client, name="watcher-client")
@@ -103,20 +115,20 @@ def cluster(rt):
     assert err is None, err
 
     rt.sleep(4.0)  # alice's lease expires
-    session_after = node.get("sessions/alice")
+    session_after = kv.get("sessions/alice")
 
-    server.graceful_stop(listener)
+    server_node.stop()
     audit.stop()
-    node.stop()
+    kv.stop()
     rt.sleep(0.5)
 
-    audit_keys = audit_db.keys()
     return {
         "watched": observed.peek(),
-        "final": [(kv.key, kv.value) for kv in node.range("app/")],
+        "final": [(item.key, item.value) for item in kv.range("app/")],
         "session_after_expiry": session_after,
-        "audit_entries": len(audit_keys),
+        "audit_entries": len(audit_db.keys()),
         "audit_batches": audit.batches.load(),
+        "fabric": dict(net.stats),
     }
 
 
@@ -124,7 +136,7 @@ def main():
     result = run(cluster, seed=9)
     assert result.status == "ok", (result, [g.describe() for g in result.leaked])
     summary = result.main_result
-    print("== watch stream delivered ==")
+    print("== watch stream delivered (over the fabric) ==")
     for kind, key, revision in summary["watched"]:
         print(f"   {kind} {key} @rev{revision}")
     print("== final state ==")
@@ -134,6 +146,9 @@ def main():
           f"{summary['session_after_expiry']} (expired) ==")
     print(f"== audit log: {summary['audit_entries']} entries in "
           f"{summary['audit_batches']} batched transactions ==")
+    fabric = summary["fabric"]
+    print(f"== fabric: {fabric['sent']} messages sent, "
+          f"{fabric['delivered']} delivered, {fabric['dials']} dials ==")
     print(f"\nrun: {len(result.goroutines)} goroutines, "
           f"{result.steps} steps, virtual time {result.end_time:.1f}s, "
           f"status={result.status}")

@@ -1,0 +1,278 @@
+"""A multi-node minietcd cluster over :mod:`repro.net`.
+
+Three (by default) members, each a full single-node :class:`Node` (store +
+watch hub + lessor) running an RPC server on its own simulated machine.
+Member ``n1`` is the static leader — this models etcd's steady state, not
+its election protocol: writes go to the leader, which applies locally and
+replicates asynchronously to each follower over the wire through a
+per-follower queue + replicator goroutine that retries with seeded backoff
+until the follower acknowledges.
+
+That replication loop is exactly the paper's hardened-communication shape:
+a partition stalls a follower's queue (calls time out, backoff grows), and
+after ``heal()`` the replicator drains and the cluster re-converges — no
+goroutine leaks, no stranded handlers, because every blocking path hangs
+off a ``Conn`` or channel that node shutdown closes.
+
+Reads are served locally by any member (followers may lag: etcd's
+serializable-not-linearizable read).  Watches and range queries stream
+over the RPC layer; leases are granted by the leader and expire on its
+virtual clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ...net.fabric import NetError, Network
+from ...net.node import Node as NetNode
+from ...net.rpc import RpcClient, RpcError, RpcServer, Status, connect_with_retry
+from ...patterns.resilience import Backoff
+from ...runtime.errors import GoPanic
+from .lease import Lease
+from .node import Node as KvNode
+
+#: Listener port every member binds.
+PORT = "etcd"
+
+
+class ClusterMember:
+    """One cluster machine: a kv node fronted by an RPC server."""
+
+    def __init__(self, rt, net: Network, name: str,
+                 compaction_interval: float = 5.0):
+        self._rt = rt
+        self.name = name
+        self.kv = KvNode(rt, compaction_interval=compaction_interval)
+        self.kv.start()
+        self.node = NetNode(net, name)
+        self.addr = self.node.addr(PORT)
+        self.is_leader = False
+        self._leases: Dict[int, Lease] = {}
+        self._next_lease = 0
+        self._repl_queues: Dict[str, Any] = {}
+        self.replicated = rt.atomic_int(0, name=f"{name}.replicated")
+
+        server = RpcServer(self.node, name="etcd")
+        server.register("get", lambda key: self.kv.get(key))
+        server.register("put", self._rpc_put)
+        server.register("replicate", self._rpc_replicate)
+        server.register("lease_grant", self._rpc_lease_grant)
+        server.register_streaming("range", self._rpc_range)
+        server.register_streaming("watch", self._rpc_watch)
+        self.server = server
+        server.serve(self.node.listen(PORT))
+
+    # ------------------------------------------------------------------
+    # RPC handlers
+    # ------------------------------------------------------------------
+
+    def _rpc_put(self, payload: Dict[str, Any]) -> int:
+        if not self.is_leader:
+            raise RpcError(Status.FAILED_PRECONDITION,
+                           f"{self.name} is not the leader")
+        key, value = payload["key"], payload["value"]
+        lease = self._leases.get(payload["lease"]) \
+            if payload.get("lease") is not None else None
+        revision = self.kv.put(key, value, lease=lease)
+        for queue in self._repl_queues.values():
+            queue.send((key, value))
+        return revision
+
+    def _rpc_replicate(self, payload: Any) -> bool:
+        key, value = payload
+        self.kv.put(key, value)
+        self.replicated.add(1)
+        return True
+
+    def _rpc_lease_grant(self, ttl: float) -> int:
+        if not self.is_leader:
+            raise RpcError(Status.FAILED_PRECONDITION,
+                           f"{self.name} is not the leader")
+        lease = self.kv.grant_lease(ttl)
+        self._next_lease += 1
+        self._leases[self._next_lease] = lease
+        return self._next_lease
+
+    def _rpc_range(self, prefix: str, send: Callable[[Any], None]) -> None:
+        for kv in self.kv.range(prefix or ""):
+            send((kv.key, kv.value, kv.mod_revision))
+
+    def _rpc_watch(self, payload: Dict[str, Any],
+                   send: Callable[[Any], None]) -> None:
+        prefix = payload.get("prefix", "")
+        count = payload.get("count")
+        watcher = self.kv.watch(prefix, buffer=16)
+        sent = 0
+        try:
+            for event in watcher.events:
+                send((event.kind, event.key, event.value, event.revision))
+                sent += 1
+                if count is not None and sent >= count:
+                    return
+        finally:
+            self.kv.watch_hub.cancel(watcher)
+
+    # ------------------------------------------------------------------
+    # Leader-side replication
+    # ------------------------------------------------------------------
+
+    def become_leader(self, follower_addrs: List[str]) -> None:
+        self.is_leader = True
+        for addr in follower_addrs:
+            queue = self._rt.make_chan(256, name=f"repl:{self.name}->{addr}")
+            self._repl_queues[addr] = queue
+
+            # etcd-style anonymous closure; defaults pin the loop variables
+            # (the Figure 8 hazard, done right).
+            def replicate(addr=addr, queue=queue):
+                self._replicate_loop(addr, queue)
+
+            self.node.go(replicate, name=f"repl->{addr}")
+
+    def _replicate_loop(self, addr: str, queue: Any) -> None:
+        """Drain one follower's queue; retry each entry until acked.
+
+        A partition makes every call time out — the entry is retried with
+        growing seeded backoff until the fabric heals, so the follower
+        eventually converges without ever dropping a write.
+        """
+        client: Optional[RpcClient] = None
+        backoff = Backoff(self._rt, max_delay=1.0,
+                          name=f"{self.name}->{addr}")
+        for entry in queue:
+            while not self.node.stopping:
+                try:
+                    if client is None:
+                        client = RpcClient(self.node, addr,
+                                           name=f"repl:{addr}")
+                    client.call("replicate", entry, timeout=0.5)
+                    backoff.reset()
+                    break
+                except (RpcError, NetError, GoPanic):
+                    if client is not None and client.conn.closed:
+                        client = None
+                    backoff.sleep()
+            if self.node.stopping:
+                return
+
+    # ------------------------------------------------------------------
+
+    def dump(self, prefix: str = "") -> Dict[str, Any]:
+        """Local key -> value snapshot (for convergence checks)."""
+        return {kv.key: kv.value for kv in self.kv.range(prefix)}
+
+    def stop(self) -> None:
+        for queue in self._repl_queues.values():
+            if not queue.closed:
+                queue.close()
+        self.node.stop(wait=False)
+        self.kv.stop()
+        self.node.wg.wait()
+
+    def __repr__(self) -> str:
+        role = "leader" if self.is_leader else "follower"
+        return f"<ClusterMember {self.name} {role}>"
+
+
+class EtcdCluster:
+    """A static-leader minietcd cluster on one fabric."""
+
+    def __init__(self, rt, size: int = 3, net: Optional[Network] = None,
+                 latency: float = 0.002, compaction_interval: float = 5.0):
+        if size < 1:
+            raise ValueError("cluster size must be >= 1")
+        self._rt = rt
+        self.net = net if net is not None else rt.network(
+            name="etcdnet", default_latency=latency)
+        self.members = [
+            ClusterMember(rt, self.net, f"n{i + 1}",
+                          compaction_interval=compaction_interval)
+            for i in range(size)
+        ]
+        self.leader = self.members[0]
+        self.leader.become_leader([m.addr for m in self.members[1:]])
+        self._clients: List["ClusterClient"] = []
+
+    def client(self, name: str = "client") -> "ClusterClient":
+        client = ClusterClient(self._rt, self, name=name)
+        self._clients.append(client)
+        return client
+
+    # ------------------------------------------------------------------
+
+    def converged(self, prefix: str = "") -> bool:
+        """True when every member holds the same key -> value map."""
+        reference = self.members[0].dump(prefix)
+        return all(m.dump(prefix) == reference for m in self.members[1:])
+
+    def await_convergence(self, prefix: str = "", timeout: float = 30.0,
+                          poll: float = 0.05) -> bool:
+        """Poll (virtual time) until converged or the deadline passes."""
+        deadline = self._rt.now() + timeout
+        while True:
+            if self.converged(prefix):
+                return True
+            if self._rt.now() >= deadline:
+                return False
+            self._rt.sleep(poll)
+
+    def stop(self) -> None:
+        for client in self._clients:
+            client.close()
+        for member in self.members:
+            member.stop()
+
+    def __repr__(self) -> str:
+        return f"<EtcdCluster size={len(self.members)} net={self.net.name!r}>"
+
+
+class ClusterClient:
+    """A client machine talking to the cluster over the fabric."""
+
+    def __init__(self, rt, cluster: EtcdCluster, name: str = "client"):
+        self._rt = rt
+        self._cluster = cluster
+        self.node = NetNode(cluster.net, name)
+        self._rpc = connect_with_retry(self.node, cluster.leader.addr,
+                                       name=f"{name}.rpc")
+
+    def put(self, key: str, value: Any, lease: Optional[int] = None,
+            timeout: float = 0.5, attempts: int = 8) -> int:
+        """Write through the leader, retrying across partitions."""
+        return self._rpc.call_with_retry(
+            "put", {"key": key, "value": value, "lease": lease},
+            timeout=timeout, attempts=attempts)
+
+    def get(self, key: str, member: Optional[int] = None) -> Any:
+        """Read from the leader, or any member (may lag) by index."""
+        if member is None:
+            return self._rpc.call_with_retry("get", key)
+        target = self._cluster.members[member]
+        rpc = connect_with_retry(self.node, target.addr,
+                                 name=f"get.{target.name}")
+        try:
+            return rpc.call_with_retry("get", key)
+        finally:
+            rpc.close()
+
+    def grant_lease(self, ttl: float) -> int:
+        return self._rpc.call_with_retry("lease_grant", ttl)
+
+    def range(self, prefix: str = "",
+              timeout: Optional[float] = None) -> List[Any]:
+        return list(self._rpc.stream("range", prefix, timeout=timeout))
+
+    def watch(self, prefix: str = "", count: Optional[int] = None,
+              timeout: Optional[float] = None):
+        """Server-streaming watch: yields (kind, key, value, revision).
+
+        ``timeout`` is the per-event deadline (virtual clock); a stalled
+        watch then raises DEADLINE_EXCEEDED instead of blocking forever.
+        """
+        return self._rpc.stream("watch", {"prefix": prefix, "count": count},
+                                timeout=timeout)
+
+    def close(self) -> None:
+        self._rpc.close()
+        self.node.stop(wait=False)

@@ -105,6 +105,60 @@ WORKLOADS: Dict[str, Callable[[Any], None]] = {
 
 
 # ----------------------------------------------------------------------
+# Network workloads (repro.net; see BENCH_net.json for the baseline)
+# ----------------------------------------------------------------------
+
+
+def net_pingpong(rt) -> None:
+    """Fifty request/reply round trips over one fabric connection."""
+    from .net import Node
+
+    net = rt.network(name="bench", log_messages=False)
+    server = Node(net, "server")
+    listener = server.listen("echo")
+
+    def serve() -> None:
+        conn = listener.accept()
+        server.track(conn)
+        for payload in conn:
+            conn.send(payload)
+
+    server.go(serve, name="echo")
+    client = Node(net, "client")
+    conn = client.dial(server.addr("echo"))
+    for i in range(50):
+        conn.send(i)
+        conn.recv_ok()
+    conn.shutdown()
+    client.stop()
+    server.stop()
+
+
+def net_rpc(rt) -> None:
+    """Fifty unary echo RPCs through the multiplexed client."""
+    from .net import Node, RpcClient, RpcServer
+
+    net = rt.network(name="bench", log_messages=False)
+    server = Node(net, "server")
+    rpc = RpcServer(server)
+    rpc.register("echo", lambda payload: payload)
+    rpc.serve(server.listen("rpc"))
+    client_node = Node(net, "client")
+    client = RpcClient(client_node, server.addr("rpc"))
+    for i in range(50):
+        client.call("echo", i)
+    client.close()
+    client_node.stop()
+    server.stop()
+
+
+NET_WORKLOADS: Dict[str, Callable[[Any], None]] = {
+    "net_pingpong": net_pingpong,
+    "net_rpc": net_rpc,
+}
+
+
+# ----------------------------------------------------------------------
 # Measurement
 # ----------------------------------------------------------------------
 
@@ -194,6 +248,51 @@ def run_benchmarks(jobs: int = 0, repeats: int = 3,
     }
 
 
+def run_net_benchmarks(repeats: int = 3, loadgen_clients: int = 8,
+                       loadgen_requests: int = 250) -> Dict[str, Any]:
+    """The network document: fabric/RPC timings + a loadgen throughput row.
+
+    The loadgen row runs twice on the same seed; ``deterministic`` asserts
+    the two summaries (latency histogram, fabric stats, step count — all
+    of it) came back identical.
+    """
+    from .net.demo import loadgen_summary
+
+    single: Dict[str, Any] = {}
+    for name, program in NET_WORKLOADS.items():
+        single[name] = {
+            "fast": bench_single(program, keep_trace=False, repeats=repeats),
+            "traced": bench_single(program, keep_trace=True, repeats=repeats),
+        }
+
+    t0 = time.perf_counter()
+    first = loadgen_summary(seed=1, clients=loadgen_clients,
+                            requests=loadgen_requests)
+    wall = time.perf_counter() - t0
+    second = loadgen_summary(seed=1, clients=loadgen_clients,
+                             requests=loadgen_requests)
+    loadgen = {
+        "clients": loadgen_clients,
+        "requests": first["requests"],
+        "steps": first["steps"],
+        "virtual_s": first["virtual_s"],
+        "rps_virtual": first["rps_virtual"],
+        "wall_s": round(wall, 4),
+        "requests_per_wall_s": round(first["requests"] / wall, 1) if wall else None,
+        "steps_per_s": round(first["steps"] / wall, 1) if wall else None,
+        "errors": first["errors"],
+        "deterministic": first == second,
+    }
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "cpus": os.cpu_count(),
+        "single": single,
+        "loadgen": loadgen,
+    }
+
+
 def render(document: Dict[str, Any]) -> str:
     """Human-readable table of a benchmark document."""
     lines: List[str] = []
@@ -208,13 +307,23 @@ def render(document: Dict[str, Any]) -> str:
                      f"{fast['steps_per_s']:>14,.0f} "
                      f"{traced['ms_per_run']:>14.3f} "
                      f"{traced['steps_per_s']:>15,.0f}")
-    sweep = document["sweep"]
-    lines.append("")
-    lines.append(
-        f"sweep: {sweep['seeds']} seeds, jobs=1 {sweep['serial_s']:.2f}s vs "
-        f"jobs={sweep['jobs']} {sweep['parallel_s']:.2f}s "
-        f"(speedup {sweep['speedup']}x, effective workers "
-        f"{sweep['effective_jobs']}, identical={sweep['identical']})")
+    if "sweep" in document:
+        sweep = document["sweep"]
+        lines.append("")
+        lines.append(
+            f"sweep: {sweep['seeds']} seeds, jobs=1 {sweep['serial_s']:.2f}s "
+            f"vs jobs={sweep['jobs']} {sweep['parallel_s']:.2f}s "
+            f"(speedup {sweep['speedup']}x, effective workers "
+            f"{sweep['effective_jobs']}, identical={sweep['identical']})")
+    if "loadgen" in document:
+        lg = document["loadgen"]
+        lines.append("")
+        lines.append(
+            f"loadgen: {lg['requests']} requests from {lg['clients']} "
+            f"client(s) in {lg['wall_s']:.2f}s wall "
+            f"({lg['requests_per_wall_s']:,.0f} req/s wall, "
+            f"{lg['rps_virtual']:,.0f} req/s virtual, errors={lg['errors']}, "
+            f"deterministic={lg['deterministic']})")
     return "\n".join(lines)
 
 
@@ -231,14 +340,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(default: 3)")
     parser.add_argument("--sweep-seeds", type=int, default=64, metavar="N",
                         help="seeds in the sweep benchmark (default: 64)")
+    parser.add_argument("--net", action="store_true",
+                        help="run the network benchmarks (fabric round "
+                             "trips, RPC echo, loadgen throughput) instead")
     parser.add_argument("--json", action="store_true",
                         help="print the JSON document instead of the table")
     parser.add_argument("--out", metavar="FILE",
                         help="also write the JSON document to FILE")
     args = parser.parse_args(argv)
 
-    document = run_benchmarks(jobs=args.jobs, repeats=args.repeats,
-                              sweep_seeds_n=args.sweep_seeds)
+    if args.net:
+        document = run_net_benchmarks(repeats=args.repeats)
+    else:
+        document = run_benchmarks(jobs=args.jobs, repeats=args.repeats,
+                                  sweep_seeds_n=args.sweep_seeds)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)

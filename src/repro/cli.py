@@ -10,7 +10,13 @@ Commands:
 * ``bench``                 — simulator performance benchmarks: single-run
   fast path and parallel sweep scaling (``--out BENCH_simulator.json``).
 * ``chaos``                 — fault-injection sweeps and the resilience
-  scorecard (``repro chaos --apps``, ``repro chaos --kernel <id>``).
+  scorecard (``repro chaos --apps``, ``repro chaos --kernel <id>``,
+  ``repro chaos --net-apps --plan partition``).
+* ``net-demo``              — run the 3-node minietcd cluster on the
+  simulated network and report health, fabric stats and the determinism
+  witnesses (schedule + message-log digests).
+* ``loadgen``               — virtual-time load generator against the echo
+  service (``--clients``, ``--requests``, ``--rate``, ``--seeds``).
 * ``profile <target>``      — pprof-style goroutine/block/mutex profiles
   and metrics for one observed run (``--flame`` for the flamegraph).
 * ``trace-export <target>`` — Chrome ``trace_event`` JSON for one run
@@ -253,7 +259,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from .inject import ChaosHarness, app_targets, kernel_targets, plans
+    from .inject import (
+        ChaosHarness, app_targets, kernel_targets, net_app_targets, plans,
+    )
     from .inject.plan import FaultPlan
 
     if args.list_plans:
@@ -283,12 +291,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     targets = []
     if args.apps:
         targets.extend(app_targets())
+    if args.net_apps:
+        targets.extend(net_app_targets())
+        if suite is None and not args.apps and not args.kernel:
+            # The perturbation suite exercises scheduling, not the fabric;
+            # cluster apps default to the canonical network fault.  The
+            # glob isolates each app's secondary node (etcd's n2, grpc's
+            # srv2): replication stalls and retries, clients stay served.
+            suite = [plans.partition(target="*2")]
     if args.kernel:
         variant = "fixed" if args.fixed else "buggy"
         targets.extend(kernel_targets(args.kernel, variant=variant))
     if not targets:
-        print("error: nothing to run; pass --apps and/or --kernel ID",
-              file=sys.stderr)
+        print("error: nothing to run; pass --apps, --net-apps and/or "
+              "--kernel ID", file=sys.stderr)
         return 2
 
     harness = ChaosHarness(seeds=range(args.seeds), observe=args.observe,
@@ -300,6 +316,93 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print(harness.scorecard(cells))
     return 0 if all(cell.clean for cell in cells) else 1
+
+
+def _cmd_net_demo(args: argparse.Namespace) -> int:
+    from functools import partial
+
+    from .inject import plans
+    from .net.demo import demo_summary
+    from .parallel import map_units
+
+    plan = None
+    if args.plan:
+        try:
+            plan = plans.get(args.plan)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    seeds = list(range(args.seeds)) if args.seeds else [args.seed]
+    summaries = map_units(
+        [partial(demo_summary, seed, plan) for seed in seeds],
+        jobs=args.jobs,
+    )
+    if args.json:
+        print(json.dumps(summaries if args.seeds else summaries[0],
+                         indent=2, sort_keys=True))
+        return 0 if all(s["healthy"] for s in summaries) else 1
+
+    for s in summaries:
+        print(f"seed={s['seed']} status={s['status']} "
+              f"{'HEALTHY' if s['healthy'] else 'UNHEALTHY'}: "
+              f"puts={s['puts']}/6 watch={s['watch_events']}/6 "
+              f"range={s['range_rows']}/6 "
+              f"converged={s['converged']} replicated={s['replicated']}")
+        net = s["net"]
+        print(f"  fabric: sent={net['sent']} delivered={net['delivered']} "
+              f"dropped={net['dropped']} dials={net['dials']} | "
+              f"steps={s['steps']} virtual={s['virtual_s']:g}s "
+              f"faults={s['faults_fired']}")
+        print(f"  schedule sha256={s['schedule_sha256'][:16]}… "
+              f"message-log sha256={s['message_log_sha256'][:16]}… "
+              f"({s['message_log_bytes']} bytes)")
+    if not args.seeds:
+        # Replay witness: the same seed must reproduce both digests.
+        replay = demo_summary(seeds[0], plan)
+        identical = (replay["schedule_sha256"] == summaries[0]["schedule_sha256"]
+                     and replay["message_log_sha256"]
+                     == summaries[0]["message_log_sha256"])
+        print(f"  replay: {'identical' if identical else 'DIVERGED'} "
+              f"(schedule + message log)")
+        if not identical:
+            return 1
+    return 0 if all(s["healthy"] for s in summaries) else 1
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from functools import partial
+
+    from .net.demo import loadgen_summary
+    from .parallel import map_units
+
+    rate = None if args.rate is not None and args.rate <= 0 else args.rate
+    seeds = list(range(args.seeds)) if args.seeds else [args.seed]
+    summaries = map_units(
+        [partial(loadgen_summary, seed, args.clients, args.requests,
+                 rate, args.arrival) for seed in seeds],
+        jobs=args.jobs,
+    )
+    if args.json:
+        print(json.dumps(summaries if args.seeds else summaries[0],
+                         indent=2, sort_keys=True))
+        return 0 if all(not s["errors"] for s in summaries) else 1
+
+    for s in summaries:
+        lat = s["latency"]
+        print(f"seed={s['seed']} status={s['status']}: "
+              f"{s['requests']} requests from {s['clients']} client(s) "
+              f"over {s['virtual_s']:g} virtual s "
+              f"({s['rps_virtual']:,.0f} req/s, {s['steps']} steps)")
+        print(f"  ok={s['ok']} errors={s['errors']}"
+              + (f" {s['error_kinds']}" if s["error_kinds"] else ""))
+        print(f"  latency mean={lat['mean']*1e3:.3f}ms "
+              f"p50<={lat['p50']*1e3:.3f}ms p90<={lat['p90']*1e3:.3f}ms "
+              f"p99<={lat['p99']*1e3:.3f}ms max={lat['max']*1e3:.3f}ms")
+        net = s["net"]
+        print(f"  fabric: sent={net['sent']} delivered={net['delivered']} "
+              f"dropped={net['dropped']}")
+    return 0 if all(not s["errors"] for s in summaries) else 1
 
 
 def _resolve_target(target: str, fixed: bool = False):
@@ -405,6 +508,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         forwarded += ["--jobs", str(args.jobs)]
     forwarded += ["--repeats", str(args.repeats),
                   "--sweep-seeds", str(args.sweep_seeds)]
+    if args.net:
+        forwarded.append("--net")
     if args.json:
         forwarded.append("--json")
     if args.out:
@@ -474,6 +579,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing repeats per workload (default: 3)")
     bench.add_argument("--sweep-seeds", type=int, default=64, metavar="N",
                        help="seeds in the sweep benchmark (default: 64)")
+    bench.add_argument("--net", action="store_true",
+                       help="run the network benchmarks instead (fabric "
+                            "round trips, RPC echo, loadgen throughput; "
+                            "baseline: BENCH_net.json)")
     bench.add_argument("--json", action="store_true",
                        help="print the JSON document instead of the table")
     bench.add_argument("--out", metavar="FILE",
@@ -504,6 +613,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--apps", action="store_true",
                        help="sweep the six hardened mini-app workloads")
+    chaos.add_argument("--net-apps", action="store_true",
+                       help="sweep the multi-node cluster workloads "
+                            "(default plan: partition)")
     chaos.add_argument("--kernel", action="append", metavar="ID",
                        help="also sweep this bug kernel (repeatable)")
     chaos.add_argument("--fixed", action="store_true",
@@ -525,6 +637,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach an observer to every run and add "
                             "per-cell metrics columns to the scorecard")
     add_jobs_arg(chaos)
+
+    net_demo = sub.add_parser(
+        "net-demo",
+        help="3-node minietcd cluster over the simulated network, with "
+             "fabric stats and determinism digests",
+    )
+    net_demo.add_argument("--seed", type=int, default=0,
+                          help="scheduler seed (default: 0)")
+    net_demo.add_argument("--seeds", type=int, default=0, metavar="N",
+                          help="sweep seeds 0..N-1 instead of one --seed run")
+    net_demo.add_argument("--plan", metavar="NAME",
+                          help="inject a named fault plan (e.g. partition, "
+                               "slow-links; see `repro chaos --list-plans`)")
+    net_demo.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON instead of text")
+    add_jobs_arg(net_demo)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="virtual-time load generator against the echo service",
+    )
+    loadgen.add_argument("--clients", type=int, default=8, metavar="N",
+                         help="concurrent simulated clients (default: 8)")
+    loadgen.add_argument("--requests", type=int, default=100, metavar="N",
+                         help="requests per client (default: 100)")
+    loadgen.add_argument("--rate", type=float, default=200.0, metavar="R",
+                         help="mean requests per virtual second per client; "
+                              "0 = closed loop (default: 200)")
+    loadgen.add_argument("--arrival", choices=("poisson", "uniform"),
+                         default="poisson",
+                         help="arrival process (default: poisson)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="scheduler seed (default: 0)")
+    loadgen.add_argument("--seeds", type=int, default=0, metavar="N",
+                         help="sweep seeds 0..N-1 instead of one --seed run")
+    loadgen.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of text")
+    add_jobs_arg(loadgen)
 
     def add_target_args(p, seed_help="scheduler seed (default: 0)"):
         p.add_argument("target",
@@ -583,6 +733,8 @@ _COMMANDS = {
     "export": _cmd_export,
     "usage": _cmd_usage,
     "chaos": _cmd_chaos,
+    "net-demo": _cmd_net_demo,
+    "loadgen": _cmd_loadgen,
     "profile": _cmd_profile,
     "trace-export": _cmd_trace_export,
     "timeline": _cmd_timeline,

@@ -17,6 +17,7 @@ from .harness import (
     app_targets,
     kernel_targets,
     manifestation_rate,
+    net_app_targets,
 )
 from .injector import FaultInjector, FaultRecord
 from .plan import ACTIONS, Fault, FaultPlan
@@ -34,5 +35,6 @@ __all__ = [
     "app_targets",
     "kernel_targets",
     "manifestation_rate",
+    "net_app_targets",
     "plans",
 ]

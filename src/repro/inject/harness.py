@@ -290,6 +290,19 @@ def app_targets() -> List[ChaosTarget]:
     ]
 
 
+def net_app_targets() -> List[ChaosTarget]:
+    """The multi-node cluster workloads (see
+    :func:`repro.inject.scenarios.net_scenarios`), typically swept against
+    network plans — partitions, slow links — rather than the perturbation
+    suite."""
+    from . import scenarios
+
+    return [
+        ChaosTarget.from_program(name, program, **kwargs)
+        for name, program, kwargs in scenarios.net_scenarios()
+    ]
+
+
 def kernel_targets(kernel_ids: Optional[Sequence[str]] = None,
                    variant: str = "buggy") -> List[ChaosTarget]:
     """Bug kernels as chaos targets (both corpora by default)."""

@@ -160,6 +160,8 @@ class FaultInjector:
             return self._fire_clock_jump(index, fault, sched)
         if action in ("chan_close", "chan_fill"):
             return self._fire_channel_fault(index, fault, sched)
+        if action.startswith("net_"):
+            return self._fire_net_fault(index, fault, sched)
         raise AssertionError(f"unhandled action {action}")  # pragma: no cover
 
     def _matches_goroutine(self, fault: Fault, g) -> bool:
@@ -258,6 +260,68 @@ class FaultInjector:
                 self._record(index, fault, sched, victim=f"chan:{ch.name}",
                              detail={"stuffed": stuffed})
         return True
+
+    #: Defaults for network faults omitting ``value``.
+    DEFAULT_NET_RATE = 0.1
+    DEFAULT_NET_DELAY = 0.05
+
+    #: net_* rate actions -> Network.set_fault_rate kinds.
+    _NET_RATE_KINDS = {
+        "net_drop": "drop",
+        "net_dup": "duplicate",
+        "net_reorder": "reorder",
+        "net_delay": "delay",
+    }
+
+    def _fire_net_fault(self, index: int, fault: Fault,
+                        sched: "Scheduler") -> bool:
+        rt = self._rt
+        if rt is None or not rt._networks:
+            return False
+        fired = False
+        for net in rt._networks:
+            if fault.action == "net_partition":
+                groups = self._partition_groups(fault, net)
+                if groups is None:
+                    continue
+                net.partition(*groups)
+                self._record(index, fault, sched, victim=f"net:{net.name}",
+                             detail={"groups": [sorted(g) for g in groups]})
+            elif fault.action == "net_heal":
+                if not net.partitioned:
+                    continue
+                net.heal()
+                self._record(index, fault, sched, victim=f"net:{net.name}")
+            else:
+                kind = self._NET_RATE_KINDS[fault.action]
+                pattern = fault.target or "*"
+                default = (self.DEFAULT_NET_DELAY if kind == "delay"
+                           else self.DEFAULT_NET_RATE)
+                value = fault.value if fault.value is not None else default
+                net.set_fault_rate(kind, pattern, value)
+                self._record(index, fault, sched,
+                             victim=f"net:{net.name}[{pattern}]",
+                             detail={"kind": kind, "value": value})
+            fired = True
+        return fired
+
+    def _partition_groups(self, fault: Fault, net) -> Optional[List[List[str]]]:
+        """Resolve a net_partition fault to concrete node-name groups."""
+        value = fault.value
+        if (isinstance(value, (list, tuple)) and value
+                and isinstance(value[0], (list, tuple))):
+            return [list(group) for group in value]
+        names = sorted(net.nodes)
+        if len(names) < 2:
+            return None
+        if fault.target is not None:
+            isolated = [n for n in names if fnmatchcase(n, fault.target)]
+        else:
+            isolated = [self.rng.choice(names)]
+        rest = [n for n in names if n not in isolated]
+        if not isolated or not rest:
+            return None
+        return [isolated, rest]
 
     # ------------------------------------------------------------------
 

@@ -33,6 +33,15 @@ ACTIONS = (
     "clock_jump",   # advance the virtual clock by `value` seconds
     "chan_close",   # close a matching open channel
     "chan_fill",    # stuff a matching buffered channel to capacity
+    # Network faults (repro.net fabrics; no-ops for programs without one).
+    "net_partition",  # split nodes matching `target` from the rest (or
+                      # `value` = explicit list of name groups)
+    "net_heal",       # remove the active partition
+    "net_drop",       # set link loss probability `value` on links matching
+                      # `target` ("src->dst" glob, default all)
+    "net_dup",        # set link duplication probability `value`
+    "net_reorder",    # set link reorder probability `value`
+    "net_delay",      # add `value` seconds of extra delay on matching links
 )
 
 

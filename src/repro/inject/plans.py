@@ -148,6 +148,58 @@ def clock_jump(delta: float, after_time: float = 0.0) -> FaultPlan:
 
 
 # ----------------------------------------------------------------------
+# Network plans (repro.net fabrics; no-ops for single-process programs)
+# ----------------------------------------------------------------------
+
+
+def partition(target: Optional[str] = None, at_step: int = 200,
+              heal_after: Optional[int] = 600) -> FaultPlan:
+    """Cut nodes matching ``target`` (one random node when None) off from
+    the rest, then heal.  The canonical distributed-systems fault: in-flight
+    messages across the boundary are lost, replication stalls, and hardened
+    apps must re-converge after the heal."""
+    faults = [Fault("net_partition", target=target, at_step=at_step)]
+    if heal_after is not None:
+        faults.append(Fault("net_heal", at_step=at_step + heal_after))
+    name = "partition" if target is None else f"partition[{target}]"
+    return FaultPlan(
+        name=name,
+        faults=tuple(faults),
+        note="network partition with heal",
+    )
+
+
+def flaky_links(drop: float = 0.05, duplicate: float = 0.02,
+                reorder: float = 0.02, target: Optional[str] = None,
+                at_step: int = 1) -> FaultPlan:
+    """Degrade matching links: loss, duplication and reordering rates a
+    lossy WAN would show.  Idempotent retry/dedup logic survives; anything
+    assuming exactly-once in-order delivery does not."""
+    return FaultPlan(
+        name="flaky-links",
+        faults=(
+            Fault("net_drop", target=target, at_step=at_step, value=drop),
+            Fault("net_dup", target=target, at_step=at_step, value=duplicate),
+            Fault("net_reorder", target=target, at_step=at_step,
+                  value=reorder),
+        ),
+        note="lossy/duplicating/reordering links",
+    )
+
+
+def slow_links(extra: float = 0.05, target: Optional[str] = None,
+               at_step: int = 1) -> FaultPlan:
+    """Add per-link delay: the cross-region latency / congested-path case
+    that turns narrow timeout margins into DEADLINE_EXCEEDED storms."""
+    return FaultPlan(
+        name="slow-links",
+        faults=(Fault("net_delay", target=target, at_step=at_step,
+                      value=extra),),
+        note="extra per-link delay",
+    )
+
+
+# ----------------------------------------------------------------------
 # Suites and the registry
 # ----------------------------------------------------------------------
 
@@ -165,6 +217,9 @@ REGISTRY: Dict[str, Callable[[], FaultPlan]] = {
     "clock-skew": clock_skew,
     "perturb": perturb,
     "cancel-storm": cancel_storm,
+    "partition": partition,
+    "flaky-links": flaky_links,
+    "slow-links": slow_links,
 }
 
 

@@ -1,0 +1,53 @@
+"""repro.net — a deterministic simulated network on the runtime.
+
+The paper's subject systems (Docker, Kubernetes, etcd, CockroachDB,
+gRPC-Go, BoltDB) are distributed systems; their message-passing bugs most
+often manifest *across* RPC boundaries under load.  This package gives the
+mini-apps that boundary without giving up determinism: a Go-``net``-shaped
+surface (``Listener``/``Conn``/``dial``) built on channels and the virtual
+clock, a ``Node`` abstraction (named goroutine group with a lifecycle),
+a small gRPC-like RPC layer, and a virtual-time load generator.
+
+Layering::
+
+    fabric.Network      named nodes, per-link latency, partitions, loss
+    conn.Conn/Listener  message-oriented endpoints, Go close semantics
+    node.Node           goroutine group + lifecycle per simulated machine
+    rpc.RpcServer/...   unary + server-streaming calls over one Conn
+    load.LoadGen        N seeded clients, latency histograms
+
+Everything is deterministic: same ``(seed, topology, FaultPlan)`` means
+the same schedule fingerprint and a byte-identical
+``Network.format_message_log()``.  See docs/NETWORK.md.
+"""
+
+from .conn import Conn, Listener, dial
+from .fabric import Link, NetError, Network
+from .load import LATENCY_BOUNDS, LoadGen, LoadReport, echo_load_program
+from .node import Node
+from .rpc import (
+    RpcClient,
+    RpcError,
+    RpcServer,
+    Status,
+    connect_with_retry,
+)
+
+__all__ = [
+    "Conn",
+    "LATENCY_BOUNDS",
+    "Link",
+    "Listener",
+    "LoadGen",
+    "LoadReport",
+    "NetError",
+    "Network",
+    "Node",
+    "RpcClient",
+    "RpcError",
+    "RpcServer",
+    "Status",
+    "connect_with_retry",
+    "dial",
+    "echo_load_program",
+]

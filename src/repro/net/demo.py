@@ -1,0 +1,131 @@
+"""Backends for ``repro net-demo`` and ``repro loadgen``.
+
+Both commands run complete multi-node workloads on the simulated fabric
+and reduce them to flat, picklable summaries — so the CLI's ``--jobs``
+seed sweeps fan out over :func:`repro.parallel.map_units` and come back
+byte-identical to the serial order.
+
+The demo's determinism witness is double: the schedule digest (the exact
+interleaving) and a SHA-256 over the fabric's message log (every SEND /
+RECV / DROP line with virtual timestamps).  Replaying a seed must
+reproduce both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional
+
+from ..runtime.runtime import run
+from .load import echo_load_program
+
+
+def cluster_demo(rt) -> Dict[str, Any]:
+    """The showcase workload: a 3-node minietcd cluster over the fabric.
+
+    A writer client pushes six keys through the leader (one under a
+    lease), a second client watches the prefix over a server-streaming
+    RPC, replication fans out to both followers with retries, and the
+    run ends with a range query and a convergence check.
+    """
+    from ..apps.minietcd.cluster import EtcdCluster
+    from ..chan.cases import recv as recv_case
+    from .rpc import RpcError
+
+    cluster = EtcdCluster(rt, size=3)
+    client = cluster.client("client")
+    watch_client = cluster.client("watchcli")
+
+    events: List[Any] = []
+    watch_done = rt.make_chan(1, name="watch-done")
+
+    def watcher() -> None:
+        try:
+            for event in watch_client.watch("job/", count=6, timeout=20.0):
+                events.append(event)
+        except RpcError:
+            pass
+        watch_done.try_send(True)
+
+    rt.go(watcher, name="demo-watcher")
+
+    lease = client.grant_lease(ttl=120.0)
+    puts = 0
+    for i in range(6):
+        try:
+            client.put(f"job/{i}", i, lease=lease if i == 0 else None,
+                       attempts=10)
+            puts += 1
+        except RpcError:
+            pass
+
+    converged = cluster.await_convergence("job/", timeout=120.0)
+    timer = rt.new_timer(60.0)
+    rt.select(recv_case(watch_done), recv_case(timer.c))
+    timer.stop()
+    try:
+        rows = len(client.range("job/", timeout=20.0))
+    except RpcError:
+        rows = -1
+
+    log_text = cluster.net.format_message_log()
+    stats = dict(cluster.net.stats)
+    replicated = [m.replicated.load() for m in cluster.members]
+    cluster.stop()
+    return {
+        "puts": puts,
+        "converged": converged,
+        "watch_events": len(events),
+        "range_rows": rows,
+        "replicated": replicated,
+        "net": stats,
+        "message_log_bytes": len(log_text),
+        "message_log_sha256": hashlib.sha256(log_text.encode()).hexdigest(),
+        "healthy": bool(puts == 6 and converged
+                        and len(events) == 6 and rows == 6),
+    }
+
+
+def demo_summary(seed: int, plan: Any = None) -> Dict[str, Any]:
+    """One demo run reduced to a flat dict (picklable; sweepable)."""
+    from ..parallel.summary import schedule_digest
+
+    result = run(cluster_demo, seed=seed, inject=plan, max_steps=400_000)
+    summary: Dict[str, Any] = dict(result.main_result or {})
+    summary.update({
+        "seed": seed,
+        "status": result.status,
+        "steps": result.steps,
+        "virtual_s": round(result.end_time, 6),
+        "goroutines": len(result.goroutines),
+        "leaked": len(result.leaked),
+        "faults_fired": len(result.injected),
+        "schedule_sha256": schedule_digest(result),
+    })
+    return summary
+
+
+def loadgen_summary(seed: int = 0, clients: int = 8, requests: int = 100,
+                    rate: Optional[float] = 200.0,
+                    arrival: str = "poisson") -> Dict[str, Any]:
+    """One echo load run reduced to a flat dict (picklable; sweepable).
+
+    ``requests`` is per client.  The step budget scales with the offered
+    load so six-figure request counts stay inside one deterministic run.
+    """
+
+    def main(rt):
+        return echo_load_program(rt, clients=clients, requests=requests,
+                                 rate=rate, arrival=arrival)
+
+    max_steps = max(100_000, clients * requests * 60)
+    result = run(main, seed=seed, max_steps=max_steps, keep_trace=False)
+    summary: Dict[str, Any] = dict(result.main_result or {})
+    summary.update({
+        "seed": seed,
+        "status": result.status,
+        "steps": result.steps,
+        "goroutines": len(result.goroutines),
+        "leaked": len(result.leaked),
+    })
+    return summary

@@ -1,0 +1,270 @@
+"""A virtual-time load generator: N clients, seeded arrivals, histograms.
+
+Because time is simulated, "load" costs scheduler steps, not wall-clock
+waiting: a hundred thousand requests with realistic think times complete
+in seconds of real time while covering hours of virtual time.  Arrival
+processes are per-client seeded RNG streams (Poisson or uniform), so the
+offered load — like everything else — is a pure function of the seed.
+
+Latencies land in a :class:`repro.observe.metrics.MetricsRegistry`
+histogram (pass ``registry=observer.metrics`` to export them with the
+run's other metrics); the report estimates percentiles from the bucket
+bounds, the way Prometheus does.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from ..observe.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.runtime import Runtime
+
+#: Histogram bucket upper bounds for virtual-seconds latencies.
+LATENCY_BOUNDS = (0.00025, 0.0005, 0.001, 0.002, 0.004, 0.008, 0.016,
+                  0.032, 0.064, 0.128, 0.256, 0.512, 1.024, 2.048)
+
+
+class LoadReport:
+    """Aggregated outcome of one load run (JSON-stable)."""
+
+    def __init__(self, name: str, clients: int, requests: int, ok: int,
+                 errors: int, error_kinds: Dict[str, int],
+                 duration: float, latency: Dict[str, Any]):
+        self.name = name
+        self.clients = clients
+        self.requests = requests
+        self.ok = ok
+        self.errors = errors
+        self.error_kinds = error_kinds
+        self.duration = duration          # virtual seconds
+        self.latency = latency            # summary incl. percentile bounds
+
+    @property
+    def throughput(self) -> float:
+        """Requests per virtual second."""
+        return self.requests / self.duration if self.duration else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "clients": self.clients,
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "error_kinds": dict(sorted(self.error_kinds.items())),
+            "virtual_s": round(self.duration, 6),
+            "rps_virtual": round(self.throughput, 1),
+            "latency": self.latency,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        lat = self.latency
+        lines = [
+            f"load {self.name}: {self.requests} requests from "
+            f"{self.clients} client(s) over {self.duration:.3f} virtual s "
+            f"({self.throughput:,.0f} req/s)",
+            f"  ok={self.ok} errors={self.errors}"
+            + (f" {self.error_kinds}" if self.error_kinds else ""),
+            f"  latency mean={lat['mean']*1e3:.3f}ms "
+            f"p50<={lat['p50']*1e3:.3f}ms p90<={lat['p90']*1e3:.3f}ms "
+            f"p99<={lat['p99']*1e3:.3f}ms max={lat['max']*1e3:.3f}ms",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<LoadReport {self.name!r} requests={self.requests} "
+                f"ok={self.ok} errors={self.errors}>")
+
+
+def _percentile(bounds, counts, total: int, q: float,
+                fallback: float = 0.0) -> float:
+    """Upper-bound percentile estimate from histogram buckets."""
+    if total <= 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    for bound, count in zip(bounds, counts):
+        cumulative += count
+        if cumulative >= target:
+            return bound
+    return fallback  # landed in the overflow bucket: report the observed max
+
+
+class LoadGen:
+    """Drive a request function from N simulated clients.
+
+    Args:
+        rt: the runtime (call inside a simulated program).
+        request: ``request(ctx, i)`` issues one request; ``ctx`` is what
+            ``setup(client_index)`` returned (or the client index).
+            Raising counts as an error (keyed by exception class name).
+        clients: number of concurrent simulated clients.
+        requests: requests **per client**.
+        rate: mean request rate per client (requests per virtual second);
+            None = closed loop, each client fires as fast as replies come.
+        arrival: ``"poisson"`` (exponential gaps) or ``"uniform"``.
+        setup / teardown: per-client hooks run inside the client goroutine
+            (e.g. dial a connection / close it).
+        seed: arrival-process seed (default: the run's scheduler seed).
+        registry: metrics registry to record into (default: a fresh one);
+            pass ``observer.metrics`` to export with the run's metrics.
+        name: metric name prefix and goroutine name stem.
+    """
+
+    def __init__(self, rt: "Runtime",
+                 request: Callable[[Any, int], Any], *,
+                 clients: int = 4, requests: int = 100,
+                 rate: Optional[float] = None, arrival: str = "poisson",
+                 setup: Optional[Callable[[int], Any]] = None,
+                 teardown: Optional[Callable[[Any], None]] = None,
+                 seed: Optional[int] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 name: str = "load"):
+        if arrival not in ("poisson", "uniform"):
+            raise ValueError(f"unknown arrival process {arrival!r}")
+        self._rt = rt
+        self._request = request
+        self.clients = clients
+        self.requests = requests
+        self.rate = rate
+        self.arrival = arrival
+        self._setup = setup
+        self._teardown = teardown
+        self.seed = rt.sched.seed if seed is None else seed
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.name = name
+
+    def _client(self, index: int) -> None:
+        rt = self._rt
+        rng = random.Random(self.seed * 1_000_003 + index * 7919 + 13)
+        issued = self.registry.counter(f"{self.name}.requests")
+        ok = self.registry.counter(f"{self.name}.ok")
+        errors = self.registry.counter(f"{self.name}.errors")
+        latency = self.registry.histogram(f"{self.name}.latency_s",
+                                          bounds=LATENCY_BOUNDS)
+        ctx = self._setup(index) if self._setup is not None else index
+        try:
+            for i in range(self.requests):
+                if self.rate:
+                    gap = (rng.expovariate(self.rate)
+                           if self.arrival == "poisson" else 1.0 / self.rate)
+                    rt.sleep(gap)
+                issued.inc()
+                start = rt.now()
+                try:
+                    self._request(ctx, i)
+                except Exception as err:
+                    errors.inc()
+                    self.registry.counter(
+                        f"{self.name}.error[{type(err).__name__}]").inc()
+                else:
+                    ok.inc()
+                latency.observe(rt.now() - start)
+        finally:
+            if self._teardown is not None:
+                self._teardown(ctx)
+
+    def run(self) -> LoadReport:
+        """Run all clients to completion and aggregate the report."""
+        rt = self._rt
+        start = rt.now()
+        wg = rt.waitgroup(name=f"{self.name}.wg")
+        for index in range(self.clients):
+            wg.add(1)
+
+            def client(idx: int = index) -> None:
+                try:
+                    self._client(idx)
+                finally:
+                    wg.done()
+
+            rt.go(client, name=f"{self.name}.client{index}")
+        wg.wait()
+        duration = rt.now() - start
+
+        hist = self.registry.histogram(f"{self.name}.latency_s",
+                                       bounds=LATENCY_BOUNDS)
+        total = hist.count
+        top = hist.max if hist.max is not None else 0.0
+        latency = {
+            "count": total,
+            "mean": round(hist.mean, 9),
+            "max": top,
+            "p50": _percentile(hist.bounds, hist.bucket_counts, total, 0.50, top),
+            "p90": _percentile(hist.bounds, hist.bucket_counts, total, 0.90, top),
+            "p99": _percentile(hist.bounds, hist.bucket_counts, total, 0.99, top),
+        }
+        error_kinds = {
+            key[len(self.name) + 7:-1]: self.registry[key].value
+            for key in self.registry.names()
+            if key.startswith(f"{self.name}.error[")
+        }
+        return LoadReport(
+            name=self.name,
+            clients=self.clients,
+            requests=self.registry.counter(f"{self.name}.requests").value,
+            ok=self.registry.counter(f"{self.name}.ok").value,
+            errors=self.registry.counter(f"{self.name}.errors").value,
+            error_kinds=error_kinds,
+            duration=duration,
+            latency=latency,
+        )
+
+
+def echo_load_program(rt: "Runtime", *, clients: int = 8,
+                      requests: int = 100, rate: Optional[float] = 200.0,
+                      arrival: str = "poisson",
+                      registry: Optional[MetricsRegistry] = None,
+                      log_messages: bool = False) -> Dict[str, Any]:
+    """A self-contained echo workload: one server node, N dialing clients.
+
+    The standard loadgen target for the CLI, benchmarks and tests.  Returns
+    the load report as a plain dict (picklable for seed sweeps).
+    """
+    from .node import Node
+
+    net = rt.network(name="loadnet", log_messages=log_messages)
+    server = Node(net, "server")
+    # Backlog sized to the fleet: every client may dial in the same
+    # virtual instant, before the acceptor gets a single step.
+    listener = server.listen("echo", backlog=max(16, clients))
+
+    def serve(conn) -> None:
+        for payload in conn:
+            conn.send(payload)
+
+    def acceptor() -> None:
+        for conn in listener.accept_loop():
+            server.track(conn)
+            server.go(serve, conn, name="echo")
+
+    server.go(acceptor, name="accept")
+
+    def setup(index: int):
+        client = Node(net, f"client{index}")
+        return client.dial(server.addr("echo"))
+
+    def request(conn, i: int) -> None:
+        conn.send(i)
+        payload, ok = conn.recv_ok()
+        if not ok or payload != i:
+            raise RuntimeError(f"echo mismatch: sent {i}, got {payload!r}")
+
+    def teardown(conn) -> None:
+        conn.shutdown()
+
+    gen = LoadGen(rt, request, clients=clients, requests=requests,
+                  rate=rate, arrival=arrival, setup=setup, teardown=teardown,
+                  registry=registry, name="load")
+    report = gen.run()
+    server.stop()
+    result = report.to_dict()
+    result["net"] = dict(net.stats)
+    return result

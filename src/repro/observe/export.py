@@ -40,6 +40,11 @@ _INSTANT = {
     EventKind.ONCE_DO: "once",
     EventKind.COND_SIGNAL: "cond.signal",
     EventKind.COND_BROADCAST: "cond.broadcast",
+    EventKind.NET_DROP: "net.drop",
+    EventKind.NET_DIAL: "net.dial",
+    EventKind.NET_CLOSE: "net.close",
+    EventKind.NET_PARTITION: "net.partition",
+    EventKind.NET_HEAL: "net.heal",
 }
 
 _PID = 1
@@ -118,6 +123,24 @@ def chrome_trace(result: Any, observation: Any = None,
                              f"chan#{e.obj} msg", "chan.flow")
                 flow["id"] = f"chan{e.obj}-{seq}"
                 if kind == EventKind.CHAN_RECV:
+                    flow["bp"] = "e"
+                events.append(flow)
+        elif kind in (EventKind.NET_SEND, EventKind.NET_RECV):
+            label = "net.send" if kind == EventKind.NET_SEND else "net.recv"
+            link = e.info.get("link", "?")
+            inst = _base(e, "i", f"{label} {link}", "net")
+            inst["s"] = "t"
+            inst["args"].update(
+                {k: v for k, v in e.info.items() if k != "stack"})
+            events.append(inst)
+            # Flow arrows pair each network message's send with its receive
+            # across goroutines (and nodes), like the channel arrows.
+            seq = e.info.get("seq")
+            if seq is not None:
+                flow = _base(e, "s" if kind == EventKind.NET_SEND else "f",
+                             f"net {link} msg", "net.flow")
+                flow["id"] = f"net-{link}-{seq}"
+                if kind == EventKind.NET_RECV:
                     flow["bp"] = "e"
                 events.append(flow)
         elif kind in (EventKind.MEM_READ, EventKind.MEM_WRITE):

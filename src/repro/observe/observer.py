@@ -46,7 +46,17 @@ _TALLY = {
     EventKind.EXTERNAL_WAIT: "external.waits",
     EventKind.INJECT: "inject.faults",
     EventKind.GO_PANIC: "go.panics",
+    EventKind.NET_SEND: "net.sends",
+    EventKind.NET_RECV: "net.recvs",
+    EventKind.NET_DROP: "net.drops",
+    EventKind.NET_DIAL: "net.dials",
+    EventKind.NET_PARTITION: "net.partitions",
+    EventKind.NET_HEAL: "net.heals",
 }
+
+#: Bucket bounds for per-link delivery latency (virtual seconds).
+_NET_LATENCY_BOUNDS = (0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,
+                       0.2, 0.5, 1.0)
 
 
 class _OpenSpan:
@@ -206,6 +216,17 @@ class Observer:
             if (self.track_occupancy and not e.info.get("sync", False)
                     and "seq" in e.info):
                 self._occupancy(int(e.obj), -1, e.step)  # type: ignore[arg-type]
+        elif kind == EventKind.NET_RECV:
+            link = e.info.get("link")
+            latency = e.info.get("latency")
+            if link is not None and latency is not None:
+                self.metrics.histogram(f"net.latency_s[{link}]",
+                                       bounds=_NET_LATENCY_BOUNDS
+                                       ).observe(latency)
+        elif kind == EventKind.NET_DROP:
+            link = e.info.get("link")
+            if link is not None:
+                self.metrics.counter(f"net.drops[{link}]").inc()
 
     def _occupancy(self, cid: int, delta: int, step: int) -> None:
         occ = self._chan_occ.get(cid, 0) + delta

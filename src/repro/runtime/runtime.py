@@ -69,6 +69,10 @@ class Runtime:
         #: Every cancellable context created in this run (WithCancel /
         #: WithTimeout), for context-cancellation storms.
         self._cancel_contexts: List[Any] = []
+        #: Every simulated network fabric created through :meth:`network`,
+        #: in creation order; the fault injector reaches partitions, link
+        #: loss and link delays through this.
+        self._networks: List[Any] = []
 
     # ------------------------------------------------------------------
     # Object identity for traces
@@ -311,6 +315,27 @@ class Runtime:
 
         p = Pipe(self)
         return p.reader, p.writer
+
+    # ------------------------------------------------------------------
+    # Simulated network (repro.net)
+    # ------------------------------------------------------------------
+
+    def network(self, name: Optional[str] = None, *,
+                default_latency: float = 0.001,
+                log_messages: bool = True):
+        """Create a deterministic simulated network fabric (:mod:`repro.net`).
+
+        Nodes join the fabric, listen on ``"node:port"`` addresses and dial
+        each other over message-oriented connections with per-link
+        virtual-clock latency.  Fault plans reach partitions and link loss
+        through the runtime's network list.
+        """
+        from ..net.fabric import Network
+
+        net = Network(self, name=name, default_latency=default_latency,
+                      log_messages=log_messages)
+        self._networks.append(net)
+        return net
 
 
 class RunResult:

@@ -60,6 +60,15 @@ class EventKind:
     # Fault injection (repro.inject)
     INJECT = "inject.fault"          # info: action, plan, victim details
 
+    # Simulated network (repro.net)
+    NET_SEND = "net.send"            # info: link "src->dst", msg seq, latency
+    NET_RECV = "net.recv"            # info: link, msg seq, latency
+    NET_DROP = "net.drop"            # info: link, msg seq, reason
+    NET_DIAL = "net.dial"            # info: src node, addr, outcome
+    NET_CLOSE = "net.close"          # info: conn endpoints, half flag
+    NET_PARTITION = "net.partition"  # info: node groups
+    NET_HEAL = "net.heal"
+
 
 #: Shared empty-info mapping: most events carry no details, and allocating a
 #: fresh dict per event was measurable in sweeps.  Treat as immutable —

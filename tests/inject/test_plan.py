@@ -70,6 +70,21 @@ def test_plan_json_round_trip():
     assert clone.fingerprint() == plan.fingerprint()
 
 
+def test_net_fault_plan_round_trips_through_json():
+    plan = (plans.partition(target="n2", at_step=100, heal_after=300)
+            + plans.flaky_links(drop=0.1)
+            + plans.slow_links(extra=0.02))
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone == plan
+    assert clone.fingerprint() == plan.fingerprint()
+    assert [fault.action for fault in clone.faults] == [
+        "net_partition", "net_heal",
+        "net_drop", "net_dup", "net_reorder",
+        "net_delay",
+    ]
+    assert clone.faults[0].target == "n2"
+
+
 def test_fingerprint_is_content_sensitive():
     a = plans.wakeup_storm()
     b = plans.wakeup_storm(probability=0.25)

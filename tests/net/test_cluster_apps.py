@@ -1,0 +1,103 @@
+"""Multi-node mini-apps on the fabric: minietcd and minigrpc clusters."""
+
+import pytest
+
+from repro import run
+from repro.apps.minietcd.cluster import EtcdCluster
+from repro.inject import plans, scenarios
+
+
+def test_etcd_cluster_replicates_and_serves_reads():
+    def main(rt):
+        cluster = EtcdCluster(rt, size=3)
+        client = cluster.client("cli")
+        for i in range(4):
+            client.put(f"cfg/{i}", i * 10)
+        converged = cluster.await_convergence("cfg/", timeout=60.0)
+        leader_read = client.get("cfg/2")
+        follower_read = client.get("cfg/2", member=2)
+        rows = client.range("cfg/", timeout=10.0)
+        replicated = [m.replicated.load() for m in cluster.members]
+        cluster.stop()
+        return converged, leader_read, follower_read, len(rows), replicated
+
+    result = run(main, seed=0, max_steps=400_000)
+    assert result.status == "ok"
+    converged, leader_read, follower_read, rows, replicated = \
+        result.main_result
+    assert converged is True
+    assert leader_read == follower_read == 20
+    assert rows == 4
+    assert replicated == [0, 4, 4]     # leader applies locally, followers ack
+    assert result.leaked == []
+
+
+def test_etcd_cluster_watch_streams_over_the_wire():
+    def main(rt):
+        cluster = EtcdCluster(rt, size=2)
+        watcher = cluster.client("watcher")
+        writer = cluster.client("writer")
+        events = []
+
+        def watch():
+            for event in watcher.watch("job/", count=3, timeout=30.0):
+                events.append(event)
+
+        rt.go(watch, name="watch")
+        rt.sleep(0.5)                  # let the watch register
+        for i in range(3):
+            writer.put(f"job/{i}", i)
+        rt.sleep(1.0)
+        cluster.stop()
+        return events
+
+    result = run(main, seed=0, max_steps=400_000)
+    assert result.status == "ok"
+    events = result.main_result
+    assert [(kind, key) for kind, key, _value, _rev in events] == \
+        [("PUT", "job/0"), ("PUT", "job/1"), ("PUT", "job/2")]
+
+
+def test_non_leader_put_rejected():
+    def main(rt):
+        from repro.net.rpc import RpcError
+
+        cluster = EtcdCluster(rt, size=2)
+        follower = cluster.members[1]
+        with pytest.raises(RpcError, match="not the leader"):
+            follower._rpc_put({"key": "x", "value": 1})
+        cluster.stop()
+        return True
+
+    assert run(main, max_steps=400_000).main_result is True
+
+
+@pytest.mark.parametrize("name,program,kwargs", scenarios.net_scenarios())
+@pytest.mark.parametrize("seed", [0, 1])
+def test_net_scenarios_healthy_at_baseline(name, program, kwargs, seed):
+    result = run(program, seed=seed, **kwargs)
+    assert result.status == "ok", (name, seed, result.status)
+    assert result.main_result is True, (name, seed)
+    assert result.leaked == [], (name, seed)
+
+
+@pytest.mark.parametrize("name,program,kwargs", scenarios.net_scenarios())
+def test_net_scenarios_survive_a_secondary_partition(name, program, kwargs):
+    """Cut each app's secondary node (etcd n2 / grpc srv2) and heal: the
+    replication queue drains and the failover client reroutes — the
+    invariants still hold."""
+    plan = plans.partition(target="*2", at_step=150, heal_after=400)
+    result = run(program, seed=0, inject=plan, **kwargs)
+    assert result.status == "ok", (name, result.status)
+    assert result.main_result is True, name
+    assert any(r.action == "net_partition" for r in result.injected), name
+
+
+def test_net_scenarios_stay_out_of_the_single_process_suite():
+    """The chaos scorecard's shape (6 apps x plans) is load-bearing for
+    the benchmarks; cluster scenarios ride a separate registry."""
+    single = {name for name, _p, _k in scenarios.all_scenarios()}
+    cluster = {name for name, _p, _k in scenarios.net_scenarios()}
+    assert len(single) == 6
+    assert cluster == {"minietcd-cluster", "minigrpc-cluster"}
+    assert not (single & cluster)

@@ -1,0 +1,197 @@
+"""Conn close semantics: the Go sharp edges, on purpose.
+
+The paper's message-passing bugs live at channel close boundaries; the
+network layer keeps those edges sharp — double close and send-on-closed
+panic exactly like their channel counterparts, while ``shutdown()`` is
+the idempotent teardown path node lifecycles use.
+"""
+
+import pytest
+
+from repro import run
+from repro.net import NetError, Node
+
+
+def _pair(rt, latency=0.001):
+    net = rt.network(name="t", default_latency=latency)
+    srv = Node(net, "srv")
+    listener = srv.listen("p")
+    accepted = []
+    srv.go(lambda: accepted.append(listener.accept()), name="accept")
+    cli = Node(net, "cli")
+    conn = cli.dial(srv.addr("p"))
+    while not accepted:          # dial returns before accept lands
+        rt.sleep(0.001)
+    return net, srv, cli, conn, accepted[0]
+
+
+def test_echo_round_trip_over_dial():
+    def main(rt):
+        _net, srv, cli, conn, server_side = _pair(rt)
+        srv.track(server_side)
+        srv.go(lambda: [server_side.send(p * 2) for p in server_side],
+               name="echo")
+        out = []
+        for i in range(3):
+            conn.send(i)
+            out.append(conn.recv())
+        conn.shutdown()
+        srv.stop()
+        cli.stop()
+        return out
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result == [0, 2, 4]
+
+
+def test_double_close_panics():
+    def main(rt):
+        _net, _srv, _cli, conn, _server_side = _pair(rt)
+        conn.close()
+        conn.close()
+
+    result = run(main)
+    assert result.status == "panic"
+    assert "close of closed connection" in str(result.panic_value)
+
+
+def test_send_on_closed_conn_panics():
+    def main(rt):
+        _net, _srv, _cli, conn, _server_side = _pair(rt)
+        conn.close()
+        conn.send("late")
+
+    result = run(main)
+    assert result.status == "panic"
+    assert "send on closed connection" in str(result.panic_value)
+
+
+def test_close_write_twice_panics():
+    def main(rt):
+        _net, _srv, _cli, conn, _server_side = _pair(rt)
+        conn.close_write()
+        conn.close_write()
+
+    result = run(main)
+    assert result.status == "panic"
+    assert "close of closed connection" in str(result.panic_value)
+
+
+def test_half_close_drains_then_eof_and_keeps_receiving():
+    def main(rt):
+        _net, srv, cli, conn, server_side = _pair(rt)
+        for i in range(3):
+            conn.send(i)
+        conn.close_write()            # half-close: server drains, sees EOF
+        drained = list(server_side)
+        server_side.send(sum(drained))  # ...but the other direction is open
+        reply, ok = conn.recv_ok()
+        conn.close()                  # full close after a half-close is fine
+        server_side.shutdown()
+        srv.stop()
+        cli.stop()
+        return drained, reply, ok
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result == ([0, 1, 2], 3, True)
+
+
+def test_shutdown_is_idempotent():
+    def main(rt):
+        _net, _srv, _cli, conn, _server_side = _pair(rt)
+        conn.shutdown()
+        conn.shutdown()               # no panic: the defer-style path
+        payload, ok = conn.recv_ok()  # locally closed -> immediate EOF
+        return payload, ok, conn.closed
+
+    assert run(main).main_result == (None, False, True)
+
+
+def test_dial_unbound_address_refused():
+    def main(rt):
+        net = rt.network(name="t")
+        cli = Node(net, "cli")
+        with pytest.raises(NetError, match="connection refused"):
+            cli.dial("ghost:80")
+        return True
+
+    assert run(main).main_result is True
+
+
+def test_dial_across_partition_unreachable():
+    def main(rt):
+        net = rt.network(name="t")
+        srv = Node(net, "srv")
+        srv.listen("p")
+        cli = Node(net, "cli")
+        net.partition({"srv"}, {"cli"})
+        with pytest.raises(NetError, match="host unreachable"):
+            cli.dial(srv.addr("p"))
+        return True
+
+    assert run(main).main_result is True
+
+
+def test_dial_full_backlog_refused():
+    def main(rt):
+        net = rt.network(name="t")
+        srv = Node(net, "srv")
+        srv.listen("p", backlog=1)    # nobody accepting
+        cli = Node(net, "cli")
+        cli.dial(srv.addr("p"))
+        with pytest.raises(NetError, match="backlog full"):
+            cli.dial(srv.addr("p"))
+        return True
+
+    assert run(main).main_result is True
+
+
+def test_listener_close_wakes_pending_accept():
+    def main(rt):
+        net = rt.network(name="t")
+        srv = Node(net, "srv")
+        listener = srv.listen("p")
+        outcome = []
+
+        def acceptor():
+            try:
+                listener.accept()
+                outcome.append("conn")
+            except NetError:
+                outcome.append("closed")
+
+        srv.go(acceptor, name="accept")
+        rt.sleep(0.1)
+        listener.close()
+        listener.close()              # idempotent
+        srv.stop()
+        return outcome
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result == ["closed"]
+
+
+def test_messages_arriving_after_local_close_are_discarded():
+    def main(rt):
+        net = rt.network(name="t", default_latency=0.1)
+        srv = Node(net, "srv")
+        listener = srv.listen("p")
+        accepted = []
+        srv.go(lambda: accepted.append(listener.accept()), name="accept")
+        cli = Node(net, "cli")
+        conn = cli.dial(srv.addr("p"))
+        while not accepted:
+            rt.sleep(0.01)
+        accepted[0].send("in-flight")
+        conn.shutdown()               # close before the 0.1s delivery lands
+        rt.sleep(0.5)
+        srv.stop()
+        cli.stop()
+        return net.stats["dropped"]
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result == 1    # discarded like a closed socket

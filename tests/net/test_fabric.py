@@ -1,0 +1,196 @@
+"""Network fabric: latency, FIFO, faults, partitions, message log."""
+
+import pytest
+
+from repro import run
+from repro.net import Conn, NetError, Node
+
+
+def test_delivery_takes_one_link_latency():
+    def main(rt):
+        net = rt.network(name="t", default_latency=0.25)
+        a, b = Conn.pair(rt, net, "a", "b")
+        a.send("x")
+        payload, ok = b.recv_ok()
+        return payload, ok, rt.now()
+
+    payload, ok, now = run(main).main_result
+    assert (payload, ok) == ("x", True)
+    assert now == pytest.approx(0.25)
+
+
+def test_per_pipe_fifo_is_preserved():
+    def main(rt):
+        net = rt.network(name="t")
+        a, b = Conn.pair(rt, net, "a", "b")
+        for i in range(10):
+            a.send(i)
+        a.close_write()
+        return list(b)
+
+    assert run(main).main_result == list(range(10))
+
+
+def test_set_latency_is_symmetric_by_default():
+    def main(rt):
+        net = rt.network(name="t", default_latency=0.001)
+        net.set_latency("a", "b", 0.5)
+        return net.link("a", "b").latency, net.link("b", "a").latency
+
+    assert run(main).main_result == (0.5, 0.5)
+
+
+def test_drop_rate_one_loses_everything():
+    def main(rt):
+        net = rt.network(name="t")
+        a, b = Conn.pair(rt, net, "a", "b")
+        net.link("a", "b").drop = 1.0
+        for i in range(5):
+            a.send(i)
+        a.close_write()
+        got = list(b)
+        return got, dict(net.stats)
+
+    got, stats = run(main).main_result
+    assert got == []
+    assert stats["sent"] == 5
+    assert stats["dropped"] == 5
+    assert stats["delivered"] == 0
+
+
+def test_duplicate_rate_one_delivers_twice():
+    def main(rt):
+        net = rt.network(name="t")
+        a, b = Conn.pair(rt, net, "a", "b")
+        net.link("a", "b").duplicate = 1.0
+        for i in range(3):
+            a.send(i)
+        a.close_write()
+        got = list(b)
+        return got, dict(net.stats)
+
+    got, stats = run(main).main_result
+    assert got == [0, 0, 1, 1, 2, 2]  # FIFO holds for the copies too
+    assert stats["duplicated"] == 3
+    assert stats["delivered"] == 6
+
+
+def test_partition_drops_in_flight_and_heal_restores():
+    def main(rt):
+        net = rt.network(name="t", default_latency=0.1)
+        a, b = Conn.pair(rt, net, "a", "b")
+        a.send("doomed")             # in flight when the cable is cut
+        net.partition({"a"}, {"b"})
+        unreachable = not net.reachable("a", "b")
+        rt.sleep(0.5)                # past the delivery time
+        got_during, received, _open = b.try_recv()
+        net.heal()
+        a.send("after-heal")
+        payload, ok = b.recv_ok()
+        return (unreachable, received, got_during, payload, ok,
+                net.stats["dropped"], net.partitioned)
+
+    unreachable, received, got, payload, ok, dropped, parted = \
+        run(main).main_result
+    assert unreachable is True
+    assert received is False and got is None
+    assert (payload, ok) == ("after-heal", True)
+    assert dropped == 1
+    assert parted is False
+
+
+def test_partition_leaves_unnamed_nodes_connected():
+    def main(rt):
+        net = rt.network(name="t")
+        net.partition({"a"}, {"b"})
+        return (net.reachable("a", "c"), net.reachable("c", "b"),
+                net.reachable("a", "a"))
+
+    assert run(main).main_result == (True, True, True)
+
+
+def test_fault_rate_rules_glob_and_clear():
+    def main(rt):
+        net = rt.network(name="t")
+        a, b = Conn.pair(rt, net, "a", "b")
+        net.set_fault_rate("drop", "a->*", 1.0)
+        a.send("lost")
+        net.set_fault_rate("drop", "a->*", 0.0)   # value=0 removes the rule
+        a.send("kept")
+        payload, ok = b.recv_ok()
+        return payload, ok, net.stats["dropped"]
+
+    assert run(main).main_result == ("kept", True, 1)
+
+
+def test_unknown_fault_rate_kind_rejected():
+    def main(rt):
+        net = rt.network(name="t")
+        with pytest.raises(ValueError, match="unknown fault rate kind"):
+            net.set_fault_rate("corrupt", "*", 0.5)
+        return True
+
+    assert run(main).main_result is True
+
+
+def test_duplicate_node_name_rejected():
+    def main(rt):
+        net = rt.network(name="t")
+        Node(net, "twin")
+        with pytest.raises(NetError, match="duplicate node name"):
+            Node(net, "twin")
+        return True
+
+    assert run(main).main_result is True
+
+
+def test_address_already_in_use_rejected():
+    def main(rt):
+        net = rt.network(name="t")
+        node = Node(net, "srv")
+        node.listen("api")
+        with pytest.raises(NetError, match="address already in use"):
+            node.listen("api")
+        return True
+
+    assert run(main).main_result is True
+
+
+def _flaky_program(rt):
+    net = rt.network(name="flakynet")
+    a, b = Conn.pair(rt, net, "a", "b")
+    net.link("a", "b").drop = 0.3
+    net.link("a", "b").duplicate = 0.2
+    for i in range(40):
+        a.send(i)
+    a.close_write()
+    got = list(b)
+    return tuple(got), net.format_message_log(), dict(net.stats)
+
+
+def test_message_log_is_byte_identical_for_a_seed():
+    first = run(_flaky_program, seed=11).main_result
+    second = run(_flaky_program, seed=11).main_result
+    assert first == second
+    got, log, stats = first
+    assert stats["sent"] == 40
+    assert 0 < stats["delivered"]
+    assert log.count("SEND") == 40
+    assert log.count("DROP") == stats["dropped"]
+
+
+def test_fabric_coins_vary_with_the_seed():
+    logs = {run(_flaky_program, seed=seed).main_result[1]
+            for seed in range(6)}
+    assert len(logs) > 1
+
+
+def test_log_messages_gate_disables_the_log():
+    def main(rt):
+        net = rt.network(name="quiet", log_messages=False)
+        a, b = Conn.pair(rt, net, "a", "b")
+        a.send(1)
+        b.recv()
+        return net.format_message_log()
+
+    assert run(main).main_result == ""

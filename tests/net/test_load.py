@@ -1,0 +1,117 @@
+"""LoadGen: counts, arrival processes, error accounting, histograms."""
+
+import json
+
+import pytest
+
+from repro import run
+from repro.net import LATENCY_BOUNDS, LoadGen, echo_load_program
+from repro.observe.metrics import MetricsRegistry
+
+
+def test_echo_load_counts_every_request():
+    def main(rt):
+        return echo_load_program(rt, clients=3, requests=5, rate=100.0)
+
+    result = run(main)
+    assert result.status == "ok"
+    report = result.main_result
+    assert report["requests"] == 15          # requests are per client
+    assert report["ok"] == 15
+    assert report["errors"] == 0
+    assert report["latency"]["count"] == 15
+    assert report["latency"]["p99"] >= report["latency"]["p50"] > 0
+    assert report["net"]["delivered"] == report["net"]["sent"]
+    assert result.leaked == []
+
+
+def test_closed_loop_and_uniform_arrivals():
+    def closed_loop(rt):
+        return echo_load_program(rt, clients=2, requests=4, rate=None)
+
+    def uniform(rt):
+        return echo_load_program(rt, clients=2, requests=4, rate=50.0,
+                                 arrival="uniform")
+
+    closed = run(closed_loop).main_result
+    spaced = run(uniform).main_result
+    assert closed["requests"] == spaced["requests"] == 8
+    assert closed["errors"] == spaced["errors"] == 0
+    # A closed loop only waits on replies; uniform pacing adds think time.
+    assert closed["virtual_s"] < spaced["virtual_s"]
+
+
+def test_unknown_arrival_process_rejected():
+    def main(rt):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            LoadGen(rt, lambda ctx, i: None, arrival="bursty")
+        return True
+
+    assert run(main).main_result is True
+
+
+def test_errors_are_counted_by_exception_kind():
+    def main(rt):
+        def request(_ctx, i):
+            rt.sleep(0.001)
+            if i % 2:
+                raise RuntimeError("flaky backend")
+
+        gen = LoadGen(rt, request, clients=2, requests=6, rate=None,
+                      name="mixed")
+        return gen.run().to_dict()
+
+    report = run(main).main_result
+    assert report["requests"] == 12
+    assert report["ok"] == 6
+    assert report["errors"] == 6
+    assert report["error_kinds"] == {"RuntimeError": 6}
+    # Failed requests still get a latency sample (time to the error).
+    assert report["latency"]["count"] == 12
+
+
+def test_setup_and_teardown_run_per_client():
+    def main(rt):
+        opened, closed = [], []
+
+        def setup(index):
+            opened.append(index)
+            return index
+
+        def teardown(ctx):
+            closed.append(ctx)
+
+        gen = LoadGen(rt, lambda ctx, i: rt.sleep(0.001), clients=3,
+                      requests=2, rate=None, setup=setup, teardown=teardown)
+        gen.run()
+        return sorted(opened), sorted(closed)
+
+    assert run(main).main_result == ([0, 1, 2], [0, 1, 2])
+
+
+def test_latencies_land_in_a_shared_registry():
+    def main(rt):
+        registry = MetricsRegistry()
+        gen = LoadGen(rt, lambda ctx, i: rt.sleep(0.003), clients=2,
+                      requests=3, rate=None, registry=registry, name="svc")
+        report = gen.run()
+        hist = registry.histogram("svc.latency_s", bounds=LATENCY_BOUNDS)
+        return report.to_dict(), hist.count, sorted(registry.names())
+
+    report, observed, names = run(main).main_result
+    assert observed == 6
+    assert "svc.latency_s" in names and "svc.ok" in names
+    # 3ms sleeps: the p50 upper bound is the 4ms bucket.
+    assert report["latency"]["p50"] == pytest.approx(0.004)
+
+
+def test_report_is_json_stable():
+    def main(rt):
+        gen = LoadGen(rt, lambda ctx, i: rt.sleep(0.001), clients=1,
+                      requests=2, rate=None)
+        return gen.run().to_json()
+
+    text = run(main).main_result
+    decoded = json.loads(text)
+    assert decoded["requests"] == 2
+    assert decoded["rps_virtual"] > 0

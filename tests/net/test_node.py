@@ -1,0 +1,79 @@
+"""Node lifecycle: goroutine ownership, orderly stop, post-stop errors."""
+
+import pytest
+
+from repro import run
+from repro.net import NetError, Node
+
+
+def test_go_runs_tasks_under_the_node_waitgroup():
+    def main(rt):
+        net = rt.network(name="t")
+        node = Node(net, "worker")
+        out = []
+        node.go(lambda a, b: out.append(a + b), 1, 2, name="adder")
+        node.go(lambda: out.append("plain"))
+        node.stop()                   # waits for both
+        return sorted(map(str, out)), node.stopped
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result == (["3", "plain"], True)
+
+
+def test_stop_cancels_context_and_unblocks_receivers():
+    def main(rt):
+        net = rt.network(name="t")
+        srv = Node(net, "srv")
+        listener = srv.listen("p")
+        seen = []
+
+        def server():
+            for conn in listener.accept_loop():
+                srv.track(conn)
+                for payload in conn:   # unblocked with EOF by stop()
+                    seen.append(payload)
+
+        srv.go(server, name="serve")
+        cli = Node(net, "cli")
+        conn = cli.dial(srv.addr("p"))
+        conn.send("hello")
+        rt.sleep(0.1)
+        was_stopping = srv.stopping
+        srv.stop()                     # closes listener + conns, drains wg
+        cli.stop()
+        return seen, was_stopping, srv.stopping
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result == (["hello"], False, True)
+    assert result.leaked == []
+
+
+def test_listen_and_dial_on_stopped_node_raise():
+    def main(rt):
+        net = rt.network(name="t")
+        node = Node(net, "gone")
+        node.stop()
+        node.stop()                    # idempotent
+        with pytest.raises(NetError, match="listen on stopped node"):
+            node.listen("p")
+        with pytest.raises(NetError, match="dial from stopped node"):
+            node.dial("x:1")
+        return True
+
+    assert run(main).main_result is True
+
+
+def test_goroutines_are_named_for_fault_targeting():
+    """``node.go`` names goroutines ``"<node>/<task>"`` so chaos plans can
+    glob a whole simulated machine."""
+    def main(rt):
+        net = rt.network(name="t")
+        node = Node(net, "n2")
+        gor = node.go(lambda: None, name="handler")
+        name = gor.name
+        node.stop()
+        return name
+
+    assert run(main).main_result == "n2/handler"

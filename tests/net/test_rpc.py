@@ -1,0 +1,274 @@
+"""RPC layer: unary calls, streaming, deadlines, retries, pump hygiene.
+
+The client pump is the paper's Figure 1 shape applied as library policy:
+timed-out callers and abandoned stream consumers must never strand the
+demultiplexing goroutine.
+"""
+
+import pytest
+
+from repro import run
+from repro.net import (
+    Node,
+    RpcClient,
+    RpcError,
+    RpcServer,
+    Status,
+    connect_with_retry,
+)
+from repro.net.fabric import NetError
+
+
+def _serve(rt, net, handlers=None, streaming=None, name="srv"):
+    node = Node(net, name)
+    server = RpcServer(node, name="api")
+    for method, handler in (handlers or {}).items():
+        server.register(method, handler)
+    for method, handler in (streaming or {}).items():
+        server.register_streaming(method, handler)
+    server.serve(node.listen("api"))
+    return node, server, node.addr("api")
+
+
+def test_unary_echo_and_not_found():
+    def main(rt):
+        net = rt.network(name="t")
+        srv, _server, addr = _serve(rt, net, {"echo": lambda p: p * 2})
+        cli = Node(net, "cli")
+        client = RpcClient(cli, addr, name="api")
+        doubled = client.call("echo", 21)
+        with pytest.raises(RpcError) as missing:
+            client.call("nope", None)
+        client.close()
+        srv.stop()
+        cli.stop()
+        return doubled, missing.value.code
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result == (42, Status.NOT_FOUND)
+    assert result.leaked == []
+
+
+def test_handler_exception_maps_to_internal():
+    def main(rt):
+        def boom(_payload):
+            raise ValueError("kaput")
+
+        net = rt.network(name="t")
+        srv, server, addr = _serve(rt, net, {"boom": boom})
+        cli = Node(net, "cli")
+        client = RpcClient(cli, addr, name="api")
+        with pytest.raises(RpcError) as err:
+            client.call("boom", None)
+        client.close()
+        srv.stop()
+        cli.stop()
+        return err.value.code, err.value.detail, server.errors
+
+    code, detail, errors = run(main).main_result
+    assert code == Status.INTERNAL
+    assert "kaput" in detail
+    assert errors == 1
+
+
+def test_call_deadline_fires_without_stranding_the_pump():
+    def main(rt):
+        def slow(_payload):
+            rt.sleep(5.0)
+            return "late"
+
+        net = rt.network(name="t")
+        srv, _server, addr = _serve(rt, net, {"slow": slow})
+        cli = Node(net, "cli")
+        client = RpcClient(cli, addr, name="api")
+        with pytest.raises(RpcError) as err:
+            client.call("slow", None, timeout=0.5)
+        retryable = err.value.retryable
+        # The late response lands in a popped registration: the pump must
+        # shrug it off and keep serving this fresh call.
+        alive = client.call("slow", None, timeout=10.0)
+        client.close()
+        srv.stop()
+        cli.stop()
+        return err.value.code, retryable, alive
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result == (Status.DEADLINE_EXCEEDED, True, "late")
+    assert result.leaked == []
+
+
+def test_server_streaming_until_eos():
+    def main(rt):
+        def count(n, send):
+            for i in range(n):
+                send(i)
+
+        net = rt.network(name="t")
+        srv, _server, addr = _serve(rt, net, streaming={"count": count})
+        cli = Node(net, "cli")
+        client = RpcClient(cli, addr, name="api")
+        frames = list(client.stream("count", 4))
+        client.close()
+        srv.stop()
+        cli.stop()
+        return frames
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result == [0, 1, 2, 3]
+
+
+def test_stream_per_frame_deadline():
+    def main(rt):
+        def stall(_payload, send):
+            send("first")
+            rt.sleep(30.0)            # the link looks dead to the consumer
+            send("second")
+
+        net = rt.network(name="t")
+        srv, _server, addr = _serve(rt, net, streaming={"stall": stall})
+        cli = Node(net, "cli")
+        client = RpcClient(cli, addr, name="api")
+        got = []
+        with pytest.raises(RpcError) as err:
+            for frame in client.stream("stall", None, timeout=0.5):
+                got.append(frame)
+        client.close()
+        srv.stop()
+        cli.stop()
+        return got, err.value.code
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result == (["first"], Status.DEADLINE_EXCEEDED)
+    assert result.leaked == []
+
+
+def test_abandoned_stream_never_strands_the_pump():
+    def main(rt):
+        def firehose(_payload, send):
+            for i in range(100):
+                send(i)
+
+        net = rt.network(name="t")
+        srv, _server, addr = _serve(rt, net, streaming={"firehose": firehose})
+        cli = Node(net, "cli")
+        client = RpcClient(cli, addr, name="api")
+        stream = client.stream("firehose", None, buffer=2)
+        got = [next(stream), next(stream), next(stream)]
+        stream.close()                # walk away mid-stream
+        # The pump survived the abandonment and still serves unary calls
+        # (a stranded pump would leave this blocked forever).
+        with pytest.raises(RpcError):
+            client.call("missing", None, timeout=1.0)
+        client.close()
+        srv.stop()
+        cli.stop()
+        return got
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result == [0, 1, 2]
+    assert result.leaked == []
+
+
+def test_call_with_retry_survives_transient_unavailable():
+    def main(rt):
+        attempts = []
+
+        def shaky(payload):
+            attempts.append(payload)
+            if len(attempts) < 3:
+                raise RpcError(Status.UNAVAILABLE, "warming up")
+            return "served"
+
+        def never(_payload):
+            raise RpcError(Status.NOT_FOUND, "no retry for this")
+
+        net = rt.network(name="t")
+        srv, _server, addr = _serve(rt, net, {"shaky": shaky, "never": never})
+        cli = Node(net, "cli")
+        client = RpcClient(cli, addr, name="api")
+        served = client.call_with_retry("shaky", "x", attempts=5)
+        with pytest.raises(RpcError) as err:
+            client.call_with_retry("never", "y", attempts=5)
+        client.close()
+        srv.stop()
+        cli.stop()
+        return served, len(attempts), err.value.code
+
+    served, shaky_calls, code = run(main).main_result
+    assert served == "served"
+    assert shaky_calls == 3
+    assert code == Status.NOT_FOUND   # non-retryable: raised on attempt one
+
+
+def test_connect_with_retry_waits_for_a_late_listener():
+    def main(rt):
+        net = rt.network(name="t")
+        srv = Node(net, "srv")
+        cli = Node(net, "cli")
+
+        def bring_up():
+            rt.sleep(0.3)
+            server = RpcServer(srv, name="api")
+            server.register("ping", lambda _p: "pong")
+            server.serve(srv.listen("api"))
+
+        rt.go(bring_up, name="late-start")
+        client = connect_with_retry(cli, "srv:api", name="api", attempts=8)
+        pong = client.call("ping", None, timeout=1.0)
+        client.close()
+        srv.stop()
+        cli.stop()
+        return pong, rt.now() >= 0.3
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result == ("pong", True)
+
+
+def test_connect_with_retry_exhausts_attempts():
+    def main(rt):
+        net = rt.network(name="t")
+        cli = Node(net, "cli")
+        with pytest.raises(NetError, match="connection refused"):
+            connect_with_retry(cli, "ghost:api", attempts=3)
+        cli.stop()
+        return True
+
+    assert run(main).main_result is True
+
+
+def test_close_fails_callers_with_unavailable():
+    def main(rt):
+        def slow(_payload):
+            rt.sleep(10.0)
+            return "late"
+
+        net = rt.network(name="t")
+        srv, _server, addr = _serve(rt, net, {"slow": slow})
+        cli = Node(net, "cli")
+        client = RpcClient(cli, addr, name="api")
+        outcome = rt.make_chan(1)
+
+        def caller():
+            try:
+                client.call("slow", None)
+            except RpcError as err:
+                outcome.send(err.code)
+
+        rt.go(caller, name="caller")
+        rt.sleep(0.5)
+        client.close()                # pump EOF fails the pending call
+        code = outcome.recv()
+        srv.stop()
+        cli.stop()
+        return code
+
+    result = run(main)
+    assert result.status == "ok"
+    assert result.main_result == Status.UNAVAILABLE
+    assert result.leaked == []

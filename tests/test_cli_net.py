@@ -1,0 +1,62 @@
+"""CLI behavior for the network subsystem: net-demo, loadgen, chaos --net-apps."""
+
+import json
+
+from repro.cli import main
+
+
+def test_loadgen_json_single_seed(capsys):
+    assert main(["loadgen", "--clients", "2", "--requests", "5",
+                 "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["requests"] == 10
+    assert summary["errors"] == 0
+    assert summary["status"] == "ok"
+    assert summary["net"]["delivered"] == summary["net"]["sent"]
+
+
+def test_loadgen_text_seed_sweep(capsys):
+    assert main(["loadgen", "--clients", "2", "--requests", "4",
+                 "--seeds", "2", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "seed=0" in out and "seed=1" in out
+    assert "latency mean=" in out
+    assert "fabric: sent=" in out
+
+
+def test_loadgen_closed_loop_via_rate_zero(capsys):
+    assert main(["loadgen", "--clients", "1", "--requests", "3",
+                 "--rate", "0", "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["requests"] == 3
+
+
+def test_net_demo_json_single_seed(capsys):
+    assert main(["net-demo", "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["healthy"] is True
+    assert summary["puts"] == 6
+    assert summary["watch_events"] == 6
+    assert summary["range_rows"] == 6
+    assert len(summary["schedule_sha256"]) == 64
+    assert len(summary["message_log_sha256"]) == 64
+
+
+def test_net_demo_text_replays_identically(capsys):
+    assert main(["net-demo"]) == 0
+    out = capsys.readouterr().out
+    assert "HEALTHY" in out
+    assert "replay: identical (schedule + message log)" in out
+
+
+def test_net_demo_unknown_plan_rejected(capsys):
+    assert main(["net-demo", "--plan", "no-such-plan"]) == 2
+    assert "unknown plan" in capsys.readouterr().err
+
+
+def test_chaos_net_apps_scorecard(capsys):
+    assert main(["chaos", "--net-apps", "--seeds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "minietcd-cluster" in out
+    assert "minigrpc-cluster" in out
+    assert "partition[*2]" in out

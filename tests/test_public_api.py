@@ -28,6 +28,10 @@ def test_all_exports_resolve():
     "repro.study.report",
     "repro.study.export",
     "repro.apps",
+    "repro.apps.minietcd.cluster",
+    "repro.inject",
+    "repro.net",
+    "repro.net.demo",
     "repro.cli",
     "repro.runtime.timeline",
     "repro.detect.systematic",
@@ -39,7 +43,8 @@ def test_submodules_import(module):
 
 def test_subpackage_all_exports_resolve():
     for module_name in ("repro.runtime", "repro.chan", "repro.sync",
-                        "repro.stdlib", "repro.detect", "repro.dataset"):
+                        "repro.stdlib", "repro.detect", "repro.dataset",
+                        "repro.net"):
         module = importlib.import_module(module_name)
         for name in module.__all__:
             assert getattr(module, name, None) is not None, (module_name, name)
