@@ -258,7 +258,7 @@ class Channel:
                 return
             waiter = _Waiter(me, is_send=True, payload=value)
             self._send_waiters.append(waiter)
-            self._sched.block(f"chan.send:{self.name}")
+            self._sched.block(f"chan.send:{self.name}", obj=self.id)
             if waiter.completed:
                 if waiter.ok is False:
                     raise GoPanic("send on closed channel")
@@ -280,7 +280,7 @@ class Channel:
                 return outcome
             waiter = _Waiter(me, is_send=False)
             self._recv_waiters.append(waiter)
-            self._sched.block(f"chan.recv:{self.name}")
+            self._sched.block(f"chan.recv:{self.name}", obj=self.id)
             if waiter.completed:
                 return waiter.value, bool(waiter.ok)
             self._discard(waiter)

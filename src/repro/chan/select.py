@@ -54,7 +54,11 @@ def select(rt: "Runtime", cases: Sequence[SelectCase], default: bool = False
     sched = rt.sched
     sched.schedule_point()
     me = sched.current
-    sched.emit(EventKind.SELECT_BEGIN, info={"cases": len(cases), "default": default})
+    case_ids = tuple(cid for case in cases
+                     if (cid := getattr(case.channel, "id", None)) is not None)
+    sched.emit(EventKind.SELECT_BEGIN,
+               info={"cases": len(cases), "default": default,
+                     "chans": case_ids})
 
     while True:
         ready_indices = [i for i, case in enumerate(cases) if case.ready()]
@@ -79,7 +83,7 @@ def select(rt: "Runtime", cases: Sequence[SelectCase], default: bool = False
             while True:
                 sched.block("select.nil")
 
-        sched.block("select")
+        sched.block("select", obj=case_ids)
 
         for channel, waiter in registered:
             if not waiter.completed:

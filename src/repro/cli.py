@@ -234,11 +234,12 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     kwargs = dict(kernel.run_kwargs)
     exploration = explore_systematic(
         program, stop_on=kernel.manifested, max_runs=args.max_runs,
-        jobs=args.jobs, **kwargs
+        jobs=args.jobs, prune=not args.no_prune, memo=not args.no_memo,
+        **kwargs
     )
     variant = "fixed" if args.fixed else "buggy"
     if args.json:
-        print(json.dumps({
+        payload = {
             "kernel": args.kernel_id,
             "variant": variant,
             "runs": exploration.runs,
@@ -249,12 +250,24 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                 exploration.counterexample_result.status
                 if exploration.counterexample_result is not None else None),
             "statuses": dict(exploration.statuses),
-        }, indent=2))
+        }
+        if args.stats:
+            payload["stats"] = exploration.to_stats()
+        print(json.dumps(payload, indent=2))
         return 0
     print(f"{args.kernel_id} ({variant}): {exploration}")
     if exploration.found:
         print("  replay with: ScriptedChoices("
               f"{exploration.counterexample})")
+    if args.stats:
+        stats = exploration.to_stats()
+        print(f"  runs:       {stats['runs']} visited "
+              f"({stats['runs_executed']} executed, "
+              f"{stats['runs_saved']} memoized)")
+        print(f"  pruned:     {stats['pruned']} sibling branches")
+        print(f"  diverged:   {stats['divergences']} replays")
+        print(f"  tree depth: {stats['max_depth']} decisions")
+        print(f"  wall time:  {stats['wall_s']:.3f}s")
     return 0
 
 
@@ -510,6 +523,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   "--sweep-seeds", str(args.sweep_seeds)]
     if args.net:
         forwarded.append("--net")
+    if args.explore:
+        forwarded.append("--explore")
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
     if args.json:
         forwarded.append("--json")
     if args.out:
@@ -579,6 +596,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing repeats per workload (default: 3)")
     bench.add_argument("--sweep-seeds", type=int, default=64, metavar="N",
                        help="seeds in the sweep benchmark (default: 64)")
+    bench.add_argument("--explore", action="store_true",
+                       help="run only the exploration-pruning benchmarks")
+    bench.add_argument("--baseline", metavar="FILE",
+                       help="print a delta table against a committed "
+                            "benchmark document")
     bench.add_argument("--net", action="store_true",
                        help="run the network benchmarks instead (fabric "
                             "round trips, RPC echo, loadgen throughput; "
@@ -589,11 +611,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the JSON document to FILE")
 
     explore = sub.add_parser(
-        "explore", help="systematically enumerate a kernel's schedules"
+        "explore", aliases=["explore-systematic"],
+        help="systematically enumerate a kernel's schedules"
     )
     explore.add_argument("kernel_id")
     explore.add_argument("--max-runs", type=int, default=500)
     explore.add_argument("--fixed", action="store_true")
+    explore.add_argument("--stats", action="store_true",
+                         help="print work accounting: runs executed vs "
+                              "pruned vs memoized, tree depth, wall time")
+    explore.add_argument("--no-prune", action="store_true",
+                         help="disable sleep-set schedule-equivalence "
+                              "pruning (explore the raw tree)")
+    explore.add_argument("--no-memo", action="store_true",
+                         help="disable the cross-run schedule memo")
     explore.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of text")
     add_jobs_arg(explore)
@@ -730,6 +761,7 @@ _COMMANDS = {
     "scan": _cmd_scan,
     "bench": _cmd_bench,
     "explore": _cmd_explore,
+    "explore-systematic": _cmd_explore,
     "export": _cmd_export,
     "usage": _cmd_usage,
     "chaos": _cmd_chaos,

@@ -1,0 +1,221 @@
+"""Choice-point annotation for the systematic explorer.
+
+The explorer's schedule tree branches on raw ``randrange`` indices; to
+prune equivalent branches it must know what each choice *did*.  This
+module answers that with two inert runtime hooks:
+
+* :attr:`Scheduler.annotate_pick` reports, for every scheduling decision,
+  the runnable goroutines offered and the index chosen — aligned to the
+  scripted choice log by position (the hook fires right after the draw).
+* a trace listener buckets the events each picked goroutine then performs
+  into that decision's *segment* and reduces them to a **footprint**: the
+  set of synchronization objects and goroutines the segment touched.
+
+Footprints drive the sleep-set pruning rule in
+:mod:`repro.detect.systematic`: two segments on different goroutines with
+disjoint footprints commute, so schedules differing only in their order
+are equivalent.  Soundness demands the footprint never *understate* a
+segment's interactions.  The scheduler therefore names the wait queues a
+blocked attempt registers on (``GO_BLOCK`` carries the primitive id, or
+the full case-channel set for a select) and ``select.begin`` carries
+every case channel it consults, so those reduce to ordinary object
+tokens.  Sleeps reduce to a single shared timer token ``("t", 0)``: two
+sleeps may contend on wake order, but a sleep commutes with any channel
+or lock operation (clock *advances* still poison, see below).
+
+Anything the event stream cannot fully describe poisons the segment
+(treated as dependent on everything):
+
+* ``GO_BLOCK`` without a named object (external waits, nil channels);
+* timer fires (the clock advance reorders every deadline), external
+  waits, injected faults, panics, the main goroutine ending (changes run
+  length), network fabric activity, and any event kind this table does
+  not know.
+
+Everything else contributes tokens: ``("o", id)`` for a primitive object,
+``("g", gid)`` for goroutine-directed effects (spawn, unblock, completing
+a peer's parked operation).  Every segment also carries its own
+goroutine's ``("g", gid)`` token, so two segments of the same goroutine
+never commute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Optional, Tuple
+
+from ..runtime.trace import EventKind, TraceEvent
+
+__all__ = ["ChoiceAnnotator", "PickAnnotation"]
+
+#: Event kinds whose segment cannot be summarized by object tokens alone.
+_POISON_KINDS = frozenset({
+    EventKind.GO_PANIC,
+    EventKind.TIMER_FIRE,
+    EventKind.EXTERNAL_WAIT,
+    EventKind.INJECT,
+})
+
+#: The shared virtual-clock token: all sleep registrations conflict with
+#: each other (wake order) but commute with channel/lock traffic.
+_TIMER_TOKEN = ("t", 0)
+
+#: Event kinds that carry no cross-goroutine information at all.
+_INERT_KINDS = frozenset({
+    EventKind.GO_START,
+    EventKind.SELECT_COMMIT,
+})
+
+#: Event kinds whose ``obj`` is a goroutine id, not a primitive id.
+_GID_OBJ_KINDS = frozenset({
+    EventKind.GO_CREATE,
+    EventKind.GO_UNBLOCK,
+})
+
+#: Event kinds whose ``obj`` names a synchronization primitive.
+_OBJ_KINDS = frozenset({
+    EventKind.CHAN_MAKE, EventKind.CHAN_SEND, EventKind.CHAN_RECV,
+    EventKind.CHAN_CLOSE,
+    EventKind.MU_REQUEST, EventKind.MU_LOCK, EventKind.MU_UNLOCK,
+    EventKind.RW_RLOCK, EventKind.RW_RUNLOCK, EventKind.RW_REQUEST,
+    EventKind.RW_LOCK, EventKind.RW_UNLOCK,
+    EventKind.WG_ADD, EventKind.WG_DONE, EventKind.WG_WAIT,
+    EventKind.ONCE_DO,
+    EventKind.COND_WAIT, EventKind.COND_SIGNAL, EventKind.COND_BROADCAST,
+    EventKind.ATOMIC_OP,
+    EventKind.MEM_READ, EventKind.MEM_WRITE,
+})
+
+#: gid of the program's main goroutine (first spawned by ``run``).
+MAIN_GID = 1
+
+
+@dataclass(frozen=True)
+class PickAnnotation:
+    """One scheduling decision: who was offered, who ran, what they touched.
+
+    Attributes:
+        position: index into the scripted choice log (which ``randrange``
+            call this pick was).
+        gids: runnable goroutine ids offered, in runnable-list order
+            (``gids[chosen]`` ran).
+        chosen: the index drawn.
+        tokens: footprint of the segment the chosen goroutine then
+            executed, as ``("o", id)`` / ``("g", gid)`` pairs.
+        poisoned: True when the footprint may be incomplete; a poisoned
+            segment never justifies pruning.
+    """
+
+    position: int
+    gids: Tuple[int, ...]
+    chosen: int
+    tokens: FrozenSet[Tuple[str, int]]
+    poisoned: bool
+
+
+class _Segment:
+    __slots__ = ("position", "gids", "chosen", "gid", "tokens", "poisoned")
+
+    def __init__(self, position: int, gids: Tuple[int, ...], chosen: int):
+        self.position = position
+        self.gids = gids
+        self.chosen = chosen
+        self.gid = gids[chosen]
+        self.tokens = {("g", self.gid)}
+        self.poisoned = False
+
+
+class ChoiceAnnotator:
+    """Observer recording pick offers and segment footprints for one run.
+
+    Pass in ``observers=[annotator]`` to :func:`repro.run` alongside the
+    scripted ``rng``; read :attr:`picks` afterwards.  Attaching subscribes
+    a trace listener (events are delivered even with ``keep_trace=False``)
+    and installs the ``annotate_pick`` scheduler hook.
+    """
+
+    def __init__(self) -> None:
+        self.picks: List[PickAnnotation] = []
+        self._segments: List[_Segment] = []
+        self._current: Optional[_Segment] = None
+        self._rng: Any = None
+
+    # -- observer protocol -------------------------------------------------
+
+    def attach(self, rt: Any) -> None:
+        sched = rt.sched
+        self._rng = sched.rng
+        sched.annotate_pick = self._on_pick
+        sched.trace.subscribe(self._on_event)
+
+    def finish(self, result: Any) -> None:
+        self._flush()
+        self.picks = [
+            PickAnnotation(seg.position, seg.gids, seg.chosen,
+                           frozenset(seg.tokens), seg.poisoned)
+            for seg in self._segments
+        ]
+
+    # -- hooks -------------------------------------------------------------
+
+    def _on_pick(self, runnable: List[Any], idx: int) -> None:
+        # The draw just happened, so its log entry is the last one.
+        position = len(self._rng.log) - 1
+        self._flush()
+        self._current = _Segment(
+            position, tuple(g.gid for g in runnable), idx)
+
+    def _on_event(self, event: TraceEvent) -> None:
+        seg = self._current
+        if seg is None:
+            # Pre-first-pick setup (main's GO_CREATE): nothing to prune.
+            return
+        kind = event.kind
+        if kind in _OBJ_KINDS:
+            if event.obj is not None:
+                seg.tokens.add(("o", event.obj))
+            else:  # pragma: no cover - defensive
+                seg.poisoned = True
+            if event.gid != seg.gid:
+                # Completing a parked peer's operation touches that peer.
+                seg.tokens.add(("g", event.gid))
+        elif kind in _GID_OBJ_KINDS:
+            seg.tokens.add(("g", event.obj))
+        elif kind == EventKind.GO_BLOCK:
+            info = event.info or {}
+            objs = info.get("objs")
+            if event.obj is not None:
+                seg.tokens.add(("o", event.obj))
+            elif objs:
+                seg.tokens.update(("o", obj) for obj in objs)
+            elif info.get("reason") == "time.sleep":
+                seg.tokens.add(_TIMER_TOKEN)
+            else:
+                # External waits, nil channels: wait queue unnamed.
+                seg.poisoned = True
+        elif kind == EventKind.SELECT_BEGIN:
+            chans = (event.info or {}).get("chans")
+            if chans is None:  # pragma: no cover - defensive
+                seg.poisoned = True
+            else:
+                seg.tokens.update(("o", obj) for obj in chans)
+        elif kind == EventKind.SLEEP:
+            seg.tokens.add(_TIMER_TOKEN)
+        elif kind == EventKind.GO_END:
+            if event.gid == MAIN_GID:
+                # Main ending flips the run into drain mode.
+                seg.poisoned = True
+            else:
+                seg.tokens.add(("g", event.gid))
+        elif kind in _INERT_KINDS:
+            pass
+        else:
+            # Timer fires, faults, panics, net.*, unknown kinds.
+            seg.poisoned = True
+
+    # -- internals ---------------------------------------------------------
+
+    def _flush(self) -> None:
+        if self._current is not None:
+            self._segments.append(self._current)
+            self._current = None

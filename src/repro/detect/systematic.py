@@ -16,30 +16,75 @@ tree of schedules depth-first:
   or when the tree is exhausted — in which case the program is *verified*
   over all schedules within the depth bound.
 
+Most schedules differ only in the order of *commuting* steps, so the raw
+tree is massively redundant.  Two optimizations (both on by default)
+shrink the work without shrinking coverage:
+
+* **Sleep-set pruning** (``prune=True``) — the scheduler reports, per
+  decision, which goroutines were offered and what the chosen one then
+  touched (:mod:`repro.detect.annotate`).  After exploring a branch, its
+  first transition goes to "sleep" for the sibling branches: inside a
+  sibling's subtree that same transition is skipped until some dependent
+  step (overlapping footprint) wakes it, because taking it sooner only
+  reorders independent steps.  This is the classic sleep-set reduction
+  (Godefroid): it prunes redundant *interleavings* while still visiting
+  every reachable program state, so exhaustion verdicts and the set of
+  reachable outcomes (deadlocks, panics, wrong values) are preserved.
+  Anything the footprint cannot fully describe — blocked attempts,
+  selects, timers, injected faults — poisons its segment and disables
+  the pruning it would have justified, keeping the rule conservative.
+* **Cross-run memoization** (``memo=True``) — completed runs are stored
+  in a per-``(program, stop_on, options)`` schedule trie shared through
+  :mod:`repro.parallel.memo`.  A prefix whose replay walks entirely
+  through stored decisions short-circuits without running; repeated
+  explorations (growing budgets, benchmark rounds, CLI re-invocations)
+  pay only for schedules they have never seen.  ``runs`` still counts
+  memoized visits — verdicts and statuses are unchanged — while
+  ``runs_saved`` reports how many executions were avoided.
+
 For small programs exhaustion is reachable and gives a real guarantee;
 for larger ones the explorer is a directed bug-finder that needs no luck.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..runtime.runtime import RunResult, run
+from .annotate import ChoiceAnnotator, PickAnnotation
 
 
 class ScriptedChoices:
-    """A ``randrange`` source replaying a fixed prefix, then picking 0."""
+    """A ``randrange`` source replaying a fixed prefix, then picking 0.
+
+    A prefix entry can exceed the live range when the program is
+    nondeterministic w.r.t. its schedule (its decision structure changed
+    between the recording run and this replay).  The draw is clamped to
+    ``n - 1`` as before, but the mismatch is recorded in
+    :attr:`divergences` — a clamped replay explores a *different* subtree
+    than the one it was branched from, and the explorer must know.
+    """
 
     def __init__(self, prefix: Sequence[int] = ()):
         self.prefix = list(prefix)
         self.log: List[Tuple[int, int]] = []
+        #: ``(position, intended, n)`` per clamped draw.
+        self.divergences: List[Tuple[int, int, int]] = []
+
+    @property
+    def diverged(self) -> bool:
+        return bool(self.divergences)
 
     def randrange(self, n: int) -> int:
         position = len(self.log)
         if position < len(self.prefix):
-            choice = min(self.prefix[position], n - 1)
+            intended = self.prefix[position]
+            choice = intended if intended < n else n - 1
+            if choice != intended:
+                self.divergences.append((position, intended, n))
         else:
             choice = 0
         self.log.append((n, choice))
@@ -55,19 +100,58 @@ class Exploration:
     counterexample: Optional[List[int]] = None
     counterexample_result: Optional[RunResult] = None
     statuses: dict = field(default_factory=dict)
+    #: Runs actually executed (``runs - runs_saved``).
+    runs_executed: int = 0
+    #: Visits satisfied from the cross-run memo without executing.
+    runs_saved: int = 0
+    #: Sibling branches skipped by sleep-set pruning.
+    pruned: int = 0
+    #: Runs whose scripted replay diverged from the recorded schedule
+    #: (nondeterministic program); their subtrees are not expanded.
+    divergences: int = 0
+    #: Longest choice log observed (depth of the explored tree).
+    max_depth: int = 0
+    #: Wall-clock seconds spent exploring.
+    wall_s: float = 0.0
 
     @property
     def found(self) -> bool:
         return self.counterexample is not None
 
+    def to_stats(self) -> Dict[str, Any]:
+        """The ``--stats`` payload: work accounting next to the verdict."""
+        return {
+            "runs": self.runs,
+            "runs_executed": self.runs_executed,
+            "runs_saved": self.runs_saved,
+            "pruned": self.pruned,
+            "divergences": self.divergences,
+            "max_depth": self.max_depth,
+            "wall_s": round(self.wall_s, 4),
+            "exhausted": self.exhausted,
+            "found": self.found,
+            "statuses": dict(self.statuses),
+        }
+
+    def _extras(self) -> str:
+        parts = []
+        if self.pruned:
+            parts.append(f"{self.pruned} branches pruned")
+        if self.runs_saved:
+            parts.append(f"{self.runs_saved} runs memoized")
+        if self.divergences:
+            parts.append(f"{self.divergences} replay divergences")
+        return f" [{', '.join(parts)}]" if parts else ""
+
     def __str__(self) -> str:
         if self.found:
             return (f"counterexample after {self.runs} runs: "
                     f"schedule {self.counterexample} -> "
-                    f"{self.counterexample_result.status}")
+                    f"{self.counterexample_result.status}{self._extras()}")
         verdict = "exhausted: property holds on every schedule" \
             if self.exhausted else "bound reached without a counterexample"
-        return f"{self.runs} runs, {verdict} (statuses: {self.statuses})"
+        return (f"{self.runs} runs, {verdict} "
+                f"(statuses: {self.statuses}){self._extras()}")
 
 
 def _explore_unit(
@@ -75,20 +159,294 @@ def _explore_unit(
     prefix: List[int],
     stop_on: Optional[Callable[[RunResult], bool]],
     run_kwargs: dict,
-) -> Tuple[List[Tuple[int, int]], Any, bool]:
+    annotate: bool,
+) -> Tuple[List[Tuple[int, int]], Any, bool,
+           Optional[List[PickAnnotation]], bool]:
     """One scheduled run of one prefix; picklable outcome for sweep workers.
 
-    Returns ``(choice log, result-or-summary, stop hit)``.  The full
-    :class:`RunResult` cannot cross a process boundary, so workers reduce
-    it to a :class:`repro.parallel.RunSummary`; ``stop_on`` is evaluated
-    here, where the rich result still exists.
+    Returns ``(choice log, result-or-summary, stop hit, pick annotations,
+    clamped)``.  The full :class:`RunResult` cannot cross a process
+    boundary, so workers reduce it to a :class:`repro.parallel.RunSummary`;
+    ``stop_on`` is evaluated here, where the rich result still exists.
     """
     from ..parallel import summarize_result
 
-    choices = ScriptedChoices(prefix)
-    result = run(program, rng=choices, **run_kwargs)
+    choices, result, picks = _run_scripted(program, prefix, run_kwargs,
+                                           annotate)
     hit = stop_on is not None and bool(stop_on(result))
-    return choices.log, summarize_result(result), hit
+    return choices.log, summarize_result(result), hit, picks, choices.diverged
+
+
+def _run_scripted(program: Callable, prefix: Sequence[int],
+                  run_kwargs: dict, annotate: bool):
+    """Run ``program`` under a scripted schedule, optionally annotated."""
+    choices = ScriptedChoices(prefix)
+    kwargs = dict(run_kwargs)
+    observers = list(kwargs.pop("observers", ()))
+    annotator = None
+    if annotate:
+        annotator = ChoiceAnnotator()
+        observers.append(annotator)
+    result = run(program, rng=choices, observers=observers, **kwargs)
+    picks = annotator.picks if annotator is not None else None
+    return choices, result, picks
+
+
+# ----------------------------------------------------------------------
+# Explorer internals
+# ----------------------------------------------------------------------
+
+#: Upper bound on runs stored per memo trie (backstop, not a tuning knob).
+_TRIE_MAX_RUNS = 50_000
+
+# Sleep entries are ``(gid, footprint)`` pairs: "goroutine ``gid``'s next
+# transition need not be taken here — an explored sibling already covers
+# every schedule that starts with it."  ``footprint`` is the transition's
+# token set; a dependent (overlapping) step wakes the entry by dropping it.
+
+
+class _Node:
+    """One branch point with unexplored siblings, explored lazily in order
+    so each sibling inherits the footprints of the previous ones."""
+
+    __slots__ = ("base", "position", "sleep0", "pending", "entries",
+                 "expected")
+
+    def __init__(self, base, position, sleep0, pending, first_entry,
+                 expected):
+        self.base = base                  # takens up to the branch point
+        self.position = position
+        self.sleep0 = sleep0              # sleep set in effect at the node
+        self.pending = pending            # alternative indices left to try
+        self.entries = [first_entry]      # explored transitions' footprints
+        self.expected = expected          # expected (n, ...) for the replay
+
+
+class _Work:
+    """A prefix scheduled for exploration."""
+
+    __slots__ = ("prefix", "sleep", "node", "filter_from", "expected")
+
+    def __init__(self, prefix, sleep, node, filter_from, expected):
+        self.prefix = prefix
+        self.sleep = sleep
+        self.node = node                  # origin _Node to report back to
+        self.filter_from = filter_from    # first position to re-filter from
+        self.expected = expected
+
+
+class _Explorer:
+    """Shared driver for the serial and parallel exploration loops."""
+
+    def __init__(self, program, stop_on, max_runs, max_branch_depth,
+                 prune, memo, run_kwargs):
+        self.program = program
+        self.stop_on = stop_on
+        self.max_runs = max_runs
+        self.max_branch_depth = max_branch_depth
+        # An attached injector mutates runs beyond what choice replay
+        # controls; both optimizations stand down.
+        hazardous = "inject" in run_kwargs
+        self.prune = prune and not hazardous
+        self.run_kwargs = run_kwargs
+        self.stack: List[_Work] = [_Work([], (), None, 0, ())]
+        self.statuses: dict = {}
+        self.runs = 0
+        self.runs_saved = 0
+        self.pruned = 0
+        self.divergences = 0
+        self.max_depth = 0
+        self.trie = None if (not memo or hazardous) else self._get_trie()
+
+    # -- memoization ---------------------------------------------------
+
+    def _get_trie(self) -> Optional[dict]:
+        from ..parallel import memo as memo_mod
+
+        if not memo_mod.enabled:
+            return None
+        try:
+            key = ("explore-trie", self.program, self.stop_on,
+                   memo_mod.fingerprint(self.run_kwargs))
+            hash(key)
+        except TypeError:
+            return None
+        trie = memo_mod.memo.get(key)
+        if trie is None:
+            trie = {"_runs": 0}
+            memo_mod.memo.put(key, trie)
+        return trie
+
+    def lookup(self, prefix: List[int]):
+        """Replay ``prefix`` through the trie; a stored payload on full
+        match, else None."""
+        if self.trie is None:
+            return None
+        node = self.trie
+        depth = 0
+        while True:
+            n = node.get("n")
+            if n is None:
+                return node.get("end")
+            intended = prefix[depth] if depth < len(prefix) else 0
+            effective = intended if intended < n else n - 1
+            node = node["children"].get(effective)
+            if node is None:
+                return None
+            depth += 1
+
+    def store(self, log, payload) -> None:
+        if self.trie is None or self.trie["_runs"] >= _TRIE_MAX_RUNS:
+            return
+        node = self.trie
+        for n, taken in log:
+            if "n" not in node:
+                node["n"] = n
+                node["children"] = {}
+            elif node["n"] != n:  # nondeterminism: refuse to corrupt
+                return
+            node = node["children"].setdefault(taken, {})
+        if "end" not in node:
+            node["end"] = payload
+            self.trie["_runs"] += 1
+
+    # -- outcome processing --------------------------------------------
+
+    def diverged(self, work: _Work, choices: ScriptedChoices) -> bool:
+        """Did the replay follow the recorded schedule it branched from?"""
+        log = choices.log
+        if choices.diverged or len(log) < len(work.prefix):
+            return True
+        return any(n != expected
+                   for (n, _taken), expected in zip(log, work.expected))
+
+    def counterexample_from(self, work: _Work, log) -> List[int]:
+        return [taken for _n, taken in log[:len(work.prefix)]] \
+            or list(work.prefix)
+
+    def process(self, work: _Work, log, status: str, hit: bool,
+                picks, diverged: bool) -> None:
+        """Account one visited run and expand its branches (unless it
+        produced the counterexample — the caller returns before this)."""
+        self.max_depth = max(self.max_depth, len(log))
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        picks_by_pos = {p.position: p for p in picks} if picks else {}
+        self._report_to_node(work, picks_by_pos, diverged)
+        if diverged:
+            # The run did not follow the schedule it was branched from:
+            # its log describes some other subtree.  Expanding it would
+            # explore blind; count it and stop here.
+            self.divergences += 1
+            return
+        self._expand(work, log, picks_by_pos)
+
+    def _report_to_node(self, work: _Work, picks_by_pos, diverged) -> None:
+        node = work.node
+        if node is None:
+            return
+        ann = picks_by_pos.get(len(work.prefix) - 1)
+        entry = None
+        if not diverged and ann is not None and not ann.poisoned:
+            entry = (ann.gids[ann.chosen], ann.tokens)
+        node.entries.append(entry)
+        if node.pending:
+            self._push_next(node)
+
+    def _push_next(self, node: _Node) -> None:
+        alternative = node.pending.pop(0)
+        sleep = node.sleep0 + tuple(e for e in node.entries if e is not None)
+        self.stack.append(_Work(node.base + [alternative], sleep, node,
+                                node.position, node.expected))
+
+    def _expand(self, work: _Work, log, picks_by_pos) -> None:
+        prefix = work.prefix
+        limit = min(len(log), self.max_branch_depth)
+        takens = [taken for _n, taken in log]
+        ns = [n for n, _taken in log]
+        cur = list(work.sleep)
+        # Sleep snapshot for divergences *inside* the current segment
+        # (select draws): the state before the governing pick applied.
+        governing_sleep: Tuple = tuple(work.sleep)
+        governing_pos = work.filter_from
+        for q in range(work.filter_from, limit):
+            n, taken = log[q]
+            ann = picks_by_pos.get(q)
+            branchable = q >= len(prefix)
+            if ann is None:
+                # A select draw (or pruning is off): expand eagerly.  The
+                # child diverges inside the governing pick's segment, so it
+                # inherits the pre-pick sleep set and re-filters from there.
+                if branchable and n > 1:
+                    base = takens[:q]
+                    expected = tuple(ns[:q + 1])
+                    for alternative in range(n - 1, -1, -1):
+                        if alternative != taken:
+                            self.stack.append(_Work(
+                                base + [alternative], governing_sleep, None,
+                                governing_pos, expected))
+                continue
+            gid_taken = ann.gids[ann.chosen]
+            sleeping = {gid for gid, _ in cur}
+            if gid_taken in sleeping:
+                # The run's own continuation took a sleeping transition:
+                # everything *below* reorders schedules already covered.
+                # The state at q itself is still new, though — classic
+                # sleep-set search explores enabled-minus-sleeping at every
+                # state, so the non-sleeping alternatives get their own
+                # runs.  (Their sleep sets inherit the taken transition's
+                # entry through ``cur`` itself.)
+                self.pruned += 1
+                if branchable and n > 1:
+                    pending = []
+                    for alternative in range(n - 1, -1, -1):
+                        if alternative == taken:
+                            continue
+                        if ann.gids[alternative] in sleeping:
+                            self.pruned += 1
+                            continue
+                        pending.append(alternative)
+                    if pending:
+                        node = _Node(takens[:q], q, tuple(cur), pending,
+                                     None, tuple(ns[:q + 1]))
+                        self._push_next(node)
+                return
+            if branchable and n > 1:
+                pending = []
+                for alternative in range(n - 1, -1, -1):
+                    if alternative == taken:
+                        continue
+                    if ann.gids[alternative] in sleeping:
+                        self.pruned += 1
+                        continue
+                    pending.append(alternative)
+                if pending:
+                    first = None if ann.poisoned \
+                        else (gid_taken, ann.tokens)
+                    node = _Node(takens[:q], q, tuple(cur), pending, first,
+                                 tuple(ns[:q + 1]))
+                    self._push_next(node)
+            governing_sleep = tuple(cur)
+            governing_pos = q
+            if ann.poisoned:
+                cur = []
+            else:
+                tokens = ann.tokens
+                cur = [(gid, fp) for gid, fp in cur
+                       if gid != gid_taken and fp.isdisjoint(tokens)]
+
+    def exploration(self, **overrides) -> Exploration:
+        fields = dict(
+            runs=self.runs,
+            exhausted=False,
+            statuses=self.statuses,
+            runs_executed=self.runs - self.runs_saved,
+            runs_saved=self.runs_saved,
+            pruned=self.pruned,
+            divergences=self.divergences,
+            max_depth=self.max_depth,
+        )
+        fields.update(overrides)
+        return Exploration(**fields)
 
 
 def explore_systematic(
@@ -97,6 +455,8 @@ def explore_systematic(
     max_runs: int = 1000,
     max_branch_depth: int = 400,
     jobs: int = 1,
+    prune: bool = True,
+    memo: bool = True,
     **run_kwargs: Any,
 ) -> Exploration:
     """Depth-first enumeration of the program's schedule tree.
@@ -107,91 +467,128 @@ def explore_systematic(
             satisfying it ends exploration as a counterexample.  Without
             it, the explorer simply covers schedules (useful with
             ``statuses`` for coverage summaries).
-        max_runs: total run budget.
+        max_runs: total visit budget (memoized visits count: verdicts are
+            independent of what happened to be cached).
         max_branch_depth: only branch on the first N decision points of
             each run (bounds the tree; later choices stay at the default).
         jobs: worker processes (:mod:`repro.parallel`).  With ``jobs > 1``
             up to ``jobs`` frontier prefixes run concurrently per round and
             their branches merge in submission order.  Schedule *coverage*
-            is unchanged — each prefix's children depend only on its own
-            run — so exploration to exhaustion visits exactly the same
-            tree; only the visiting order (and, with ``stop_on``, which
-            counterexample is found first) can differ.  The parallel
-            counterexample result is a :class:`repro.parallel.RunSummary`
-            rather than a full :class:`RunResult`.
+            is unchanged — pruning decisions depend only on each branch
+            point's own runs, in a fixed sibling order — so exploration to
+            exhaustion visits exactly the same tree; only the visiting
+            order (and, with ``stop_on``, which counterexample is found
+            first) can differ.  The parallel counterexample result is a
+            :class:`repro.parallel.RunSummary` rather than a full
+            :class:`RunResult`.
+        prune: sleep-set equivalence pruning (see the module docstring).
+            Coverage of reachable outcomes is preserved; schedules visited
+            shrink.  Disabled automatically when a fault injector is
+            attached.
+        memo: cross-run memoization through :mod:`repro.parallel.memo`.
         run_kwargs: forwarded to :func:`repro.run` (e.g. ``time_limit``).
     """
-    stack: List[List[int]] = [[]]
-    seen_prefixes = 0
-    statuses: dict = {}
-    runs = 0
+    explorer = _Explorer(program, stop_on, max_runs, max_branch_depth,
+                         prune, memo, run_kwargs)
+    t0 = time.perf_counter()
 
-    def branch(prefix: List[int], log: List[Tuple[int, int]]) -> None:
-        # Branch: every untried alternative after the replayed prefix.
-        nonlocal seen_prefixes
-        limit = min(len(log), max_branch_depth)
-        for position in range(len(prefix), limit):
-            n, taken = log[position]
-            if n <= 1:
-                continue
-            base = [choice for _n, choice in log[:position]]
-            for alternative in range(n - 1, -1, -1):
-                if alternative != taken:
-                    stack.append(base + [alternative])
-                    seen_prefixes += 1
+    def finish(**overrides) -> Exploration:
+        return explorer.exploration(wall_s=time.perf_counter() - t0,
+                                    **overrides)
 
     if jobs > 1:
         from ..parallel import map_units
 
-        while stack and runs < max_runs:
-            width = min(jobs, len(stack), max_runs - runs)
-            prefixes = [stack.pop() for _ in range(width)]
-            outcomes = map_units(
-                [partial(_explore_unit, program, prefix, stop_on, run_kwargs)
-                 for prefix in prefixes],
-                jobs=jobs,
-            )
-            for prefix, (log, summary, hit) in zip(prefixes, outcomes):
-                runs += 1
-                statuses[summary.status] = statuses.get(summary.status, 0) + 1
+        while explorer.stack and explorer.runs < explorer.max_runs:
+            width = min(jobs, len(explorer.stack),
+                        explorer.max_runs - explorer.runs)
+            batch = [explorer.stack.pop() for _ in range(width)]
+            outcomes: List[Any] = []
+            to_run: List[int] = []
+            for i, work in enumerate(batch):
+                payload = explorer.lookup(work.prefix)
+                if payload is not None:
+                    outcomes.append(payload)
+                else:
+                    outcomes.append(None)
+                    to_run.append(i)
+            if to_run:
+                executed = map_units(
+                    [partial(_explore_unit, program, batch[i].prefix,
+                             stop_on, run_kwargs, explorer.prune)
+                     for i in to_run],
+                    jobs=jobs,
+                )
+                for i, outcome in zip(to_run, executed):
+                    outcomes[i] = outcome
+                    log, summary, hit, picks, clamped = outcome
+                    diverged = clamped or _log_mismatch(batch[i], log)
+                    if not diverged:
+                        explorer.store(log, outcome)
+            memoized = set(range(width)) - set(to_run)
+            for i, (work, outcome) in enumerate(zip(batch, outcomes)):
+                log, summary, hit, picks, clamped = outcome
+                diverged = clamped or _log_mismatch(work, log)
+                explorer.runs += 1
+                if i in memoized:
+                    explorer.runs_saved += 1
                 if hit:
                     # First hit in submission order wins; the rest of this
                     # speculative batch is discarded uncounted.
-                    return Exploration(
-                        runs=runs,
-                        exhausted=False,
-                        counterexample=[taken for _n, taken in
-                                        log[: len(prefix)]] or list(prefix),
+                    explorer.statuses[summary.status] = \
+                        explorer.statuses.get(summary.status, 0) + 1
+                    explorer.max_depth = max(explorer.max_depth, len(log))
+                    return finish(
+                        counterexample=explorer.counterexample_from(work, log),
                         counterexample_result=summary,
-                        statuses=statuses,
                     )
-                branch(prefix, log)
-        return Exploration(runs=runs, exhausted=not stack, statuses=statuses)
+                explorer.process(work, log, summary.status, hit, picks,
+                                 diverged)
+        return finish(exhausted=not explorer.stack)
 
-    while stack and runs < max_runs:
-        prefix = stack.pop()
-        choices = ScriptedChoices(prefix)
-        result = run(program, rng=choices, **run_kwargs)
-        runs += 1
-        statuses[result.status] = statuses.get(result.status, 0) + 1
+    while explorer.stack and explorer.runs < explorer.max_runs:
+        work = explorer.stack.pop()
+        payload = explorer.lookup(work.prefix)
+        if payload is not None and not payload[2]:
+            # Memo hit on a non-counterexample run: reuse it outright.
+            # (Hits replay live so the caller gets a full RunResult.)
+            log, summary, hit, picks, clamped = payload
+            explorer.runs += 1
+            explorer.runs_saved += 1
+            diverged = clamped or _log_mismatch(work, log)
+            explorer.process(work, log, summary.status, hit, picks, diverged)
+            continue
 
-        if stop_on is not None and stop_on(result):
-            return Exploration(
-                runs=runs,
-                exhausted=False,
-                counterexample=[taken for _n, taken in
-                                choices.log[: len(prefix)]] or list(prefix),
+        choices, result, picks = _run_scripted(program, work.prefix,
+                                               run_kwargs, explorer.prune)
+        explorer.runs += 1
+        diverged = explorer.diverged(work, choices)
+        hit = stop_on is not None and bool(stop_on(result))
+        if not diverged and explorer.trie is not None:
+            from ..parallel import summarize_result
+
+            explorer.store(choices.log,
+                           (choices.log, summarize_result(result), hit,
+                            picks, False))
+        if hit:
+            explorer.statuses[result.status] = \
+                explorer.statuses.get(result.status, 0) + 1
+            explorer.max_depth = max(explorer.max_depth, len(choices.log))
+            return finish(
+                counterexample=explorer.counterexample_from(work, choices.log),
                 counterexample_result=result,
-                statuses=statuses,
             )
+        explorer.process(work, choices.log, result.status, hit, picks,
+                         diverged)
 
-        branch(prefix, choices.log)
+    return finish(exhausted=not explorer.stack)
 
-    return Exploration(
-        runs=runs,
-        exhausted=not stack,
-        statuses=statuses,
-    )
+
+def _log_mismatch(work: _Work, log) -> bool:
+    if len(log) < len(work.prefix):
+        return True
+    return any(n != expected
+               for (n, _taken), expected in zip(log, work.expected))
 
 
 def verify_no_manifestation(kernel, variant: str = "fixed",

@@ -212,6 +212,11 @@ class Scheduler:
         #: one None check per step when nothing is attached.
         self.capture_sites = False
         self.on_step: Optional[Callable[[int, int, int], None]] = None
+        #: Exploration hook (:mod:`repro.detect.annotate`): sees the full
+        #: runnable list and the chosen index for every scheduling decision,
+        #: so the systematic explorer can learn which goroutines each choice
+        #: point offered.  Inert by default (one None check per step).
+        self.annotate_pick: Optional[Callable[[List[Goroutine], int], None]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -327,12 +332,17 @@ class Scheduler:
         # State stays RUNNING so the loop knows this was a yield, not a block.
         g.yield_to_scheduler()
 
-    def block(self, reason: str, external: bool = False) -> None:
+    def block(self, reason: str, external: bool = False,
+              obj: "Optional[object]" = None) -> None:
         """Park the running goroutine until another party readies it.
 
         Primitive code must register the goroutine on the relevant wait queue
         *before* calling this, then re-check its wait condition after it
-        returns (the standard wait-loop discipline).
+        returns (the standard wait-loop discipline).  ``obj`` names the
+        object(s) whose wait queue the goroutine registered on — a single
+        primitive id or a tuple of ids (a select parks on every case
+        channel); it rides on the ``GO_BLOCK`` event so schedule-equivalence
+        pruning knows the blocked attempt's full footprint.
         """
         g = self.current
         g.state = GState.BLOCKED
@@ -340,12 +350,18 @@ class Scheduler:
         g.external = external
         if self.trace.active:
             info: dict = {"reason": reason}
+            event_obj: Optional[int] = None
+            if obj is not None:
+                if isinstance(obj, int):
+                    event_obj = obj
+                else:
+                    info["objs"] = tuple(obj)
             if self.capture_sites:
                 stack = user_stack()
                 if stack:
                     info["site"] = stack[0]
                     info["stack"] = stack
-            self.emit(EventKind.GO_BLOCK, info=info)
+            self.emit(EventKind.GO_BLOCK, obj=event_obj, info=info)
         if g in self._runnable:
             self._runnable.remove(g)
         g.yield_to_scheduler()
@@ -455,7 +471,10 @@ class Scheduler:
             if runnable:
                 self._budget_used += 1
                 self._steps += 1
-                g = runnable[self._randrange(len(runnable))]
+                idx = self._randrange(len(runnable))
+                g = runnable[idx]
+                if self.annotate_pick is not None:
+                    self.annotate_pick(runnable, idx)
                 if self.on_step is not None:
                     self.on_step(self._steps, len(runnable), g.gid)
                 return g

@@ -48,7 +48,7 @@ class Cond:
         self._sched.emit(EventKind.COND_WAIT, obj=self.id)
         self.locker.unlock()
         while not ticket.notified:
-            self._sched.block(f"cond.wait:{self.name}")
+            self._sched.block(f"cond.wait:{self.name}", obj=self.id)
         self.locker.lock()
 
     def signal(self) -> None:

@@ -60,7 +60,7 @@ class Mutex:
         ticket = _Ticket(me)
         self._waiters.append(ticket)
         while not ticket.granted:
-            self._sched.block(f"mutex.lock:{self.name}")
+            self._sched.block(f"mutex.lock:{self.name}", obj=self.id)
         # Ownership was handed off directly by unlock(); just record it.
         self._sched.emit(EventKind.MU_LOCK, obj=self.id)
 

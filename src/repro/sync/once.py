@@ -42,7 +42,7 @@ class Once:
         if self._running:
             self._waiters.append(me)
             while not self._done:
-                self._sched.block(f"once.do:{self.name}")
+                self._sched.block(f"once.do:{self.name}", obj=self.id)
             self._sched.emit(EventKind.ONCE_DO, obj=self.id, info={"ran": False})
             return
         self._running = True

@@ -65,7 +65,7 @@ class RWMutex:
         ticket = _Ticket(me)
         self._pending_readers.append(ticket)
         while not ticket.granted:
-            self._sched.block(f"rwmutex.rlock:{self.name}")
+            self._sched.block(f"rwmutex.rlock:{self.name}", obj=self.id)
         self._sched.emit(EventKind.RW_RLOCK, obj=self.id)
 
     def runlock(self) -> None:
@@ -103,7 +103,7 @@ class RWMutex:
         ticket = _Ticket(me)
         self._pending_writers.append(ticket)
         while not ticket.granted:
-            self._sched.block(f"rwmutex.lock:{self.name}")
+            self._sched.block(f"rwmutex.lock:{self.name}", obj=self.id)
         self._sched.emit(EventKind.RW_LOCK, obj=self.id)
 
     def unlock(self) -> None:

@@ -72,7 +72,7 @@ class WaitGroup:
             ticket = _Ticket(me)
             self._waiters.append(ticket)
             while not ticket.released:
-                self._sched.block(f"waitgroup.wait:{self.name}")
+                self._sched.block(f"waitgroup.wait:{self.name}", obj=self.id)
         self._sched.emit(EventKind.WG_WAIT, obj=self.id)
 
     def _release_all(self) -> None:

@@ -1,0 +1,124 @@
+"""Cross-run memoization: repeated sweeps, chaos cells, explorations.
+
+The memo's contract has two halves: cached consumers return exactly what
+an uncached run returns (determinism makes the stored result the real
+one), and repeats genuinely skip the work.  The second half is what the
+counters here pin down — a silent cache miss would only show up as time.
+"""
+
+import pytest
+
+from repro.bugs.registry import get
+from repro.detect.systematic import explore_systematic
+from repro.inject.harness import ChaosHarness, ChaosTarget, manifestation_rate
+from repro.parallel import memo as memo_mod
+from repro.parallel import sweep_seeds
+from repro.parallel.memo import RunMemo
+
+KERNEL = get("blocking-chan-kubernetes-5316")
+
+#: Executions of ``_counting`` — observable with ``jobs=1`` (in-process).
+_CALLS = {"n": 0}
+
+
+def _counting(rt):
+    _CALLS["n"] += 1
+    ch = rt.make_chan(1)
+    rt.go(lambda: ch.send(1))
+    return ch.recv()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    memo_mod.clear()
+    _CALLS["n"] = 0
+    yield
+    memo_mod.clear()
+
+
+def test_repeat_sweep_served_from_cache():
+    first = sweep_seeds(_counting, range(4), memo_key=("t", "counting"))
+    assert _CALLS["n"] == 4
+    second = sweep_seeds(_counting, range(4), memo_key=("t", "counting"))
+    assert _CALLS["n"] == 4          # nothing re-ran
+    assert second == first
+
+
+def test_partial_overlap_runs_only_new_seeds():
+    sweep_seeds(_counting, range(4), memo_key=("t", "counting"))
+    summaries = sweep_seeds(_counting, range(6), memo_key=("t", "counting"))
+    assert _CALLS["n"] == 6          # seeds 4 and 5 only
+    assert [s.seed for s in summaries] == list(range(6))
+
+
+def test_disable_rules_the_cache_out():
+    sweep_seeds(_counting, range(3), memo_key=("t", "counting"))
+    with memo_mod.disable():
+        sweep_seeds(_counting, range(3), memo_key=("t", "counting"))
+    assert _CALLS["n"] == 6
+    # Nothing was stored while disabled, and the old entries still serve.
+    sweep_seeds(_counting, range(3), memo_key=("t", "counting"))
+    assert _CALLS["n"] == 6
+
+
+def test_run_options_are_part_of_the_key():
+    sweep_seeds(_counting, range(3), memo_key=("t", "counting"))
+    sweep_seeds(_counting, range(3), memo_key=("t", "counting"),
+                time_limit=123.0)
+    assert _CALLS["n"] == 6          # different options, different cells
+
+
+def test_no_memo_key_means_no_caching():
+    sweep_seeds(_counting, range(3))
+    sweep_seeds(_counting, range(3))
+    assert _CALLS["n"] == 6
+
+
+def test_manifestation_seeds_memoized_across_calls():
+    first = KERNEL.manifestation_seeds(range(8))
+    hits_before = memo_mod.memo.hits
+    second = KERNEL.manifestation_seeds(range(8))
+    assert second == first
+    assert memo_mod.memo.hits == hits_before + 8
+
+
+def test_manifestation_rate_memoized_across_calls():
+    first = manifestation_rate(KERNEL, range(6))
+    hits_before = memo_mod.memo.hits
+    assert manifestation_rate(KERNEL, range(6)) == first
+    assert memo_mod.memo.hits > hits_before
+
+
+def test_chaos_cells_memoized_across_harnesses():
+    target = ChaosTarget.from_kernel(KERNEL)
+    first = ChaosHarness(seeds=range(3))
+    first.sweep([target], plans=[])
+    hits_before = memo_mod.memo.hits
+    second = ChaosHarness(seeds=range(3))
+    second.sweep([target], plans=[])
+    assert memo_mod.memo.hits > hits_before
+    assert second.to_dict() == first.to_dict()
+
+
+def test_exploration_replays_from_the_memo_trie():
+    kernel = get("blocking-chan-cockroach-missing-case")
+    first = explore_systematic(kernel.fixed, stop_on=kernel.manifested,
+                               max_runs=200, **kernel.run_kwargs)
+    assert first.runs_saved == 0
+    again = explore_systematic(kernel.fixed, stop_on=kernel.manifested,
+                               max_runs=200, **kernel.run_kwargs)
+    assert again.runs_saved > 0
+    assert again.runs_executed < first.runs_executed
+    assert (again.runs, again.exhausted, again.found) == \
+        (first.runs, first.exhausted, first.found)
+    assert again.statuses == first.statuses
+
+
+def test_lru_bound_evicts_oldest():
+    small = RunMemo(max_entries=2)
+    small.put("a", 1)
+    small.put("b", 2)
+    small.put("c", 3)
+    assert "a" not in small
+    assert small.get("b") == 2 and small.get("c") == 3
+    assert small.stats()["entries"] == 2
