@@ -435,6 +435,72 @@ def run_net_benchmarks(repeats: int = 3, loadgen_clients: int = 8,
     }
 
 
+def run_recovery_benchmarks(sizes: Sequence[int] = (3, 5),
+                            seeds: Sequence[int] = tuple(range(4)),
+                            max_steps: int = 600_000) -> Dict[str, Any]:
+    """The recovery document: crash-recovery time distributions.
+
+    Sweeps the durable, electing, supervised minietcd cluster across
+    cluster sizes × two crash-fault rates (a single ``crash_restart`` and
+    a recurring ``crash-storm``), recording per-cell convergence verdicts
+    and the distribution of virtual-time recovery latency — how long
+    after the crash the cluster was consistent and progressing again.
+    """
+    import statistics
+    from functools import partial
+
+    from .inject import plans
+    from .inject.scenarios import net_etcd_recovery_scenario
+
+    fault_plans = {
+        "crash-restart": plans.crash_restart(delay=0.3),
+        "crash-storm": plans.crash_storm(times=3, delay=0.3),
+    }
+    cells: Dict[str, Any] = {}
+    for size in sizes:
+        program = partial(net_etcd_recovery_scenario, size=size)
+        for plan_name, plan in fault_plans.items():
+            verdicts: Dict[str, int] = {}
+            times: List[float] = []
+            faults = 0
+            t0 = time.perf_counter()
+            for seed in seeds:
+                result = run(program, seed=seed, inject=plan,
+                             max_steps=max_steps)
+                main = (result.main_result
+                        if isinstance(result.main_result, dict) else {})
+                verdict = main.get("verdict", result.status)
+                verdicts[verdict] = verdicts.get(verdict, 0) + 1
+                faults += len(result.injected)
+                if main.get("recovery_s") is not None:
+                    times.append(main["recovery_s"])
+            wall = time.perf_counter() - t0
+            cells[f"size{size}/{plan_name}"] = {
+                "size": size,
+                "plan": plan_name,
+                "seeds": len(list(seeds)),
+                "faults_fired": faults,
+                "verdicts": verdicts,
+                "recovered": verdicts.get("recovered", 0),
+                "recovery_s": (None if not times else {
+                    "min": round(min(times), 4),
+                    "median": round(statistics.median(times), 4),
+                    "max": round(max(times), 4),
+                    "mean": round(statistics.fmean(times), 4),
+                    "samples": len(times),
+                }),
+                "wall_s": round(wall, 4),
+            }
+    return {
+        "sizes": list(sizes),
+        "seeds": len(list(seeds)),
+        "plans": sorted(fault_plans),
+        "cells": cells,
+        "all_recovered": all(
+            cell["recovered"] == cell["seeds"] for cell in cells.values()),
+    }
+
+
 def render(document: Dict[str, Any]) -> str:
     """Human-readable table of a benchmark document."""
     lines: List[str] = []
@@ -498,6 +564,25 @@ def render(document: Dict[str, Any]) -> str:
             f"({lg['requests_per_wall_s']:,.0f} req/s wall, "
             f"{lg['rps_virtual']:,.0f} req/s virtual, errors={lg['errors']}, "
             f"deterministic={lg['deterministic']})")
+    if "recovery" in document:
+        recovery = document["recovery"]
+        lines.append("")
+        lines.append(f"crash recovery ({recovery['seeds']} seed(s) per "
+                     f"cell; recovery_s is virtual time to consistent + "
+                     f"progressing):")
+        lines.append(f"{'cell':<24} {'recovered':>10} {'verdicts':<34} "
+                     f"{'median s':>9} {'max s':>8} {'wall s':>8}")
+        for name, cell in recovery["cells"].items():
+            verdict_text = " ".join(f"{k}:{v}" for k, v
+                                    in sorted(cell["verdicts"].items()))
+            dist = cell["recovery_s"]
+            lines.append(
+                f"{name:<24} {cell['recovered']}/{cell['seeds']:<8} "
+                f"{verdict_text:<34} "
+                f"{dist['median'] if dist else '-':>9} "
+                f"{dist['max'] if dist else '-':>8} "
+                f"{cell['wall_s']:>8.2f}")
+        lines.append(f"  all recovered: {recovery['all_recovered']}")
     return "\n".join(lines)
 
 
@@ -577,6 +662,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--explore", action="store_true",
                         help="run only the exploration-pruning benchmarks "
                              "(runs to exhaustion, pruned vs unpruned)")
+    parser.add_argument("--recovery", action="store_true",
+                        help="run the crash-recovery benchmarks (recovery "
+                             "time under cluster-size x fault-rate sweep) "
+                             "instead")
     parser.add_argument("--baseline", metavar="FILE",
                         help="print a delta table against a committed "
                              "benchmark document (e.g. BENCH_simulator.json)")
@@ -588,6 +677,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.net:
         document = run_net_benchmarks(repeats=args.repeats)
+    elif args.recovery:
+        document = {
+            "schema": SCHEMA,
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "cpus": os.cpu_count(),
+            "recovery": run_recovery_benchmarks(),
+        }
     elif args.explore:
         document = {
             "schema": SCHEMA,

@@ -274,6 +274,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .inject import (
         ChaosHarness, app_targets, kernel_targets, net_app_targets, plans,
+        recovery_targets,
     )
     from .inject.plan import FaultPlan
 
@@ -312,12 +313,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             # glob isolates each app's secondary node (etcd's n2, grpc's
             # srv2): replication stalls and retries, clients stay served.
             suite = [plans.partition(target="*2")]
+    if args.recovery:
+        targets.extend(recovery_targets())
+        if suite is None and not args.apps and not args.net_apps \
+                and not args.kernel:
+            # Crash plans for the supervised clusters: one crash with a
+            # delayed restart, plus recurring crash/restart pressure.  The
+            # scorecard grows Recovered/Diverged/Stuck columns from these
+            # targets' convergence verdicts.
+            suite = [plans.crash_restart(delay=0.3), plans.crash_storm()]
     if args.kernel:
         variant = "fixed" if args.fixed else "buggy"
         targets.extend(kernel_targets(args.kernel, variant=variant))
     if not targets:
-        print("error: nothing to run; pass --apps, --net-apps and/or "
-              "--kernel ID", file=sys.stderr)
+        print("error: nothing to run; pass --apps, --net-apps, --recovery "
+              "and/or --kernel ID", file=sys.stderr)
         return 2
 
     harness = ChaosHarness(seeds=range(args.seeds), observe=args.observe,
@@ -523,6 +533,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   "--sweep-seeds", str(args.sweep_seeds)]
     if args.net:
         forwarded.append("--net")
+    if args.recovery:
+        forwarded.append("--recovery")
     if args.explore:
         forwarded.append("--explore")
     if args.baseline:
@@ -601,6 +613,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--baseline", metavar="FILE",
                        help="print a delta table against a committed "
                             "benchmark document")
+    bench.add_argument("--recovery", action="store_true",
+                       help="run the crash-recovery benchmarks instead "
+                            "(verdicts + recovery-time distributions under "
+                            "crash faults)")
     bench.add_argument("--net", action="store_true",
                        help="run the network benchmarks instead (fabric "
                             "round trips, RPC echo, loadgen throughput; "
@@ -647,6 +663,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--net-apps", action="store_true",
                        help="sweep the multi-node cluster workloads "
                             "(default plan: partition)")
+    chaos.add_argument("--recovery", action="store_true",
+                       help="sweep the supervised crash-recovery cluster "
+                            "workloads (convergence verdicts in the "
+                            "scorecard; default plans: crash-restart and "
+                            "crash-storm)")
     chaos.add_argument("--kernel", action="append", metavar="ID",
                        help="also sweep this bug kernel (repeatable)")
     chaos.add_argument("--fixed", action="store_true",

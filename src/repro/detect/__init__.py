@@ -10,9 +10,17 @@
   (Section 7 extension).
 * :class:`AnonymousCaptureDetector` — the static loop-capture detector the
   authors prototype in Section 7.
+* :func:`await_recovery` — cluster-level convergence/liveness verdicts
+  for crash-recovery chaos (recovered / diverged / stuck).
 """
 
 from .capture import AnonymousCaptureDetector, scan_file, scan_paths, scan_source
+from .convergence import (
+    ConvergenceReport,
+    await_recovery,
+    classify,
+    recovery_verdict,
+)
 from .deadlock import BuiltinDeadlockDetector, GoroutineLeakDetector
 from .leak import leak_reports, leaks_under_any_seed, manifestation_rate
 from .lockorder import LockOrderDetector, LockOrderViolation
@@ -35,6 +43,7 @@ __all__ = [
     "BuiltinDeadlockDetector",
     "CaptureFinding",
     "ChannelRuleChecker",
+    "ConvergenceReport",
     "Detection",
     "Exploration",
     "GoroutineLeakDetector",
@@ -53,5 +62,8 @@ __all__ = [
     "scan_file",
     "scan_paths",
     "scan_source",
+    "await_recovery",
+    "classify",
+    "recovery_verdict",
     "verify_no_manifestation",
 ]

@@ -1,0 +1,127 @@
+"""Convergence checking: liveness verdicts for crash-recovery chaos.
+
+The paper's detectors judge *single-process* health (deadlock, leak,
+race).  Under node crashes the question changes: after the fault, does
+the **cluster** return to a consistent, progressing state within a
+virtual-time budget?  :func:`await_recovery` answers it from inside a
+workload goroutine, polling two caller-supplied probes on the virtual
+clock, and classifies the outcome into a three-way verdict:
+
+* ``recovered`` — the cluster made progress after the fault *and* its
+  replicas agree: liveness and safety both hold.
+* ``diverged`` — progress resumed but the replicas never agreed within
+  the budget: a safety failure (lost un-fsynced writes that the leader
+  still serves, a stale follower that rejoined without catch-up).
+* ``stuck`` — no progress within the budget: a liveness failure (the
+  cluster-level analogue of the paper's blocking bugs — everyone is
+  waiting on a machine that will never answer).
+
+Because both probes run on the virtual clock inside the deterministic
+run, the verdict is a pure function of ``(program, seed, plan)`` and is
+replayable like any other outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.runtime import Runtime
+
+__all__ = ["ConvergenceReport", "await_recovery", "classify",
+           "recovery_verdict"]
+
+#: The three-way liveness/safety verdict values.
+VERDICTS = ("recovered", "diverged", "stuck")
+
+
+def classify(*, consistent: bool, progressed: bool) -> str:
+    """Fold the two probe outcomes into a verdict.
+
+    Progress without consistency is ``diverged`` (safety broke);
+    consistency without progress is still ``stuck`` (a frozen cluster
+    trivially "agrees" — liveness is the bar)."""
+    if progressed and consistent:
+        return "recovered"
+    if progressed:
+        return "diverged"
+    return "stuck"
+
+
+@dataclass
+class ConvergenceReport:
+    """Outcome of one :func:`await_recovery` watch."""
+
+    verdict: str                       # one of VERDICTS
+    recovery_s: Optional[float] = None  # virtual seconds to recovery
+    polls: int = 0
+    budget: float = 0.0
+    detail: str = ""
+
+    @property
+    def recovered(self) -> bool:
+        return self.verdict == "recovered"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "verdict": self.verdict,
+            "recovery_s": self.recovery_s,
+            "polls": self.polls,
+            "budget": self.budget,
+            "detail": self.detail,
+        }
+
+
+def await_recovery(rt: "Runtime", *,
+                   consistent: Callable[[], bool],
+                   progress: Callable[[], Any],
+                   budget: float = 5.0,
+                   poll: float = 0.05) -> ConvergenceReport:
+    """Watch a cluster until it recovers, or the budget runs out.
+
+    Call from a workload goroutine after (or while) faults fire.
+    ``progress()`` must return a monotonically comparable progress
+    counter (committed writes, acked requests); ``consistent()`` must
+    return True when the replicas agree.  The watch polls every ``poll``
+    virtual seconds for up to ``budget`` virtual seconds and returns the
+    first moment both probes hold — so ``recovery_s`` is the cluster's
+    recovery time, quantized to the poll interval.
+    """
+    start = rt.now()
+    baseline = progress()
+    polls = 0
+    while True:
+        elapsed = rt.now() - start
+        if elapsed >= budget:
+            break
+        rt.sleep(min(poll, budget - elapsed))
+        polls += 1
+        moved = progress() > baseline
+        if moved and consistent():
+            return ConvergenceReport(
+                verdict="recovered", recovery_s=rt.now() - start,
+                polls=polls, budget=budget,
+                detail=f"consistent and progressing after {polls} polls")
+    moved = progress() > baseline
+    agree = consistent()
+    verdict = classify(consistent=agree, progressed=moved)
+    return ConvergenceReport(
+        verdict=verdict, recovery_s=None, polls=polls, budget=budget,
+        detail=(f"budget {budget:g}s exhausted: "
+                f"progressed={moved} consistent={agree}"))
+
+
+def recovery_verdict(result: Any) -> Optional[str]:
+    """Extract a convergence verdict from a finished run, if one exists.
+
+    Recovery scenarios return a dict carrying ``"verdict"`` from main;
+    anything else (plain workloads, kernels) yields ``None`` so the
+    chaos scorecard only grows verdict columns for targets that emit
+    them."""
+    main = getattr(result, "main_result", None)
+    if isinstance(main, dict):
+        verdict = main.get("verdict")
+        if verdict in VERDICTS:
+            return verdict
+    return None

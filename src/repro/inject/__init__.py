@@ -18,6 +18,7 @@ from .harness import (
     kernel_targets,
     manifestation_rate,
     net_app_targets,
+    recovery_targets,
 )
 from .injector import FaultInjector, FaultRecord
 from .plan import ACTIONS, Fault, FaultPlan
@@ -37,4 +38,5 @@ __all__ = [
     "manifestation_rate",
     "net_app_targets",
     "plans",
+    "recovery_targets",
 ]

@@ -91,6 +91,9 @@ class ChaosCell:
     #: ``observe=True``): context switches, peak runnable depth, blocked
     #: events and steps spent blocked, summed/maxed across seeds.
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: Convergence verdicts ("recovered"/"diverged"/"stuck") for recovery
+    #: targets; empty for targets that do not emit one.
+    verdicts: Counter = field(default_factory=Counter)
 
     @property
     def clean(self) -> bool:
@@ -111,6 +114,7 @@ class ChaosCell:
             "faults_fired": self.faults_fired,
             "steps": self.steps,
             "metrics": dict(self.metrics),
+            "verdicts": dict(self.verdicts),
             "clean": self.clean,
         }
 
@@ -138,6 +142,8 @@ def _run_cell_seed(target: "ChaosTarget", plan: Optional[FaultPlan],
     whichever process ran the simulation, so parallel sweeps ship back flat
     data instead of live results.
     """
+    from ..detect.convergence import recovery_verdict
+
     if observing:
         result = target.runner(seed, plan, True)
     else:
@@ -150,6 +156,7 @@ def _run_cell_seed(target: "ChaosTarget", plan: Optional[FaultPlan],
         "steps": result.steps,
         "metrics": (None if observation is None
                     else _observation_metrics(observation)),
+        "verdict": recovery_verdict(result),
     }
 
 
@@ -168,8 +175,10 @@ class ChaosHarness:
 
     With ``memo=True`` (the default) per-seed records are cached across
     harness instances through :mod:`repro.parallel.memo`, keyed by the
-    registry-stable ``(target name, plan repr, seed)`` identity — a
-    scorecard that revisits a cell pays only for seeds it has never run.
+    content-bearing ``(target name, plan cache_key, seed)`` identity (the
+    plan's name plus its full fingerprint, so plans that differ in any
+    parameter never share records) — a scorecard that revisits a cell
+    pays only for seeds it has never run.
     Pass ``memo=False`` (or :func:`repro.parallel.memo.disable`) when
     timing cells or when a target's name does not pin down its behavior.
     """
@@ -204,6 +213,10 @@ class ChaosHarness:
             cell.steps += record["steps"]
             if record["metrics"] is not None:
                 self._fold_metrics(cell, record["metrics"])
+            # .get(): memo records written before verdicts existed fold
+            # cleanly (their cells simply have no verdict column).
+            if record.get("verdict") is not None:
+                cell.verdicts[record["verdict"]] += 1
             if not record["ok"]:
                 cell.failures.append(seed)
         self.cells.append(cell)
@@ -218,8 +231,13 @@ class ChaosHarness:
                  for seed in self.seeds]
         if not (self.memo and memo_mod.enabled):
             return map_units(units, jobs=self.jobs)
-        plan_key = "baseline" if plan is None else repr(plan)
-        keys = [("chaos", target.name, plan_key, observing, seed)
+        # cache_key() (name + content fingerprint), NOT repr (name + fault
+        # count): two same-named plans differing only in a parameter — a
+        # crash_restart delay, a target glob — must never be served each
+        # other's cached records.  The "chaos-v2" tag retires pre-fingerprint
+        # records wholesale.
+        plan_key = "baseline" if plan is None else plan.cache_key()
+        keys = [("chaos-v2", target.name, plan_key, observing, seed)
                 for seed in self.seeds]
         records: List[Optional[Dict[str, Any]]] = [memo_mod.memo.get(key)
                                                    for key in keys]
@@ -264,6 +282,7 @@ class ChaosHarness:
                   title: str = "Chaos resilience scorecard") -> str:
         chosen = list(self.cells if cells is None else cells)
         with_metrics = any(cell.metrics for cell in chosen)
+        with_verdicts = any(cell.verdicts for cell in chosen)
         rows = []
         for cell in chosen:
             status_text = " ".join(
@@ -278,6 +297,12 @@ class ChaosHarness:
                 f"{len(cell.failures)}/{cell.runs}",
                 "CLEAN" if cell.clean else "FAILED",
             ]
+            if with_verdicts:
+                row.extend([
+                    cell.verdicts.get("recovered", 0),
+                    cell.verdicts.get("diverged", 0),
+                    cell.verdicts.get("stuck", 0),
+                ])
             if with_metrics:
                 row.extend([
                     cell.steps,
@@ -288,6 +313,8 @@ class ChaosHarness:
             rows.append(row)
         headers = ["Target", "Plan", "Runs", "Faults", "Statuses",
                    "Failures", "Verdict"]
+        if with_verdicts:
+            headers.extend(["Recovered", "Diverged", "Stuck"])
         if with_metrics:
             headers.extend(["Steps", "CtxSw", "BlkSteps", "PeakRun"])
         return render(headers, rows, title=title)
@@ -329,6 +356,19 @@ def net_app_targets() -> List[ChaosTarget]:
     ]
 
 
+def recovery_targets() -> List[ChaosTarget]:
+    """The supervised crash-recovery cluster workloads (see
+    :func:`repro.inject.scenarios.recovery_scenarios`), meant for crash
+    plans — their main result is a convergence verdict, so their cells
+    grow Recovered/Diverged/Stuck scorecard columns."""
+    from . import scenarios
+
+    return [
+        ChaosTarget.from_program(name, program, **kwargs)
+        for name, program, kwargs in scenarios.recovery_scenarios()
+    ]
+
+
 def kernel_targets(kernel_ids: Optional[Sequence[str]] = None,
                    variant: str = "buggy") -> List[ChaosTarget]:
     """Bug kernels as chaos targets (both corpora by default)."""
@@ -361,7 +401,8 @@ def manifestation_rate(kernel, seeds: Sequence[int],
     if not memo_mod.enabled:
         verdicts = map_units(units, jobs=jobs)
         return sum(verdicts) / len(seeds) if seeds else 0.0
-    keys = [("rate", kernel.meta.kernel_id, variant, repr(plan), seed)
+    plan_key = "baseline" if plan is None else plan.cache_key()
+    keys = [("rate-v2", kernel.meta.kernel_id, variant, plan_key, seed)
             for seed in seeds]
     verdicts: List[Optional[bool]] = [memo_mod.memo.get(key) for key in keys]
     misses = [i for i, verdict in enumerate(verdicts) if verdict is None]

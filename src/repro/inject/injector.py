@@ -160,6 +160,8 @@ class FaultInjector:
             return self._fire_clock_jump(index, fault, sched)
         if action in ("chan_close", "chan_fill"):
             return self._fire_channel_fault(index, fault, sched)
+        if action in ("crash", "restart", "crash_restart"):
+            return self._fire_node_fault(index, fault, sched)
         if action.startswith("net_"):
             return self._fire_net_fault(index, fault, sched)
         raise AssertionError(f"unhandled action {action}")  # pragma: no cover
@@ -260,6 +262,74 @@ class FaultInjector:
                 self._record(index, fault, sched, victim=f"chan:{ch.name}",
                              detail={"stuffed": stuffed})
         return True
+
+    #: Virtual seconds between crash and restart when ``crash_restart``
+    #: omits ``value``.
+    DEFAULT_RESTART_DELAY = 0.25
+
+    @staticmethod
+    def _matches_node(fault: Fault, name: str) -> bool:
+        """Node-fault target match: the node name itself, or the
+        ``"<node>/*"`` machine glob the kill action established."""
+        target = fault.target
+        if target is None:
+            return True
+        return (fnmatchcase(name, target)
+                or (target.endswith("/*") and fnmatchcase(name, target[:-2])))
+
+    def _fire_node_fault(self, index: int, fault: Fault,
+                         sched: "Scheduler") -> bool:
+        """crash / restart / crash_restart against registered fabric nodes.
+
+        A crash is crash-stop plus disk semantics: the node's goroutines
+        die, peers see connection resets, and un-fsynced WAL records are
+        discarded.  ``crash_restart`` additionally arms a virtual-clock
+        timer that calls ``node.restart()`` after ``value`` seconds —
+        recovery then runs in the node's fresh boot goroutine.  Victim
+        choice (when ``target`` is None) comes from the injector RNG, so
+        the whole lifecycle replays from ``(seed, plan)``.
+        """
+        rt = self._rt
+        if rt is None or not rt._networks:
+            return False
+        nodes = [node for net in rt._networks
+                 for node in net.nodes.values()
+                 if self._matches_node(fault, node.name)]
+        if fault.action == "restart":
+            candidates = [n for n in nodes if n.stopped]
+        else:
+            candidates = [n for n in nodes if not n.stopped]
+        if not candidates:
+            return False
+        if len(candidates) <= fault.count:
+            victims = candidates
+        else:
+            victims = self.rng.sample(candidates, fault.count)
+        fired = False
+        for node in victims:
+            if fault.action == "restart":
+                if node.restart():
+                    self._record(index, fault, sched,
+                                 victim=f"node:{node.name}",
+                                 detail={"incarnation": node.incarnation})
+                    fired = True
+                continue
+            lost = node.crash()
+            if lost is None:
+                continue
+            detail: Dict[str, Any] = {"lost_writes": lost}
+            if fault.action == "crash_restart":
+                delay = (fault.value if fault.value is not None
+                         else self.DEFAULT_RESTART_DELAY)
+                detail["restart_after"] = delay
+                # The timer fires in scheduler context; restart() defers
+                # recovery to the node's boot goroutine.  A supervisor may
+                # have revived the node first — restart() is then a no-op.
+                sched.clock.call_after(delay, node.restart)
+            self._record(index, fault, sched, victim=f"node:{node.name}",
+                         detail=detail)
+            fired = True
+        return fired
 
     #: Defaults for network faults omitting ``value``.
     DEFAULT_NET_RATE = 0.1

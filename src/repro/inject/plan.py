@@ -42,6 +42,13 @@ ACTIONS = (
     "net_dup",        # set link duplication probability `value`
     "net_reorder",    # set link reorder probability `value`
     "net_delay",      # add `value` seconds of extra delay on matching links
+    # Crash-recovery faults (repro.net nodes with a lifecycle).  Targets
+    # glob node names; "n2/*" (the kill-style machine glob) also matches
+    # node n2, so kill plans port to crash plans unchanged.
+    "crash",          # crash-stop matching nodes: kill their goroutines,
+                      # reset their conns, discard un-fsynced disk writes
+    "restart",        # restart matching crashed/stopped nodes
+    "crash_restart",  # crash now, restart after `value` seconds
 )
 
 
@@ -52,8 +59,10 @@ class Fault:
     Attributes:
         action: one of :data:`ACTIONS`.
         target: ``fnmatch`` glob over goroutine names (kill/delay/wakeup/
-            panic) or channel names (chan_close/chan_fill).  ``None`` means
-            "any victim except the main goroutine".
+            panic), channel names (chan_close/chan_fill) or node names
+            (crash/restart/crash_restart).  ``None`` means "any victim
+            except the main goroutine" (goroutine faults) or "one random
+            victim" (node faults).
         at_step: fire once when the scheduler reaches this step.
         after_time: fire once when the virtual clock reaches this time.
         every: fire once per ``every`` scheduling steps (a recurring storm).
@@ -163,6 +172,14 @@ class FaultPlan:
         """Stable 64-bit content hash (independent of Python hash seeds)."""
         digest = hashlib.sha256(self.to_json().encode("utf-8")).digest()
         return int.from_bytes(digest[:8], "big")
+
+    def cache_key(self) -> str:
+        """Content-bearing identity for memo keys.  Unlike ``repr`` (name +
+        fault count), this folds in the full fingerprint, so two plans that
+        share a name but differ in any parameter — a ``crash_restart``
+        delay, a target glob — can never be served each other's cached
+        results."""
+        return f"{self.name}#{self.fingerprint():016x}"
 
     def __len__(self) -> int:
         return len(self.faults)

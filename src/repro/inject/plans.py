@@ -200,6 +200,78 @@ def slow_links(extra: float = 0.05, target: Optional[str] = None,
 
 
 # ----------------------------------------------------------------------
+# Crash-recovery plans (repro.net nodes with a lifecycle)
+# ----------------------------------------------------------------------
+
+
+def crash_node(target: Optional[str] = None, after_time: float = 0.5,
+               times: int = 1) -> FaultPlan:
+    """Crash-stop nodes matching ``target`` (one random node when None).
+
+    Goroutines die, peers see connection resets, and un-fsynced disk
+    writes are lost.  Without supervision (or a later ``restart_node``)
+    the node stays down — the pure crash-stop failure model.  Crash plans
+    trigger on virtual time, not steps, so they land inside a workload's
+    chaos window regardless of how busy the schedule is."""
+    name = "crash" if target is None else f"crash[{target}]"
+    return FaultPlan(
+        name=name,
+        faults=(Fault("crash", target=target, after_time=after_time,
+                      times=times),),
+        note="node crash-stop",
+    )
+
+
+def restart_node(target: Optional[str] = None, after_time: float = 1.5,
+                 times: int = 1) -> FaultPlan:
+    """Restart crashed/stopped nodes matching ``target``.  Pairs with
+    :func:`crash_node` when the restart timing should be plan-driven
+    rather than supervision-driven."""
+    name = "restart" if target is None else f"restart[{target}]"
+    return FaultPlan(
+        name=name,
+        faults=(Fault("restart", target=target, after_time=after_time,
+                      times=times),),
+        note="node restart",
+    )
+
+
+def crash_restart(target: Optional[str] = None, after_time: float = 0.5,
+                  delay: float = 0.25, times: int = 1) -> FaultPlan:
+    """Crash a node, then restart it ``delay`` virtual seconds later.
+
+    The canonical crash-recovery fault: state not fsynced at crash time
+    is gone, recovery replays the WAL, peers must redial.  ``delay``
+    rides in the fault's ``value`` so it serializes and fingerprints."""
+    name = "crash-restart" if target is None else f"crash-restart[{target}]"
+    return FaultPlan(
+        name=name,
+        faults=(Fault("crash_restart", target=target, after_time=after_time,
+                      value=delay, times=times),),
+        note="node crash with delayed restart",
+    )
+
+
+def crash_storm(times: int = 3, first: float = 0.4, gap: float = 0.6,
+                delay: float = 0.25,
+                target: Optional[str] = None) -> FaultPlan:
+    """Rolling crash/restart pressure: ``times`` crashes, one every
+    ``gap`` virtual seconds starting at ``first``, each machine back
+    ``delay`` seconds later.  The rolling-failure load a supervised
+    cluster must absorb without losing data or quorum."""
+    faults = tuple(
+        Fault("crash_restart", target=target,
+              after_time=round(first + i * gap, 6), value=delay)
+        for i in range(times)
+    )
+    return FaultPlan(
+        name="crash-storm",
+        faults=faults,
+        note="rolling node crash/restart pressure",
+    )
+
+
+# ----------------------------------------------------------------------
 # Suites and the registry
 # ----------------------------------------------------------------------
 
@@ -220,6 +292,10 @@ REGISTRY: Dict[str, Callable[[], FaultPlan]] = {
     "partition": partition,
     "flaky-links": flaky_links,
     "slow-links": slow_links,
+    "crash": crash_node,
+    "restart": restart_node,
+    "crash-restart": crash_restart,
+    "crash-storm": crash_storm,
 }
 
 

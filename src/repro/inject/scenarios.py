@@ -347,3 +347,198 @@ def net_scenarios() -> List[Tuple[str, Callable[..., Any], Dict[str, Any]]]:
         ("minietcd-cluster", net_etcd_scenario, {"max_steps": 400_000}),
         ("minigrpc-cluster", net_grpc_scenario, {"max_steps": 400_000}),
     ]
+
+
+# ----------------------------------------------------------------------
+# Crash-recovery scenarios (supervised clusters + convergence verdicts)
+# ----------------------------------------------------------------------
+
+
+def net_etcd_recovery_scenario(rt, size: int = 3, chaos_window: float = 2.0,
+                               budget: float = 8.0) -> Dict[str, Any]:
+    """A durable, electing minietcd cluster under crash faults.
+
+    Every member WALs its puts; a supervisor restarts crashed machines
+    (including the client's); the election watchdog re-elects when the
+    leader dies; the failover client redials the current leader.  A
+    writer keeps load on the cluster through a ``chaos_window`` of
+    virtual time (the span fault plans aim their crashes into), then
+    :func:`repro.detect.await_recovery` watches for the recovered state:
+    every machine back up, replicas agreeing, writes being acked again.
+    Returns the verdict dict the chaos scorecard folds into its
+    Recovered/Diverged/Stuck columns.
+    """
+    from ..apps.minietcd.cluster import EtcdCluster
+    from ..detect.convergence import await_recovery
+    from ..net import RestartPolicy, Supervisor
+    from ..net.rpc import RpcError
+
+    cluster = EtcdCluster(rt, size=size, durable=True, elect=True,
+                          fsync_latency=0.001)
+    supervisor = Supervisor(rt, RestartPolicy.always(delay=0.1),
+                            name="etcd-sup")
+    for member in cluster.members:
+        supervisor.watch(member.node)
+    client = cluster.client("client", failover=True)
+    supervisor.watch(client.node)
+
+    acked = rt.atomic_int(0, name="recovery.acked")
+    writing = {"on": True}
+    wg = rt.waitgroup("recovery.writer")
+    wg.add(1)
+
+    def writer():
+        try:
+            i = 0
+            while writing["on"]:
+                try:
+                    client.put(f"job/{i % 8}", i, attempts=6)
+                    acked.add(1)
+                except RpcError:
+                    pass
+                rt.sleep(0.05)
+                i += 1
+        finally:
+            wg.done()
+
+    rt.go(writer, name="recovery-writer")
+
+    # Ride out the chaos window first: the verdict is about the end
+    # state, so the watch must not declare "recovered" before the plan
+    # has had its virtual-time span to crash things in.
+    rt.sleep(chaos_window)
+    report = await_recovery(
+        rt,
+        consistent=lambda: (
+            all(not m.node.stopped for m in cluster.members)
+            and cluster.converged("job/")),
+        progress=lambda: acked.load(),
+        budget=budget, poll=0.1)
+
+    writing["on"] = False
+    wg.wait()
+    supervisor.stop()
+    cluster.stop()
+    return {
+        "verdict": report.verdict,
+        "recovery_s": report.recovery_s,
+        "acked": acked.load(),
+        "restarts": supervisor.total_restarts,
+    }
+
+
+def net_grpc_recovery_scenario(rt, chaos_window: float = 2.0,
+                               budget: float = 6.0) -> Dict[str, Any]:
+    """The two-server failover service under crash faults.
+
+    Both servers carry an ``on_restart`` hook that rebinds the listener
+    and re-registers handlers in the fresh incarnation's boot goroutine;
+    a backoff-capped supervisor brings crashed machines back.  Recovery
+    means both servers answer again and the failing-over client is making
+    progress.
+    """
+    from ..detect.convergence import await_recovery
+    from ..net import (
+        NetError, Node, RestartPolicy, RpcClient, RpcError, RpcServer,
+        Supervisor,
+    )
+
+    net = rt.network(name="grpcnet", default_latency=0.002)
+
+    def serve(node):
+        server = RpcServer(node, name="grpc")
+        server.register("echo", lambda payload: payload)
+
+        def counter(n, send):
+            for i in range(n):
+                send(i)
+
+        server.register_streaming("range", counter)
+        server.serve(node.listen("grpc"))
+
+    nodes = []
+    addrs = []
+    for name in ("srv1", "srv2"):
+        node = Node(net, name)
+        node.on_restart = serve
+        serve(node)
+        nodes.append(node)
+        addrs.append(node.addr("grpc"))
+    cli = Node(net, "cli")
+
+    supervisor = Supervisor(
+        rt, RestartPolicy.backoff_capped(max_restarts=16, delay=0.05),
+        name="grpc-sup")
+    for node in nodes:
+        supervisor.watch(node)
+    supervisor.watch(cli)
+
+    acked = rt.atomic_int(0, name="grpc.acked")
+    calling = {"on": True}
+    wg = rt.waitgroup("grpc.caller")
+    wg.add(1)
+
+    def caller():
+        try:
+            i = 0
+            while calling["on"]:
+                for attempt in range(6):
+                    addr = addrs[(i + attempt) % len(addrs)]
+                    client = None
+                    try:
+                        client = RpcClient(cli, addr, name="fo")
+                        if client.call("echo", i, timeout=0.5) == i:
+                            acked.add(1)
+                        break
+                    except (NetError, RpcError):
+                        rt.sleep(0.05 * (attempt + 1))
+                    finally:
+                        if client is not None:
+                            client.close()
+                rt.sleep(0.05)
+                i += 1
+        finally:
+            wg.done()
+
+    rt.go(caller, name="grpc-caller")
+
+    rt.sleep(chaos_window)
+    report = await_recovery(
+        rt,
+        consistent=lambda: all(not n.stopped for n in nodes + [cli]),
+        progress=lambda: acked.load(),
+        budget=budget, poll=0.1)
+
+    calling["on"] = False
+    wg.wait()
+    supervisor.stop()
+    cli.stop()
+    for node in nodes:
+        node.stop()
+    return {
+        "verdict": report.verdict,
+        "recovery_s": report.recovery_s,
+        "acked": acked.load(),
+        "restarts": supervisor.total_restarts,
+    }
+
+
+def recovered_ok(result) -> bool:
+    """The recovery scenarios' pass bar: a clean run whose convergence
+    verdict is ``recovered``."""
+    return (result.status == "ok"
+            and isinstance(result.main_result, dict)
+            and result.main_result.get("verdict") == "recovered")
+
+
+def recovery_scenarios() -> List[Tuple[str, Callable[..., Any],
+                                       Dict[str, Any]]]:
+    """(name, program, extra run kwargs) for the supervised crash-recovery
+    workloads.  Their pass predicate is :func:`recovered_ok`, so a cell is
+    clean only when every seed ends in the ``recovered`` verdict."""
+    return [
+        ("minietcd-recovery", net_etcd_recovery_scenario,
+         {"ok": recovered_ok, "max_steps": 600_000}),
+        ("minigrpc-recovery", net_grpc_recovery_scenario,
+         {"ok": recovered_ok, "max_steps": 600_000}),
+    ]

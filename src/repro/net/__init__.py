@@ -12,7 +12,9 @@ Layering::
 
     fabric.Network      named nodes, per-link latency, partitions, loss
     conn.Conn/Listener  message-oriented endpoints, Go close semantics
-    node.Node           goroutine group + lifecycle per simulated machine
+    node.Node           goroutine group + crash/restart lifecycle per machine
+    disk.Disk           per-node WAL with explicit fsync (crash loses tail)
+    supervise.*         restart policies bringing crashed nodes back
     rpc.RpcServer/...   unary + server-streaming calls over one Conn
     load.LoadGen        N seeded clients, latency histograms
 
@@ -21,7 +23,8 @@ the same schedule fingerprint and a byte-identical
 ``Network.format_message_log()``.  See docs/NETWORK.md.
 """
 
-from .conn import Conn, Listener, dial
+from .conn import Conn, ConnReset, Listener, dial
+from .disk import Disk
 from .fabric import Link, NetError, Network
 from .load import LATENCY_BOUNDS, LoadGen, LoadReport, echo_load_program
 from .node import Node
@@ -32,9 +35,12 @@ from .rpc import (
     Status,
     connect_with_retry,
 )
+from .supervise import RestartPolicy, Supervisor
 
 __all__ = [
     "Conn",
+    "ConnReset",
+    "Disk",
     "LATENCY_BOUNDS",
     "Link",
     "Listener",
@@ -43,10 +49,12 @@ __all__ = [
     "NetError",
     "Network",
     "Node",
+    "RestartPolicy",
     "RpcClient",
     "RpcError",
     "RpcServer",
     "Status",
+    "Supervisor",
     "connect_with_retry",
     "dial",
     "echo_load_program",

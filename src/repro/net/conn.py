@@ -10,7 +10,11 @@ follow Go's sharp edges deliberately, because the paper's bugs live there:
   channel`` equivalent at the network layer);
 * ``close`` twice **panics** (``close of closed connection``);
 * ``close_write`` half-closes: the peer drains in-flight messages and then
-  sees EOF, while this side can keep receiving.
+  sees EOF, while this side can keep receiving;
+* ``send`` to a peer that crashed or fully closed raises
+  :class:`ConnReset` — an error, not a panic, because a remote reset is an
+  environmental failure the program is expected to handle (redial), unlike
+  the local programming error of writing to a connection *you* closed.
 
 A :class:`Listener` is backed by a real simulated channel, so a full
 accept backlog refuses connections and closing the listener wakes pending
@@ -29,6 +33,11 @@ from .fabric import NetError
 if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.runtime import Runtime
     from .fabric import Network
+
+
+class ConnReset(NetError):
+    """The peer closed or crashed: deterministic ECONNRESET, raised on the
+    next send instead of letting writes vanish into an aborted pipe."""
 
 
 class _Pipe:
@@ -87,12 +96,22 @@ class Conn:
     def write_closed(self) -> bool:
         return self._out.closed
 
+    @property
+    def peer_reset(self) -> bool:
+        """True once the peer fully closed (or crashed): its read side is
+        aborted, so anything sent from here would be discarded on arrival."""
+        return self._out.aborted
+
     def send(self, payload: Any) -> None:
         """Queue one message for delivery.  Never blocks; panics if the
-        write side is closed (Go's send-on-closed equivalent)."""
+        write side is closed locally (Go's send-on-closed equivalent) and
+        raises :class:`ConnReset` if the *peer* is gone."""
         self._sched.schedule_point()
         if self._out.closed:
             raise GoPanic("send on closed connection")
+        if self._out.aborted:
+            raise ConnReset(
+                f"connection reset by peer: {self.local}->{self.remote}")
         self._net.transmit(self._out, payload)
 
     def recv(self) -> Any:

@@ -1,0 +1,119 @@
+"""Per-node durable storage: a write-ahead log with explicit fsync.
+
+The paper's crash-stop faults only tell half of the recovery story: what a
+restarted process finds on disk decides whether the system converges again.
+:class:`Disk` models that boundary on the virtual clock with the two-state
+semantics real filesystems give you:
+
+* :meth:`append` adds a record to the **volatile** WAL tail — acknowledged
+  by the OS, not yet on the platter;
+* :meth:`fsync` makes every volatile record **durable**, optionally
+  spending virtual time (the device's sync latency), which opens the exact
+  window crash faults exploit: a node killed between ``append`` and the
+  completion of ``fsync`` deterministically loses the un-synced suffix;
+* :meth:`crash` discards the volatile tail (called by ``Node.crash`` and
+  the ``crash``/``crash_restart`` fault actions);
+* :meth:`replay` returns the durable records for recovery.
+
+A disk lives on the :class:`repro.net.Network` keyed by node name, so it
+survives the node object's restart lifecycle — the one piece of a machine
+that persists across a crash.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.runtime import Runtime
+
+
+class Disk:
+    """One node's durable store: a WAL split into durable + volatile parts."""
+
+    def __init__(self, rt: "Runtime", node_name: str, *,
+                 fsync_latency: float = 0.0):
+        self._rt = rt
+        self.node_name = node_name
+        #: Virtual seconds one fsync spends on the clock.  Non-zero latency
+        #: requires goroutine context (it sleeps) and widens the loss window.
+        self.fsync_latency = fsync_latency
+        self._durable: List[Any] = []
+        self._volatile: List[Any] = []
+        self.appends = 0
+        self.syncs = 0
+        self.lost = 0        # records discarded by crashes, cumulative
+        self.crashes = 0
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def append(self, record: Any) -> int:
+        """Append one record to the volatile WAL tail; returns its index."""
+        self._volatile.append(record)
+        self.appends += 1
+        return len(self._durable) + len(self._volatile) - 1
+
+    def fsync(self) -> int:
+        """Make every volatile record durable; returns how many were synced.
+
+        With a non-zero ``fsync_latency`` the records become durable only
+        *after* the virtual-time sleep — a crash landing mid-sync loses
+        them, exactly like power failing before the device acknowledges.
+        """
+        if self.fsync_latency > 0:
+            self._rt.sleep(self.fsync_latency)
+        synced = len(self._volatile)
+        if synced:
+            self._durable.extend(self._volatile)
+            self._volatile.clear()
+        self.syncs += 1
+        return synced
+
+    def write(self, record: Any) -> int:
+        """``append`` + ``fsync`` in one call (synchronous-WAL discipline)."""
+        index = self.append(record)
+        self.fsync()
+        return index
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> int:
+        """Discard the un-synced tail; returns how many records were lost."""
+        lost = len(self._volatile)
+        self._volatile.clear()
+        self.lost += lost
+        self.crashes += 1
+        return lost
+
+    def replay(self) -> List[Any]:
+        """The durable records, oldest first — what a restart recovers from."""
+        return list(self._durable)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def durable_length(self) -> int:
+        return len(self._durable)
+
+    @property
+    def pending(self) -> int:
+        """Volatile records that a crash right now would lose."""
+        return len(self._volatile)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "durable": len(self._durable),
+            "pending": len(self._volatile),
+            "appends": self.appends,
+            "syncs": self.syncs,
+            "lost": self.lost,
+            "crashes": self.crashes,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Disk {self.node_name} durable={len(self._durable)} "
+                f"pending={len(self._volatile)} lost={self.lost}>")

@@ -30,6 +30,7 @@ from ..runtime.trace import EventKind
 if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.runtime import Runtime
     from .conn import Listener, _Pipe
+    from .disk import Disk
     from .node import Node
 
 
@@ -78,6 +79,9 @@ class Network:
         self.default_latency = default_latency
         self.log_messages = log_messages
         self.nodes: Dict[str, "Node"] = {}
+        #: Durable per-node storage, keyed by node name.  Disks outlive the
+        #: node objects' crash/restart lifecycle, like real machines.
+        self._disks: Dict[str, "Disk"] = {}
         self._listeners: Dict[str, "Listener"] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         #: Active partition: a list of node-name frozensets.  Empty = healed.
@@ -106,6 +110,34 @@ class Network:
         if node.name in self.nodes:
             raise NetError(f"duplicate node name {node.name!r} on {self.name}")
         self.nodes[node.name] = node
+
+    def disk(self, name: str, *, fsync_latency: float = 0.0) -> "Disk":
+        """The durable :class:`repro.net.disk.Disk` for node ``name``
+        (created on first access; survives node crash/restart)."""
+        from .disk import Disk
+
+        disk = self._disks.get(name)
+        if disk is None:
+            disk = Disk(self._rt, name, fsync_latency=fsync_latency)
+            self._disks[name] = disk
+        return disk
+
+    def has_disk(self, name: str) -> bool:
+        return name in self._disks
+
+    def node_crashed(self, node: "Node", lost_writes: int) -> None:
+        """Record a crash-stop in the message log (called by Node.crash)."""
+        self._sched.emit(EventKind.NET_NODE_CRASH, gid=0,
+                         info={"net": self.name, "node": node.name,
+                               "lost_writes": lost_writes})
+        self._log_line(f"CRSH {node.name} lost={lost_writes}")
+
+    def node_restarted(self, node: "Node") -> None:
+        """Record a restart in the message log (called by Node.restart)."""
+        self._sched.emit(EventKind.NET_NODE_RESTART, gid=0,
+                         info={"net": self.name, "node": node.name,
+                               "incarnation": node.incarnation})
+        self._log_line(f"BOOT {node.name} #{node.incarnation}")
 
     def link(self, src: str, dst: str) -> Link:
         """The directed link record for ``src -> dst`` (created on demand)."""

@@ -10,12 +10,21 @@ whole machine with a glob (``kill`` with target ``"n2/*"`` crashes node
 ``node.stop()`` is the orderly shutdown the paper's leaked handlers never
 get: cancel the context, close listeners and connections (unblocking every
 reader with EOF), then wait for the goroutine group to drain.
+
+``node.crash()`` is the disorderly one: every goroutine owned by the node
+is killed mid-flight, endpoints close abruptly (peers observe a connection
+reset, not a graceful EOF), and un-fsynced writes on the node's
+:class:`repro.net.disk.Disk` are discarded.  ``node.restart()`` then brings
+the machine back with a fresh context, waitgroup and incarnation number and
+runs the ``on_restart`` recovery hook in a new boot goroutine — state comes
+back only through the WAL the disk kept.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
+from ..runtime.goroutine import GState
 from .conn import Conn, Listener, dial as _dial
 from .fabric import NetError
 
@@ -37,6 +46,14 @@ class Node:
         self._listeners: List[Listener] = []
         self._conns: List[Conn] = []
         self.stopped = False
+        self.crashed = False
+        #: Bumped on every restart; goroutines and waitgroups of a previous
+        #: incarnation are abandoned, never reused.
+        self.incarnation = 0
+        #: Recovery hook: called as ``on_restart(node)`` in a fresh boot
+        #: goroutine after :meth:`restart` — replay the WAL, rebind
+        #: listeners, respawn serve loops.
+        self.on_restart: Optional[Callable[["Node"], None]] = None
 
     # ------------------------------------------------------------------
     # Goroutines
@@ -46,14 +63,20 @@ class Node:
            name: Optional[str] = None):
         """Spawn a goroutine owned by this node (tracked by its waitgroup,
         named ``"<node>/<task>"``)."""
+        if self.stopped:
+            raise NetError(f"go on stopped node {self.name}")
         label = f"{self.name}/{name or getattr(fn, '__name__', 'task')}"
-        self.wg.add(1)
+        # Pin this incarnation's waitgroup: a goroutine killed by crash()
+        # unwinds after restart() has already swapped in a fresh one, and
+        # must settle its debt with the group it was counted in.
+        wg = self.wg
+        wg.add(1)
 
         def task() -> None:
             try:
                 fn(*args)
             finally:
-                self.wg.done()
+                wg.done()
 
         return self._rt.go(task, name=label)
 
@@ -113,6 +136,71 @@ class Node:
         if wait:
             self.wg.wait()
 
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+
+    def disk(self, *, fsync_latency: float = 0.0):
+        """This machine's durable :class:`repro.net.disk.Disk` (created on
+        first access; survives crash/restart)."""
+        return self._net.disk(self.name, fsync_latency=fsync_latency)
+
+    def crash(self) -> Optional[int]:
+        """Crash-stop: kill every owned goroutine, abort endpoints, discard
+        un-fsynced disk writes.  Returns the number of WAL records lost, or
+        ``None`` if the node was already down.
+
+        Safe to call from scheduler context (fault injector, timers): it
+        never blocks — killed goroutines unwind at their next resume and
+        the old waitgroup drains as they do.
+        """
+        if self.stopped:
+            return None
+        self.stopped = True
+        self.crashed = True
+        sched = self._rt.sched
+        prefix = f"{self.name}/"
+        for g in sched.goroutines:
+            if (g.state in (GState.RUNNABLE, GState.BLOCKED)
+                    and (g.name or "").startswith(prefix)):
+                sched.inject_kill(g)
+        for listener in self._listeners:
+            listener.close()
+        for conn in self._conns:
+            conn.shutdown()
+        self.cancel()
+        lost = (self._net.disk(self.name).crash()
+                if self._net.has_disk(self.name) else 0)
+        self._net.node_crashed(self, lost)
+        return lost
+
+    def restart(self) -> bool:
+        """Bring a stopped/crashed node back up with a fresh incarnation.
+
+        Resets the lifecycle (new context, waitgroup, empty endpoint
+        lists) and, when an ``on_restart`` hook is set, spawns it as the
+        new incarnation's boot goroutine — recovery (WAL replay, listener
+        rebinding, serve loops) runs there, in goroutine context, whether
+        the restart came from a supervisor, a fault action or a timer.
+        Returns False when the node is already up.
+        """
+        if not self.stopped:
+            return False
+        self.stopped = False
+        self.crashed = False
+        self.incarnation += 1
+        self.ctx, self.cancel = self._rt.with_cancel(self._rt.background())
+        self.wg = self._rt.waitgroup(
+            name=f"{self.name}.wg#{self.incarnation}")
+        self._listeners = []
+        self._conns = []
+        self._net.node_restarted(self)
+        if self.on_restart is not None:
+            hook = self.on_restart
+            self.go(lambda: hook(self), name="boot")
+        return True
+
     def __repr__(self) -> str:
-        state = "stopped" if self.stopped else "up"
+        state = ("crashed" if self.crashed
+                 else "stopped" if self.stopped else "up")
         return f"<Node {self.name} {state} conns={len(self._conns)}>"

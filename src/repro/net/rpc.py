@@ -121,9 +121,9 @@ class RpcServer:
         except RpcError as err:
             self.errors += 1
             self._respond(conn, rid, err.code, err.detail)
-        except GoPanic:
-            # The connection died under us (node stop, chaos close):
-            # nothing to respond on.
+        except (GoPanic, NetError):
+            # The connection died under us (node stop, peer crash, chaos
+            # close): nothing to respond on.
             self.errors += 1
         except Exception as err:  # handler bug -> INTERNAL, like gRPC
             self.errors += 1
@@ -132,7 +132,7 @@ class RpcServer:
     def _respond(self, conn: Conn, rid: int, code: str, payload: Any) -> None:
         try:
             conn.send(("res", rid, code, payload))
-        except GoPanic:
+        except (GoPanic, NetError):
             self.errors += 1
 
 
@@ -148,7 +148,15 @@ class RpcClient:
         self._next_id = 0
         self._pending: Dict[int, Any] = {}   # rid -> cap-1 response channel
         self._streams: Dict[int, Any] = {}   # rid -> frame channel
+        self._broken = False                 # pump saw EOF: peer gone
         node.go(self._pump, name=f"{name}.pump")
+
+    @property
+    def broken(self) -> bool:
+        """True once the transport died under the client (peer crash/stop).
+        Every subsequent call fails fast with UNAVAILABLE — the
+        deterministic connection-reset surface redial loops key off."""
+        return self._broken or self.conn.closed
 
     def _pump(self) -> None:
         for frame in self.conn:
@@ -180,7 +188,10 @@ class RpcClient:
                 ch = self._streams.pop(rid, None)
                 if ch is not None and not ch.closed:
                     ch.close()
-        # EOF: fail everything still outstanding.
+        # EOF: the peer is gone (crash, stop, reset).  Mark the client
+        # broken so the next call/stream fails immediately instead of
+        # waiting out its deadline, then fail everything outstanding.
+        self._broken = True
         for rid, ch in list(self._pending.items()):
             if not ch.closed:
                 ch.close()
@@ -195,13 +206,15 @@ class RpcClient:
     def call(self, method: str, payload: Any = None,
              timeout: Optional[float] = None) -> Any:
         """Unary call.  Raises :class:`RpcError` on any non-OK outcome."""
+        if self.broken:
+            raise RpcError(Status.UNAVAILABLE, "connection reset by peer")
         rid = self._next_id
         self._next_id += 1
         ch = self._rt.make_chan(1, name=f"{self.name}.resp#{rid}")
         self._pending[rid] = ch
         try:
             self.conn.send(("req", rid, method, payload, False))
-        except GoPanic:
+        except (GoPanic, NetError):
             self._pending.pop(rid, None)
             raise RpcError(Status.UNAVAILABLE, "connection closed")
         if timeout is None:
@@ -253,6 +266,8 @@ class RpcClient:
         ended non-OK (e.g. the connection dropped mid-stream ->
         UNAVAILABLE, a stalled link -> DEADLINE_EXCEEDED).
         """
+        if self.broken:
+            raise RpcError(Status.UNAVAILABLE, "connection reset by peer")
         rid = self._next_id
         self._next_id += 1
         frames = self._rt.make_chan(buffer, name=f"{self.name}.stream#{rid}")
@@ -261,7 +276,7 @@ class RpcClient:
         self._pending[rid] = status_ch
         try:
             self.conn.send(("req", rid, method, payload, True))
-        except GoPanic:
+        except (GoPanic, NetError):
             self._streams.pop(rid, None)
             self._pending.pop(rid, None)
             raise RpcError(Status.UNAVAILABLE, "connection closed")

@@ -1,0 +1,150 @@
+"""Supervision: restart policies that bring crashed nodes back.
+
+The paper's blocking bugs are liveness failures — a dead goroutine's peers
+wait forever.  At the cluster level the analogue is a crashed *machine*:
+without supervision every ``crash`` fault is crash-stop and the system can
+only degrade.  A :class:`Supervisor` watches nodes on a fabric and calls
+:meth:`repro.net.Node.restart` on the crashed ones according to a
+:class:`RestartPolicy`, turning the scorecard question from "did it
+survive?" into "did it *recover*?".
+
+Policies mirror Erlang/OTP and Kubernetes restart semantics:
+
+* :meth:`RestartPolicy.one_shot` — restart once, then give up;
+* :meth:`RestartPolicy.always` — restart every crash after a fixed delay;
+* :meth:`RestartPolicy.backoff_capped` — exponentially growing delay,
+  capped attempts (CrashLoopBackOff with a budget).
+
+Everything runs on the virtual clock from one monitor goroutine, so
+supervision adds no nondeterminism: the same ``(seed, plan)`` produces the
+same crash, the same detection step and the same restart time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..chan.cases import recv as recv_case
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.runtime import Runtime
+    from .node import Node
+
+__all__ = ["RestartPolicy", "Supervisor"]
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """When and how often a supervisor restarts a crashed node.
+
+    Attributes:
+        max_restarts: restarts allowed per node; ``None`` = unlimited.
+        delay: virtual seconds from crash detection to restart.
+        factor: per-restart delay multiplier (1.0 = fixed delay).
+        max_delay: ceiling for the grown delay.
+    """
+
+    max_restarts: Optional[int] = None
+    delay: float = 0.05
+    factor: float = 1.0
+    max_delay: float = 1.0
+
+    @classmethod
+    def one_shot(cls, delay: float = 0.05) -> "RestartPolicy":
+        """Restart a node at most once (transient-fault recovery)."""
+        return cls(max_restarts=1, delay=delay)
+
+    @classmethod
+    def always(cls, delay: float = 0.05) -> "RestartPolicy":
+        """Restart every crash after a fixed delay (OTP ``permanent``)."""
+        return cls(max_restarts=None, delay=delay)
+
+    @classmethod
+    def backoff_capped(cls, max_restarts: int = 4, delay: float = 0.05,
+                       factor: float = 2.0, max_delay: float = 1.0
+                       ) -> "RestartPolicy":
+        """Exponential backoff between restarts, bounded attempt budget."""
+        return cls(max_restarts=max_restarts, delay=delay, factor=factor,
+                   max_delay=max_delay)
+
+    def delay_for(self, restart_index: int) -> float:
+        """The delay before restart number ``restart_index`` (0-based)."""
+        return min(self.delay * (self.factor ** restart_index),
+                   self.max_delay)
+
+    def exhausted(self, restarts_done: int) -> bool:
+        return (self.max_restarts is not None
+                and restarts_done >= self.max_restarts)
+
+
+class Supervisor:
+    """One monitor goroutine restarting crashed nodes per policy.
+
+    Register nodes with :meth:`watch`; call :meth:`stop` before the
+    workload returns (the monitor is a plain runtime goroutine and would
+    otherwise leak).  Restart counts and given-up nodes are exposed for
+    scorecards and convergence checkers.
+    """
+
+    def __init__(self, rt: "Runtime", policy: Optional[RestartPolicy] = None,
+                 poll: float = 0.05, name: str = "supervisor"):
+        self._rt = rt
+        self.policy = policy if policy is not None else RestartPolicy.always()
+        self.poll = poll
+        self.name = name
+        self._nodes: List["Node"] = []
+        self.restarts: Dict[str, int] = {}
+        self.gave_up: List[str] = []
+        self._stop = rt.make_chan(0, name=f"{name}.stop")
+        self._stopped = False
+        rt.go(self._monitor, name=f"{name}/monitor")
+
+    def watch(self, node: "Node") -> "Supervisor":
+        """Supervise ``node`` (chainable)."""
+        self._nodes.append(node)
+        self.restarts.setdefault(node.name, 0)
+        return self
+
+    # ------------------------------------------------------------------
+
+    def _monitor(self) -> None:
+        while True:
+            timer = self._rt.new_timer(self.poll)
+            index, _, _ = self._rt.select(recv_case(self._stop),
+                                          recv_case(timer.c))
+            if index == 0:
+                timer.stop()
+                return
+            for node in self._nodes:
+                if self._stopped:
+                    return
+                if not node.crashed or node.name in self.gave_up:
+                    continue
+                done = self.restarts[node.name]
+                if self.policy.exhausted(done):
+                    self.gave_up.append(node.name)
+                    continue
+                self._rt.sleep(self.policy.delay_for(done))
+                # A fault action (crash_restart) may have revived the node
+                # while we waited; its restart does not consume our budget.
+                if self._stopped or not node.crashed:
+                    continue
+                if node.restart():
+                    self.restarts[node.name] = done + 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(self.restarts.values())
+
+    def stop(self) -> None:
+        """Stop the monitor goroutine.  Idempotent."""
+        if not self._stopped:
+            self._stopped = True
+            self._stop.close()
+
+    def __repr__(self) -> str:
+        return (f"<Supervisor {self.name} nodes={len(self._nodes)} "
+                f"restarts={self.total_restarts} gave_up={self.gave_up}>")

@@ -68,6 +68,8 @@ class EventKind:
     NET_CLOSE = "net.close"          # info: conn endpoints, half flag
     NET_PARTITION = "net.partition"  # info: node groups
     NET_HEAL = "net.heal"
+    NET_NODE_CRASH = "net.node.crash"      # info: node, lost_writes
+    NET_NODE_RESTART = "net.node.restart"  # info: node, incarnation
 
 
 #: Shared empty-info mapping: most events carry no details, and allocating a

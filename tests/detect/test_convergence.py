@@ -1,0 +1,94 @@
+"""Convergence verdicts: classify, await_recovery, scorecard extraction."""
+
+from types import SimpleNamespace
+
+from repro import run
+from repro.detect import await_recovery, classify, recovery_verdict
+from repro.detect.convergence import VERDICTS
+
+
+def test_classify_truth_table():
+    assert classify(consistent=True, progressed=True) == "recovered"
+    assert classify(consistent=False, progressed=True) == "diverged"
+    assert classify(consistent=True, progressed=False) == "stuck"
+    assert classify(consistent=False, progressed=False) == "stuck"
+
+
+def test_await_recovery_reports_recovery_time():
+    def main(rt):
+        counter = rt.atomic_int(0, name="acked")
+
+        def worker():
+            rt.sleep(0.3)  # the "outage"
+            while True:
+                rt.sleep(0.05)
+                counter.add(1)
+
+        rt.go(worker, name="worker")
+        report = await_recovery(
+            rt,
+            consistent=lambda: True,
+            progress=lambda: counter.load(),
+            budget=2.0, poll=0.1)
+        return report
+
+    report = run(main).main_result
+    assert report.verdict == "recovered"
+    assert report.recovered is True
+    assert 0.3 <= report.recovery_s <= 0.6  # quantized to the poll grid
+    assert report.polls >= 3
+
+
+def test_await_recovery_stuck_when_no_progress():
+    def main(rt):
+        return await_recovery(
+            rt,
+            consistent=lambda: True,  # agreeing but frozen is still stuck
+            progress=lambda: 0,
+            budget=0.5, poll=0.1)
+
+    report = run(main).main_result
+    assert report.verdict == "stuck"
+    assert report.recovery_s is None
+    assert "progressed=False" in report.detail
+
+
+def test_await_recovery_diverged_when_progress_without_agreement():
+    def main(rt):
+        counter = rt.atomic_int(0, name="acked")
+
+        def worker():
+            while True:
+                rt.sleep(0.05)
+                counter.add(1)
+
+        rt.go(worker, name="worker")
+        return await_recovery(
+            rt,
+            consistent=lambda: False,  # replicas never agree
+            progress=lambda: counter.load(),
+            budget=0.5, poll=0.1)
+
+    report = run(main).main_result
+    assert report.verdict == "diverged"
+    assert report.recovery_s is None
+
+
+def test_report_round_trips_to_dict():
+    def main(rt):
+        report = await_recovery(rt, consistent=lambda: True,
+                                progress=lambda: 0, budget=0.2, poll=0.1)
+        return report.to_dict()
+
+    doc = run(main).main_result
+    assert doc["verdict"] in VERDICTS
+    assert set(doc) == {"verdict", "recovery_s", "polls", "budget", "detail"}
+
+
+def test_recovery_verdict_only_reads_verdict_dicts():
+    good = SimpleNamespace(main_result={"verdict": "recovered", "acked": 9})
+    assert recovery_verdict(good) == "recovered"
+    assert recovery_verdict(SimpleNamespace(main_result={"verdict": "?"})) is None
+    assert recovery_verdict(SimpleNamespace(main_result=42)) is None
+    assert recovery_verdict(SimpleNamespace(main_result=None)) is None
+    assert recovery_verdict(object()) is None

@@ -1,0 +1,99 @@
+"""Per-node durable store: append/fsync/crash/replay semantics."""
+
+from repro import run
+from repro.net import Disk
+
+
+def test_append_is_volatile_until_fsync():
+    def main(rt):
+        net = rt.network(name="t")
+        disk = net.disk("n1")
+        disk.append(("put", "a", 1))
+        disk.append(("put", "b", 2))
+        before = (disk.durable_length, disk.pending)
+        disk.fsync()
+        after = (disk.durable_length, disk.pending)
+        return before, after
+
+    before, after = run(main).main_result
+    assert before == (0, 2)
+    assert after == (2, 0)
+
+
+def test_crash_discards_unsynced_tail_only():
+    def main(rt):
+        net = rt.network(name="t")
+        disk = net.disk("n1")
+        disk.write(("put", "a", 1))          # append + fsync
+        disk.append(("put", "b", 2))         # never fsynced
+        lost = disk.crash()
+        return lost, disk.replay()
+
+    lost, records = run(main).main_result
+    assert lost == 1
+    assert records == [("put", "a", 1)]
+
+
+def test_fsync_latency_opens_a_loss_window():
+    """With a non-zero fsync latency the clock advances inside fsync —
+    the window where a crash loses acknowledged-in-memory writes."""
+
+    def main(rt):
+        net = rt.network(name="t")
+        disk = net.disk("n1", fsync_latency=0.01)
+        t0 = rt.now()
+        disk.append(("put", "a", 1))
+        disk.fsync()
+        return rt.now() - t0
+
+    assert run(main).main_result > 0.0
+
+
+def test_disk_survives_node_crash_and_restart():
+    def main(rt):
+        net = rt.network(name="t")
+        from repro.net import Node
+
+        node = Node(net, "n1")
+        disk = node.disk()
+        disk.write(("put", "k", "v"))
+        disk.append(("put", "lost", "x"))
+        lost = node.crash()
+        node.restart()
+        return lost, node.disk().replay(), disk.crashes
+
+    lost, records, crashes = run(main).main_result
+    assert lost == 1
+    assert records == [("put", "k", "v")]
+    assert crashes == 1
+
+
+def test_stats_track_appends_syncs_and_losses():
+    def main(rt):
+        net = rt.network(name="t")
+        disk = net.disk("n1")
+        disk.write(("a", 1))
+        disk.append(("b", 2))
+        disk.crash()
+        return disk.stats()
+
+    stats = run(main).main_result
+    assert stats["appends"] == 2
+    assert stats["syncs"] == 1
+    assert stats["lost"] == 1
+    assert stats["crashes"] == 1
+    assert stats["durable"] == 1
+    assert stats["pending"] == 0
+
+
+def test_disk_is_per_node_and_cached():
+    def main(rt):
+        net = rt.network(name="t")
+        d1 = net.disk("n1")
+        d2 = net.disk("n2")
+        d1.write(("only", "n1"))
+        return net.disk("n1") is d1, d2.durable_length
+
+    same, other_len = run(main).main_result
+    assert same is True
+    assert other_len == 0

@@ -1,0 +1,177 @@
+"""Node crash/restart lifecycle and deterministic connection resets."""
+
+import pytest
+
+from repro import run
+from repro.net import (
+    ConnReset,
+    Node,
+    RpcClient,
+    RpcError,
+    RpcServer,
+    Status,
+)
+
+
+def _echo_server(node):
+    server = RpcServer(node, name="grpc")
+    server.register("echo", lambda payload: payload)
+
+    def counter(n, send):
+        for i in range(n):
+            send(i)
+            node._rt.sleep(0.01)
+
+    server.register_streaming("range", counter)
+    server.serve(node.listen("grpc"))
+
+
+def test_crash_kills_owned_goroutines_and_marks_state():
+    def main(rt):
+        net = rt.network(name="t")
+        node = Node(net, "n1")
+        ticks = rt.atomic_int(0, name="ticks")
+
+        def loop():
+            while True:
+                rt.sleep(0.01)
+                ticks.add(1)
+
+        node.go(loop, name="loop")
+        rt.sleep(0.05)
+        node.crash()
+        at_crash = ticks.load()
+        rt.sleep(0.1)
+        return at_crash, ticks.load(), node.crashed, node.stopped
+
+    at_crash, later, crashed, stopped = run(main).main_result
+    assert at_crash > 0
+    assert later == at_crash  # the loop died with the machine
+    assert crashed and stopped
+
+
+def test_restart_gets_fresh_incarnation_and_runs_boot_hook():
+    def main(rt):
+        net = rt.network(name="t")
+        node = Node(net, "n1")
+        boots = []
+        node.on_restart = lambda n: boots.append(n.incarnation)
+        node.crash()
+        ok = node.restart()
+        rt.sleep(0.01)
+        again = node.restart()  # already up: no-op
+        return ok, again, node.incarnation, boots, node.crashed
+
+    ok, again, incarnation, boots, crashed = run(main).main_result
+    assert ok is True
+    assert again is False
+    assert incarnation == 1
+    assert boots == [1]
+    assert crashed is False
+
+
+def test_send_to_crashed_peer_raises_conn_reset():
+    def main(rt):
+        net = rt.network(name="t")
+        srv = Node(net, "srv")
+        listener = srv.listen("p")
+        cli = Node(net, "cli")
+        srv.go(lambda: srv.track(listener.accept()), name="accept")
+        conn = cli.dial("srv:p")
+        rt.sleep(0.01)
+        srv.crash()
+        rt.sleep(0.01)
+        assert conn.peer_reset
+        try:
+            conn.send("x")
+        except ConnReset as err:
+            return str(err)
+        return None
+
+    message = run(main).main_result
+    assert message is not None
+    assert "connection reset by peer" in message
+
+
+def test_rpc_call_after_peer_crash_fails_fast_not_deadline():
+    """The satellite fix: a client whose peer died surfaces UNAVAILABLE
+    immediately on next use instead of hanging out its deadline."""
+
+    def main(rt):
+        net = rt.network(name="t")
+        srv = Node(net, "srv")
+        _echo_server(srv)
+        cli = Node(net, "cli")
+        client = RpcClient(cli, "srv:grpc", name="c")
+        assert client.call("echo", 1, timeout=1.0) == 1
+        srv.crash()
+        rt.sleep(0.01)  # let the pump observe the reset
+        t0 = rt.now()
+        try:
+            client.call("echo", 2, timeout=60.0)
+            return None
+        except RpcError as err:
+            return err.code, rt.now() - t0, client.broken
+
+    code, elapsed, broken = run(main).main_result
+    assert code == Status.UNAVAILABLE
+    assert elapsed < 1.0  # fail-fast: nowhere near the 60s deadline
+    assert broken is True
+
+
+def test_restart_while_streaming_regression():
+    """A server restart mid-stream must end the consumer with a
+    deterministic UNAVAILABLE, not a hang until the per-frame deadline
+    — and the redialed client must stream from the new incarnation."""
+
+    def main(rt):
+        net = rt.network(name="t")
+        srv = Node(net, "srv")
+        srv.on_restart = _echo_server
+        _echo_server(srv)
+        cli = Node(net, "cli")
+        client = RpcClient(cli, "srv:grpc", name="c")
+
+        frames = []
+        outcome = {}
+
+        def consume():
+            t0 = rt.now()
+            try:
+                for frame in client.stream("range", 1000, timeout=30.0):
+                    frames.append(frame)
+            except RpcError as err:
+                outcome["code"] = err.code
+            outcome["elapsed"] = rt.now() - t0
+
+        rt.go(consume, name="consumer")
+        rt.sleep(0.05)  # a few frames in
+        srv.crash()
+        srv.restart()
+        rt.sleep(0.5)
+
+        fresh = RpcClient(cli, "srv:grpc", name="c2")
+        replay = list(fresh.stream("range", 3, timeout=5.0))
+        fresh.close()
+        client.close()
+        cli.stop()
+        srv.stop()
+        return frames, outcome, replay
+
+    frames, outcome, replay = run(main).main_result
+    assert frames  # stream was live before the crash
+    assert outcome["code"] == Status.UNAVAILABLE
+    assert outcome["elapsed"] < 1.0  # reset surfaced, deadline untouched
+    assert replay == [0, 1, 2]  # new incarnation serves streams again
+
+
+def test_go_on_stopped_node_raises():
+    def main(rt):
+        net = rt.network(name="t")
+        node = Node(net, "n1")
+        node.crash()
+        with pytest.raises(Exception) as exc:
+            node.go(lambda: None)
+        return type(exc.value).__name__
+
+    assert run(main).main_result == "NetError"

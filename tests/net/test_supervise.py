@@ -1,0 +1,109 @@
+"""Supervision: restart policies and the monitor goroutine."""
+
+import pytest
+
+from repro import run
+from repro.net import Node, RestartPolicy, Supervisor
+
+
+def test_policy_delay_schedules():
+    fixed = RestartPolicy.always(delay=0.2)
+    assert fixed.delay_for(0) == fixed.delay_for(5) == 0.2
+    backoff = RestartPolicy.backoff_capped(delay=0.1, factor=2.0,
+                                           max_delay=0.5)
+    assert backoff.delay_for(0) == pytest.approx(0.1)
+    assert backoff.delay_for(1) == pytest.approx(0.2)
+    assert backoff.delay_for(2) == pytest.approx(0.4)
+    assert backoff.delay_for(3) == pytest.approx(0.5)  # capped
+    assert backoff.delay_for(9) == pytest.approx(0.5)
+
+
+def test_policy_budgets():
+    assert RestartPolicy.one_shot().exhausted(0) is False
+    assert RestartPolicy.one_shot().exhausted(1) is True
+    assert RestartPolicy.always().exhausted(10_000) is False
+    capped = RestartPolicy.backoff_capped(max_restarts=2)
+    assert capped.exhausted(1) is False
+    assert capped.exhausted(2) is True
+
+
+def test_supervisor_restarts_a_crashed_node():
+    def main(rt):
+        net = rt.network(name="t")
+        node = Node(net, "n1")
+        sup = Supervisor(rt, RestartPolicy.always(delay=0.05)).watch(node)
+        node.crash()
+        rt.sleep(0.5)
+        up = not node.stopped
+        restarts = sup.restarts["n1"]
+        sup.stop()
+        return up, restarts, node.incarnation
+
+    up, restarts, incarnation = run(main).main_result
+    assert up is True
+    assert restarts == 1
+    assert incarnation == 1
+
+
+def test_one_shot_gives_up_after_its_budget():
+    def main(rt):
+        net = rt.network(name="t")
+        node = Node(net, "n1")
+        sup = Supervisor(rt, RestartPolicy.one_shot(delay=0.05)).watch(node)
+        node.crash()
+        rt.sleep(0.5)
+        first_up = not node.stopped
+        node.crash()
+        rt.sleep(0.5)
+        second_up = not node.stopped
+        gave_up = list(sup.gave_up)
+        sup.stop()
+        return first_up, second_up, gave_up
+
+    first_up, second_up, gave_up = run(main).main_result
+    assert first_up is True
+    assert second_up is False  # budget spent: stays down
+    assert gave_up == ["n1"]
+
+
+def test_externally_revived_node_does_not_consume_budget():
+    """A crash_restart fault's own timer may revive the node while the
+    supervisor is still sleeping its restart delay; the supervisor must
+    notice and not count (or duplicate) the restart."""
+
+    def main(rt):
+        net = rt.network(name="t")
+        node = Node(net, "n1")
+        sup = Supervisor(rt, RestartPolicy.one_shot(delay=0.2)).watch(node)
+        node.crash()
+        rt.sleep(0.05)
+        node.restart()  # the fault action wins the race
+        rt.sleep(0.5)
+        counted = sup.restarts["n1"]
+        sup.stop()
+        return counted, node.incarnation
+
+    counted, incarnation = run(main).main_result
+    assert counted == 0
+    assert incarnation == 1
+
+
+def test_supervision_is_deterministic():
+    def main(rt):
+        net = rt.network(name="t")
+        nodes = [Node(net, f"n{i}") for i in range(3)]
+        sup = Supervisor(rt, RestartPolicy.backoff_capped(delay=0.05))
+        for node in nodes:
+            sup.watch(node)
+        nodes[0].crash()
+        rt.sleep(0.1)
+        nodes[2].crash()
+        rt.sleep(1.0)
+        out = (dict(sup.restarts), [n.incarnation for n in nodes], rt.now())
+        sup.stop()
+        return out
+
+    first = run(main, seed=7).main_result
+    second = run(main, seed=7).main_result
+    assert first == second
+    assert first[0] == {"n0": 1, "n1": 0, "n2": 1}
