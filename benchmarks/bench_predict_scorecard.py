@@ -1,0 +1,48 @@
+"""Predictive analysis scorecard: offline recall vs the dynamic detectors.
+
+Not a paper table — this guards the ``repro.predict`` subsystem the way
+``bench_explore_pruning`` guards the systematic explorer.  The same
+measurements back ``repro bench --predict``, whose JSON lands in the
+committed ``BENCH_predict.json`` baseline.
+
+Two acceptance bars from the subsystem's design:
+
+* Over the whole kernel corpus, one recorded run analyzed offline must
+  predict at least 80% of the bugs the dynamic detectors catch across a
+  multi-seed sweep (recall >= 0.8), without drowning the signal in noise
+  (precision >= 0.8).
+* As a pre-filter, triage must let the explorer skip schedule search on
+  the bug-free bench kernels (runs saved > 0, zero false skips) while
+  still flagging every buggy variant.
+"""
+
+from repro.bench import run_predict_benchmarks
+
+
+def test_scorecard_recall_precision_and_triage_savings(report):
+    document = run_predict_benchmarks()
+    scorecard = document["scorecard"]
+    triage = document["triage"]
+
+    lines = [f"kernels {scorecard['kernels']}  "
+             f"recall {scorecard['recall']:.0%}  "
+             f"precision {scorecard['precision']:.0%}  "
+             f"offline wall {scorecard['predict_wall_s']:.2f}s",
+             f"agreements: {scorecard['agreements']}",
+             f"{'kernel':<45} {'explore':>8} {'saved':>6} {'buggy':>8}"]
+    for kid, row in triage["kernels"].items():
+        lines.append(
+            f"{kid:<45} {row['explore_runs']:>8} {row['runs_saved']:>6} "
+            f"{'flagged' if row['buggy_flagged'] else 'MISSED':>8}")
+    lines.append(f"total saved {triage['total_runs_saved']}/"
+                 f"{triage['total_explore_runs']}  "
+                 f"false skips: {triage['false_skips'] or 'none'}")
+    report("Predictive analysis: scorecard + triage savings",
+           "\n".join(lines))
+
+    assert scorecard["recall"] >= 0.8, scorecard
+    assert scorecard["precision"] >= 0.8, scorecard
+    assert triage["all_fixed_screened_clean"]
+    assert not triage["false_skips"]
+    assert triage["total_runs_saved"] > 0
+    assert all(row["triage_clean"] for row in triage["kernels"].values())

@@ -367,6 +367,81 @@ def run_explore_benchmarks(kernel_ids: Sequence[str] = EXPLORE_KERNELS,
     }
 
 
+def run_predict_benchmarks(runs_per_kernel: int = 15,
+                           triage_kernel_ids: Sequence[str] = EXPLORE_KERNELS,
+                           max_runs: int = 800) -> Dict[str, Any]:
+    """The ``predict`` section: offline-analysis quality and triage savings.
+
+    Two claims are measured.  *Quality*: over the whole corpus, predict
+    on one recorded (preferably passing) run vs the dynamic detectors
+    over manifestation sweeps — recall, precision, and the offline
+    analysis wall time.  *Savings*: on the bug-free exploration bench
+    kernels, the triage screen (one recorded run) vs exploring the
+    schedule tree to exhaustion — runs avoided when triage says skip,
+    with the buggy variants as the no-false-skip control.
+    """
+    from .bugs import registry
+    from .detect.systematic import explore_systematic
+    from .parallel import memo as memo_mod
+    from .predict import (build_predict_scorecard, predict_precision,
+                          predict_recall, triage_kernel)
+
+    t0 = time.perf_counter()
+    rows = build_predict_scorecard(runs_per_kernel=runs_per_kernel)
+    scorecard_s = time.perf_counter() - t0
+    agreements: Dict[str, int] = {}
+    for row in rows:
+        agreements[row.agreement] = agreements.get(row.agreement, 0) + 1
+
+    triage: Dict[str, Any] = {}
+    false_skips = []
+    for kid in triage_kernel_ids:
+        kernel = registry.get(kid)
+        kwargs = dict(kernel.run_kwargs)
+        t0 = time.perf_counter()
+        clean = triage_kernel(kernel, fixed=True)
+        triage_s = time.perf_counter() - t0
+        with memo_mod.disable():
+            exploration = explore_systematic(
+                kernel.fixed, stop_on=kernel.manifested,
+                max_runs=max_runs, **kwargs)
+        dirty = triage_kernel(kernel, fixed=False)
+        if not dirty.needs_search:
+            false_skips.append(kid)
+        saved = exploration.runs - 1 if not clean.needs_search else 0
+        triage[kid] = {
+            "explore_runs": exploration.runs,
+            "explore_exhausted": exploration.exhausted,
+            "triage_clean": not clean.needs_search,
+            "runs_saved": saved,
+            "triage_s": round(triage_s, 4),
+            "buggy_flagged": dirty.needs_search,
+        }
+
+    return {
+        "scorecard": {
+            "kernels": len(rows),
+            "runs_per_kernel": runs_per_kernel,
+            "recall": round(predict_recall(rows), 4),
+            "precision": round(predict_precision(rows), 4),
+            "agreements": agreements,
+            "predict_wall_s": round(sum(r.predict_wall_s for r in rows), 4),
+            "scorecard_wall_s": round(scorecard_s, 4),
+        },
+        "triage": {
+            "max_runs": max_runs,
+            "kernels": triage,
+            "total_explore_runs": sum(row["explore_runs"]
+                                      for row in triage.values()),
+            "total_runs_saved": sum(row["runs_saved"]
+                                    for row in triage.values()),
+            "all_fixed_screened_clean": all(row["triage_clean"]
+                                            for row in triage.values()),
+            "false_skips": false_skips,
+        },
+    }
+
+
 def run_benchmarks(jobs: int = 0, repeats: int = 3,
                    sweep_seeds_n: int = 64,
                    explore: bool = True) -> Dict[str, Any]:
@@ -555,6 +630,28 @@ def render(document: Dict[str, Any]) -> str:
                 f"{'match' if row['verdict_match'] else 'MISMATCH':>9}")
         lines.append(f"  min saved {explore['min_saved_pct']:.1f}%, "
                      f"all verdicts match: {explore['all_verdicts_match']}")
+    if "predict" in document:
+        predict = document["predict"]
+        card, triage = predict["scorecard"], predict["triage"]
+        lines.append("")
+        lines.append(
+            f"predictive analysis ({card['kernels']} kernels, one "
+            f"recorded run each): recall {card['recall']:.0%} / "
+            f"precision {card['precision']:.0%} vs dynamic detectors, "
+            f"offline analysis {card['predict_wall_s']:.2f}s total")
+        lines.append(f"triage screen vs explore-to-exhaustion "
+                     f"(max_runs={triage['max_runs']}):")
+        lines.append(f"{'kernel':<45} {'explore':>8} {'triage':>7} "
+                     f"{'saved':>6} {'buggy':>8}")
+        for kid, row in triage["kernels"].items():
+            lines.append(
+                f"{kid:<45} {row['explore_runs']:>8} "
+                f"{'clean' if row['triage_clean'] else 'FLAG':>7} "
+                f"{row['runs_saved']:>6} "
+                f"{'flagged' if row['buggy_flagged'] else 'MISSED':>8}")
+        lines.append(f"  total runs saved {triage['total_runs_saved']}/"
+                     f"{triage['total_explore_runs']}, false skips: "
+                     f"{triage['false_skips'] or 'none'}")
     if "loadgen" in document:
         lg = document["loadgen"]
         lines.append("")
@@ -666,6 +763,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="run the crash-recovery benchmarks (recovery "
                              "time under cluster-size x fault-rate sweep) "
                              "instead")
+    parser.add_argument("--predict", action="store_true",
+                        help="run the predictive-analysis benchmarks "
+                             "(offline scorecard vs dynamic detectors + "
+                             "triage savings) instead")
     parser.add_argument("--baseline", metavar="FILE",
                         help="print a delta table against a committed "
                              "benchmark document (e.g. BENCH_simulator.json)")
@@ -692,6 +793,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "platform": sys.platform,
             "cpus": os.cpu_count(),
             "explore": run_explore_benchmarks(),
+        }
+    elif args.predict:
+        document = {
+            "schema": SCHEMA,
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "cpus": os.cpu_count(),
+            "predict": run_predict_benchmarks(),
         }
     else:
         document = run_benchmarks(jobs=args.jobs, repeats=args.repeats,

@@ -20,8 +20,14 @@ Commands:
 * ``profile <target>``      — pprof-style goroutine/block/mutex profiles
   and metrics for one observed run (``--flame`` for the flamegraph).
 * ``trace-export <target>`` — Chrome ``trace_event`` JSON for one run
-  (load in ``about:tracing`` / Perfetto).
+  (load in ``about:tracing`` / Perfetto); ``--sync`` writes the
+  sync-event stream ``repro predict`` consumes instead.
 * ``timeline <target>``     — the per-goroutine ASCII lane diagram.
+* ``predict <target>``      — offline predictive analysis: record one
+  run (or read a ``--sync`` export) and report races, lock cycles and
+  communication deadlocks reachable in schedules never executed
+  (``--confirm`` searches for a replayable witness, ``--triage``
+  prints only the needs-schedule-search verdict).
 
 Targets for the three observability commands are kernel ids (optionally
 ``--fixed``) or mini-app scenario names (``app:minietcd`` or bare).
@@ -484,16 +490,19 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_export(args: argparse.Namespace) -> int:
-    from .observe import chrome_trace_json
+    from .observe import chrome_trace_json, sync_events_json
 
     try:
         name, result, observer = _observed_run(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    document = chrome_trace_json(result, observer,
-                                 include_memory=args.memory,
-                                 indent=args.indent)
+    if args.sync:
+        document = sync_events_json(result, indent=args.indent)
+    else:
+        document = chrome_trace_json(result, observer,
+                                     include_memory=args.memory,
+                                     indent=args.indent)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(document)
@@ -523,6 +532,97 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_predict(args: argparse.Namespace) -> int:
+    import os
+
+    from .predict import (
+        SyncTrace,
+        TriageVerdict,
+        confirm_predictions,
+        predict,
+        predict_kernel,
+    )
+
+    program = None
+    kwargs: dict = {}
+    oracle = None
+    if os.path.isfile(args.target):
+        if args.confirm:
+            print("error: --confirm needs a runnable target (kernel id or "
+                  "app scenario), not a trace file", file=sys.stderr)
+            return 2
+        with open(args.target, "r", encoding="utf-8") as handle:
+            trace = SyncTrace.from_json(handle.read())
+        report = predict(trace, target=args.target)
+        seed = trace.seed
+    else:
+        try:
+            name, program, kwargs = _resolve_target(args.target,
+                                                    fixed=args.fixed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            kernel = registry.get(args.target)
+        except KeyError:
+            kernel = None
+        if kernel is not None and not args.fixed:
+            oracle = kernel.manifested
+        if kernel is not None and args.seed is None:
+            # Scan for a passing run: the adversarial input for a
+            # predictor is a trace where nothing went wrong.
+            report, seed = predict_kernel(kernel, fixed=args.fixed,
+                                          runs=args.runs)
+            report.target = name
+        else:
+            seed = args.seed if args.seed is not None else 0
+            result = run(program, seed=seed, **kwargs)
+            report = predict(result, target=name)
+
+    if args.triage:
+        verdict = TriageVerdict(target=report.target,
+                                needs_search=report.found,
+                                families=tuple(sorted(report.by_family())),
+                                report=report,
+                                seed=seed if seed is not None else 0)
+        if args.json:
+            print(json.dumps(verdict.to_dict(), indent=2))
+        else:
+            print(verdict)
+        return 0
+
+    outcomes = None
+    if args.confirm and program is not None:
+        outcomes = confirm_predictions(report, program, run_kwargs=kwargs,
+                                       oracle=oracle,
+                                       max_runs=args.max_runs,
+                                       jobs=args.jobs)
+
+    if args.json:
+        payload = report.to_dict()
+        if outcomes is not None:
+            payload["confirm"] = [o.to_dict() for o in outcomes]
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(report.render())
+    if outcomes is not None:
+        print("confirmation (schedule search over the predictions):")
+        for outcome in outcomes:
+            mark = {True: "CONFIRMED", False: "unconfirmed",
+                    None: "no oracle"}[outcome.confirmed]
+            line = (f"  [{mark}] {outcome.prediction.family}/"
+                    f"{outcome.prediction.rule}")
+            if outcome.witness is not None:
+                line += f"  witness={outcome.witness}"
+            if outcome.runs:
+                line += f"  ({outcome.runs} runs)"
+            if outcome.note:
+                line += f"  -- {outcome.note}"
+            print(line)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import main as bench_main
 
@@ -537,6 +637,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         forwarded.append("--recovery")
     if args.explore:
         forwarded.append("--explore")
+    if args.predict:
+        forwarded.append("--predict")
     if args.baseline:
         forwarded += ["--baseline", args.baseline]
     if args.json:
@@ -610,6 +712,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seeds in the sweep benchmark (default: 64)")
     bench.add_argument("--explore", action="store_true",
                        help="run only the exploration-pruning benchmarks")
+    bench.add_argument("--predict", action="store_true",
+                       help="run the predictive-analysis benchmarks instead "
+                            "(scorecard vs dynamic detectors + triage "
+                            "savings; baseline: BENCH_predict.json)")
     bench.add_argument("--baseline", metavar="FILE",
                        help="print a delta table against a committed "
                             "benchmark document")
@@ -761,6 +867,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="pretty-print with this indent")
     trace_export.add_argument("--memory", action="store_true",
                               help="include MEM_READ/MEM_WRITE instants")
+    trace_export.add_argument("--sync", action="store_true",
+                              help="write the sync-event stream consumed "
+                                   "by `repro predict` instead of the "
+                                   "Chrome trace")
 
     tl = sub.add_parser(
         "timeline", help="per-goroutine ASCII lane diagram of one run"
@@ -770,6 +880,35 @@ def build_parser() -> argparse.ArgumentParser:
                     help="max lane width in characters (default: 100)")
     tl.add_argument("--memory", action="store_true",
                     help="include modelled memory accesses in the lanes")
+
+    predictp = sub.add_parser(
+        "predict",
+        help="offline predictive analysis of one recorded run",
+    )
+    predictp.add_argument("target",
+                          help="kernel id, app scenario, or path to a "
+                               "sync-event JSON file written by "
+                               "`repro trace-export --sync`")
+    predictp.add_argument("--fixed", action="store_true",
+                          help="analyze the kernel's fixed variant")
+    predictp.add_argument("--seed", type=int, default=None,
+                          help="record this exact seed instead of "
+                               "scanning for a passing run")
+    predictp.add_argument("--runs", type=int, default=25,
+                          help="seeds scanned for a passing (adversarial) "
+                               "run when --seed is not given (default: 25)")
+    predictp.add_argument("--confirm", action="store_true",
+                          help="search schedules for a replayable witness "
+                               "behind every prediction")
+    predictp.add_argument("--max-runs", type=int, default=300,
+                          help="schedule-search budget per prediction "
+                               "for --confirm (default: 300)")
+    predictp.add_argument("--triage", action="store_true",
+                          help="print only the needs-schedule-search "
+                               "verdict (the explore pre-filter)")
+    predictp.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON instead of text")
+    add_jobs_arg(predictp)
 
     return parser
 
@@ -791,6 +930,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "trace-export": _cmd_trace_export,
     "timeline": _cmd_timeline,
+    "predict": _cmd_predict,
 }
 
 

@@ -34,7 +34,13 @@ from .report import (
     RuleViolation,
 )
 from .rules import ChannelRuleChecker
-from .systematic import Exploration, ScriptedChoices, explore_systematic, verify_no_manifestation
+from .systematic import (
+    Exploration,
+    ScriptedChoices,
+    explore_systematic,
+    replay_schedule,
+    verify_no_manifestation,
+)
 from .vectorclock import VectorClock
 
 __all__ = [
@@ -61,6 +67,7 @@ __all__ = [
     "manifestation_rate",
     "scan_file",
     "scan_paths",
+    "replay_schedule",
     "scan_source",
     "await_recovery",
     "classify",

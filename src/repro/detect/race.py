@@ -85,6 +85,15 @@ class RaceDetector:
     # Clock plumbing
     # ------------------------------------------------------------------
 
+    def final_clocks(self) -> Dict[int, VectorClock]:
+        """Per-goroutine clocks after the run (copies).
+
+        The observable happens-before closure: the offline replay in
+        :mod:`repro.predict.hb` must reproduce these clock-for-clock
+        from the exported sync-event stream (round-trip test).
+        """
+        return {gid: clock.copy() for gid, clock in self._clocks.items()}
+
     def _clock(self, gid: int) -> VectorClock:
         clock = self._clocks.get(gid)
         if clock is None:

@@ -109,6 +109,11 @@ class Exploration:
     #: Runs whose scripted replay diverged from the recorded schedule
     #: (nondeterministic program); their subtrees are not expanded.
     divergences: int = 0
+    #: Individual clamped draws behind the count: ``(position, intended,
+    #: n)`` per divergence recorded by :class:`ScriptedChoices`, capped
+    #: at :data:`_MAX_DIVERGENCE_EVENTS` across the exploration.
+    divergence_events: List[Tuple[int, int, int]] = field(
+        default_factory=list)
     #: Longest choice log observed (depth of the explored tree).
     max_depth: int = 0
     #: Wall-clock seconds spent exploring.
@@ -126,6 +131,8 @@ class Exploration:
             "runs_saved": self.runs_saved,
             "pruned": self.pruned,
             "divergences": self.divergences,
+            "divergence_events": [list(event)
+                                  for event in self.divergence_events],
             "max_depth": self.max_depth,
             "wall_s": round(self.wall_s, 4),
             "exhausted": self.exhausted,
@@ -161,28 +168,40 @@ def _explore_unit(
     run_kwargs: dict,
     annotate: bool,
 ) -> Tuple[List[Tuple[int, int]], Any, bool,
-           Optional[List[PickAnnotation]], bool]:
+           Optional[List[PickAnnotation]], List[Tuple[int, int, int]]]:
     """One scheduled run of one prefix; picklable outcome for sweep workers.
 
     Returns ``(choice log, result-or-summary, stop hit, pick annotations,
-    clamped)``.  The full :class:`RunResult` cannot cross a process
-    boundary, so workers reduce it to a :class:`repro.parallel.RunSummary`;
-    ``stop_on`` is evaluated here, where the rich result still exists.
+    clamp divergences)``.  The full :class:`RunResult` cannot cross a
+    process boundary, so workers reduce it to a
+    :class:`repro.parallel.RunSummary`; ``stop_on`` is evaluated here,
+    where the rich result still exists.
     """
     from ..parallel import summarize_result
 
     choices, result, picks = _run_scripted(program, prefix, run_kwargs,
                                            annotate)
     hit = stop_on is not None and bool(stop_on(result))
-    return choices.log, summarize_result(result), hit, picks, choices.diverged
+    return (choices.log, summarize_result(result), hit, picks,
+            choices.divergences)
 
 
 def _run_scripted(program: Callable, prefix: Sequence[int],
                   run_kwargs: dict, annotate: bool):
-    """Run ``program`` under a scripted schedule, optionally annotated."""
+    """Run ``program`` under a scripted schedule, optionally annotated.
+
+    ``run_kwargs`` may carry ``observer_factories`` — zero-argument
+    callables building a *fresh* observer per run (detectors are
+    stateful, so a shared instance would bleed reports across the
+    exploration).  This is the hook :mod:`repro.predict.confirm` uses to
+    let ``stop_on`` predicates see detector verdicts (e.g.
+    ``result.races``) during systematic search.
+    """
     choices = ScriptedChoices(prefix)
     kwargs = dict(run_kwargs)
     observers = list(kwargs.pop("observers", ()))
+    observers.extend(factory()
+                     for factory in kwargs.pop("observer_factories", ()))
     annotator = None
     if annotate:
         annotator = ChoiceAnnotator()
@@ -198,6 +217,10 @@ def _run_scripted(program: Callable, prefix: Sequence[int],
 
 #: Upper bound on runs stored per memo trie (backstop, not a tuning knob).
 _TRIE_MAX_RUNS = 50_000
+
+#: Individual clamp records kept on an :class:`Exploration` (the count in
+#: ``divergences`` is never capped; only the per-event detail is).
+_MAX_DIVERGENCE_EVENTS = 100
 
 # Sleep entries are ``(gid, footprint)`` pairs: "goroutine ``gid``'s next
 # transition need not be taken here — an explored sibling already covers
@@ -255,6 +278,7 @@ class _Explorer:
         self.runs_saved = 0
         self.pruned = 0
         self.divergences = 0
+        self.divergence_events: List[Tuple[int, int, int]] = []
         self.max_depth = 0
         self.trie = None if (not memo or hazardous) else self._get_trie()
 
@@ -325,9 +349,14 @@ class _Explorer:
             or list(work.prefix)
 
     def process(self, work: _Work, log, status: str, hit: bool,
-                picks, diverged: bool) -> None:
+                picks, diverged: bool,
+                clamps: Sequence[Tuple[int, int, int]] = ()) -> None:
         """Account one visited run and expand its branches (unless it
         produced the counterexample — the caller returns before this)."""
+        if clamps and len(self.divergence_events) < _MAX_DIVERGENCE_EVENTS:
+            room = _MAX_DIVERGENCE_EVENTS - len(self.divergence_events)
+            self.divergence_events.extend(
+                tuple(clamp) for clamp in list(clamps)[:room])
         self.max_depth = max(self.max_depth, len(log))
         self.statuses[status] = self.statuses.get(status, 0) + 1
         picks_by_pos = {p.position: p for p in picks} if picks else {}
@@ -443,6 +472,7 @@ class _Explorer:
             runs_saved=self.runs_saved,
             pruned=self.pruned,
             divergences=self.divergences,
+            divergence_events=list(self.divergence_events),
             max_depth=self.max_depth,
         )
         fields.update(overrides)
@@ -521,14 +551,14 @@ def explore_systematic(
                 )
                 for i, outcome in zip(to_run, executed):
                     outcomes[i] = outcome
-                    log, summary, hit, picks, clamped = outcome
-                    diverged = clamped or _log_mismatch(batch[i], log)
+                    log, summary, hit, picks, clamps = outcome
+                    diverged = bool(clamps) or _log_mismatch(batch[i], log)
                     if not diverged:
                         explorer.store(log, outcome)
             memoized = set(range(width)) - set(to_run)
             for i, (work, outcome) in enumerate(zip(batch, outcomes)):
-                log, summary, hit, picks, clamped = outcome
-                diverged = clamped or _log_mismatch(work, log)
+                log, summary, hit, picks, clamps = outcome
+                diverged = bool(clamps) or _log_mismatch(work, log)
                 explorer.runs += 1
                 if i in memoized:
                     explorer.runs_saved += 1
@@ -543,7 +573,7 @@ def explore_systematic(
                         counterexample_result=summary,
                     )
                 explorer.process(work, log, summary.status, hit, picks,
-                                 diverged)
+                                 diverged, clamps)
         return finish(exhausted=not explorer.stack)
 
     while explorer.stack and explorer.runs < explorer.max_runs:
@@ -552,11 +582,12 @@ def explore_systematic(
         if payload is not None and not payload[2]:
             # Memo hit on a non-counterexample run: reuse it outright.
             # (Hits replay live so the caller gets a full RunResult.)
-            log, summary, hit, picks, clamped = payload
+            log, summary, hit, picks, clamps = payload
             explorer.runs += 1
             explorer.runs_saved += 1
-            diverged = clamped or _log_mismatch(work, log)
-            explorer.process(work, log, summary.status, hit, picks, diverged)
+            diverged = bool(clamps) or _log_mismatch(work, log)
+            explorer.process(work, log, summary.status, hit, picks,
+                             diverged, clamps)
             continue
 
         choices, result, picks = _run_scripted(program, work.prefix,
@@ -569,7 +600,7 @@ def explore_systematic(
 
             explorer.store(choices.log,
                            (choices.log, summarize_result(result), hit,
-                            picks, False))
+                            picks, []))
         if hit:
             explorer.statuses[result.status] = \
                 explorer.statuses.get(result.status, 0) + 1
@@ -579,7 +610,7 @@ def explore_systematic(
                 counterexample_result=result,
             )
         explorer.process(work, choices.log, result.status, hit, picks,
-                         diverged)
+                         diverged, choices.divergences)
 
     return finish(exhausted=not explorer.stack)
 
@@ -589,6 +620,22 @@ def _log_mismatch(work: _Work, log) -> bool:
         return True
     return any(n != expected
                for (n, _taken), expected in zip(log, work.expected))
+
+
+def replay_schedule(program: Callable, schedule: Sequence[int],
+                    **run_kwargs: Any) -> RunResult:
+    """Replay one explored schedule (a witness) to a full ``RunResult``.
+
+    The schedule is a choice-index prefix exactly as produced in
+    :attr:`Exploration.counterexample`; beyond the prefix, choices
+    default to index 0 like the explorer's own replays.  Accepts the
+    same ``observer_factories`` hook as exploration, so detector-based
+    predicates can be re-evaluated on the replayed run.
+    """
+    choices, result, _picks = _run_scripted(program, list(schedule),
+                                            dict(run_kwargs), False)
+    setattr(result, "replay_divergences", list(choices.divergences))
+    return result
 
 
 def verify_no_manifestation(kernel, variant: str = "fixed",

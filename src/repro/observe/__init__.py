@@ -20,7 +20,14 @@ Quickstart::
     chrome_trace_json(result)      # load in about:tracing / Perfetto
 """
 
-from .export import chrome_trace, chrome_trace_json, metrics_json
+from .export import (
+    SYNC_EVENT_KINDS,
+    chrome_trace,
+    chrome_trace_json,
+    metrics_json,
+    sync_events,
+    sync_events_json,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -34,6 +41,7 @@ from .profiles import GoroutineProfile, Profile, ProfileEntry, flamegraph
 
 __all__ = [
     "Counter",
+    "SYNC_EVENT_KINDS",
     "Gauge",
     "GoroutineProfile",
     "Histogram",
@@ -49,4 +57,6 @@ __all__ = [
     "measure_overhead",
     "metrics_json",
     "schedule_fingerprint",
+    "sync_events",
+    "sync_events_json",
 ]

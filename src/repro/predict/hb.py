@@ -1,0 +1,264 @@
+"""Happens-before closure over a recorded sync trace, strict and relaxed.
+
+Two modes over the same :class:`~repro.predict.model.SyncTrace`:
+
+* ``strict`` replays exactly the clock rules of the live
+  :class:`repro.detect.race.RaceDetector` — goroutine fork, channel
+  send/recv/close (with the bidirectional rendezvous edge), mutex and
+  RWMutex transfer, WaitGroup, Once, Cond, atomics.  The round-trip test
+  pins that the final per-goroutine clocks match the live detector's,
+  clock for clock.
+* ``weak`` is the *predictive* order: it drops the edges that exist only
+  because the scheduler happened to order two critical sections — mutex /
+  write-lock release→acquire and cond signal→wait — while keeping the
+  edges every feasible reordering must preserve (fork, channel message
+  and close, read-lock transfer via writers, WaitGroup Done→Wait, Once,
+  atomics).  Two events unordered by the weak closure can occur in either
+  order in *some* feasible schedule of the same program, provided the
+  reordering is not blocked by mutual exclusion itself — which is why
+  the race predictor pairs the weak order with a lockset check rather
+  than re-adding lock edges.
+
+Every event is stamped with a :class:`Stamp` — the acting goroutine's
+full vector clock at the event (after incoming joins, before its own
+increment) plus the set of locks held — which is what the predictors
+consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..detect.vectorclock import VectorClock
+from ..runtime.trace import EventKind
+from .model import SyncEvent, SyncTrace
+
+#: Lockset entry modes: ``"x"`` exclusive (Mutex / RWMutex write lock),
+#: ``"r"`` shared (RWMutex read lock).
+EXCLUSIVE = "x"
+SHARED = "r"
+
+
+class Stamp:
+    """One event's position in the (strict or weak) happens-before order."""
+
+    __slots__ = ("event", "clock", "count", "locks")
+
+    def __init__(self, event: SyncEvent, clock: VectorClock, count: int,
+                 locks: FrozenSet[Tuple[int, str]]):
+        self.event = event
+        self.clock = clock          # full clock snapshot at the event
+        self.count = count          # the acting goroutine's own component
+        self.locks = locks          # locks held by the acting goroutine
+
+    def ordered_before(self, other: "Stamp") -> bool:
+        """True when this event happens-before ``other`` in the closure."""
+        if self.event.gid == other.event.gid:
+            return self.event.step < other.event.step
+        return other.clock.get(self.event.gid) >= self.count
+
+    def concurrent_with(self, other: "Stamp") -> bool:
+        """Unordered both ways (and on different goroutines)."""
+        if self.event.gid == other.event.gid:
+            return False
+        return not self.ordered_before(other) \
+            and not other.ordered_before(self)
+
+    def common_exclusive_lock(self, other: "Stamp") -> Optional[int]:
+        """A lock both hold with at least one exclusive holder, if any."""
+        mine = {obj: mode for obj, mode in self.locks}
+        for obj, mode in other.locks:
+            held = mine.get(obj)
+            if held is not None and (held == EXCLUSIVE or mode == EXCLUSIVE):
+                return obj
+        return None
+
+    def __repr__(self) -> str:
+        return (f"<stamp {self.event.kind}@{self.event.step} "
+                f"g{self.event.gid}:{self.count}>")
+
+
+class HBEngine:
+    """Builds the happens-before closure of one recorded run."""
+
+    def __init__(self, mode: str = "strict"):
+        if mode not in ("strict", "weak"):
+            raise ValueError(f"unknown HB mode {mode!r}")
+        self.mode = mode
+        self._clocks: Dict[int, VectorClock] = {}
+        self._chan_msgs: Dict[Tuple[Optional[int], Optional[int]],
+                              VectorClock] = {}
+        self._chan_close: Dict[int, VectorClock] = {}
+        self._lock_rel: Dict[int, VectorClock] = {}
+        self._rw_read_rel: Dict[int, VectorClock] = {}
+        self._wg_rel: Dict[int, VectorClock] = {}
+        self._wg_add_rel: Dict[int, VectorClock] = {}  # weak mode only
+        self._once_rel: Dict[int, VectorClock] = {}
+        self._cond_rel: Dict[int, VectorClock] = {}
+        self._atomic_rel: Dict[int, VectorClock] = {}
+        self._held: Dict[int, List[Tuple[int, str]]] = {}
+
+    # -- clock plumbing (mirrors RaceDetector exactly) ------------------
+
+    def _clock(self, gid: int) -> VectorClock:
+        clock = self._clocks.get(gid)
+        if clock is None:
+            clock = VectorClock()
+            clock.increment(gid)
+            self._clocks[gid] = clock
+        return clock
+
+    def _release(self, store: Dict[int, VectorClock], obj: int,
+                 gid: int) -> None:
+        clock = self._clock(gid)
+        slot = store.get(obj)
+        if slot is None:
+            store[obj] = clock.copy()
+        else:
+            slot.join(clock)
+        clock.increment(gid)
+
+    def _acquire(self, store: Dict[int, VectorClock], obj: int,
+                 gid: int) -> None:
+        slot = store.get(obj)
+        if slot is not None:
+            self._clock(gid).join(slot)
+
+    def final_clocks(self) -> Dict[int, VectorClock]:
+        """Per-goroutine clocks after the whole trace (copies)."""
+        return {gid: clock.copy() for gid, clock in self._clocks.items()}
+
+    # -- driving --------------------------------------------------------
+
+    def process(self, trace: SyncTrace) -> List[Stamp]:
+        """Consume every event, returning one :class:`Stamp` per event."""
+        return [self.step(event) for event in trace.events]
+
+    def step(self, event: SyncEvent) -> Stamp:
+        """Apply one event's incoming edges, stamp it, apply its effects."""
+        kind = event.kind
+        gid = event.gid
+        obj = event.obj
+        weak = self.mode == "weak"
+
+        # Incoming joins happen before the stamp so the stamp reflects
+        # everything this event is ordered after.
+        if kind == EventKind.CHAN_RECV:
+            self._recv_joins(event)
+        elif kind in (EventKind.MU_LOCK, EventKind.RW_RLOCK):
+            if not weak:
+                self._acquire(self._lock_rel, obj, gid)
+        elif kind == EventKind.RW_LOCK:
+            if not weak:
+                self._acquire(self._lock_rel, obj, gid)
+            self._acquire(self._rw_read_rel, obj, gid)
+        elif kind == EventKind.WG_WAIT:
+            # Weak mode stamps Wait *before* joining the Done releases:
+            # the stamp marks the moment Wait could have passed (Wait
+            # never waits for Add — Figure 9), while later events by the
+            # waiter still inherit the real Done→Wait edges because the
+            # join itself happens below, after the stamp.
+            if not weak:
+                self._acquire(self._wg_rel, obj, gid)
+        elif kind == EventKind.ONCE_DO and not event.info.get("ran"):
+            self._acquire(self._once_rel, obj, gid)
+        elif kind == EventKind.COND_WAIT:
+            if not weak:
+                self._acquire(self._cond_rel, obj, gid)
+        elif kind == EventKind.ATOMIC_OP:
+            self._acquire(self._atomic_rel, obj, gid)
+
+        clock = self._clock(gid)
+        stamp = Stamp(event, clock.copy(), clock.get(gid),
+                      frozenset(self._held.get(gid, ())))
+
+        # Outgoing effects and own-epoch advances.
+        if kind == EventKind.GO_CREATE:
+            child = int(obj)  # type: ignore[arg-type]
+            child_clock = clock.copy()
+            child_clock.increment(child)
+            self._clocks[child] = child_clock
+            clock.increment(gid)
+        elif kind == EventKind.CHAN_SEND:
+            seq = event.info.get("seq")
+            self._chan_msgs[(obj, seq)] = clock.copy()
+            clock.increment(gid)
+        elif kind == EventKind.CHAN_RECV:
+            clock.increment(gid)
+        elif kind == EventKind.CHAN_CLOSE:
+            self._release(self._chan_close, obj, gid)
+        elif kind in (EventKind.MU_UNLOCK, EventKind.RW_UNLOCK):
+            self._release(self._lock_rel, obj, gid)
+            self._drop_lock(gid, obj)
+        elif kind == EventKind.RW_RUNLOCK:
+            self._release(self._rw_read_rel, obj, gid)
+            self._drop_lock(gid, obj, SHARED)
+        elif kind in (EventKind.MU_LOCK, EventKind.RW_LOCK):
+            self._held.setdefault(gid, []).append((obj, EXCLUSIVE))
+        elif kind == EventKind.RW_RLOCK:
+            self._held.setdefault(gid, []).append((obj, SHARED))
+        elif kind == EventKind.WG_WAIT:
+            if weak:
+                self._acquire(self._wg_rel, obj, gid)
+        elif kind == EventKind.WG_ADD:
+            if event.info.get("delta", 0) > 0:
+                # The live detector gives Add a release edge into Wait,
+                # but Wait never *waits* for Add — that recorded
+                # coincidence is exactly the Figure 9 misuse the
+                # predictive order must relax.  Weak mode diverts the
+                # release to a dead store (keeping the epoch advance).
+                store = self._wg_add_rel if weak else self._wg_rel
+                self._release(store, obj, gid)
+        elif kind == EventKind.WG_DONE:
+            self._release(self._wg_rel, obj, gid)
+        elif kind == EventKind.ONCE_DO and event.info.get("ran"):
+            self._release(self._once_rel, obj, gid)
+        elif kind in (EventKind.COND_SIGNAL, EventKind.COND_BROADCAST):
+            self._release(self._cond_rel, obj, gid)
+        elif kind == EventKind.ATOMIC_OP:
+            self._release(self._atomic_rel, obj, gid)
+        elif kind in (EventKind.MEM_READ, EventKind.MEM_WRITE):
+            clock.increment(gid)
+
+        return stamp
+
+    # -- helpers --------------------------------------------------------
+
+    def _recv_joins(self, event: SyncEvent) -> None:
+        gid = event.gid
+        obj = event.obj
+        if event.info.get("closed"):
+            self._acquire(self._chan_close, obj, gid)
+            return
+        seq = event.info.get("seq")
+        msg_clock = self._chan_msgs.pop((obj, seq), None)
+        if event.info.get("sync") and event.info.get("partner") is not None:
+            # Unbuffered rendezvous synchronizes both directions.
+            partner = int(event.info["partner"])
+            recv_pre = self._clock(gid).copy()
+            self._clock(gid).join(msg_clock)
+            self._clock(partner).join(recv_pre)
+            self._clock(partner).increment(partner)
+        else:
+            self._clock(gid).join(msg_clock)
+
+    def _drop_lock(self, gid: int, obj: Optional[int],
+                   mode: Optional[str] = None) -> None:
+        held = self._held.get(gid)
+        if not held:
+            return
+        for i in range(len(held) - 1, -1, -1):
+            lock, held_mode = held[i]
+            if lock == obj and (mode is None or held_mode == mode):
+                del held[i]
+                return
+
+
+def weak_stamps(trace: SyncTrace) -> List[Stamp]:
+    """The predictive (relaxed) closure of ``trace``, stamped per event."""
+    return HBEngine(mode="weak").process(trace)
+
+
+def strict_stamps(trace: SyncTrace) -> List[Stamp]:
+    """The recorded-order closure, identical to the live race detector's."""
+    return HBEngine(mode="strict").process(trace)

@@ -1,0 +1,85 @@
+"""Pre-filtering sweeps: does this target even need schedule search?
+
+BinGo's observation (PAPERS.md) applied to the simulator: systematic
+exploration is the expensive tier, so screen with the cheap one first.
+One recorded run plus the offline predictors is the screen — if nothing
+is predicted from the trace, the expensive `explore_systematic` pass is
+skipped; if something is, the prediction families tell the sweep what to
+search *for*.
+
+The verdict is deliberately one-sided: a clean triage skips work, a
+dirty one only redirects it.  Predictions are conservative
+(over-approximate), so a skipped target is one where even the relaxed
+happens-before order admits none of the modelled bug shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .engine import predict
+from .report import PredictReport
+
+
+@dataclass
+class TriageVerdict:
+    """Screening outcome for one target."""
+
+    target: str
+    needs_search: bool
+    families: Tuple[str, ...]            # which predictors fired
+    report: PredictReport = field(repr=False, default=None)  # type: ignore
+    seed: int = 0
+
+    @property
+    def reason(self) -> str:
+        if not self.needs_search:
+            return "no predictions from the recorded trace"
+        return "predicted: " + ", ".join(self.families)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "needs_search": self.needs_search,
+            "families": list(self.families),
+            "seed": self.seed,
+            "reason": self.reason,
+        }
+
+    def __str__(self) -> str:
+        verdict = "needs schedule search" if self.needs_search \
+            else "skip schedule search"
+        return f"{self.target}: {verdict} ({self.reason})"
+
+
+def triage(program: Callable, target: str = "program", seed: int = 0,
+           **run_kwargs: Any) -> TriageVerdict:
+    """Record one run of ``program`` and screen it."""
+    from ..runtime.runtime import run
+
+    result = run(program, seed=seed, **run_kwargs)
+    report = predict(result, target=target)
+    return TriageVerdict(
+        target=target,
+        needs_search=report.found,
+        families=tuple(sorted(report.by_family())),
+        report=report,
+        seed=seed,
+    )
+
+
+def triage_kernel(kernel: Any, fixed: bool = False,
+                  seed: int = 0) -> TriageVerdict:
+    """Screen a corpus kernel variant."""
+    program = kernel.fixed if fixed else kernel.buggy
+    variant = "fixed" if fixed else "buggy"
+    return triage(program, target=f"{kernel.meta.kernel_id} ({variant})",
+                  seed=seed, **dict(kernel.run_kwargs))
+
+
+def triage_sweep(targets: List[Tuple[str, Callable, Dict[str, Any]]],
+                 seed: int = 0) -> List[TriageVerdict]:
+    """Screen many ``(name, program, run_kwargs)`` targets at once."""
+    return [triage(program, target=name, seed=seed, **kwargs)
+            for name, program, kwargs in targets]

@@ -1,0 +1,59 @@
+"""Divergence accounting: clamped replays are visible, not just counted.
+
+Satellite fix: ``ScriptedChoices`` records every clamped draw as a
+``(position, intended, n)`` event, and the exploration surfaces them in
+``to_stats()`` — which is exactly what ``repro explore --json --stats``
+serializes — instead of a bare count.
+"""
+
+import json
+
+from repro.bugs import registry
+from repro.cli import main
+from repro.detect.systematic import (
+    Exploration,
+    ScriptedChoices,
+    replay_schedule,
+)
+
+
+def test_scripted_choices_records_clamp_events():
+    choices = ScriptedChoices([5, 0, 9])
+    assert choices.randrange(3) == 2      # clamped: intended 5, n=3
+    assert choices.randrange(4) == 0      # exact
+    assert choices.randrange(2) == 1      # clamped: intended 9, n=2
+    assert choices.randrange(6) == 0      # past the prefix: defaults to 0
+    assert choices.divergences == [(0, 5, 3), (2, 9, 2)]
+    assert choices.diverged
+
+
+def test_replay_schedule_exposes_divergences():
+    kernel = registry.get("nonblocking-chan-docker-24007")
+    # An absurd over-range prefix must clamp somewhere and say so.
+    result = replay_schedule(kernel.buggy, [99] * 4,
+                             **dict(kernel.run_kwargs))
+    assert result.replay_divergences
+    position, intended, n = result.replay_divergences[0]
+    assert intended == 99 and n <= 99
+
+
+def test_exploration_stats_carry_divergence_events():
+    exploration = Exploration(
+        runs=3, exhausted=True,
+        divergence_events=[(1, 7, 2), (0, 3, 2)])
+    stats = exploration.to_stats()
+    assert stats["divergence_events"] == [[1, 7, 2], [0, 3, 2]]
+    assert json.dumps(stats)  # JSON-serializable as exported by the CLI
+
+
+def test_explore_json_stats_include_divergence_events(capsys):
+    assert main(["explore", "nonblocking-chan-docker-24007",
+                 "--max-runs", "30", "--json", "--stats"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    stats = payload["stats"]
+    assert "divergences" in stats
+    assert "divergence_events" in stats
+    assert isinstance(stats["divergence_events"], list)
+    assert len(stats["divergence_events"]) == stats["divergences"] or (
+        stats["divergences"] > 100     # capped retention, count is exact
+        and len(stats["divergence_events"]) == 100)

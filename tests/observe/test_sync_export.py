@@ -1,0 +1,80 @@
+"""The sync-event export and the goroutine fork/join flow arrows."""
+
+import json
+
+from repro import chrome_trace, run
+from repro.observe import SYNC_EVENT_KINDS, sync_events, sync_events_json
+
+
+def forked(rt):
+    wg = rt.waitgroup()
+    wg.add(2)
+
+    def worker():
+        rt.sleep(0.1)
+        wg.done()
+
+    rt.go(worker, name="w1")
+    rt.go(worker, name="w2")
+    wg.wait()
+
+
+def test_fork_and_join_flows_pair_up():
+    # Satellite: goroutine creation/termination must appear as paired
+    # flow arrows, not just instants, so Perfetto draws the lifecycle.
+    result = run(forked, seed=0)
+    doc = chrome_trace(result)
+    flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")]
+    go_flows = [e for e in flows if str(e["id"]).startswith("go-")]
+    join_flows = [e for e in flows if str(e["id"]).startswith("join-")]
+    assert go_flows and join_flows
+    for group in (go_flows, join_flows):
+        starts = sorted(e["id"] for e in group if e["ph"] == "s")
+        finishes = sorted(e["id"] for e in group if e["ph"] == "f")
+        assert starts == finishes
+    # Join arrows land on the creator's side: finish events exist for
+    # every worker that ended while the parent kept running (main is
+    # g1, the workers g2 and g3).
+    assert {e["id"] for e in join_flows} == {"join-2", "join-3"}
+
+
+def test_sync_events_cover_only_sync_kinds():
+    result = run(forked, seed=0)
+    events = sync_events(result)
+    assert events
+    kinds = {e["kind"] for e in events}
+    assert kinds <= SYNC_EVENT_KINDS
+    assert "go.create" in kinds and "waitgroup.wait" in kinds
+    for entry in events:
+        assert {"step", "time", "gid", "kind"} <= set(entry)
+
+
+def test_sync_events_json_document_shape():
+    result = run(forked, seed=7)
+    doc = json.loads(sync_events_json(result))
+    assert doc["schema"] == 1
+    assert doc["seed"] == 7
+    assert doc["status"] == "ok"
+    assert doc["goroutines"] == {"1": "main", "2": "w1", "3": "w2"}
+    assert doc["events"] == sync_events(result)
+    # Stable output: serializing the same run twice is byte-identical.
+    again = run(forked, seed=7)
+    assert sync_events_json(result) == sync_events_json(again)
+
+
+def test_select_metadata_is_exported(rt_select_program=None):
+    from repro.chan import recv
+
+    def main(rt):
+        ch = rt.make_chan(1, name="ch")
+        ch.send("x")
+        rt.select(recv(ch), default=True)
+
+    result = run(main, seed=0)
+    begins = [e for e in sync_events(result)
+              if e["kind"] == "select.begin"]
+    assert begins
+    info = begins[0]["info"]
+    assert info["cases"] == 1
+    assert info["default"] is True
+    assert isinstance(info["chans"], list) and info["chans"]

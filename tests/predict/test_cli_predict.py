@@ -1,0 +1,66 @@
+"""`repro predict` and `repro trace-export --sync` CLI behavior."""
+
+import json
+
+from repro.cli import main
+
+
+def test_predict_kernel_text_output(capsys):
+    assert main(["predict", "nonblocking-chan-docker-24007"]) == 0
+    out = capsys.readouterr().out
+    assert "comm/double-close" in out
+    assert "panics" in out
+
+
+def test_predict_json_payload(capsys):
+    assert main(["predict", "blocking-mutex-kubernetes-abba",
+                 "--seed", "0", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["found"] is True
+    families = {p["family"] for p in payload["predictions"]}
+    assert "lockorder" in families
+
+
+def test_predict_confirm_attaches_witness(capsys):
+    assert main(["predict", "nonblocking-chan-docker-24007",
+                 "--confirm", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    confirmed = [c for c in payload["confirm"] if c["confirmed"]]
+    assert confirmed and confirmed[0]["witness"]
+
+
+def test_predict_triage_verdicts(capsys):
+    assert main(["predict", "nonblocking-chan-docker-24007",
+                 "--triage"]) == 0
+    assert "needs schedule search" in capsys.readouterr().out
+    assert main(["predict", "nonblocking-chan-docker-24007",
+                 "--fixed", "--triage"]) == 0
+    assert "skip schedule search" in capsys.readouterr().out
+
+
+def test_predict_reads_sync_export_file(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    assert main(["trace-export", "blocking-mutex-kubernetes-abba",
+                 "--sync", "-o", str(path)]) == 0
+    capsys.readouterr()
+    document = path.read_text()
+    assert json.loads(document)["schema"] == 1
+
+    assert main(["predict", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["found"] is True
+    assert payload["target"] == str(path)
+
+
+def test_predict_confirm_rejects_trace_file(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    main(["trace-export", "blocking-mutex-kubernetes-abba",
+          "--sync", "-o", str(path)])
+    capsys.readouterr()
+    assert main(["predict", str(path), "--confirm"]) == 2
+    assert "runnable target" in capsys.readouterr().err
+
+
+def test_predict_unknown_target_fails_cleanly(capsys):
+    assert main(["predict", "no-such-kernel"]) == 2
+    assert "unknown target" in capsys.readouterr().err
