@@ -9,7 +9,6 @@ studied pipe-leak bugs.
 
 from __future__ import annotations
 
-import itertools
 from typing import List, Optional
 
 from ...stdlib.iopipe import EOF, PipeError
@@ -24,11 +23,11 @@ class ContainerState:
 class Container:
     """One container and its helper goroutines."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, rt, image: str, command: str, runtime_secs: float = 1.0):
         self._rt = rt
-        self.id = f"c{next(Container._ids):04d}"
+        # Per-run id: it names the restart-backoff RNG (daemon.py), so a
+        # process-global counter would leak cross-run state into schedules.
+        self.id = f"c{rt.fresh_id('container'):04d}"
         self.image = image
         self.command = command
         self.runtime_secs = runtime_secs

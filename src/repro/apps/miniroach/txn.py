@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Dict, List, Optional
 
 from ...patterns.resilience import Backoff
@@ -18,11 +17,9 @@ class TxnStatus:
 class Transaction:
     """One transaction coordinated against the MVCC store."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, rt, store: MVCCStore):
         self._rt = rt
-        self.id = next(Transaction._ids)
+        self.id = rt.fresh_id("txn")
         self.store = store
         self.read_timestamp = store.now()
         self.status = TxnStatus.PENDING
@@ -64,12 +61,12 @@ class Transaction:
 class TxnCoordinator:
     """Runs closures transactionally with bounded conflict retries."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, rt, store: MVCCStore, max_retries: int = 8,
                  backoff: float = 0.05):
         self._rt = rt
-        self.id = next(TxnCoordinator._ids)
+        # Per-run id: it names the retry-jitter RNG, so a process-global
+        # counter would leak cross-run state into the schedule.
+        self.id = rt.fresh_id("txn.coordinator")
         self.store = store
         self.max_retries = max_retries
         self.backoff = backoff

@@ -36,12 +36,18 @@ import sys
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from .runtime._hotloop import HAS_COMPILED
 from .runtime.runtime import run
 
 #: Bump when the document layout changes.
 #: 2: ``sweep`` split into cold/steady-state + ``pool_reuse``; ``explore``
 #: section added.
-SCHEMA = 2
+#: 3: coroutine-core scheduler.  Every ``single`` cell records the
+#: resolved ``backend`` and whether the ``compiled`` hot loop could drive
+#: it; the document gains top-level ``backend``/``compiled`` fields and a
+#: ``spin`` workload (the pure fast-path cell the ≥1M steps/s target is
+#: measured on); ``--compare-backends`` emits a ``backends`` section.
+SCHEMA = 3
 
 
 # ----------------------------------------------------------------------
@@ -109,11 +115,32 @@ def spawn_heavy(rt) -> None:
     wg.wait()
 
 
+def spin(rt) -> None:
+    """Pure scheduler steps: four workers yielding 2500 times each.
+
+    Nothing blocks until the very end, so every step is pick → switch →
+    requeue — the fast-path cell the compiled hot-loop target (≥1M
+    steps/s single-core) is measured on.
+    """
+    wg = rt.waitgroup()
+
+    def worker():
+        for _ in range(2500):
+            rt.gosched()
+        wg.done()
+
+    for _ in range(4):
+        wg.add(1)
+        rt.go(worker)
+    wg.wait()
+
+
 WORKLOADS: Dict[str, Callable[[Any], None]] = {
     "pingpong": pingpong,
     "mutex": mutex_contention,
     "select_fanin": select_fanin,
     "spawn": spawn_heavy,
+    "spin": spin,
 }
 
 
@@ -182,18 +209,27 @@ def bench_single(
     rounds: int = 30,
     repeats: int = 3,
     seed: int = 1,
-) -> Dict[str, float]:
-    """Best-of-``repeats`` timing of ``rounds`` serial runs of ``program``."""
+    backend: str = "coroutine",
+) -> Dict[str, Any]:
+    """Best-of-``repeats`` timing of ``rounds`` serial runs of ``program``.
+
+    Each cell records the resolved ``backend`` (what ``"coroutine"``
+    actually picked on this host) and ``compiled`` — whether the compiled
+    hot loop could drive the steps.  Traced cells are never compiled: a
+    live trace consumer forces the observable pure loop.
+    """
     # Warm-up: imports, code objects, site caches.
     for _ in range(3):
-        run(program, seed=seed, keep_trace=keep_trace)
+        resolved = run(program, seed=seed, keep_trace=keep_trace,
+                       backend=backend).backend
     best = float("inf")
     steps = 0
     for _ in range(repeats):
         t0 = time.perf_counter()
         total_steps = 0
         for _ in range(rounds):
-            total_steps += run(program, seed=seed, keep_trace=keep_trace).steps
+            total_steps += run(program, seed=seed, keep_trace=keep_trace,
+                               backend=backend).steps
         elapsed = time.perf_counter() - t0
         if elapsed < best:
             best = elapsed
@@ -203,6 +239,45 @@ def bench_single(
         "ms_per_run": round(per_run * 1e3, 4),
         "steps_per_run": steps // rounds,
         "steps_per_s": round(steps / best, 1),
+        "backend": resolved,
+        "compiled": bool(HAS_COMPILED and not keep_trace
+                         and resolved != "thread"),
+    }
+
+
+def run_backend_comparison(repeats: int = 3, seed: int = 1) -> Dict[str, Any]:
+    """The ``backends`` section: thread vs coroutine, side by side.
+
+    For every single-run workload, fast-path steps/s on the opt-in
+    ``backend="thread"`` compatibility mode next to the coroutine default,
+    plus the determinism witness: one traced run per backend and whether
+    the schedule digests came back byte-identical.
+    """
+    from .parallel.summary import schedule_digest
+
+    rows: Dict[str, Any] = {}
+    for name, program in WORKLOADS.items():
+        thread = bench_single(program, keep_trace=False, repeats=repeats,
+                              seed=seed, backend="thread")
+        coro = bench_single(program, keep_trace=False, repeats=repeats,
+                            seed=seed, backend="coroutine")
+        digest_thread = schedule_digest(
+            run(program, seed=seed, keep_trace=True, backend="thread"))
+        digest_coro = schedule_digest(
+            run(program, seed=seed, keep_trace=True, backend="coroutine"))
+        rows[name] = {
+            "thread_steps_per_s": thread["steps_per_s"],
+            "coroutine_steps_per_s": coro["steps_per_s"],
+            "coroutine_backend": coro["backend"],
+            "compiled": coro["compiled"],
+            "speedup": (round(coro["steps_per_s"] / thread["steps_per_s"], 2)
+                        if thread["steps_per_s"] else None),
+            "digests_equal": digest_thread == digest_coro,
+        }
+    return {
+        "workloads": rows,
+        "all_digests_equal": all(row["digests_equal"]
+                                 for row in rows.values()),
     }
 
 
@@ -457,6 +532,8 @@ def run_benchmarks(jobs: int = 0, repeats: int = 3,
         "python": platform.python_version(),
         "platform": sys.platform,
         "cpus": os.cpu_count(),
+        "backend": next(iter(single.values()))["fast"]["backend"],
+        "compiled": HAS_COMPILED,
         "single": single,
         "sweep": bench_sweep(pingpong, n_seeds=sweep_seeds_n, jobs=jobs),
     }
@@ -579,8 +656,13 @@ def run_recovery_benchmarks(sizes: Sequence[int] = (3, 5),
 def render(document: Dict[str, Any]) -> str:
     """Human-readable table of a benchmark document."""
     lines: List[str] = []
-    lines.append(f"simulator benchmarks (python {document['python']}, "
-                 f"{document['cpus']} cpu(s))")
+    header = (f"simulator benchmarks (python {document['python']}, "
+              f"{document['cpus']} cpu(s)")
+    if "backend" in document:
+        hot = ("compiled hot loop" if document.get("compiled")
+               else "pure hot loop")
+        header += f", backend={document['backend']}, {hot}"
+    lines.append(header + ")")
     if "single" in document:
         lines.append("")
         lines.append(f"{'workload':<14} {'fast ms/run':>12} "
@@ -592,6 +674,20 @@ def render(document: Dict[str, Any]) -> str:
                          f"{fast['steps_per_s']:>14,.0f} "
                          f"{traced['ms_per_run']:>14.3f} "
                          f"{traced['steps_per_s']:>15,.0f}")
+    if "backends" in document:
+        cmp_doc = document["backends"]
+        lines.append("")
+        lines.append("backend comparison (fast path, steps/s):")
+        lines.append(f"{'workload':<14} {'thread':>12} {'coroutine':>12} "
+                     f"{'speedup':>8} {'vehicle':>10} {'digests':>8}")
+        for name, row in cmp_doc["workloads"].items():
+            lines.append(
+                f"{name:<14} {row['thread_steps_per_s']:>12,.0f} "
+                f"{row['coroutine_steps_per_s']:>12,.0f} "
+                f"{row['speedup']:>7.2f}x {row['coroutine_backend']:>10} "
+                f"{'equal' if row['digests_equal'] else 'DIFFER':>8}")
+        lines.append(f"  all schedule digests equal: "
+                     f"{cmp_doc['all_digests_equal']}")
     if "sweep" in document:
         sweep = document["sweep"]
         lines.append("")
@@ -740,6 +836,40 @@ def render_delta(current: Dict[str, Any], baseline: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def check_regression(current: Dict[str, Any], baseline: Dict[str, Any],
+                     threshold_pct: float = 20.0) -> List[str]:
+    """Throughput drops beyond ``threshold_pct`` vs the committed baseline.
+
+    Compares ``steps_per_s`` for every single-run cell (fast and traced)
+    present in both documents and returns one human-readable line per
+    regression; an empty list means nothing dropped past the threshold.
+    Cells whose recorded backend differs between the documents are still
+    compared — the committed baseline is the number users actually get,
+    whatever vehicle produced it — but the line says so.
+    """
+    regressions: List[str] = []
+    base_single = baseline.get("single", {})
+    for name, row in current.get("single", {}).items():
+        base_row = base_single.get(name)
+        if not base_row:
+            continue
+        for cell in ("fast", "traced"):
+            cur, base = row[cell], base_row[cell]
+            cur_sps, base_sps = cur["steps_per_s"], base["steps_per_s"]
+            if not base_sps or cur_sps >= base_sps * (1 - threshold_pct / 100):
+                continue
+            drop = 100.0 * (base_sps - cur_sps) / base_sps
+            note = ""
+            cur_b, base_b = cur.get("backend"), base.get("backend")
+            if base_b is not None and cur_b != base_b:
+                note = f" (backend {base_b} -> {cur_b})"
+            regressions.append(
+                f"{name}/{cell}: {cur_sps:,.0f} steps/s vs baseline "
+                f"{base_sps:,.0f} (-{drop:.1f}%, threshold "
+                f"{threshold_pct:.0f}%){note}")
+    return regressions
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench",
@@ -767,9 +897,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="run the predictive-analysis benchmarks "
                              "(offline scorecard vs dynamic detectors + "
                              "triage savings) instead")
+    parser.add_argument("--compare-backends", action="store_true",
+                        help="run only the backend comparison (thread "
+                             "compatibility mode vs the coroutine default, "
+                             "steps/s side by side + schedule-digest "
+                             "equality) instead")
     parser.add_argument("--baseline", metavar="FILE",
                         help="print a delta table against a committed "
                              "benchmark document (e.g. BENCH_simulator.json)")
+    parser.add_argument("--guard", metavar="FILE",
+                        help="exit 1 when any single-run cell's steps/s "
+                             "dropped more than --guard-threshold vs FILE "
+                             "(CI runs this non-gating)")
+    parser.add_argument("--guard-threshold", type=float, default=20.0,
+                        metavar="PCT",
+                        help="regression threshold for --guard, percent "
+                             "(default: 20)")
     parser.add_argument("--json", action="store_true",
                         help="print the JSON document instead of the table")
     parser.add_argument("--out", metavar="FILE",
@@ -802,6 +945,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "cpus": os.cpu_count(),
             "predict": run_predict_benchmarks(),
         }
+    elif args.compare_backends:
+        backends = run_backend_comparison(repeats=args.repeats)
+        document = {
+            "schema": SCHEMA,
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "cpus": os.cpu_count(),
+            "backend": next(iter(backends["workloads"].values()))
+                       ["coroutine_backend"],
+            "compiled": HAS_COMPILED,
+            "backends": backends,
+        }
     else:
         document = run_benchmarks(jobs=args.jobs, repeats=args.repeats,
                                   sweep_seeds_n=args.sweep_seeds)
@@ -824,6 +979,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             print()
             print(render_delta(document, baseline))
+    if args.guard:
+        try:
+            with open(args.guard, "r", encoding="utf-8") as handle:
+                guard_baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"\nguard baseline {args.guard} unreadable: {exc}")
+            return 1
+        regressions = check_regression(document, guard_baseline,
+                                       threshold_pct=args.guard_threshold)
+        if regressions:
+            print(f"\nperf regression guard ({args.guard}):")
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        print(f"\nperf regression guard: ok "
+              f"(no cell down >{args.guard_threshold:.0f}% vs {args.guard})")
     return 0
 
 

@@ -641,6 +641,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         forwarded.append("--predict")
     if args.baseline:
         forwarded += ["--baseline", args.baseline]
+    if args.compare_backends:
+        forwarded.append("--compare-backends")
+    if args.guard:
+        forwarded += ["--guard", args.guard,
+                      "--guard-threshold", str(args.guard_threshold)]
     if args.json:
         forwarded.append("--json")
     if args.out:
@@ -727,6 +732,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the network benchmarks instead (fabric "
                             "round trips, RPC echo, loadgen throughput; "
                             "baseline: BENCH_net.json)")
+    bench.add_argument("--compare-backends", action="store_true",
+                       help="also time each workload on the thread backend "
+                            "and check digest equality vs the coroutine "
+                            "core (adds a 'backends' section)")
+    bench.add_argument("--guard", metavar="FILE",
+                       help="exit 1 if any fast/traced cell dropped more "
+                            "than --guard-threshold vs FILE")
+    bench.add_argument("--guard-threshold", type=float, default=20.0,
+                       metavar="PCT",
+                       help="regression threshold for --guard, percent "
+                            "(default: 20)")
     bench.add_argument("--json", action="store_true",
                        help="print the JSON document instead of the table")
     bench.add_argument("--out", metavar="FILE",

@@ -1,67 +1,14 @@
 """Vector clocks for happens-before reasoning.
 
-Sparse (dict-backed) clocks keyed by goroutine id.  Epoch pairs
-``(gid, count)`` give FastTrack-style O(1) ordered-with-current checks.
+The implementation lives in :mod:`repro.runtime._hotloop` (array-backed,
+shared with the predictive engine's :class:`repro.predict.hb.HBEngine`);
+this module keeps the historical import location for the detectors.  Epoch
+pairs ``(gid, count)`` give FastTrack-style O(1) ordered-with-current
+checks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from ..runtime._hotloop import VectorClock
 
-
-class VectorClock:
-    """A sparse vector clock over goroutine ids."""
-
-    __slots__ = ("_counts",)
-
-    def __init__(self, counts: Optional[Dict[int, int]] = None):
-        self._counts: Dict[int, int] = dict(counts) if counts else {}
-
-    def get(self, gid: int) -> int:
-        return self._counts.get(gid, 0)
-
-    def increment(self, gid: int) -> None:
-        self._counts[gid] = self._counts.get(gid, 0) + 1
-
-    def join(self, other: Optional["VectorClock"]) -> None:
-        """Pointwise maximum: ``self = self ⊔ other``."""
-        if other is None:
-            return
-        for gid, count in other._counts.items():
-            if count > self._counts.get(gid, 0):
-                self._counts[gid] = count
-
-    def copy(self) -> "VectorClock":
-        return VectorClock(self._counts)
-
-    def epoch(self, gid: int) -> Tuple[int, int]:
-        """The ``(gid, count)`` epoch of this clock's own component."""
-        return gid, self._counts.get(gid, 0)
-
-    def dominates_epoch(self, epoch: Tuple[int, int]) -> bool:
-        """True when the access stamped ``epoch`` happens-before this clock."""
-        gid, count = epoch
-        return self._counts.get(gid, 0) >= count
-
-    def __le__(self, other: "VectorClock") -> bool:
-        return all(count <= other._counts.get(gid, 0)
-                   for gid, count in self._counts.items())
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, VectorClock):
-            return NotImplemented
-        return {g: c for g, c in self._counts.items() if c} == \
-               {g: c for g, c in other._counts.items() if c}
-
-    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
-        return hash(frozenset(self._counts.items()))
-
-    def concurrent_with(self, other: "VectorClock") -> bool:
-        return not (self <= other) and not (other <= self)
-
-    def items(self) -> Iterator[Tuple[int, int]]:
-        return iter(self._counts.items())
-
-    def __repr__(self) -> str:
-        inner = ",".join(f"g{g}:{c}" for g, c in sorted(self._counts.items()))
-        return f"VC({inner})"
+__all__ = ["VectorClock"]

@@ -59,6 +59,9 @@ class RunSummary:
             still exists; None when the sweep had no predicate.
         metrics: optional small numeric dict computed worker-side (chaos
             sweeps fold observation metrics here).
+        backend: the resolved goroutine vehicle that ran the simulation
+            (``result.backend``); lets cross-backend parity checks compare
+            ``trace_digest`` while still recording who produced it.
     """
 
     status: str
@@ -76,6 +79,7 @@ class RunSummary:
     trace_digest: Optional[str] = None
     manifested: Optional[bool] = None
     metrics: Optional[dict] = field(default=None)
+    backend: Optional[str] = None
 
     @property
     def completed(self) -> bool:
@@ -128,4 +132,5 @@ def summarize_result(
         trace_digest=schedule_digest(result),
         manifested=None if predicate is None else bool(predicate(result)),
         metrics=metrics,
+        backend=getattr(result, "backend", None),
     )

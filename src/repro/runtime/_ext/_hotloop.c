@@ -1,0 +1,828 @@
+/* _hotloop: the compiled per-step scheduler core.
+ *
+ * Two things live here, both optional accelerations of pure-Python code
+ * with bit-identical observable behaviour (asserted by the parity tests):
+ *
+ *  1. ``BatchedRandom`` — a C MT19937 producing the exact draw sequence of
+ *     ``random.Random(seed).randrange(n)`` (CPython's init_by_array seeding
+ *     and top-bits rejection sampling), replacing
+ *     ``repro.runtime.fastrand.BatchedRandom``.  Because the scheduler, the
+ *     ``select`` tie-breaker and the fault injector all share one stream,
+ *     the C object is a *drop-in state holder*: Python callers invoke its
+ *     ``randrange`` method, the compiled loop below reads the same MT state
+ *     directly, and the interleaved sequence is unchanged.
+ *
+ *  2. ``drive(sched)`` — the fused scheduler loop: stop check, budget,
+ *     RNG pick, continuation switch and after-resume bookkeeping with no
+ *     Python frames in between.  Only runs when nothing observable differs
+ *     from the pure loop: no trace consumer, no injector, no observe hooks,
+ *     structured stop conditions, and the scheduler's RNG is the C type
+ *     above.  Anything else returns None and the pure loop takes over.
+ *
+ * Goroutine fields are reached through slot offsets cached from the class
+ * ``__slots__`` member descriptors at bind() time — an attribute read is a
+ * single pointer load.  The scheduler itself is dict-backed; the loop keeps
+ * its counters in C locals and writes them back on every exit path, while
+ * ``_current`` (which primitives running *inside* a switched-to goroutine
+ * read) is kept accurate step by step.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+#include <stdint.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* MT19937 (CPython-compatible)                                        */
+/* ------------------------------------------------------------------ */
+
+#define MT_N 624
+#define MT_M 397
+#define MT_MATRIX_A 0x9908b0dfU
+#define MT_UPPER_MASK 0x80000000U
+#define MT_LOWER_MASK 0x7fffffffU
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *seed;          /* the seed object handed to __init__ */
+    uint32_t mt[MT_N];
+    int mti;
+} BatchedRandomObject;
+
+static void
+mt_init_genrand(BatchedRandomObject *self, uint32_t s)
+{
+    int mti;
+    self->mt[0] = s;
+    for (mti = 1; mti < MT_N; mti++) {
+        self->mt[mti] =
+            (1812433253U * (self->mt[mti - 1] ^ (self->mt[mti - 1] >> 30)) + mti);
+    }
+    self->mti = mti;
+}
+
+static void
+mt_init_by_array(BatchedRandomObject *self, uint32_t *init_key, size_t key_length)
+{
+    size_t i, j, k;
+    mt_init_genrand(self, 19650218U);
+    i = 1; j = 0;
+    k = (MT_N > key_length ? MT_N : key_length);
+    for (; k; k--) {
+        self->mt[i] = (self->mt[i] ^
+                       ((self->mt[i - 1] ^ (self->mt[i - 1] >> 30)) * 1664525U))
+                      + init_key[j] + (uint32_t)j;
+        i++; j++;
+        if (i >= MT_N) { self->mt[0] = self->mt[MT_N - 1]; i = 1; }
+        if (j >= key_length) j = 0;
+    }
+    for (k = MT_N - 1; k; k--) {
+        self->mt[i] = (self->mt[i] ^
+                       ((self->mt[i - 1] ^ (self->mt[i - 1] >> 30)) * 1566083941U))
+                      - (uint32_t)i;
+        i++;
+        if (i >= MT_N) { self->mt[0] = self->mt[MT_N - 1]; i = 1; }
+    }
+    self->mt[0] = 0x80000000U;
+}
+
+static uint32_t
+mt_genrand(BatchedRandomObject *self)
+{
+    uint32_t y;
+    static const uint32_t mag01[2] = {0U, MT_MATRIX_A};
+    uint32_t *mt = self->mt;
+
+    if (self->mti >= MT_N) {
+        int kk;
+        for (kk = 0; kk < MT_N - MT_M; kk++) {
+            y = (mt[kk] & MT_UPPER_MASK) | (mt[kk + 1] & MT_LOWER_MASK);
+            mt[kk] = mt[kk + MT_M] ^ (y >> 1) ^ mag01[y & 1U];
+        }
+        for (; kk < MT_N - 1; kk++) {
+            y = (mt[kk] & MT_UPPER_MASK) | (mt[kk + 1] & MT_LOWER_MASK);
+            mt[kk] = mt[kk + (MT_M - MT_N)] ^ (y >> 1) ^ mag01[y & 1U];
+        }
+        y = (mt[MT_N - 1] & MT_UPPER_MASK) | (mt[0] & MT_LOWER_MASK);
+        mt[MT_N - 1] = mt[MT_M - 1] ^ (y >> 1) ^ mag01[y & 1U];
+        self->mti = 0;
+    }
+    y = mt[self->mti++];
+    y ^= (y >> 11);
+    y ^= (y << 7) & 0x9d2c5680U;
+    y ^= (y << 15) & 0xefc60000U;
+    y ^= (y >> 18);
+    return y;
+}
+
+/* CPython's _randbelow for n with bit_length <= 32: take the top k bits of
+ * one MT word, reject until < n.  This is also exactly what the pure
+ * BatchedRandom replays from its buffered words. */
+static uint32_t
+mt_randrange32(BatchedRandomObject *self, uint32_t n)
+{
+    int k = 32 - __builtin_clz(n);          /* n >= 1 */
+    int shift = 32 - k;
+    for (;;) {
+        uint32_t r = mt_genrand(self) >> shift;
+        if (r < n)
+            return r;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* BatchedRandom type                                                  */
+/* ------------------------------------------------------------------ */
+
+static int
+br_init(BatchedRandomObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"seed", NULL};
+    PyObject *seed = NULL;
+    PyObject *index = NULL, *absval = NULL, *bits_obj = NULL, *bytes = NULL;
+    uint32_t *key = NULL;
+    int rc = -1;
+
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|O", kwlist, &seed))
+        return -1;
+    if (seed == NULL) {
+        seed = PyLong_FromLong(0);
+        if (seed == NULL)
+            return -1;
+    }
+    else {
+        Py_INCREF(seed);
+    }
+
+    index = PyNumber_Index(seed);
+    if (index == NULL)
+        goto done;
+    absval = PyNumber_Absolute(index);
+    if (absval == NULL)
+        goto done;
+    bits_obj = PyObject_CallMethod(absval, "bit_length", NULL);
+    if (bits_obj == NULL)
+        goto done;
+    {
+        Py_ssize_t bits = PyLong_AsSsize_t(bits_obj);
+        if (bits < 0 && PyErr_Occurred())
+            goto done;
+        /* CPython: key is the absolute value as 32-bit chunks, low first;
+         * zero seeds use a single zero chunk. */
+        size_t keymax = bits == 0 ? 1 : ((size_t)bits - 1) / 32 + 1;
+        key = PyMem_Calloc(keymax, 4);
+        if (key == NULL) {
+            PyErr_NoMemory();
+            goto done;
+        }
+        bytes = PyObject_CallMethod(absval, "to_bytes", "ns",
+                                    (Py_ssize_t)(keymax * 4), "little");
+        if (bytes == NULL)
+            goto done;
+        memcpy(key, PyBytes_AS_STRING(bytes), keymax * 4);
+#if PY_BIG_ENDIAN
+        for (size_t i = 0; i < keymax; i++) {
+            uint32_t w = key[i];
+            key[i] = ((w & 0xffU) << 24) | ((w & 0xff00U) << 8) |
+                     ((w >> 8) & 0xff00U) | (w >> 24);
+        }
+#endif
+        mt_init_by_array(self, key, keymax);
+    }
+    Py_XSETREF(self->seed, seed);
+    seed = NULL;
+    rc = 0;
+done:
+    PyMem_Free(key);
+    Py_XDECREF(bytes);
+    Py_XDECREF(bits_obj);
+    Py_XDECREF(absval);
+    Py_XDECREF(index);
+    Py_XDECREF(seed);
+    return rc;
+}
+
+static void
+br_dealloc(BatchedRandomObject *self)
+{
+    Py_XDECREF(self->seed);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* getrandbits(k): identical value construction to the pure BatchedRandom
+ * (32-bit words low-order first, a partial top word takes the word's top
+ * bits).  Cold path — only completeness and tests use it. */
+static PyObject *
+br_getrandbits(BatchedRandomObject *self, PyObject *arg)
+{
+    Py_ssize_t k = PyLong_AsSsize_t(arg);
+    if (k == -1 && PyErr_Occurred())
+        return NULL;
+    if (k < 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "number of bits must be non-negative");
+        return NULL;
+    }
+    if (k == 0)
+        return PyLong_FromLong(0);
+    if (k <= 32)
+        return PyLong_FromUnsignedLong(mt_genrand(self) >> (32 - k));
+
+    Py_ssize_t words = k / 32, rem = k % 32;
+    Py_ssize_t total = words + (rem ? 1 : 0);
+    uint32_t *buf = PyMem_Malloc((size_t)total * 4);
+    if (buf == NULL)
+        return PyErr_NoMemory();
+    for (Py_ssize_t i = 0; i < words; i++)
+        buf[i] = mt_genrand(self);
+    if (rem)
+        buf[words] = mt_genrand(self) >> (32 - rem);
+#if PY_BIG_ENDIAN
+    for (Py_ssize_t i = 0; i < total; i++) {
+        uint32_t w = buf[i];
+        buf[i] = ((w & 0xffU) << 24) | ((w & 0xff00U) << 8) |
+                 ((w >> 8) & 0xff00U) | (w >> 24);
+    }
+#endif
+    PyObject *result = _PyLong_FromByteArray((unsigned char *)buf,
+                                             (size_t)total * 4, 1, 0);
+    PyMem_Free(buf);
+    return result;
+}
+
+static PyObject *
+br_randrange(BatchedRandomObject *self, PyObject *arg)
+{
+    int overflow = 0;
+    long long n = PyLong_AsLongLongAndOverflow(arg, &overflow);
+    if (n == -1 && !overflow && PyErr_Occurred())
+        return NULL;
+
+    if (!overflow) {
+        if (n <= 0) {
+            PyErr_SetString(PyExc_ValueError, "empty range for randrange()");
+            return NULL;
+        }
+        if (n <= 0xffffffffLL)
+            return PyLong_FromUnsignedLong(
+                mt_randrange32(self, (uint32_t)n));
+        /* 33..63 bits: two words low-order first, partial top word. */
+        {
+            uint64_t un = (uint64_t)n;
+            int k = 64 - __builtin_clzll(un);
+            int rem = k - 32;             /* 1..31 */
+            for (;;) {
+                uint64_t v = (uint64_t)mt_genrand(self);
+                v |= (uint64_t)(mt_genrand(self) >> (32 - rem)) << 32;
+                if (v < un)
+                    return PyLong_FromUnsignedLongLong(v);
+            }
+        }
+    }
+    if (overflow < 0) {
+        PyErr_SetString(PyExc_ValueError, "empty range for randrange()");
+        return NULL;
+    }
+    /* Arbitrarily wide n: rejection loop over big-int getrandbits. */
+    {
+        PyObject *bits_obj = PyObject_CallMethod(arg, "bit_length", NULL);
+        if (bits_obj == NULL)
+            return NULL;
+        for (;;) {
+            PyObject *r = br_getrandbits(self, bits_obj);
+            if (r == NULL) {
+                Py_DECREF(bits_obj);
+                return NULL;
+            }
+            int lt = PyObject_RichCompareBool(r, arg, Py_LT);
+            if (lt < 0) {
+                Py_DECREF(r);
+                Py_DECREF(bits_obj);
+                return NULL;
+            }
+            if (lt) {
+                Py_DECREF(bits_obj);
+                return r;
+            }
+            Py_DECREF(r);
+        }
+    }
+}
+
+static PyObject *
+br_repr(BatchedRandomObject *self)
+{
+    return PyUnicode_FromFormat("<BatchedRandom seed=%S>",
+                                self->seed ? self->seed : Py_None);
+}
+
+static PyMethodDef br_methods[] = {
+    {"randrange", (PyCFunction)br_randrange, METH_O,
+     "Uniform draw from range(n); CPython's rejection sampling."},
+    {"getrandbits", (PyCFunction)br_getrandbits, METH_O,
+     "Buffered getrandbits: identical output, word-at-a-time source."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyMemberDef br_members[] = {
+    {"seed", T_OBJECT_EX, offsetof(BatchedRandomObject, seed), 0,
+     "the seed this stream was constructed from"},
+    {NULL},
+};
+
+static PyTypeObject BatchedRandom_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "_hotloop.BatchedRandom",
+    .tp_basicsize = sizeof(BatchedRandomObject),
+    .tp_dealloc = (destructor)br_dealloc,
+    .tp_repr = (reprfunc)br_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "Drop-in randrange(n) source matching random.Random(seed) "
+              "exactly (compiled).",
+    .tp_methods = br_methods,
+    .tp_members = br_members,
+    .tp_init = (initproc)br_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* bind(): cache classes, slot offsets and interned constants          */
+/* ------------------------------------------------------------------ */
+
+static int hl_bound = 0;
+
+static PyTypeObject *tk_go_type = NULL;     /* TaskletGoroutine */
+static Py_ssize_t off_state = -1;           /* Goroutine.state */
+static Py_ssize_t off_ended_at = -1;        /* Goroutine.ended_at */
+static Py_ssize_t off_tk = -1;              /* TaskletGoroutine._tk */
+static PyObject *switch_meth = NULL;        /* unbound Tasklet.switch */
+
+static PyObject *st_running = NULL, *st_runnable = NULL, *st_done = NULL,
+                *st_panicked = NULL, *st_killed = NULL, *terminal_set = NULL;
+
+static PyObject *s_runnable_attr = NULL, *s_rng = NULL, *s_stop_mode = NULL,
+                *s_panicked_attr = NULL, *s_budget = NULL, *s_budget_used = NULL,
+                *s_steps = NULL, *s_time_limit = NULL, *s_clock = NULL,
+                *s_now = NULL, *s_current = NULL, *s_resume = NULL,
+                *s_state = NULL, *s_ended_at = NULL;
+
+static PyObject *v_stopped = NULL, *v_timeout = NULL, *v_steps = NULL,
+                *v_idle = NULL;
+
+static int
+member_offset(PyObject *cls, const char *name, Py_ssize_t *out)
+{
+    PyObject *descr = PyObject_GetAttrString(cls, name);
+    if (descr == NULL)
+        return -1;
+    if (Py_TYPE(descr) != &PyMemberDescr_Type) {
+        Py_DECREF(descr);
+        PyErr_Format(PyExc_TypeError,
+                     "%s is not a slot member descriptor", name);
+        return -1;
+    }
+    *out = ((PyMemberDescrObject *)descr)->d_member->offset;
+    Py_DECREF(descr);
+    return 0;
+}
+
+static PyObject *
+hl_bind(PyObject *module, PyObject *args)
+{
+    PyObject *goro_cls, *tk_goro_cls, *gstate_cls, *tasklet_cls;
+    if (!PyArg_ParseTuple(args, "OOOO",
+                          &goro_cls, &tk_goro_cls, &gstate_cls, &tasklet_cls))
+        return NULL;
+    if (member_offset(goro_cls, "state", &off_state) < 0)
+        return NULL;
+    if (member_offset(goro_cls, "ended_at", &off_ended_at) < 0)
+        return NULL;
+    if (member_offset(tk_goro_cls, "_tk", &off_tk) < 0)
+        return NULL;
+    if (!PyType_Check(tk_goro_cls)) {
+        PyErr_SetString(PyExc_TypeError, "expected TaskletGoroutine class");
+        return NULL;
+    }
+    Py_INCREF(tk_goro_cls);
+    Py_XSETREF(tk_go_type, (PyTypeObject *)tk_goro_cls);
+
+#define FETCH(dst, name)                                            \
+    do {                                                            \
+        PyObject *v = PyObject_GetAttrString(gstate_cls, name);     \
+        if (v == NULL)                                              \
+            return NULL;                                            \
+        Py_XSETREF(dst, v);                                         \
+    } while (0)
+    FETCH(st_running, "RUNNING");
+    FETCH(st_runnable, "RUNNABLE");
+    FETCH(st_done, "DONE");
+    FETCH(st_panicked, "PANICKED");
+    FETCH(st_killed, "KILLED");
+    FETCH(terminal_set, "TERMINAL");
+#undef FETCH
+
+    if (tasklet_cls != Py_None) {
+        PyObject *m = PyObject_GetAttrString(tasklet_cls, "switch");
+        if (m == NULL)
+            return NULL;
+        Py_XSETREF(switch_meth, m);
+    }
+    else {
+        Py_CLEAR(switch_meth);
+    }
+    hl_bound = 1;
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* drive(sched)                                                        */
+/* ------------------------------------------------------------------ */
+
+static inline PyObject *
+slot_get(PyObject *obj, Py_ssize_t off)
+{
+    return *(PyObject **)((char *)obj + off);   /* borrowed; may be NULL */
+}
+
+static inline void
+slot_set(PyObject *obj, Py_ssize_t off, PyObject *value)
+{
+    PyObject **p = (PyObject **)((char *)obj + off);
+    PyObject *old = *p;
+    Py_INCREF(value);
+    *p = value;
+    Py_XDECREF(old);
+}
+
+static inline int
+state_is_terminal(PyObject *st)
+{
+    if (st == st_done || st == st_panicked || st == st_killed)
+        return 1;
+    if (st == st_running || st == st_runnable)
+        return 0;
+    /* Unknown string object (shouldn't happen: states are always GState
+     * constants); fall back to a set lookup so behaviour stays correct. */
+    return PySet_Contains(terminal_set, st) == 1;
+}
+
+static long long
+attr_as_longlong(PyObject *obj, PyObject *name, int *err)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    if (v == NULL) {
+        *err = 1;
+        return 0;
+    }
+    long long out = PyLong_AsLongLong(v);
+    Py_DECREF(v);
+    if (out == -1 && PyErr_Occurred())
+        *err = 1;
+    return out;
+}
+
+/* Remove g from the runnable list by identity (Goroutine defines no __eq__,
+ * so this matches ``list.remove`` exactly). */
+static void
+runnable_remove(PyObject *runnable, PyObject *g)
+{
+    Py_ssize_t m = PyList_GET_SIZE(runnable);
+    for (Py_ssize_t i = 0; i < m; i++) {
+        if (PyList_GET_ITEM(runnable, i) == g) {
+            PyList_SetSlice(runnable, i, i + 1, NULL);
+            return;
+        }
+    }
+}
+
+static PyObject *
+hl_drive(PyObject *module, PyObject *sched)
+{
+    if (!hl_bound) {
+        PyErr_SetString(PyExc_RuntimeError, "_hotloop.bind() has not run");
+        return NULL;
+    }
+
+    PyObject *runnable = NULL, *rng_obj = NULL, *stop_mode = NULL,
+             *panicked = NULL, *clock = NULL, *now_obj = NULL,
+             *time_limit = NULL;
+    PyObject *stop_g = NULL;          /* borrowed from stop_mode */
+    BatchedRandomObject *rng = NULL;
+    PyObject *verdict = NULL;         /* borrowed from the v_* constants */
+    int failed = 0;
+    int stop_main = 0;
+    int time_exceeded = 0;
+    long long budget = 0, budget_used = 0, steps = 0;
+
+    runnable = PyObject_GetAttr(sched, s_runnable_attr);
+    if (runnable == NULL || !PyList_CheckExact(runnable))
+        goto ineligible;
+    rng_obj = PyObject_GetAttr(sched, s_rng);
+    if (rng_obj == NULL || Py_TYPE(rng_obj) != &BatchedRandom_Type)
+        goto ineligible;
+    rng = (BatchedRandomObject *)rng_obj;
+    stop_mode = PyObject_GetAttr(sched, s_stop_mode);
+    if (stop_mode == NULL || !PyTuple_Check(stop_mode) ||
+        PyTuple_GET_SIZE(stop_mode) != 2)
+        goto ineligible;
+    {
+        PyObject *kind = PyTuple_GET_ITEM(stop_mode, 0);
+        stop_g = PyTuple_GET_ITEM(stop_mode, 1);
+        if (PyUnicode_CompareWithASCIIString(kind, "main") == 0)
+            stop_main = 1;
+        else if (PyUnicode_CompareWithASCIIString(kind, "panic") == 0)
+            stop_main = 0;
+        else
+            goto ineligible;
+        if (stop_main && stop_g == Py_None)
+            goto ineligible;
+    }
+
+    {
+        int err = 0;
+        budget = attr_as_longlong(sched, s_budget, &err);
+        budget_used = attr_as_longlong(sched, s_budget_used, &err);
+        steps = attr_as_longlong(sched, s_steps, &err);
+        if (err)
+            goto fail_entry;
+    }
+    panicked = PyObject_GetAttr(sched, s_panicked_attr);
+    if (panicked == NULL)
+        goto fail_entry;
+    clock = PyObject_GetAttr(sched, s_clock);
+    if (clock == NULL)
+        goto fail_entry;
+    now_obj = PyObject_GetAttr(clock, s_now);
+    if (now_obj == NULL)
+        goto fail_entry;
+    time_limit = PyObject_GetAttr(sched, s_time_limit);
+    if (time_limit == NULL)
+        goto fail_entry;
+    if (time_limit != Py_None) {
+        double now = PyFloat_AsDouble(now_obj);
+        double lim = PyFloat_AsDouble(time_limit);
+        if (PyErr_Occurred())
+            goto fail_entry;
+        time_exceeded = (now >= lim);
+    }
+
+    /* ---------------- the loop ---------------- */
+    {
+        int first = 1;
+        for (;;) {
+            /* Stop check — same order as the pure _advance. */
+            int stop;
+            if (stop_main) {
+                PyObject *st = slot_get(stop_g, off_state);
+                stop = (st != NULL && state_is_terminal(st)) ||
+                       (panicked != Py_None);
+            }
+            else {
+                stop = (panicked != Py_None);
+            }
+            if (stop) { verdict = v_stopped; break; }
+            /* The virtual clock is frozen while goroutines run (timers only
+             * fire from the idle path, the injector is disabled here), so
+             * the time-limit comparison is loop-invariant. */
+            if (first) {
+                first = 0;
+                if (time_exceeded) { verdict = v_timeout; break; }
+            }
+            if (budget_used >= budget) { verdict = v_steps; break; }
+            Py_ssize_t nrun = PyList_GET_SIZE(runnable);
+            if (nrun == 0) { verdict = v_idle; break; }
+            budget_used++;
+            steps++;
+            uint32_t idx = mt_randrange32(rng, (uint32_t)nrun);
+            PyObject *g = PyList_GET_ITEM(runnable, idx);
+            Py_INCREF(g);
+
+            if (Py_TYPE(g) == tk_go_type && switch_meth != NULL) {
+                /* Fast path: slot writes + a direct continuation switch
+                 * (this is resume() with the Python frames scraped off). */
+                slot_set(g, off_state, st_running);
+                if (PyObject_SetAttr(sched, s_current, g) < 0) {
+                    Py_DECREF(g);
+                    failed = 1;
+                    break;
+                }
+                PyObject *tk = slot_get(g, off_tk);
+                if (tk == NULL || tk == Py_None) {
+                    Py_DECREF(g);
+                    PyErr_SetString(PyExc_RuntimeError,
+                                    "tasklet goroutine has no continuation");
+                    failed = 1;
+                    break;
+                }
+                PyObject *sargs[1] = {tk};
+                PyObject *r = PyObject_Vectorcall(switch_meth, sargs, 1, NULL);
+                if (r == NULL) {
+                    Py_DECREF(g);
+                    failed = 1;
+                    break;
+                }
+                Py_DECREF(r);
+                PyObject *st = slot_get(g, off_state);
+                if (st == st_running) {
+                    slot_set(g, off_state, st_runnable);
+                }
+                else if (st != NULL && state_is_terminal(st)) {
+                    runnable_remove(runnable, g);
+                    slot_set(g, off_ended_at, now_obj);
+                    if (st == st_panicked && panicked == Py_None) {
+                        if (PyObject_SetAttr(sched, s_panicked_attr, g) < 0) {
+                            Py_DECREF(g);
+                            failed = 1;
+                            break;
+                        }
+                        Py_INCREF(g);
+                        Py_SETREF(panicked, g);
+                    }
+                }
+                /* BLOCKED: block() already dequeued it before yielding. */
+            }
+            else {
+                /* Generic path (thread-compat hosts, greenlet or generator
+                 * vehicles in a centralized run): call resume() and do the
+                 * after-resume bookkeeping through ordinary attributes. */
+                if (PyObject_SetAttr(sched, s_current, g) < 0) {
+                    Py_DECREF(g);
+                    failed = 1;
+                    break;
+                }
+                PyObject *rargs[1] = {g};
+                PyObject *r = PyObject_VectorcallMethod(s_resume, rargs, 1,
+                                                        NULL);
+                if (r == NULL) {
+                    Py_DECREF(g);
+                    failed = 1;
+                    break;
+                }
+                Py_DECREF(r);
+                PyObject *st = PyObject_GetAttr(g, s_state);
+                if (st == NULL) {
+                    Py_DECREF(g);
+                    failed = 1;
+                    break;
+                }
+                if (st == st_running) {
+                    if (PyObject_SetAttr(g, s_state, st_runnable) < 0) {
+                        Py_DECREF(st);
+                        Py_DECREF(g);
+                        failed = 1;
+                        break;
+                    }
+                }
+                else if (state_is_terminal(st)) {
+                    runnable_remove(runnable, g);
+                    if (PyObject_SetAttr(g, s_ended_at, now_obj) < 0) {
+                        Py_DECREF(st);
+                        Py_DECREF(g);
+                        failed = 1;
+                        break;
+                    }
+                    if (st == st_panicked && panicked == Py_None) {
+                        if (PyObject_SetAttr(sched, s_panicked_attr, g) < 0) {
+                            Py_DECREF(st);
+                            Py_DECREF(g);
+                            failed = 1;
+                            break;
+                        }
+                        Py_INCREF(g);
+                        Py_SETREF(panicked, g);
+                    }
+                }
+                Py_DECREF(st);
+            }
+            Py_DECREF(g);
+        }
+    }
+
+    /* Write the loop-local counters back and clear _current (the pure
+     * centralized loop leaves _current None between decisions too). */
+    {
+        PyObject *exc_type = NULL, *exc_val = NULL, *exc_tb = NULL;
+        if (failed)
+            PyErr_Fetch(&exc_type, &exc_val, &exc_tb);
+        PyObject *bu = PyLong_FromLongLong(budget_used);
+        PyObject *stp = PyLong_FromLongLong(steps);
+        int wb_failed = (bu == NULL || stp == NULL);
+        if (!wb_failed) {
+            if (PyObject_SetAttr(sched, s_budget_used, bu) < 0 ||
+                PyObject_SetAttr(sched, s_steps, stp) < 0)
+                wb_failed = 1;
+        }
+        if (!failed && !wb_failed &&
+            PyObject_SetAttr(sched, s_current, Py_None) < 0)
+            wb_failed = 1;
+        Py_XDECREF(bu);
+        Py_XDECREF(stp);
+        if (failed)
+            PyErr_Restore(exc_type, exc_val, exc_tb);
+        else if (wb_failed)
+            failed = 1;
+    }
+
+    Py_XDECREF(time_limit);
+    Py_XDECREF(now_obj);
+    Py_XDECREF(clock);
+    Py_XDECREF(panicked);
+    Py_XDECREF(stop_mode);
+    Py_XDECREF(rng_obj);
+    Py_XDECREF(runnable);
+    if (failed)
+        return NULL;
+    Py_INCREF(verdict);
+    return verdict;
+
+ineligible:
+    /* Static conditions for the compiled loop don't hold for this run:
+     * tell Python to use the pure loop (None).  Clear any attribute error
+     * raised while probing. */
+    PyErr_Clear();
+    Py_XDECREF(stop_mode);
+    Py_XDECREF(rng_obj);
+    Py_XDECREF(runnable);
+    Py_RETURN_NONE;
+
+fail_entry:
+    Py_XDECREF(time_limit);
+    Py_XDECREF(now_obj);
+    Py_XDECREF(clock);
+    Py_XDECREF(panicked);
+    Py_XDECREF(stop_mode);
+    Py_XDECREF(rng_obj);
+    Py_XDECREF(runnable);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* module                                                              */
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef hl_methods[] = {
+    {"bind", hl_bind, METH_VARARGS,
+     "bind(Goroutine, TaskletGoroutine, GState, TaskletOrNone): cache slot "
+     "offsets, state constants and the continuation switch."},
+    {"drive", hl_drive, METH_O,
+     "drive(scheduler) -> verdict str, or None when the compiled loop "
+     "cannot run this scheduler (pure loop takes over)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef hl_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "_hotloop",
+    .m_doc = "Compiled per-step scheduler loop and MT19937 BatchedRandom.",
+    .m_size = -1,
+    .m_methods = hl_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__hotloop(void)
+{
+    PyObject *m = PyModule_Create(&hl_module);
+    if (m == NULL)
+        return NULL;
+    if (PyType_Ready(&BatchedRandom_Type) < 0) {
+        Py_DECREF(m);
+        return NULL;
+    }
+    Py_INCREF(&BatchedRandom_Type);
+    if (PyModule_AddObject(m, "BatchedRandom",
+                           (PyObject *)&BatchedRandom_Type) < 0) {
+        Py_DECREF(&BatchedRandom_Type);
+        Py_DECREF(m);
+        return NULL;
+    }
+
+#define INTERN(var, text)                                   \
+    do {                                                    \
+        var = PyUnicode_InternFromString(text);             \
+        if (var == NULL) {                                  \
+            Py_DECREF(m);                                   \
+            return NULL;                                    \
+        }                                                   \
+    } while (0)
+    INTERN(s_runnable_attr, "_runnable");
+    INTERN(s_rng, "rng");
+    INTERN(s_stop_mode, "_stop_mode");
+    INTERN(s_panicked_attr, "panicked");
+    INTERN(s_budget, "_budget");
+    INTERN(s_budget_used, "_budget_used");
+    INTERN(s_steps, "_steps");
+    INTERN(s_time_limit, "_time_limit");
+    INTERN(s_clock, "clock");
+    INTERN(s_now, "now");
+    INTERN(s_current, "_current");
+    INTERN(s_resume, "resume");
+    INTERN(s_state, "state");
+    INTERN(s_ended_at, "ended_at");
+    INTERN(v_stopped, "stopped");
+    INTERN(v_timeout, "timeout");
+    INTERN(v_steps, "steps");
+    INTERN(v_idle, "idle");
+#undef INTERN
+    return m;
+}

@@ -1,29 +1,37 @@
-"""Goroutines as token-passing hosts (threads by default, greenlets optionally).
+"""Goroutines as token-passing hosts (single-threaded continuations by
+default, OS threads as an opt-in compatibility mode).
 
 Exactly one host in a simulation runs at any instant: either the scheduler
 or a single goroutine holding the *token*.  Because of this one-runner
 invariant, primitive state needs no host-level locking and every
 interleaving is fully determined by the scheduler's seeded choices.
 
-Two interchangeable backends implement the handoff:
+Four interchangeable vehicles implement the handoff; ``backend="coroutine"``
+(the default) resolves to the best continuation vehicle available:
 
-* ``"thread"`` (default): one daemon host thread per goroutine.  The token
-  moves through raw ``threading.Lock`` binary semaphores — one per goroutine
-  plus one owned by the scheduler's main loop.  Handoffs are *direct*: a
-  yielding goroutine runs the scheduler's per-step logic inline on its own
-  host (see :meth:`Scheduler._handback`) and wakes the next goroutine's
-  thread itself, so a step costs one OS context switch instead of the two a
-  bounce through the scheduler thread would pay — and zero when the RNG
-  picks the same goroutine again.  The main thread only wakes for timers,
-  termination, and quiescence.
 * ``"greenlet"``: every goroutine is a greenlet on the scheduler's own
   thread; the handoff is a userspace stack switch with no locks and no OS
-  context switch at all.  Available only when the optional :mod:`greenlet`
-  package is importable; the scheduler falls back to threads otherwise.
+  context switch at all.  Needs the optional :mod:`greenlet` package.
+* ``"tasklet"``: the same single-threaded stack switching, provided by the
+  in-tree ``repro.runtime._ext._ctasklet`` C extension (compiled lazily
+  with the system toolchain; CPython 3.11 / x86-64 Linux).  This is what
+  ``"coroutine"`` resolves to when greenlet is not installed.
+* ``"generator"``: the pure-Python trampoline fallback.  Goroutine bodies
+  written as *generator functions* run as true continuations (each
+  ``yield`` is a schedule point); plain-function bodies ride thread-compat
+  hosts so arbitrary programs still work unchanged.
+* ``"thread"``: one daemon host thread per goroutine — the original
+  backend, kept as an opt-in compatibility mode.  The token moves through
+  raw ``threading.Lock`` binary semaphores — one per goroutine plus one
+  owned by the scheduler's main loop.  Handoffs are *direct*: a yielding
+  goroutine runs the scheduler's per-step logic inline on its own host
+  (see :meth:`Scheduler._handback`) and wakes the next goroutine's thread
+  itself, so a step costs one OS context switch instead of the two a
+  bounce through the scheduler thread would pay — and zero on a self-pick.
 
-Both backends produce bit-identical schedules — the token protocol is the
-same, only the vehicle differs — which the cross-backend fingerprint tests
-assert.
+All vehicles produce bit-identical schedules — the token protocol and the
+seeded decision sequence are the same, only the vehicle differs — which the
+cross-backend fingerprint tests assert over the whole kernel corpus.
 
 A goroutine's life:
 
@@ -38,7 +46,7 @@ import traceback
 import warnings
 from typing import Any, Callable, Optional, Tuple
 
-from .errors import GoPanic, Killed
+from .errors import GoPanic, Killed, SchedulerStateError
 
 #: How long :meth:`Goroutine.kill` waits for a host thread to unwind before
 #: declaring it stuck.  A thread can outlive this when user code swallows
@@ -57,6 +65,27 @@ except ImportError:  # pragma: no cover - greenlet not installed in CI image
 
 #: True when the optional greenlet backend can actually be used.
 HAS_GREENLET = _greenlet is not None
+
+# The in-tree stack-switching extension (lazy: first use compiles it with
+# the system toolchain and caches the .so; see repro.runtime._ext).
+_tasklet_mod: Any = None
+_tasklet_checked = False
+
+
+def tasklet_module() -> Any:
+    """The ``_ctasklet`` extension module, or None where unsupported."""
+    global _tasklet_mod, _tasklet_checked
+    if not _tasklet_checked:
+        from . import _ext
+
+        _tasklet_mod = _ext.get_ctasklet()
+        _tasklet_checked = True
+    return _tasklet_mod
+
+
+def has_tasklet() -> bool:
+    """True when the in-tree tasklet continuation vehicle is usable."""
+    return tasklet_module() is not None
 
 
 class GState:
@@ -262,6 +291,13 @@ class Goroutine:
             # next goroutine directly, or back to the main loop).
             self._sched._handback(self, terminal=True)
 
+    def on_current_host(self) -> bool:
+        """True when the calling code is running on this goroutine's own
+        host (thread/continuation) — i.e. it is safe to park it from here.
+        Used by teardown to suspend a dying host that swallowed ``Killed``
+        and re-entered the runtime."""
+        return self._thread is not None and self._thread is threading.current_thread()
+
     # ------------------------------------------------------------------
 
     def describe(self) -> str:
@@ -336,6 +372,10 @@ class GreenletGoroutine(Goroutine):
             # ``_execute`` never classified the exit.
             self.state = GState.KILLED
 
+    def on_current_host(self) -> bool:
+        return (self._glet is not None
+                and _greenlet.getcurrent() is self._glet)
+
     # -- goroutine side -------------------------------------------------
 
     def yield_to_scheduler(self) -> None:
@@ -346,3 +386,180 @@ class GreenletGoroutine(Goroutine):
             error = self.pending_error
             self.pending_error = None
             raise error
+
+
+class TaskletGoroutine(Goroutine):
+    """A goroutine hosted on an in-tree C continuation (``_ctasklet``).
+
+    Semantically identical to :class:`GreenletGoroutine` — all goroutines
+    share the scheduler's OS thread and the handoff is a userspace stack
+    switch — but carried by ``repro.runtime._ext._ctasklet`` instead of the
+    optional greenlet package, so the coroutine core works out of the box
+    on CPython 3.11 / x86-64 Linux with nothing but a C compiler.
+    """
+
+    __slots__ = ("_tk", "_hub")
+
+    def __init__(self, *args: Any, hub: Any = None, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        #: The scheduler's own tasklet (the thread's main continuation):
+        #: the parent every goroutine tasklet returns to when it finishes.
+        self._hub = hub
+        self._tk: Any = None
+
+    # -- scheduler side -------------------------------------------------
+
+    def start(self) -> None:
+        mod = tasklet_module()
+        if mod is None:  # pragma: no cover - guarded by backend resolution
+            raise RuntimeError("tasklet backend requested but the _ctasklet "
+                               "extension is not available on this platform")
+        self._tk = mod.Tasklet(self._execute, self._hub)
+        self.state = GState.RUNNABLE
+
+    def resume(self) -> None:
+        self.state = GState.RUNNING
+        self._tk.switch()
+
+    def kill(self, join_timeout: Optional[float] = None) -> None:
+        """Unwind the goroutine's continuation by raising ``Killed`` inside
+        it (same two-attempt policy as the greenlet vehicle; a continuation
+        that swallows both is recorded as a stuck host and its stack is
+        abandoned, mirroring an OS thread that outlives its join)."""
+        if self.state in GState.TERMINAL or self._tk is None:
+            return
+        self._killed = True
+        for _ in range(2):
+            if self._tk.dead:
+                break
+            self._tk.throw(Killed)
+            if self._tk.dead or self.state in GState.TERMINAL:
+                break
+        else:
+            timeout = HOST_JOIN_TIMEOUT if join_timeout is None else join_timeout
+            self._mark_stuck(timeout)
+            return
+        if self.state not in GState.TERMINAL:
+            # Killed before its first resume: the body never ran, so
+            # ``_execute`` never classified the exit.
+            self.state = GState.KILLED
+
+    def on_current_host(self) -> bool:
+        return (self._tk is not None
+                and tasklet_module().current() is self._tk)
+
+    # -- goroutine side -------------------------------------------------
+
+    def yield_to_scheduler(self) -> None:
+        self._hub.switch()
+        if self._killed:
+            raise Killed()
+        if self.pending_error is not None:
+            error = self.pending_error
+            self.pending_error = None
+            raise error
+
+
+class GeneratorGoroutine(Goroutine):
+    """A goroutine whose body is a *generator function*, trampolined by the
+    scheduler: every ``yield`` is a voluntary schedule point.
+
+    This is the pure-Python continuation vehicle — no OS thread, no C
+    extension, works on any interpreter.  The restriction is structural:
+    a generator can only suspend its own frame, so a generator-backed body
+    must not call blocking primitives (``chan.send``, ``mutex.lock``, ...)
+    or ``rt.gosched()`` — it yields instead.  The scheduler only picks this
+    vehicle (under ``backend="generator"``) for bodies that *are* generator
+    functions; plain functions ride thread-compat hosts in the same run.
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self._gen: Any = None
+
+    # -- scheduler side -------------------------------------------------
+
+    def start(self) -> None:
+        self.state = GState.RUNNABLE
+
+    def resume(self) -> None:
+        """Drive the generator one step, in the caller's (scheduler) frame.
+
+        Unlike the stack-switching vehicles there is no separate host to
+        transfer to, so exit classification (``_execute``'s job elsewhere)
+        happens inline here.
+        """
+        self.state = GState.RUNNING
+        try:
+            if self._gen is None:
+                if self._killed:
+                    raise Killed()
+                self._gen = self.fn(*self.args)
+            if self._killed:
+                self._gen.throw(Killed)
+            elif self.pending_error is not None:
+                error = self.pending_error
+                self.pending_error = None
+                self._gen.throw(error)
+            else:
+                next(self._gen)
+            # Yielded: state stays RUNNING so the loop records a voluntary
+            # schedule point (exactly like yield_to_scheduler elsewhere).
+        except StopIteration as stop:
+            self.result = stop.value
+            self.state = GState.DONE
+        except Killed:
+            self.state = GState.KILLED
+        except GoPanic as exc:
+            self.state = GState.PANICKED
+            self.panic_value = exc
+            self.panic_traceback = traceback.format_exc()
+        except BaseException as exc:
+            self.state = GState.PANICKED
+            self.panic_value = exc
+            self.panic_traceback = traceback.format_exc()
+
+    def kill(self, join_timeout: Optional[float] = None) -> None:
+        if self.state in GState.TERMINAL:
+            return
+        self._killed = True
+        if self._gen is None:
+            self.state = GState.KILLED
+            return
+        for _ in range(2):
+            try:
+                self._gen.throw(Killed)
+            except StopIteration as stop:
+                self.result = stop.value
+                self.state = GState.DONE
+                return
+            except Killed:
+                self.state = GState.KILLED
+                return
+            except BaseException as exc:
+                self.state = GState.PANICKED
+                self.panic_value = exc
+                self.panic_traceback = traceback.format_exc()
+                return
+            # throw() returned: the generator swallowed Killed and yielded
+            # again — one more attempt, then it is stuck by the standard
+            # definition (nothing to abandon: dropping the generator is safe).
+        timeout = HOST_JOIN_TIMEOUT if join_timeout is None else join_timeout
+        self._mark_stuck(timeout)
+
+    def on_current_host(self) -> bool:
+        # A generator has no separate host to park; resume() drives it in
+        # the scheduler's own frame, so parking from here is impossible.
+        return False
+
+    # -- goroutine side -------------------------------------------------
+
+    def yield_to_scheduler(self) -> None:
+        raise SchedulerStateError(
+            f"goroutine {self.gid} ({self.name}) is generator-backed: its "
+            "body must use a bare `yield` as the schedule point and cannot "
+            "call blocking primitives or gosched() (only the thread, "
+            "greenlet and tasklet vehicles can suspend nested frames)"
+        )

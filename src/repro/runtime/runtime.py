@@ -25,7 +25,7 @@ Example::
 from __future__ import annotations
 
 import sys
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .errors import DeadlockError, GoPanic, StepLimitExceeded
 from .goroutine import Goroutine, GState
@@ -62,6 +62,7 @@ class Runtime:
     def __init__(self, scheduler: Scheduler):
         self.sched = scheduler
         self._next_obj_id = 1
+        self._fresh_ids: Dict[str, int] = {}
         self._shared_vars: List[Any] = []
         #: Every channel created through :meth:`make_chan`, in creation
         #: order; the fault injector targets channels by name through this.
@@ -82,6 +83,19 @@ class Runtime:
         oid = self._next_obj_id
         self._next_obj_id += 1
         return oid
+
+    def fresh_id(self, kind: str = "id") -> int:
+        """Per-run monotone counter; an independent sequence per ``kind``.
+
+        Application components that embed an id in the name of a seeded
+        RNG (txn-retry jitter, container restart backoff) must draw the
+        id here: a process-global counter would make the schedule depend
+        on how many runs preceded this one in the process, breaking
+        same-seed-same-trace.
+        """
+        nxt = self._fresh_ids.get(kind, 0) + 1
+        self._fresh_ids[kind] = nxt
+        return nxt
 
     # ------------------------------------------------------------------
     # Goroutines
@@ -354,6 +368,9 @@ class RunResult:
         trace: the full event trace (when ``keep_trace``).
         stuck_host_threads: goroutines whose host threads survived the kill
             join timeout at teardown (previously dropped silently).
+        backend: the resolved goroutine vehicle that ran this simulation
+            (``"greenlet"`` | ``"tasklet"`` | ``"generator"`` |
+            ``"thread"``) — what ``backend="coroutine"`` actually picked.
         injected: records of faults the injector fired during this run
             (empty when no fault plan was attached).
         observation: the :class:`repro.observe.Observer` that watched this
@@ -379,6 +396,7 @@ class RunResult:
         stuck_host_threads: Sequence[Goroutine] = (),
         injected: Sequence[Any] = (),
         observation: Optional[Any] = None,
+        backend: Optional[str] = None,
     ):
         self.status = status
         self.seed = seed
@@ -395,6 +413,7 @@ class RunResult:
         self.stuck_host_threads = list(stuck_host_threads)
         self.injected = list(injected)
         self.observation = observation
+        self.backend = backend
 
     @property
     def completed(self) -> bool:
@@ -431,6 +450,7 @@ class RunResult:
             "stuck_host_threads": [g.describe() for g in self.stuck_host_threads],
             "faults_injected": [record.to_dict() if hasattr(record, "to_dict")
                                 else record for record in self.injected],
+            "backend": self.backend,
         }
 
     def __repr__(self) -> str:
@@ -457,7 +477,7 @@ def run(
     rng: Optional[Any] = None,
     inject: Optional[Any] = None,
     observe: Any = None,
-    backend: str = "thread",
+    backend: str = "coroutine",
     host_join_timeout: Optional[float] = None,
 ) -> RunResult:
     """Execute ``main(rt, *args)`` under the simulator and classify the outcome.
@@ -492,15 +512,22 @@ def run(
             configured Observer to control site capture and sampling.  The
             observer is a pure trace consumer — attaching it never changes
             the schedule — and lands on ``result.observation``.
-        backend: goroutine host backend — ``"thread"`` (default) or
-            ``"greenlet"`` (single-thread userspace switching; needs the
-            optional greenlet package, falls back to threads with a warning
-            when missing).  Both produce bit-identical schedules.
-        host_join_timeout: seconds :meth:`Goroutine.kill` waits per host
-            thread at teardown before declaring it stuck (default
-            :data:`repro.runtime.goroutine.HOST_JOIN_TIMEOUT`).  Sweep
-            engines shrink this so one pathological seed cannot stall a
-            whole sweep.
+        backend: goroutine host backend.  ``"coroutine"`` (the default)
+            resolves to the best single-threaded continuation vehicle
+            available — ``"greenlet"``, then the in-tree ``"tasklet"`` C
+            extension, then the pure-Python ``"generator"`` trampoline.
+            ``"thread"`` is the opt-in compatibility mode (one OS thread
+            per goroutine).  A specific vehicle can also be named directly;
+            unavailable ones fall back with a once-per-process warning.
+            Every backend produces bit-identical schedules; the resolved
+            vehicle is surfaced as ``result.backend``.
+        host_join_timeout: *total* teardown budget in seconds for unwinding
+            host threads at the end of the run (default
+            :data:`repro.runtime.goroutine.HOST_JOIN_TIMEOUT`); hosts that
+            outlive their share of it are declared stuck.  Only
+            thread-compat hosts can consume it — continuation vehicles
+            unwind synchronously.  Sweep engines shrink it so one
+            pathological seed cannot stall a whole sweep.
     """
     sched = Scheduler(seed=seed, max_steps=max_steps, preempt=preempt,
                       keep_trace=keep_trace, rng=rng, backend=backend)
@@ -530,16 +557,18 @@ def run(
     main_g = sched.spawn(main, (rt,) + tuple(args), name="main",
                          anonymous=False, creation_site=main_site)
 
-    def stop() -> bool:
-        return main_g.state in GState.TERMINAL or sched.panicked is not None
-
     status: str
     leaked: List[Goroutine] = []
     abandoned: List[Goroutine] = []
     deadlock: Optional[DeadlockError] = None
 
     try:
-        outcome = sched.run_until_quiescent(stop_when=stop, time_limit=time_limit)
+        # Structured stop condition ("main is terminal or anything
+        # panicked") so the compiled hot loop can check it without a
+        # Python call per step; the scheduler synthesizes the equivalent
+        # closure for the pure paths.
+        outcome = sched.run_until_quiescent(stop_mode=("main", main_g),
+                                            time_limit=time_limit)
         if sched.panicked is not None:
             status = "panic"
         elif outcome == "steps":
@@ -574,7 +603,7 @@ def run(
                 # sleepers and armed timers finish) until quiescence: what
                 # remains blocked then is blocked *forever*.
                 sched.run_until_quiescent(
-                    stop_when=lambda: sched.panicked is not None,
+                    stop_mode=("panic", None),
                     advance_clock=True,
                     step_budget=drain_budget,
                 )
@@ -605,6 +634,7 @@ def run(
         stuck_host_threads=[g for g in sched.goroutines if g.stuck_host_thread],
         injected=injector.log if injector is not None else (),
         observation=observation,
+        backend=sched.backend,
     )
     if observation is not None:
         observation.finish(result)

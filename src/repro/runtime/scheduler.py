@@ -21,16 +21,27 @@ system's effective speed, the per-step path here is deliberately lean:
 
 from __future__ import annotations
 
+import inspect
 import os
 import random
 import sys
 import threading
+import time as _time
 from typing import Any, Callable, List, Optional, Tuple
 
 from .clock import VirtualClock
 from .errors import Killed, SchedulerStateError, StepLimitExceeded
-from .fastrand import BatchedRandom
-from .goroutine import HAS_GREENLET, Goroutine, GreenletGoroutine, GState
+from ._hotloop import BatchedRandom, get_drive
+from .goroutine import (
+    HAS_GREENLET,
+    GeneratorGoroutine,
+    Goroutine,
+    GreenletGoroutine,
+    GState,
+    TaskletGoroutine,
+    has_tasklet,
+    tasklet_module,
+)
 from .trace import EventKind, Trace, TraceEvent
 
 #: Package directories whose frames are simulator plumbing, not user code.
@@ -41,10 +52,19 @@ from .trace import EventKind, Trace, TraceEvent
 _INTERNAL_PACKAGES = ("runtime", "chan", "sync", "stdlib")
 _internal_dirs: Optional[Tuple[str, ...]] = None
 
-#: Goroutine host backends.  ``"thread"`` is always available; ``"greenlet"``
-#: needs the optional greenlet package and silently falls back to threads
-#: (with a one-time warning) when it is missing.
-BACKENDS = ("thread", "greenlet")
+#: Goroutine host backends.  ``"coroutine"`` (the default) resolves to the
+#: best single-threaded continuation vehicle available — greenlet, then the
+#: in-tree ``_ctasklet`` C extension, then the pure-Python generator
+#: trampoline.  ``"thread"`` is the always-available opt-in compatibility
+#: mode (one daemon OS thread per goroutine); the remaining names request a
+#: specific vehicle and fall back (with a one-time warning) when it is
+#: unavailable.  Every backend produces bit-identical schedules.
+BACKENDS = ("coroutine", "thread", "greenlet", "tasklet", "generator")
+
+#: Backends whose goroutines share the scheduler's OS thread.  For these the
+#: main loop drives every step itself (``_direct`` is False); only the
+#: ``"thread"`` backend uses the inline direct-handoff continuation.
+COROUTINE_BACKENDS = frozenset({"greenlet", "tasklet", "generator"})
 
 
 def _internal_frame_dirs() -> Tuple[str, ...]:
@@ -107,28 +127,62 @@ def user_stack(limit: int = 8) -> Tuple[str, ...]:
     return tuple(frames)
 
 
-_warned_no_greenlet = False
+# Requested backends we have already warned about falling back from.
+# Module-level so the warning fires exactly once per process, no matter how
+# many Schedulers a sweep constructs.
+_fallback_warned: set = set()
 
 
-def _resolve_backend(backend: str) -> str:
-    global _warned_no_greenlet
+def _best_coroutine_backend() -> str:
+    if HAS_GREENLET:
+        return "greenlet"
+    if has_tasklet():
+        return "tasklet"
+    return "generator"
+
+
+def resolve_backend(backend: str) -> str:
+    """Map a requested backend name to the concrete vehicle that will run.
+
+    ``"coroutine"`` picks the best continuation vehicle silently; asking for
+    a specific unavailable vehicle (``"greenlet"`` without the package,
+    ``"tasklet"`` off-platform) falls back to the next-best one with a
+    once-per-process ``RuntimeWarning``.  Fallbacks never change schedules —
+    every vehicle draws the identical seeded decision sequence.
+    """
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown goroutine backend {backend!r}; expected one of {BACKENDS}")
+    if backend == "coroutine":
+        return _best_coroutine_backend()
     if backend == "greenlet" and not HAS_GREENLET:
-        if not _warned_no_greenlet:
-            import warnings
-
-            warnings.warn(
-                "greenlet backend requested but the greenlet package is not "
-                "installed; falling back to the thread backend (schedules "
-                "are identical, context switches are slower)",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            _warned_no_greenlet = True
-        return "thread"
+        fallback = "tasklet" if has_tasklet() else "generator"
+        _warn_fallback(backend, fallback, "the greenlet package is not installed")
+        return fallback
+    if backend == "tasklet" and not has_tasklet():
+        fallback = "greenlet" if HAS_GREENLET else "generator"
+        _warn_fallback(backend, fallback,
+                       "the _ctasklet extension is unavailable on this platform")
+        return fallback
     return backend
+
+
+def _warn_fallback(requested: str, fallback: str, why: str) -> None:
+    if requested in _fallback_warned:
+        return
+    _fallback_warned.add(requested)
+    import warnings
+
+    warnings.warn(
+        f"{requested} backend requested but {why}; falling back to the "
+        f"{fallback} backend (schedules are identical)",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
+# Backwards-compatible alias (pre-coroutine-core name).
+_resolve_backend = resolve_backend
 
 
 class Scheduler:
@@ -145,7 +199,7 @@ class Scheduler:
         preempt: bool = True,
         keep_trace: bool = True,
         rng: Optional[Any] = None,
-        backend: str = "thread",
+        backend: str = "coroutine",
     ):
         #: Source of all scheduling nondeterminism.  Anything with a
         #: ``randrange(n)`` method works; the systematic explorer injects a
@@ -162,9 +216,16 @@ class Scheduler:
         #: False only genuinely blocking operations yield (faster, but fewer
         #: interleavings are explored).
         self.preempt = preempt
-        #: Which goroutine host carries the token: "thread" (default) or
-        #: "greenlet" (single-thread userspace switching, optional).
-        self.backend = _resolve_backend(backend)
+        #: The backend name the caller asked for (possibly ``"coroutine"``).
+        self.requested_backend = backend
+        #: The concrete vehicle carrying the token: "greenlet", "tasklet",
+        #: "generator" (single-thread continuations) or "thread" (compat).
+        self.backend = resolve_backend(backend)
+        #: True only for the thread backend: yields run the scheduler's
+        #: continuation inline on the yielding host (direct handoff).  The
+        #: coroutine backends bounce every yield back to the main loop —
+        #: a userspace switch, so there is nothing to save by not bouncing.
+        self._direct = self.backend == "thread"
         self._hub: Any = None
         if self.backend == "greenlet":
             import greenlet
@@ -173,6 +234,10 @@ class Scheduler:
             # Scheduler (the main greenlet of the calling thread); every
             # goroutine greenlet yields back to it.
             self._hub = greenlet.getcurrent()
+        elif self.backend == "tasklet":
+            # Same pattern: the calling thread's main continuation is the
+            # hub every goroutine tasklet switches back to.
+            self._hub = tasklet_module().current()
 
         self.goroutines: List[Goroutine] = []
         self._runnable: List[Goroutine] = []
@@ -184,9 +249,23 @@ class Scheduler:
         self._handoff.acquire()
         self._next_gid = 1
         self._shutting_down = False
+        #: The goroutine currently being unwound by :meth:`kill_all`, so a
+        #: dying host that re-enters the runtime can be parked (see
+        #: :meth:`_teardown_park`).
+        self._teardown_g: Optional[Goroutine] = None
+        #: The compiled fused step loop (``repro.runtime._ext._hotloop``),
+        #: or None.  Only the centralized (coroutine-core) loop can use it;
+        #: the thread backend's direct handoff never goes through here.
+        self._hot: Optional[Callable[["Scheduler"], Optional[str]]] = (
+            None if self._direct else get_drive())
         # Per-call loop state, shared with the inline continuations that
         # goroutine hosts run in ``_handback`` (all token-serialized).
         self._stop_when: Optional[Callable[[], bool]] = None
+        #: Structured stop condition (``("main", g)`` / ``("panic", None)``)
+        #: mirroring ``_stop_when`` when the caller used one of the standard
+        #: shapes; lets the compiled loop evaluate the stop check without a
+        #: Python call per step.
+        self._stop_mode: Optional[Tuple[str, Optional[Goroutine]]] = None
         self._time_limit: Optional[float] = None
         self._budget = 0
         self._budget_used = 0
@@ -231,8 +310,27 @@ class Scheduler:
     def current(self) -> Goroutine:
         """The goroutine currently holding the token."""
         if self._current is None:
+            self._teardown_park()
             raise SchedulerStateError("no goroutine is currently running")
         return self._current
+
+    def _teardown_park(self) -> None:
+        """Park a dying host that re-entered the runtime during teardown.
+
+        A goroutine that swallows ``Killed`` and retries a blocking
+        primitive lands here (`sched.current` with the run already over).
+        On an OS-thread host, raising was survivable — the thread spun or
+        died on its own core.  On a single-threaded continuation, raising
+        returns control *to the swallowing loop*, which retries forever and
+        hangs the whole process.  The only safe move is to suspend the
+        continuation right here: control returns to ``kill``, which marks
+        the goroutine stuck and abandons it.  Never returns once it parks;
+        a further kill attempt re-raises ``Killed`` from the yield.
+        """
+        g = self._teardown_g
+        if self._shutting_down and g is not None and g.on_current_host():
+            while True:
+                g.yield_to_scheduler()
 
     @property
     def current_gid(self) -> int:
@@ -288,27 +386,26 @@ class Scheduler:
         creation_site: Optional[str] = None,
     ) -> Goroutine:
         """Create a goroutine and put it on the runnable set."""
-        if self.backend == "greenlet":
-            g: Goroutine = GreenletGoroutine(
-                gid=self._next_gid,
-                fn=fn,
-                args=args,
-                scheduler=self,
-                name=name,
-                anonymous=anonymous,
-                creation_site=creation_site,
-                hub=self._hub,
-            )
+        common = dict(
+            gid=self._next_gid,
+            fn=fn,
+            args=args,
+            scheduler=self,
+            name=name,
+            anonymous=anonymous,
+            creation_site=creation_site,
+        )
+        backend = self.backend
+        if backend == "greenlet":
+            g: Goroutine = GreenletGoroutine(hub=self._hub, **common)
+        elif backend == "tasklet":
+            g = TaskletGoroutine(hub=self._hub, **common)
+        elif backend == "generator" and inspect.isgeneratorfunction(fn):
+            g = GeneratorGoroutine(**common)
         else:
-            g = Goroutine(
-                gid=self._next_gid,
-                fn=fn,
-                args=args,
-                scheduler=self,
-                name=name,
-                anonymous=anonymous,
-                creation_site=creation_site,
-            )
+            # thread backend, or a plain-function body under the generator
+            # backend (which can only trampoline generator functions).
+            g = Goroutine(**common)
         self._next_gid += 1
         g.created_at = self.clock.now
         self.goroutines.append(g)
@@ -386,8 +483,17 @@ class Scheduler:
         advance_clock: bool = True,
         step_budget: Optional[int] = None,
         time_limit: Optional[float] = None,
+        stop_mode: Optional[Tuple[str, Optional[Goroutine]]] = None,
     ) -> str:
         """Drive goroutines until nothing can run.
+
+        ``stop_mode`` is the structured form of the two standard stop
+        conditions — ``("main", g)`` (stop when ``g`` is terminal or any
+        goroutine panicked) and ``("panic", None)`` (stop only on panic).
+        Passing it instead of a ``stop_when`` closure means the compiled
+        hot loop can evaluate the condition without calling into Python,
+        and this method synthesizes the equivalent closure for the pure
+        paths.  An explicit ``stop_when`` always wins.
 
         Returns one of:
           * ``"stopped"``   — ``stop_when()`` became true (e.g. main exited,
@@ -403,24 +509,64 @@ class Scheduler:
         yielding host, which performs this loop's per-step logic inline and
         wakes the next host itself.  The main thread parks here and only
         wakes when a continuation leaves a verdict (timers to fire, loop
-        done).  Greenlet backend: every yield switches back into this loop,
-        which then does the bookkeeping itself (switches are userspace-cheap,
-        and the whole simulation shares one OS thread anyway).
+        done).  Coroutine backends (greenlet/tasklet/generator): every yield
+        comes straight back into this loop, which does the bookkeeping
+        itself — switches are userspace-cheap and the whole simulation
+        shares one OS thread anyway.  Thread-compat hosts spawned under a
+        coroutine backend (plain functions on the generator backend) bounce
+        through the same centralized path.
         """
+        if stop_mode is not None:
+            if stop_when is not None:
+                stop_mode = None  # explicit closure wins; compiled loop off
+            else:
+                kind, stop_g = stop_mode
+                if kind == "main":
+                    def stop_when() -> bool:
+                        return (stop_g.state in GState.TERMINAL
+                                or self.panicked is not None)
+                elif kind == "panic":
+                    def stop_when() -> bool:
+                        return self.panicked is not None
+                else:
+                    raise ValueError(f"unknown stop mode {kind!r}")
         self._stop_when = stop_when
+        self._stop_mode = stop_mode
         self._time_limit = time_limit
         self._budget = self.max_steps if step_budget is None else step_budget
         self._budget_used = 0
         self._main_verdict = None
-        direct = self.backend != "greenlet"
+        direct = self._direct
+        # The compiled fused loop stands in for the whole per-step body
+        # below whenever nothing observable differs from the pure path: a
+        # structured stop condition, no trace consumer, no injector, no
+        # observe/explore hooks, and the stock RNG (checked inside drive).
+        hot = self._hot if stop_mode is not None else None
         try:
             while True:
+                if (hot is not None and self.injector is None
+                        and self.on_step is None
+                        and self.annotate_pick is None
+                        and not self.trace.active):
+                    verdict = hot(self)
+                    if verdict is None:
+                        # Static mismatch (e.g. a scripted RNG): the pure
+                        # loop takes over for the rest of this call.
+                        hot = None
+                    elif verdict == "idle":
+                        if advance_clock and self.clock.has_pending():
+                            self.fire_timers(self.clock.advance_to_next())
+                            continue
+                        return "quiescent"
+                    else:
+                        return verdict
                 g = self._advance()
                 if g is not None:
                     self._current = g
                     g.resume()
                     if not direct:
-                        # Greenlet: the yield switched straight back here.
+                        # Coroutine core: the yield switched (or bounced)
+                        # straight back here.
                         self._current = None
                         self._after_resume(g)
                         continue
@@ -440,6 +586,7 @@ class Scheduler:
                 return verdict
         finally:
             self._stop_when = None
+            self._stop_mode = None
 
     def fire_timers(self, fired) -> None:
         """Run fired timer callbacks in scheduler context (one trace event
@@ -503,6 +650,11 @@ class Scheduler:
                 self._handoff.release()
             except RuntimeError:  # pragma: no cover - late stuck-thread race
                 pass
+            return None
+        if not self._direct:
+            # Centralized mode (thread-compat host under a coroutine
+            # backend): wake the main loop, which does all bookkeeping.
+            self._handoff.release()
             return None
         self._current = None
         try:
@@ -598,11 +750,30 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def kill_all(self) -> None:
-        """Unwind every live goroutine's host (end of run cleanup)."""
+        """Unwind every live goroutine's host (end of run cleanup).
+
+        ``host_join_timeout`` is a *total* teardown budget, not a
+        per-goroutine one: with N hung thread-compat hosts the old
+        per-goroutine bound stalled teardown for N x timeout, which let a
+        mixed-backend test suite leak minutes to a handful of stuck
+        threads.  Each kill gets the time remaining on the shared deadline
+        (with a small floor so a well-behaved host can always unwind);
+        coroutine vehicles unwind synchronously and spend none of it.
+        """
         self._shutting_down = True
-        for g in self.goroutines:
-            if g.state in GState.LIVE:
-                g.kill(join_timeout=self.host_join_timeout)
+        from .goroutine import HOST_JOIN_TIMEOUT
+
+        budget = (HOST_JOIN_TIMEOUT if self.host_join_timeout is None
+                  else self.host_join_timeout)
+        deadline = _time.monotonic() + max(budget, 0.0)
+        try:
+            for g in self.goroutines:
+                if g.state in GState.LIVE:
+                    remaining = deadline - _time.monotonic()
+                    self._teardown_g = g
+                    g.kill(join_timeout=max(remaining, 0.05))
+        finally:
+            self._teardown_g = None
 
     def check_step_limit(self) -> None:
         if self._steps > self.max_steps:

@@ -1,10 +1,9 @@
-"""Goroutine host backends: resolution, greenlet fallback, cross-backend
+"""Goroutine host backends: resolution, fallback warnings, cross-backend
 schedule equivalence.
 
-The backend only changes *how* goroutines are hosted (OS threads vs
-userspace greenlets); every scheduling decision comes from the same seeded
-RNG either way, so both backends must produce bit-identical schedule
-fingerprints.
+The backend only changes *how* goroutines are hosted (continuations vs OS
+threads); every scheduling decision comes from the same seeded RNG either
+way, so all backends must produce bit-identical schedule fingerprints.
 """
 
 import warnings
@@ -14,7 +13,8 @@ import pytest
 from repro import run
 from repro.parallel import schedule_digest
 from repro.runtime import scheduler as scheduler_mod
-from repro.runtime.goroutine import HAS_GREENLET
+from repro.runtime.goroutine import HAS_GREENLET, has_tasklet
+from repro.runtime.scheduler import BACKENDS, resolve_backend
 
 
 def _program(rt):
@@ -33,13 +33,30 @@ def test_unknown_backend_rejected():
         run(_program, backend="fiber")
 
 
+def test_coroutine_is_the_default_and_resolves_to_a_continuation_vehicle():
+    result = run(_program, seed=3)
+    assert result.backend in ("greenlet", "tasklet", "generator")
+    assert result.backend == resolve_backend("coroutine")
+    # The compat mode is still reachable and reports itself.
+    assert run(_program, seed=3, backend="thread").backend == "thread"
+
+
+def test_backend_surfaced_on_result_and_summary():
+    from repro.parallel import summarize_result
+
+    result = run(_program, seed=1, backend="thread")
+    assert result.backend == "thread"
+    assert result.to_dict()["backend"] == "thread"
+    assert summarize_result(result).backend == "thread"
+
+
 @pytest.mark.skipif(HAS_GREENLET,
                     reason="greenlet installed; fallback path unreachable")
-def test_missing_greenlet_falls_back_to_threads_with_warning(monkeypatch):
-    monkeypatch.setattr(scheduler_mod, "_warned_no_greenlet", False)
-    with pytest.warns(RuntimeWarning,
-                      match="falling back to the thread backend"):
+def test_missing_greenlet_falls_back_to_continuations_with_warning(monkeypatch):
+    monkeypatch.setattr(scheduler_mod, "_fallback_warned", set())
+    with pytest.warns(RuntimeWarning, match="falling back to the"):
         fallback = run(_program, seed=5, backend="greenlet")
+    assert fallback.backend in ("tasklet", "generator")
     thread = run(_program, seed=5, backend="thread")
     assert fallback.status == thread.status
     assert fallback.main_result == thread.main_result
@@ -50,13 +67,42 @@ def test_missing_greenlet_falls_back_to_threads_with_warning(monkeypatch):
         run(_program, seed=5, backend="greenlet")
 
 
-@pytest.mark.skipif(not HAS_GREENLET,
-                    reason="needs the optional greenlet package")
+def test_fallback_warns_once_per_process_across_schedulers(monkeypatch):
+    """Many Scheduler constructions (a sweep) -> at most one warning."""
+    if HAS_GREENLET and has_tasklet():
+        pytest.skip("every vehicle available; no fallback to exercise")
+    requested = "greenlet" if not HAS_GREENLET else "tasklet"
+    monkeypatch.setattr(scheduler_mod, "_fallback_warned", set())
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", RuntimeWarning)
+        for seed in range(4):
+            run(_program, seed=seed, backend=requested)
+    fallback_warnings = [w for w in caught
+                         if "falling back to the" in str(w.message)]
+    assert len(fallback_warnings) == 1
+
+
 @pytest.mark.parametrize("seed", [0, 1, 2, 3])
 def test_backends_produce_identical_schedules(seed):
-    thread = run(_program, seed=seed, backend="thread")
-    green = run(_program, seed=seed, backend="greenlet")
-    assert thread.status == green.status
-    assert thread.steps == green.steps
-    assert thread.main_result == green.main_result
-    assert schedule_digest(thread) == schedule_digest(green)
+    available = ["thread", "coroutine", "generator"]
+    if HAS_GREENLET:
+        available.append("greenlet")
+    if has_tasklet():
+        available.append("tasklet")
+    results = {b: run(_program, seed=seed, backend=b) for b in available}
+    reference = results["thread"]
+    for backend, result in results.items():
+        assert result.status == reference.status, backend
+        assert result.steps == reference.steps, backend
+        assert result.main_result == reference.main_result, backend
+        assert schedule_digest(result) == schedule_digest(reference), backend
+
+
+def test_backends_tuple_names_every_vehicle():
+    assert BACKENDS == ("coroutine", "thread", "greenlet", "tasklet",
+                        "generator")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        for name in BACKENDS:
+            assert resolve_backend(name) in ("thread", "greenlet", "tasklet",
+                                             "generator")
