@@ -1,0 +1,55 @@
+"""Static analysis scorecard: zero-execution recall vs ground-truth labels.
+
+Not a paper table — this guards the ``repro.static`` subsystem the way
+``bench_predict_scorecard`` guards the predictive tier.  The same
+measurements back ``repro bench --static``, whose JSON lands in the
+committed ``BENCH_static.json`` baseline.
+
+Three acceptance bars from the subsystem's design:
+
+* Over the whole kernel corpus — both variants, no execution at all —
+  the checkers must flag at least 80% of the buggy variants
+  (recall >= 0.8) while keeping fixed variants clean (precision >= 0.8,
+  with the pinned known-racy fixed variants scored as true positives).
+* The full scan (108 program scans plus the mini-apps in module mode)
+  must finish in well under the time of a single dynamic sweep —
+  the budget here is one wall-clock second.
+* As the cheapest pre-filter, static triage must let the explorer skip
+  schedule search on the bug-free bench kernels (runs saved > 0, zero
+  false skips) while still flagging every buggy variant.
+"""
+
+from repro.bench import run_static_benchmarks
+
+
+def test_static_scorecard_and_triage_savings(report):
+    document = run_static_benchmarks()
+    scorecard = document["scorecard"]
+    triage = document["triage"]
+
+    checker_text = " ".join(
+        f"{stage}:{secs:.2f}s" for stage, secs
+        in sorted(scorecard["checker_seconds"].items()))
+    lines = [f"kernels {scorecard['kernels']}  "
+             f"recall {scorecard['recall']:.0%}  "
+             f"precision {scorecard['precision']:.0%}  "
+             f"full scan {scorecard['scan_wall_s']:.2f}s  "
+             f"mini-apps {'clean' if scorecard['apps_clean'] else 'FLAGGED'}",
+             f"per-stage wall: {checker_text}",
+             f"{'kernel':<45} {'explore':>8} {'saved':>6} {'buggy':>8}"]
+    for kid, row in triage["kernels"].items():
+        lines.append(
+            f"{kid:<45} {row['explore_runs']:>8} {row['runs_saved']:>6} "
+            f"{'flagged' if row['buggy_flagged'] else 'MISSED':>8}")
+    lines.append(f"total saved {triage['total_runs_saved']}/"
+                 f"{triage['total_explore_runs']}  "
+                 f"false skips: {triage['false_skips'] or 'none'}")
+    report("Static analysis: scorecard + triage savings", "\n".join(lines))
+
+    assert scorecard["recall"] >= 0.8, scorecard
+    assert scorecard["precision"] >= 0.8, scorecard
+    assert scorecard["apps_clean"], scorecard
+    assert triage["all_fixed_screened_clean"]
+    assert not triage["false_skips"]
+    assert triage["total_runs_saved"] > 0
+    assert all(row["triage_clean"] for row in triage["kernels"].values())

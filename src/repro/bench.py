@@ -517,6 +517,84 @@ def run_predict_benchmarks(runs_per_kernel: int = 15,
     }
 
 
+def run_static_benchmarks(triage_kernel_ids: Sequence[str] = EXPLORE_KERNELS,
+                          max_runs: int = 800) -> Dict[str, Any]:
+    """The ``static`` section: scan quality and sweep-triage savings.
+
+    Mirrors the predict section one tier down: *quality* is the whole
+    corpus (both variants) plus the mini-apps scored against the
+    ground-truth taxonomy labels — no execution at all; *savings* is the
+    static screen vs exploring the schedule tree to exhaustion on the
+    bug-free exploration bench kernels, with the buggy variants as the
+    no-false-skip control.  Unlike predict, a clean static verdict costs
+    zero recorded runs, so it saves the whole exploration budget.
+    """
+    from .bugs import registry
+    from .detect.systematic import explore_systematic
+    from .parallel import memo as memo_mod
+    from .static import (build_static_scorecard, checker_timings, scan_apps,
+                         static_precision, static_recall, triage_kernel)
+
+    t0 = time.perf_counter()
+    rows = build_static_scorecard()
+    scorecard_s = time.perf_counter() - t0
+    apps = scan_apps()
+
+    triage: Dict[str, Any] = {}
+    false_skips = []
+    for kid in triage_kernel_ids:
+        kernel = registry.get(kid)
+        kwargs = dict(kernel.run_kwargs)
+        t0 = time.perf_counter()
+        clean = triage_kernel(kernel, fixed=True)
+        triage_s = time.perf_counter() - t0
+        with memo_mod.disable():
+            exploration = explore_systematic(
+                kernel.fixed, stop_on=kernel.manifested,
+                max_runs=max_runs, **kwargs)
+        dirty = triage_kernel(kernel, fixed=False)
+        if not dirty.needs_search:
+            false_skips.append(kid)
+        saved = exploration.runs if not clean.needs_search else 0
+        triage[kid] = {
+            "explore_runs": exploration.runs,
+            "explore_exhausted": exploration.exhausted,
+            "triage_clean": not clean.needs_search,
+            "runs_saved": saved,
+            "triage_s": round(triage_s, 4),
+            "buggy_flagged": dirty.needs_search,
+        }
+
+    return {
+        "scorecard": {
+            "kernels": len(rows),
+            "caught": sum(1 for r in rows if r.caught),
+            "missed": [r.kernel_id for r in rows if not r.caught],
+            "false_positives": [r.kernel_id for r in rows
+                                if r.fixed_flagged and r.fixed_expected_clean],
+            "recall": round(static_recall(rows), 4),
+            "precision": round(static_precision(rows), 4),
+            "scan_wall_s": round(sum(r.wall_ms for r in rows) / 1000, 4),
+            "scorecard_wall_s": round(scorecard_s, 4),
+            "checker_seconds": {k: round(v, 4)
+                                for k, v in checker_timings(rows).items()},
+            "apps_clean": not apps.found,
+            "apps_wall_s": round(apps.wall_s, 4),
+        },
+        "triage": {
+            "max_runs": max_runs,
+            "kernels": triage,
+            "total_explore_runs": sum(row["explore_runs"]
+                                      for row in triage.values()),
+            "total_runs_saved": sum(row["runs_saved"]
+                                    for row in triage.values()),
+            "all_fixed_screened_clean": all(row["triage_clean"]
+                                            for row in triage.values()),
+            "false_skips": false_skips,
+        },
+    }
+
+
 def run_benchmarks(jobs: int = 0, repeats: int = 3,
                    sweep_seeds_n: int = 64,
                    explore: bool = True) -> Dict[str, Any]:
@@ -748,6 +826,38 @@ def render(document: Dict[str, Any]) -> str:
         lines.append(f"  total runs saved {triage['total_runs_saved']}/"
                      f"{triage['total_explore_runs']}, false skips: "
                      f"{triage['false_skips'] or 'none'}")
+    if "static" in document:
+        static = document["static"]
+        card, triage = static["scorecard"], static["triage"]
+        lines.append("")
+        lines.append(
+            f"static analysis ({card['kernels']} kernels, both variants, "
+            f"zero executions): recall {card['recall']:.0%} / precision "
+            f"{card['precision']:.0%} vs ground-truth labels, full scan "
+            f"{card['scan_wall_s']:.2f}s, mini-apps "
+            f"{'clean' if card['apps_clean'] else 'FLAGGED'} "
+            f"({card['apps_wall_s'] * 1000:.0f}ms)")
+        checker_text = " ".join(
+            f"{stage}:{secs:.2f}s" for stage, secs
+            in sorted(card["checker_seconds"].items()))
+        lines.append(f"  per-stage wall: {checker_text}")
+        if card["missed"] or card["false_positives"]:
+            lines.append(f"  missed: {card['missed'] or 'none'}, "
+                         f"false positives: "
+                         f"{card['false_positives'] or 'none'}")
+        lines.append(f"static screen vs explore-to-exhaustion "
+                     f"(max_runs={triage['max_runs']}):")
+        lines.append(f"{'kernel':<45} {'explore':>8} {'static':>7} "
+                     f"{'saved':>6} {'buggy':>8}")
+        for kid, row in triage["kernels"].items():
+            lines.append(
+                f"{kid:<45} {row['explore_runs']:>8} "
+                f"{'clean' if row['triage_clean'] else 'FLAG':>7} "
+                f"{row['runs_saved']:>6} "
+                f"{'flagged' if row['buggy_flagged'] else 'MISSED':>8}")
+        lines.append(f"  total runs saved {triage['total_runs_saved']}/"
+                     f"{triage['total_explore_runs']}, false skips: "
+                     f"{triage['false_skips'] or 'none'}")
     if "loadgen" in document:
         lg = document["loadgen"]
         lines.append("")
@@ -897,6 +1007,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="run the predictive-analysis benchmarks "
                              "(offline scorecard vs dynamic detectors + "
                              "triage savings) instead")
+    parser.add_argument("--static", action="store_true",
+                        help="run the static-analysis benchmarks instead "
+                             "(scorecard vs ground-truth labels + triage "
+                             "savings; baseline: BENCH_static.json)")
     parser.add_argument("--compare-backends", action="store_true",
                         help="run only the backend comparison (thread "
                              "compatibility mode vs the coroutine default, "
@@ -944,6 +1058,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "platform": sys.platform,
             "cpus": os.cpu_count(),
             "predict": run_predict_benchmarks(),
+        }
+    elif args.static:
+        document = {
+            "schema": SCHEMA,
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "cpus": os.cpu_count(),
+            "static": run_static_benchmarks(),
         }
     elif args.compare_backends:
         backends = run_backend_comparison(repeats=args.repeats)

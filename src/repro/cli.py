@@ -623,6 +623,78 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_static(args: argparse.Namespace) -> int:
+    import os
+
+    from .static import (
+        analyze_paths,
+        analyze_program,
+        build_static_scorecard,
+        render_static_scorecard,
+        scan_apps,
+        scorecard_dict,
+        triage_report,
+        triage_sweep,
+    )
+
+    if args.scorecard:
+        rows = build_static_scorecard()
+        apps = scan_apps()
+        if args.json:
+            print(json.dumps(scorecard_dict(rows, apps), indent=2))
+        else:
+            print(render_static_scorecard(rows, apps))
+        bad = any(not r.caught or not r.fixed_ok for r in rows)
+        return 1 if bad else 0
+
+    if args.triage and not args.target:
+        verdicts = triage_sweep(fixed=args.fixed)
+        if args.json:
+            print(json.dumps([v.to_dict() for v in verdicts], indent=2))
+        else:
+            for verdict in verdicts:
+                print(verdict)
+        return 0
+
+    if not args.target:
+        print("error: give a kernel id or source path, or --scorecard",
+              file=sys.stderr)
+        return 2
+
+    paths = [t for t in args.target if os.path.exists(t)]
+    reports = []
+    for kid in (t for t in args.target if not os.path.exists(t)):
+        try:
+            kernel = registry.get(kid)
+        except KeyError:
+            print(f"error: unknown kernel or path: {kid}", file=sys.stderr)
+            return 2
+        reports.append(analyze_program(
+            kernel, variant="fixed" if args.fixed else "buggy"))
+    if paths:
+        reports.append(analyze_paths(paths))
+
+    if args.triage:
+        verdicts = [triage_report(r) for r in reports]
+        if args.json:
+            payload = [v.to_dict() for v in verdicts]
+            print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                             indent=2))
+        else:
+            for verdict in verdicts:
+                print(verdict)
+        return 0
+
+    if args.json:
+        payload = [r.to_dict() for r in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2))
+        return 0
+    for report in reports:
+        print(report.render())
+    return 1 if any(r.found for r in reports) else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import main as bench_main
 
@@ -639,6 +711,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         forwarded.append("--explore")
     if args.predict:
         forwarded.append("--predict")
+    if args.static:
+        forwarded.append("--static")
     if args.baseline:
         forwarded += ["--baseline", args.baseline]
     if args.compare_backends:
@@ -721,6 +795,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the predictive-analysis benchmarks instead "
                             "(scorecard vs dynamic detectors + triage "
                             "savings; baseline: BENCH_predict.json)")
+    bench.add_argument("--static", action="store_true",
+                       help="run the static-analysis benchmarks instead "
+                            "(scorecard vs ground-truth labels + triage "
+                            "savings; baseline: BENCH_static.json)")
     bench.add_argument("--baseline", metavar="FILE",
                        help="print a delta table against a committed "
                             "benchmark document")
@@ -926,6 +1004,28 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit machine-readable JSON instead of text")
     add_jobs_arg(predictp)
 
+    staticp = sub.add_parser(
+        "static",
+        help="whole-program static analysis (no execution at all)",
+    )
+    staticp.add_argument("target", nargs="*",
+                         help="kernel ids (summary-model analysis) and/or "
+                              "source paths (module-mode scan); omit with "
+                              "--scorecard or --triage for the full corpus")
+    staticp.add_argument("--fixed", action="store_true",
+                         help="analyze kernels' fixed variants")
+    staticp.add_argument("--scorecard", action="store_true",
+                         help="scan every kernel (both variants) plus the "
+                              "mini-apps and score against the ground-truth "
+                              "taxonomy labels; exit 1 on a miss or false "
+                              "positive")
+    staticp.add_argument("--triage", action="store_true",
+                         help="print needs-schedule-search verdicts (the "
+                              "sweep-queue pre-filter; whole corpus when no "
+                              "target is given)")
+    staticp.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of text")
+
     return parser
 
 
@@ -947,6 +1047,7 @@ _COMMANDS = {
     "trace-export": _cmd_trace_export,
     "timeline": _cmd_timeline,
     "predict": _cmd_predict,
+    "static": _cmd_static,
 }
 
 

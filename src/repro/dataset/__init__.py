@@ -1,7 +1,17 @@
 """The study dataset: taxonomy records, the 171-bug dataset, published
-reference values, and the Figure 2/3 usage-history series."""
+reference values, the Figure 2/3 usage-history series, and the
+ground-truth kernel labels every scorecard reads."""
 
 from . import go171, paper_values, usage_history
+from .labels import (
+    FAMILIES,
+    KernelLabels,
+    RACY_FIXED_KERNELS,
+    all_labels,
+    kernel_labels,
+    labels_by_id,
+    labels_for,
+)
 from .records import (
     App,
     Behavior,
@@ -16,6 +26,13 @@ from .records import (
 
 __all__ = [
     "App",
+    "FAMILIES",
+    "KernelLabels",
+    "RACY_FIXED_KERNELS",
+    "all_labels",
+    "kernel_labels",
+    "labels_by_id",
+    "labels_for",
     "Behavior",
     "BlockingSubCause",
     "BugRecord",

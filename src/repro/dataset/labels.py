@@ -1,0 +1,130 @@
+"""Ground-truth taxonomy labels for the executable kernel corpus.
+
+One stable accessor that the static, predictive, and dynamic scorecards
+all read, so "what is this kernel, and which detector family *should*
+catch it" lives in exactly one place.  The labels are derived from each
+kernel's :class:`~repro.bugs.meta.KernelMeta` — the taxonomy the paper's
+Section 5/6 study assigns (behavior x cause x subcause, fix strategy and
+primitive) — plus the expected-detector mapping from Tables 8 and 12:
+blocking bugs are the deadlock/leak detectors' turf, non-blocking bugs
+the race detector's and rule checkers'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from .records import Behavior, BlockingSubCause, Cause, NonBlockingSubCause
+
+#: Detector families a scorecard may claim coverage for.
+FAMILIES = ("dynamic", "predict", "static")
+
+#: Kernels whose *fixed* variant still contains a dynamically confirmed
+#: data race on its observation counters (two goroutines both
+#: ``shared.add`` the symptom tally with no ordering between them — the
+#: repaired bug is the blocking one, the tally race is incidental but
+#: real; the happens-before race detector flags it on every seed).  A
+#: scorecard must not count flagging these fixed variants as a false
+#: positive.
+RACY_FIXED_KERNELS = frozenset({
+    "blocking-chan-grpc-double-recv",
+    "blocking-wait-cockroach-miscounted-add",
+})
+
+
+@dataclass(frozen=True)
+class KernelLabels:
+    """The ground truth one corpus kernel is scored against."""
+
+    kernel_id: str
+    behavior: str                 # "blocking" | "non-blocking"
+    cause: str                    # shared memory vs message passing
+    subcause: str                 # Table 5/9 subcategory
+    fix_strategy: str
+    fix_primitives: Tuple[str, ...]
+    symptom: str                  # deadlock | leak | panic | wrong-value
+    deterministic: bool
+    latent: bool
+    #: Dynamic detectors (scorecard columns) expected to fire, from the
+    #: paper's evaluation: blocking -> blocked-goroutine detectors,
+    #: non-blocking -> the race detector and runtime rule checks.
+    expected_detectors: Tuple[str, ...]
+    #: False only for RACY_FIXED_KERNELS: the fixed variant carries a
+    #: real (confirmed) residual race, so a screen flagging it is right.
+    fixed_expected_clean: bool = True
+
+    @property
+    def blocking(self) -> bool:
+        return self.behavior == "blocking"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kernel_id": self.kernel_id,
+            "behavior": self.behavior,
+            "cause": self.cause,
+            "subcause": self.subcause,
+            "fix_strategy": self.fix_strategy,
+            "fix_primitives": list(self.fix_primitives),
+            "symptom": self.symptom,
+            "deterministic": self.deterministic,
+            "latent": self.latent,
+            "expected_detectors": list(self.expected_detectors),
+            "fixed_expected_clean": self.fixed_expected_clean,
+        }
+
+
+def _expected_detectors(meta) -> Tuple[str, ...]:
+    if meta.behavior is Behavior.BLOCKING:
+        expected = ["leak"]
+        if meta.subcause in (BlockingSubCause.MUTEX, BlockingSubCause.RWMUTEX):
+            expected.append("lockorder")
+        if not meta.latent:
+            expected.append("builtin")
+        return tuple(expected)
+    expected = ["race"]
+    if meta.subcause is NonBlockingSubCause.CHAN:
+        expected.append("rules")
+    return tuple(expected)
+
+
+def labels_for(meta) -> KernelLabels:
+    """Labels from one :class:`KernelMeta` (no registry import needed)."""
+    cause = meta.subcause.cause if hasattr(meta.subcause, "cause") else \
+        (Cause.MESSAGE_PASSING
+         if meta.subcause in (NonBlockingSubCause.CHAN,
+                              NonBlockingSubCause.MSG_LIBRARY)
+         else Cause.SHARED_MEMORY)
+    return KernelLabels(
+        kernel_id=meta.kernel_id,
+        behavior=str(meta.behavior),
+        cause=str(cause),
+        subcause=str(meta.subcause),
+        fix_strategy=str(meta.fix_strategy),
+        fix_primitives=tuple(str(p) for p in meta.fix_primitives),
+        symptom=meta.symptom,
+        deterministic=meta.deterministic,
+        latent=meta.latent,
+        expected_detectors=_expected_detectors(meta),
+        fixed_expected_clean=meta.kernel_id not in RACY_FIXED_KERNELS,
+    )
+
+
+def kernel_labels(kernel_or_id: Union[str, object]) -> KernelLabels:
+    """Labels for a kernel instance, class, or kernel id."""
+    if isinstance(kernel_or_id, str):
+        from ..bugs import registry          # lazy: avoid import cycles
+        kernel = registry.get(kernel_or_id)
+    else:
+        kernel = kernel_or_id
+    return labels_for(kernel.meta)
+
+
+def all_labels() -> List[KernelLabels]:
+    """Labels for the whole registered corpus, sorted by kernel id."""
+    from ..bugs import registry
+    return [labels_for(k.meta) for k in registry.all_kernels()]
+
+
+def labels_by_id() -> Dict[str, KernelLabels]:
+    return {lab.kernel_id: lab for lab in all_labels()}

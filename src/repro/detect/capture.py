@@ -1,145 +1,38 @@
-"""Static detector for loop-variable capture by goroutine closures.
+"""Back-compat shim: the loop-capture detector moved to the static tier.
 
-Section 7 of the paper: "As a preliminary effort, we built a detector
-targeting the non-blocking bugs caused by anonymous functions (e.g.
-Figure 8).  Our detector has already discovered a few new bugs."
-
-Figure 8's pattern exists verbatim in Python: a closure created inside a
-loop captures the loop variable *by reference*, so every goroutine started
-with ``rt.go(closure)`` may observe the final value.  This module scans
-Python source (kernels, apps, user code) with :mod:`ast` and flags
-goroutine closures that read a surrounding loop variable without rebinding
-it (the fix — a default-argument copy, ``def w(i=i)`` — is the exact
-analogue of Docker's "pass i as a parameter" patch).
+The scanner now lives in :mod:`repro.static.capture` as one checker
+among the static-analysis peers, emitting the shared
+:class:`~repro.static.model.StaticFinding` schema.  This module keeps
+the original ``repro.detect`` surface — ``scan_source``/``scan_file``/
+``scan_paths`` returning :class:`~repro.detect.report.CaptureFinding`
+and the :class:`AnonymousCaptureDetector` facade — so existing callers
+and recorded tooling keep working unchanged.
 """
 
 from __future__ import annotations
 
-import ast
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+from typing import Iterable, List, Union
 
+from ..static import capture as _capture
 from .report import CaptureFinding
-
-
-def _loop_target_names(node: ast.For) -> Set[str]:
-    names: Set[str] = set()
-    for target in ast.walk(node.target):
-        if isinstance(target, ast.Name):
-            names.add(target.id)
-    return names
-
-
-def _free_reads(fn: Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]) -> Set[str]:
-    """Names read inside ``fn`` that are neither params nor locally bound."""
-    params: Set[str] = set()
-    args = fn.args
-    for arg in (args.posonlyargs + args.args + args.kwonlyargs):
-        params.add(arg.arg)
-    if args.vararg:
-        params.add(args.vararg.arg)
-    if args.kwarg:
-        params.add(args.kwarg.arg)
-
-    bound: Set[str] = set(params)
-    reads: Set[str] = set()
-    body = fn.body if isinstance(fn.body, list) else [fn.body]
-    for stmt in body:
-        for node in ast.walk(stmt):
-            if isinstance(node, ast.Name):
-                if isinstance(node.ctx, ast.Store):
-                    bound.add(node.id)
-                elif isinstance(node.ctx, ast.Load):
-                    reads.add(node.id)
-    return reads - bound
-
-
-class _GoCallCollector(ast.NodeVisitor):
-    """Finds ``<anything>.go(fn, ...)`` calls and local function defs."""
-
-    def __init__(self) -> None:
-        self.go_calls: List[ast.Call] = []
-        self.local_defs: Dict[str, ast.FunctionDef] = {}
-
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        if isinstance(func, ast.Attribute) and func.attr == "go":
-            self.go_calls.append(node)
-        self.generic_visit(node)
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self.local_defs[node.name] = node
-        self.generic_visit(node)
-
-
-def _scan_loop(loop: ast.For, path: str, findings: List[CaptureFinding]) -> None:
-    loop_vars = _loop_target_names(loop)
-    if not loop_vars:
-        return
-    collector = _GoCallCollector()
-    for stmt in loop.body + loop.orelse:
-        collector.visit(stmt)
-    for call in collector.go_calls:
-        if not call.args:
-            continue
-        target = call.args[0]
-        fn_node: Optional[Union[ast.FunctionDef, ast.Lambda]] = None
-        fn_name = "<lambda>"
-        if isinstance(target, ast.Lambda):
-            fn_node = target
-        elif isinstance(target, ast.Name) and target.id in collector.local_defs:
-            fn_node = collector.local_defs[target.id]
-            fn_name = target.id
-        if fn_node is None:
-            continue
-        # Default arguments rebind the loop variable: the standard fix.
-        defaults: Set[str] = set()
-        for arg, default in zip(
-            reversed(fn_node.args.args), reversed(fn_node.args.defaults)
-        ):
-            if default is not None:
-                defaults.add(arg.arg)
-        captured = (_free_reads(fn_node) & loop_vars) - defaults
-        # A parameter with the same name shadows the loop variable entirely.
-        params = {a.arg for a in fn_node.args.args}
-        captured -= params
-        for var in sorted(captured):
-            findings.append(
-                CaptureFinding(
-                    path=path,
-                    line=call.lineno,
-                    loop_var=var,
-                    function=fn_name,
-                )
-            )
 
 
 def scan_source(source: str, path: str = "<string>") -> List[CaptureFinding]:
     """Scan one module's source text for goroutine loop-capture bugs."""
-    tree = ast.parse(source, filename=path)
-    findings: List[CaptureFinding] = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.For):
-            _scan_loop(node, path, findings)
-    return findings
+    return [_capture.to_capture_finding(f)
+            for f in _capture.check_source(source, path)]
 
 
 def scan_file(path: Union[str, Path]) -> List[CaptureFinding]:
-    path = Path(path)
-    return scan_source(path.read_text(encoding="utf-8"), str(path))
+    return [_capture.to_capture_finding(f)
+            for f in _capture.check_file(path)]
 
 
 def scan_paths(paths: Iterable[Union[str, Path]]) -> List[CaptureFinding]:
     """Scan files and directories (recursively, ``*.py``)."""
-    findings: List[CaptureFinding] = []
-    for entry in paths:
-        entry = Path(entry)
-        if entry.is_dir():
-            for file in sorted(entry.rglob("*.py")):
-                findings.extend(scan_file(file))
-        else:
-            findings.extend(scan_file(entry))
-    return findings
+    return [_capture.to_capture_finding(f)
+            for f in _capture.check_paths(paths)]
 
 
 class AnonymousCaptureDetector:

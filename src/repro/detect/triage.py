@@ -1,0 +1,70 @@
+"""The shared triage verdict: one report shape for every screening tier.
+
+Both cheap screens — ``repro predict --triage`` (offline analysis of one
+recorded run) and ``repro static --triage`` (no execution at all) — feed
+the same consumer: the dynamic sweep queue.  A clean verdict skips the
+expensive ``explore_systematic`` pass; a dirty one redirects it toward
+the families that fired.  Keeping the verdict type here, in the detector
+layer both tiers already depend on, lets the queue consume either stream
+without caring which screen produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class TriageVerdict:
+    """Screening outcome for one target.
+
+    ``source`` names the screen that produced the verdict ("predict" or
+    "static"); ``report`` carries the tier-specific evidence (a
+    :class:`~repro.predict.report.PredictReport` or a
+    :class:`~repro.static.model.StaticReport`) and is deliberately
+    excluded from ``repr`` and the dict form.
+    """
+
+    target: str
+    needs_search: bool
+    families: Tuple[str, ...]            # which predictors/checkers fired
+    report: Any = field(repr=False, default=None)
+    seed: int = 0
+    source: str = "predict"
+
+    @property
+    def reason(self) -> str:
+        if not self.needs_search:
+            if self.source == "static":
+                return "no findings from the static screen"
+            return "no predictions from the recorded trace"
+        verb = "flagged" if self.source == "static" else "predicted"
+        return f"{verb}: " + ", ".join(self.families)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "needs_search": self.needs_search,
+            "families": list(self.families),
+            "seed": self.seed,
+            "source": self.source,
+            "reason": self.reason,
+        }
+
+    def __str__(self) -> str:
+        verdict = "needs schedule search" if self.needs_search \
+            else "skip schedule search"
+        return f"{self.target}: {verdict} ({self.reason})"
+
+
+def order_sweep_queue(verdicts: Sequence[TriageVerdict]) -> List[TriageVerdict]:
+    """Sweep-queue order: flagged targets first, clean ones last.
+
+    Stable within each class, so the caller's own priority (e.g. corpus
+    order) survives as the tie-break.  The queue consumer may then run
+    the flagged prefix eagerly and defer — or skip — the clean suffix.
+    """
+    flagged = [v for v in verdicts if v.needs_search]
+    clean = [v for v in verdicts if not v.needs_search]
+    return flagged + clean

@@ -11,46 +11,21 @@ The verdict is deliberately one-sided: a clean triage skips work, a
 dirty one only redirects it.  Predictions are conservative
 (over-approximate), so a skipped target is one where even the relaxed
 happens-before order admits none of the modelled bug shapes.
+
+The verdict type itself lives in :mod:`repro.detect.triage` — one shape
+shared with the static screen (``repro static --triage``) so the sweep
+queue can consume either stream.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
+from ..detect.triage import TriageVerdict, order_sweep_queue
 from .engine import predict
-from .report import PredictReport
 
-
-@dataclass
-class TriageVerdict:
-    """Screening outcome for one target."""
-
-    target: str
-    needs_search: bool
-    families: Tuple[str, ...]            # which predictors fired
-    report: PredictReport = field(repr=False, default=None)  # type: ignore
-    seed: int = 0
-
-    @property
-    def reason(self) -> str:
-        if not self.needs_search:
-            return "no predictions from the recorded trace"
-        return "predicted: " + ", ".join(self.families)
-
-    def to_dict(self) -> Dict[str, Any]:
-        return {
-            "target": self.target,
-            "needs_search": self.needs_search,
-            "families": list(self.families),
-            "seed": self.seed,
-            "reason": self.reason,
-        }
-
-    def __str__(self) -> str:
-        verdict = "needs schedule search" if self.needs_search \
-            else "skip schedule search"
-        return f"{self.target}: {verdict} ({self.reason})"
+__all__ = ["TriageVerdict", "order_sweep_queue", "triage", "triage_kernel",
+           "triage_sweep"]
 
 
 def triage(program: Callable, target: str = "program", seed: int = 0,
@@ -66,6 +41,7 @@ def triage(program: Callable, target: str = "program", seed: int = 0,
         families=tuple(sorted(report.by_family())),
         report=report,
         seed=seed,
+        source="predict",
     )
 
 

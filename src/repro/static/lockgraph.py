@@ -1,0 +1,290 @@
+"""Lock-discipline checks over the interprocedural summary model.
+
+Implements the classic static lock analyses from the paper's blocking
+taxonomy (Section 5): double acquisition, read-lock upgrades, forgotten
+and unmatched unlocks, ABBA cycles in the interprocedural lock-order
+graph, and the Mutex-x-channel interactions the paper singles out
+(Figure 7's send-under-lock and wait-under-lock) where every partner
+operation is gated behind the very lock the blocked goroutine holds.
+
+All rules are pure functions over :class:`~repro.static.ir.ProgramModel`;
+locksets were computed by the abstract interpreter, so each rule is a
+query, not a traversal of source.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .ir import MANY, AbstractObj, Op, Path, ProgramModel, ThreadModel
+from .model import StaticFinding
+
+_CHECKER = "lockgraph"
+
+_SEND_PARTNERS = ("recv", "recv_ok", "range", "try_recv")
+_RECV_PARTNERS = ("send", "try_send", "close")
+
+
+def _finding(rule: str, message: str, obj: Optional[AbstractObj],
+             line: int, function: str = "") -> StaticFinding:
+    return StaticFinding(checker=_CHECKER, rule=rule, message=message,
+                         obj=obj.name if obj is not None else "",
+                         function=function, line=line)
+
+
+def check(model: ProgramModel) -> List[StaticFinding]:
+    findings: List[StaticFinding] = []
+    findings += _relock_rules(model)
+    findings += _forgotten_unlock(model)
+    findings += _abba_cycles(model)
+    findings += _chan_under_lock(model)
+    findings += _wait_under_lock(model)
+    return findings
+
+
+# -- double locks, upgrades, unmatched unlocks -------------------------
+
+def _relock_rules(model: ProgramModel) -> List[StaticFinding]:
+    out: List[StaticFinding] = []
+    for t, _pi, _oi, op in model.all_ops():
+        if op.kind == "acquire":
+            held_modes = [m for mu, m in op.lockset if mu is op.obj]
+            if not held_modes:
+                continue
+            if op.mode == "w" and "r" in held_modes \
+                    and op.obj.kind == "rwmutex":
+                out.append(_finding(
+                    "rlock-upgrade",
+                    f"write-lock of {op.obj.name} while holding its "
+                    "read lock: upgrades self-deadlock",
+                    op.obj, op.line, t.name))
+            elif op.mode == "r" and set(held_modes) == {"r"}:
+                if _has_writer_elsewhere(model, op.obj, t):
+                    out.append(_finding(
+                        "rlock-reentrant",
+                        f"re-entrant read-lock of {op.obj.name} with a "
+                        "concurrent writer: the waiting writer blocks "
+                        "the inner RLock",
+                        op.obj, op.line, t.name))
+            else:
+                out.append(_finding(
+                    "double-lock",
+                    f"{op.obj.name} acquired while already held by "
+                    "this goroutine",
+                    op.obj, op.line, t.name))
+        elif op.kind == "release" and op.detail == "unmatched":
+            out.append(_finding(
+                "unlock-without-lock",
+                f"unlock of {op.obj.name} with no matching lock on "
+                "this path",
+                op.obj, op.line, t.name))
+    return out
+
+
+def _has_writer_elsewhere(model: ProgramModel, mu: AbstractObj,
+                          reader: ThreadModel) -> bool:
+    for t, _pi, _oi, op in model.all_ops():
+        if t is not reader and op.kind == "acquire" \
+                and op.obj is mu and op.mode == "w":
+            return True
+    return False
+
+
+# -- forgotten unlock --------------------------------------------------
+
+def _forgotten_unlock(model: ProgramModel) -> List[StaticFinding]:
+    """A path that ends still holding an explicitly taken lock."""
+    out: List[StaticFinding] = []
+    flagged: Set[Tuple[str, int]] = set()
+    for t in model.threads:
+        for path in t.paths:
+            held: List[Tuple[AbstractObj, str, int]] = []
+            for op in path.ops:
+                if op.kind == "acquire":
+                    held.append((op.obj, op.mode, op.line))
+                elif op.kind == "release" and op.detail != "unmatched":
+                    for i in range(len(held) - 1, -1, -1):
+                        if held[i][0] is op.obj and held[i][1] == op.mode:
+                            del held[i]
+                            break
+            for obj, _mode, line in held:
+                key = (t.key, obj.oid)
+                if key in flagged:
+                    continue
+                flagged.add(key)
+                out.append(_finding(
+                    "forgotten-unlock",
+                    f"path through {t.name} ends still holding "
+                    f"{obj.name}",
+                    obj, line, t.name))
+    return out
+
+
+# -- ABBA lock-order cycles --------------------------------------------
+
+def _abba_cycles(model: ProgramModel) -> List[StaticFinding]:
+    """Cross-thread cycles in the held-lock -> acquired-lock graph."""
+    # edges[(A,B)] = set of thread keys that acquire B while holding A
+    edges: Dict[Tuple[int, int], Set[str]] = {}
+    info: Dict[Tuple[int, int], Tuple[AbstractObj, AbstractObj, int]] = {}
+    for t, _pi, _oi, op in model.all_ops():
+        if op.kind != "acquire":
+            continue
+        for held, _mode in op.lockset:
+            if held is op.obj:
+                continue
+            key = (held.oid, op.obj.oid)
+            edges.setdefault(key, set()).add(t.key)
+            info.setdefault(key, (held, op.obj, op.line))
+    out: List[StaticFinding] = []
+    seen: Set[Tuple[int, int]] = set()
+    for (a, b), threads_ab in edges.items():
+        back = edges.get((b, a))
+        if not back:
+            continue
+        pair = (min(a, b), max(a, b))
+        if pair in seen:
+            continue
+        # a genuine ABBA needs the two orders in *different* goroutines
+        if not any(t1 != t2 for t1 in threads_ab for t2 in back):
+            continue
+        seen.add(pair)
+        held, acq, line = info[(a, b)]
+        out.append(_finding(
+            "abba-cycle",
+            f"lock order cycle: {held.name} -> {acq.name} in one "
+            f"goroutine, {acq.name} -> {held.name} in another",
+            acq, line))
+    return out
+
+
+# -- channel ops while holding a lock the partner needs (Figure 7) -----
+
+def _chan_under_lock(model: ProgramModel) -> List[StaticFinding]:
+    out: List[StaticFinding] = []
+    for t, _pi, _oi, op in model.all_ops():
+        if op.kind not in ("send", "recv", "recv_ok", "range"):
+            continue
+        if not op.blocking or not op.lockset or op.obj is None:
+            continue
+        chan = op.obj
+        if chan.is_timer or chan.is_ticker or chan.is_done:
+            continue
+        want = _SEND_PARTNERS if op.kind == "send" else ("send", "try_send")
+        want_arm = "recv" if op.kind == "send" else "send"
+        # buffered sends with headroom do not block
+        if op.kind == "send" and chan.capacity and \
+                model.potential_count(chan, ("send", "try_send")) \
+                <= chan.capacity:
+            continue
+        for mu, _mode in op.lockset:
+            partners = _partner_positions(model, chan, want, want_arm,
+                                          exclude=t)
+            if not partners:
+                continue  # no-partner rules live in chanshape
+            if all(_gated_behind(mu, path, idx, p_op)
+                   for (_t2, path, idx, p_op) in partners):
+                out.append(_finding(
+                    "chan-under-lock",
+                    f"blocking {op.kind} on {chan.name} while holding "
+                    f"{mu.name}, but every partner first needs "
+                    f"{mu.name}",
+                    chan, op.line, t.name))
+                break
+    return out
+
+
+def _partner_positions(model: ProgramModel, chan: AbstractObj,
+                       kinds: Tuple[str, ...], arm_kind: str,
+                       exclude: ThreadModel
+                       ) -> List[Tuple[ThreadModel, Path, int, Op]]:
+    positions = []
+    for t in model.threads:
+        if t is exclude:
+            continue
+        for path in t.paths:
+            for i, op in enumerate(path.ops):
+                if op.obj is chan and op.kind in kinds:
+                    positions.append((t, path, i, op))
+                elif op.kind == "select" and any(
+                        ak == arm_kind and ac is chan
+                        for ak, ac in op.arms):
+                    positions.append((t, path, i, op))
+    return positions
+
+
+def _gated_behind(mu: AbstractObj, path: Path, idx: int, op: Op) -> bool:
+    """Must the partner acquire ``mu`` before it can reach ``op``?
+
+    True when some acquire of ``mu`` appears at or before ``idx`` on the
+    partner's path — even if released again, the partner cannot get
+    *past that point* while the flagged goroutine holds ``mu``, so it
+    never reaches the partner op.
+    """
+    for i in range(idx + 1):
+        prior = path.ops[i]
+        if prior.kind == "acquire" and prior.obj is mu:
+            return True
+    return False
+
+
+# -- wg.Wait while holding a lock the workers need ---------------------
+
+def _wait_under_lock(model: ProgramModel) -> List[StaticFinding]:
+    out: List[StaticFinding] = []
+    for t, pi, oi, op in model.all_ops():
+        if op.kind != "wg_wait" or not op.lockset:
+            continue
+        wg = op.obj
+        wpath = t.paths[pi]
+        for mu, _mode in op.lockset:
+            contributors = []
+            for t2 in model.threads:
+                if t2 is t:
+                    continue
+                for path in t2.paths:
+                    for i, dop in enumerate(path.ops):
+                        if dop.kind == "wg_done" and dop.obj is wg:
+                            contributors.append((t2, path, i, dop))
+            if not contributors or not all(
+                    _gated_behind(mu, path, i, dop)
+                    for (_t2, path, i, dop) in contributors):
+                continue
+            # the wait only blocks if the counter can be positive while
+            # a contributor is stuck at the gate: either the waiter
+            # added before waiting, or a contributor adds after its
+            # gate acquire and then meets another gate before done
+            if not (_adds_before(wpath, oi, wg)
+                    or any(_pending_at_gate(mu, path, i, wg)
+                           for (_t2, path, i, _dop) in contributors)):
+                continue
+            out.append(_finding(
+                "wait-under-lock",
+                f"wg.wait on {wg.name} while holding {mu.name}, "
+                f"but every wg.done first needs {mu.name}",
+                wg, op.line, t.name))
+            break
+    return out
+
+
+def _adds_before(path: Path, idx: int, wg: AbstractObj) -> bool:
+    return any(op.kind == "wg_add" and op.obj is wg
+               and (op.delta is None or op.delta > 0)
+               for op in path.ops[:idx])
+
+
+def _pending_at_gate(mu: AbstractObj, path: Path, done_idx: int,
+                     wg: AbstractObj) -> bool:
+    """Can this contributor block at a ``mu`` acquire with its own add
+    already counted but its done still ahead?"""
+    for g in range(done_idx):
+        op = path.ops[g]
+        if op.kind != "acquire" or op.obj is not mu:
+            continue
+        adds = sum(1 for p in path.ops[:g]
+                   if p.kind == "wg_add" and p.obj is wg)
+        dones = sum(1 for p in path.ops[:g]
+                    if p.kind == "wg_done" and p.obj is wg)
+        if adds > dones:
+            return True
+    return False

@@ -1,0 +1,213 @@
+"""The static scorecard: every kernel, both variants, zero executions.
+
+Mirrors the predict-vs-dynamic scorecard from :mod:`repro.predict.report`
+but scores against the ground-truth taxonomy labels in
+:mod:`repro.dataset.labels` instead of recorded runs — the whole corpus
+plus the mini-apps scans in well under a second, so the scorecard is
+cheap enough to gate CI on.
+
+Scoring: a kernel's *buggy* variant should be flagged (recall) and its
+*fixed* variant should scan clean (precision) — except the pinned
+:data:`~repro.dataset.labels.RACY_FIXED_KERNELS`, whose fixed variants
+carry a dynamically confirmed residual race; flagging those is correct
+and counts as a true positive.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..dataset.labels import KernelLabels, labels_for
+from .engine import analyze_paths, analyze_program
+from .model import StaticReport
+
+
+@dataclass
+class StaticScorecardRow:
+    """Static verdicts for one kernel, scored against its labels."""
+
+    kernel_id: str
+    behavior: str
+    subcause: str
+    buggy_flagged: bool
+    fixed_flagged: bool
+    buggy_rules: Tuple[str, ...]
+    fixed_rules: Tuple[str, ...]
+    fixed_expected_clean: bool
+    wall_ms: float
+    buggy_report: Optional[StaticReport] = field(default=None, repr=False)
+    fixed_report: Optional[StaticReport] = field(default=None, repr=False)
+
+    @property
+    def caught(self) -> bool:
+        return self.buggy_flagged
+
+    @property
+    def fixed_ok(self) -> bool:
+        """Did the fixed variant score as the labels demand?"""
+        if self.fixed_expected_clean:
+            return not self.fixed_flagged
+        return self.fixed_flagged
+
+    @property
+    def verdict(self) -> str:
+        if not self.buggy_flagged:
+            return "missed"
+        if not self.fixed_ok:
+            return "caught/fixed-noisy"
+        return "caught"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel_id": self.kernel_id,
+            "behavior": self.behavior,
+            "subcause": self.subcause,
+            "buggy_flagged": self.buggy_flagged,
+            "fixed_flagged": self.fixed_flagged,
+            "buggy_rules": list(self.buggy_rules),
+            "fixed_rules": list(self.fixed_rules),
+            "fixed_expected_clean": self.fixed_expected_clean,
+            "verdict": self.verdict,
+            "wall_ms": round(self.wall_ms, 3),
+        }
+
+
+def score_kernel(kernel: Any) -> StaticScorecardRow:
+    """Scan both variants of one kernel and score them."""
+    labels = labels_for(kernel.meta)
+    t0 = time.perf_counter()
+    buggy = analyze_program(kernel, variant="buggy")
+    fixed = analyze_program(kernel, variant="fixed")
+    wall_ms = (time.perf_counter() - t0) * 1000
+    return StaticScorecardRow(
+        kernel_id=labels.kernel_id,
+        behavior=labels.behavior,
+        subcause=labels.subcause,
+        buggy_flagged=buggy.found,
+        fixed_flagged=fixed.found,
+        buggy_rules=tuple(buggy.rules()),
+        fixed_rules=tuple(fixed.rules()),
+        fixed_expected_clean=labels.fixed_expected_clean,
+        wall_ms=wall_ms,
+        buggy_report=buggy,
+        fixed_report=fixed,
+    )
+
+
+def build_static_scorecard(kernels: Optional[Sequence[Any]] = None
+                           ) -> List[StaticScorecardRow]:
+    """Score the whole corpus (or a subset)."""
+    if kernels is None:
+        from ..bugs.registry import all_kernels
+        kernels = all_kernels()
+    return [score_kernel(k) for k in kernels]
+
+
+def static_recall(rows: Sequence[StaticScorecardRow]) -> float:
+    """Fraction of buggy variants some checker flagged."""
+    if not rows:
+        return 0.0
+    return sum(1 for r in rows if r.buggy_flagged) / len(rows)
+
+
+def static_precision(rows: Sequence[StaticScorecardRow]) -> float:
+    """True findings over all flagged variant scans.
+
+    Every flagged buggy variant is a true positive; a flagged fixed
+    variant is a false positive unless the labels say the fixed variant
+    genuinely still races.
+    """
+    tp = sum(1 for r in rows if r.buggy_flagged)
+    tp += sum(1 for r in rows
+              if r.fixed_flagged and not r.fixed_expected_clean)
+    fp = sum(1 for r in rows
+             if r.fixed_flagged and r.fixed_expected_clean)
+    if tp + fp == 0:
+        return 1.0
+    return tp / (tp + fp)
+
+
+def checker_timings(rows: Sequence[StaticScorecardRow]
+                    ) -> Dict[str, float]:
+    """Total per-stage wall time (seconds) across every scan."""
+    totals: Dict[str, float] = {}
+    for r in rows:
+        for rep in (r.buggy_report, r.fixed_report):
+            if rep is None:
+                continue
+            for stage, secs in rep.timings.items():
+                totals[stage] = totals.get(stage, 0.0) + secs
+    return totals
+
+
+def scorecard_dict(rows: Sequence[StaticScorecardRow],
+                   apps_report: Optional[StaticReport] = None
+                   ) -> Dict[str, Any]:
+    """The JSON shape the CLI and bench emit."""
+    out: Dict[str, Any] = {
+        "kernels": len(rows),
+        "caught": sum(1 for r in rows if r.buggy_flagged),
+        "missed": [r.kernel_id for r in rows if not r.buggy_flagged],
+        "false_positives": [r.kernel_id for r in rows
+                            if r.fixed_flagged and r.fixed_expected_clean],
+        "recall": round(static_recall(rows), 4),
+        "precision": round(static_precision(rows), 4),
+        "wall_ms_total": round(sum(r.wall_ms for r in rows), 3),
+        "checker_seconds": {k: round(v, 6)
+                            for k, v in checker_timings(rows).items()},
+        "rows": [r.to_dict() for r in rows],
+    }
+    if apps_report is not None:
+        out["apps"] = {
+            "target": apps_report.target,
+            "clean": not apps_report.found,
+            "findings": len(apps_report.findings),
+            "wall_ms": round(apps_report.wall_s * 1000, 3),
+        }
+    return out
+
+
+def scan_apps() -> StaticReport:
+    """Module-mode scan of the six mini-apps."""
+    from pathlib import Path
+
+    import repro.apps as apps_pkg
+
+    return analyze_paths([Path(apps_pkg.__file__).parent])
+
+
+def render_static_scorecard(rows: Sequence[StaticScorecardRow],
+                            apps_report: Optional[StaticReport] = None
+                            ) -> str:
+    from ..study.tables import render
+
+    table_rows = []
+    for r in rows:
+        table_rows.append([
+            r.kernel_id,
+            r.behavior,
+            "yes" if r.buggy_flagged else "MISS",
+            ",".join(r.buggy_rules) or "-",
+            ("clean" if not r.fixed_flagged
+             else ("known-racy" if not r.fixed_expected_clean else "FP")),
+            f"{r.wall_ms:.1f}",
+        ])
+    table = render(
+        ["kernel", "behavior", "buggy", "rules", "fixed", "ms"],
+        table_rows,
+        title="static scorecard (ground truth: repro.dataset.labels)")
+    lines = [table, ""]
+    lines.append(f"recall    {static_recall(rows):.3f}  "
+                 f"({sum(1 for r in rows if r.buggy_flagged)}/{len(rows)} "
+                 "buggy variants flagged)")
+    lines.append(f"precision {static_precision(rows):.3f}")
+    lines.append(f"wall      {sum(r.wall_ms for r in rows):.0f} ms over "
+                 f"{2 * len(rows)} scans")
+    if apps_report is not None:
+        verdict = "clean" if not apps_report.found else \
+            f"{len(apps_report.findings)} findings"
+        lines.append(f"mini-apps {verdict} "
+                     f"({apps_report.wall_s * 1000:.0f} ms, module mode)")
+    return "\n".join(lines)

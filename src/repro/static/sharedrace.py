@@ -1,0 +1,279 @@
+"""Static lockset race detection over shared cells.
+
+The non-blocking half of the taxonomy: two accesses to the same shared
+cell from different goroutines, at least one a write, with disjoint
+locksets and no ordering the summary model can prove.  The
+happens-before fragment modelled here is deliberately small — spawn
+edges, WaitGroup done->wait edges and unambiguous channel send->recv
+edges — mirroring what the corpus's fixed variants actually rely on.
+
+Also hosts two shape rules that need the same machinery: the
+order-violation pattern (a consumer loads a cell that only a racing
+producer initialises) and the split-critical-section pattern (a load
+and a dependent store of one cell in two separate critical sections).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .ir import MANY, AbstractObj, Op, Path, ProgramModel, ThreadModel
+from .model import StaticFinding
+
+_CHECKER = "sharedrace"
+
+#: cap on paths considered per thread when pairing accesses
+_PATH_CAP = 8
+
+_WRITES = ("store", "rmw", "lib_use")
+_READS = ("load",)
+
+
+def _finding(rule: str, message: str, obj: Optional[AbstractObj],
+             line: int, function: str = "") -> StaticFinding:
+    return StaticFinding(checker=_CHECKER, rule=rule, message=message,
+                         obj=obj.name if obj is not None else "",
+                         function=function, line=line)
+
+
+class _Access:
+    __slots__ = ("thread", "path_i", "op_i", "op")
+
+    def __init__(self, thread: ThreadModel, path_i: int, op_i: int,
+                 op: Op):
+        self.thread = thread
+        self.path_i = path_i
+        self.op_i = op_i
+        self.op = op
+
+    @property
+    def path(self) -> Path:
+        return self.thread.paths[self.path_i]
+
+    @property
+    def is_write(self) -> bool:
+        return self.op.kind in _WRITES
+
+
+def check(model: ProgramModel) -> List[StaticFinding]:
+    hb = _HB(model)
+    findings: List[StaticFinding] = []
+    for obj in model.objects_of_kind("shared", "lib"):
+        accesses = _collect(model, obj)
+        race = _first_race(model, hb, obj, accesses)
+        if race is not None:
+            findings.append(race)
+        split = _split_critical_section(model, obj, accesses)
+        if split is not None:
+            findings.append(split)
+    for obj in model.objects_of_kind("atomic"):
+        ov = _order_violation(model, hb, obj)
+        if ov is not None:
+            findings.append(ov)
+    return findings
+
+
+def _collect(model: ProgramModel, obj: AbstractObj) -> List[_Access]:
+    accesses = []
+    for t in model.threads:
+        for pi, path in enumerate(t.paths[:_PATH_CAP]):
+            for oi, op in enumerate(path.ops):
+                if op.obj is obj and op.kind in _WRITES + _READS:
+                    accesses.append(_Access(t, pi, oi, op))
+    return accesses
+
+
+# -- the core lockset rule ---------------------------------------------
+
+def _first_race(model: ProgramModel, hb: "_HB", obj: AbstractObj,
+                accesses: List[_Access]) -> Optional[StaticFinding]:
+    for i, a in enumerate(accesses):
+        for b in accesses[i + 1:]:
+            if a.thread is b.thread:
+                continue
+            if not (a.is_write or b.is_write):
+                continue
+            if a.op.in_once and b.op.in_once:
+                continue
+            if _common_exclusive_lock(a.op, b.op):
+                continue
+            if hb.ordered(a, b) or hb.ordered(b, a):
+                continue
+            kind_a, kind_b = a.op.kind, b.op.kind
+            if obj.kind == "lib":
+                msg = (f"{obj.name}.{a.op.detail or kind_a} in "
+                       f"{a.thread.name} races "
+                       f"{obj.name}.{b.op.detail or kind_b} in "
+                       f"{b.thread.name}: the library is not "
+                       "goroutine-safe")
+            else:
+                msg = (f"{kind_a} of {obj.name} in {a.thread.name} "
+                       f"(line {a.op.line}) races {kind_b} in "
+                       f"{b.thread.name} (line {b.op.line}) with "
+                       "disjoint locksets")
+            return _finding("lockset-race", msg, obj, a.op.line,
+                            a.thread.name)
+    return None
+
+
+def _common_exclusive_lock(a: Op, b: Op) -> bool:
+    """A shared mutex held by both, not merely two read-locks."""
+    modes_a = {mu.oid: m for mu, m in a.lockset}
+    for mu, m_b in b.lockset:
+        m_a = modes_a.get(mu.oid)
+        if m_a is None:
+            continue
+        if m_a == "r" and m_b == "r":
+            continue  # two readers do not exclude each other
+        return True
+    return False
+
+
+# -- the happens-before fragment ---------------------------------------
+
+class _HB:
+    """exists-a-path ordering queries between two accesses."""
+
+    def __init__(self, model: ProgramModel):
+        self.model = model
+        self._parents: Dict[str, Optional[str]] = {
+            t.key: t.parent_key for t in model.threads}
+
+    def ordered(self, a: _Access, b: _Access) -> bool:
+        return (self._spawn_edge(a, b) or self._wg_edge(a, b)
+                or self._chan_edge(a, b))
+
+    # spawner ops before the spawn happen-before everything in the child
+    def _spawn_edge(self, a: _Access, b: _Access) -> bool:
+        if a.op.mult == MANY:
+            # a looped access and a looped spawn interleave: a later
+            # iteration's access races an earlier iteration's child
+            return False
+        chain = []
+        cur: Optional[str] = b.thread.key
+        while cur is not None:
+            parent = self._parents.get(cur)
+            chain.append((parent, cur))
+            cur = parent
+        for parent_key, child_key in chain:
+            if parent_key == a.thread.key:
+                si = self.model.spawn_index(a.thread, a.path, child_key)
+                return si is not None and a.op_i < si
+        return False
+
+    # ops before wg.done happen-before ops after the matching wg.wait
+    def _wg_edge(self, a: _Access, b: _Access) -> bool:
+        done_wgs = {op.obj.oid for op in a.path.ops[a.op_i:]
+                    if op.kind == "wg_done"}
+        if not done_wgs:
+            return False
+        return any(op.kind == "wg_wait" and op.obj.oid in done_wgs
+                   for op in b.path.ops[:b.op_i])
+
+    # ops before a send/close happen-before ops after the matching recv.
+    # Positional within-path order stands in for per-iteration pairing:
+    # in a loop, each iteration's accesses precede that iteration's send.
+    def _chan_edge(self, a: _Access, b: _Access) -> bool:
+        sends_after = [op for op in a.path.ops[a.op_i:]
+                       if op.kind in ("send", "try_send", "close")]
+        for sop in sends_after:
+            chan = sop.obj
+            if chan is None:
+                continue
+            # a close orders only the recv that observes it — never the
+            # per-iteration recvs a range loop did before the close
+            rkinds = ("recv", "recv_ok") if sop.kind == "close" \
+                else ("recv", "recv_ok", "range")
+            for rop in b.path.ops[:b.op_i]:
+                if rop.obj is chan and rop.kind in rkinds:
+                    return True
+        return False
+
+
+# -- order violation on lazily initialised cells -----------------------
+
+def _order_violation(model: ProgramModel, hb: "_HB",
+                     obj: AbstractObj) -> Optional[StaticFinding]:
+    """A consumer reads a cell whose only initialisation races it.
+
+    Atomics silence the data-race rule but not the ordering bug: when a
+    cell starts as None, one goroutine stores the real value and another
+    loads it with no happens-before edge, the load can observe the
+    uninitialised None (the paper's order-violation class).  The
+    double-checked-locking fix — re-checking under a lock shared with
+    the writer — suppresses the report.
+    """
+    init = obj.attrs.get("init")
+    init_is_none = init is None or (
+        getattr(init, "value", object()) is None)
+    if not init_is_none:
+        return None
+    stores = [a for a in _collect(model, obj)
+              if a.op.kind == "store" and a.op.detail != "none"]
+    loads = [a for a in _collect(model, obj) if a.op.kind == "load"]
+    for s in stores:
+        for l in loads:
+            if s.thread is l.thread:
+                continue
+            if hb.ordered(s, l) or hb.ordered(l, s):
+                continue
+            if _common_lock_recheck(s, loads):
+                continue
+            return _finding(
+                "order-violation",
+                f"{l.thread.name} loads {obj.name} concurrently with "
+                f"its initialising store in {s.thread.name}: no "
+                "ordering guarantees the value is published first",
+                obj, l.op.line, l.thread.name)
+    return None
+
+
+def _common_lock_recheck(store: _Access, loads: Sequence[_Access]) -> bool:
+    """Double-checked locking: some load shares a lock with the store."""
+    store_locks = {mu.oid for mu, _m in store.op.lockset}
+    if not store_locks:
+        return False
+    return any({mu.oid for mu, _m in l.op.lockset} & store_locks
+               for l in loads)
+
+
+# -- split critical sections -------------------------------------------
+
+def _split_critical_section(model: ProgramModel, obj: AbstractObj,
+                            accesses: List[_Access]
+                            ) -> Optional[StaticFinding]:
+    """Load in one critical section, dependent store in a later one.
+
+    A read-modify-write split across two lock regions is atomic in
+    neither: a peer writer can slip between them and its update is
+    lost.  Requires a concurrent writer to exist, so the single-writer
+    snapshot patterns stay clean.
+    """
+    for a in accesses:
+        if a.op.kind != "load" or not a.op.lockset:
+            continue
+        path = a.path
+        for oi in range(a.op_i + 1, len(path.ops)):
+            op = path.ops[oi]
+            if op.obj is obj and op.kind == "store" and op.lockset:
+                common = {mu.oid for mu, _m in a.op.lockset} & \
+                         {mu.oid for mu, _m in op.lockset}
+                if not common:
+                    continue
+                released = any(
+                    mid.kind == "release" and mid.obj.oid in common
+                    for mid in path.ops[a.op_i:oi])
+                if not released:
+                    continue
+                peer_writes = any(
+                    b.thread is not a.thread and b.is_write
+                    for b in accesses)
+                if peer_writes:
+                    return _finding(
+                        "split-critical-section",
+                        f"{a.thread.name} loads {obj.name} in one "
+                        "critical section and stores the derived value "
+                        "in a later one: concurrent updates between "
+                        "the two sections are lost",
+                        obj, op.line, a.thread.name)
+    return None

@@ -1,0 +1,55 @@
+"""Static triage: screen the sweep queue without running anything.
+
+The cheapest screen of all three tiers — no recorded run, no execution,
+just the checkers over the summary model.  Emits the same
+:class:`~repro.detect.triage.TriageVerdict` as ``repro predict
+--triage`` (``source="static"``), so the dynamic sweep queue consumes
+either stream: a clean verdict skips the ``explore_systematic`` pass, a
+dirty one prioritises the target and tells the sweep which checker
+families to search for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from ..detect.triage import TriageVerdict, order_sweep_queue
+from .engine import analyze_program
+from .model import StaticReport
+
+__all__ = ["TriageVerdict", "order_sweep_queue", "triage_report",
+           "triage_kernel", "triage_sweep"]
+
+
+def triage_report(report: StaticReport) -> TriageVerdict:
+    """Fold one static report into the shared verdict shape."""
+    return TriageVerdict(
+        target=report.target,
+        needs_search=report.found,
+        families=tuple(sorted(report.by_checker())),
+        report=report,
+        seed=0,
+        source="static",
+    )
+
+
+def triage_kernel(kernel: Any, fixed: bool = False) -> TriageVerdict:
+    """Screen a corpus kernel variant without executing it."""
+    variant = "fixed" if fixed else "buggy"
+    return triage_report(analyze_program(kernel, variant=variant))
+
+
+def triage_sweep(kernels: Optional[Sequence[Any]] = None,
+                 fixed: bool = False) -> List[TriageVerdict]:
+    """Screen many kernels and order them for the dynamic sweep.
+
+    Flagged targets come first (search those eagerly), clean targets
+    last (defer or skip) — :func:`order_sweep_queue` is shared with the
+    predictive screen, so mixed static/predict queues order the same
+    way.
+    """
+    if kernels is None:
+        from ..bugs.registry import all_kernels
+        kernels = all_kernels()
+    verdicts = [triage_kernel(k, fixed=fixed) for k in kernels]
+    return order_sweep_queue(verdicts)

@@ -1,0 +1,55 @@
+"""Ground-truth kernel labels: one source of truth for every scorecard."""
+
+from repro.dataset import (
+    FAMILIES,
+    KernelLabels,
+    RACY_FIXED_KERNELS,
+    all_labels,
+    kernel_labels,
+    labels_by_id,
+    labels_for,
+)
+from repro.bugs.registry import all_kernels, get
+
+
+def test_every_registered_kernel_has_labels():
+    labels = all_labels()
+    assert len(labels) == len(all_kernels()) >= 54
+    by_id = labels_by_id()
+    for kernel in all_kernels():
+        lab = by_id[kernel.meta.kernel_id]
+        assert isinstance(lab, KernelLabels)
+        assert lab.behavior in {"blocking", "non-blocking"}
+        assert lab.expected_detectors
+
+
+def test_accessors_agree_for_id_class_and_meta():
+    kernel = get("blocking-mutex-kubernetes-abba")
+    assert kernel_labels("blocking-mutex-kubernetes-abba") == \
+        kernel_labels(kernel) == labels_for(kernel.meta)
+
+
+def test_expected_detector_mapping_follows_the_paper():
+    by_id = labels_by_id()
+    # Table 8: blocking bugs are the blocked-goroutine detectors' turf.
+    assert "leak" in by_id["blocking-chan-kubernetes-5316"].expected_detectors
+    assert "lockorder" in \
+        by_id["blocking-mutex-kubernetes-abba"].expected_detectors
+    # Table 12: non-blocking bugs belong to the race detector / rules.
+    assert "race" in \
+        by_id["nonblocking-trad-docker-lost-update"].expected_detectors
+    assert "rules" in \
+        by_id["nonblocking-chan-docker-24007"].expected_detectors
+
+
+def test_racy_fixed_kernels_are_pinned_and_marked():
+    by_id = labels_by_id()
+    assert RACY_FIXED_KERNELS <= set(by_id)
+    for kid, lab in by_id.items():
+        assert lab.fixed_expected_clean == (kid not in RACY_FIXED_KERNELS)
+        assert lab.to_dict()["fixed_expected_clean"] == \
+            lab.fixed_expected_clean
+
+
+def test_families_cover_the_three_scorecards():
+    assert set(FAMILIES) == {"dynamic", "predict", "static"}

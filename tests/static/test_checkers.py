@@ -1,0 +1,81 @@
+"""Per-checker behavior on representative corpus kernels.
+
+Each case pins the *rule* a kernel's buggy variant must trip and
+asserts its fixed variant scans clean — so a checker regression shows
+up as a named rule, not just a scorecard dip.
+"""
+
+import pytest
+
+from repro.bugs.registry import get
+from repro.dataset.labels import RACY_FIXED_KERNELS
+from repro.static import analyze_program
+
+LOCKGRAPH_CASES = [
+    ("blocking-mutex-docker-double-lock", "double-lock"),
+    ("blocking-mutex-etcd-missing-unlock", "forgotten-unlock"),
+    ("blocking-mutex-kubernetes-abba", "abba-cycle"),
+    ("blocking-rwmutex-cockroach-upgrade", "rlock-upgrade"),
+    ("blocking-rwmutex-docker-reentrant-rlock", "rlock-reentrant"),
+    ("blocking-chanmix-docker-send-under-lock", "chan-under-lock"),
+    ("blocking-wait-grpc-wait-under-lock", "wait-under-lock"),
+]
+
+CHANSHAPE_CASES = [
+    ("blocking-chan-docker-missing-close", "range-no-close"),
+    ("blocking-chan-cockroach-nil-channel", "nil-chan-op"),
+    ("blocking-chan-etcd-error-path-no-send", "recv-no-sender"),
+    ("blocking-chan-kubernetes-5316", "unbuffered-send-abandoned"),
+    ("blocking-chan-cockroach-missing-case", "select-no-live-case"),
+    ("blocking-msglib-cockroach-ctx-no-cancel", "ctx-cancel-leak"),
+    ("blocking-msglib-docker-pipe-writer", "pipe-writer-stuck"),
+    ("blocking-wait-kubernetes-cond-missed-signal", "cond-no-signal"),
+    ("nonblocking-chan-docker-24007", "racy-close"),
+    ("nonblocking-chan-grpc-send-on-closed", "close-then-send"),
+    ("nonblocking-chan-cockroach-default-busyloop", "select-default-poll"),
+    ("nonblocking-chan-etcd-select-ticker", "select-tick-vs-stop"),
+    ("nonblocking-wg-docker-done-twice", "wg-extra-done"),
+    ("nonblocking-wg-etcd-6371", "wg-add-concurrent-wait"),
+    ("nonblocking-msglib-grpc-timer-zero", "timer-zero-duration"),
+]
+
+SHAREDRACE_CASES = [
+    ("nonblocking-trad-docker-lost-update", "lockset-race"),
+    ("nonblocking-anon-grpc-index-capture", "lockset-race"),
+    ("nonblocking-trad-kubernetes-order-violation", "order-violation"),
+    ("nonblocking-trad-etcd-split-critical-section",
+     "split-critical-section"),
+    ("nonblocking-lib-etcd-7816", "lockset-race"),
+]
+
+
+@pytest.mark.parametrize(
+    "kernel_id,rule",
+    LOCKGRAPH_CASES + CHANSHAPE_CASES + SHAREDRACE_CASES,
+)
+def test_buggy_trips_the_expected_rule(kernel_id, rule):
+    report = analyze_program(get(kernel_id), "buggy")
+    assert rule in report.rules(), (
+        f"{kernel_id} buggy: expected {rule!r}, got {report.rules()}")
+
+
+@pytest.mark.parametrize(
+    "kernel_id",
+    [kid for kid, _ in LOCKGRAPH_CASES + CHANSHAPE_CASES + SHAREDRACE_CASES
+     if kid not in RACY_FIXED_KERNELS],
+)
+def test_fixed_variant_scans_clean(kernel_id):
+    report = analyze_program(get(kernel_id), "fixed")
+    assert not report.found, (
+        f"{kernel_id} fixed: false positive {report.rules()}")
+
+
+def test_findings_name_checker_rule_and_location():
+    report = analyze_program(get("blocking-mutex-kubernetes-abba"), "buggy")
+    assert report.found
+    for finding in report.findings:
+        assert finding.checker in {"lockgraph", "chanshape", "sharedrace",
+                                   "capture"}
+        assert finding.rule and finding.message
+        assert finding.path.startswith("blocking-mutex-kubernetes-abba")
+    assert "abba-cycle" in report.render()

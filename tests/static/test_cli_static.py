@@ -1,0 +1,78 @@
+"""`repro static` CLI behavior."""
+
+import json
+
+from repro.cli import main
+
+
+def test_static_kernel_text_output(capsys):
+    assert main(["static", "blocking-chan-docker-missing-close"]) == 1
+    out = capsys.readouterr().out
+    assert "range-no-close" in out
+    assert "program mode" in out
+
+
+def test_static_fixed_variant_is_clean(capsys):
+    assert main(["static", "blocking-chan-docker-missing-close",
+                 "--fixed"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_static_json_payload(capsys):
+    assert main(["static", "blocking-mutex-kubernetes-abba", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["found"] is True
+    assert payload["mode"] == "program"
+    rules = {f["rule"] for f in payload["findings"]}
+    assert "abba-cycle" in rules
+    assert set(payload["timings"]) >= {"interp", "lockgraph", "chanshape",
+                                       "sharedrace", "capture"}
+
+
+def test_static_triage_verdicts(capsys):
+    assert main(["static", "blocking-mutex-kubernetes-abba",
+                 "--triage", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["needs_search"] is True
+    assert payload["source"] == "static"
+
+    assert main(["static", "blocking-mutex-kubernetes-abba",
+                 "--fixed", "--triage"]) == 0
+    assert "skip schedule search" in capsys.readouterr().out
+
+
+def test_static_module_mode_scans_paths(tmp_path, capsys):
+    bad = tmp_path / "figure8.py"
+    bad.write_text(
+        "def serve(rt, items):\n"
+        "    for item in items:\n"
+        "        rt.go(lambda: print(item))\n",
+        encoding="utf-8")
+    assert main(["static", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "loop-var-capture" in out
+    assert "module mode" in out
+
+
+def test_static_scorecard_passes_on_the_corpus(capsys):
+    assert main(["static", "--scorecard"]) == 0
+    out = capsys.readouterr().out
+    assert "recall" in out and "precision" in out
+
+
+def test_static_scorecard_json(capsys):
+    assert main(["static", "--scorecard", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kernels"] >= 54
+    assert payload["recall"] >= 0.8
+    assert payload["apps"]["clean"] is True
+
+
+def test_static_unknown_target_fails_cleanly(capsys):
+    assert main(["static", "no-such-kernel"]) == 2
+    assert "unknown kernel or path" in capsys.readouterr().err
+
+
+def test_static_without_target_or_mode_errors(capsys):
+    assert main(["static"]) == 2
+    assert "give a kernel id" in capsys.readouterr().err

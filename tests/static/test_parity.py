@@ -1,0 +1,80 @@
+"""Parity: whatever the dynamic or predictive tiers catch, static flags.
+
+Satellite contract from the issue: for every kernel where the dynamic
+detectors fire (over manifestation sweeps) or the predictive analyzer
+fires (on one recorded run), the zero-execution static tier must flag
+the buggy variant too — or the kernel must be listed here as
+out-of-scope with a reason.  Fixed variants must stay clean, except the
+pinned known-racy ones, whose residual race the dynamic detector
+corroborates below.
+
+The list is currently empty: static covers everything the other two
+tiers catch, including the two predict-only kernels (shadow-word
+eviction via the lockset race checker, WaitGroup Add-inside-child via
+the wg rules).  If a future kernel legitimately cannot be flagged
+without executing (e.g. the bug hides behind arithmetic no abstract
+path covers), add it with an honest reason rather than weakening the
+assertion.
+"""
+
+from repro import run
+from repro.bugs.registry import get
+from repro.dataset.labels import RACY_FIXED_KERNELS
+from repro.detect import RaceDetector
+from repro.predict import build_predict_scorecard
+from repro.static import build_static_scorecard
+
+#: kernel_id -> why static analysis cannot see this one.
+OUT_OF_SCOPE = {}
+
+RUNS_PER_KERNEL = 15
+
+
+def test_static_covers_every_dynamic_and_predictive_detection():
+    predict_rows = build_predict_scorecard(runs_per_kernel=RUNS_PER_KERNEL)
+    static_rows = build_static_scorecard()
+    static_by_id = {r.kernel_id: r for r in static_rows}
+    assert set(static_by_id) >= {r.kernel_id for r in predict_rows}
+
+    missed = [r.kernel_id for r in predict_rows
+              if (r.dynamic_hit or r.predicted_hit)
+              and not static_by_id[r.kernel_id].buggy_flagged
+              and r.kernel_id not in OUT_OF_SCOPE]
+    assert not missed, (
+        "dynamic/predict tiers fire but static is silent (add to "
+        f"OUT_OF_SCOPE only with a real reason): {missed}")
+
+    # Out-of-scope entries must stay honest: drop them once flagged.
+    stale = [kid for kid in OUT_OF_SCOPE
+             if static_by_id.get(kid) and static_by_id[kid].buggy_flagged]
+    assert not stale, f"now flagged, remove from OUT_OF_SCOPE: {stale}"
+
+
+def test_fixed_variants_stay_clean_except_pinned_racy_ones():
+    for row in build_static_scorecard():
+        if row.kernel_id in RACY_FIXED_KERNELS:
+            assert row.fixed_flagged, (
+                f"{row.kernel_id} fixed is pinned known-racy but static "
+                "scans it clean — either the kernel changed or the race "
+                "checker regressed")
+        else:
+            assert not row.fixed_flagged, (
+                f"{row.kernel_id} fixed: static false positive "
+                f"{row.fixed_rules}")
+
+
+def test_pinned_racy_fixed_kernels_really_race_dynamically():
+    # The ground truth behind RACY_FIXED_KERNELS: their fixed variants
+    # still tally results through deliberately non-atomic SharedVar.add
+    # from concurrent goroutines.  The dynamic race detector agrees, so
+    # static flagging them is a true positive, not noise.
+    for kid in sorted(RACY_FIXED_KERNELS):
+        kernel = get(kid)
+        hits = 0
+        for seed in range(5):
+            det = RaceDetector()
+            result = run(kernel.fixed, seed=seed, observers=[det],
+                         **kernel.run_kwargs)
+            det.finish(result)
+            hits += det.detected
+        assert hits, f"{kid} fixed never raced dynamically"

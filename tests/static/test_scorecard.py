@@ -1,0 +1,65 @@
+"""The corpus-wide static scorecard against the ground-truth labels."""
+
+from repro.dataset.labels import RACY_FIXED_KERNELS
+from repro.static import (
+    build_static_scorecard,
+    render_static_scorecard,
+    scan_apps,
+    scorecard_dict,
+    static_precision,
+    static_recall,
+)
+
+
+def test_scorecard_covers_the_corpus_and_hits_the_floors():
+    rows = build_static_scorecard()
+    assert len(rows) >= 54
+    assert static_recall(rows) >= 0.8
+    assert static_precision(rows) >= 0.8
+    # Every scan is milliseconds; the full corpus stays well under the
+    # cost of a single dynamic run sweep.
+    assert sum(r.wall_ms for r in rows) < 5000
+
+
+def test_rows_score_against_dataset_labels():
+    rows = build_static_scorecard()
+    by_id = {r.kernel_id: r for r in rows}
+    # Known-racy fixed variants are expected (and scored) as flagged.
+    for kid in RACY_FIXED_KERNELS:
+        row = by_id[kid]
+        assert not row.fixed_expected_clean
+        assert row.fixed_flagged and row.fixed_ok
+        assert row.verdict == "caught"
+    clean = [r for r in rows if r.fixed_expected_clean]
+    assert all(r.verdict in {"caught", "missed", "caught/fixed-noisy"}
+               for r in rows)
+    assert any(not r.fixed_flagged for r in clean)
+
+
+def test_scorecard_dict_shape_and_apps_section():
+    rows = build_static_scorecard()
+    apps = scan_apps()
+    document = scorecard_dict(rows, apps)
+    for key in ("kernels", "caught", "missed", "false_positives", "recall",
+                "precision", "wall_ms_total", "checker_seconds", "rows",
+                "apps"):
+        assert key in document, key
+    assert document["kernels"] == len(rows)
+    assert set(document["checker_seconds"]) >= {"interp", "lockgraph",
+                                                "chanshape", "sharedrace",
+                                                "capture"}
+    assert document["apps"]["clean"] is True
+    row = document["rows"][0]
+    for key in ("kernel_id", "behavior", "subcause", "buggy_flagged",
+                "fixed_flagged", "buggy_rules", "fixed_rules", "verdict",
+                "wall_ms"):
+        assert key in row, key
+
+
+def test_render_mentions_the_headline_numbers():
+    rows = build_static_scorecard()
+    text = render_static_scorecard(rows, scan_apps())
+    assert "recall" in text and "precision" in text
+    assert "mini-apps" in text
+    for row in rows[:3]:
+        assert row.kernel_id in text

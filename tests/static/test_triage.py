@@ -1,0 +1,51 @@
+"""Static triage shares one verdict shape with the predictive screen."""
+
+from repro.bugs.registry import get
+from repro.detect.triage import TriageVerdict, order_sweep_queue
+from repro.static import triage_kernel, triage_report, triage_sweep
+
+
+def test_static_and_predict_verdicts_share_the_schema():
+    from repro.predict import TriageVerdict as PredictVerdict
+    from repro.predict import triage_kernel as predict_triage
+
+    assert PredictVerdict is TriageVerdict
+
+    kernel = get("blocking-mutex-kubernetes-abba")
+    static_verdict = triage_kernel(kernel)
+    predict_verdict, _seed = None, None
+    predict_verdict = predict_triage(kernel)
+    assert set(static_verdict.to_dict()) == set(predict_verdict.to_dict())
+    assert static_verdict.source == "static"
+    assert predict_verdict.source == "predict"
+
+
+def test_buggy_flags_and_fixed_skips_without_any_execution():
+    kernel = get("blocking-chan-docker-missing-close")
+    dirty = triage_kernel(kernel)
+    clean = triage_kernel(kernel, fixed=True)
+    assert dirty.needs_search and "chanshape" in dirty.families
+    assert not clean.needs_search and clean.families == ()
+
+
+def test_sweep_orders_flagged_targets_first():
+    kernels = [get("blocking-mutex-kubernetes-abba"),
+               get("blocking-chan-docker-missing-close")]
+    dirty = triage_sweep(kernels)
+    assert all(v.needs_search for v in dirty)
+
+    mixed = [triage_kernel(kernels[0], fixed=True),
+             triage_kernel(kernels[1])]
+    ordered = order_sweep_queue(mixed)
+    assert ordered[0].needs_search and not ordered[-1].needs_search
+
+
+def test_triage_report_round_trips_families():
+    from repro.static import analyze_program
+
+    report = analyze_program(get("nonblocking-trad-docker-lost-update"),
+                             "buggy")
+    verdict = triage_report(report)
+    assert verdict.needs_search
+    assert verdict.families == tuple(sorted(report.by_checker()))
+    assert verdict.report is report
