@@ -21,6 +21,8 @@ from .channel import _Waiter
 class SelectCase:
     """Base class for one arm of a select."""
 
+    __slots__ = ("channel",)
+
     is_send = False
 
     def __init__(self, channel):
@@ -40,6 +42,8 @@ class SelectCase:
 
 class SendCase(SelectCase):
     """``case ch <- value``."""
+
+    __slots__ = ("value",)
 
     is_send = True
 
@@ -69,6 +73,8 @@ class SendCase(SelectCase):
 
 class RecvCase(SelectCase):
     """``case v, ok := <-ch``."""
+
+    __slots__ = ()
 
     def ready(self) -> bool:
         return self.channel.can_recv_now()

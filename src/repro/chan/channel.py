@@ -80,6 +80,21 @@ class Channel:
     ``select`` with ``default`` would express.
     """
 
+    __slots__ = (
+        "_rt",
+        "_sched",
+        "capacity",
+        "name",
+        "id",
+        "_buf",
+        "_send_waiters",
+        "_recv_waiters",
+        "_closed",
+        "_send_seq",
+        "_reason_send",
+        "_reason_recv",
+    )
+
     def __init__(self, rt: "Runtime", capacity: int = 0, name: Optional[str] = None):
         if capacity < 0:
             raise ValueError("negative channel capacity")
@@ -93,6 +108,8 @@ class Channel:
         self._recv_waiters: Deque[_Waiter] = deque()
         self._closed = False
         self._send_seq = 0  # per-message sequence for happens-before pairing
+        self._reason_send = f"chan.send:{self.name}"
+        self._reason_recv = f"chan.recv:{self.name}"
         self._sched.emit(EventKind.CHAN_MAKE, obj=self.id,
                          info={"capacity": capacity, "name": self.name})
 
@@ -251,6 +268,9 @@ class Channel:
 
     def send(self, value: Any) -> None:
         """Send ``value``; blocks per Go semantics.  Panics if closed."""
+        fast = self._sched._fastops
+        if fast is not None and fast.chan_send(self, value) is not NotImplemented:
+            return
         self._sched.schedule_point()
         me = self._sched.current
         while True:
@@ -258,7 +278,7 @@ class Channel:
                 return
             waiter = _Waiter(me, is_send=True, payload=value)
             self._send_waiters.append(waiter)
-            self._sched.block(f"chan.send:{self.name}", obj=self.id)
+            self._sched.block(self._reason_send, obj=self.id)
             if waiter.completed:
                 if waiter.ok is False:
                     raise GoPanic("send on closed channel")
@@ -272,6 +292,11 @@ class Channel:
 
     def recv_ok(self) -> Tuple[Any, bool]:
         """Receive with the open flag, like ``v, ok := <-ch``."""
+        fast = self._sched._fastops
+        if fast is not None:
+            outcome = fast.chan_recv(self)
+            if outcome is not NotImplemented:
+                return outcome
         self._sched.schedule_point()
         me = self._sched.current
         while True:
@@ -280,7 +305,7 @@ class Channel:
                 return outcome
             waiter = _Waiter(me, is_send=False)
             self._recv_waiters.append(waiter)
-            self._sched.block(f"chan.recv:{self.name}", obj=self.id)
+            self._sched.block(self._reason_recv, obj=self.id)
             if waiter.completed:
                 return waiter.value, bool(waiter.ok)
             self._discard(waiter)
@@ -291,11 +316,21 @@ class Channel:
 
     def try_send(self, value: Any) -> bool:
         """Non-blocking send: ``select { case ch <- v: ... default: }``."""
+        fast = self._sched._fastops
+        if fast is not None:
+            outcome = fast.chan_try_send(self, value)
+            if outcome is not NotImplemented:
+                return outcome
         self._sched.schedule_point()
         return self.poll_send(value, self._sched.current_gid)
 
     def try_recv(self) -> Tuple[Any, bool, bool]:
         """Non-blocking receive.  Returns ``(value, ok, received)``."""
+        fast = self._sched._fastops
+        if fast is not None:
+            outcome = fast.chan_try_recv(self)
+            if outcome is not NotImplemented:
+                return outcome
         self._sched.schedule_point()
         outcome = self.poll_recv(self._sched.current_gid)
         if outcome is None:

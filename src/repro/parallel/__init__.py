@@ -94,6 +94,14 @@ def sweep_seeds(
     from . import memo as memo_mod
 
     run_kwargs.setdefault("host_join_timeout", DEFAULT_SWEEP_JOIN_TIMEOUT)
+    if "backend" in run_kwargs:
+        # Resolve in the parent so every forked worker inherits the same
+        # concrete vehicle (and the fallback warning fires once, here, not
+        # once per worker process).  Schedules are backend-invariant, so
+        # this only pins *which* vehicle runs, never what it produces.
+        from ..runtime.scheduler import resolve_backend
+
+        run_kwargs["backend"] = resolve_backend(run_kwargs["backend"])
     seeds = list(seeds)
     use_memo = memo_key is not None and memo_mod.enabled
     if not use_memo:

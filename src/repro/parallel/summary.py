@@ -62,6 +62,11 @@ class RunSummary:
         backend: the resolved goroutine vehicle that ran the simulation
             (``result.backend``); lets cross-backend parity checks compare
             ``trace_digest`` while still recording who produced it.
+        compiled: whether the run had compiled accelerators loaded
+            (``result.compiled``).  Worker processes record their *own*
+            resolution here, so a sweep whose forked children failed to
+            load the extension the parent had is visible in the summaries
+            rather than silently slower.
     """
 
     status: str
@@ -80,6 +85,7 @@ class RunSummary:
     manifested: Optional[bool] = None
     metrics: Optional[dict] = field(default=None)
     backend: Optional[str] = None
+    compiled: Optional[bool] = None
 
     @property
     def completed(self) -> bool:
@@ -133,4 +139,5 @@ def summarize_result(
         manifested=None if predicate is None else bool(predicate(result)),
         metrics=metrics,
         backend=getattr(result, "backend", None),
+        compiled=getattr(result, "compiled", None),
     )

@@ -20,6 +20,7 @@ compiled-vs-pure parity tests and as an escape hatch).
 
 from __future__ import annotations
 
+import hashlib
 import os
 import subprocess
 import sys
@@ -61,9 +62,22 @@ def _cache_dir() -> str:
     return _EXT_DIR
 
 
-def _so_path(name: str) -> str:
+def _so_path(name: str, src: str) -> Optional[str]:
+    """Cache path for the built .so, keyed on the *content* of the source.
+
+    A short sha256 of the .c file rides in the filename, so a cache
+    directory shared across machines or CI jobs (``REPRO_EXT_CACHE``) is
+    correct by construction: a source change produces a different name and
+    a stale cache entry can never be picked up, regardless of checkout
+    mtimes.
+    """
+    try:
+        with open(src, "rb") as f:
+            digest = hashlib.sha256(f.read()).hexdigest()[:12]
+    except OSError:
+        return None
     tag = f"cpython-{sys.version_info[0]}{sys.version_info[1]}"
-    return os.path.join(_cache_dir(), f"{name}.{tag}-{sys.platform}.so")
+    return os.path.join(_cache_dir(), f"{name}.{digest}.{tag}-{sys.platform}.so")
 
 
 def _compile(name: str) -> Optional[str]:
@@ -71,8 +85,10 @@ def _compile(name: str) -> Optional[str]:
     src = os.path.join(_EXT_DIR, f"{name}.c")
     if not os.path.exists(src):
         return None
-    so = _so_path(name)
-    if os.path.exists(so) and os.path.getmtime(so) >= os.path.getmtime(src):
+    so = _so_path(name, src)
+    if so is None:
+        return None
+    if os.path.exists(so):
         return so
     cc = os.environ.get("CC") or "cc"
     include = sysconfig.get_path("include")

@@ -43,6 +43,14 @@ BatchedRandom: Any = _c.BatchedRandom if _c is not None else PyBatchedRandom
 _drive: Optional[Callable[[Any], Optional[str]]] = None
 _drive_resolved = False
 
+_fastops: Optional[Any] = None
+_fastops_resolved = False
+
+#: When True every accessor below reports "not compiled" even though the
+#: extension is loaded — the bench harness uses this to measure the pure
+#: paths in the same process (see :func:`force_pure`).
+_force_pure = False
+
 
 def get_drive() -> Optional[Callable[[Any], Optional[str]]]:
     """The compiled ``drive(scheduler)`` step loop, or None without it.
@@ -71,12 +79,82 @@ def get_drive() -> Optional[Callable[[Any], Optional[str]]]:
                 _drive = _c.drive
             except Exception:  # pragma: no cover - defensive: stay pure
                 _drive = None
+    if _force_pure:
+        return None
     return _drive
+
+
+def get_fastops() -> Optional[Any]:
+    """The compiled channel/select/sync fast ops, or None without them.
+
+    Returns the extension module itself (``chan_send``, ``chan_recv``,
+    ``select_op``, ``mutex_lock``, ... live on it); every op re-checks
+    engagement per call and returns ``NotImplemented`` to defer to the
+    pure primitive whenever a trace consumer, fault injector or missing
+    goroutine context makes the pure path observable.  First call binds
+    the primitive classes' slot offsets into the extension.
+    """
+    global _fastops, _fastops_resolved
+    if not _fastops_resolved:
+        _fastops_resolved = True
+        get_drive()  # ensure bind() ran (slot offsets the fast ops share)
+        if _c is not None and _drive is not None:
+            try:
+                from collections import deque
+
+                from ..chan.cases import RecvCase, SendCase
+                from ..chan.channel import Channel, _Waiter
+                from ..chan.select import _SelectContext
+                from ..sync.mutex import Mutex, _Ticket as _MuTicket
+                from ..sync.rwmutex import RWMutex, _Ticket as _RWTicket
+                from .errors import GoPanic, Killed
+                from .goroutine import Goroutine, GState, TaskletGoroutine
+                from .trace import Trace
+
+                _c.bind_fastops(
+                    Channel, _Waiter, _SelectContext, SendCase, RecvCase,
+                    Mutex, _MuTicket, RWMutex, _RWTicket, Trace,
+                    Goroutine, TaskletGoroutine, GState, GoPanic, Killed,
+                    deque,
+                )
+                _fastops = _c
+            except Exception:  # pragma: no cover - defensive: stay pure
+                _fastops = None
+    if _force_pure:
+        return None
+    return _fastops
+
+
+class force_pure:
+    """Context manager: run with every compiled fast path disabled.
+
+    Schedulers constructed inside the ``with`` block get neither the
+    compiled drive loop nor the compiled fast ops, exactly as under
+    ``REPRO_NO_CEXT=1`` — the bench harness measures pure cells this way,
+    and the parity tests diff compiled-vs-pure runs in one process.
+    (Schedulers constructed *outside* the block keep whatever they
+    resolved at construction time.)
+    """
+
+    def __enter__(self) -> "force_pure":
+        global _force_pure
+        self._prev = _force_pure
+        _force_pure = True
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        global _force_pure
+        _force_pure = self._prev
 
 
 # ---------------------------------------------------------------------------
 # Array-backed vector clocks
 # ---------------------------------------------------------------------------
+
+#: Compiled O(#gids) join / compare kernels over the dense count lists
+#: (None without the extension; ``force_pure`` also disables them).
+_vc_join = getattr(_c, "vc_join", None) if _c is not None else None
+_vc_le = getattr(_c, "vc_le", None) if _c is not None else None
 
 
 class VectorClock:
@@ -121,6 +199,9 @@ class VectorClock:
         """Pointwise maximum: ``self = self ⊔ other``."""
         if other is None:
             return
+        if _vc_join is not None and not _force_pure:
+            _vc_join(self._v, other._v)
+            return
         v, o = self._v, other._v
         if len(o) > len(v):
             v.extend([0] * (len(o) - len(v)))
@@ -141,6 +222,8 @@ class VectorClock:
         return self.get(gid) >= count
 
     def __le__(self, other: "VectorClock") -> bool:
+        if _vc_le is not None and not _force_pure:
+            return _vc_le(self._v, other._v)
         v, o = self._v, other._v
         olen = len(o)
         for gid, count in enumerate(v):
@@ -177,4 +260,5 @@ class VectorClock:
         return f"VC({inner})"
 
 
-__all__ = ["BatchedRandom", "HAS_COMPILED", "VectorClock", "get_drive"]
+__all__ = ["BatchedRandom", "HAS_COMPILED", "VectorClock", "force_pure",
+           "get_drive", "get_fastops"]

@@ -212,6 +212,17 @@ class Runtime:
             default), the received value (None for send cases), and the
             channel-open flag.
         """
+        sched = self.sched
+        fast = sched._fastops
+        if fast is not None:
+            # Dispatch the compiled op before paying for the pure
+            # machinery below; it validates the cases itself and bails
+            # (idempotently, before anything observable) on anything it
+            # cannot handle, so re-dispatching inside the slow path is
+            # harmless.
+            outcome = fast.select_op(sched, cases, default)
+            if outcome is not NotImplemented:
+                return outcome
         from ..chan.select import select as _select
 
         return _select(self, cases, default=default)
@@ -371,6 +382,11 @@ class RunResult:
         backend: the resolved goroutine vehicle that ran this simulation
             (``"greenlet"`` | ``"tasklet"`` | ``"generator"`` |
             ``"thread"``) — what ``backend="coroutine"`` actually picked.
+        compiled: True when the scheduler had compiled accelerators loaded
+            (the fused step loop and/or the channel/select/sync fast ops);
+            False on pure-Python runs (``REPRO_NO_CEXT=1``, off-platform,
+            or under ``force_pure``).  Availability, not engagement: a
+            traced run reports True even though every fast op bailed out.
         injected: records of faults the injector fired during this run
             (empty when no fault plan was attached).
         observation: the :class:`repro.observe.Observer` that watched this
@@ -397,6 +413,7 @@ class RunResult:
         injected: Sequence[Any] = (),
         observation: Optional[Any] = None,
         backend: Optional[str] = None,
+        compiled: Optional[bool] = None,
     ):
         self.status = status
         self.seed = seed
@@ -414,6 +431,7 @@ class RunResult:
         self.injected = list(injected)
         self.observation = observation
         self.backend = backend
+        self.compiled = compiled
 
     @property
     def completed(self) -> bool:
@@ -451,6 +469,7 @@ class RunResult:
             "faults_injected": [record.to_dict() if hasattr(record, "to_dict")
                                 else record for record in self.injected],
             "backend": self.backend,
+            "compiled": self.compiled,
         }
 
     def __repr__(self) -> str:
@@ -635,6 +654,7 @@ def run(
         injected=injector.log if injector is not None else (),
         observation=observation,
         backend=sched.backend,
+        compiled=sched._hot is not None or sched._fastops is not None,
     )
     if observation is not None:
         observation.finish(result)

@@ -27,11 +27,11 @@ import random
 import sys
 import threading
 import time as _time
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .clock import VirtualClock
 from .errors import Killed, SchedulerStateError, StepLimitExceeded
-from ._hotloop import BatchedRandom, get_drive
+from ._hotloop import BatchedRandom, get_drive, get_fastops
 from .goroutine import (
     HAS_GREENLET,
     GeneratorGoroutine,
@@ -132,6 +132,17 @@ def user_stack(limit: int = 8) -> Tuple[str, ...]:
 # many Schedulers a sweep constructs.
 _fallback_warned: set = set()
 
+# Every fallback that actually happened, counted per (requested -> fallback)
+# edge.  The warning above fires once; the counts keep accumulating so
+# ``repro bench`` can report how many schedulers silently ran on a different
+# vehicle than the one requested.
+_fallback_counts: Dict[str, int] = {}
+
+
+def backend_fallbacks() -> Dict[str, int]:
+    """Counts of backend fallbacks this process, keyed ``"requested->used"``."""
+    return dict(_fallback_counts)
+
 
 def _best_coroutine_backend() -> str:
     if HAS_GREENLET:
@@ -168,6 +179,8 @@ def resolve_backend(backend: str) -> str:
 
 
 def _warn_fallback(requested: str, fallback: str, why: str) -> None:
+    edge = f"{requested}->{fallback}"
+    _fallback_counts[edge] = _fallback_counts.get(edge, 0) + 1
     if requested in _fallback_warned:
         return
     _fallback_warned.add(requested)
@@ -258,6 +271,12 @@ class Scheduler:
         #: the thread backend's direct handoff never goes through here.
         self._hot: Optional[Callable[["Scheduler"], Optional[str]]] = (
             None if self._direct else get_drive())
+        #: Compiled channel/select/mutex fast ops (the same C module), or
+        #: None.  Unlike ``_hot`` these work on every backend: each op
+        #: re-checks engagement (trace inactive, no injector, goroutine
+        #: context) at entry and returns ``NotImplemented`` to defer to the
+        #: pure path when any observer is attached.
+        self._fastops = get_fastops()
         # Per-call loop state, shared with the inline continuations that
         # goroutine hosts run in ``_handback`` (all token-serialized).
         self._stop_when: Optional[Callable[[], bool]] = None

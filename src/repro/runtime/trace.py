@@ -121,6 +121,10 @@ class Trace:
     they observe the exact interleaving order.
     """
 
+    # Slotted so the compiled fast ops can probe ``active`` by slot offset
+    # (and exact type) instead of a dict lookup on every channel operation.
+    __slots__ = ("_events", "_listeners", "_keep_events", "active")
+
     def __init__(self, keep_events: bool = True):
         self._events: List[TraceEvent] = []
         self._listeners: List[Callable[[TraceEvent], None]] = []

@@ -29,14 +29,21 @@ class _Ticket:
 class Mutex:
     """Mutual exclusion lock.  Usable as a context manager."""
 
+    __slots__ = ("_rt", "_sched", "_fast", "id", "name", "_locked", "_owner",
+                 "_waiters", "_reason")
+
     def __init__(self, rt: "Runtime", name: Optional[str] = None):
         self._rt = rt
         self._sched = rt.sched
+        # The scheduler binds its fast-op table once at construction, so
+        # caching it here saves an attribute hop on every acquire/release.
+        self._fast = rt.sched._fastops
         self.id = rt.new_obj_id()
         self.name = name or f"mutex#{self.id}"
         self._locked = False
         self._owner: Optional[int] = None  # diagnostics only; Go allows
         self._waiters: Deque[_Ticket] = deque()  # cross-goroutine unlock
+        self._reason = f"mutex.lock:{self.name}"
 
     @property
     def locked(self) -> bool:
@@ -44,6 +51,9 @@ class Mutex:
 
     def lock(self) -> None:
         """Acquire, like ``mu.Lock()``; blocks while held (even by self)."""
+        fast = self._fast
+        if fast is not None and fast.mutex_lock(self) is not NotImplemented:
+            return
         self._sched.schedule_point()
         me = self._sched.current
         # The *request* is observable even if the acquisition never
@@ -60,12 +70,17 @@ class Mutex:
         ticket = _Ticket(me)
         self._waiters.append(ticket)
         while not ticket.granted:
-            self._sched.block(f"mutex.lock:{self.name}", obj=self.id)
+            self._sched.block(self._reason, obj=self.id)
         # Ownership was handed off directly by unlock(); just record it.
         self._sched.emit(EventKind.MU_LOCK, obj=self.id)
 
     def try_lock(self) -> bool:
         """Non-blocking acquire, like ``mu.TryLock()``."""
+        fast = self._fast
+        if fast is not None:
+            outcome = fast.mutex_trylock(self)
+            if outcome is not NotImplemented:
+                return outcome
         self._sched.schedule_point()
         if self._locked:
             return False
@@ -76,6 +91,9 @@ class Mutex:
 
     def unlock(self) -> None:
         """Release, like ``mu.Unlock()``.  Panics if not locked."""
+        fast = self._fast
+        if fast is not None and fast.mutex_unlock(self) is not NotImplemented:
+            return
         self._sched.schedule_point()
         if not self._locked:
             raise GoPanic("sync: unlock of unlocked mutex")
@@ -92,12 +110,19 @@ class Mutex:
             self._owner = None
 
     # Context-manager sugar for the common lock/defer-unlock pattern.
+    # Dispatches the compiled op directly — one Python frame per acquire
+    # instead of two; on a bail the full wrapper runs (the repeated
+    # engagement check is cheap and happens before anything observable).
     def __enter__(self) -> "Mutex":
-        self.lock()
+        fast = self._fast
+        if fast is None or fast.mutex_lock(self) is NotImplemented:
+            self.lock()
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.unlock()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        fast = self._fast
+        if fast is None or fast.mutex_unlock(self) is NotImplemented:
+            self.unlock()
 
     def __repr__(self) -> str:
         state = f"locked by g{self._owner}" if self._locked else "unlocked"

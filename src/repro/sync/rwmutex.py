@@ -37,6 +37,10 @@ class _Ticket:
 class RWMutex:
     """Reader/writer mutual exclusion lock."""
 
+    __slots__ = ("_rt", "_sched", "id", "name", "writer_priority", "_readers",
+                 "_writer", "_pending_writers", "_pending_readers",
+                 "_reason_r", "_reason_w")
+
     def __init__(self, rt: "Runtime", name: Optional[str] = None,
                  writer_priority: bool = True):
         self._rt = rt
@@ -49,6 +53,8 @@ class RWMutex:
         self._writer = False
         self._pending_writers: Deque[_Ticket] = deque()
         self._pending_readers: Deque[_Ticket] = deque()
+        self._reason_r = f"rwmutex.rlock:{self.name}"
+        self._reason_w = f"rwmutex.lock:{self.name}"
 
     # ------------------------------------------------------------------
     # Read side
@@ -56,6 +62,9 @@ class RWMutex:
 
     def rlock(self) -> None:
         """Acquire a read lock, like ``mu.RLock()``."""
+        fast = self._sched._fastops
+        if fast is not None and fast.rw_rlock(self) is not NotImplemented:
+            return
         self._sched.schedule_point()
         me = self._sched.current
         if self._can_rlock_now():
@@ -65,11 +74,14 @@ class RWMutex:
         ticket = _Ticket(me)
         self._pending_readers.append(ticket)
         while not ticket.granted:
-            self._sched.block(f"rwmutex.rlock:{self.name}", obj=self.id)
+            self._sched.block(self._reason_r, obj=self.id)
         self._sched.emit(EventKind.RW_RLOCK, obj=self.id)
 
     def runlock(self) -> None:
         """Release a read lock, like ``mu.RUnlock()``."""
+        fast = self._sched._fastops
+        if fast is not None and fast.rw_runlock(self) is not NotImplemented:
+            return
         self._sched.schedule_point()
         if self._readers <= 0:
             raise GoPanic("sync: RUnlock of unlocked RWMutex")
@@ -91,6 +103,9 @@ class RWMutex:
 
     def lock(self) -> None:
         """Acquire the write lock, like ``mu.Lock()``."""
+        fast = self._sched._fastops
+        if fast is not None and fast.rw_lock(self) is not NotImplemented:
+            return
         self._sched.schedule_point()
         me = self._sched.current
         self._sched.emit(EventKind.RW_REQUEST, obj=self.id,
@@ -103,11 +118,14 @@ class RWMutex:
         ticket = _Ticket(me)
         self._pending_writers.append(ticket)
         while not ticket.granted:
-            self._sched.block(f"rwmutex.lock:{self.name}", obj=self.id)
+            self._sched.block(self._reason_w, obj=self.id)
         self._sched.emit(EventKind.RW_LOCK, obj=self.id)
 
     def unlock(self) -> None:
         """Release the write lock, like ``mu.Unlock()``."""
+        fast = self._sched._fastops
+        if fast is not None and fast.rw_unlock(self) is not NotImplemented:
+            return
         self._sched.schedule_point()
         if not self._writer:
             raise GoPanic("sync: Unlock of unlocked RWMutex")

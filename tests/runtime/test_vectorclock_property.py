@@ -1,0 +1,170 @@
+"""Property test: vectorized vector-clock kernels vs a dict reference.
+
+:class:`repro.runtime._hotloop.VectorClock` is dense-list backed with
+compiled ``vc_join``/``vc_le`` kernels when the extension built.  The
+observable semantics are pinned to the historical sparse dict-backed
+clock: zero components are indistinguishable from absent ones, joins are
+pointwise max, ``<=`` is componentwise with implicit zero padding.  This
+suite drives randomized operation histories — increments and joins over a
+small set of clocks but a *large* gid space, so the dense arrays grow,
+pad, and carry trailing zeros — through three implementations in
+lockstep:
+
+* the clock as shipped (compiled kernels when available),
+* the same class with the kernel bindings forced off (the pure loops the
+  kernels replaced),
+* an independent dict-based reference reimplementing the original sparse
+  semantics from scratch.
+
+After every operation all three must agree on items, pairwise ordering,
+equality, and concurrency.
+"""
+
+from contextlib import contextmanager
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import _hotloop
+from repro.runtime._hotloop import VectorClock
+
+N_CLOCKS = 3
+MAX_GID = 300  # large and sparse: the dense arrays pad hundreds of zeros
+
+
+@contextmanager
+def kernels_disabled():
+    """Null out the module's compiled kernel bindings, restoring after.
+
+    Exactly what a build failure (or ``REPRO_NO_CEXT=1``) leaves behind:
+    ``_vc_join``/``_vc_le`` are ``None`` and the pure loops run.
+    """
+    saved = _hotloop._vc_join, _hotloop._vc_le
+    _hotloop._vc_join = None
+    _hotloop._vc_le = None
+    try:
+        yield
+    finally:
+        _hotloop._vc_join, _hotloop._vc_le = saved
+
+
+class DictClock:
+    """Independent reference: the historical sparse dict-backed clock."""
+
+    def __init__(self):
+        self.c = {}
+
+    def get(self, gid):
+        return self.c.get(gid, 0)
+
+    def increment(self, gid):
+        self.c[gid] = self.c.get(gid, 0) + 1
+
+    def join(self, other):
+        for gid, count in other.c.items():
+            if count > self.c.get(gid, 0):
+                self.c[gid] = count
+
+    def le(self, other):
+        return all(count <= other.c.get(gid, 0)
+                   for gid, count in self.c.items() if count)
+
+    def items(self):
+        return sorted((g, n) for g, n in self.c.items() if n)
+
+
+histories = st.lists(
+    st.one_of(
+        st.tuples(st.just("inc"), st.integers(0, N_CLOCKS - 1),
+                  st.integers(0, MAX_GID)),
+        st.tuples(st.just("join"), st.integers(0, N_CLOCKS - 1),
+                  st.integers(0, N_CLOCKS - 1)),
+    ),
+    min_size=1, max_size=50,
+)
+
+
+def _check_agreement(shipped, pure, reference):
+    for i in range(N_CLOCKS):
+        assert list(shipped[i].items()) == reference[i].items()
+        assert list(pure[i].items()) == reference[i].items()
+        for j in range(N_CLOCKS):
+            expected_le = reference[i].le(reference[j])
+            assert (shipped[i] <= shipped[j]) is expected_le, (i, j)
+            with kernels_disabled():
+                assert (pure[i] <= pure[j]) is expected_le, (i, j)
+            expected_eq = reference[i].items() == reference[j].items()
+            assert (shipped[i] == shipped[j]) is expected_eq, (i, j)
+            if i != j:
+                expected_conc = (not expected_le
+                                 and not reference[j].le(reference[i]))
+                assert (shipped[i].concurrent_with(shipped[j])
+                        is expected_conc), (i, j)
+
+
+@settings(max_examples=120, deadline=None)
+@given(history=histories)
+def test_random_histories_agree_across_implementations(history):
+    shipped = [VectorClock() for _ in range(N_CLOCKS)]
+    pure = [VectorClock() for _ in range(N_CLOCKS)]
+    reference = [DictClock() for _ in range(N_CLOCKS)]
+
+    for op in history:
+        if op[0] == "inc":
+            _, idx, gid = op
+            shipped[idx].increment(gid)
+            pure[idx].increment(gid)
+            reference[idx].increment(gid)
+        else:
+            _, dst, src = op
+            shipped[dst].join(shipped[src])
+            with kernels_disabled():
+                pure[dst].join(pure[src])
+            reference[dst].join(reference[src])
+        for idx in range(N_CLOCKS):
+            for gid in (0, 1, MAX_GID // 2, MAX_GID):
+                assert shipped[idx].get(gid) == reference[idx].get(gid)
+
+    _check_agreement(shipped, pure, reference)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    a=st.dictionaries(st.integers(0, MAX_GID), st.integers(0, 40),
+                      max_size=12),
+    b=st.dictionaries(st.integers(0, MAX_GID), st.integers(0, 40),
+                      max_size=12),
+)
+def test_le_and_join_match_reference_on_arbitrary_pairs(a, b):
+    """Direct pair checks, including trailing-zero and length-mismatch
+    shapes the dense representation must pad through."""
+    ref_a, ref_b = DictClock(), DictClock()
+    ref_a.c = {g: n for g, n in a.items() if n}
+    ref_b.c = {g: n for g, n in b.items() if n}
+    vc_a, vc_b = VectorClock(a), VectorClock(b)
+
+    assert (vc_a <= vc_b) is ref_a.le(ref_b)
+    assert (vc_b <= vc_a) is ref_b.le(ref_a)
+    with kernels_disabled():
+        assert (vc_a <= vc_b) is ref_a.le(ref_b)
+
+    joined = vc_a.copy()
+    joined.join(vc_b)
+    ref_a.join(ref_b)
+    assert list(joined.items()) == ref_a.items()
+    pure_joined = VectorClock(a)
+    with kernels_disabled():
+        pure_joined.join(VectorClock(b))
+    assert list(pure_joined.items()) == ref_a.items()
+
+
+def test_compiled_kernels_are_bound_when_extension_built():
+    """The wiring itself: with the extension loaded the kernels must be
+    the C functions, and disabling them must actually change the callee
+    (guards against silently testing pure-vs-pure above)."""
+    if not _hotloop.HAS_COMPILED:
+        assert _hotloop._vc_join is None and _hotloop._vc_le is None
+        return
+    assert _hotloop._vc_join is _hotloop._c.vc_join
+    assert _hotloop._vc_le is _hotloop._c.vc_le
+    with kernels_disabled():
+        assert _hotloop._vc_join is None
